@@ -1,0 +1,91 @@
+//! Closed-form first-passage probabilities for Brownian motion with drift.
+//!
+//! For `X_t = μ t + σ W_t` started at 0, the probability that the running
+//! maximum reaches level `a > 0` by time `T` is the classical
+//! reflection-with-drift formula:
+//!
+//! ```text
+//! P(max_{t ≤ T} X_t ≥ a) = Φ̄((a − μT)/(σ√T)) + e^{2μa/σ²} Φ̄((a + μT)/(σ√T))
+//! ```
+//!
+//! Diffusion approximations of the queue and CPP models use this as a
+//! *sanity band* (not exact ground truth) in tests and calibration.
+
+use mlss_core::stats::normal_cdf;
+
+/// `P(max_{t≤T} (μt + σW_t) ≥ a)` for `a > 0`.
+pub fn max_crossing_probability(mu: f64, sigma: f64, a: f64, t: f64) -> f64 {
+    assert!(sigma > 0.0 && t > 0.0 && a > 0.0);
+    let sd = sigma * t.sqrt();
+    let tail1 = 1.0 - normal_cdf((a - mu * t) / sd);
+    let exponent = 2.0 * mu * a / (sigma * sigma);
+    // Guard the exponential against overflow for strongly positive drift;
+    // the product with the vanishing tail is still well-defined ≤ 1.
+    let tail2 = 1.0 - normal_cdf((a + mu * t) / sd);
+    let p = if exponent > 700.0 {
+        // exp overflows; in this regime tail1 ≈ 1 anyway.
+        tail1
+    } else {
+        tail1 + exponent.exp() * tail2
+    };
+    p.clamp(0.0, 1.0)
+}
+
+/// Expected first-passage time of a positive-drift Brownian motion to
+/// level `a`: `a / μ` (infinite for `μ ≤ 0`).
+pub fn expected_first_passage(mu: f64, a: f64) -> f64 {
+    assert!(a > 0.0);
+    if mu <= 0.0 {
+        f64::INFINITY
+    } else {
+        a / mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_drift_reflection() {
+        // With μ = 0: P = 2 Φ̄(a / (σ√T)).
+        let p = max_crossing_probability(0.0, 1.0, 1.0, 1.0);
+        let expect = 2.0 * (1.0 - normal_cdf(1.0));
+        assert!((p - expect).abs() < 1e-9, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn negative_drift_suppresses_crossing() {
+        let p0 = max_crossing_probability(0.0, 1.0, 2.0, 10.0);
+        let pm = max_crossing_probability(-0.5, 1.0, 2.0, 10.0);
+        assert!(pm < p0);
+        // Long-horizon limit for negative drift: exp(2 μ a / σ²).
+        let p_inf = max_crossing_probability(-0.5, 1.0, 2.0, 1e7);
+        let expect = (2.0_f64 * -0.5 * 2.0).exp();
+        assert!((p_inf - expect).abs() < 1e-3, "{p_inf} vs {expect}");
+    }
+
+    #[test]
+    fn positive_drift_certain_eventually() {
+        let p = max_crossing_probability(1.0, 1.0, 5.0, 1e6);
+        assert!(p > 0.999999);
+    }
+
+    #[test]
+    fn probability_bounds() {
+        for &(mu, sigma, a, t) in &[
+            (0.3, 2.0, 10.0, 5.0),
+            (-2.0, 0.5, 1.0, 100.0),
+            (5.0, 1.0, 0.5, 0.01),
+        ] {
+            let p = max_crossing_probability(mu, sigma, a, t);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn expected_passage_time() {
+        assert_eq!(expected_first_passage(2.0, 10.0), 5.0);
+        assert!(expected_first_passage(-1.0, 10.0).is_infinite());
+    }
+}

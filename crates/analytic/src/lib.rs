@@ -1,0 +1,23 @@
+//! # mlss-analytic
+//!
+//! Exact (and closed-form approximate) first-hitting-time answers for the
+//! simple processes where they exist (§2.2 "Analytical Solution"). These
+//! are the ground truths the test suite validates the SRS / s-MLSS /
+//! g-MLSS estimators against — the empirical counterpart of the paper's
+//! unbiasedness Propositions 1 and 2.
+//!
+//! * [`markov`] — exact hitting probabilities for finite Markov chains by
+//!   backward dynamic programming;
+//! * [`walk`] — exact hitting probabilities for lazy integer random walks;
+//! * [`brownian`] — reflection-formula first-passage probabilities for
+//!   drifted Brownian motion (diffusion sanity bands for queue/CPP).
+
+#![warn(missing_docs)]
+
+pub mod brownian;
+pub mod markov;
+pub mod walk;
+
+pub use brownian::{expected_first_passage, max_crossing_probability};
+pub use markov::{hitting_curve, hitting_probability};
+pub use walk::{walk_hitting_probability, WalkSpec};

@@ -1,0 +1,108 @@
+//! Threshold calibration: estimate the ground-truth probability of each
+//! candidate `(model, β)` with g-MLSS so the query classes of Table 2
+//! land in the paper's probability bands (see DESIGN.md, substitution 4).
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin calibrate [--budget N]`
+
+use mlss_bench::{fmt_prob, Report, DEFAULT_RATIO};
+use mlss_core::prelude::*;
+use mlss_models::{
+    queue2_score, surplus_score, volatile_cpp, volatile_queue, CompoundPoisson, TandemQueue,
+};
+
+fn budget_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12_000_000)
+}
+
+fn calibrate<M>(
+    report: &mut Report,
+    label: &str,
+    model: &M,
+    score: fn(&M::State) -> f64,
+    horizon: Time,
+    betas: &[f64],
+    budget: u64,
+    seed: u64,
+) where
+    M: SimulationModel,
+{
+    for (i, &beta) in betas.iter().enumerate() {
+        let vf = RatioValue::new(score, beta);
+        let problem = Problem::new(model, &vf, horizon);
+        let mut rng = rng_from_seed(seed + i as u64);
+        let (plan, _) = balanced_plan(problem, 5, 4000, &mut rng);
+        let cfg = GMlssConfig::new(plan, RunControl::budget(budget)).with_ratio(DEFAULT_RATIO);
+        let res = GMlssSampler::new(cfg).run(problem, &mut rng);
+        report.row(vec![
+            label.to_string(),
+            format!("{beta}"),
+            format!("{horizon}"),
+            fmt_prob(res.estimate.tau),
+            format!("{:.1}%", res.estimate.self_relative_error() * 100.0),
+            res.estimate.steps.to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let budget = budget_from_args();
+    let mut report = Report::new(
+        "calibration",
+        &["model", "beta", "s", "tau_hat", "RE", "steps"],
+    );
+
+    let queue = TandemQueue::paper_default();
+    calibrate(
+        &mut report,
+        "queue",
+        &queue,
+        queue2_score,
+        500,
+        &[28.0, 37.0, 57.0, 63.0],
+        budget,
+        100,
+    );
+
+    let cpp = CompoundPoisson::paper_default();
+    calibrate(
+        &mut report,
+        "cpp",
+        &cpp,
+        surplus_score,
+        500,
+        &[37.0, 50.0, 90.0, 115.0],
+        budget,
+        200,
+    );
+
+    let vq = volatile_queue(TandemQueue::paper_default(), 500);
+    calibrate(
+        &mut report,
+        "volatile_queue",
+        &vq,
+        queue2_score,
+        500,
+        &[70.0, 75.0, 80.0, 90.0, 95.0, 100.0],
+        budget,
+        300,
+    );
+
+    let vc = volatile_cpp(CompoundPoisson::zero_drift_default(), 500);
+    calibrate(
+        &mut report,
+        "volatile_cpp",
+        &vc,
+        surplus_score,
+        500,
+        &[620.0, 700.0, 850.0, 950.0, 1050.0],
+        budget,
+        400,
+    );
+
+    report.emit();
+}

@@ -1,0 +1,69 @@
+//! Figure 11: splitting-ratio trade-off on **Tiny** queries — total
+//! simulation steps to reach the quality target for r = 1..7, with
+//! balanced 4-level plans on Queue and CPP.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin fig11_splitting_ratio_tiny [--full]`
+
+use mlss_bench::settings::{cpp_specs, queue_specs};
+use mlss_bench::{balanced_for, fmt_steps, mlss_to_target, Profile, Report};
+use mlss_core::prelude::*;
+use mlss_models::{queue2_score, surplus_score, CompoundPoisson, TandemQueue};
+
+const LEVELS: usize = 4;
+
+fn sweep<M, Z>(
+    r: &mut Report,
+    label: &str,
+    model: &M,
+    score: Z,
+    spec: mlss_bench::QuerySpec,
+    profile: Profile,
+    seed0: u64,
+) where
+    M: SimulationModel,
+    Z: StateScore<M::State> + Copy,
+{
+    let vf = RatioValue::new(score, spec.beta);
+    let problem = Problem::new(model, &vf, spec.horizon);
+    let target = profile.target(spec.class);
+    let plan = balanced_for(problem, LEVELS, seed0);
+    for ratio in 1..=7u32 {
+        let (row, _) = mlss_to_target(problem, plan.clone(), ratio, target, seed0 + ratio as u64);
+        r.row(vec![
+            label.into(),
+            ratio.to_string(),
+            fmt_steps(row.steps),
+            format!("{:.2}", row.total_secs()),
+        ]);
+    }
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let mut r = Report::new(
+        "fig11_splitting_ratio_tiny",
+        &["model", "ratio", "steps", "secs"],
+    );
+    let queue = TandemQueue::paper_default();
+    sweep(
+        &mut r,
+        "Queue/Tiny",
+        &queue,
+        queue2_score,
+        queue_specs()[2],
+        profile,
+        91_000,
+    );
+    let cpp = CompoundPoisson::paper_default();
+    sweep(
+        &mut r,
+        "CPP/Tiny",
+        &cpp,
+        surplus_score,
+        cpp_specs()[2],
+        profile,
+        92_000,
+    );
+    r.emit();
+    println!("(ratio 1 row is the SRS baseline; balanced {LEVELS}-level plans)");
+}

@@ -1,0 +1,97 @@
+//! Figure 12: number-of-levels trade-off — steps to target with r = 3
+//! balanced plans of m = 2..5 levels (Small) and m = 2..8 (Tiny), on
+//! Queue and CPP. Reproduces the four panels of the paper's figure.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin fig12_num_levels [--full]`
+
+use mlss_bench::settings::{cpp_specs, queue_specs};
+use mlss_bench::{balanced_for, fmt_steps, mlss_to_target, Profile, Report, DEFAULT_RATIO};
+use mlss_core::prelude::*;
+use mlss_models::{queue2_score, surplus_score, CompoundPoisson, TandemQueue};
+
+fn sweep<M, Z>(
+    r: &mut Report,
+    label: &str,
+    model: &M,
+    score: Z,
+    spec: mlss_bench::QuerySpec,
+    levels: std::ops::RangeInclusive<usize>,
+    profile: Profile,
+    seed0: u64,
+) where
+    M: SimulationModel,
+    Z: StateScore<M::State> + Copy,
+{
+    let vf = RatioValue::new(score, spec.beta);
+    let problem = Problem::new(model, &vf, spec.horizon);
+    let target = profile.target(spec.class);
+    for m in levels {
+        let plan = balanced_for(problem, m, seed0 + m as u64);
+        let (row, _) = mlss_to_target(
+            problem,
+            plan,
+            DEFAULT_RATIO,
+            target,
+            seed0 + 100 + m as u64,
+        );
+        r.row(vec![
+            label.into(),
+            m.to_string(),
+            fmt_steps(row.steps),
+            format!("{:.2}", row.total_secs()),
+        ]);
+    }
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let mut r = Report::new("fig12_num_levels", &["panel", "levels", "steps", "secs"]);
+
+    let queue = TandemQueue::paper_default();
+    let cpp = CompoundPoisson::paper_default();
+
+    // Panels (1)-(2): Small queries, m = 2..5 (m = 1 equals SRS).
+    sweep(
+        &mut r,
+        "Queue/Small",
+        &queue,
+        queue2_score,
+        queue_specs()[1],
+        1..=5,
+        profile,
+        101_000,
+    );
+    sweep(
+        &mut r,
+        "CPP/Small",
+        &cpp,
+        surplus_score,
+        cpp_specs()[1],
+        1..=5,
+        profile,
+        102_000,
+    );
+    // Panels (3)-(4): Tiny queries, m = 2..8.
+    sweep(
+        &mut r,
+        "Queue/Tiny",
+        &queue,
+        queue2_score,
+        queue_specs()[2],
+        2..=8,
+        profile,
+        103_000,
+    );
+    sweep(
+        &mut r,
+        "CPP/Tiny",
+        &cpp,
+        surplus_score,
+        cpp_specs()[2],
+        2..=8,
+        profile,
+        104_000,
+    );
+    r.emit();
+    println!("(r = 3; the m = 1 rows are the SRS baseline)");
+}

@@ -1,0 +1,147 @@
+//! Figure 13: effectiveness of the adaptive greedy partition strategy —
+//! running time (as a ratio to SRS) of MLSS-BAL (pre-tuned balanced
+//! plans, search not charged) vs MLSS-G (greedy, search overhead charged
+//! and broken out), across Queue, CPP, and RNN models.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin fig13_greedy_smlss [--full]`
+
+use mlss_bench::rnn::trained_rnn;
+use mlss_bench::settings::{cpp_specs, default_levels, queue_specs, rnn_specs};
+use mlss_bench::{
+    balanced_for, fmt_steps, mlss_to_target, srs_to_target, Profile, Report, DEFAULT_RATIO,
+};
+use mlss_core::partition::{GreedyConfig, GreedyPartition};
+use mlss_core::prelude::*;
+use mlss_models::{queue2_score, surplus_score, CompoundPoisson, TandemQueue};
+use mlss_nn::rnn_price_score;
+
+fn bench<M, Z>(
+    r: &mut Report,
+    label: &str,
+    model: &M,
+    score: Z,
+    specs: &[mlss_bench::QuerySpec],
+    profile: Profile,
+    trial_budget: u64,
+    seed0: u64,
+) where
+    M: SimulationModel,
+    Z: StateScore<M::State> + Copy,
+{
+    for spec in specs {
+        let vf = RatioValue::new(score, spec.beta);
+        let problem = Problem::new(model, &vf, spec.horizon);
+        let target = profile.target(spec.class);
+        let q = format!("{label}/{}", spec.class.name());
+        eprintln!("running {q} ...");
+
+        // SRS baseline.
+        let srs = srs_to_target(problem, target, seed0 + spec.beta as u64);
+        r.row(vec![
+            q.clone(),
+            "SRS".into(),
+            fmt_steps(srs.steps),
+            "0".into(),
+            format!("{:.2}", srs.total_secs()),
+            "1.00".into(),
+        ]);
+
+        // MLSS-BAL: pre-tuned balanced plan, tuning not charged.
+        let plan = balanced_for(problem, default_levels(spec.class), seed0 + 1);
+        let (bal, _) =
+            mlss_to_target(problem, plan, DEFAULT_RATIO, target, seed0 + 2);
+        r.row(vec![
+            q.clone(),
+            "MLSS-BAL".into(),
+            fmt_steps(bal.steps),
+            "0".into(),
+            format!("{:.2}", bal.total_secs()),
+            format!("{:.2}", bal.total_secs() / srs.total_secs().max(1e-9)),
+        ]);
+
+        // MLSS-G: greedy search (charged) + final run under the found plan.
+        let driver = GreedyPartition::new(GreedyConfig {
+            ratio: DEFAULT_RATIO,
+            trial_budget,
+            candidates_per_round: 4,
+            max_rounds: 7,
+        });
+        let search_t0 = std::time::Instant::now();
+        let outcome = driver.search(problem, &mut rng_from_seed(seed0 + 3));
+        let search_secs = search_t0.elapsed().as_secs_f64();
+        let (g, _) = mlss_to_target(
+            problem,
+            outcome.plan.clone(),
+            DEFAULT_RATIO,
+            target,
+            seed0 + 4,
+        );
+        let total = g.total_secs() + search_secs;
+        r.row(vec![
+            q,
+            "MLSS-G".into(),
+            fmt_steps(g.steps),
+            fmt_steps(outcome.search_steps),
+            format!("{total:.2}"),
+            format!("{:.2}", total / srs.total_secs().max(1e-9)),
+        ]);
+    }
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let trial_budget = match profile {
+        Profile::Quick => 60_000,
+        Profile::Full => 200_000,
+    };
+    let mut r = Report::new(
+        "fig13_greedy_smlss",
+        &[
+            "query",
+            "method",
+            "steps",
+            "search_steps",
+            "total_secs",
+            "time_ratio_vs_srs",
+        ],
+    );
+
+    let queue = TandemQueue::paper_default();
+    bench(
+        &mut r,
+        "Queue",
+        &queue,
+        queue2_score,
+        &queue_specs(),
+        profile,
+        trial_budget,
+        111_000,
+    );
+    let cpp = CompoundPoisson::paper_default();
+    bench(
+        &mut r,
+        "CPP",
+        &cpp,
+        surplus_score,
+        &cpp_specs(),
+        profile,
+        trial_budget,
+        112_000,
+    );
+    let (rnn, _) = trained_rnn(match profile {
+        Profile::Quick => 30,
+        Profile::Full => 100,
+    });
+    bench(
+        &mut r,
+        "RNN",
+        &rnn,
+        rnn_price_score,
+        &rnn_specs(rnn.initial_price),
+        profile,
+        trial_budget / 4,
+        113_000,
+    );
+
+    r.emit();
+}

@@ -1,0 +1,154 @@
+//! Figure 14: greedy level partitions with g-MLSS on volatile processes —
+//! SRS vs pre-tuned MLSS-BAL vs fully automated MLSS-G, with bootstrap
+//! variance evaluation charged (the paper's green bars) and greedy search
+//! overhead charged for MLSS-G.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin fig14_greedy_gmlss [--full]`
+
+use mlss_bench::settings::{volatile_cpp_specs, volatile_queue_specs};
+use mlss_bench::{fmt_steps, srs_to_target, Profile, Report, DEFAULT_RATIO};
+use mlss_core::gmlss::VarianceMode;
+use mlss_core::partition::{GreedyConfig, GreedyPartition};
+use mlss_core::prelude::*;
+use mlss_models::{
+    queue2_score, surplus_score, volatile_cpp, volatile_queue, CompoundPoisson, TandemQueue,
+};
+
+fn run_gmlss<M, V>(
+    problem: Problem<'_, M, V>,
+    plan: PartitionPlan,
+    target: QualityTarget,
+    seed: u64,
+) -> (f64, f64, u64, f64)
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    let control = RunControl::Target {
+        target,
+        check_every: 256,
+        max_steps: mlss_bench::runners::MAX_STEPS,
+    };
+    let cfg = GMlssConfig::new(plan, control)
+        .with_ratio(DEFAULT_RATIO)
+        .with_variance(VarianceMode::Bootstrap);
+    let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed));
+    (
+        res.estimate.tau,
+        res.sim_elapsed.as_secs_f64() + res.bootstrap_elapsed.as_secs_f64(),
+        res.estimate.steps,
+        res.bootstrap_elapsed.as_secs_f64(),
+    )
+}
+
+fn bench<M, Z>(
+    r: &mut Report,
+    label: &str,
+    model: &M,
+    score: Z,
+    specs: &[mlss_bench::QuerySpec],
+    profile: Profile,
+    seed0: u64,
+) where
+    M: SimulationModel,
+    Z: StateScore<M::State> + Copy,
+{
+    for spec in specs {
+        let vf = RatioValue::new(score, spec.beta);
+        let problem = Problem::new(model, &vf, spec.horizon);
+        let target = profile.target(spec.class);
+        let q = format!("{label}/{}", spec.class.name());
+        eprintln!("running {q} ...");
+
+        let srs = srs_to_target(problem, target, seed0 + spec.beta as u64);
+        r.row(vec![
+            q.clone(),
+            "SRS".into(),
+            fmt_steps(srs.steps),
+            format!("{:.2}", srs.total_secs()),
+            "0.00".into(),
+            "1.00".into(),
+        ]);
+
+        // MLSS-BAL: uniform 6-level plan as the pre-tuned yardstick for
+        // skipping processes (balanced tail fits are unreliable under
+        // impulse mixtures).
+        let (_, bal_secs, bal_steps, bal_boot) = run_gmlss(
+            problem,
+            PartitionPlan::uniform(6),
+            target,
+            seed0 + 2,
+        );
+        r.row(vec![
+            q.clone(),
+            "MLSS-BAL".into(),
+            fmt_steps(bal_steps),
+            format!("{bal_secs:.2}"),
+            format!("{bal_boot:.2}"),
+            format!("{:.2}", bal_secs / srs.total_secs().max(1e-9)),
+        ]);
+
+        let trial_budget = match profile {
+            Profile::Quick => 60_000,
+            Profile::Full => 200_000,
+        };
+        let driver = GreedyPartition::new(GreedyConfig {
+            ratio: DEFAULT_RATIO,
+            trial_budget,
+            candidates_per_round: 4,
+            max_rounds: 6,
+        });
+        let t0 = std::time::Instant::now();
+        let outcome = driver.search(problem, &mut rng_from_seed(seed0 + 3));
+        let search_secs = t0.elapsed().as_secs_f64();
+        let (_, g_secs, g_steps, g_boot) =
+            run_gmlss(problem, outcome.plan.clone(), target, seed0 + 4);
+        let total = g_secs + search_secs;
+        r.row(vec![
+            q,
+            "MLSS-G".into(),
+            fmt_steps(g_steps + outcome.search_steps),
+            format!("{total:.2}"),
+            format!("{g_boot:.2}"),
+            format!("{:.2}", total / srs.total_secs().max(1e-9)),
+        ]);
+    }
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let mut r = Report::new(
+        "fig14_greedy_gmlss",
+        &[
+            "query",
+            "method",
+            "steps",
+            "total_secs",
+            "bootstrap_secs",
+            "time_ratio_vs_srs",
+        ],
+    );
+
+    let vq = volatile_queue(TandemQueue::paper_default(), 500);
+    bench(
+        &mut r,
+        "VolQueue",
+        &vq,
+        queue2_score,
+        &volatile_queue_specs(),
+        profile,
+        121_000,
+    );
+    let vc = volatile_cpp(CompoundPoisson::zero_drift_default(), 500);
+    bench(
+        &mut r,
+        "VolCPP",
+        &vc,
+        surplus_score,
+        &volatile_cpp_specs(),
+        profile,
+        122_000,
+    );
+
+    r.emit();
+}

@@ -1,0 +1,53 @@
+//! Figure 6: query efficiency on the Queue model — total simulation steps
+//! and wall time for SRS vs MLSS across query types.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin fig6_queue_efficiency [--full]`
+
+use mlss_bench::settings::{default_levels, queue_specs};
+use mlss_bench::{
+    balanced_for, fmt_prob, fmt_steps, mlss_to_target, srs_to_target, Profile, Report,
+    DEFAULT_RATIO,
+};
+use mlss_core::prelude::*;
+use mlss_models::{queue2_score, TandemQueue};
+
+fn main() {
+    let profile = Profile::from_args();
+    let model = TandemQueue::paper_default();
+    let mut r = Report::new(
+        "fig6_queue_efficiency",
+        &[
+            "query", "sampler", "tau", "steps", "secs", "speedup_steps", "speedup_time",
+        ],
+    );
+
+    for spec in queue_specs() {
+        let vf = RatioValue::new(queue2_score, spec.beta);
+        let problem = Problem::new(&model, &vf, spec.horizon);
+        let target = profile.target(spec.class);
+
+        let srs = srs_to_target(problem, target, 31 + spec.beta as u64);
+        let plan = balanced_for(problem, default_levels(spec.class), 77 + spec.beta as u64);
+        let (mlss, _) = mlss_to_target(problem, plan, DEFAULT_RATIO, target, 41 + spec.beta as u64);
+
+        r.row(vec![
+            spec.class.name().into(),
+            "SRS".into(),
+            fmt_prob(srs.tau),
+            fmt_steps(srs.steps),
+            format!("{:.2}", srs.total_secs()),
+            "1.0".into(),
+            "1.0".into(),
+        ]);
+        r.row(vec![
+            spec.class.name().into(),
+            "MLSS".into(),
+            fmt_prob(mlss.tau),
+            fmt_steps(mlss.steps),
+            format!("{:.2}", mlss.total_secs()),
+            format!("{:.1}x", srs.steps as f64 / mlss.steps as f64),
+            format!("{:.1}x", srs.total_secs() / mlss.total_secs().max(1e-9)),
+        ]);
+    }
+    r.emit();
+}

@@ -1,0 +1,54 @@
+//! Figure 7: query efficiency on the CPP model — total simulation steps
+//! and wall time for SRS vs MLSS across query types.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin fig7_cpp_efficiency [--full]`
+
+use mlss_bench::settings::{cpp_specs, default_levels};
+use mlss_bench::{
+    balanced_for, fmt_prob, fmt_steps, mlss_to_target, srs_to_target, Profile, Report,
+    DEFAULT_RATIO,
+};
+use mlss_core::prelude::*;
+use mlss_models::{surplus_score, CompoundPoisson};
+
+fn main() {
+    let profile = Profile::from_args();
+    let model = CompoundPoisson::paper_default();
+    let mut r = Report::new(
+        "fig7_cpp_efficiency",
+        &[
+            "query", "sampler", "tau", "steps", "secs", "speedup_steps", "speedup_time",
+        ],
+    );
+
+    for spec in cpp_specs() {
+        let vf = RatioValue::new(surplus_score, spec.beta);
+        let problem = Problem::new(&model, &vf, spec.horizon);
+        let target = profile.target(spec.class);
+
+        let srs = srs_to_target(problem, target, 131 + spec.beta as u64);
+        let plan = balanced_for(problem, default_levels(spec.class), 177 + spec.beta as u64);
+        let (mlss, _) =
+            mlss_to_target(problem, plan, DEFAULT_RATIO, target, 141 + spec.beta as u64);
+
+        r.row(vec![
+            spec.class.name().into(),
+            "SRS".into(),
+            fmt_prob(srs.tau),
+            fmt_steps(srs.steps),
+            format!("{:.2}", srs.total_secs()),
+            "1.0".into(),
+            "1.0".into(),
+        ]);
+        r.row(vec![
+            spec.class.name().into(),
+            "MLSS".into(),
+            fmt_prob(mlss.tau),
+            fmt_steps(mlss.steps),
+            format!("{:.2}", mlss.total_secs()),
+            format!("{:.1}x", srs.steps as f64 / mlss.steps as f64),
+            format!("{:.1}x", srs.total_secs() / mlss.total_secs().max(1e-9)),
+        ]);
+    }
+    r.emit();
+}

@@ -1,0 +1,98 @@
+//! Figure 9: g-MLSS query efficiency on volatile processes — total query
+//! time vs SRS, with the bootstrap-evaluation share broken out (the
+//! green bars of the paper's plot).
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin fig9_gmlss_efficiency [--full]`
+
+use mlss_bench::settings::{volatile_cpp_specs, volatile_queue_specs};
+use mlss_bench::{fmt_prob, fmt_steps, srs_to_target, Profile, Report, DEFAULT_RATIO};
+use mlss_core::gmlss::VarianceMode;
+use mlss_core::prelude::*;
+use mlss_models::{
+    queue2_score, surplus_score, volatile_cpp, volatile_queue, CompoundPoisson, TandemQueue,
+};
+
+fn bench<M, Z>(
+    r: &mut Report,
+    label: &str,
+    model: &M,
+    score: Z,
+    specs: &[mlss_bench::QuerySpec],
+    profile: Profile,
+    seed0: u64,
+) where
+    M: SimulationModel,
+    Z: StateScore<M::State> + Copy,
+{
+    for spec in specs {
+        let vf = RatioValue::new(score, spec.beta);
+        let problem = Problem::new(model, &vf, spec.horizon);
+        let target = profile.target(spec.class);
+
+        let srs = srs_to_target(problem, target, seed0 + spec.beta as u64);
+
+        let control = RunControl::Target {
+            target,
+            check_every: 256,
+            max_steps: mlss_bench::runners::MAX_STEPS,
+        };
+        let cfg = GMlssConfig::new(PartitionPlan::uniform(6), control)
+            .with_ratio(DEFAULT_RATIO)
+            .with_variance(VarianceMode::Bootstrap);
+        let g = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed0 + 7));
+
+        r.row(vec![
+            format!("{label} {}", spec.class.name()),
+            "SRS".into(),
+            fmt_prob(srs.tau),
+            fmt_steps(srs.steps),
+            format!("{:.2}", srs.total_secs()),
+            "0.00".into(),
+            "1.0".into(),
+        ]);
+        let g_total = g.sim_elapsed.as_secs_f64() + g.bootstrap_elapsed.as_secs_f64();
+        r.row(vec![
+            format!("{label} {}", spec.class.name()),
+            "g-MLSS".into(),
+            fmt_prob(g.estimate.tau),
+            fmt_steps(g.estimate.steps),
+            format!("{g_total:.2}"),
+            format!("{:.2}", g.bootstrap_elapsed.as_secs_f64()),
+            format!("{:.1}x", srs.total_secs() / g_total.max(1e-9)),
+        ]);
+    }
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let mut r = Report::new(
+        "fig9_gmlss_efficiency",
+        &[
+            "query", "sampler", "tau", "steps", "total_secs", "bootstrap_secs", "speedup",
+        ],
+    );
+
+    let vq = volatile_queue(TandemQueue::paper_default(), 500);
+    bench(
+        &mut r,
+        "VolQueue",
+        &vq,
+        queue2_score,
+        &volatile_queue_specs(),
+        profile,
+        71_000,
+    );
+
+    let vc = volatile_cpp(CompoundPoisson::zero_drift_default(), 500);
+    bench(
+        &mut r,
+        "VolCPP",
+        &vc,
+        surplus_score,
+        &volatile_cpp_specs(),
+        profile,
+        72_000,
+    );
+
+    r.emit();
+}

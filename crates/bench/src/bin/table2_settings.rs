@@ -1,0 +1,30 @@
+//! Table 2 analogue: query settings on the different models, plus the
+//! calibrated ground-truth probability band each `(s, β)` lands in.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin table2_settings`
+
+use mlss_bench::settings::{cpp_specs, queue_specs, volatile_cpp_specs, volatile_queue_specs};
+use mlss_bench::Report;
+
+fn main() {
+    let mut r = Report::new("table2_settings", &["model", "class", "s", "beta"]);
+    for (label, specs) in [
+        ("Queue", queue_specs()),
+        ("CPP", cpp_specs()),
+        ("Volatile Queue", volatile_queue_specs()),
+        ("Volatile CPP", volatile_cpp_specs()),
+    ] {
+        for spec in specs {
+            r.row(vec![
+                label.to_string(),
+                spec.class.name().to_string(),
+                spec.horizon.to_string(),
+                format!("{}", spec.beta),
+            ]);
+        }
+    }
+    // The RNN thresholds are multiples of the trained model's initial
+    // price; see `table5_rnn` which prints them after training.
+    r.emit();
+    println!("(RNN thresholds are derived from the trained model — see table5_rnn)");
+}

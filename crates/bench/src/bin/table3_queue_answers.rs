@@ -1,0 +1,46 @@
+//! Table 3: query answer comparisons on the Queue model — SRS vs MLSS
+//! averaged over repeated runs with standard deviation, demonstrating
+//! MLSS's unbiasedness.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin table3_queue_answers [--full]`
+
+use mlss_bench::settings::{default_levels, queue_specs};
+use mlss_bench::{balanced_for, fmt_prob, mean_std, mlss_to_target, srs_to_target, Profile, Report, DEFAULT_RATIO};
+use mlss_core::prelude::*;
+use mlss_models::{queue2_score, TandemQueue};
+
+fn main() {
+    let profile = Profile::from_args();
+    let reps = profile.repetitions();
+    let model = TandemQueue::paper_default();
+    let mut r = Report::new(
+        "table3_queue_answers",
+        &["query", "SRS", "MLSS"],
+    );
+
+    for spec in queue_specs() {
+        let vf = RatioValue::new(queue2_score, spec.beta);
+        let problem = Problem::new(&model, &vf, spec.horizon);
+        let target = profile.target(spec.class);
+        let plan = balanced_for(problem, default_levels(spec.class), 9000 + spec.beta as u64);
+
+        let mut srs_taus = Vec::with_capacity(reps);
+        let mut mlss_taus = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let seed = 1000 + rep as u64;
+            srs_taus.push(srs_to_target(problem, target, seed).tau);
+            let (row, _) =
+                mlss_to_target(problem, plan.clone(), DEFAULT_RATIO, target, seed ^ 0xA5A5);
+            mlss_taus.push(row.tau);
+        }
+        let (sm, ss) = mean_std(&srs_taus);
+        let (mm, ms) = mean_std(&mlss_taus);
+        r.row(vec![
+            spec.class.name().to_string(),
+            format!("{} ± {}", fmt_prob(sm), fmt_prob(ss)),
+            format!("{} ± {}", fmt_prob(mm), fmt_prob(ms)),
+        ]);
+    }
+    r.emit();
+    println!("({reps} runs per cell; targets per §6 scaled by profile)");
+}

@@ -1,0 +1,68 @@
+//! Table 5: query performance on the RNN (LSTM-MDN) model — single-run
+//! answer, wall time, and step counts for SRS vs MLSS on Small and Tiny
+//! queries.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin table5_rnn [--full]`
+
+use mlss_bench::rnn::trained_rnn;
+use mlss_bench::settings::{default_levels, rnn_specs};
+use mlss_bench::{
+    balanced_for, fmt_prob, fmt_steps, mlss_to_target, srs_to_target, Profile, Report,
+    DEFAULT_RATIO,
+};
+use mlss_core::prelude::*;
+use mlss_core::quality::QualityTarget;
+use mlss_nn::rnn_price_score;
+
+fn main() {
+    let profile = Profile::from_args();
+    let epochs = match profile {
+        Profile::Quick => 30,
+        Profile::Full => 100,
+    };
+    eprintln!("training LSTM-MDN ({epochs} epochs)...");
+    let t0 = std::time::Instant::now();
+    let (model, report) = trained_rnn(epochs);
+    eprintln!(
+        "trained in {:.1}s, final NLL {:.3}, start price {:.1}",
+        t0.elapsed().as_secs_f64(),
+        report.final_nll(),
+        model.initial_price
+    );
+
+    // Table 5 uses RE for both classes (the paper's step counts imply
+    // ≈10% RE); quick mode loosens to 25%.
+    let re = match profile {
+        Profile::Quick => 0.25,
+        Profile::Full => 0.10,
+    };
+    let target = QualityTarget::RelativeError {
+        target: re,
+        reference: None,
+    };
+
+    let mut r = Report::new(
+        "table5_rnn",
+        &["query", "beta", "sampler", "tau", "steps", "secs"],
+    );
+    for spec in rnn_specs(model.initial_price) {
+        let vf = RatioValue::new(rnn_price_score, spec.beta);
+        let problem = Problem::new(&model, &vf, spec.horizon);
+
+        let srs = srs_to_target(problem, target, 51 + spec.horizon);
+        let plan = balanced_for(problem, default_levels(spec.class), 57 + spec.horizon);
+        let (mlss, _) = mlss_to_target(problem, plan, DEFAULT_RATIO, target, 61 + spec.horizon);
+
+        for (name, row) in [("SRS", srs), ("MLSS", mlss)] {
+            r.row(vec![
+                spec.class.name().into(),
+                format!("{:.0}", spec.beta),
+                name.into(),
+                fmt_prob(row.tau),
+                fmt_steps(row.steps),
+                format!("{:.2}", row.total_secs()),
+            ]);
+        }
+    }
+    r.emit();
+}

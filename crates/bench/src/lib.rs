@@ -1,0 +1,23 @@
+//! # mlss-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`), shared settings ([`settings`]), drivers ([`runners`]),
+//! and reporting ([`report`]). Criterion micro-benchmarks live in
+//! `benches/`.
+//!
+//! Every binary accepts `--full` for paper-scale quality targets and
+//! repetitions; the default `Quick` profile regenerates each artifact in
+//! seconds-to-minutes. Output goes to stdout and `results/*.csv`.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod rnn;
+pub mod runners;
+pub mod settings;
+
+pub use report::{fmt_prob, fmt_steps, Report};
+pub use runners::{
+    balanced_for, mean_std, mlss_budget, mlss_to_target, srs_budget, srs_to_target, RunRow,
+};
+pub use settings::{Profile, QueryClass, QuerySpec, DEFAULT_RATIO};

@@ -1,0 +1,157 @@
+//! Console tables and CSV output for the experiment binaries.
+//!
+//! Every binary prints an aligned text table (the paper's rows/series)
+//! and mirrors it into `results/<name>.csv` for plotting.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple aligned-text + CSV table writer.
+pub struct Report {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// New report with column headers.
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and write `results/<name>.csv`.
+    pub fn emit(&self) {
+        println!("\n== {} ==", self.name);
+        print!("{}", self.render());
+        if let Err(e) = self.write_csv() {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+
+    /// Write the CSV mirror.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let quoted: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') {
+                        format!("\"{c}\"")
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", quoted.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Results directory: `$MLSS_RESULTS_DIR` or `results/` under the CWD.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MLSS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Format a probability compactly (e.g. `17.2%`, `0.15%`, `3.1e-4`).
+pub fn fmt_prob(p: f64) -> String {
+    if p >= 0.001 {
+        format!("{:.2}%", p * 100.0)
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+/// Format a step count with thousands separators.
+pub fn fmt_steps(steps: u64) -> String {
+    let s = steps.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", &["a", "long_header"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["100".into(), "2000".into()]);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn prob_formatting() {
+        assert_eq!(fmt_prob(0.172), "17.20%");
+        assert_eq!(fmt_prob(0.0015), "0.15%");
+        assert!(fmt_prob(0.0003).contains("e-4"));
+    }
+
+    #[test]
+    fn step_formatting() {
+        assert_eq!(fmt_steps(1234567), "1,234,567");
+        assert_eq!(fmt_steps(42), "42");
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared RNN-model setup for the experiment binaries.
+//!
+//! Trains the LSTM-MDN stock simulator on the seeded synthetic
+//! "GOOG 2015-2020" daily series (DESIGN.md, substitution 1) with a
+//! fixed seed, so every binary sees the same black-box model.
+
+use mlss_core::rng::rng_from_seed;
+use mlss_models::synthetic_price_series;
+use mlss_nn::{NetConfig, RnnStockModel, TrainingReport};
+
+/// Seed for the synthetic training series (5 trading years ≈ 1259 days).
+pub const SERIES_SEED: u64 = 2015;
+
+/// Seed for network initialization and training.
+pub const TRAIN_SEED: u64 = 7001;
+
+/// Train the shared RNN model. `epochs` scales training effort (the
+/// paper trains 100 epochs; 60 is the library default and plenty for the
+/// 1-layer net).
+pub fn trained_rnn(epochs: usize) -> (RnnStockModel, TrainingReport) {
+    let prices = synthetic_price_series(1259, &mut rng_from_seed(SERIES_SEED));
+    let cfg = NetConfig {
+        epochs,
+        ..NetConfig::default()
+    };
+    RnnStockModel::train_on_prices(&prices, &cfg, &mut rng_from_seed(TRAIN_SEED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_is_deterministic() {
+        let (a, _) = trained_rnn(2);
+        let (b, _) = trained_rnn(2);
+        assert_eq!(a.initial_price, b.initial_price);
+        assert_eq!(a.scale, b.scale);
+    }
+}

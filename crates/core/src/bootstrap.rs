@@ -1,0 +1,311 @@
+//! Bootstrap variance estimation for g-MLSS (§4.2).
+//!
+//! The g-MLSS estimator has no closed-form variance in general. Following
+//! the paper, we resample root paths with replacement, recompute the
+//! estimator (Eq. 9-10) on each bootstrap sample, and take the empirical
+//! variance of the bootstrap estimates. The [`RootLedger`] stores the
+//! per-root counters that make each replay a pure fold — no re-simulation.
+
+use crate::gmlss::estimator;
+use crate::rng::SimRng;
+use rand::RngExt;
+
+/// Per-root counter storage: a flat arena with one fixed-size record per
+/// root path, holding level landings, offspring crossings, skip counts,
+/// and target hits.
+#[derive(Debug, Clone)]
+pub struct RootLedger {
+    m: usize,
+    stride: usize,
+    data: Vec<u32>,
+    /// Scratch record for the root currently being simulated.
+    cur: Vec<u32>,
+    n_roots: usize,
+}
+
+/// Aggregate counters over a set of roots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregates {
+    /// `|H_i|` per level (index = level).
+    pub landings: Vec<u64>,
+    /// Offspring boundary crossings per level.
+    pub crossings: Vec<u64>,
+    /// `n_skip_i` per level.
+    pub skips: Vec<u64>,
+    /// Target hits.
+    pub hits: u64,
+}
+
+impl RootLedger {
+    /// New ledger for plans with `m` levels.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1);
+        let stride = 3 * m + 1;
+        Self {
+            m,
+            stride,
+            data: Vec::new(),
+            cur: vec![0; stride],
+            n_roots: 0,
+        }
+    }
+
+    /// Number of levels `m` this ledger was built for.
+    pub fn num_levels(&self) -> usize {
+        self.m
+    }
+
+    /// Number of committed roots.
+    pub fn n_roots(&self) -> usize {
+        self.n_roots
+    }
+
+    /// Record a landing in level `lvl` for the in-flight root.
+    pub fn bump_landing(&mut self, lvl: usize) {
+        debug_assert!(lvl < self.m);
+        self.cur[lvl] += 1;
+    }
+
+    /// Record offspring crossings for a split at level `lvl`.
+    pub fn add_crossings(&mut self, lvl: usize, n: u32) {
+        debug_assert!(lvl < self.m);
+        self.cur[self.m + lvl] += n;
+    }
+
+    /// Record a level skip over level `lvl`.
+    pub fn bump_skip(&mut self, lvl: usize) {
+        debug_assert!(lvl < self.m);
+        self.cur[2 * self.m + lvl] += 1;
+    }
+
+    /// Finalize the in-flight root with its target-hit count.
+    pub fn commit_root(&mut self, hits: u32) {
+        self.cur[3 * self.m] = hits;
+        self.data.extend_from_slice(&self.cur);
+        self.cur.fill(0);
+        self.n_roots += 1;
+    }
+
+    /// Raw record of root `i`.
+    fn record(&self, i: usize) -> &[u32] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Fold root `i` into running aggregate arrays.
+    fn fold_into(
+        &self,
+        i: usize,
+        landings: &mut [u64],
+        crossings: &mut [u64],
+        skips: &mut [u64],
+        hits: &mut u64,
+    ) {
+        let rec = self.record(i);
+        for l in 0..self.m {
+            landings[l] += rec[l] as u64;
+            crossings[l] += rec[self.m + l] as u64;
+            skips[l] += rec[2 * self.m + l] as u64;
+        }
+        *hits += rec[3 * self.m] as u64;
+    }
+
+    /// Aggregate over all committed roots.
+    pub fn aggregate(&self) -> Aggregates {
+        let mut landings = vec![0u64; self.m];
+        let mut crossings = vec![0u64; self.m];
+        let mut skips = vec![0u64; self.m];
+        let mut hits = 0u64;
+        for i in 0..self.n_roots {
+            self.fold_into(i, &mut landings, &mut crossings, &mut skips, &mut hits);
+        }
+        Aggregates {
+            landings,
+            crossings,
+            skips,
+            hits,
+        }
+    }
+
+    /// Target hits recorded for root `i`.
+    pub fn root_hits(&self, i: usize) -> u32 {
+        self.record(i)[3 * self.m]
+    }
+
+    /// Absorb another ledger's committed roots (parallel reduction).
+    pub fn merge(&mut self, other: &RootLedger) {
+        assert_eq!(self.m, other.m, "ledger level counts must match");
+        self.data.extend_from_slice(&other.data);
+        self.n_roots += other.n_roots;
+    }
+
+    /// The g-MLSS estimate computed over an arbitrary multiset of roots
+    /// (given by index). Used by the bootstrap and by partial-sample
+    /// analyses.
+    pub fn estimate_over(&self, roots: &[usize], ratio: u32) -> f64 {
+        let n = roots.len() as u64;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut landings = vec![0u64; self.m];
+        let mut crossings = vec![0u64; self.m];
+        let mut skips = vec![0u64; self.m];
+        let mut hits = 0u64;
+        for &i in roots {
+            self.fold_into(i, &mut landings, &mut crossings, &mut skips, &mut hits);
+        }
+        if self.m == 1 {
+            return hits as f64 / n as f64;
+        }
+        estimator(self.m, ratio, n, &landings, &crossings, &skips).0
+    }
+}
+
+/// One bootstrap evaluation: `resamples` independent with-replacement
+/// redraws of the root pool, returning the empirical variance of the
+/// bootstrap estimates `Σ (τ̂_b − τ̄)² / N` (§4.2).
+pub fn bootstrap_variance(
+    ledger: &RootLedger,
+    resamples: usize,
+    ratio: u32,
+    rng: &mut SimRng,
+) -> f64 {
+    let n = ledger.n_roots();
+    if n < 2 {
+        return f64::INFINITY;
+    }
+    let mut estimates = Vec::with_capacity(resamples);
+    let mut idx = vec![0usize; n];
+    for _ in 0..resamples {
+        for slot in idx.iter_mut() {
+            *slot = rng.random_range(0..n);
+        }
+        estimates.push(ledger.estimate_over(&idx, ratio));
+    }
+    let mean = estimates.iter().sum::<f64>() / resamples as f64;
+    estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / resamples as f64
+}
+
+/// Bootstrap percentile confidence interval (an extra the paper's users
+/// would want alongside the variance).
+pub fn bootstrap_percentile_ci(
+    ledger: &RootLedger,
+    resamples: usize,
+    ratio: u32,
+    confidence: f64,
+    rng: &mut SimRng,
+) -> (f64, f64) {
+    assert!(confidence > 0.0 && confidence < 1.0);
+    let n = ledger.n_roots();
+    if n < 2 {
+        return (0.0, 1.0);
+    }
+    let mut estimates = Vec::with_capacity(resamples);
+    let mut idx = vec![0usize; n];
+    for _ in 0..resamples {
+        for slot in idx.iter_mut() {
+            *slot = rng.random_range(0..n);
+        }
+        estimates.push(ledger.estimate_over(&idx, ratio));
+    }
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+    let alpha = 1.0 - confidence;
+    let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
+        .min(resamples)
+        .saturating_sub(1);
+    (estimates[lo_idx], estimates[hi_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    /// Ledger where each root either hits (all counters on a straight-line
+    /// two-level pass) or misses entirely.
+    fn two_level_ledger(hits: usize, misses: usize) -> RootLedger {
+        let mut ledger = RootLedger::new(2);
+        for _ in 0..hits {
+            ledger.bump_landing(1);
+            // All 3 offsprings cross the target boundary.
+            ledger.add_crossings(1, 3);
+            ledger.commit_root(3);
+        }
+        for _ in 0..misses {
+            ledger.commit_root(0);
+        }
+        ledger
+    }
+
+    #[test]
+    fn aggregate_sums_roots() {
+        let ledger = two_level_ledger(4, 6);
+        let agg = ledger.aggregate();
+        assert_eq!(agg.landings, vec![0, 4]);
+        assert_eq!(agg.crossings, vec![0, 12]);
+        assert_eq!(agg.skips, vec![0, 0]);
+        assert_eq!(agg.hits, 12);
+        assert_eq!(ledger.n_roots(), 10);
+    }
+
+    #[test]
+    fn estimate_over_full_pool_matches_closed_form() {
+        let ledger = two_level_ledger(4, 6);
+        let idx: Vec<usize> = (0..10).collect();
+        let tau = ledger.estimate_over(&idx, 3);
+        // π̂_1 = 4/10, π̂_2 = (12/3)/4 = 1 → τ̂ = 0.4.
+        assert!((tau - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_over_empty_is_zero() {
+        let ledger = two_level_ledger(1, 1);
+        assert_eq!(ledger.estimate_over(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_variance_close_to_binomial() {
+        // With deterministic per-root outcomes (hit ⇔ landed, all
+        // offsprings cross), the estimator over a resample is the sample
+        // fraction of hit-roots — variance should be ≈ p(1-p)/n.
+        let ledger = two_level_ledger(30, 70);
+        let mut rng = rng_from_seed(3);
+        let v = bootstrap_variance(&ledger, 4000, 3, &mut rng);
+        let expect = 0.3 * 0.7 / 100.0;
+        assert!(
+            (v - expect).abs() / expect < 0.15,
+            "bootstrap var {v} vs binomial {expect}"
+        );
+    }
+
+    #[test]
+    fn bootstrap_variance_degenerate_pool() {
+        let ledger = two_level_ledger(1, 0);
+        let mut rng = rng_from_seed(1);
+        assert!(bootstrap_variance(&ledger, 10, 3, &mut rng).is_infinite());
+    }
+
+    #[test]
+    fn percentile_ci_brackets_point_estimate() {
+        let ledger = two_level_ledger(30, 70);
+        let mut rng = rng_from_seed(9);
+        let (lo, hi) = bootstrap_percentile_ci(&ledger, 1000, 3, 0.95, &mut rng);
+        assert!(lo <= 0.4 && hi >= 0.3 - 0.1, "({lo}, {hi})");
+        assert!(lo < hi);
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn ledger_skip_accounting() {
+        let mut ledger = RootLedger::new(3);
+        ledger.bump_skip(1);
+        ledger.bump_skip(2);
+        ledger.commit_root(1);
+        let agg = ledger.aggregate();
+        assert_eq!(agg.skips, vec![0, 1, 1]);
+        assert_eq!(agg.hits, 1);
+        // τ̂ over the single skipping root: π̂_1 = (0+1)/1 = 1,
+        // π̂_2 = (0/3 + 1)/(0+1) = 1, π̂_3 = (0/3 + 1)/(0+1) = 1 → τ̂ = 1.
+        assert!((ledger.estimate_over(&[0], 3) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! Split-tree tracing — the anatomy of one MLSS root path (Figure 1).
+//!
+//! [`trace_root_tree`] replays the g-MLSS splitting procedure on a single
+//! root path while recording every segment: its parent, level, time span,
+//! value trace, and outcome. Examples and `mlss-db` materialize these
+//! traces so users can inspect the "possible worlds" behind an estimate —
+//! the interpretability by-product §2.2 argues for.
+
+use crate::levels::PartitionPlan;
+use crate::model::{SimulationModel, Time};
+use crate::query::{Problem, ValueFunction};
+use crate::rng::SimRng;
+
+/// Why a traced segment stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// Landed in a higher level and split into offsprings.
+    Split,
+    /// Reached the target level (query satisfied).
+    Hit,
+    /// Ran to the horizon without advancing.
+    Horizon,
+}
+
+/// One traced path segment.
+#[derive(Debug, Clone)]
+pub struct TracedSegment {
+    /// Index of the parent segment, `None` for the root.
+    pub parent: Option<usize>,
+    /// Level of the split that spawned this segment (0 for the root).
+    pub level: usize,
+    /// Time at which the segment started.
+    pub start: Time,
+    /// `(t, f(x_t))` points along the segment, starting after `start`.
+    pub points: Vec<(Time, f64)>,
+    /// How the segment ended.
+    pub outcome: SegmentOutcome,
+}
+
+/// A traced split tree of one root path.
+#[derive(Debug, Clone)]
+pub struct SplitTree {
+    /// All segments in creation order; index 0 is the root.
+    pub segments: Vec<TracedSegment>,
+    /// Number of target hits in the tree.
+    pub hits: u64,
+    /// Total `g` invocations spent.
+    pub steps: u64,
+}
+
+impl SplitTree {
+    /// Depth of the tree in split generations.
+    pub fn depth(&self) -> usize {
+        self.segments.iter().map(|s| s.level).max().unwrap_or(0)
+    }
+
+    /// Render an indented text sketch of the tree (used by the
+    /// `split_tree` example and the `fig1_tree` binary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, idx: usize, indent: usize, out: &mut String) {
+        let seg = &self.segments[idx];
+        let end = seg.points.last().map(|p| p.0).unwrap_or(seg.start);
+        let peak = seg
+            .points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&format!(
+            "L{} [t{}..t{}] peak f={:.3} → {:?}\n",
+            seg.level,
+            seg.start,
+            end,
+            if peak.is_finite() { peak } else { 0.0 },
+            seg.outcome
+        ));
+        for (i, s) in self.segments.iter().enumerate() {
+            if s.parent == Some(idx) {
+                self.render_node(i, indent + 1, out);
+            }
+        }
+    }
+}
+
+/// Trace the full splitting tree of one root path under `plan`/`ratio`.
+pub fn trace_root_tree<M, V>(
+    problem: Problem<'_, M, V>,
+    plan: &PartitionPlan,
+    ratio: u32,
+    rng: &mut SimRng,
+) -> SplitTree
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    let m = plan.num_levels();
+    let mut segments: Vec<TracedSegment> = Vec::new();
+    let mut hits = 0u64;
+    let mut steps = 0u64;
+
+    struct Work<S> {
+        state: S,
+        t: Time,
+        crossed_max: usize,
+        parent: Option<usize>,
+        level: usize,
+    }
+
+    let init = problem.model.initial_state();
+    let init_level = plan.level_of(problem.value(&init)).min(m - 1);
+    let mut stack = vec![Work {
+        state: init,
+        t: 0,
+        crossed_max: init_level,
+        parent: None,
+        level: init_level,
+    }];
+
+    while let Some(w) = stack.pop() {
+        let seg_idx = segments.len();
+        segments.push(TracedSegment {
+            parent: w.parent,
+            level: w.level,
+            start: w.t,
+            points: Vec::new(),
+            outcome: SegmentOutcome::Horizon,
+        });
+
+        let mut state = w.state;
+        for t in (w.t + 1)..=problem.horizon {
+            state = problem.model.step(&state, t, rng);
+            steps += 1;
+            let f = problem.value(&state);
+            segments[seg_idx].points.push((t, f));
+            let lvl = plan.level_of(f);
+            if lvl <= w.crossed_max {
+                continue;
+            }
+            if lvl == m {
+                segments[seg_idx].outcome = SegmentOutcome::Hit;
+                hits += 1;
+            } else {
+                segments[seg_idx].outcome = SegmentOutcome::Split;
+                for _ in 0..ratio {
+                    stack.push(Work {
+                        state: state.clone(),
+                        t,
+                        crossed_max: lvl,
+                        parent: Some(seg_idx),
+                        level: lvl,
+                    });
+                }
+            }
+            break;
+        }
+    }
+
+    SplitTree {
+        segments,
+        hits,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RatioValue;
+    use crate::rng::rng_from_seed;
+    use rand::RngExt;
+
+    struct Walk;
+
+    impl SimulationModel for Walk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            (s + if rng.random::<f64>() < 0.52 { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+        }
+    }
+
+    fn vf() -> RatioValue<fn(&f64) -> f64> {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        RatioValue::new(score as fn(&f64) -> f64, 1.0)
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 200);
+        let plan = PartitionPlan::new(vec![0.4, 0.67]).unwrap();
+        let tree = trace_root_tree(problem, &plan, 3, &mut rng_from_seed(12));
+
+        assert!(!tree.segments.is_empty());
+        assert_eq!(tree.segments[0].parent, None);
+        // Every split spawns exactly `ratio` children.
+        for (i, s) in tree.segments.iter().enumerate() {
+            let children = tree
+                .segments
+                .iter()
+                .filter(|c| c.parent == Some(i))
+                .count();
+            match s.outcome {
+                SegmentOutcome::Split => assert_eq!(children, 3, "segment {i}"),
+                _ => assert_eq!(children, 0, "segment {i}"),
+            }
+        }
+        // Steps equal total recorded points.
+        let points: usize = tree.segments.iter().map(|s| s.points.len()).sum();
+        assert_eq!(tree.steps as usize, points);
+    }
+
+    #[test]
+    fn children_levels_increase() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 200);
+        let plan = PartitionPlan::new(vec![0.3, 0.6]).unwrap();
+        let tree = trace_root_tree(problem, &plan, 2, &mut rng_from_seed(99));
+        for s in &tree.segments {
+            if let Some(p) = s.parent {
+                assert!(s.level > tree.segments[p].level);
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_levels() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 100);
+        let plan = PartitionPlan::new(vec![0.5]).unwrap();
+        let tree = trace_root_tree(problem, &plan, 2, &mut rng_from_seed(3));
+        let txt = tree.render();
+        assert!(txt.contains("L0"));
+        assert!(txt.lines().count() == tree.segments.len());
+    }
+}

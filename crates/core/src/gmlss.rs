@@ -1,0 +1,668 @@
+//! g-MLSS — general Multi-Level Splitting Sampling (§4).
+//!
+//! g-MLSS removes s-MLSS's *no level-skipping* assumption. Boundary
+//! crossings `U_i` replace level entrances `T_i`; the decomposition
+//! `τ = Π π_i` with `π_i = Pr[Θ_i | Θ_{i-1}]` (Eq. 8) is assumption-free,
+//! and each `π_{i+1}` is estimated by Eq. (9):
+//!
+//! ```text
+//!            Σ_{h ∈ H_i} μ(h)  +  n_skip_i
+//! π̂_{i+1} = --------------------------------
+//!                |H_i|  +  n_skip_i
+//! ```
+//!
+//! where `H_i` are split states that *landed* in `L_i`, `μ(h)` is the
+//! fraction of `h`'s `r` offsprings that crossed `β_{i+1}`, and
+//! `n_skip_i` counts paths that crossed `β_{i+1}` without ever landing in
+//! `L_i`. The product estimator (Eq. 10) is unbiased in general
+//! (Proposition 2).
+//!
+//! ### Lineage bookkeeping
+//!
+//! Every path segment tracks `crossed_max`, the highest boundary index its
+//! lineage has crossed. A step that raises `level_of(f)` above
+//! `crossed_max` is a *crossing event*: it (1) reports a crossing to the
+//! parent split (the `μ` numerator), (2) increments `n_skip_i` for every
+//! level `i` strictly between the old and new landing levels, and then
+//! (3) either registers a target hit (landing level `m`) or lands, joins
+//! `H_j`, and splits into `r` offsprings. A segment therefore has at most
+//! one crossing event; paths that meander below `crossed_max` never
+//! re-split at levels already credited.
+
+use crate::bootstrap::{bootstrap_variance, RootLedger};
+use crate::estimate::Estimate;
+use crate::levels::PartitionPlan;
+use crate::model::{SimulationModel, Time};
+use crate::quality::RunControl;
+use crate::query::{Problem, ValueFunction};
+use crate::rng::SimRng;
+use crate::stats::RunningMoments;
+
+/// How the sampler estimates the variance of `τ̂` for stopping decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarianceMode {
+    /// Use the per-root-hit variance (Eq. 5-6) while no level skip has been
+    /// observed — in that regime g-MLSS coincides with s-MLSS — and switch
+    /// to bootstrapping as soon as a skip occurs. The practical default.
+    Auto,
+    /// Always use the per-root-hit variance (only sound without skips).
+    PerRootHits,
+    /// Always bootstrap (§4.2 "General Level-skipping and Bootstrapping").
+    Bootstrap,
+}
+
+/// Configuration for the g-MLSS sampler.
+#[derive(Debug, Clone)]
+pub struct GMlssConfig {
+    /// The level partition plan `B`.
+    pub plan: PartitionPlan,
+    /// Splitting ratio `r ≥ 1` applied at every split. (g-MLSS permits
+    /// variable ratios; a fixed small `r` is the paper's recommended and
+    /// evaluated setting, §5.)
+    pub ratio: u32,
+    /// Stopping criterion.
+    pub control: RunControl,
+    /// Variance estimation policy.
+    pub variance: VarianceMode,
+    /// Number of bootstrap resamples per variance evaluation.
+    pub bootstrap_resamples: usize,
+    /// Evaluate the bootstrap only every this-many quality checks — the
+    /// paper's "run bootstrap evaluation conservatively" rule of thumb
+    /// (§4.2). 1 = every check.
+    pub bootstrap_every: u32,
+    /// Retain the per-root ledger in the result (needed for post-hoc
+    /// bootstrap analysis; the sampler itself always keeps it internally).
+    pub keep_ledger: bool,
+}
+
+impl GMlssConfig {
+    /// Config with the paper's defaults: `r = 3`, auto variance, 200
+    /// bootstrap resamples, conservative (every 4th check) bootstrapping.
+    pub fn new(plan: PartitionPlan, control: RunControl) -> Self {
+        Self {
+            plan,
+            ratio: 3,
+            control,
+            variance: VarianceMode::Auto,
+            bootstrap_resamples: 200,
+            bootstrap_every: 4,
+            keep_ledger: false,
+        }
+    }
+
+    /// Override the splitting ratio.
+    pub fn with_ratio(mut self, ratio: u32) -> Self {
+        assert!(ratio >= 1, "splitting ratio must be ≥ 1");
+        self.ratio = ratio;
+        self
+    }
+
+    /// Override the variance mode.
+    pub fn with_variance(mut self, mode: VarianceMode) -> Self {
+        self.variance = mode;
+        self
+    }
+}
+
+/// Result of a g-MLSS run.
+#[derive(Debug, Clone)]
+pub struct GMlssResult {
+    /// Final estimate (Eq. 10; variance per the configured policy).
+    pub estimate: Estimate,
+    /// Estimated `π̂_1 .. π̂_m` (Eq. 9) at completion.
+    pub pi_hats: Vec<f64>,
+    /// Aggregate landings `|H_i|` per level (index `i-1` holds level `i`).
+    pub landings: Vec<u64>,
+    /// Aggregate offspring crossings per level.
+    pub crossings: Vec<u64>,
+    /// Aggregate skip counts `n_skip_i` per level.
+    pub skips: Vec<u64>,
+    /// Total number of level-skip events observed (0 ⇒ s-MLSS regime).
+    pub skip_events: u64,
+    /// Sample variance of per-root target-hit counts, `Var(N_m⟨1⟩)` —
+    /// the quantity the partition-plan evaluation (Eq. 15) needs.
+    pub root_hit_variance: f64,
+    /// Per-root ledger (present when `keep_ledger`).
+    pub ledger: Option<RootLedger>,
+    /// Wall-clock time spent simulating.
+    pub sim_elapsed: std::time::Duration,
+    /// Wall-clock time spent in bootstrap variance evaluations.
+    pub bootstrap_elapsed: std::time::Duration,
+}
+
+struct Segment<S> {
+    state: S,
+    t: Time,
+    /// Highest boundary index this lineage has crossed.
+    crossed_max: usize,
+    /// Index of the parent split event in the per-root scratch, if any.
+    parent: Option<usize>,
+}
+
+/// Scratch state for one split event during a root simulation.
+struct SplitEvent {
+    level: usize,
+    crossed: u32,
+}
+
+/// The g-MLSS sampler.
+#[derive(Debug, Clone)]
+pub struct GMlssSampler {
+    /// Sampler configuration.
+    pub config: GMlssConfig,
+}
+
+impl GMlssSampler {
+    /// Create a sampler.
+    pub fn new(config: GMlssConfig) -> Self {
+        assert!(config.ratio >= 1, "splitting ratio must be ≥ 1");
+        assert!(config.bootstrap_resamples >= 2, "need ≥ 2 resamples");
+        assert!(config.bootstrap_every >= 1, "bootstrap cadence must be ≥ 1");
+        Self { config }
+    }
+
+    /// Run to completion.
+    pub fn run<M, V>(&self, problem: Problem<'_, M, V>, rng: &mut SimRng) -> GMlssResult
+    where
+        M: SimulationModel,
+        V: ValueFunction<M::State>,
+    {
+        self.run_observed(problem, rng, |_| {})
+    }
+
+    /// Run, invoking `observe` with the running estimate after each root.
+    pub fn run_observed<M, V>(
+        &self,
+        problem: Problem<'_, M, V>,
+        rng: &mut SimRng,
+        mut observe: impl FnMut(&Estimate),
+    ) -> GMlssResult
+    where
+        M: SimulationModel,
+        V: ValueFunction<M::State>,
+    {
+        let sim_start = std::time::Instant::now();
+        let plan = &self.config.plan;
+        let m = plan.num_levels();
+        let r = self.config.ratio;
+
+        // The ledger is needed whenever a bootstrap may run (Bootstrap or
+        // Auto modes) or the caller asked to keep it; in pure
+        // PerRootHits mode we skip it entirely — long runs would otherwise
+        // hold one record per root for no benefit.
+        let track_ledger =
+            self.config.keep_ledger || self.config.variance != VarianceMode::PerRootHits;
+        let mut ledger = RootLedger::new(m);
+        let mut landings = vec![0u64; m];
+        let mut crossings = vec![0u64; m];
+        let mut skips = vec![0u64; m];
+        let mut steps: u64 = 0;
+        let mut n_roots: u64 = 0;
+        let mut hits: u64 = 0;
+        let mut skip_events: u64 = 0;
+        let mut moments = RunningMoments::new();
+        let mut since_check: u64 = 0;
+        let mut checks: u64 = 0;
+        let mut last_variance = f64::INFINITY;
+        let mut bootstrap_elapsed = std::time::Duration::ZERO;
+
+        let mut stack: Vec<Segment<M::State>> = Vec::new();
+        let mut events: Vec<SplitEvent> = Vec::new();
+
+        loop {
+            // ---- assemble running estimate -----------------------------
+            let tau = if m == 1 {
+                // Trivial plan: no interior boundary, so g-MLSS degenerates
+                // to SRS labelling of root paths.
+                if n_roots == 0 {
+                    0.0
+                } else {
+                    hits as f64 / n_roots as f64
+                }
+            } else {
+                estimator(m, r, n_roots, &landings, &crossings, &skips).0
+            };
+            let need_boot = match self.config.variance {
+                VarianceMode::PerRootHits => false,
+                VarianceMode::Bootstrap => true,
+                VarianceMode::Auto => skip_events > 0,
+            };
+            // In budget mode the running variance is irrelevant (a final
+            // bootstrap is performed on exit), so only Target mode pays for
+            // in-flight bootstraps — and only at its quality-check cadence.
+            let at_check = since_check >= checked_cadence(&self.config.control);
+            if need_boot {
+                // Bootstrap conservatively: only at quality checks and only
+                // every `bootstrap_every`-th one.
+                if at_check {
+                    checks += 1;
+                    if checks % self.config.bootstrap_every as u64 == 0 && n_roots >= 2 {
+                        let t0 = std::time::Instant::now();
+                        last_variance = bootstrap_variance(
+                            &ledger,
+                            self.config.bootstrap_resamples,
+                            r,
+                            rng,
+                        );
+                        bootstrap_elapsed += t0.elapsed();
+                    }
+                }
+            } else {
+                let scale = (r as f64).powi(m as i32 - 1);
+                last_variance = if n_roots == 0 {
+                    f64::INFINITY
+                } else {
+                    moments.sample_variance() / (n_roots as f64 * scale * scale)
+                };
+            }
+            let est = Estimate {
+                tau,
+                variance: last_variance,
+                n_roots,
+                steps,
+                hits,
+            };
+            if n_roots > 0 {
+                observe(&est);
+            }
+            if !self.config.control.should_continue(&est, &mut since_check) {
+                let sim_elapsed = sim_start.elapsed() - bootstrap_elapsed;
+                // Final variance: always bootstrap when skips occurred, so
+                // the reported quality is sound even between cadences.
+                let variance = if skip_events > 0
+                    && self.config.variance != VarianceMode::PerRootHits
+                    && n_roots >= 2
+                {
+                    let t0 = std::time::Instant::now();
+                    let v =
+                        bootstrap_variance(&ledger, self.config.bootstrap_resamples, r, rng);
+                    bootstrap_elapsed += t0.elapsed();
+                    v
+                } else {
+                    last_variance
+                };
+                let pi_hats = if m == 1 {
+                    vec![tau]
+                } else {
+                    pi_estimates(m, r, n_roots, &landings, &crossings, &skips)
+                };
+                return GMlssResult {
+                    estimate: Estimate {
+                        tau,
+                        variance,
+                        n_roots,
+                        steps,
+                        hits,
+                    },
+                    pi_hats,
+                    landings: landings[1..].to_vec(),
+                    crossings: crossings[1..].to_vec(),
+                    skips: skips[1..].to_vec(),
+                    skip_events,
+                    root_hit_variance: moments.sample_variance(),
+                    ledger: self.config.keep_ledger.then_some(ledger),
+                    sim_elapsed,
+                    bootstrap_elapsed,
+                };
+            }
+
+            // ---- simulate one root path and all its offspring ----------
+            events.clear();
+            stack.clear();
+            let mut root_hits: u32 = 0;
+
+            let init = problem.model.initial_state();
+            // Clamp to m-1: the durability query counts t ≥ 1, so a start
+            // at the target is *not* an instant hit — the root watches for
+            // (re-)crossing β_m from its birth level.
+            let init_level = plan.level_of(problem.value(&init)).min(m - 1);
+            if init_level == 0 {
+                stack.push(Segment {
+                    state: init,
+                    t: 0,
+                    crossed_max: 0,
+                    parent: None,
+                });
+            } else {
+                // The root starts above L_0 (its value already crosses
+                // β_1..β_k at t = 0). Treat t = 0 like any crossing event:
+                // the levels jumped over get skip credit, and the root
+                // lands (and splits) in its starting level. The telescoped
+                // estimator then yields π̂_i = 1 for the pre-crossed levels
+                // — exactly the conditional-probability semantics of
+                // Eq. 8. The per-root-hit variance shortcut is invalid in
+                // this regime (hit multiplicity is no longer r^{m-1}), so
+                // the pre-crossings count as skip events, pushing Auto
+                // mode onto the bootstrap.
+                if init_level > 1 {
+                    skip_events += 1;
+                }
+                for i in 1..init_level.min(m) {
+                    if track_ledger {
+                        ledger.bump_skip(i);
+                    }
+                    skips[i] += 1;
+                }
+                if track_ledger {
+                    ledger.bump_landing(init_level);
+                }
+                landings[init_level] += 1;
+                let ei = events.len();
+                events.push(SplitEvent {
+                    level: init_level,
+                    crossed: 0,
+                });
+                for _ in 0..r {
+                    stack.push(Segment {
+                        state: init.clone(),
+                        t: 0,
+                        crossed_max: init_level,
+                        parent: Some(ei),
+                    });
+                }
+            }
+
+            while let Some(seg) = stack.pop() {
+                let mut state = seg.state;
+                for t in (seg.t + 1)..=problem.horizon {
+                    state = problem.model.step(&state, t, rng);
+                    steps += 1;
+                    let lvl = plan.level_of(problem.value(&state));
+                    if lvl <= seg.crossed_max {
+                        continue;
+                    }
+                    // Crossing event.
+                    if let Some(pi) = seg.parent {
+                        events[pi].crossed += 1;
+                    }
+                    if lvl - seg.crossed_max > 1 {
+                        skip_events += 1;
+                    }
+                    // Levels crossed over without landing: n_skip_i for
+                    // i in (crossed_max, lvl).
+                    for i in (seg.crossed_max + 1)..lvl {
+                        if track_ledger {
+                            ledger.bump_skip(i);
+                        }
+                        skips[i] += 1;
+                    }
+                    if lvl == m {
+                        hits += 1;
+                        root_hits += 1;
+                    } else {
+                        if track_ledger {
+                            ledger.bump_landing(lvl);
+                        }
+                        landings[lvl] += 1;
+                        let ei = events.len();
+                        events.push(SplitEvent {
+                            level: lvl,
+                            crossed: 0,
+                        });
+                        for _ in 0..r {
+                            stack.push(Segment {
+                                state: state.clone(),
+                                t,
+                                crossed_max: lvl,
+                                parent: Some(ei),
+                            });
+                        }
+                    }
+                    break;
+                }
+            }
+
+            for ev in &events {
+                if track_ledger {
+                    ledger.add_crossings(ev.level, ev.crossed);
+                }
+                crossings[ev.level] += ev.crossed as u64;
+            }
+            if track_ledger {
+                ledger.commit_root(root_hits);
+            }
+            moments.push(root_hits as f64);
+            n_roots += 1;
+            since_check += 1;
+        }
+    }
+}
+
+/// Cadence of the control's quality checks (u64::MAX for budget mode).
+fn checked_cadence(control: &RunControl) -> u64 {
+    match control {
+        RunControl::Budget(_) => u64::MAX,
+        RunControl::Target { check_every, .. } => *check_every,
+    }
+}
+
+/// Compute `π̂_1..π̂_m` from aggregate counters (Eq. 9).
+///
+/// Index convention: `landings[i]`, `crossings[i]`, `skips[i]` are the
+/// counters for level `i` (index 0 unused — no splits happen in `L_0`).
+pub(crate) fn pi_estimates(
+    m: usize,
+    r: u32,
+    n_roots: u64,
+    landings: &[u64],
+    crossings: &[u64],
+    skips: &[u64],
+) -> Vec<f64> {
+    let mut pis = Vec::with_capacity(m);
+    // π̂_1: fraction of roots that crossed β_1. Roots either land in L_1
+    // (→ landings[1]) or skip past it (→ skips[1]); both crossed β_1.
+    let pi1 = if n_roots == 0 {
+        0.0
+    } else if m == 1 {
+        // Single level: crossing β_1 *is* hitting the target; landings and
+        // skips are both empty, so π̂_1 is computed by the caller from hits
+        // directly — signalled here with the crossings of level 0 slot.
+        // (Handled in `estimator`.)
+        f64::NAN
+    } else {
+        (landings[1] + skips[1]) as f64 / n_roots as f64
+    };
+    pis.push(pi1);
+    // π̂_{i+1} for i = 1..m-1.
+    for i in 1..m {
+        let denom = (landings[i] + skips[i]) as f64;
+        let num = crossings[i] as f64 / r as f64 + skips[i] as f64;
+        pis.push(if denom > 0.0 { num / denom } else { 0.0 });
+    }
+    pis
+}
+
+/// The g-MLSS estimator `τ̂ = Π π̂_i` (Eq. 10). Returns `(τ̂, π̂s)`.
+pub(crate) fn estimator(
+    m: usize,
+    r: u32,
+    n_roots: u64,
+    landings: &[u64],
+    crossings: &[u64],
+    skips: &[u64],
+) -> (f64, Vec<f64>) {
+    if n_roots == 0 {
+        return (0.0, vec![0.0; m]);
+    }
+    if m == 1 {
+        // Degenerate single-level plan: every root is simply labelled by
+        // whether it crossed β_1 = 1, i.e. SRS. Landing/skip slots are
+        // empty; hits were accumulated by the caller — but we can recover
+        // them from skips[0]/crossings[0]? They are zero; the caller passes
+        // hits via the `skips` trick is fragile, so instead the caller
+        // special-cases m == 1. Here we return NaN-free zeros.
+        return (f64::NAN, vec![f64::NAN]);
+    }
+    let pis = pi_estimates(m, r, n_roots, landings, crossings, skips);
+    (pis.iter().product(), pis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RatioValue;
+    use crate::rng::rng_from_seed;
+    use rand::RngExt;
+
+    /// Walk with occasional large jumps — guaranteed level skipping.
+    struct JumpyWalk {
+        step: f64,
+        jump_p: f64,
+        jump: f64,
+    }
+
+    impl SimulationModel for JumpyWalk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            let mut v = if rng.random::<f64>() < 0.5 {
+                s + self.step
+            } else {
+                s - self.step
+            };
+            if rng.random::<f64>() < self.jump_p {
+                v += self.jump;
+            }
+            v.clamp(0.0, 1.0)
+        }
+    }
+
+    fn vf() -> RatioValue<fn(&f64) -> f64> {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        RatioValue::new(score as fn(&f64) -> f64, 1.0)
+    }
+
+    #[test]
+    fn pi_estimates_no_skip_match_smlss_form() {
+        // Hand-built counters, no skips: the product must reduce to
+        // N_m / (N_0 r^{m-1}).
+        let m = 3;
+        let r = 3;
+        let n0 = 100;
+        // 40 roots land in L_1; their 120 offsprings produce 60 crossings
+        // of β_2; 60 landings in L_2; 180 offsprings produce 45 crossings
+        // of β_3 = target.
+        let landings = vec![0, 40, 60];
+        let crossings = vec![0, 60, 45];
+        let skips = vec![0, 0, 0];
+        let (tau, pis) = estimator(m, r, n0, &landings, &crossings, &skips);
+        assert!((pis[0] - 0.4).abs() < 1e-12);
+        assert!((pis[1] - 60.0 / (3.0 * 40.0)).abs() < 1e-12);
+        assert!((pis[2] - 45.0 / (3.0 * 60.0)).abs() < 1e-12);
+        let smlss_form = 45.0 / (n0 as f64 * (r as f64).powi(m as i32 - 1));
+        assert!((tau - smlss_form).abs() < 1e-12, "{tau} vs {smlss_form}");
+    }
+
+    #[test]
+    fn pi_estimates_with_skips() {
+        // Two levels (m = 2). 10 roots land in L_1, 5 skip straight over
+        // it (crossing β_2 = target). Of the 10 splits × r = 3 offsprings,
+        // 6 crossed the target boundary.
+        let m = 2;
+        let r = 3;
+        let n0 = 100;
+        let landings = vec![0, 10];
+        let crossings = vec![0, 6];
+        let skips = vec![0, 5];
+        let (tau, pis) = estimator(m, r, n0, &landings, &crossings, &skips);
+        assert!((pis[0] - 15.0 / 100.0).abs() < 1e-12);
+        assert!((pis[1] - (2.0 + 5.0) / 15.0).abs() < 1e-12);
+        assert!((tau - 0.15 * (7.0 / 15.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_estimates_zero() {
+        let (tau, _) = estimator(3, 3, 0, &[0, 0, 0], &[0, 0, 0], &[0, 0, 0]);
+        assert_eq!(tau, 0.0);
+    }
+
+    #[test]
+    fn no_crossers_gives_zero() {
+        let (tau, pis) = estimator(3, 3, 50, &[0, 0, 0], &[0, 0, 0], &[0, 0, 0]);
+        assert_eq!(tau, 0.0);
+        assert_eq!(pis[0], 0.0);
+    }
+
+    #[test]
+    fn gmlss_agrees_with_srs_on_jumpy_walk() {
+        let model = JumpyWalk {
+            step: 0.05,
+            jump_p: 0.02,
+            jump: 0.5,
+        };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 40);
+
+        let srs = crate::srs::SrsSampler::new(RunControl::budget(3_000_000))
+            .run(problem, &mut rng_from_seed(21));
+
+        let plan = PartitionPlan::new(vec![0.3, 0.6]).unwrap();
+        let cfg = GMlssConfig::new(plan, RunControl::budget(3_000_000));
+        let g = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(22));
+
+        assert!(g.skip_events > 0, "test requires observed skipping");
+        let diff = (srs.estimate.tau - g.estimate.tau).abs();
+        let tol = 4.0 * (srs.estimate.variance.max(0.0)
+            + g.estimate.variance.max(0.0))
+        .sqrt();
+        assert!(
+            diff <= tol.max(2e-3),
+            "SRS {} vs g-MLSS {} (diff {diff}, tol {tol})",
+            srs.estimate.tau,
+            g.estimate.tau
+        );
+    }
+
+    #[test]
+    fn gmlss_counters_are_consistent() {
+        let model = JumpyWalk {
+            step: 0.08,
+            jump_p: 0.05,
+            jump: 0.4,
+        };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 30);
+        let plan = PartitionPlan::new(vec![0.25, 0.5, 0.75]).unwrap();
+        let mut cfg = GMlssConfig::new(plan, RunControl::budget(200_000));
+        cfg.keep_ledger = true;
+        let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(5));
+
+        // Offspring crossings can't exceed r × landings at that level.
+        for (i, (&c, &l)) in res.crossings.iter().zip(res.landings.iter()).enumerate() {
+            assert!(c <= 3 * l, "level {}: crossings {c} > 3·landings {l}", i + 1);
+        }
+        // π̂ are probabilities.
+        for &p in &res.pi_hats {
+            assert!((0.0..=1.0).contains(&p), "π̂ = {p}");
+        }
+        // Ledger aggregates match global counters.
+        let ledger = res.ledger.unwrap();
+        assert_eq!(ledger.n_roots() as u64, res.estimate.n_roots);
+        let agg = ledger.aggregate();
+        assert_eq!(&agg.landings[1..], res.landings.as_slice());
+        assert_eq!(&agg.crossings[1..], res.crossings.as_slice());
+        assert_eq!(&agg.skips[1..], res.skips.as_slice());
+    }
+
+    #[test]
+    fn gmlss_without_jumps_sees_no_skips() {
+        let model = JumpyWalk {
+            step: 0.05,
+            jump_p: 0.0,
+            jump: 0.0,
+        };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 40);
+        let plan = PartitionPlan::new(vec![0.25, 0.5, 0.75]).unwrap();
+        let cfg = GMlssConfig::new(plan, RunControl::budget(100_000));
+        let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(6));
+        assert_eq!(res.skip_events, 0);
+        assert!(res.skips.iter().all(|&s| s == 0));
+    }
+}

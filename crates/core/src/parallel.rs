@@ -1,0 +1,367 @@
+//! Parallel MLSS driver (§3.1 "Parallel Computations").
+//!
+//! Root paths are independent, so MLSS parallelizes by sharding roots over
+//! worker threads and periodically synchronizing counters to produce a
+//! running estimate; the run stops once the merged estimate reaches the
+//! requested quality (or the merged budget is spent) — exactly the scheme
+//! sketched in the paper.
+//!
+//! Workers run the *sequential* g-MLSS sampler in fixed-size chunks and
+//! merge their [`RootLedger`]s into a shared accumulator under a
+//! `parking_lot` mutex; whichever worker merges evaluates the global
+//! stopping condition. Each worker owns an independent ChaCha stream, so
+//! the random numbers are reproducible per worker; the *amount* of work
+//! each worker contributes depends on OS scheduling, so totals vary
+//! slightly across runs (the estimates agree statistically).
+
+use crate::bootstrap::{bootstrap_variance, RootLedger};
+use crate::estimate::Estimate;
+use crate::gmlss::{estimator, GMlssConfig, GMlssSampler, VarianceMode};
+use crate::model::SimulationModel;
+use crate::quality::{QualityTarget, RunControl};
+use crate::query::{Problem, ValueFunction};
+use crate::rng::{rng_from_seed, StreamFactory};
+use parking_lot::Mutex;
+
+/// Configuration of a parallel g-MLSS run.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker thread count (≥ 1).
+    pub threads: usize,
+    /// `g` invocations per worker chunk between synchronizations.
+    pub sync_every: u64,
+    /// Master seed; worker `k` draws stream `k`.
+    pub seed: u64,
+    /// Bootstrap resamples for the final variance when skips occurred.
+    pub bootstrap_resamples: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            sync_every: 65_536,
+            seed: 0,
+            bootstrap_resamples: 200,
+        }
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Debug)]
+pub struct ParallelResult {
+    /// Merged estimate.
+    pub estimate: Estimate,
+    /// Total level-skip events across workers.
+    pub skip_events: u64,
+    /// The merged per-root ledger.
+    pub ledger: RootLedger,
+    /// Wall-clock time of the whole parallel region.
+    pub elapsed: std::time::Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+struct Shared {
+    ledger: RootLedger,
+    steps: u64,
+    skip_events: u64,
+    done: bool,
+}
+
+/// Run g-MLSS in parallel until `control` is satisfied on the *merged*
+/// state. `base` supplies the plan/ratio; its own `control` is ignored.
+pub fn run_parallel<M, V>(
+    problem: Problem<'_, M, V>,
+    base: &GMlssConfig,
+    control: RunControl,
+    cfg: &ParallelConfig,
+) -> ParallelResult
+where
+    M: SimulationModel + Sync,
+    M::State: Send,
+    V: ValueFunction<M::State> + Sync,
+{
+    assert!(cfg.threads >= 1);
+    let start = std::time::Instant::now();
+    let m = base.plan.num_levels();
+    let ratio = base.ratio;
+    let shared = Mutex::new(Shared {
+        ledger: RootLedger::new(m),
+        steps: 0,
+        skip_events: 0,
+        done: false,
+    });
+    let streams = StreamFactory::new(cfg.seed);
+
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..cfg.threads {
+            let shared = &shared;
+            let base = base.clone();
+            scope.spawn(move |_| {
+                let mut rng = streams.stream(worker as u64);
+                loop {
+                    {
+                        if shared.lock().done {
+                            return;
+                        }
+                    }
+                    // One chunk with the sequential sampler.
+                    let mut chunk_cfg = base.clone();
+                    chunk_cfg.control = RunControl::budget(cfg.sync_every);
+                    chunk_cfg.keep_ledger = true;
+                    chunk_cfg.variance = VarianceMode::PerRootHits; // cheap in-chunk
+                    let res = GMlssSampler::new(chunk_cfg).run(problem, &mut rng);
+
+                    // Merge and evaluate the global stopping condition.
+                    let mut g = shared.lock();
+                    if let Some(l) = res.ledger.as_ref() {
+                        g.ledger.merge(l);
+                    }
+                    g.steps += res.estimate.steps;
+                    g.skip_events += res.skip_events;
+                    let est = merged_estimate(
+                        &g.ledger,
+                        m,
+                        ratio,
+                        g.steps,
+                        g.skip_events,
+                        cfg.bootstrap_resamples,
+                        // Cheap in-loop policy: only bootstrap when needed
+                        // for the decision (Target mode + skips observed).
+                        matches!(control, RunControl::Target { .. }),
+                        &mut rng,
+                    );
+                    let stop = match control {
+                        RunControl::Budget(b) => g.steps >= b,
+                        RunControl::Target {
+                            target, max_steps, ..
+                        } => g.steps >= max_steps || target.satisfied(&est),
+                    };
+                    if stop {
+                        g.done = true;
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let g = shared.into_inner();
+    let mut rng = rng_from_seed(cfg.seed ^ 0xD1B5_4A32_D192_ED03);
+    let estimate = merged_estimate(
+        &g.ledger,
+        m,
+        ratio,
+        g.steps,
+        g.skip_events,
+        cfg.bootstrap_resamples,
+        true,
+        &mut rng,
+    );
+    ParallelResult {
+        estimate,
+        skip_events: g.skip_events,
+        ledger: g.ledger,
+        elapsed: start.elapsed(),
+        threads: cfg.threads,
+    }
+}
+
+/// Convenience: parallel run to a quality target with default knobs.
+pub fn run_parallel_to_target<M, V>(
+    problem: Problem<'_, M, V>,
+    base: &GMlssConfig,
+    target: QualityTarget,
+    threads: usize,
+    seed: u64,
+) -> ParallelResult
+where
+    M: SimulationModel + Sync,
+    M::State: Send,
+    V: ValueFunction<M::State> + Sync,
+{
+    let cfg = ParallelConfig {
+        threads,
+        seed,
+        ..Default::default()
+    };
+    run_parallel(problem, base, RunControl::until(target), &cfg)
+}
+
+/// Build the merged estimate from a combined ledger.
+#[allow(clippy::too_many_arguments)]
+fn merged_estimate(
+    ledger: &RootLedger,
+    m: usize,
+    ratio: u32,
+    steps: u64,
+    skip_events: u64,
+    resamples: usize,
+    allow_bootstrap: bool,
+    rng: &mut crate::rng::SimRng,
+) -> Estimate {
+    let n = ledger.n_roots() as u64;
+    let agg = ledger.aggregate();
+    let tau = if n == 0 {
+        0.0
+    } else if m == 1 {
+        agg.hits as f64 / n as f64
+    } else {
+        estimator(m, ratio, n, &agg.landings, &agg.crossings, &agg.skips).0
+    };
+
+    let variance = if n < 2 {
+        f64::INFINITY
+    } else if skip_events == 0 {
+        // s-MLSS regime: per-root hit variance (Eq. 5-6).
+        let mut moments = crate::stats::RunningMoments::new();
+        for i in 0..ledger.n_roots() {
+            moments.push(ledger.root_hits(i) as f64);
+        }
+        let scale = (ratio as f64).powi(m as i32 - 1);
+        moments.sample_variance() / (n as f64 * scale * scale)
+    } else if allow_bootstrap {
+        bootstrap_variance(ledger, resamples, ratio, rng)
+    } else {
+        f64::INFINITY
+    };
+
+    Estimate {
+        tau,
+        variance,
+        n_roots: n,
+        steps,
+        hits: agg.hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::PartitionPlan;
+    use crate::model::Time;
+    use crate::query::RatioValue;
+    use crate::rng::SimRng;
+    use rand::RngExt;
+
+    struct Walk;
+
+    impl SimulationModel for Walk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            (s + if rng.random::<f64>() < 0.48 { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+        }
+    }
+
+    fn vf() -> RatioValue<fn(&f64) -> f64> {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        RatioValue::new(score as fn(&f64) -> f64, 1.0)
+    }
+
+    #[test]
+    fn parallel_budget_run_merges_workers() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 100);
+        let base = GMlssConfig::new(
+            PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+            RunControl::budget(1), // ignored
+        );
+        let cfg = ParallelConfig {
+            threads: 4,
+            sync_every: 20_000,
+            seed: 7,
+            bootstrap_resamples: 50,
+        };
+        let res = run_parallel(problem, &base, RunControl::budget(400_000), &cfg);
+        assert!(res.estimate.steps >= 400_000);
+        assert_eq!(res.ledger.n_roots() as u64, res.estimate.n_roots);
+        assert!(res.estimate.tau > 0.0, "walk does hit sometimes");
+        assert!(res.estimate.variance.is_finite());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_estimate() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 100);
+        let plan = PartitionPlan::new(vec![0.4, 0.7]).unwrap();
+
+        let seq_cfg = GMlssConfig::new(plan.clone(), RunControl::budget(600_000));
+        let seq = GMlssSampler::new(seq_cfg).run(problem, &mut crate::rng::rng_from_seed(3));
+
+        let base = GMlssConfig::new(plan, RunControl::budget(1));
+        let cfg = ParallelConfig {
+            threads: 3,
+            sync_every: 50_000,
+            seed: 11,
+            bootstrap_resamples: 50,
+        };
+        let par = run_parallel(problem, &base, RunControl::budget(600_000), &cfg);
+
+        let diff = (seq.estimate.tau - par.estimate.tau).abs();
+        let tol = 4.0
+            * (seq.estimate.variance.max(0.0) + par.estimate.variance.max(0.0)).sqrt();
+        assert!(
+            diff <= tol.max(1e-3),
+            "sequential {} vs parallel {}",
+            seq.estimate.tau,
+            par.estimate.tau
+        );
+    }
+
+    #[test]
+    fn parallel_runs_agree_statistically() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 60);
+        let base = GMlssConfig::new(PartitionPlan::new(vec![0.5]).unwrap(), RunControl::budget(1));
+        let cfg = ParallelConfig {
+            threads: 2,
+            sync_every: 10_000,
+            seed: 42,
+            bootstrap_resamples: 50,
+        };
+        // Worker *streams* are seed-deterministic, but chunk scheduling is
+        // not, so repeated runs agree statistically rather than exactly.
+        let a = run_parallel(problem, &base, RunControl::budget(100_000), &cfg);
+        let b = run_parallel(problem, &base, RunControl::budget(100_000), &cfg);
+        let diff = (a.estimate.tau - b.estimate.tau).abs();
+        let tol = 5.0
+            * (a.estimate.variance.max(0.0) + b.estimate.variance.max(0.0)).sqrt();
+        assert!(
+            diff <= tol.max(5e-3),
+            "runs disagree: {} vs {}",
+            a.estimate.tau,
+            b.estimate.tau
+        );
+        assert!(a.estimate.steps >= 100_000 && b.estimate.steps >= 100_000);
+    }
+
+    #[test]
+    fn single_thread_parallel_works() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 40);
+        let base = GMlssConfig::new(PartitionPlan::trivial(), RunControl::budget(1));
+        let cfg = ParallelConfig {
+            threads: 1,
+            sync_every: 5_000,
+            seed: 1,
+            bootstrap_resamples: 20,
+        };
+        let res = run_parallel(problem, &base, RunControl::budget(20_000), &cfg);
+        assert!(res.estimate.steps >= 20_000);
+    }
+}

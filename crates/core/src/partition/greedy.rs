@@ -1,0 +1,287 @@
+//! The adaptive greedy partition strategy (§5.2, Algorithm 1).
+//!
+//! Boundaries are placed one at a time. Each round generates a uniform
+//! candidate grid inside the current refinement window, evaluates each
+//! extension `B ∪ {v}` with a fixed-budget trial (Eq. 15), and keeps the
+//! best candidate if it improves on the incumbent. The next window is the
+//! level with the *smallest advancement probability* — the "obstacle"
+//! level — mirroring the paper's two-fold intuition: focus effort on the
+//! bottleneck, and converge toward balanced growth.
+//!
+//! Trial estimates are *not wasted* (§5.2): every trial returns an
+//! unbiased estimate, and [`GreedyOutcome::pooled_estimate`] combines them
+//! inverse-variance-weighted into a usable running answer.
+
+use crate::estimate::Estimate;
+use crate::levels::PartitionPlan;
+use crate::model::SimulationModel;
+use crate::partition::eval::{evaluate_plan, TrialOutcome};
+use crate::query::{Problem, ValueFunction};
+use crate::rng::SimRng;
+
+/// Tuning knobs for Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig {
+    /// Splitting ratio used in trials and by the produced plan.
+    pub ratio: u32,
+    /// Trial budget `t_0` in `g` invocations, per candidate evaluation.
+    pub trial_budget: u64,
+    /// Number of uniformly spaced candidates per round (Line 5).
+    pub candidates_per_round: usize,
+    /// Hard cap on rounds (safety valve; Algorithm 1 stops on its own when
+    /// evaluations stop improving).
+    pub max_rounds: usize,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        Self {
+            ratio: 3,
+            trial_budget: 100_000,
+            candidates_per_round: 5,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// Result of the greedy search.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// The selected partition plan.
+    pub plan: PartitionPlan,
+    /// Its surrogate cost `eval(B)`.
+    pub eval: f64,
+    /// Total `g` invocations spent on trial runs (the paper's
+    /// "MLSS-G-Partition" search overhead).
+    pub search_steps: u64,
+    /// All trials performed, in order.
+    pub trials: Vec<TrialOutcome>,
+}
+
+impl GreedyOutcome {
+    /// Pool all trial estimates (inverse-variance weighting over trials
+    /// with a finite positive variance) — the "trial runs are not wasted"
+    /// estimate of §5.2.
+    pub fn pooled_estimate(&self) -> Option<Estimate> {
+        let mut wsum = 0.0;
+        let mut tsum = 0.0;
+        let mut steps = 0;
+        let mut roots = 0;
+        let mut hits = 0;
+        for t in &self.trials {
+            let e = &t.result.estimate;
+            steps += e.steps;
+            roots += e.n_roots;
+            hits += e.hits;
+            if e.variance.is_finite() && e.variance > 0.0 {
+                let w = 1.0 / e.variance;
+                wsum += w;
+                tsum += w * e.tau;
+            }
+        }
+        if wsum == 0.0 {
+            return None;
+        }
+        Some(Estimate {
+            tau: tsum / wsum,
+            variance: 1.0 / wsum,
+            n_roots: roots,
+            steps,
+            hits,
+        })
+    }
+}
+
+/// Algorithm 1 driver.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyPartition {
+    /// Tuning configuration.
+    pub config: GreedyConfig,
+}
+
+impl GreedyPartition {
+    /// Create a driver.
+    pub fn new(config: GreedyConfig) -> Self {
+        assert!(config.candidates_per_round >= 1);
+        assert!(config.trial_budget >= 1);
+        Self { config }
+    }
+
+    /// Run the search for the given problem.
+    pub fn search<M, V>(&self, problem: Problem<'_, M, V>, rng: &mut SimRng) -> GreedyOutcome
+    where
+        M: SimulationModel,
+        V: ValueFunction<M::State>,
+    {
+        let mut plan = PartitionPlan::trivial();
+        let mut opt_eval = f64::INFINITY;
+        let mut window = (0.0_f64, 1.0_f64);
+        let mut trials: Vec<TrialOutcome> = Vec::new();
+        let mut search_steps = 0u64;
+
+        for _round in 0..self.config.max_rounds {
+            // Line 5: uniform candidate grid strictly inside the window.
+            let k = self.config.candidates_per_round;
+            let (lo, hi) = window;
+            let width = hi - lo;
+            let candidates: Vec<f64> = (1..=k)
+                .map(|j| lo + width * j as f64 / (k + 1) as f64)
+                .filter(|v| *v > 0.0 && *v < 1.0)
+                .collect();
+
+            // Lines 6-7: evaluate each extension, keep the best.
+            let mut best: Option<(f64, f64, usize)> = None; // (eval, v, trial idx)
+            for v in candidates {
+                let Ok(cand) = plan.with_boundary(v) else {
+                    continue; // duplicate boundary
+                };
+                let out = evaluate_plan(problem, &cand, self.config.ratio, self.config.trial_budget, rng);
+                search_steps += out.result.estimate.steps;
+                let idx = trials.len();
+                let score = out.eval;
+                trials.push(out);
+                if best.map_or(true, |(e, _, _)| score < e) {
+                    best = Some((score, v, idx));
+                }
+            }
+
+            let Some((e_star, v_star, idx)) = best else {
+                break;
+            };
+
+            // Lines 8-14: accept if improving, else stop.
+            if e_star < opt_eval {
+                plan = plan.with_boundary(v_star).expect("validated candidate");
+                opt_eval = e_star;
+
+                // Lines 11-12: refine the level with the smallest
+                // advancement probability, as measured by the winning
+                // trial's π̂ diagnostics. π̂_{i+1} corresponds to the
+                // interval [β_i, β_{i+1}); π̂_1 to [0, β_1).
+                let winning = &trials[idx];
+                // Note: the winning trial ran on `plan` *after* the accept,
+                // so its π̂ indices align with the new plan's levels.
+                let pis = &winning.result.pi_hats;
+                let mut min_p = f64::INFINITY;
+                let mut min_level = 0usize;
+                for (i, &p) in pis.iter().enumerate() {
+                    if p < min_p {
+                        min_p = p;
+                        min_level = i; // transition into level i+1 ⇒ bisect L_i
+                    }
+                }
+                window = plan.level_interval(min_level.min(plan.num_levels() - 1));
+            } else {
+                break;
+            }
+        }
+
+        GreedyOutcome {
+            plan,
+            eval: opt_eval,
+            search_steps,
+            trials,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Time;
+    use crate::query::RatioValue;
+    use crate::rng::rng_from_seed;
+    use rand::RngExt;
+
+    struct Walk {
+        up: f64,
+    }
+
+    impl SimulationModel for Walk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            (s + if rng.random::<f64>() < self.up { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+        }
+    }
+
+    fn vf() -> RatioValue<fn(&f64) -> f64> {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        RatioValue::new(score as fn(&f64) -> f64, 1.0)
+    }
+
+    #[test]
+    fn greedy_finds_multi_level_plan_for_rare_walk() {
+        let model = Walk { up: 0.46 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 300);
+        let driver = GreedyPartition::new(GreedyConfig {
+            trial_budget: 150_000,
+            ..Default::default()
+        });
+        let out = driver.search(problem, &mut rng_from_seed(17));
+        assert!(
+            out.plan.num_levels() >= 2,
+            "rare-event walk should justify at least one boundary, got {}",
+            out.plan
+        );
+        assert!(out.eval.is_finite());
+        assert!(out.search_steps > 0);
+        assert!(!out.trials.is_empty());
+    }
+
+    #[test]
+    fn greedy_plan_is_valid() {
+        let model = Walk { up: 0.48 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 150);
+        let driver = GreedyPartition::new(GreedyConfig {
+            trial_budget: 60_000,
+            max_rounds: 4,
+            ..Default::default()
+        });
+        let out = driver.search(problem, &mut rng_from_seed(23));
+        let b = out.plan.interior();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b.iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+
+    #[test]
+    fn pooled_estimate_available_after_search() {
+        let model = Walk { up: 0.5 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 100);
+        let driver = GreedyPartition::new(GreedyConfig {
+            trial_budget: 50_000,
+            max_rounds: 3,
+            ..Default::default()
+        });
+        let out = driver.search(problem, &mut rng_from_seed(31));
+        let pooled = out.pooled_estimate().expect("trials produce estimates");
+        assert!(pooled.tau > 0.0 && pooled.tau < 1.0);
+        assert!(pooled.variance.is_finite());
+        assert!(pooled.steps >= out.search_steps);
+    }
+
+    #[test]
+    fn search_is_reproducible() {
+        let model = Walk { up: 0.47 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 200);
+        let driver = GreedyPartition::new(GreedyConfig {
+            trial_budget: 40_000,
+            max_rounds: 3,
+            ..Default::default()
+        });
+        let a = driver.search(problem, &mut rng_from_seed(5));
+        let b = driver.search(problem, &mut rng_from_seed(5));
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.search_steps, b.search_steps);
+    }
+}

@@ -1,0 +1,19 @@
+//! Automatic MLSS level design (§5).
+//!
+//! Three pieces:
+//! * [`eval`] — the empirical partition-plan cost surrogate `eval(B)`
+//!   (Eq. 15), measured by trial runs;
+//! * [`greedy`] — the adaptive greedy partition strategy (Algorithm 1)
+//!   that places boundaries one by one, always bisecting the level with
+//!   the smallest advancement probability;
+//! * [`balanced`] — an automated constructor for *balanced-growth* plans
+//!   (equal advancement probabilities, the paper's manually tuned
+//!   "MLSS-BAL" yardstick), built from a pilot-run tail fit.
+
+pub mod balanced;
+pub mod eval;
+pub mod greedy;
+
+pub use balanced::balanced_plan;
+pub use eval::{evaluate_plan, TrialOutcome};
+pub use greedy::{GreedyConfig, GreedyOutcome, GreedyPartition};

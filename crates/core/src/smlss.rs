@@ -1,0 +1,410 @@
+//! s-MLSS — simple Multi-Level Splitting Sampling (§3).
+//!
+//! The sampler simulates *root paths*; whenever a path first **lands in**
+//! the next level `L_{i+1}` (the paper's `T_{i+1}`, which requires
+//! `f(x_t) ∈ [β_{i+1}, β_{i+2})`), it splits into `r` independent
+//! offspring continuing from the entrance state. The estimator is
+//! `τ̂ = N_m / (N_0 · r^{m-1})` (Eq. 3), unbiased under the
+//! *no level-skipping* assumption (Proposition 1); its variance is
+//! estimated from per-root-path target-hit counts (Eq. 5-6).
+//!
+//! When the underlying process *can* skip levels, this sampler is exactly
+//! the paper's "blindly applied s-MLSS": a path that jumps across a level
+//! never lands in it, loses its splitting credit, and the estimate biases
+//! low — reproduced in Table 6 and our `volatile_bias` integration test.
+//! Use [`crate::gmlss`] for the general, always-unbiased sampler.
+
+use crate::estimate::Estimate;
+use crate::levels::PartitionPlan;
+use crate::model::{SimulationModel, Time};
+use crate::quality::RunControl;
+use crate::query::{Problem, ValueFunction};
+use crate::rng::SimRng;
+use crate::stats::RunningMoments;
+
+/// Configuration for the s-MLSS sampler.
+#[derive(Debug, Clone)]
+pub struct SMlssConfig {
+    /// The level partition plan `B`.
+    pub plan: PartitionPlan,
+    /// Splitting ratio `r ≥ 1` (the paper fixes `r = 3` by default; `r = 1`
+    /// degenerates to SRS).
+    pub ratio: u32,
+    /// Stopping criterion.
+    pub control: RunControl,
+    /// Retain per-root hit counts in the result (needed for post-hoc
+    /// analysis; the running variance works without it).
+    pub keep_root_hits: bool,
+}
+
+impl SMlssConfig {
+    /// Config with the paper's default ratio `r = 3`.
+    pub fn new(plan: PartitionPlan, control: RunControl) -> Self {
+        Self {
+            plan,
+            ratio: 3,
+            control,
+            keep_root_hits: false,
+        }
+    }
+
+    /// Override the splitting ratio.
+    pub fn with_ratio(mut self, ratio: u32) -> Self {
+        assert!(ratio >= 1, "splitting ratio must be ≥ 1");
+        self.ratio = ratio;
+        self
+    }
+}
+
+/// Per-level counters and result of an s-MLSS run.
+#[derive(Debug, Clone)]
+pub struct SMlssResult {
+    /// Final estimate (Eq. 3 with Eq. 5-6 variance).
+    pub estimate: Estimate,
+    /// First-entrance counters `N_1 .. N_m` (`N_0` is `estimate.n_roots`).
+    pub level_entries: Vec<u64>,
+    /// Per-root target-hit counts (present when `keep_root_hits`).
+    pub root_hits: Option<Vec<u32>>,
+    /// Wall-clock simulation time.
+    pub elapsed: std::time::Duration,
+}
+
+impl SMlssResult {
+    /// Estimated level advancement probabilities `p̂_1 .. p̂_m`
+    /// (`p̂_1 = N_1/N_0`, `p̂_{i+1} = N_{i+1}/(r·N_i)`).
+    pub fn advancement_probabilities(&self, ratio: u32) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.level_entries.len());
+        let mut prev = self.estimate.n_roots as f64;
+        for (i, &n) in self.level_entries.iter().enumerate() {
+            let denom = if i == 0 { prev } else { prev * ratio as f64 };
+            out.push(if denom > 0.0 { n as f64 / denom } else { 0.0 });
+            prev = n as f64;
+        }
+        out
+    }
+}
+
+/// One pending path segment in the splitting tree.
+struct Segment<S> {
+    state: S,
+    t: Time,
+    level: usize,
+}
+
+/// The s-MLSS sampler.
+#[derive(Debug, Clone)]
+pub struct SMlssSampler {
+    /// Sampler configuration.
+    pub config: SMlssConfig,
+}
+
+impl SMlssSampler {
+    /// Create a sampler.
+    pub fn new(config: SMlssConfig) -> Self {
+        assert!(config.ratio >= 1, "splitting ratio must be ≥ 1");
+        Self { config }
+    }
+
+    /// Run to completion.
+    pub fn run<M, V>(&self, problem: Problem<'_, M, V>, rng: &mut SimRng) -> SMlssResult
+    where
+        M: SimulationModel,
+        V: ValueFunction<M::State>,
+    {
+        self.run_observed(problem, rng, |_| {})
+    }
+
+    /// Run, invoking `observe` with the running estimate after every root
+    /// path.
+    pub fn run_observed<M, V>(
+        &self,
+        problem: Problem<'_, M, V>,
+        rng: &mut SimRng,
+        mut observe: impl FnMut(&Estimate),
+    ) -> SMlssResult
+    where
+        M: SimulationModel,
+        V: ValueFunction<M::State>,
+    {
+        let start = std::time::Instant::now();
+        let plan = &self.config.plan;
+        let m = plan.num_levels();
+        let r = self.config.ratio;
+
+        let mut steps: u64 = 0;
+        let mut n_roots: u64 = 0;
+        let mut hits: u64 = 0;
+        let mut level_entries = vec![0u64; m];
+        let mut moments = RunningMoments::new();
+        let mut root_hits: Vec<u32> = Vec::new();
+        let mut since_check: u64 = 0;
+        let mut stack: Vec<Segment<M::State>> = Vec::new();
+
+        loop {
+            let est = self.estimate_from(n_roots, hits, steps, &moments);
+            if n_roots > 0 {
+                observe(&est);
+            }
+            if !self.config.control.should_continue(&est, &mut since_check) {
+                break;
+            }
+
+            // --- one root path and all its offspring -------------------
+            let init = problem.model.initial_state();
+            let init_level = plan.level_of(problem.value(&init)).min(m - 1);
+            let mut this_root_hits: u32 = 0;
+
+            stack.clear();
+            // A root born above L_0 is treated as having entered
+            // L_1..L_{k} at t = 0, cascading the splits those entrances
+            // imply (multiplicity r^k); the estimator's r^{m-1} hit
+            // multiplier stays exact. (The paper assumes starts in L_0;
+            // this is the faithful generalization.)
+            let mut mult: u64 = 1;
+            for i in 1..=init_level {
+                level_entries[i - 1] += mult;
+                mult *= r as u64;
+                assert!(
+                    mult <= 1_000_000,
+                    "initial value crosses too many levels for s-MLSS cascading"
+                );
+            }
+            for _ in 0..mult {
+                stack.push(Segment {
+                    state: init.clone(),
+                    t: 0,
+                    level: init_level,
+                });
+            }
+
+            while let Some(seg) = stack.pop() {
+                let mut state = seg.state;
+                let watch = seg.level + 1; // the level we wait to land in
+                for t in (seg.t + 1)..=problem.horizon {
+                    state = problem.model.step(&state, t, rng);
+                    steps += 1;
+                    let f = problem.value(&state);
+                    if plan.level_of(f) == watch {
+                        if watch == m {
+                            // Target level reached.
+                            hits += 1;
+                            this_root_hits += 1;
+                        } else {
+                            level_entries[watch - 1] += 1;
+                            for _ in 0..r {
+                                stack.push(Segment {
+                                    state: state.clone(),
+                                    t,
+                                    level: watch,
+                                });
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+
+            n_roots += 1;
+            since_check += 1;
+            if this_root_hits > 0 {
+                level_entries[m - 1] += this_root_hits as u64;
+            }
+            moments.push(this_root_hits as f64);
+            if self.config.keep_root_hits {
+                root_hits.push(this_root_hits);
+            }
+        }
+
+        SMlssResult {
+            estimate: self.estimate_from(n_roots, hits, steps, &moments),
+            level_entries,
+            root_hits: self.config.keep_root_hits.then_some(root_hits),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Assemble the estimate: `τ̂ = N_m/(N_0 r^{m-1})` (Eq. 3) with
+    /// variance `σ̂²/(N_0 r^{2(m-1)})` (Eq. 5-6), where `σ̂²` is the sample
+    /// variance of per-root hit counts.
+    fn estimate_from(
+        &self,
+        n_roots: u64,
+        hits: u64,
+        steps: u64,
+        moments: &RunningMoments,
+    ) -> Estimate {
+        let m = self.config.plan.num_levels();
+        let r = self.config.ratio as f64;
+        let scale = r.powi(m as i32 - 1);
+        let (tau, variance) = if n_roots == 0 {
+            (0.0, f64::INFINITY)
+        } else {
+            let tau = hits as f64 / (n_roots as f64 * scale);
+            let var = moments.sample_variance() / (n_roots as f64 * scale * scale);
+            (tau, var)
+        };
+        Estimate {
+            tau,
+            variance,
+            n_roots,
+            steps,
+            hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::QualityTarget;
+    use crate::query::RatioValue;
+    use crate::rng::rng_from_seed;
+    use rand::RngExt;
+
+    /// Additive random walk on [0, 1]: steps of ±1/k, never skips levels
+    /// that are at least 1/k apart.
+    struct FineWalk {
+        k: u32,
+        up: f64,
+    }
+
+    impl SimulationModel for FineWalk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            let d = 1.0 / self.k as f64;
+            if rng.random::<f64>() < self.up {
+                (s + d).min(1.0)
+            } else {
+                (s - d).max(0.0)
+            }
+        }
+    }
+
+    fn walk_problem(_model: &FineWalk, horizon: Time) -> (RatioValue<fn(&f64) -> f64>, Time) {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        (RatioValue::new(score as fn(&f64) -> f64, 1.0), horizon)
+    }
+
+    #[test]
+    fn ratio_one_equals_srs_estimator() {
+        let model = FineWalk { k: 8, up: 0.45 };
+        let (vf, horizon) = walk_problem(&model, 60);
+        let problem = Problem::new(&model, &vf, horizon);
+
+        let plan = PartitionPlan::new(vec![0.25, 0.5, 0.75]).unwrap();
+        let cfg = SMlssConfig::new(plan, RunControl::budget(200_000)).with_ratio(1);
+        let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(7));
+
+        // With r = 1, τ̂ = N_m / N_0 — the SRS form.
+        let est = res.estimate;
+        assert!(
+            (est.tau - est.hits as f64 / est.n_roots as f64).abs() < 1e-15,
+            "r=1 estimator must be N_m/N_0"
+        );
+        // And variance ≈ SRS binomial variance (sample vs population var
+        // differ by n/(n-1)).
+        let srs_var = est.tau * (1.0 - est.tau) / est.n_roots as f64;
+        assert!(
+            (est.variance - srs_var).abs() / srs_var < 0.01,
+            "variance {} vs srs {}",
+            est.variance,
+            srs_var
+        );
+    }
+
+    #[test]
+    fn mlss_matches_srs_estimate_on_walk() {
+        // Ground truth via brute-force SRS with a large budget; MLSS must
+        // agree within combined CI.
+        let model = FineWalk { k: 10, up: 0.5 };
+        let (vf, horizon) = walk_problem(&model, 100);
+        let problem = Problem::new(&model, &vf, horizon);
+
+        let srs = crate::srs::SrsSampler::new(RunControl::budget(2_000_000))
+            .run(problem, &mut rng_from_seed(1));
+
+        let plan = PartitionPlan::new(vec![0.3, 0.6]).unwrap();
+        let cfg = SMlssConfig::new(plan, RunControl::budget(2_000_000)).with_ratio(3);
+        let mlss = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(2));
+
+        let diff = (srs.estimate.tau - mlss.estimate.tau).abs();
+        let tol = 3.0 * (srs.estimate.variance + mlss.estimate.variance).sqrt();
+        assert!(
+            diff <= tol.max(1e-3),
+            "SRS {} vs MLSS {} (diff {diff}, tol {tol})",
+            srs.estimate.tau,
+            mlss.estimate.tau
+        );
+    }
+
+    #[test]
+    fn level_counters_consistent() {
+        let model = FineWalk { k: 10, up: 0.55 };
+        let (vf, horizon) = walk_problem(&model, 80);
+        let problem = Problem::new(&model, &vf, horizon);
+        let plan = PartitionPlan::new(vec![0.3, 0.6]).unwrap();
+        let cfg = SMlssConfig::new(plan, RunControl::budget(50_000));
+        let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(3));
+
+        assert_eq!(res.level_entries.len(), 3);
+        // N_m in counters equals hits in the estimate.
+        assert_eq!(res.level_entries[2], res.estimate.hits);
+        // Each split produces at most r offsprings' worth of next-level
+        // entries: N_{i+1} ≤ r · N_i.
+        assert!(res.level_entries[1] <= 3 * res.level_entries[0]);
+        assert!(res.level_entries[2] <= 3 * res.level_entries[1]);
+        // Advancement probabilities are valid probabilities.
+        for p in res.advancement_probabilities(3) {
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn keep_root_hits_sums_to_total() {
+        let model = FineWalk { k: 6, up: 0.55 };
+        let (vf, horizon) = walk_problem(&model, 60);
+        let problem = Problem::new(&model, &vf, horizon);
+        let plan = PartitionPlan::new(vec![0.5]).unwrap();
+        let mut cfg = SMlssConfig::new(plan, RunControl::budget(30_000));
+        cfg.keep_root_hits = true;
+        let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(4));
+        let rh = res.root_hits.unwrap();
+        assert_eq!(rh.len() as u64, res.estimate.n_roots);
+        assert_eq!(rh.iter().map(|&h| h as u64).sum::<u64>(), res.estimate.hits);
+    }
+
+    #[test]
+    fn quality_target_mode_reaches_re() {
+        let model = FineWalk { k: 6, up: 0.5 };
+        let (vf, horizon) = walk_problem(&model, 50);
+        let problem = Problem::new(&model, &vf, horizon);
+        let plan = PartitionPlan::new(vec![0.5]).unwrap();
+        let cfg = SMlssConfig::new(
+            plan,
+            RunControl::Target {
+                target: QualityTarget::RelativeError {
+                    target: 0.2,
+                    reference: None,
+                },
+                check_every: 128,
+                max_steps: 50_000_000,
+            },
+        );
+        let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(9));
+        assert!(res.estimate.self_relative_error() <= 0.2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ratio_rejected() {
+        let cfg = SMlssConfig::new(PartitionPlan::trivial(), RunControl::budget(1)).with_ratio(0);
+        let _ = SMlssSampler::new(cfg);
+    }
+}

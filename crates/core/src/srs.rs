@@ -1,0 +1,232 @@
+//! Simple Random Sampling — the standard Monte Carlo baseline (§2.2).
+//!
+//! SRS simulates `n` independent sample paths, labels each with whether it
+//! satisfied the query condition by the horizon, and estimates
+//! `τ̂ = Σ l(SP_i) / n` with variance `τ̂(1 − τ̂)/n`. It is also the
+//! degenerate case of MLSS with splitting ratio `r = 1` (§3.1), which our
+//! test suite checks.
+
+use crate::estimate::Estimate;
+use crate::model::SimulationModel;
+use crate::quality::RunControl;
+use crate::query::{Problem, ValueFunction};
+use crate::rng::SimRng;
+
+/// Result of one SRS run.
+#[derive(Debug, Clone)]
+pub struct SrsResult {
+    /// Final estimate.
+    pub estimate: Estimate,
+    /// Wall-clock simulation time.
+    pub elapsed: std::time::Duration,
+}
+
+/// The SRS sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SrsSampler {
+    /// Stopping criterion.
+    pub control: RunControl,
+}
+
+impl SrsSampler {
+    /// Sampler with the given stopping criterion.
+    pub fn new(control: RunControl) -> Self {
+        Self { control }
+    }
+
+    /// Run to completion.
+    pub fn run<M, V>(&self, problem: Problem<'_, M, V>, rng: &mut SimRng) -> SrsResult
+    where
+        M: SimulationModel,
+        V: ValueFunction<M::State>,
+    {
+        self.run_observed(problem, rng, |_| {})
+    }
+
+    /// Run, invoking `observe` with the running estimate after every root
+    /// path (used to trace convergence for Figure 8).
+    pub fn run_observed<M, V>(
+        &self,
+        problem: Problem<'_, M, V>,
+        rng: &mut SimRng,
+        mut observe: impl FnMut(&Estimate),
+    ) -> SrsResult
+    where
+        M: SimulationModel,
+        V: ValueFunction<M::State>,
+    {
+        let start = std::time::Instant::now();
+        let mut steps: u64 = 0;
+        let mut n: u64 = 0;
+        let mut hits: u64 = 0;
+        let mut since_check: u64 = 0;
+
+        loop {
+            let est = estimate_from_counts(n, hits, steps);
+            if n > 0 {
+                observe(&est);
+            }
+            if !self.control.should_continue(&est, &mut since_check) {
+                break;
+            }
+
+            // One root path.
+            let mut state = problem.model.initial_state();
+            let mut hit = false;
+            for t in 1..=problem.horizon {
+                state = problem.model.step(&state, t, rng);
+                steps += 1;
+                if problem.satisfied(&state) {
+                    hit = true;
+                    break;
+                }
+            }
+            n += 1;
+            since_check += 1;
+            if hit {
+                hits += 1;
+            }
+        }
+
+        SrsResult {
+            estimate: estimate_from_counts(n, hits, steps),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Build the SRS estimate from counts: `τ̂ = hits/n`,
+/// `Var(τ̂) = τ̂(1 − τ̂)/n`.
+pub fn estimate_from_counts(n: u64, hits: u64, steps: u64) -> Estimate {
+    let (tau, variance) = if n == 0 {
+        (0.0, f64::INFINITY)
+    } else {
+        let tau = hits as f64 / n as f64;
+        (tau, tau * (1.0 - tau) / n as f64)
+    };
+    Estimate {
+        tau,
+        variance,
+        n_roots: n,
+        steps,
+        hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Time;
+    use crate::query::RatioValue;
+    use crate::rng::rng_from_seed;
+    use rand::RngExt;
+
+    /// Bernoulli "process": jumps straight to the target with probability
+    /// `p` on the first step, else stays at 0 forever.
+    pub(crate) struct Jump {
+        pub p: f64,
+    }
+
+    impl SimulationModel for Jump {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, state: &f64, t: Time, rng: &mut SimRng) -> f64 {
+            if t == 1 && rng.random::<f64>() < self.p {
+                1.0
+            } else {
+                *state
+            }
+        }
+    }
+
+    #[test]
+    fn srs_estimates_bernoulli() {
+        let model = Jump { p: 0.3 };
+        let vf = RatioValue::new(|s: &f64| *s, 1.0);
+        let problem = Problem::new(&model, &vf, 5);
+        let sampler = SrsSampler::new(RunControl::budget(100_000));
+        let res = sampler.run(problem, &mut rng_from_seed(11));
+        let est = res.estimate;
+        assert!(
+            (est.tau - 0.3).abs() < 0.02,
+            "tau = {} should be near 0.3",
+            est.tau
+        );
+        // Variance formula sanity: p(1-p)/n.
+        let expect_var = est.tau * (1.0 - est.tau) / est.n_roots as f64;
+        assert!((est.variance - expect_var).abs() < 1e-15);
+    }
+
+    #[test]
+    fn srs_budget_respected() {
+        let model = Jump { p: 0.0 };
+        let vf = RatioValue::new(|s: &f64| *s, 1.0);
+        let problem = Problem::new(&model, &vf, 10);
+        let sampler = SrsSampler::new(RunControl::budget(1000));
+        let res = sampler.run(problem, &mut rng_from_seed(1));
+        // Never-hitting paths cost exactly `horizon` steps each; the run
+        // stops at the first completion at or beyond the budget.
+        assert!(res.estimate.steps >= 1000);
+        assert!(res.estimate.steps < 1000 + 10);
+        assert_eq!(res.estimate.hits, 0);
+        assert_eq!(res.estimate.tau, 0.0);
+    }
+
+    #[test]
+    fn srs_stops_early_on_hit() {
+        let model = Jump { p: 1.0 };
+        let vf = RatioValue::new(|s: &f64| *s, 1.0);
+        let problem = Problem::new(&model, &vf, 100);
+        let sampler = SrsSampler::new(RunControl::budget(10));
+        let res = sampler.run(problem, &mut rng_from_seed(1));
+        // Every path hits at t=1, so each costs 1 step.
+        assert_eq!(res.estimate.steps, res.estimate.n_roots);
+        assert_eq!(res.estimate.tau, 1.0);
+    }
+
+    #[test]
+    fn srs_quality_target_mode() {
+        let model = Jump { p: 0.5 };
+        let vf = RatioValue::new(|s: &f64| *s, 1.0);
+        let problem = Problem::new(&model, &vf, 3);
+        let sampler = SrsSampler::new(RunControl::Target {
+            target: crate::quality::QualityTarget::RelativeError {
+                target: 0.10,
+                reference: None,
+            },
+            check_every: 64,
+            max_steps: 10_000_000,
+        });
+        let res = sampler.run(problem, &mut rng_from_seed(5));
+        assert!(res.estimate.self_relative_error() <= 0.10);
+        // RE 10% on p=0.5 needs around (1-p)/p / 0.01 = 100 roots.
+        assert!(res.estimate.n_roots >= 64);
+    }
+
+    #[test]
+    fn observer_sees_monotone_steps() {
+        let model = Jump { p: 0.2 };
+        let vf = RatioValue::new(|s: &f64| *s, 1.0);
+        let problem = Problem::new(&model, &vf, 4);
+        let sampler = SrsSampler::new(RunControl::budget(500));
+        let mut last = 0;
+        let mut calls = 0;
+        sampler.run_observed(problem, &mut rng_from_seed(2), |e| {
+            assert!(e.steps >= last);
+            last = e.steps;
+            calls += 1;
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn zero_root_estimate_is_safe() {
+        let e = estimate_from_counts(0, 0, 0);
+        assert_eq!(e.tau, 0.0);
+        assert!(e.variance.is_infinite());
+    }
+}

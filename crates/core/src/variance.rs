@@ -1,0 +1,113 @@
+//! Closed-form variance results from the paper (§3.1, §4.2, §5.1).
+
+/// Variance of the s-MLSS estimator under *balanced growth* (Eq. 13):
+/// with `m` levels, equal advancement probability `p = τ^{1/m}`, and `N_0`
+/// root paths,
+/// `Var(τ̂) = m (1 − p) p^{2m−1} / N_0`.
+///
+/// Used by the optimizer as a theoretical yardstick and by tests.
+pub fn balanced_growth_variance(tau: f64, m: usize, n0: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&tau), "τ must be a probability");
+    assert!(m >= 1);
+    assert!(n0 >= 1);
+    if tau == 0.0 || tau == 1.0 {
+        return 0.0;
+    }
+    let p = tau.powf(1.0 / m as f64);
+    m as f64 * (1.0 - p) * p.powi(2 * m as i32 - 1) / n0 as f64
+}
+
+/// The paper's two-level level-skipping variance (Eq. 11):
+///
+/// ```text
+/// Var(τ̂) = p²₁₂ · p₀₁(1−p₀₁)/N₀  +  p₀₁ · Var(N₂⟨1⟩)/(N₀ r²)
+///          + p₀₂(1−p₀₂)/N₀
+/// ```
+///
+/// where `p01` is the probability a root lands in `L_1`, `p12` the
+/// probability a split offspring then reaches the target, `p02` the
+/// probability of skipping straight from `L_0` to the target,
+/// `var_n2_root` the variance of target hits from one split's offsprings,
+/// and `r` the splitting ratio.
+#[allow(clippy::too_many_arguments)]
+pub fn two_level_skip_variance(
+    p01: f64,
+    p12: f64,
+    p02: f64,
+    var_n2_root: f64,
+    n0: u64,
+    r: u32,
+) -> f64 {
+    assert!(n0 >= 1);
+    assert!(r >= 1);
+    let n0 = n0 as f64;
+    let r = r as f64;
+    p12 * p12 * p01 * (1.0 - p01) / n0 + p01 * var_n2_root / (n0 * r * r)
+        + p02 * (1.0 - p02) / n0
+}
+
+/// SRS estimator variance `τ(1−τ)/n` for reference.
+pub fn srs_variance(tau: f64, n: u64) -> f64 {
+    assert!(n >= 1);
+    tau * (1.0 - tau) / n as f64
+}
+
+/// Expected number of `g` invocations SRS needs to reach a target relative
+/// error `re` on a query with answer `τ` and average path cost `c` —
+/// the `n ≈ (1−τ)/(τ · re²)` rule that makes SRS explode as `τ → 0`
+/// (§1, §2.2).
+pub fn srs_cost_for_relative_error(tau: f64, re: f64, cost_per_path: f64) -> f64 {
+    assert!(tau > 0.0 && tau < 1.0);
+    assert!(re > 0.0);
+    (1.0 - tau) / (tau * re * re) * cost_per_path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_growth_decreases_with_levels() {
+        let tau = 1e-4;
+        let v1 = balanced_growth_variance(tau, 1, 1000);
+        let v3 = balanced_growth_variance(tau, 3, 1000);
+        let v6 = balanced_growth_variance(tau, 6, 1000);
+        assert!(v1 > v3 && v3 > v6, "{v1} {v3} {v6}");
+    }
+
+    #[test]
+    fn balanced_growth_m1_is_srs() {
+        // One level: p = τ, Var = (1−τ)τ/N₀ — the SRS variance.
+        let tau = 0.02;
+        let v = balanced_growth_variance(tau, 1, 500);
+        assert!((v - srs_variance(tau, 500)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn balanced_growth_edge_probabilities() {
+        assert_eq!(balanced_growth_variance(0.0, 3, 10), 0.0);
+        assert_eq!(balanced_growth_variance(1.0, 3, 10), 0.0);
+    }
+
+    #[test]
+    fn two_level_degenerates_without_skipping() {
+        // p02 = 0 and p01 = 1 reduces Eq. 11 to Var(N₂⟨1⟩)/(N₀ r²) — the
+        // no-skip form of Eq. 5 with m = 2.
+        let v = two_level_skip_variance(1.0, 0.3, 0.0, 0.7, 100, 3);
+        assert!((v - 0.7 / (100.0 * 9.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_level_pure_skip_is_binomial() {
+        // p01 = 0: only skip paths contribute, a Bernoulli(p02) per root.
+        let v = two_level_skip_variance(0.0, 0.0, 0.2, 0.0, 50, 3);
+        assert!((v - 0.2 * 0.8 / 50.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn srs_cost_blows_up_for_rare_events() {
+        let c_common = srs_cost_for_relative_error(0.1, 0.1, 500.0);
+        let c_rare = srs_cost_for_relative_error(1e-4, 0.1, 500.0);
+        assert!(c_rare / c_common > 500.0);
+    }
+}

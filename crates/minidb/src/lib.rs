@@ -1,0 +1,36 @@
+//! # mlss-db
+//!
+//! An embedded mini-DBMS hosting the full durability-query pipeline —
+//! the reproduction of the paper's "Implementations inside DBMS" (§6.4),
+//! where PostgreSQL stored model parameters in tables, ran MLSS as a
+//! stored procedure, and materialized sample paths for inspection.
+//!
+//! * [`value`] / [`schema`] — typed cells and table schemas;
+//! * [`expr`] — filter/computed-column expressions with SQL
+//!   three-valued-logic semantics;
+//! * [`table`] — row-store tables: scan, filter, project, order,
+//!   aggregate, delete;
+//! * [`engine`] — the thread-safe catalog;
+//! * [`storage`] — crash-safe JSON persistence with corruption recovery;
+//! * [`proc`] — stored procedures: `mlss_estimate`, `materialize_paths`;
+//! * [`sql`] — a SQL front end (SELECT/INSERT/CREATE/DELETE/DROP).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod expr;
+pub mod proc;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod table;
+pub mod value;
+
+pub use engine::{Database, DbError};
+pub use expr::{col, lit, Expr};
+pub use proc::{seed_default_models, ProcRegistry, StoredProcedure};
+pub use schema::{ColumnDef, Schema};
+pub use sql::{execute, ExecResult};
+pub use storage::{load, save, LoadReport};
+pub use table::{Aggregate, Table, TableError};
+pub use value::{DataType, Value};

@@ -1,0 +1,480 @@
+//! Stored procedures — the paper's "MLSS inside a DBMS" (§6.4).
+//!
+//! Predictive-model parameters live in an ordinary table (`models`), the
+//! samplers run as registered procedures, results land in a `results`
+//! table, and sample paths can be materialized into tables for
+//! visualization or downstream analysis — the end-to-end pipeline the
+//! paper demonstrates on PostgreSQL, here on the embedded engine.
+//!
+//! Built-ins:
+//! * `mlss_estimate(model, method, beta, horizon, target_re)` — answer a
+//!   durability query with `method ∈ {"srs", "mlss"}` to a relative-error
+//!   target; appends a row to `results` and returns the estimate.
+//! * `materialize_paths(model, horizon, n_paths, dest)` — simulate and
+//!   store sample paths as `(path_id, t, value)` rows.
+
+use crate::engine::{Database, DbError};
+use crate::schema::{ColumnDef, Schema};
+use crate::table::Aggregate;
+use crate::value::{DataType, Value};
+use mlss_core::model::SimulationModel;
+use mlss_core::partition::balanced_plan;
+use mlss_core::prelude::{
+    GMlssConfig, GMlssSampler, Problem, QualityTarget, RatioValue, RunControl, SimRng,
+    SrsSampler, StateScore,
+};
+use mlss_models::{CompoundPoisson, JumpDistribution, TandemQueue};
+use std::collections::BTreeMap;
+
+/// A stored procedure.
+pub trait StoredProcedure: Sync + Send {
+    /// Procedure name used in `call`.
+    fn name(&self) -> &str;
+    /// Execute with positional arguments.
+    fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng)
+        -> Result<Value, DbError>;
+}
+
+/// Registry of stored procedures.
+pub struct ProcRegistry {
+    procs: BTreeMap<String, Box<dyn StoredProcedure>>,
+}
+
+impl Default for ProcRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl ProcRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self {
+            procs: BTreeMap::new(),
+        }
+    }
+
+    /// Registry preloaded with the built-in procedures.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(MlssEstimate));
+        r.register(Box::new(MaterializePaths));
+        r
+    }
+
+    /// Register a procedure (replacing any previous one of the same name).
+    pub fn register(&mut self, proc_: Box<dyn StoredProcedure>) {
+        self.procs.insert(proc_.name().to_string(), proc_);
+    }
+
+    /// Registered names.
+    pub fn names(&self) -> Vec<&str> {
+        self.procs.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Call a procedure by name.
+    pub fn call(
+        &self,
+        db: &Database,
+        name: &str,
+        args: &[Value],
+        rng: &mut SimRng,
+    ) -> Result<Value, DbError> {
+        let p = self
+            .procs
+            .get(name)
+            .ok_or_else(|| DbError::Proc(format!("no procedure '{name}'")))?;
+        p.execute(db, args, rng)
+    }
+}
+
+/// Schema of the `models` parameter table.
+pub fn models_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("model", DataType::Text),
+        ColumnDef::new("param", DataType::Text),
+        ColumnDef::new("value", DataType::Float),
+    ])
+    .expect("static schema")
+}
+
+/// Schema of the `results` output table.
+pub fn results_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("model", DataType::Text),
+        ColumnDef::new("method", DataType::Text),
+        ColumnDef::new("beta", DataType::Float),
+        ColumnDef::new("horizon", DataType::Int),
+        ColumnDef::new("tau", DataType::Float),
+        ColumnDef::new("variance", DataType::Float),
+        ColumnDef::new("steps", DataType::Int),
+        ColumnDef::new("n_roots", DataType::Int),
+        ColumnDef::new("millis", DataType::Int),
+    ])
+    .expect("static schema")
+}
+
+/// Seed the `models` table with the paper-default queue and CPP models.
+pub fn seed_default_models(db: &Database) -> Result<(), DbError> {
+    if !db.has_table("models") {
+        db.create_table("models", models_schema())?;
+    }
+    let rows: Vec<(&str, &str, f64)> = vec![
+        ("queue", "arrival_rate", 0.5),
+        ("queue", "service_rate1", 0.5),
+        ("queue", "service_rate2", 0.5),
+        ("cpp", "initial", 15.0),
+        ("cpp", "premium", 4.5),
+        ("cpp", "intensity", 0.8),
+        ("cpp", "jump_lo", 5.0),
+        ("cpp", "jump_hi", 10.0),
+    ];
+    db.insert_many(
+        "models",
+        rows.into_iter()
+            .map(|(m, p, v)| vec![m.into(), p.into(), v.into()]),
+    )?;
+    Ok(())
+}
+
+/// Parameter bag read back from the `models` table.
+fn load_params(db: &Database, model: &str) -> Result<BTreeMap<String, f64>, DbError> {
+    let rows = db.with_table("models", |t| {
+        t.scan()
+            .filter(|r| r[0].as_str() == Some(model))
+            .map(|r| {
+                (
+                    r[1].as_str().unwrap_or("").to_string(),
+                    r[2].as_f64().unwrap_or(f64::NAN),
+                )
+            })
+            .collect::<BTreeMap<_, _>>()
+    })?;
+    if rows.is_empty() {
+        return Err(DbError::Proc(format!("no parameters for model '{model}'")));
+    }
+    Ok(rows)
+}
+
+fn need(params: &BTreeMap<String, f64>, key: &str) -> Result<f64, DbError> {
+    params
+        .get(key)
+        .copied()
+        .ok_or_else(|| DbError::Proc(format!("missing parameter '{key}'")))
+}
+
+/// The supported in-database simulation models.
+enum DbModel {
+    Queue(TandemQueue),
+    Cpp(CompoundPoisson),
+}
+
+fn build_model(db: &Database, name: &str) -> Result<DbModel, DbError> {
+    let params = load_params(db, name)?;
+    match name {
+        "queue" => Ok(DbModel::Queue(TandemQueue::new(
+            need(&params, "arrival_rate")?,
+            need(&params, "service_rate1")?,
+            need(&params, "service_rate2")?,
+        ))),
+        "cpp" => Ok(DbModel::Cpp(CompoundPoisson::new(
+            need(&params, "initial")?,
+            need(&params, "premium")?,
+            need(&params, "intensity")?,
+            JumpDistribution::Uniform {
+                lo: need(&params, "jump_lo")?,
+                hi: need(&params, "jump_hi")?,
+            },
+        ))),
+        other => Err(DbError::Proc(format!("unknown model '{other}'"))),
+    }
+}
+
+fn arg_text(args: &[Value], i: usize) -> Result<&str, DbError> {
+    args.get(i)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| DbError::Proc(format!("argument {i} must be text")))
+}
+
+fn arg_f64(args: &[Value], i: usize) -> Result<f64, DbError> {
+    args.get(i)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| DbError::Proc(format!("argument {i} must be numeric")))
+}
+
+fn arg_i64(args: &[Value], i: usize) -> Result<i64, DbError> {
+    args.get(i)
+        .and_then(|v| v.as_i64())
+        .ok_or_else(|| DbError::Proc(format!("argument {i} must be an integer")))
+}
+
+/// Run one estimate for a concrete model+score.
+fn run_estimate<M, Z>(
+    model: &M,
+    score: Z,
+    beta: f64,
+    horizon: u64,
+    method: &str,
+    target_re: f64,
+    rng: &mut SimRng,
+) -> Result<(f64, f64, u64, u64), DbError>
+where
+    M: SimulationModel,
+    Z: StateScore<M::State>,
+{
+    let vf = RatioValue::new(score, beta);
+    let problem = Problem::new(model, &vf, horizon);
+    let control = RunControl::Target {
+        target: QualityTarget::RelativeError {
+            target: target_re,
+            reference: None,
+        },
+        check_every: 256,
+        max_steps: 2_000_000_000,
+    };
+    match method {
+        "srs" => {
+            let res = SrsSampler::new(control).run(problem, rng);
+            let e = res.estimate;
+            Ok((e.tau, e.variance, e.steps, e.n_roots))
+        }
+        "mlss" => {
+            let (plan, _) = balanced_plan(problem, 4, 2000, rng);
+            let cfg = GMlssConfig::new(plan, control);
+            let res = GMlssSampler::new(cfg).run(problem, rng);
+            let e = res.estimate;
+            Ok((e.tau, e.variance, e.steps, e.n_roots))
+        }
+        other => Err(DbError::Proc(format!(
+            "method must be 'srs' or 'mlss', got '{other}'"
+        ))),
+    }
+}
+
+/// `mlss_estimate(model, method, beta, horizon, target_re)`.
+struct MlssEstimate;
+
+impl StoredProcedure for MlssEstimate {
+    fn name(&self) -> &str {
+        "mlss_estimate"
+    }
+
+    fn execute(
+        &self,
+        db: &Database,
+        args: &[Value],
+        rng: &mut SimRng,
+    ) -> Result<Value, DbError> {
+        let model_name = arg_text(args, 0)?.to_string();
+        let method = arg_text(args, 1)?.to_string();
+        let beta = arg_f64(args, 2)?;
+        let horizon = arg_i64(args, 3)?;
+        if horizon < 1 {
+            return Err(DbError::Proc("horizon must be ≥ 1".into()));
+        }
+        let target_re = arg_f64(args, 4)?;
+        if !(target_re > 0.0) {
+            return Err(DbError::Proc("target_re must be positive".into()));
+        }
+
+        let started = std::time::Instant::now();
+        let (tau, variance, steps, n_roots) = match build_model(db, &model_name)? {
+            DbModel::Queue(q) => run_estimate(
+                &q,
+                mlss_models::queue2_score,
+                beta,
+                horizon as u64,
+                &method,
+                target_re,
+                rng,
+            )?,
+            DbModel::Cpp(c) => run_estimate(
+                &c,
+                mlss_models::surplus_score,
+                beta,
+                horizon as u64,
+                &method,
+                target_re,
+                rng,
+            )?,
+        };
+        let millis = started.elapsed().as_millis() as i64;
+
+        if !db.has_table("results") {
+            db.create_table("results", results_schema())?;
+        }
+        db.insert(
+            "results",
+            vec![
+                model_name.into(),
+                method.into(),
+                beta.into(),
+                Value::Int(horizon),
+                tau.into(),
+                variance.into(),
+                Value::Int(steps as i64),
+                Value::Int(n_roots as i64),
+                Value::Int(millis),
+            ],
+        )?;
+        Ok(Value::Float(tau))
+    }
+}
+
+/// `materialize_paths(model, horizon, n_paths, dest_table)`.
+struct MaterializePaths;
+
+impl StoredProcedure for MaterializePaths {
+    fn name(&self) -> &str {
+        "materialize_paths"
+    }
+
+    fn execute(
+        &self,
+        db: &Database,
+        args: &[Value],
+        rng: &mut SimRng,
+    ) -> Result<Value, DbError> {
+        let model_name = arg_text(args, 0)?.to_string();
+        let horizon = arg_i64(args, 1)?.max(1) as u64;
+        let n_paths = arg_i64(args, 2)?.max(1) as u64;
+        let dest = arg_text(args, 3)?.to_string();
+
+        let schema = Schema::new(vec![
+            ColumnDef::new("path_id", DataType::Int),
+            ColumnDef::new("t", DataType::Int),
+            ColumnDef::new("value", DataType::Float),
+        ])
+        .expect("static schema");
+        db.create_or_replace_table(dest.clone(), schema);
+
+        let mut total = 0i64;
+        match build_model(db, &model_name)? {
+            DbModel::Queue(q) => {
+                for pid in 0..n_paths {
+                    let path = mlss_core::model::simulate_path(&q, horizon, rng);
+                    let rows = path.states.iter().enumerate().map(|(t, s)| {
+                        vec![
+                            Value::Int(pid as i64),
+                            Value::Int(t as i64),
+                            Value::Float(mlss_models::queue2_score(s)),
+                        ]
+                    });
+                    total += db.insert_many(&dest, rows)? as i64;
+                }
+            }
+            DbModel::Cpp(c) => {
+                for pid in 0..n_paths {
+                    let path = mlss_core::model::simulate_path(&c, horizon, rng);
+                    let rows = path.states.iter().enumerate().map(|(t, s)| {
+                        vec![
+                            Value::Int(pid as i64),
+                            Value::Int(t as i64),
+                            Value::Float(*s),
+                        ]
+                    });
+                    total += db.insert_many(&dest, rows)? as i64;
+                }
+            }
+        }
+        Ok(Value::Int(total))
+    }
+}
+
+/// Convenience: count rows in `results` (used by tests/examples).
+pub fn results_count(db: &Database) -> Result<i64, DbError> {
+    db.with_table("results", |t| {
+        t.aggregate(&Aggregate::CountAll, None)
+            .map(|v| v.as_i64().unwrap_or(0))
+    })?
+    .map_err(DbError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlss_core::rng::rng_from_seed;
+
+    fn db() -> Database {
+        let db = Database::new();
+        seed_default_models(&db).unwrap();
+        db
+    }
+
+    #[test]
+    fn registry_lists_builtins() {
+        let r = ProcRegistry::with_builtins();
+        let names = r.names();
+        assert!(names.contains(&"mlss_estimate"));
+        assert!(names.contains(&"materialize_paths"));
+    }
+
+    #[test]
+    fn estimate_srs_and_mlss_agree() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(5);
+        // Loose 25% RE keeps the test fast; queue β=8, s=100.
+        let args_srs: Vec<Value> = vec![
+            "queue".into(),
+            "srs".into(),
+            8.0.into(),
+            Value::Int(100),
+            0.25.into(),
+        ];
+        let tau_srs = r
+            .call(&db, "mlss_estimate", &args_srs, &mut rng)
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let args_mlss: Vec<Value> = vec![
+            "queue".into(),
+            "mlss".into(),
+            8.0.into(),
+            Value::Int(100),
+            0.25.into(),
+        ];
+        let tau_mlss = r
+            .call(&db, "mlss_estimate", &args_mlss, &mut rng)
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(tau_srs > 0.0 && tau_mlss > 0.0);
+        let rel = (tau_srs - tau_mlss).abs() / tau_srs;
+        assert!(rel < 1.0, "srs {tau_srs} vs mlss {tau_mlss}");
+        assert_eq!(results_count(&db).unwrap(), 2);
+    }
+
+    #[test]
+    fn estimate_validates_arguments() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(1);
+        let bad: Vec<Value> = vec!["queue".into(), "nope".into(), 8.0.into(), Value::Int(10), 0.5.into()];
+        assert!(r.call(&db, "mlss_estimate", &bad, &mut rng).is_err());
+        let bad2: Vec<Value> = vec!["mystery".into(), "srs".into(), 8.0.into(), Value::Int(10), 0.5.into()];
+        assert!(r.call(&db, "mlss_estimate", &bad2, &mut rng).is_err());
+        assert!(r.call(&db, "missing_proc", &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn materialize_paths_writes_rows() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(9);
+        let args: Vec<Value> = vec![
+            "cpp".into(),
+            Value::Int(50),
+            Value::Int(3),
+            "cpp_paths".into(),
+        ];
+        let n = r
+            .call(&db, "materialize_paths", &args, &mut rng)
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(n, 3 * 51);
+        let stored = db.with_table("cpp_paths", |t| t.len()).unwrap();
+        assert_eq!(stored as i64, n);
+    }
+}

@@ -1,0 +1,291 @@
+//! SQL tokenizer.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased) or bare identifier (original case).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+/// Tokenization error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte position in the input.
+    pub at: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semi));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Symbol(Sym::Ne));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        out.push(Token::Symbol(Sym::Le));
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        out.push(Token::Symbol(Sym::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Symbol(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                at: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (b == 'e' || b == 'E') && !saw_exp && i > start {
+                        saw_exp = true;
+                        i += 1;
+                        if matches!(bytes.get(i), Some(&b'+') | Some(&b'-')) {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if saw_dot || saw_exp {
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        at: start,
+                        message: format!("bad float '{text}': {e}"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        at: start,
+                        message: format!("bad integer '{text}': {e}"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    at: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x >= 1.5;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Symbol(Sym::Ge)));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert_eq!(*toks.last().unwrap(), Token::Symbol(Sym::Semi));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("< <= > >= = <> !=").unwrap();
+        use Sym::*;
+        let syms: Vec<Sym> = toks
+            .iter()
+            .map(|t| match t {
+                Token::Symbol(s) => *s,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(syms, vec![Lt, Le, Gt, Ge, Eq, Ne, Ne]);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 -7 3.25 1e-4").unwrap();
+        assert_eq!(toks[0], Token::Int(42));
+        // Leading minus is a separate symbol (unary handled by parser).
+        assert_eq!(toks[1], Token::Symbol(Sym::Minus));
+        assert_eq!(toks[2], Token::Int(7));
+        assert_eq!(toks[3], Token::Float(3.25));
+        assert_eq!(toks[4], Token::Float(1e-4));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- hidden\n1").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Int(1));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert_eq!(err.at, 7);
+        let err = tokenize("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+}

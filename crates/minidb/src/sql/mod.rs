@@ -1,0 +1,12 @@
+//! A small SQL front end for the embedded engine: tokenizer, recursive-
+//! descent parser, and executor for `SELECT` (with `WHERE`, `ORDER BY`,
+//! `LIMIT`, aggregates), `INSERT`, `CREATE TABLE`, `DELETE`, and
+//! `DROP TABLE`. Enough surface to drive the §6.4 pipeline the way the
+//! paper drove PostgreSQL.
+
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use exec::{execute, execute_statement, ExecResult};
+pub use parser::{parse, Statement};

@@ -1,0 +1,562 @@
+//! Recursive-descent SQL parser producing statement ASTs over the
+//! engine's [`Expr`](crate::expr::Expr) trees.
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::sql::lexer::{tokenize, LexError, Sym, Token};
+use crate::table::Aggregate;
+use crate::value::{DataType, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(SelectStmt),
+    /// `INSERT INTO t VALUES (...), (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `CREATE TABLE t (col TYPE [NULL], ...)`
+    CreateTable {
+        /// Table name.
+        table: String,
+        /// Column definitions: (name, type, nullable).
+        columns: Vec<(String, DataType, bool)>,
+    },
+    /// `DELETE FROM t [WHERE ...]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        predicate: Option<Expr>,
+    },
+    /// `DROP TABLE t`
+    DropTable {
+        /// Table name.
+        table: String,
+    },
+}
+
+/// The projection of a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    All,
+    /// Column names.
+    Columns(Vec<String>),
+    /// A single aggregate.
+    Aggregate(Aggregate),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// What to project.
+    pub projection: Projection,
+    /// Source table.
+    pub table: String,
+    /// Optional WHERE predicate.
+    pub predicate: Option<Expr>,
+    /// Optional ORDER BY (column, descending).
+    pub order_by: Option<(String, bool)>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol_opt(Sym::Semi);
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("trailing input at token {}", p.pos)));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Is the next token the given (case-insensitive) keyword?
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw_opt(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Sym) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Symbol(s)) if *s == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {sym:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat_symbol_opt(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.eat_kw_opt("SELECT") {
+            return self.select();
+        }
+        if self.eat_kw_opt("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw_opt("CREATE") {
+            return self.create_table();
+        }
+        if self.eat_kw_opt("DELETE") {
+            return self.delete();
+        }
+        if self.eat_kw_opt("DROP") {
+            self.eat_kw("TABLE")?;
+            return Ok(Statement::DropTable {
+                table: self.ident()?,
+            });
+        }
+        Err(self.err(format!("expected a statement, found {:?}", self.peek())))
+    }
+
+    fn select(&mut self) -> Result<Statement, ParseError> {
+        let projection = self.projection()?;
+        self.eat_kw("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw_opt("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw_opt("ORDER") {
+            self.eat_kw("BY")?;
+            let col = self.ident()?;
+            let desc = if self.eat_kw_opt("DESC") {
+                true
+            } else {
+                self.eat_kw_opt("ASC");
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw_opt("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(self.err(format!("LIMIT needs an integer, got {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStmt {
+            projection,
+            table,
+            predicate,
+            order_by,
+            limit,
+        }))
+    }
+
+    fn projection(&mut self) -> Result<Projection, ParseError> {
+        if self.eat_symbol_opt(Sym::Star) {
+            return Ok(Projection::All);
+        }
+        // Aggregate?
+        for (kw, make) in AGGREGATES {
+            if self.peek_kw(kw) {
+                // Lookahead: aggregate requires '(' right after.
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(Sym::LParen))) {
+                    self.pos += 1;
+                    self.eat_symbol(Sym::LParen)?;
+                    let agg = if self.eat_symbol_opt(Sym::Star) {
+                        if *kw != "COUNT" {
+                            return Err(self.err(format!("{kw}(*) is not valid")));
+                        }
+                        Aggregate::CountAll
+                    } else {
+                        make(self.ident()?)
+                    };
+                    self.eat_symbol(Sym::RParen)?;
+                    return Ok(Projection::Aggregate(agg));
+                }
+            }
+        }
+        let mut cols = vec![self.ident()?];
+        while self.eat_symbol_opt(Sym::Comma) {
+            cols.push(self.ident()?);
+        }
+        Ok(Projection::Columns(cols))
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("INTO")?;
+        let table = self.ident()?;
+        self.eat_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.eat_symbol(Sym::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_symbol_opt(Sym::Comma) {
+                    break;
+                }
+            }
+            self.eat_symbol(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol_opt(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("TABLE")?;
+        let table = self.ident()?;
+        self.eat_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let ty = self.ident()?;
+            let dtype = match ty.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+                "FLOAT" | "REAL" | "DOUBLE" => DataType::Float,
+                "TEXT" | "VARCHAR" | "STRING" => DataType::Text,
+                "BOOL" | "BOOLEAN" => DataType::Bool,
+                other => return Err(self.err(format!("unknown type {other}"))),
+            };
+            let nullable = self.eat_kw_opt("NULL");
+            columns.push((name, dtype, nullable));
+            if !self.eat_symbol_opt(Sym::Comma) {
+                break;
+            }
+        }
+        self.eat_symbol(Sym::RParen)?;
+        Ok(Statement::CreateTable { table, columns })
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw_opt("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    // --- expression grammar: OR > AND > NOT > cmp > add > mul > unary ---
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw_opt("OR") {
+            lhs = lhs.or(self.and_expr()?);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw_opt("AND") {
+            lhs = lhs.and(self.not_expr()?);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw_opt("NOT") {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(CmpOp::Eq),
+            Some(Token::Symbol(Sym::Ne)) => Some(CmpOp::Ne),
+            Some(Token::Symbol(Sym::Lt)) => Some(CmpOp::Lt),
+            Some(Token::Symbol(Sym::Le)) => Some(CmpOp::Le),
+            Some(Token::Symbol(Sym::Gt)) => Some(CmpOp::Gt),
+            Some(Token::Symbol(Sym::Ge)) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_symbol_opt(Sym::Plus) {
+                lhs = Expr::Arith(Box::new(lhs), ArithOp::Add, Box::new(self.mul_expr()?));
+            } else if self.eat_symbol_opt(Sym::Minus) {
+                lhs = Expr::Arith(Box::new(lhs), ArithOp::Sub, Box::new(self.mul_expr()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_symbol_opt(Sym::Star) {
+                lhs = Expr::Arith(Box::new(lhs), ArithOp::Mul, Box::new(self.unary_expr()?));
+            } else if self.eat_symbol_opt(Sym::Slash) {
+                lhs = Expr::Arith(Box::new(lhs), ArithOp::Div, Box::new(self.unary_expr()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_symbol_opt(Sym::Minus) {
+            // Unary minus: 0 - expr.
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Arith(
+                Box::new(Expr::Lit(Value::Int(0))),
+                ArithOp::Sub,
+                Box::new(inner),
+            ));
+        }
+        if self.eat_symbol_opt(Sym::LParen) {
+            let e = self.expr()?;
+            self.eat_symbol(Sym::RParen)?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Lit(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Lit(Value::Float(v))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::Text(s))),
+            Some(Token::Ident(s)) => {
+                if s.eq_ignore_ascii_case("TRUE") {
+                    Ok(Expr::Lit(Value::Bool(true)))
+                } else if s.eq_ignore_ascii_case("FALSE") {
+                    Ok(Expr::Lit(Value::Bool(false)))
+                } else if s.eq_ignore_ascii_case("NULL") {
+                    Ok(Expr::Lit(Value::Null))
+                } else {
+                    Ok(Expr::Col(s))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        // Reuse the expression parser for literals so negative numbers and
+        // arithmetic constants work; reject column references.
+        let e = self.expr()?;
+        eval_const(&e).ok_or_else(|| self.err("VALUES entries must be literal"))
+    }
+}
+
+/// Constant-fold an expression with no column references.
+fn eval_const(e: &Expr) -> Option<Value> {
+    let empty = crate::schema::Schema::new(vec![]).ok()?;
+    e.eval(&empty, &[]).ok()
+}
+
+type AggMaker = fn(String) -> Aggregate;
+const AGGREGATES: &[(&str, AggMaker)] = &[
+    ("COUNT", Aggregate::Count as AggMaker),
+    ("SUM", Aggregate::Sum as AggMaker),
+    ("AVG", Aggregate::Avg as AggMaker),
+    ("MIN", Aggregate::Min as AggMaker),
+    ("MAX", Aggregate::Max as AggMaker),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn parses_simple_select() {
+        let stmt = parse("SELECT a, b FROM t WHERE a >= 3 ORDER BY b DESC LIMIT 10;").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.projection, Projection::Columns(vec!["a".into(), "b".into()]));
+        assert_eq!(s.table, "t");
+        assert_eq!(s.predicate, Some(col("a").ge(lit(3i64))));
+        assert_eq!(s.order_by, Some(("b".into(), true)));
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_star_and_aggregates() {
+        let Statement::Select(s) = parse("SELECT * FROM t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.projection, Projection::All);
+        let Statement::Select(s) = parse("SELECT COUNT(*) FROM t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.projection, Projection::Aggregate(Aggregate::CountAll));
+        let Statement::Select(s) = parse("SELECT AVG(x) FROM t WHERE x > 0").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            s.projection,
+            Projection::Aggregate(Aggregate::Avg("x".into()))
+        );
+    }
+
+    #[test]
+    fn parses_insert_multiple_rows() {
+        let stmt = parse("INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b''c', -3.0)").unwrap();
+        let Statement::Insert { table, rows } = stmt else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Value::Text("a".into()));
+        assert_eq!(rows[1][1], Value::Text("b'c".into()));
+        assert_eq!(rows[1][2], Value::Float(-3.0));
+    }
+
+    #[test]
+    fn parses_create_table() {
+        let stmt =
+            parse("CREATE TABLE users (id INT, name TEXT, score FLOAT NULL, ok BOOL)").unwrap();
+        let Statement::CreateTable { table, columns } = stmt else {
+            panic!()
+        };
+        assert_eq!(table, "users");
+        assert_eq!(columns.len(), 4);
+        assert_eq!(columns[2], ("score".into(), DataType::Float, true));
+        assert_eq!(columns[0], ("id".into(), DataType::Int, false));
+    }
+
+    #[test]
+    fn parses_delete_and_drop() {
+        assert_eq!(
+            parse("DELETE FROM t WHERE x < 0").unwrap(),
+            Statement::Delete {
+                table: "t".into(),
+                predicate: Some(col("x").lt(lit(0i64))),
+            }
+        );
+        assert_eq!(
+            parse("DROP TABLE t").unwrap(),
+            Statement::DropTable { table: "t".into() }
+        );
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * 2 > 4 AND NOT c = 1 OR d = 2
+        let e = match parse("SELECT * FROM t WHERE a + b * 2 > 4 AND NOT c = 1 OR d = 2").unwrap()
+        {
+            Statement::Select(s) => s.predicate.unwrap(),
+            _ => panic!(),
+        };
+        let expected = col("a")
+            .add(col("b").mul(lit(2i64)))
+            .gt(lit(4i64))
+            .and(col("c").eq(lit(1i64)).not())
+            .or(col("d").eq(lit(2i64)));
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select * from t where x = true").is_ok());
+        assert!(parse("Select Count(*) From t").is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("INSERT INTO t VALUES (a)").is_err()); // non-literal
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra").is_err());
+        assert!(parse("SUM(*)").is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! JSON persistence with crash-safe writes and corruption recovery.
+//!
+//! Layout: `<dir>/manifest.json` lists table names; each table lives in
+//! `<dir>/<name>.table.json`. Writes go through a temp file + atomic
+//! rename so a crash never leaves a half-written table in place; loads
+//! skip corrupt files and report them instead of failing wholesale.
+
+use crate::engine::{Database, DbError};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    tables: Vec<String>,
+}
+
+/// Outcome of a [`load`]: the database plus any skipped (corrupt/missing)
+/// tables.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The recovered database.
+    pub db: Database,
+    /// Tables that could not be recovered, with reasons.
+    pub skipped: Vec<(String, String)>,
+}
+
+fn table_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.table.json"))
+}
+
+/// Atomically write `bytes` to `path` via a sibling temp file.
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+/// Persist the whole database into `dir` (created if missing).
+pub fn save(db: &Database, dir: &Path) -> Result<(), DbError> {
+    fs::create_dir_all(dir)?;
+    let names = db.table_names();
+    for name in &names {
+        let table = db.snapshot(name)?;
+        let bytes = serde_json::to_vec(&table)
+            .map_err(|e| DbError::Corrupt(format!("serialize '{name}': {e}")))?;
+        atomic_write(&table_path(dir, name), &bytes)?;
+    }
+    let manifest = Manifest {
+        version: 1,
+        tables: names,
+    };
+    let bytes = serde_json::to_vec_pretty(&manifest)
+        .map_err(|e| DbError::Corrupt(format!("serialize manifest: {e}")))?;
+    atomic_write(&dir.join("manifest.json"), &bytes)?;
+    Ok(())
+}
+
+/// Load a database from `dir`, skipping tables that fail to parse.
+pub fn load(dir: &Path) -> Result<LoadReport, DbError> {
+    let manifest_bytes = fs::read(dir.join("manifest.json"))?;
+    let manifest: Manifest = serde_json::from_slice(&manifest_bytes)
+        .map_err(|e| DbError::Corrupt(format!("manifest: {e}")))?;
+
+    let db = Database::new();
+    let mut skipped = Vec::new();
+    for name in manifest.tables {
+        match fs::read(table_path(dir, &name)) {
+            Err(e) => skipped.push((name, format!("read: {e}"))),
+            Ok(bytes) => match serde_json::from_slice::<Table>(&bytes) {
+                Err(e) => skipped.push((name, format!("parse: {e}"))),
+                Ok(table) => db.install(name, table),
+            },
+        }
+    }
+    Ok(LoadReport { db, skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{DataType::*, Value};
+
+    fn sample_db() -> Database {
+        let db = Database::new();
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", Int),
+            ColumnDef::new("name", Text),
+        ])
+        .unwrap();
+        db.create_table("users", schema).unwrap();
+        db.insert("users", vec![1i64.into(), "ann".into()]).unwrap();
+        db.insert("users", vec![2i64.into(), "bob".into()]).unwrap();
+        db
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mlssdb-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let db = sample_db();
+        save(&db, &dir).unwrap();
+        let report = load(&dir).unwrap();
+        assert!(report.skipped.is_empty());
+        let n = report.db.with_table("users", |t| t.len()).unwrap();
+        assert_eq!(n, 2);
+        let rows: Vec<Vec<Value>> = report
+            .db
+            .with_table("users", |t| t.scan().map(|r| r.to_vec()).collect())
+            .unwrap();
+        assert_eq!(rows[0][1], Value::Text("ann".into()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_table_is_skipped_not_fatal() {
+        let dir = tmpdir("corrupt");
+        let db = sample_db();
+        save(&db, &dir).unwrap();
+        // Truncate the table file mid-way (simulated crash).
+        let path = table_path(&dir, "users");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let report = load(&dir).unwrap();
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].0, "users");
+        assert!(!report.db.has_table("users"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_errors() {
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_overwrites_cleanly() {
+        let dir = tmpdir("overwrite");
+        let db = sample_db();
+        save(&db, &dir).unwrap();
+        db.insert("users", vec![3i64.into(), "cat".into()]).unwrap();
+        save(&db, &dir).unwrap();
+        let report = load(&dir).unwrap();
+        assert_eq!(report.db.with_table("users", |t| t.len()).unwrap(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based round-trip tests for the SQL front end: whatever we
+//! INSERT must come back from SELECT, with predicates filtering exactly.
+
+use mlss_db::{execute, Database, ExecResult, Value};
+use proptest::prelude::*;
+
+fn fresh_db() -> Database {
+    let db = Database::new();
+    execute(&db, "CREATE TABLE t (id INT, score FLOAT, tag TEXT)").unwrap();
+    db
+}
+
+/// Escape a string for a SQL literal.
+fn quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn insert_select_roundtrip(
+        rows in proptest::collection::vec(
+            (0i64..1000, -1.0e6f64..1.0e6, "[a-z]{0,8}"),
+            1..20,
+        )
+    ) {
+        let db = fresh_db();
+        for (id, score, tag) in &rows {
+            let sql = format!("INSERT INTO t VALUES ({id}, {score:?}, {})", quote(tag));
+            execute(&db, &sql).unwrap();
+        }
+        let res = execute(&db, "SELECT id, score, tag FROM t").unwrap();
+        let got = res.rows();
+        prop_assert_eq!(got.len(), rows.len());
+        for ((id, score, tag), row) in rows.iter().zip(got) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), *id);
+            prop_assert!((row[1].as_f64().unwrap() - score).abs() < 1e-9 * score.abs().max(1.0));
+            prop_assert_eq!(row[2].as_str().unwrap(), tag.as_str());
+        }
+    }
+
+    #[test]
+    fn where_partitions_rows(
+        rows in proptest::collection::vec((0i64..100, -100.0f64..100.0), 1..30),
+        pivot in -100.0f64..100.0,
+    ) {
+        let db = fresh_db();
+        for (i, (id, score)) in rows.iter().enumerate() {
+            execute(&db, &format!("INSERT INTO t VALUES ({id}, {score:?}, 'r{i}')")).unwrap();
+        }
+        let above = execute(&db, &format!("SELECT * FROM t WHERE score >= {pivot:?}")).unwrap();
+        let below = execute(&db, &format!("SELECT * FROM t WHERE score < {pivot:?}")).unwrap();
+        prop_assert_eq!(above.rows().len() + below.rows().len(), rows.len());
+        for row in above.rows() {
+            prop_assert!(row[1].as_f64().unwrap() >= pivot);
+        }
+        for row in below.rows() {
+            prop_assert!(row[1].as_f64().unwrap() < pivot);
+        }
+    }
+
+    #[test]
+    fn count_matches_inserted(
+        n in 1usize..40,
+    ) {
+        let db = fresh_db();
+        for i in 0..n {
+            execute(&db, &format!("INSERT INTO t VALUES ({i}, 0.0, 'x')")).unwrap();
+        }
+        let res = execute(&db, "SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(res.scalar(), Some(&Value::Int(n as i64)));
+        // Deleting everything empties the table.
+        let del = execute(&db, "DELETE FROM t").unwrap();
+        prop_assert_eq!(del, ExecResult::Affected(n));
+        let res = execute(&db, "SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(res.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn order_by_sorts(
+        mut ids in proptest::collection::vec(0i64..1000, 2..25),
+    ) {
+        let db = fresh_db();
+        for id in &ids {
+            execute(&db, &format!("INSERT INTO t VALUES ({id}, 0.0, 'x')")).unwrap();
+        }
+        let res = execute(&db, "SELECT id FROM t ORDER BY id ASC").unwrap();
+        ids.sort();
+        let got: Vec<i64> = res.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got, ids);
+    }
+}

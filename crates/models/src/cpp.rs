@@ -1,0 +1,215 @@
+//! Compound-Poisson process (§6, model (2)).
+//!
+//! `U(t) = u + c·t − S(t)` where `S(t)` is a compound Poisson process with
+//! jump intensity λ and jump distribution `F` — the classical
+//! Cramér–Lundberg surplus process of risk theory: `u` is the initial
+//! surplus, `c` the premium income per unit time, and `S(t)` the aggregate
+//! claims. One invocation of `g` advances one unit of time: add `c`,
+//! subtract `Poisson(λ)`-many i.i.d. jumps.
+
+use mlss_core::model::{SimulationModel, Time};
+use mlss_core::rng::SimRng;
+use rand::RngExt;
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Jump (claim) size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JumpDistribution {
+    /// Uniform on `[lo, hi)` — the paper's `Uni(5, 10)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean jump size.
+        mean: f64,
+    },
+    /// Degenerate constant jump.
+    Constant {
+        /// The jump size.
+        value: f64,
+    },
+}
+
+impl JumpDistribution {
+    /// Sample one jump.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            JumpDistribution::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
+            JumpDistribution::Exponential { mean } => {
+                -mean * (1.0 - rng.random::<f64>()).ln()
+            }
+            JumpDistribution::Constant { value } => value,
+        }
+    }
+
+    /// Mean jump size `E[J]`.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            JumpDistribution::Uniform { lo, hi } => (lo + hi) / 2.0,
+            JumpDistribution::Exponential { mean } => mean,
+            JumpDistribution::Constant { value } => value,
+        }
+    }
+
+    /// Second moment `E[J²]`.
+    pub fn second_moment(&self) -> f64 {
+        match *self {
+            JumpDistribution::Uniform { lo, hi } => (hi * hi + hi * lo + lo * lo) / 3.0,
+            JumpDistribution::Exponential { mean } => 2.0 * mean * mean,
+            JumpDistribution::Constant { value } => value * value,
+        }
+    }
+}
+
+/// The compound-Poisson surplus model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CompoundPoisson {
+    /// Initial surplus `u`.
+    pub initial: f64,
+    /// Premium income `c` per unit time.
+    pub premium: f64,
+    /// Jump intensity λ (expected jumps per unit time).
+    pub intensity: f64,
+    /// Jump size distribution `F`.
+    pub jumps: JumpDistribution,
+}
+
+impl CompoundPoisson {
+    /// New process; `intensity` must be positive and finite.
+    pub fn new(initial: f64, premium: f64, intensity: f64, jumps: JumpDistribution) -> Self {
+        assert!(
+            intensity.is_finite() && intensity > 0.0,
+            "jump intensity must be positive"
+        );
+        assert!(initial.is_finite() && premium.is_finite());
+        Self {
+            initial,
+            premium,
+            intensity,
+            jumps,
+        }
+    }
+
+    /// The paper's experimental setting: `u = 15`, `c = 4.5`, `λ = 0.8`,
+    /// jumps `Uni(5, 10)`.
+    pub fn paper_default() -> Self {
+        Self::new(15.0, 4.5, 0.8, JumpDistribution::Uniform { lo: 5.0, hi: 10.0 })
+    }
+
+    /// The zero-drift variant used by the volatile experiments (§6.2):
+    /// premium exactly offsets expected claims (`c = λ·E[J] = 6`), so the
+    /// surplus hovers near its start and late impulse jumps matter.
+    /// (With the paper-default negative drift, paths sit ~700 below the
+    /// start by `t = 0.8·s` and no late impulse could ever reach a
+    /// threshold — see DESIGN.md, substitution 4.)
+    pub fn zero_drift_default() -> Self {
+        Self::new(15.0, 6.0, 0.8, JumpDistribution::Uniform { lo: 5.0, hi: 10.0 })
+    }
+
+    /// Per-unit-time drift `c − λ·E[J]`.
+    pub fn drift(&self) -> f64 {
+        self.premium - self.intensity * self.jumps.mean()
+    }
+
+    /// Per-unit-time variance of the increment, `λ·E[J²]`.
+    pub fn step_variance(&self) -> f64 {
+        self.intensity * self.jumps.second_moment()
+    }
+}
+
+impl SimulationModel for CompoundPoisson {
+    type State = f64;
+
+    fn initial_state(&self) -> f64 {
+        self.initial
+    }
+
+    fn step(&self, state: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+        let pois = Poisson::new(self.intensity).expect("validated intensity");
+        let n = pois.sample(rng) as u64;
+        let mut u = state + self.premium;
+        for _ in 0..n {
+            u -= self.jumps.sample(rng);
+        }
+        u
+    }
+}
+
+/// Score for CPP durability queries: the surplus value itself.
+pub fn surplus_score(state: &f64) -> f64 {
+    *state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlss_core::model::simulate_path;
+    use mlss_core::rng::rng_from_seed;
+
+    #[test]
+    fn zero_drift_variant_has_zero_drift() {
+        assert!(CompoundPoisson::zero_drift_default().drift().abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_drift_is_negative() {
+        let m = CompoundPoisson::paper_default();
+        assert!((m.drift() - (4.5 - 0.8 * 7.5)).abs() < 1e-12);
+        assert!(m.drift() < 0.0);
+    }
+
+    #[test]
+    fn jump_moments() {
+        let u = JumpDistribution::Uniform { lo: 5.0, hi: 10.0 };
+        assert!((u.mean() - 7.5).abs() < 1e-12);
+        assert!((u.second_moment() - (100.0 + 50.0 + 25.0) / 3.0).abs() < 1e-12);
+        let e = JumpDistribution::Exponential { mean: 3.0 };
+        assert!((e.second_moment() - 18.0).abs() < 1e-12);
+        let c = JumpDistribution::Constant { value: 2.0 };
+        assert_eq!(c.mean(), 2.0);
+        assert_eq!(c.second_moment(), 4.0);
+    }
+
+    #[test]
+    fn sample_respects_uniform_bounds() {
+        let u = JumpDistribution::Uniform { lo: 5.0, hi: 10.0 };
+        let mut rng = rng_from_seed(3);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((5.0..10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn empirical_drift_matches_theory() {
+        let m = CompoundPoisson::paper_default();
+        let horizon = 5000;
+        let p = simulate_path(&m, horizon, &mut rng_from_seed(7));
+        let final_u = *p.last().unwrap();
+        let expected = m.initial + m.drift() * horizon as f64;
+        let sd = (m.step_variance() * horizon as f64).sqrt();
+        assert!(
+            (final_u - expected).abs() < 4.0 * sd,
+            "final {final_u} vs expected {expected} ± {sd}"
+        );
+    }
+
+    #[test]
+    fn paths_are_reproducible() {
+        let m = CompoundPoisson::paper_default();
+        let a = simulate_path(&m, 200, &mut rng_from_seed(9));
+        let b = simulate_path(&m, 200, &mut rng_from_seed(9));
+        assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_intensity() {
+        CompoundPoisson::new(0.0, 1.0, 0.0, JumpDistribution::Constant { value: 1.0 });
+    }
+}

@@ -1,0 +1,131 @@
+//! Geometric Brownian motion (§1 motivation; also the training-data
+//! generator for the LSTM-MDN substrate).
+//!
+//! `S_{t+1} = S_t · exp((μ − σ²/2)Δ + σ√Δ · Z)`, the standard equity price
+//! model. Besides serving as an examples substrate, [`synthetic_price_series`]
+//! generates the seeded stand-in for the paper's Google 2015-2020 daily
+//! closes used to train `mlss-nn` (DESIGN.md substitution 1).
+
+use mlss_core::model::{SimulationModel, Time};
+use mlss_core::rng::SimRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Geometric Brownian motion with per-step drift/volatility.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeometricBrownian {
+    /// Initial price `S_0`.
+    pub initial: f64,
+    /// Annualized drift μ.
+    pub drift: f64,
+    /// Annualized volatility σ.
+    pub volatility: f64,
+    /// Step length Δ in years (1/252 for a trading day).
+    pub dt: f64,
+}
+
+impl GeometricBrownian {
+    /// New GBM; price, volatility and Δ must be positive.
+    pub fn new(initial: f64, drift: f64, volatility: f64, dt: f64) -> Self {
+        assert!(initial > 0.0 && initial.is_finite());
+        assert!(volatility > 0.0 && volatility.is_finite());
+        assert!(dt > 0.0 && dt.is_finite());
+        assert!(drift.is_finite());
+        Self {
+            initial,
+            drift,
+            volatility,
+            dt,
+        }
+    }
+
+    /// Daily-stepped GBM calibrated to large-cap tech equity over
+    /// 2015-2020 (μ ≈ 25%/yr, σ ≈ 28%/yr) starting at 525 — the synthetic
+    /// stand-in for GOOG daily closes.
+    pub fn goog_like() -> Self {
+        Self::new(525.0, 0.25, 0.28, 1.0 / 252.0)
+    }
+}
+
+impl SimulationModel for GeometricBrownian {
+    type State = f64;
+
+    fn initial_state(&self) -> f64 {
+        self.initial
+    }
+
+    fn step(&self, state: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+        let z = normal.sample(rng);
+        state
+            * ((self.drift - 0.5 * self.volatility * self.volatility) * self.dt
+                + self.volatility * self.dt.sqrt() * z)
+                .exp()
+    }
+}
+
+/// Generate a synthetic daily price series of `days` closes (plus the
+/// initial price) from the GOOG-like GBM — the training corpus for the
+/// LSTM-MDN model.
+pub fn synthetic_price_series(days: usize, rng: &mut SimRng) -> Vec<f64> {
+    let gbm = GeometricBrownian::goog_like();
+    let mut out = Vec::with_capacity(days + 1);
+    let mut s = gbm.initial;
+    out.push(s);
+    for t in 1..=days {
+        s = gbm.step(&s, t as Time, rng);
+        out.push(s);
+    }
+    out
+}
+
+/// Score for price durability queries: the price itself.
+pub fn price_score(state: &f64) -> f64 {
+    *state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlss_core::model::simulate_path;
+    use mlss_core::rng::rng_from_seed;
+
+    #[test]
+    fn prices_stay_positive() {
+        let g = GeometricBrownian::goog_like();
+        let p = simulate_path(&g, 2000, &mut rng_from_seed(1));
+        assert!(p.states.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn log_return_moments_match() {
+        let g = GeometricBrownian::new(100.0, 0.1, 0.2, 1.0 / 252.0);
+        let p = simulate_path(&g, 50_000, &mut rng_from_seed(2));
+        let rets: Vec<f64> = p
+            .states
+            .windows(2)
+            .map(|w| (w[1] / w[0]).ln())
+            .collect();
+        let mean = mlss_core::stats::mean(&rets);
+        let var = mlss_core::stats::sample_variance(&rets);
+        let expect_mean = (0.1 - 0.02) * (1.0 / 252.0);
+        let expect_var: f64 = 0.04 / 252.0;
+        assert!((mean - expect_mean).abs() < 3.0 * (expect_var / 50_000.0).sqrt());
+        assert!((var - expect_var).abs() / expect_var < 0.05);
+    }
+
+    #[test]
+    fn synthetic_series_has_expected_shape() {
+        let mut rng = rng_from_seed(2015);
+        let series = synthetic_price_series(1259, &mut rng);
+        assert_eq!(series.len(), 1260);
+        assert!((series[0] - 525.0).abs() < 1e-9);
+        assert!(series.iter().all(|&p| p > 100.0 && p < 10_000.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_price() {
+        GeometricBrownian::new(0.0, 0.1, 0.2, 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mlss-models
+//!
+//! Stochastic-process substrates for durability prediction queries — every
+//! simulation model the paper evaluates on (§6) or uses as a running
+//! example (§2), implemented from scratch against
+//! [`mlss_core::model::SimulationModel`]:
+//!
+//! * [`queue`] — tandem queues with Poisson arrivals and exponential
+//!   services (§6 model (1));
+//! * [`cpp`] — compound-Poisson surplus processes (§6 model (2));
+//! * [`volatile`] — impulse-jump variants that violate the no-level-
+//!   skipping assumption (§6.2);
+//! * [`ar`] — AR(m) processes (§2.1);
+//! * [`markov`] — finite Markov chains (§2.1);
+//! * [`network`] — k-station series queueing networks (tandem generalized);
+//! * [`walk`] — integer random walks / gambler's ruin (§2.2);
+//! * [`gbm`] — geometric Brownian motion and the synthetic price series
+//!   that trains the `mlss-nn` black-box model.
+
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod cpp;
+pub mod gbm;
+pub mod markov;
+pub mod network;
+pub mod queue;
+pub mod volatile;
+pub mod walk;
+
+pub use ar::{ar_value_score, ArModel, ArState};
+pub use cpp::{surplus_score, CompoundPoisson, JumpDistribution};
+pub use gbm::{price_score, synthetic_price_series, GeometricBrownian};
+pub use markov::MarkovChain;
+pub use network::{last_station_score, total_customers_score, NetworkState, SeriesNetwork};
+pub use queue::{queue2_score, QueueState, TandemQueue};
+pub use volatile::{volatile_cpp, volatile_queue, Volatile};
+pub use walk::{position_score, RandomWalk};

@@ -1,0 +1,176 @@
+//! Volatile process variants (§6.2).
+//!
+//! To demonstrate level skipping, the paper modifies the queue and CPP
+//! processes with *impulse jumps*: once `t > 0.8·s`, each step adds a
+//! large value increase with a small probability. [`Volatile`] is the
+//! generic wrapper; [`volatile_cpp`] and [`volatile_queue`] bake in the
+//! paper's impulse parameters.
+
+use crate::cpp::CompoundPoisson;
+use crate::queue::{QueueState, TandemQueue};
+use mlss_core::model::{SimulationModel, Time};
+use mlss_core::rng::SimRng;
+use rand::RngExt;
+
+/// A model wrapper that, from time `after` (exclusive), applies an impulse
+/// to the freshly stepped state with probability `prob` per step.
+#[derive(Debug, Clone, Copy)]
+pub struct Volatile<M, F> {
+    inner: M,
+    /// Impulses activate for `t > after`.
+    pub after: Time,
+    /// Per-step impulse probability.
+    pub prob: f64,
+    impulse: F,
+}
+
+impl<M, F> Volatile<M, F> {
+    /// Wrap `inner`; impulses fire for `t > after` with probability `prob`.
+    pub fn new(inner: M, after: Time, prob: f64, impulse: F) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "impulse probability in [0,1]");
+        Self {
+            inner,
+            after,
+            prob,
+            impulse,
+        }
+    }
+
+    /// Access the wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M, F> SimulationModel for Volatile<M, F>
+where
+    M: SimulationModel,
+    F: Fn(&mut M::State) + Sync,
+{
+    type State = M::State;
+
+    fn initial_state(&self) -> Self::State {
+        self.inner.initial_state()
+    }
+
+    fn step(&self, state: &Self::State, t: Time, rng: &mut SimRng) -> Self::State {
+        let mut next = self.inner.step(state, t, rng);
+        if t > self.after && rng.random::<f64>() < self.prob {
+            (self.impulse)(&mut next);
+        }
+        next
+    }
+}
+
+/// The paper's Volatile CPP: for `t > 0.8·s`, add `+200` to the surplus
+/// with probability `0.005` per step.
+pub fn volatile_cpp(
+    base: CompoundPoisson,
+    horizon: Time,
+) -> Volatile<CompoundPoisson, impl Fn(&mut f64) + Sync + Copy> {
+    Volatile::new(base, horizon * 8 / 10, 0.005, |u: &mut f64| *u += 200.0)
+}
+
+/// The Volatile Queue: for `t > 0.8·s`, add a burst of customers to
+/// Queue 2 with a small per-step probability.
+///
+/// Calibration note (DESIGN.md, substitution 4): the paper states `+5`
+/// with probability `0.2`/step, but at that rate essentially *every*
+/// path gains ≈ +100 customers and the hitting probability saturates
+/// near 1 for any reachable β. We use `+15` with probability `0.015`/step,
+/// which keeps the impulse and diffusion contributions comparable (so
+/// thresholds stay in the paper's Tiny/Rare bands) while making each
+/// impulse large relative to β — the level-skipping behaviour §6.2 is
+/// designed to exhibit.
+pub fn volatile_queue(
+    base: TandemQueue,
+    horizon: Time,
+) -> Volatile<TandemQueue, impl Fn(&mut QueueState) + Sync + Copy> {
+    Volatile::new(base, horizon * 8 / 10, 0.015, |s: &mut QueueState| s.q2 += 15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlss_core::model::simulate_path;
+    use mlss_core::rng::rng_from_seed;
+
+    /// Deterministic base model for impulse timing tests.
+    struct Flat;
+
+    impl SimulationModel for Flat {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, _rng: &mut SimRng) -> f64 {
+            *s
+        }
+    }
+
+    #[test]
+    fn no_impulses_before_activation() {
+        let m = Volatile::new(Flat, 400, 1.0, |s: &mut f64| *s += 100.0);
+        let p = simulate_path(&m, 400, &mut rng_from_seed(1));
+        assert!(p.states.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn certain_impulses_after_activation() {
+        let m = Volatile::new(Flat, 10, 1.0, |s: &mut f64| *s += 1.0);
+        let p = simulate_path(&m, 20, &mut rng_from_seed(1));
+        // Impulse applies at t = 11..=20 → final value 10.
+        assert_eq!(*p.last().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn zero_probability_means_base_process() {
+        let base = CompoundPoisson::paper_default();
+        let wrapped = Volatile::new(base, 0, 0.0, |_: &mut f64| unreachable!());
+        let a = simulate_path(&base, 100, &mut rng_from_seed(4));
+        // The wrapper draws one extra uniform per active step, so compare
+        // against prob = 0 with after = horizon (never active, no draws).
+        let never = Volatile::new(base, 100, 0.5, |_: &mut f64| {});
+        let b = simulate_path(&never, 100, &mut rng_from_seed(4));
+        assert_eq!(a.states, b.states);
+        // And zero-prob active wrapper still yields a valid path.
+        let c = simulate_path(&wrapped, 100, &mut rng_from_seed(4));
+        assert_eq!(c.states.len(), 101);
+    }
+
+    #[test]
+    fn volatile_cpp_jumps_appear_late() {
+        let m = volatile_cpp(CompoundPoisson::paper_default(), 500);
+        assert_eq!(m.after, 400);
+        let mut seen_jump = false;
+        for seed in 0..40 {
+            let p = simulate_path(&m, 500, &mut rng_from_seed(seed));
+            for w in p.states.windows(2) {
+                if w[1] - w[0] > 150.0 {
+                    seen_jump = true;
+                }
+            }
+        }
+        assert!(seen_jump, "expected at least one +200 impulse in 40 paths");
+    }
+
+    #[test]
+    fn volatile_queue_jumps_queue2() {
+        let m = volatile_queue(TandemQueue::paper_default(), 500);
+        let mut jumped = false;
+        for seed in 0..40 {
+            let p = simulate_path(&m, 500, &mut rng_from_seed(seed));
+            for w in p.states.windows(2) {
+                if w[1].q2 >= w[0].q2 + 15 {
+                    jumped = true;
+                }
+            }
+        }
+        assert!(
+            jumped,
+            "q2 should show a +15 impulse within 40 paths (p=0.015/step over 100 steps)"
+        );
+    }
+}

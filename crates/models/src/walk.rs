@@ -1,0 +1,129 @@
+//! Integer random walks (§2.2 "Analytical Solution").
+//!
+//! A lazy ±1 walk with optional absorption at 0 — the gambler's-ruin
+//! process. Random walks admit exact first-hitting answers
+//! (`mlss-analytic::walk`), making them the primary validation substrate
+//! for estimator unbiasedness.
+
+use mlss_core::model::{SimulationModel, Time};
+use mlss_core::rng::SimRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A lazy integer random walk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalk {
+    /// Probability of a +1 step.
+    pub up: f64,
+    /// Probability of a −1 step (stay put otherwise).
+    pub down: f64,
+    /// Starting position.
+    pub start: i64,
+    /// Reflect at zero (positions never go negative) when true; otherwise
+    /// the walk is free.
+    pub reflect_at_zero: bool,
+}
+
+impl RandomWalk {
+    /// New walk; `up + down` must not exceed 1.
+    pub fn new(up: f64, down: f64, start: i64) -> Self {
+        assert!(up >= 0.0 && down >= 0.0 && up + down <= 1.0 + 1e-12);
+        Self {
+            up,
+            down,
+            start,
+            reflect_at_zero: false,
+        }
+    }
+
+    /// Enable reflection at zero.
+    pub fn reflected(mut self) -> Self {
+        self.reflect_at_zero = true;
+        self
+    }
+
+    /// Per-step drift `up − down`.
+    pub fn drift(&self) -> f64 {
+        self.up - self.down
+    }
+}
+
+impl SimulationModel for RandomWalk {
+    type State = i64;
+
+    fn initial_state(&self) -> i64 {
+        self.start
+    }
+
+    fn step(&self, state: &i64, _t: Time, rng: &mut SimRng) -> i64 {
+        let u = rng.random::<f64>();
+        let mut next = if u < self.up {
+            state + 1
+        } else if u < self.up + self.down {
+            state - 1
+        } else {
+            *state
+        };
+        if self.reflect_at_zero && next < 0 {
+            next = 0;
+        }
+        next
+    }
+}
+
+/// Score for walk durability queries: the position.
+pub fn position_score(state: &i64) -> f64 {
+    *state as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlss_core::model::simulate_path;
+    use mlss_core::rng::rng_from_seed;
+
+    #[test]
+    fn symmetric_walk_has_zero_drift() {
+        let w = RandomWalk::new(0.5, 0.5, 0);
+        assert_eq!(w.drift(), 0.0);
+        let p = simulate_path(&w, 10_000, &mut rng_from_seed(1));
+        let last = *p.last().unwrap();
+        // Final position within 4 standard deviations of 0.
+        assert!(last.abs() < 400, "last = {last}");
+    }
+
+    #[test]
+    fn reflection_keeps_walk_nonnegative() {
+        let w = RandomWalk::new(0.2, 0.6, 1).reflected();
+        let p = simulate_path(&w, 2000, &mut rng_from_seed(2));
+        assert!(p.states.iter().all(|&s| s >= 0));
+    }
+
+    #[test]
+    fn lazy_steps_occur() {
+        let w = RandomWalk::new(0.2, 0.2, 0);
+        let p = simulate_path(&w, 1000, &mut rng_from_seed(3));
+        let stays = p
+            .states
+            .windows(2)
+            .filter(|ab| ab[0] == ab[1])
+            .count();
+        // 60% of steps are stays.
+        assert!(stays > 400 && stays < 800, "stays = {stays}");
+    }
+
+    #[test]
+    fn empirical_drift() {
+        let w = RandomWalk::new(0.6, 0.2, 0);
+        let p = simulate_path(&w, 5000, &mut rng_from_seed(4));
+        let last = *p.last().unwrap() as f64;
+        let expect = 0.4 * 5000.0;
+        assert!((last - expect).abs() < 300.0, "last {last} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_overfull_probabilities() {
+        RandomWalk::new(0.7, 0.6, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Adam optimizer for the flat parameter vectors of the LSTM-MDN.
+
+/// Adam state for one flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical-stability ε.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Optimizer for a parameter vector of length `n` with the usual
+    /// defaults (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(n: usize, lr: f64) -> Self {
+        assert!(lr > 0.0);
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// One update: `params -= lr · m̂ / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Number of updates performed.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // f(x) = (x - 3)², gradient 2(x - 3).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_handles_multidim() {
+        // f(x, y) = x² + 10 y².
+        let mut p = vec![5.0, -4.0];
+        let mut opt = Adam::new(2, 0.05);
+        for _ in 0..2000 {
+            let g = vec![2.0 * p[0], 20.0 * p[1]];
+            opt.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 1e-2 && p[1].abs() < 1e-2, "{p:?}");
+    }
+
+    #[test]
+    fn step_count_advances() {
+        let mut opt = Adam::new(1, 0.1);
+        let mut p = vec![1.0];
+        opt.step(&mut p, &[0.5]);
+        opt.step(&mut p, &[0.5]);
+        assert_eq!(opt.steps(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mlss-nn
+//!
+//! A from-scratch LSTM + Mixture-Density-Network sequence model — the
+//! paper's black-box stock simulator (§6, model (3), Figure 5), built in
+//! pure Rust: dense linear algebra, an LSTM cell with a verified backward
+//! pass, an MDN head, Adam, and truncated-BPTT training.
+//!
+//! The trained [`RnnStockModel`] implements
+//! [`mlss_core::model::SimulationModel`], so MLSS treats it exactly like
+//! any other process — the whole point of the paper's black-box claim.
+//!
+//! * [`tensor`] — minimal dense matrix/vector kernels;
+//! * [`lstm`] — the recurrent cell (forward/backward, gradient-checked);
+//! * [`mdn`] — the mixture head (NLL, sampling, gradient-checked);
+//! * [`adam`] — the optimizer;
+//! * [`stacked`] — multi-layer (stacked) LSTM, the paper's 2-layer form;
+//! * [`model`] — the assembled network, training loop, and simulator.
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod lstm;
+pub mod mdn;
+pub mod model;
+pub mod stacked;
+pub mod tensor;
+
+pub use adam::Adam;
+pub use lstm::{LstmCell, LstmGrads};
+pub use mdn::{MdnHead, MixtureParams};
+pub use stacked::{StackedLstm, StackedState};
+pub use model::{rnn_price_score, LstmMdn, NetConfig, RnnState, RnnStockModel, TrainingReport};

@@ -1,0 +1,99 @@
+//! The end-to-end in-DBMS pipeline (§6.4): model parameters in tables,
+//! MLSS as a stored procedure, results and sample paths materialized
+//! back into tables, everything persisted to disk and recovered.
+//!
+//! Run: `cargo run --release --example db_pipeline`
+
+use durability_mlss::core::rng::rng_from_seed;
+use mlss_db::{
+    col, execute, lit, load, save, seed_default_models, Aggregate, Database, ProcRegistry,
+    Value,
+};
+
+fn main() {
+    let db = Database::new();
+    seed_default_models(&db).expect("seed models table");
+    println!("tables: {:?}", db.table_names());
+
+    let registry = ProcRegistry::with_builtins();
+    println!("stored procedures: {:?}\n", registry.names());
+    let mut rng = rng_from_seed(1234);
+
+    // 1. Answer durability queries through the stored procedure.
+    for (model, beta) in [("queue", 37.0), ("cpp", 50.0)] {
+        for method in ["srs", "mlss"] {
+            let args: Vec<Value> = vec![
+                model.into(),
+                method.into(),
+                beta.into(),
+                Value::Int(500),
+                0.15.into(), // 15% relative error
+            ];
+            let tau = registry
+                .call(&db, "mlss_estimate", &args, &mut rng)
+                .expect("mlss_estimate");
+            println!("mlss_estimate({model}, {method}, β={beta}) = {tau}");
+        }
+    }
+
+    // 2. Inspect the results table with the query API.
+    let fast = db
+        .with_table("results", |t| {
+            t.filter(&col("method").eq(lit("mlss"))).map(|rows| rows.len())
+        })
+        .expect("results")
+        .expect("filter");
+    println!("\nmlss rows in results table: {fast}");
+    let avg_ms = db
+        .with_table("results", |t| {
+            t.aggregate(&Aggregate::Avg("millis".into()), None)
+        })
+        .expect("results")
+        .expect("aggregate");
+    println!("average procedure time: {avg_ms} ms");
+
+    // 3. Materialize sample paths for inspection — the "possible worlds"
+    //    interpretability by-product of §2.2.
+    let args: Vec<Value> = vec!["cpp".into(), Value::Int(50), Value::Int(4), "worlds".into()];
+    let n = registry
+        .call(&db, "materialize_paths", &args, &mut rng)
+        .expect("materialize_paths");
+    println!("\nmaterialized {n} path rows into table 'worlds'");
+    let final_values = db
+        .with_table("worlds", |t| {
+            t.filter(&col("t").eq(lit(50i64))).map(|rows| {
+                rows.iter()
+                    .map(|r| format!("{:.1}", r[2].as_f64().unwrap()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .expect("worlds")
+        .expect("filter");
+    println!("surplus at t=50 across the 4 worlds: {final_values:?}");
+
+    // 4. Query everything through the SQL front end.
+    let res = execute(
+        &db,
+        "SELECT model, method, millis FROM results WHERE method = 'mlss' ORDER BY millis ASC",
+    )
+    .expect("sql select");
+    println!("
+SQL: SELECT model, method, millis FROM results WHERE method = 'mlss':");
+    for row in res.rows() {
+        println!("  {} | {} | {} ms", row[0], row[1], row[2]);
+    }
+    let peak = execute(&db, "SELECT MAX(value) FROM worlds").expect("sql agg");
+    println!("SQL: MAX(value) over all worlds = {}", peak.scalar().unwrap());
+
+    // 5. Persist and recover.
+    let dir = std::env::temp_dir().join("mlss-db-pipeline-demo");
+    save(&db, &dir).expect("save");
+    let report = load(&dir).expect("load");
+    println!(
+        "\npersisted to {} and recovered {} tables (skipped: {})",
+        dir.display(),
+        report.db.table_names().len(),
+        report.skipped.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

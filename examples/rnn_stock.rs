@@ -1,0 +1,73 @@
+//! Black-box model support (§2.1 example (3), §6 model (3)): train the
+//! from-scratch LSTM-MDN on a synthetic five-year daily price series,
+//! then answer a durability query *through* the trained network — MLSS
+//! never looks inside, it only calls `step`.
+//!
+//! Run: `cargo run --release --example rnn_stock`
+
+use durability_mlss::prelude::*;
+use mlss_models::synthetic_price_series;
+use mlss_nn::{rnn_price_score, NetConfig, RnnStockModel};
+
+fn main() {
+    // 1. Training data: seeded synthetic stand-in for GOOG 2015-2020
+    //    daily closes (DESIGN.md substitution 1).
+    let prices = synthetic_price_series(1259, &mut rng_from_seed(2015));
+    println!(
+        "training series: {} closes, {:.1} → {:.1}",
+        prices.len(),
+        prices[0],
+        prices.last().unwrap()
+    );
+
+    // 2. Train the LSTM-MDN (1×32 units, 3 mixtures, truncated BPTT).
+    let cfg = NetConfig {
+        epochs: 40,
+        ..NetConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let (model, report) = RnnStockModel::train_on_prices(&prices, &cfg, &mut rng_from_seed(7001));
+    println!(
+        "trained in {:.1}s: NLL {:.3} → {:.3}",
+        t0.elapsed().as_secs_f64(),
+        report.epoch_nll[0],
+        report.final_nll()
+    );
+
+    // 3. Durability query: will the stock rally +55% within 200 trading
+    //    days (a Tiny-class event)? The model is a black box to the
+    //    sampler.
+    let beta = model.initial_price * 1.55;
+    let vf = RatioValue::new(rnn_price_score, beta);
+    let problem = Problem::new(&model, &vf, 200);
+    println!(
+        "\nquery: P(price ≥ {beta:.1} within 200 days), start {:.1}",
+        model.initial_price
+    );
+
+    let target = QualityTarget::RelativeError {
+        target: 0.15,
+        reference: None,
+    };
+
+    let srs = SrsSampler::new(RunControl::until(target)).run(problem, &mut rng_from_seed(11));
+    println!(
+        "SRS : tau = {:.3e}  ({} network invocations, {:.1}s)",
+        srs.estimate.tau,
+        srs.estimate.steps,
+        srs.elapsed.as_secs_f64()
+    );
+
+    let mut rng = rng_from_seed(12);
+    let (plan, _) = balanced_plan(problem, 4, 2000, &mut rng);
+    let res = GMlssSampler::new(GMlssConfig::new(plan, RunControl::until(target)))
+        .run(problem, &mut rng);
+    println!(
+        "MLSS: tau = {:.3e}  ({} network invocations, {:.1}s)",
+        res.estimate.tau,
+        res.estimate.steps,
+        res.sim_elapsed.as_secs_f64()
+    );
+    let ratio = srs.estimate.steps as f64 / res.estimate.steps as f64;
+    println!("      {ratio:.1}x fewer forward passes through the network");
+}

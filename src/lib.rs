@@ -1,0 +1,24 @@
+//! # durability-mlss
+//!
+//! Umbrella crate for the *Efficiently Answering Durability Prediction
+//! Queries* (SIGMOD 2021) reproduction. Re-exports the workspace crates:
+//!
+//! * [`core`](mlss_core) — MLSS samplers, estimators, and level-design
+//!   optimization;
+//! * [`models`](mlss_models) — stochastic process substrates (tandem
+//!   queues, compound-Poisson, AR, Markov chains, random walks, GBM, and
+//!   volatile variants);
+//! * [`nn`](mlss_nn) — the from-scratch LSTM-MDN black-box simulator;
+//! * [`analytic`](mlss_analytic) — exact first-hitting-time ground truth;
+//! * [`db`](mlss_db) — the embedded mini-DBMS hosting the whole pipeline.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction map.
+
+pub use mlss_analytic as analytic;
+pub use mlss_core as core;
+pub use mlss_db as db;
+pub use mlss_models as models;
+pub use mlss_nn as nn;
+
+pub use mlss_core::prelude;

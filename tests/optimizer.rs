@@ -1,0 +1,96 @@
+//! Integration tests for the §5 level-design machinery on real models:
+//! the greedy strategy must find plans that beat SRS on rare queries, and
+//! its answers must remain unbiased.
+
+use mlss_core::partition::{balanced_plan, evaluate_plan, GreedyConfig, GreedyPartition};
+use mlss_core::prelude::*;
+use mlss_models::{queue2_score, TandemQueue};
+
+fn tiny_queue_problem() -> (TandemQueue, RatioValue<fn(&mlss_models::QueueState) -> f64>) {
+    fn score(s: &mlss_models::QueueState) -> f64 {
+        queue2_score(s)
+    }
+    (
+        TandemQueue::paper_default(),
+        RatioValue::new(score as fn(&mlss_models::QueueState) -> f64, 45.0),
+    )
+}
+
+#[test]
+fn greedy_beats_trivial_plan_on_rare_queue_query() {
+    let (model, vf) = tiny_queue_problem();
+    let problem = Problem::new(&model, &vf, 500);
+
+    let driver = GreedyPartition::new(GreedyConfig {
+        ratio: 3,
+        trial_budget: 80_000,
+        candidates_per_round: 4,
+        max_rounds: 6,
+    });
+    let mut rng = rng_from_seed(31);
+    let outcome = driver.search(problem, &mut rng);
+    assert!(
+        outcome.plan.num_levels() >= 2,
+        "rare query warrants at least one boundary, got {}",
+        outcome.plan
+    );
+
+    // The chosen plan's surrogate cost must beat the trivial plan's.
+    let trivial = evaluate_plan(
+        problem,
+        &PartitionPlan::trivial(),
+        3,
+        160_000,
+        &mut rng_from_seed(32),
+    );
+    assert!(
+        outcome.eval < trivial.eval,
+        "greedy eval {} should beat trivial {}",
+        outcome.eval,
+        trivial.eval
+    );
+}
+
+#[test]
+fn greedy_plan_produces_consistent_estimates() {
+    let (model, vf) = tiny_queue_problem();
+    let problem = Problem::new(&model, &vf, 500);
+
+    let driver = GreedyPartition::new(GreedyConfig {
+        ratio: 3,
+        trial_budget: 60_000,
+        candidates_per_round: 3,
+        max_rounds: 4,
+    });
+    let outcome = driver.search(problem, &mut rng_from_seed(41));
+
+    // Run the found plan and a balanced plan; both unbiased, so they must
+    // agree within combined uncertainty.
+    let cfg_g = GMlssConfig::new(outcome.plan, RunControl::budget(2_000_000)).with_ratio(3);
+    let res_g = GMlssSampler::new(cfg_g).run(problem, &mut rng_from_seed(42));
+
+    let (bal, _) = balanced_plan(problem, 5, 3000, &mut rng_from_seed(43));
+    let cfg_b = GMlssConfig::new(bal, RunControl::budget(2_000_000)).with_ratio(3);
+    let res_b = GMlssSampler::new(cfg_b).run(problem, &mut rng_from_seed(44));
+
+    let diff = (res_g.estimate.tau - res_b.estimate.tau).abs();
+    let tol = 5.0
+        * (res_g.estimate.variance.max(0.0) + res_b.estimate.variance.max(0.0)).sqrt();
+    assert!(
+        diff <= tol.max(2e-3),
+        "greedy-plan estimate {} vs balanced-plan estimate {}",
+        res_g.estimate.tau,
+        res_b.estimate.tau
+    );
+}
+
+#[test]
+fn balanced_plan_levels_monotone() {
+    let (model, vf) = tiny_queue_problem();
+    let problem = Problem::new(&model, &vf, 500);
+    let (plan, _) = balanced_plan(problem, 6, 4000, &mut rng_from_seed(51));
+    let b = plan.interior();
+    assert_eq!(plan.num_levels(), 6);
+    assert!(b.windows(2).all(|w| w[0] < w[1]));
+    assert!(b.iter().all(|&v| v > 0.0 && v < 1.0));
+}

@@ -1,0 +1,91 @@
+//! Cross-crate property-based tests (proptest) on estimator and plan
+//! invariants.
+
+use mlss_core::prelude::*;
+use mlss_core::smlss::{SMlssConfig, SMlssSampler};
+use mlss_models::{position_score, RandomWalk};
+use proptest::prelude::*;
+
+/// Strategy: a sorted set of 1..=4 distinct interior boundaries.
+fn boundaries() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..0.95, 1..=4).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup_by(|a, b| (*a - *b).abs() < 0.02);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid plan yields a probability estimate and consistent
+    /// counters on a random walk.
+    #[test]
+    fn gmlss_estimate_is_probability(bs in boundaries(), seed in 0u64..1000, up in 0.2f64..0.45) {
+        let plan = match PartitionPlan::new(bs) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // dedup may have emptied / collided
+        };
+        let walk = RandomWalk::new(up, 0.45, 0).reflected();
+        let vf = RatioValue::new(position_score, 8.0);
+        let problem = Problem::new(&walk, &vf, 50);
+        let cfg = GMlssConfig::new(plan, RunControl::budget(20_000));
+        let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed));
+        prop_assert!((0.0..=1.0).contains(&res.estimate.tau));
+        prop_assert!(res.estimate.steps >= 20_000);
+        for pi in &res.pi_hats {
+            prop_assert!((0.0..=1.0).contains(pi));
+        }
+        // Crossings bounded by r × landings at each level.
+        for (c, l) in res.crossings.iter().zip(&res.landings) {
+            prop_assert!(*c <= 3 * *l);
+        }
+    }
+
+    /// s-MLSS with r = 1 reduces exactly to the SRS estimator form.
+    #[test]
+    fn ratio_one_reduces_to_srs(seed in 0u64..500) {
+        let walk = RandomWalk::new(0.35, 0.35, 0).reflected();
+        let vf = RatioValue::new(position_score, 6.0);
+        let problem = Problem::new(&walk, &vf, 40);
+        let plan = PartitionPlan::new(vec![0.5]).unwrap();
+        let cfg = SMlssConfig::new(plan, RunControl::budget(10_000)).with_ratio(1);
+        let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed));
+        let est = res.estimate;
+        prop_assert!((est.tau - est.hits as f64 / est.n_roots as f64).abs() < 1e-15);
+    }
+
+    /// Same seed ⇒ identical runs (full determinism across the stack).
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..200) {
+        let walk = RandomWalk::new(0.4, 0.42, 0).reflected();
+        let vf = RatioValue::new(position_score, 7.0);
+        let problem = Problem::new(&walk, &vf, 60);
+        let plan = PartitionPlan::new(vec![0.3, 0.6]).unwrap();
+        let run = |s| {
+            let cfg = GMlssConfig::new(plan.clone(), RunControl::budget(15_000));
+            GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(s))
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.estimate.tau, b.estimate.tau);
+        prop_assert_eq!(a.estimate.steps, b.estimate.steps);
+        prop_assert_eq!(a.estimate.hits, b.estimate.hits);
+    }
+
+    /// Hitting probability is monotone in the threshold (estimated with
+    /// enough budget that orderings hold with margin).
+    #[test]
+    fn estimates_monotone_in_threshold(seed in 0u64..50) {
+        let walk = RandomWalk::new(0.40, 0.42, 0).reflected();
+        let run_beta = |beta: f64| {
+            let vf = RatioValue::new(position_score, beta);
+            let problem = Problem::new(&walk, &vf, 80);
+            let cfg = GMlssConfig::new(PartitionPlan::uniform(3), RunControl::budget(150_000));
+            GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed)).estimate.tau
+        };
+        let lo = run_beta(4.0);
+        let hi = run_beta(12.0);
+        prop_assert!(lo >= hi, "τ(β=4)={lo} should be ≥ τ(β=12)={hi}");
+    }
+}

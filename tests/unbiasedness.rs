@@ -1,0 +1,183 @@
+//! Cross-crate unbiasedness validation — the empirical counterpart of
+//! Propositions 1 and 2: SRS, s-MLSS, and g-MLSS estimates must all agree
+//! with *exact* hitting probabilities computed by `mlss-analytic`.
+
+use mlss_analytic::{hitting_probability, walk_hitting_probability, WalkSpec};
+use mlss_core::prelude::*;
+use mlss_core::smlss::{SMlssConfig, SMlssSampler};
+use mlss_models::{position_score, MarkovChain, RandomWalk};
+
+/// Tolerance: estimate must sit within `z` standard errors of the truth.
+fn assert_within(tau_hat: f64, variance: f64, truth: f64, z: f64, label: &str) {
+    let se = variance.max(0.0).sqrt();
+    let diff = (tau_hat - truth).abs();
+    assert!(
+        diff <= z * se + 1e-4,
+        "{label}: estimate {tau_hat} vs truth {truth} (|diff| {diff} > {z}·se {se})"
+    );
+}
+
+/// Shared fixture: birth-death chain whose durability answer is exact.
+fn chain() -> (MarkovChain, f64) {
+    let chain = MarkovChain::birth_death(25, 0.3, 0.35, 2);
+    let truth = hitting_probability(chain.rows(), |j| j >= 14, chain.initial(), 120);
+    (chain, truth)
+}
+
+#[test]
+fn srs_matches_exact_markov_answer() {
+    let (chain, truth) = chain();
+    assert!(truth > 1e-4 && truth < 0.2, "fixture sanity: {truth}");
+    let score = |s: &usize| *s as f64;
+    let vf = RatioValue::new(score, 14.0);
+    let problem = Problem::new(&chain, &vf, 120);
+    let res = SrsSampler::new(RunControl::budget(4_000_000)).run(problem, &mut rng_from_seed(1));
+    assert_within(res.estimate.tau, res.estimate.variance, truth, 4.0, "SRS");
+}
+
+#[test]
+fn smlss_matches_exact_markov_answer() {
+    let (chain, truth) = chain();
+    let score = |s: &usize| *s as f64;
+    let vf = RatioValue::new(score, 14.0);
+    let problem = Problem::new(&chain, &vf, 120);
+    // Boundaries aligned to attainable score values k/14; the chain moves
+    // one state per step, so no level skipping occurs and Proposition 1
+    // applies.
+    let plan = PartitionPlan::new(vec![5.0 / 14.0, 8.0 / 14.0, 11.0 / 14.0]).unwrap();
+    let cfg = SMlssConfig::new(plan, RunControl::budget(4_000_000)).with_ratio(3);
+    let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(2));
+    assert_within(res.estimate.tau, res.estimate.variance, truth, 4.0, "s-MLSS");
+}
+
+#[test]
+fn gmlss_matches_exact_markov_answer() {
+    let (chain, truth) = chain();
+    let score = |s: &usize| *s as f64;
+    let vf = RatioValue::new(score, 14.0);
+    let problem = Problem::new(&chain, &vf, 120);
+    let plan = PartitionPlan::new(vec![0.3, 0.55, 0.8]).unwrap();
+    let cfg = GMlssConfig::new(plan, RunControl::budget(4_000_000)).with_ratio(3);
+    let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(3));
+    assert_within(res.estimate.tau, res.estimate.variance, truth, 4.0, "g-MLSS");
+}
+
+#[test]
+fn gmlss_matches_exact_walk_answer() {
+    // Reflected lazy walk, exact DP truth.
+    let walk = RandomWalk::new(0.25, 0.40, 0).reflected();
+    let spec = WalkSpec {
+        up: 0.25,
+        down: 0.40,
+        start: 0,
+        floor: Some(0),
+    };
+    let target = 12;
+    let horizon = 200;
+    let truth = walk_hitting_probability(spec, target, horizon);
+    assert!(truth > 1e-4 && truth < 0.05, "fixture sanity: {truth}");
+
+    let vf = RatioValue::new(position_score, target as f64);
+    let problem = Problem::new(&walk, &vf, horizon);
+    let plan = PartitionPlan::new(vec![0.25, 0.5, 0.75]).unwrap();
+    let cfg = GMlssConfig::new(plan, RunControl::budget(6_000_000)).with_ratio(3);
+    let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(4));
+    assert_within(res.estimate.tau, res.estimate.variance, truth, 4.0, "g-MLSS walk");
+}
+
+#[test]
+fn srs_equals_mlss_with_ratio_one_exactly() {
+    // With r = 1 and the same seed, MLSS spends its budget on plain root
+    // paths; the estimator reduces to N_m / N_0 (§3.1).
+    let walk = RandomWalk::new(0.3, 0.3, 0).reflected();
+    let vf = RatioValue::new(position_score, 6.0);
+    let problem = Problem::new(&walk, &vf, 60);
+    let plan = PartitionPlan::new(vec![0.5]).unwrap();
+    let cfg = SMlssConfig::new(plan, RunControl::budget(500_000)).with_ratio(1);
+    let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(5));
+    let est = res.estimate;
+    assert!((est.tau - est.hits as f64 / est.n_roots as f64).abs() < 1e-15);
+}
+
+#[test]
+fn estimates_are_probabilities() {
+    let (chain, _) = chain();
+    let score = |s: &usize| *s as f64;
+    let vf = RatioValue::new(score, 14.0);
+    let problem = Problem::new(&chain, &vf, 120);
+    for seed in 0..5 {
+        let plan = PartitionPlan::uniform(4);
+        let cfg = GMlssConfig::new(plan, RunControl::budget(100_000));
+        let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed));
+        assert!((0.0..=1.0).contains(&res.estimate.tau));
+        for pi in &res.pi_hats {
+            assert!((0.0..=1.0).contains(pi), "π̂ = {pi}");
+        }
+    }
+}
+
+#[test]
+fn start_above_first_levels_stays_unbiased() {
+    // The CPP starts at u = 15; with β = 37 the initial value function is
+    // f₀ ≈ 0.41, above several boundaries of a low plan. Both samplers
+    // must still agree with SRS (regression test for the t = 0 crossing
+    // accounting).
+    use mlss_models::{surplus_score, CompoundPoisson};
+    let model = CompoundPoisson::paper_default();
+    let vf = RatioValue::new(surplus_score, 37.0);
+    let problem = Problem::new(&model, &vf, 200);
+
+    let srs = SrsSampler::new(RunControl::budget(2_000_000)).run(problem, &mut rng_from_seed(61));
+
+    // Plan with boundaries straddling f₀ = 0.405.
+    let plan = PartitionPlan::new(vec![0.2, 0.3, 0.6, 0.8]).unwrap();
+    let g_cfg = GMlssConfig::new(plan.clone(), RunControl::budget(2_000_000)).with_ratio(3);
+    let g = GMlssSampler::new(g_cfg).run(problem, &mut rng_from_seed(62));
+    assert!(g.estimate.tau > 0.0, "g-MLSS must not collapse to zero");
+    let diff = (srs.estimate.tau - g.estimate.tau).abs();
+    let tol = 5.0 * (srs.estimate.variance + g.estimate.variance.max(0.0)).sqrt();
+    assert!(
+        diff <= tol.max(5e-3),
+        "SRS {} vs g-MLSS {} with start above L0",
+        srs.estimate.tau,
+        g.estimate.tau
+    );
+
+    let s_cfg = SMlssConfig::new(plan, RunControl::budget(2_000_000)).with_ratio(3);
+    let s = SMlssSampler::new(s_cfg).run(problem, &mut rng_from_seed(63));
+    assert!(s.estimate.tau > 0.0, "s-MLSS must not collapse to zero");
+    let diff = (srs.estimate.tau - s.estimate.tau).abs();
+    let tol = 5.0 * (srs.estimate.variance + s.estimate.variance.max(0.0)).sqrt();
+    assert!(
+        diff <= tol.max(8e-3),
+        "SRS {} vs s-MLSS {} with start above L0",
+        srs.estimate.tau,
+        s.estimate.tau
+    );
+}
+
+#[test]
+fn start_at_target_counts_only_future_hits() {
+    // Durability counts t ≥ 1: a process born at the target that
+    // immediately falls away and never returns has τ = 0 — both SRS and
+    // g-MLSS must agree (regression test for t = 0 handling).
+    struct Born;
+    impl SimulationModel for Born {
+        type State = f64;
+        fn initial_state(&self) -> f64 {
+            10.0
+        }
+        fn step(&self, _s: &f64, _t: mlss_core::model::Time, _rng: &mut SimRng) -> f64 {
+            0.0
+        }
+    }
+    let model = Born;
+    let vf = RatioValue::new(|s: &f64| *s, 5.0);
+    let problem = Problem::new(&model, &vf, 10);
+    let srs = SrsSampler::new(RunControl::budget(1_000)).run(problem, &mut rng_from_seed(64));
+    assert_eq!(srs.estimate.tau, 0.0);
+    let cfg = GMlssConfig::new(PartitionPlan::uniform(3), RunControl::budget(1_000));
+    let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(64));
+    assert_eq!(res.estimate.tau, 0.0);
+    assert!(res.estimate.steps >= 1_000);
+}

@@ -1,0 +1,86 @@
+//! Integration test for the §6.2 phenomenon: on processes with level
+//! skipping, blindly applied s-MLSS under-estimates while g-MLSS remains
+//! unbiased (Table 6).
+
+use mlss_core::prelude::*;
+use mlss_core::smlss::{SMlssConfig, SMlssSampler};
+use mlss_models::{surplus_score, volatile_cpp, CompoundPoisson};
+
+fn problem_setup() -> (
+    impl SimulationModel<State = f64>,
+    RatioValue<fn(&f64) -> f64>,
+) {
+    let model = volatile_cpp(CompoundPoisson::zero_drift_default(), 500);
+    fn score(s: &f64) -> f64 {
+        surplus_score(s)
+    }
+    let vf = RatioValue::new(score as fn(&f64) -> f64, 620.0);
+    (model, vf)
+}
+
+#[test]
+fn smlss_is_biased_low_and_gmlss_is_not() {
+    let (model, vf) = problem_setup();
+    let problem = Problem::new(&model, &vf, 500);
+    let plan = PartitionPlan::uniform(8);
+    let budget = 120_000;
+    let reps = 12;
+
+    let mut srs_sum = 0.0;
+    let mut s_sum = 0.0;
+    let mut g_sum = 0.0;
+    let mut skips = 0u64;
+    for rep in 0..reps {
+        let seed = 900 + rep;
+        srs_sum += SrsSampler::new(RunControl::budget(budget))
+            .run(problem, &mut rng_from_seed(seed))
+            .estimate
+            .tau;
+        let s_cfg = SMlssConfig::new(plan.clone(), RunControl::budget(budget)).with_ratio(3);
+        s_sum += SMlssSampler::new(s_cfg)
+            .run(problem, &mut rng_from_seed(seed ^ 0xF0))
+            .estimate
+            .tau;
+        let g_cfg = GMlssConfig::new(plan.clone(), RunControl::budget(budget)).with_ratio(3);
+        let g = GMlssSampler::new(g_cfg).run(problem, &mut rng_from_seed(seed ^ 0x0F));
+        skips += g.skip_events;
+        g_sum += g.estimate.tau;
+    }
+    let srs = srs_sum / reps as f64;
+    let smlss = s_sum / reps as f64;
+    let gmlss = g_sum / reps as f64;
+
+    assert!(skips > 0, "volatile process must exhibit level skipping");
+    // s-MLSS loses the level-skipping mass: expect less than half the SRS
+    // answer on this impulse-dominated query.
+    assert!(
+        smlss < 0.5 * srs,
+        "s-MLSS should under-estimate: s-MLSS {smlss} vs SRS {srs}"
+    );
+    // g-MLSS stays in the same ballpark as SRS (within 50% relative).
+    assert!(
+        (gmlss - srs).abs() / srs < 0.5,
+        "g-MLSS {gmlss} should track SRS {srs}"
+    );
+}
+
+#[test]
+fn gmlss_variance_shrinks_with_budget() {
+    let (model, vf) = problem_setup();
+    let problem = Problem::new(&model, &vf, 500);
+    let plan = PartitionPlan::uniform(8);
+
+    let run = |budget: u64| {
+        let cfg = GMlssConfig::new(plan.clone(), RunControl::budget(budget)).with_ratio(3);
+        GMlssSampler::new(cfg)
+            .run(problem, &mut rng_from_seed(7))
+            .estimate
+            .variance
+    };
+    let v_small = run(60_000);
+    let v_large = run(600_000);
+    assert!(
+        v_large < v_small,
+        "variance should shrink with budget: {v_small} → {v_large}"
+    );
+}
