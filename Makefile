@@ -1,0 +1,32 @@
+# Local mirror of the CI pipeline (.github/workflows/ci.yml).
+#
+#   make verify   — the tier-1 gate: release build + full test suite
+#   make ci       — everything CI runs: fmt, build, test, clippy
+#   make bench    — criterion micro-benchmarks (shimmed harness)
+#   make speedup  — parallel-driver mutex-vs-sharded merge comparison
+
+CARGO ?= cargo
+
+.PHONY: verify ci fmt clippy test build bench speedup
+
+verify: build test
+
+build:
+	$(CARGO) build --release --workspace --all-targets
+
+test:
+	$(CARGO) test -q --workspace
+
+fmt:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+ci: fmt build test clippy
+
+bench:
+	$(CARGO) bench -p mlss-bench
+
+speedup:
+	$(CARGO) run --release -p mlss-bench --bin parallel_speedup

@@ -53,7 +53,11 @@ pub fn walk_hitting_probability(spec: WalkSpec, target: i64, horizon: u64) -> f6
         for pos in lo..hi {
             let x = idx(pos);
             let up_pos = pos + 1;
-            let up_val = if up_pos >= target { 1.0 } else { v[idx(up_pos)] };
+            let up_val = if up_pos >= target {
+                1.0
+            } else {
+                v[idx(up_pos)]
+            };
             let mut down_pos = pos - 1;
             if let Some(f) = spec.floor {
                 if down_pos < f {

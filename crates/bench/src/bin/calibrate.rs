@@ -19,6 +19,7 @@ fn budget_from_args() -> u64 {
         .unwrap_or(12_000_000)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn calibrate<M>(
     report: &mut Report,
     label: &str,

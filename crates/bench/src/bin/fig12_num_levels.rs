@@ -9,6 +9,7 @@ use mlss_bench::{balanced_for, fmt_steps, mlss_to_target, Profile, Report, DEFAU
 use mlss_core::prelude::*;
 use mlss_models::{queue2_score, surplus_score, CompoundPoisson, TandemQueue};
 
+#[allow(clippy::too_many_arguments)]
 fn sweep<M, Z>(
     r: &mut Report,
     label: &str,
@@ -27,13 +28,7 @@ fn sweep<M, Z>(
     let target = profile.target(spec.class);
     for m in levels {
         let plan = balanced_for(problem, m, seed0 + m as u64);
-        let (row, _) = mlss_to_target(
-            problem,
-            plan,
-            DEFAULT_RATIO,
-            target,
-            seed0 + 100 + m as u64,
-        );
+        let (row, _) = mlss_to_target(problem, plan, DEFAULT_RATIO, target, seed0 + 100 + m as u64);
         r.row(vec![
             label.into(),
             m.to_string(),

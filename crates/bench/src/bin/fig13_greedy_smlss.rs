@@ -15,6 +15,7 @@ use mlss_core::prelude::*;
 use mlss_models::{queue2_score, surplus_score, CompoundPoisson, TandemQueue};
 use mlss_nn::rnn_price_score;
 
+#[allow(clippy::too_many_arguments)]
 fn bench<M, Z>(
     r: &mut Report,
     label: &str,
@@ -48,8 +49,7 @@ fn bench<M, Z>(
 
         // MLSS-BAL: pre-tuned balanced plan, tuning not charged.
         let plan = balanced_for(problem, default_levels(spec.class), seed0 + 1);
-        let (bal, _) =
-            mlss_to_target(problem, plan, DEFAULT_RATIO, target, seed0 + 2);
+        let (bal, _) = mlss_to_target(problem, plan, DEFAULT_RATIO, target, seed0 + 2);
         r.row(vec![
             q.clone(),
             "MLSS-BAL".into(),

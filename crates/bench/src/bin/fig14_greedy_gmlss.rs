@@ -73,12 +73,8 @@ fn bench<M, Z>(
         // MLSS-BAL: uniform 6-level plan as the pre-tuned yardstick for
         // skipping processes (balanced tail fits are unreliable under
         // impulse mixtures).
-        let (_, bal_secs, bal_steps, bal_boot) = run_gmlss(
-            problem,
-            PartitionPlan::uniform(6),
-            target,
-            seed0 + 2,
-        );
+        let (_, bal_secs, bal_steps, bal_boot) =
+            run_gmlss(problem, PartitionPlan::uniform(6), target, seed0 + 2);
         r.row(vec![
             q.clone(),
             "MLSS-BAL".into(),

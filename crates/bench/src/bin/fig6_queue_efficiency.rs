@@ -17,7 +17,13 @@ fn main() {
     let mut r = Report::new(
         "fig6_queue_efficiency",
         &[
-            "query", "sampler", "tau", "steps", "secs", "speedup_steps", "speedup_time",
+            "query",
+            "sampler",
+            "tau",
+            "steps",
+            "secs",
+            "speedup_steps",
+            "speedup_time",
         ],
     );
 

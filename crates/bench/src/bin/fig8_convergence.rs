@@ -141,7 +141,13 @@ fn main() {
     // keep stdout readable; the CSV holds the full series.
     let mut summary = Report::new(
         "fig8_convergence_summary",
-        &["panel", "sampler", "final_steps", "final_tau", "final_quality"],
+        &[
+            "panel",
+            "sampler",
+            "final_steps",
+            "final_tau",
+            "final_quality",
+        ],
     );
     let mut seen: Vec<(String, String)> = Vec::new();
     for (panel, sampler, steps, tau, q) in series.rows.iter().rev() {

@@ -68,7 +68,13 @@ fn main() {
     let mut r = Report::new(
         "fig9_gmlss_efficiency",
         &[
-            "query", "sampler", "tau", "steps", "total_secs", "bootstrap_secs", "speedup",
+            "query",
+            "sampler",
+            "tau",
+            "steps",
+            "total_secs",
+            "bootstrap_secs",
+            "speedup",
         ],
     );
 

@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p mlss-bench --bin table3_queue_answers [--full]`
 
 use mlss_bench::settings::{default_levels, queue_specs};
-use mlss_bench::{balanced_for, fmt_prob, mean_std, mlss_to_target, srs_to_target, Profile, Report, DEFAULT_RATIO};
+use mlss_bench::{
+    balanced_for, fmt_prob, mean_std, mlss_to_target, srs_to_target, Profile, Report, DEFAULT_RATIO,
+};
 use mlss_core::prelude::*;
 use mlss_models::{queue2_score, TandemQueue};
 
@@ -13,10 +15,7 @@ fn main() {
     let profile = Profile::from_args();
     let reps = profile.repetitions();
     let model = TandemQueue::paper_default();
-    let mut r = Report::new(
-        "table3_queue_answers",
-        &["query", "SRS", "MLSS"],
-    );
+    let mut r = Report::new("table3_queue_answers", &["query", "SRS", "MLSS"]);
 
     for spec in queue_specs() {
         let vf = RatioValue::new(queue2_score, spec.beta);

@@ -5,8 +5,7 @@
 
 use mlss_bench::settings::{cpp_specs, default_levels};
 use mlss_bench::{
-    balanced_for, fmt_prob, mean_std, mlss_to_target, srs_to_target, Profile, Report,
-    DEFAULT_RATIO,
+    balanced_for, fmt_prob, mean_std, mlss_to_target, srs_to_target, Profile, Report, DEFAULT_RATIO,
 };
 use mlss_core::prelude::*;
 use mlss_models::{surplus_score, CompoundPoisson};

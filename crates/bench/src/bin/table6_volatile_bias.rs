@@ -49,16 +49,16 @@ fn bench_model<M, Z>(
                     .estimate
                     .tau,
             );
-            let s_cfg = SMlssConfig::new(plan(), RunControl::budget(BUDGET))
-                .with_ratio(DEFAULT_RATIO);
+            let s_cfg =
+                SMlssConfig::new(plan(), RunControl::budget(BUDGET)).with_ratio(DEFAULT_RATIO);
             smlss.push(
                 SMlssSampler::new(s_cfg)
                     .run(problem, &mut rng_from_seed(seed ^ 0x51))
                     .estimate
                     .tau,
             );
-            let g_cfg = GMlssConfig::new(plan(), RunControl::budget(BUDGET))
-                .with_ratio(DEFAULT_RATIO);
+            let g_cfg =
+                GMlssConfig::new(plan(), RunControl::budget(BUDGET)).with_ratio(DEFAULT_RATIO);
             let g = GMlssSampler::new(g_cfg).run(problem, &mut rng_from_seed(seed ^ 0x91));
             skips += g.skip_events;
             gmlss.push(g.estimate.tau);

@@ -68,7 +68,12 @@ fn main() {
     let rows = db
         .with_table("results", |t| t.len())
         .expect("results table");
-    let args: Vec<Value> = vec!["cpp".into(), Value::Int(100), Value::Int(5), "paths_demo".into()];
+    let args: Vec<Value> = vec![
+        "cpp".into(),
+        Value::Int(100),
+        Value::Int(5),
+        "paths_demo".into(),
+    ];
     let n = registry
         .call(&db, "materialize_paths", &args, &mut rng)
         .expect("materialize");

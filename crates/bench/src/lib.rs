@@ -18,6 +18,7 @@ pub mod settings;
 
 pub use report::{fmt_prob, fmt_steps, Report};
 pub use runners::{
-    balanced_for, mean_std, mlss_budget, mlss_to_target, srs_budget, srs_to_target, RunRow,
+    balanced_for, mean_std, mlss_budget, mlss_to_target, run_budget, run_to_target, srs_budget,
+    srs_to_target, RunRow,
 };
 pub use settings::{Profile, QueryClass, QuerySpec, DEFAULT_RATIO};

@@ -1,15 +1,20 @@
-//! Shared experiment drivers: run SRS / MLSS to a target or budget and
-//! collect comparable rows.
+//! Shared experiment drivers, generic over `mlss_core`'s `Estimator`
+//! trait: run *any* sampling strategy to a target or budget and collect
+//! comparable rows. The per-sampler helpers (`srs_*`, `mlss_*`) the
+//! figure/table binaries call are thin wrappers over the same two generic
+//! entry points, so a new estimator gains bench coverage by being passed
+//! to [`run_to_target`]/[`run_budget`] — no new driver code.
 
 use mlss_core::estimate::Estimate;
-use mlss_core::gmlss::{GMlssConfig, GMlssResult, GMlssSampler};
+use mlss_core::estimator::{run_sequential, Estimator, EstimatorRun};
+use mlss_core::gmlss::{GMlssConfig, GMlssResult, GmlssShard};
 use mlss_core::levels::PartitionPlan;
 use mlss_core::model::SimulationModel;
 use mlss_core::partition::balanced_plan;
 use mlss_core::quality::{QualityTarget, RunControl};
 use mlss_core::query::{Problem, ValueFunction};
 use mlss_core::rng::rng_from_seed;
-use mlss_core::srs::SrsSampler;
+use mlss_core::srs::SrsEstimator;
 
 /// Hard step valve for target-mode runs.
 pub const MAX_STEPS: u64 = 20_000_000_000;
@@ -27,7 +32,8 @@ pub struct RunRow {
     pub n_roots: u64,
     /// Simulation seconds.
     pub sim_secs: f64,
-    /// Bootstrap seconds (0 for SRS / variance-free runs).
+    /// Variance-evaluation seconds (bootstrap etc.; 0 for closed-form
+    /// estimators).
     pub bootstrap_secs: f64,
 }
 
@@ -49,19 +55,60 @@ impl RunRow {
     }
 }
 
+impl<L> From<&EstimatorRun<L>> for RunRow {
+    fn from(run: &EstimatorRun<L>) -> Self {
+        RunRow::from_estimate(run.estimate, run.sim_elapsed, run.estimate_elapsed)
+    }
+}
+
+/// Run any estimator until the quality target holds.
+pub fn run_to_target<M, V, E>(
+    problem: Problem<'_, M, V>,
+    estimator: &E,
+    target: QualityTarget,
+    check_every: u64,
+    seed: u64,
+) -> EstimatorRun<E::Shard>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    let control = RunControl::Target {
+        target,
+        check_every,
+        max_steps: MAX_STEPS,
+    };
+    run_sequential(estimator, problem, control, &mut rng_from_seed(seed))
+}
+
+/// Run any estimator for a fixed budget of `g` invocations.
+pub fn run_budget<M, V, E>(
+    problem: Problem<'_, M, V>,
+    estimator: &E,
+    budget: u64,
+    seed: u64,
+) -> EstimatorRun<E::Shard>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    run_sequential(
+        estimator,
+        problem,
+        RunControl::budget(budget),
+        &mut rng_from_seed(seed),
+    )
+}
+
 /// Run SRS until the quality target holds.
 pub fn srs_to_target<M, V>(problem: Problem<'_, M, V>, target: QualityTarget, seed: u64) -> RunRow
 where
     M: SimulationModel,
     V: ValueFunction<M::State>,
 {
-    let control = RunControl::Target {
-        target,
-        check_every: 1024,
-        max_steps: MAX_STEPS,
-    };
-    let res = SrsSampler::new(control).run(problem, &mut rng_from_seed(seed));
-    RunRow::from_estimate(res.estimate, res.elapsed, std::time::Duration::ZERO)
+    RunRow::from(&run_to_target(problem, &SrsEstimator, target, 1024, seed))
 }
 
 /// Run SRS for a fixed budget of `g` invocations.
@@ -70,8 +117,7 @@ where
     M: SimulationModel,
     V: ValueFunction<M::State>,
 {
-    let res = SrsSampler::new(RunControl::budget(budget)).run(problem, &mut rng_from_seed(seed));
-    RunRow::from_estimate(res.estimate, res.elapsed, std::time::Duration::ZERO)
+    RunRow::from(&run_budget(problem, &SrsEstimator, budget, seed))
 }
 
 /// Build a balanced-growth plan for the problem with `m` levels (the
@@ -83,6 +129,24 @@ where
 {
     let (plan, _) = balanced_plan(problem, m, 4000, &mut rng_from_seed(seed ^ 0xBA1A_BA1A));
     plan
+}
+
+/// Reassemble the sampler-level result shape from a trait-level run.
+fn gmlss_result(run: EstimatorRun<GmlssShard>) -> (RunRow, GMlssResult) {
+    let row = RunRow::from(&run);
+    let result = GMlssResult {
+        estimate: run.estimate,
+        pi_hats: run.shard.pi_hats(),
+        landings: run.shard.landings_per_level(),
+        crossings: run.shard.crossings_per_level(),
+        skips: run.shard.skips_per_level(),
+        skip_events: run.shard.skip_events,
+        root_hit_variance: run.shard.root_hit_sample_variance(),
+        ledger: Some(run.shard.ledger),
+        sim_elapsed: run.sim_elapsed,
+        bootstrap_elapsed: run.estimate_elapsed,
+    };
+    (row, result)
 }
 
 /// Run g-MLSS until the quality target holds.
@@ -103,11 +167,7 @@ where
         max_steps: MAX_STEPS,
     };
     let cfg = GMlssConfig::new(plan, control).with_ratio(ratio);
-    let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed));
-    (
-        RunRow::from_estimate(res.estimate, res.sim_elapsed, res.bootstrap_elapsed),
-        res,
-    )
+    gmlss_result(run_to_target(problem, &cfg, target, 256, seed))
 }
 
 /// Run g-MLSS for a fixed budget.
@@ -123,19 +183,12 @@ where
     V: ValueFunction<M::State>,
 {
     let cfg = GMlssConfig::new(plan, RunControl::budget(budget)).with_ratio(ratio);
-    let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(seed));
-    (
-        RunRow::from_estimate(res.estimate, res.sim_elapsed, res.bootstrap_elapsed),
-        res,
-    )
+    gmlss_result(run_budget(problem, &cfg, budget, seed))
 }
 
 /// Mean ± sample std of a slice (for the "averaged over N runs" tables).
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
-    (
-        mlss_core::stats::mean(xs),
-        mlss_core::stats::sample_std(xs),
-    )
+    (mlss_core::stats::mean(xs), mlss_core::stats::sample_std(xs))
 }
 
 #[cfg(test)]
@@ -144,6 +197,7 @@ mod tests {
     use mlss_core::model::Time;
     use mlss_core::query::RatioValue;
     use mlss_core::rng::SimRng;
+    use mlss_core::smlss::SMlssConfig;
     use rand::RngExt;
 
     struct Walk;
@@ -156,7 +210,12 @@ mod tests {
         }
 
         fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-            (s + if rng.random::<f64>() < 0.49 { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+            (s + if rng.random::<f64>() < 0.49 {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
         }
     }
 
@@ -190,6 +249,23 @@ mod tests {
         );
         let re = row.variance.sqrt() / row.tau;
         assert!(re <= 0.25, "re = {re}");
+    }
+
+    #[test]
+    fn generic_driver_accepts_any_estimator() {
+        // The same entry point drives s-MLSS — the property the figure
+        // binaries rely on after the trait rewrite.
+        let model = Walk;
+        let vf = RatioValue::new(|s: &f64| *s, 1.0);
+        let problem = Problem::new(&model, &vf, 100);
+        let cfg = SMlssConfig::new(
+            PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+            RunControl::budget(1),
+        );
+        let run = run_budget(problem, &cfg, 200_000, 5);
+        assert!(run.estimate.steps >= 200_000);
+        let row = RunRow::from(&run);
+        assert_eq!(row.steps, run.estimate.steps);
     }
 
     #[test]

@@ -182,7 +182,11 @@ pub fn bootstrap_variance(
         estimates.push(ledger.estimate_over(&idx, ratio));
     }
     let mean = estimates.iter().sum::<f64>() / resamples as f64;
-    estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / resamples as f64
+    estimates
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
+        / resamples as f64
 }
 
 /// Bootstrap percentile confidence interval (an extra the paper's users

@@ -184,7 +184,12 @@ mod tests {
         }
 
         fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-            (s + if rng.random::<f64>() < 0.52 { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+            (s + if rng.random::<f64>() < 0.52 {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
         }
     }
 
@@ -207,11 +212,7 @@ mod tests {
         assert_eq!(tree.segments[0].parent, None);
         // Every split spawns exactly `ratio` children.
         for (i, s) in tree.segments.iter().enumerate() {
-            let children = tree
-                .segments
-                .iter()
-                .filter(|c| c.parent == Some(i))
-                .count();
+            let children = tree.segments.iter().filter(|c| c.parent == Some(i)).count();
             match s.outcome {
                 SegmentOutcome::Split => assert_eq!(children, 3, "segment {i}"),
                 _ => assert_eq!(children, 0, "segment {i}"),

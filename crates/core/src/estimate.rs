@@ -117,10 +117,7 @@ mod tests {
     fn cost_per_root() {
         let e = est(0.5, 0.0);
         assert!((e.cost_per_root() - 50.0).abs() < 1e-12);
-        let z = Estimate {
-            n_roots: 0,
-            ..e
-        };
+        let z = Estimate { n_roots: 0, ..e };
         assert_eq!(z.cost_per_root(), 0.0);
     }
 }

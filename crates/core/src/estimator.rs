@@ -1,0 +1,396 @@
+//! The unified sampler abstraction — one execution spine for SRS, s-MLSS,
+//! g-MLSS, and IS.
+//!
+//! The paper presents its four samplers as interchangeable answers to the
+//! same durability prediction query `Q(q, s)`; this module makes that
+//! interchangeability a compile-time fact. An [`Estimator`] advances a
+//! mergeable [`Ledger`] shard in budgeted chunks of `g` invocations and
+//! can turn any shard into an [`Estimate`] at any time. Everything above
+//! this trait — the sequential driver [`run_sequential`], the parallel
+//! driver [`crate::parallel::run_parallel`], the `mlss-bench` experiment
+//! runners, and `mlss-db`'s `mlss_estimate` stored procedure — is generic
+//! over it, so a new sampling strategy plugs into every layer by
+//! implementing one trait.
+//!
+//! Implementations provided by this crate:
+//!
+//! | estimator | config type | shard |
+//! |---|---|---|
+//! | SRS (§2.2) | [`crate::srs::SrsEstimator`] | [`crate::srs::SrsShard`] |
+//! | s-MLSS (§3) | [`crate::smlss::SMlssConfig`] | [`crate::smlss::SMlssShard`] |
+//! | g-MLSS (§4) | [`crate::gmlss::GMlssConfig`] | [`crate::gmlss::GmlssShard`] |
+//! | IS (§2.2) | [`crate::is::IsEstimator`] | [`crate::is::IsShard`] |
+//!
+//! Chunk contract: `run_chunk(problem, shard, budget, rng)` simulates
+//! complete root paths (never truncating one mid-flight) until at least
+//! `budget` additional `g` invocations have been spent, exactly mirroring
+//! the paper's "stop at the first completion at or beyond the budget"
+//! semantics. This keeps every estimator unbiased under chunking: a chunk
+//! boundary is indistinguishable from a run boundary.
+
+use crate::estimate::Estimate;
+use crate::model::SimulationModel;
+use crate::quality::RunControl;
+use crate::query::{Problem, ValueFunction};
+use crate::rng::SimRng;
+use std::time::{Duration, Instant};
+
+/// What one [`Estimator::run_chunk`] call accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkOutcome {
+    /// `g` invocations spent in this chunk.
+    pub steps: u64,
+    /// Root paths completed in this chunk.
+    pub roots: u64,
+}
+
+/// Mergeable sufficient statistics of a (partial) run.
+///
+/// A `Ledger` is everything an estimator needs to produce an estimate:
+/// workers accumulate independent shards and reductions combine them with
+/// [`Ledger::merge`], which must be exact (merging shards of two runs is
+/// statistically identical to one run having done all the work).
+pub trait Ledger: Send {
+    /// Absorb another shard's roots.
+    fn merge(&mut self, other: Self);
+
+    /// Number of independent root paths accumulated.
+    fn n_roots(&self) -> u64;
+
+    /// Total `g` invocations accumulated.
+    fn steps(&self) -> u64;
+}
+
+/// Estimator-specific run diagnostics (the paper's per-method health
+/// indicators: skip counts for g-MLSS, effective sample size for IS, …).
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    /// Name of the estimator that produced the shard.
+    pub estimator: &'static str,
+    /// Level-skip events observed (0 for samplers without levels).
+    pub skip_events: u64,
+    /// Free-form named indicator values.
+    pub details: Vec<(String, f64)>,
+}
+
+impl Diagnostics {
+    /// Diagnostics with no indicators.
+    pub fn none(estimator: &'static str) -> Self {
+        Self {
+            estimator,
+            skip_events: 0,
+            details: Vec::new(),
+        }
+    }
+}
+
+/// A durability-query sampling strategy, runnable in budgeted chunks.
+///
+/// The trait is deliberately not sealed: downstream crates can add
+/// estimators (say, a quasi-Monte-Carlo or stratified sampler) and every
+/// driver in this workspace — sequential, parallel, bench harness, SQL
+/// procedure — accepts them unchanged.
+pub trait Estimator<M, V>: Sync
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    /// The shard type this estimator accumulates.
+    type Shard: Ledger;
+
+    /// Short stable name (used in diagnostics and reports).
+    fn name(&self) -> &'static str;
+
+    /// A fresh, empty shard.
+    fn shard(&self) -> Self::Shard;
+
+    /// Simulate complete root paths into `shard` until at least `budget`
+    /// additional `g` invocations have been spent.
+    fn run_chunk(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut Self::Shard,
+        budget: u64,
+        rng: &mut SimRng,
+    ) -> ChunkOutcome;
+
+    /// The estimate implied by `shard`. `rng` powers resampling-based
+    /// variance estimation (bootstrap); closed-form estimators ignore it.
+    fn estimate(&self, shard: &Self::Shard, rng: &mut SimRng) -> Estimate;
+
+    /// The estimate used for *in-flight stopping checks*. Estimators with
+    /// expensive variance evaluations may amortize here (g-MLSS honors
+    /// its `bootstrap_every` cadence by caching the variance in the
+    /// shard); the default is the full [`Estimator::estimate`]. The final
+    /// reported estimate always comes from `estimate`.
+    fn check_estimate(&self, shard: &mut Self::Shard, rng: &mut SimRng) -> Estimate {
+        self.estimate(shard, rng)
+    }
+
+    /// Estimator-specific health indicators for `shard`.
+    fn diagnostics(&self, shard: &Self::Shard) -> Diagnostics {
+        let _ = shard;
+        Diagnostics::none(self.name())
+    }
+}
+
+/// A fresh shard for the estimator driving `problem`.
+///
+/// Equivalent to [`Estimator::shard`]; the `problem` argument exists to
+/// pin the `M`/`V` type parameters when calling trait methods directly.
+pub fn shard_for<M, V, E>(estimator: &E, _problem: &Problem<'_, M, V>) -> E::Shard
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    estimator.shard()
+}
+
+/// The estimate implied by `shard` under `estimator`.
+///
+/// Equivalent to [`Estimator::estimate`]; the `problem` argument pins the
+/// `M`/`V` type parameters when calling trait methods directly.
+pub fn estimate_for<M, V, E>(
+    estimator: &E,
+    _problem: &Problem<'_, M, V>,
+    shard: &E::Shard,
+    rng: &mut SimRng,
+) -> Estimate
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    estimator.estimate(shard, rng)
+}
+
+/// Result of a sequential trait-level run.
+#[derive(Debug, Clone)]
+pub struct EstimatorRun<L> {
+    /// Final estimate.
+    pub estimate: Estimate,
+    /// The accumulated shard (for diagnostics or further merging).
+    pub shard: L,
+    /// Wall-clock time spent simulating.
+    pub sim_elapsed: Duration,
+    /// Wall-clock time spent in estimate/variance evaluations.
+    pub estimate_elapsed: Duration,
+}
+
+/// Run any estimator sequentially until `control` is satisfied.
+///
+/// Budget mode hands the estimator the entire remaining budget in one
+/// chunk (the chunk contract already stops at the first root completing
+/// at or past the budget). Target mode sizes chunks to roughly
+/// `check_every` root paths using the observed cost per root, then
+/// re-evaluates the quality target between chunks.
+pub fn run_sequential<M, V, E>(
+    estimator: &E,
+    problem: Problem<'_, M, V>,
+    control: RunControl,
+    rng: &mut SimRng,
+) -> EstimatorRun<E::Shard>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    let start = Instant::now();
+    let mut shard = estimator.shard();
+    let mut estimate_elapsed = Duration::ZERO;
+
+    loop {
+        let budget = match control {
+            RunControl::Budget(total) => {
+                let remaining = total.saturating_sub(shard.steps());
+                if remaining == 0 {
+                    break;
+                }
+                remaining
+            }
+            RunControl::Target {
+                check_every,
+                max_steps,
+                ..
+            } => {
+                if shard.steps() >= max_steps {
+                    break;
+                }
+                // ≈ check_every roots' worth of steps; before any root has
+                // completed, assume the worst case of one horizon per root.
+                let per_root = if shard.n_roots() > 0 {
+                    (shard.steps() / shard.n_roots()).max(1)
+                } else {
+                    problem.horizon.max(1)
+                };
+                check_every
+                    .max(1)
+                    .saturating_mul(per_root)
+                    .min(max_steps - shard.steps())
+                    .max(1)
+            }
+        };
+        estimator.run_chunk(problem, &mut shard, budget, rng);
+        if let RunControl::Target { target, .. } = control {
+            let t0 = Instant::now();
+            let est = estimator.check_estimate(&mut shard, rng);
+            estimate_elapsed += t0.elapsed();
+            if target.satisfied(&est) {
+                break;
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let estimate = estimator.estimate(&shard, rng);
+    estimate_elapsed += t0.elapsed();
+    let sim_elapsed = start.elapsed().saturating_sub(estimate_elapsed);
+    EstimatorRun {
+        estimate,
+        shard,
+        sim_elapsed,
+        estimate_elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmlss::GMlssConfig;
+    use crate::levels::PartitionPlan;
+    use crate::model::Time;
+    use crate::quality::QualityTarget;
+    use crate::query::RatioValue;
+    use crate::rng::rng_from_seed;
+    use crate::smlss::SMlssConfig;
+    use crate::srs::SrsEstimator;
+    use rand::RngExt;
+
+    pub(crate) struct ClampWalk {
+        pub up: f64,
+    }
+
+    impl SimulationModel for ClampWalk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            (s + if rng.random::<f64>() < self.up {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
+        }
+    }
+
+    fn vf() -> RatioValue<fn(&f64) -> f64> {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        RatioValue::new(score as fn(&f64) -> f64, 1.0)
+    }
+
+    #[test]
+    fn budget_semantics_match_the_samplers() {
+        let model = ClampWalk { up: 0.48 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 100);
+        let run = run_sequential(
+            &SrsEstimator,
+            problem,
+            RunControl::budget(50_000),
+            &mut rng_from_seed(1),
+        );
+        assert!(run.estimate.steps >= 50_000);
+        assert!(run.estimate.steps < 50_000 + 100, "one-root overshoot only");
+        assert_eq!(run.shard.n_roots(), run.estimate.n_roots);
+    }
+
+    #[test]
+    fn target_mode_reaches_quality_through_the_trait() {
+        let model = ClampWalk { up: 0.49 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 60);
+        let control = RunControl::Target {
+            target: QualityTarget::RelativeError {
+                target: 0.2,
+                reference: None,
+            },
+            check_every: 128,
+            max_steps: 50_000_000,
+        };
+        let run = run_sequential(&SrsEstimator, problem, control, &mut rng_from_seed(2));
+        assert!(run.estimate.self_relative_error() <= 0.2);
+    }
+
+    #[test]
+    fn chunked_and_monolithic_runs_agree_exactly() {
+        // Chunking must not change the sampled path sequence: two chunks
+        // of 25k steps equal one 50k chunk, RNG state included.
+        let model = ClampWalk { up: 0.48 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 80);
+        let plan = PartitionPlan::new(vec![0.4, 0.7]).unwrap();
+        let cfg = GMlssConfig::new(plan, RunControl::budget(1));
+
+        let mut rng_a = rng_from_seed(9);
+        let mut one = shard_for(&cfg, &problem);
+        cfg.run_chunk(problem, &mut one, 50_000, &mut rng_a);
+
+        let mut rng_b = rng_from_seed(9);
+        let mut two = shard_for(&cfg, &problem);
+        cfg.run_chunk(problem, &mut two, 25_000, &mut rng_b);
+        let already = two.steps();
+        cfg.run_chunk(problem, &mut two, 50_000 - already, &mut rng_b);
+
+        assert_eq!(one.steps(), two.steps());
+        assert_eq!(one.n_roots(), two.n_roots());
+        let ea = estimate_for(&cfg, &problem, &one, &mut rng_from_seed(0));
+        let eb = estimate_for(&cfg, &problem, &two, &mut rng_from_seed(0));
+        assert_eq!(ea.tau, eb.tau);
+        assert_eq!(ea.hits, eb.hits);
+    }
+
+    #[test]
+    fn merged_shards_equal_one_big_shard() {
+        let model = ClampWalk { up: 0.48 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 80);
+        let plan = PartitionPlan::new(vec![0.5]).unwrap();
+        let cfg = SMlssConfig::new(plan, RunControl::budget(1));
+
+        // Two independent shards from different streams, merged.
+        let mut a = shard_for(&cfg, &problem);
+        cfg.run_chunk(problem, &mut a, 20_000, &mut rng_from_seed(5));
+        let mut b = shard_for(&cfg, &problem);
+        cfg.run_chunk(problem, &mut b, 20_000, &mut rng_from_seed(6));
+        let (sa, sb) = (a.steps(), b.steps());
+        let (na, nb) = (a.n_roots(), b.n_roots());
+        a.merge(b);
+        assert_eq!(a.steps(), sa + sb);
+        assert_eq!(a.n_roots(), na + nb);
+        let est = estimate_for(&cfg, &problem, &a, &mut rng_from_seed(0));
+        assert!((0.0..=1.0).contains(&est.tau));
+        assert!(est.variance.is_finite());
+    }
+
+    #[test]
+    fn diagnostics_report_names() {
+        let model = ClampWalk { up: 0.48 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 40);
+        let shard = {
+            let mut s = shard_for(&SrsEstimator, &problem);
+            SrsEstimator.run_chunk(problem, &mut s, 1000, &mut rng_from_seed(3));
+            s
+        };
+        type Vf = RatioValue<fn(&f64) -> f64>;
+        let d = <SrsEstimator as Estimator<ClampWalk, Vf>>::diagnostics(&SrsEstimator, &shard);
+        assert_eq!(d.estimator, "srs");
+    }
+}

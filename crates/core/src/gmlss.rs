@@ -28,9 +28,17 @@
 //! `H_j`, and splits into `r` offsprings. A segment therefore has at most
 //! one crossing event; paths that meander below `crossed_max` never
 //! re-split at levels already credited.
+//!
+//! ### Execution spine
+//!
+//! The per-root simulation lives in one function used by three drivers:
+//! the sequential [`GMlssSampler`], the chunked [`Estimator`]
+//! implementation on [`GMlssConfig`] (which also powers
+//! [`crate::parallel::run_parallel`]), and the bench harness via either.
 
 use crate::bootstrap::{bootstrap_variance, RootLedger};
 use crate::estimate::Estimate;
+use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
 use crate::levels::PartitionPlan;
 use crate::model::{SimulationModel, Time};
 use crate::quality::RunControl;
@@ -102,6 +110,14 @@ impl GMlssConfig {
         self.variance = mode;
         self
     }
+
+    fn track_ledger(&self) -> bool {
+        // The ledger is needed whenever a bootstrap may run (Bootstrap or
+        // Auto modes) or the caller asked to keep it; in pure PerRootHits
+        // mode we skip it entirely — long runs would otherwise hold one
+        // record per root for no benefit.
+        self.keep_ledger || self.variance != VarianceMode::PerRootHits
+    }
 }
 
 /// Result of a g-MLSS run.
@@ -130,6 +146,190 @@ pub struct GMlssResult {
     pub bootstrap_elapsed: std::time::Duration,
 }
 
+/// Accumulated g-MLSS counters — the sampler's [`Ledger`] shard.
+///
+/// Shards merge exactly (counter sums, moment merging, ledger
+/// concatenation), so per-worker shards reduced by the parallel driver
+/// yield the same estimate a single sequential run over the union of
+/// roots would.
+#[derive(Debug, Clone)]
+pub struct GmlssShard {
+    m: usize,
+    ratio: u32,
+    track_ledger: bool,
+    /// Per-root ledger (empty when ledger tracking is off).
+    pub ledger: RootLedger,
+    /// Landings `|H_i|` per level; index = level, slot 0 unused.
+    landings: Vec<u64>,
+    /// Offspring crossings per level; index = level, slot 0 unused.
+    crossings: Vec<u64>,
+    /// Skip counts `n_skip_i` per level; index = level, slot 0 unused.
+    skips: Vec<u64>,
+    /// Total level-skip events observed.
+    pub skip_events: u64,
+    moments: RunningMoments,
+    /// Root paths simulated (`N_0`).
+    pub n_roots: u64,
+    /// Target hits (`N_m`).
+    pub hits: u64,
+    /// `g` invocations spent.
+    pub steps: u64,
+    /// Quality checks performed so far (drives `bootstrap_every`).
+    checks: u64,
+    /// Variance from the most recent bootstrap evaluation (∞ before the
+    /// first one). Check-state only — not part of the merged statistics.
+    cached_variance: f64,
+}
+
+impl GmlssShard {
+    pub(crate) fn new(m: usize, ratio: u32, track_ledger: bool) -> Self {
+        assert!(m >= 1);
+        Self {
+            m,
+            ratio,
+            track_ledger,
+            ledger: RootLedger::new(m),
+            landings: vec![0; m],
+            crossings: vec![0; m],
+            skips: vec![0; m],
+            skip_events: 0,
+            moments: RunningMoments::new(),
+            n_roots: 0,
+            hits: 0,
+            steps: 0,
+            checks: 0,
+            cached_variance: f64::INFINITY,
+        }
+    }
+
+    /// The point estimate `τ̂` (Eq. 10) over the accumulated counters.
+    pub fn tau(&self) -> f64 {
+        if self.n_roots == 0 {
+            0.0
+        } else if self.m == 1 {
+            // Trivial plan: no interior boundary, so g-MLSS degenerates to
+            // SRS labelling of root paths.
+            self.hits as f64 / self.n_roots as f64
+        } else {
+            estimator(
+                self.m,
+                self.ratio,
+                self.n_roots,
+                &self.landings,
+                &self.crossings,
+                &self.skips,
+            )
+            .0
+        }
+    }
+
+    /// `π̂_1 .. π̂_m` (Eq. 9).
+    pub fn pi_hats(&self) -> Vec<f64> {
+        if self.m == 1 {
+            vec![self.tau()]
+        } else {
+            pi_estimates(
+                self.m,
+                self.ratio,
+                self.n_roots,
+                &self.landings,
+                &self.crossings,
+                &self.skips,
+            )
+        }
+    }
+
+    /// Per-root-hit variance of `τ̂` (Eq. 5-6) — sound only in the
+    /// no-skip regime. `∞` before the first root.
+    pub fn per_root_hit_variance(&self) -> f64 {
+        if self.n_roots == 0 {
+            return f64::INFINITY;
+        }
+        let scale = (self.ratio as f64).powi(self.m as i32 - 1);
+        self.moments.sample_variance() / (self.n_roots as f64 * scale * scale)
+    }
+
+    /// Sample variance of per-root target-hit counts (`Var(N_m⟨1⟩)`).
+    pub fn root_hit_sample_variance(&self) -> f64 {
+        self.moments.sample_variance()
+    }
+
+    /// Aggregate landings for levels `1..m` (the [`GMlssResult`] layout).
+    pub fn landings_per_level(&self) -> Vec<u64> {
+        self.landings[1..].to_vec()
+    }
+
+    /// Aggregate offspring crossings for levels `1..m`.
+    pub fn crossings_per_level(&self) -> Vec<u64> {
+        self.crossings[1..].to_vec()
+    }
+
+    /// Aggregate skip counts for levels `1..m`.
+    pub fn skips_per_level(&self) -> Vec<u64> {
+        self.skips[1..].to_vec()
+    }
+
+    /// Final-quality estimate under the given variance policy: bootstrap
+    /// when skips were observed (and the policy allows), per-root-hit
+    /// variance otherwise.
+    pub fn estimate(&self, mode: VarianceMode, resamples: usize, rng: &mut SimRng) -> Estimate {
+        let variance = if self.n_roots < 2 {
+            f64::INFINITY
+        } else {
+            let bootstrap_needed = match mode {
+                VarianceMode::PerRootHits => false,
+                VarianceMode::Bootstrap => true,
+                VarianceMode::Auto => self.skip_events > 0,
+            };
+            if bootstrap_needed && self.track_ledger {
+                bootstrap_variance(&self.ledger, resamples, self.ratio, rng)
+            } else {
+                self.per_root_hit_variance()
+            }
+        };
+        Estimate {
+            tau: self.tau(),
+            variance,
+            n_roots: self.n_roots,
+            steps: self.steps,
+            hits: self.hits,
+        }
+    }
+}
+
+impl Ledger for GmlssShard {
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.m, other.m, "shard level counts must match");
+        assert_eq!(self.ratio, other.ratio, "shard ratios must match");
+        self.ledger.merge(&other.ledger);
+        for (a, b) in self.landings.iter_mut().zip(&other.landings) {
+            *a += b;
+        }
+        for (a, b) in self.crossings.iter_mut().zip(&other.crossings) {
+            *a += b;
+        }
+        for (a, b) in self.skips.iter_mut().zip(&other.skips) {
+            *a += b;
+        }
+        self.skip_events += other.skip_events;
+        self.moments.merge(&other.moments);
+        self.n_roots += other.n_roots;
+        self.hits += other.hits;
+        self.steps += other.steps;
+        // The cached check-variance describes a superseded pool; drop it
+        // so the next cadenced check re-evaluates on the merged shard.
+        self.cached_variance = f64::INFINITY;
+    }
+
+    fn n_roots(&self) -> u64 {
+        self.n_roots
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
 struct Segment<S> {
     state: S,
     t: Time,
@@ -143,6 +343,237 @@ struct Segment<S> {
 struct SplitEvent {
     level: usize,
     crossed: u32,
+}
+
+/// Simulate one g-MLSS root path (with its full splitting tree) into the
+/// shard. `stack` and `events` are reusable scratch buffers.
+fn simulate_root<M, V>(
+    problem: &Problem<'_, M, V>,
+    plan: &PartitionPlan,
+    shard: &mut GmlssShard,
+    stack: &mut Vec<Segment<M::State>>,
+    events: &mut Vec<SplitEvent>,
+    rng: &mut SimRng,
+) where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    let m = shard.m;
+    let r = shard.ratio;
+    let track_ledger = shard.track_ledger;
+    events.clear();
+    stack.clear();
+    let mut root_hits: u32 = 0;
+
+    let init = problem.model.initial_state();
+    // Clamp to m-1: the durability query counts t ≥ 1, so a start at the
+    // target is *not* an instant hit — the root watches for (re-)crossing
+    // β_m from its birth level.
+    let init_level = plan.level_of(problem.value(&init)).min(m - 1);
+    if init_level == 0 {
+        stack.push(Segment {
+            state: init,
+            t: 0,
+            crossed_max: 0,
+            parent: None,
+        });
+    } else {
+        // The root starts above L_0 (its value already crosses β_1..β_k at
+        // t = 0). Treat t = 0 like any crossing event: the levels jumped
+        // over get skip credit, and the root lands (and splits) in its
+        // starting level. The telescoped estimator then yields π̂_i = 1
+        // for the pre-crossed levels — exactly the conditional-probability
+        // semantics of Eq. 8. The per-root-hit variance shortcut is
+        // invalid in this regime (hit multiplicity is no longer r^{m-1}),
+        // so the pre-crossings count as skip events, pushing Auto mode
+        // onto the bootstrap.
+        if init_level > 1 {
+            shard.skip_events += 1;
+        }
+        for i in 1..init_level.min(m) {
+            if track_ledger {
+                shard.ledger.bump_skip(i);
+            }
+            shard.skips[i] += 1;
+        }
+        if track_ledger {
+            shard.ledger.bump_landing(init_level);
+        }
+        shard.landings[init_level] += 1;
+        let ei = events.len();
+        events.push(SplitEvent {
+            level: init_level,
+            crossed: 0,
+        });
+        for _ in 0..r {
+            stack.push(Segment {
+                state: init.clone(),
+                t: 0,
+                crossed_max: init_level,
+                parent: Some(ei),
+            });
+        }
+    }
+
+    while let Some(seg) = stack.pop() {
+        let mut state = seg.state;
+        for t in (seg.t + 1)..=problem.horizon {
+            state = problem.model.step(&state, t, rng);
+            shard.steps += 1;
+            let lvl = plan.level_of(problem.value(&state));
+            if lvl <= seg.crossed_max {
+                continue;
+            }
+            // Crossing event.
+            if let Some(pi) = seg.parent {
+                events[pi].crossed += 1;
+            }
+            if lvl - seg.crossed_max > 1 {
+                shard.skip_events += 1;
+            }
+            // Levels crossed over without landing: n_skip_i for
+            // i in (crossed_max, lvl).
+            for i in (seg.crossed_max + 1)..lvl {
+                if track_ledger {
+                    shard.ledger.bump_skip(i);
+                }
+                shard.skips[i] += 1;
+            }
+            if lvl == m {
+                shard.hits += 1;
+                root_hits += 1;
+            } else {
+                if track_ledger {
+                    shard.ledger.bump_landing(lvl);
+                }
+                shard.landings[lvl] += 1;
+                let ei = events.len();
+                events.push(SplitEvent {
+                    level: lvl,
+                    crossed: 0,
+                });
+                for _ in 0..r {
+                    stack.push(Segment {
+                        state: state.clone(),
+                        t,
+                        crossed_max: lvl,
+                        parent: Some(ei),
+                    });
+                }
+            }
+            break;
+        }
+    }
+
+    for ev in events.iter() {
+        if track_ledger {
+            shard.ledger.add_crossings(ev.level, ev.crossed);
+        }
+        shard.crossings[ev.level] += ev.crossed as u64;
+    }
+    if track_ledger {
+        shard.ledger.commit_root(root_hits);
+    }
+    shard.moments.push(root_hits as f64);
+    shard.n_roots += 1;
+}
+
+impl<M, V> Estimator<M, V> for GMlssConfig
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    type Shard = GmlssShard;
+
+    fn name(&self) -> &'static str {
+        "gmlss"
+    }
+
+    fn shard(&self) -> GmlssShard {
+        GmlssShard::new(self.plan.num_levels(), self.ratio, self.track_ledger())
+    }
+
+    fn run_chunk(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut GmlssShard,
+        budget: u64,
+        rng: &mut SimRng,
+    ) -> ChunkOutcome {
+        let target = shard.steps.saturating_add(budget);
+        let mut stack = Vec::new();
+        let mut events = Vec::new();
+        let mut done = ChunkOutcome::default();
+        while shard.steps < target {
+            let before = shard.steps;
+            simulate_root(&problem, &self.plan, shard, &mut stack, &mut events, rng);
+            done.roots += 1;
+            done.steps += shard.steps - before;
+        }
+        done
+    }
+
+    fn estimate(&self, shard: &GmlssShard, rng: &mut SimRng) -> Estimate {
+        shard.estimate(self.variance, self.bootstrap_resamples, rng)
+    }
+
+    /// In-flight stopping checks honor `bootstrap_every` (the paper's
+    /// "run bootstrap evaluation conservatively" rule, §4.2): the
+    /// expensive bootstrap runs only every `bootstrap_every`-th check and
+    /// its result is cached in the shard, mirroring [`GMlssSampler`]'s
+    /// running-variance behavior. The final estimate (from
+    /// [`Estimator::estimate`]) always re-evaluates in full.
+    fn check_estimate(&self, shard: &mut GmlssShard, rng: &mut SimRng) -> Estimate {
+        let bootstrap_needed = match self.variance {
+            VarianceMode::PerRootHits => false,
+            VarianceMode::Bootstrap => true,
+            VarianceMode::Auto => shard.skip_events > 0,
+        };
+        let variance = if !bootstrap_needed {
+            if shard.n_roots == 0 {
+                f64::INFINITY
+            } else {
+                shard.per_root_hit_variance()
+            }
+        } else {
+            shard.checks += 1;
+            if shard
+                .checks
+                .is_multiple_of(self.bootstrap_every.max(1) as u64)
+                && shard.n_roots >= 2
+                && shard.track_ledger
+            {
+                shard.cached_variance =
+                    bootstrap_variance(&shard.ledger, self.bootstrap_resamples, shard.ratio, rng);
+            }
+            shard.cached_variance
+        };
+        Estimate {
+            tau: shard.tau(),
+            variance,
+            n_roots: shard.n_roots,
+            steps: shard.steps,
+            hits: shard.hits,
+        }
+    }
+
+    fn diagnostics(&self, shard: &GmlssShard) -> Diagnostics {
+        let mut details: Vec<(String, f64)> = shard
+            .pi_hats()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (format!("pi_hat_{}", i + 1), p))
+            .collect();
+        details.push((
+            "root_hit_variance".to_string(),
+            shard.root_hit_sample_variance(),
+        ));
+        Diagnostics {
+            estimator: "gmlss",
+            skip_events: shard.skip_events,
+            details,
+        }
+    }
 }
 
 /// The g-MLSS sampler.
@@ -186,46 +617,21 @@ impl GMlssSampler {
         let m = plan.num_levels();
         let r = self.config.ratio;
 
-        // The ledger is needed whenever a bootstrap may run (Bootstrap or
-        // Auto modes) or the caller asked to keep it; in pure
-        // PerRootHits mode we skip it entirely — long runs would otherwise
-        // hold one record per root for no benefit.
-        let track_ledger =
-            self.config.keep_ledger || self.config.variance != VarianceMode::PerRootHits;
-        let mut ledger = RootLedger::new(m);
-        let mut landings = vec![0u64; m];
-        let mut crossings = vec![0u64; m];
-        let mut skips = vec![0u64; m];
-        let mut steps: u64 = 0;
-        let mut n_roots: u64 = 0;
-        let mut hits: u64 = 0;
-        let mut skip_events: u64 = 0;
-        let mut moments = RunningMoments::new();
+        let mut shard = GmlssShard::new(m, r, self.config.track_ledger());
         let mut since_check: u64 = 0;
         let mut checks: u64 = 0;
         let mut last_variance = f64::INFINITY;
         let mut bootstrap_elapsed = std::time::Duration::ZERO;
-
         let mut stack: Vec<Segment<M::State>> = Vec::new();
         let mut events: Vec<SplitEvent> = Vec::new();
 
         loop {
             // ---- assemble running estimate -----------------------------
-            let tau = if m == 1 {
-                // Trivial plan: no interior boundary, so g-MLSS degenerates
-                // to SRS labelling of root paths.
-                if n_roots == 0 {
-                    0.0
-                } else {
-                    hits as f64 / n_roots as f64
-                }
-            } else {
-                estimator(m, r, n_roots, &landings, &crossings, &skips).0
-            };
+            let tau = shard.tau();
             let need_boot = match self.config.variance {
                 VarianceMode::PerRootHits => false,
                 VarianceMode::Bootstrap => true,
-                VarianceMode::Auto => skip_events > 0,
+                VarianceMode::Auto => shard.skip_events > 0,
             };
             // In budget mode the running variance is irrelevant (a final
             // bootstrap is performed on exit), so only Target mode pays for
@@ -236,10 +642,12 @@ impl GMlssSampler {
                 // every `bootstrap_every`-th one.
                 if at_check {
                     checks += 1;
-                    if checks % self.config.bootstrap_every as u64 == 0 && n_roots >= 2 {
+                    if checks.is_multiple_of(self.config.bootstrap_every as u64)
+                        && shard.n_roots >= 2
+                    {
                         let t0 = std::time::Instant::now();
                         last_variance = bootstrap_variance(
-                            &ledger,
+                            &shard.ledger,
                             self.config.bootstrap_resamples,
                             r,
                             rng,
@@ -248,181 +656,56 @@ impl GMlssSampler {
                     }
                 }
             } else {
-                let scale = (r as f64).powi(m as i32 - 1);
-                last_variance = if n_roots == 0 {
-                    f64::INFINITY
-                } else {
-                    moments.sample_variance() / (n_roots as f64 * scale * scale)
-                };
+                last_variance = shard.per_root_hit_variance();
             }
             let est = Estimate {
                 tau,
                 variance: last_variance,
-                n_roots,
-                steps,
-                hits,
+                n_roots: shard.n_roots,
+                steps: shard.steps,
+                hits: shard.hits,
             };
-            if n_roots > 0 {
+            if shard.n_roots > 0 {
                 observe(&est);
             }
             if !self.config.control.should_continue(&est, &mut since_check) {
                 let sim_elapsed = sim_start.elapsed() - bootstrap_elapsed;
                 // Final variance: always bootstrap when skips occurred, so
                 // the reported quality is sound even between cadences.
-                let variance = if skip_events > 0
+                let variance = if shard.skip_events > 0
                     && self.config.variance != VarianceMode::PerRootHits
-                    && n_roots >= 2
+                    && shard.n_roots >= 2
                 {
                     let t0 = std::time::Instant::now();
                     let v =
-                        bootstrap_variance(&ledger, self.config.bootstrap_resamples, r, rng);
+                        bootstrap_variance(&shard.ledger, self.config.bootstrap_resamples, r, rng);
                     bootstrap_elapsed += t0.elapsed();
                     v
                 } else {
                     last_variance
                 };
-                let pi_hats = if m == 1 {
-                    vec![tau]
-                } else {
-                    pi_estimates(m, r, n_roots, &landings, &crossings, &skips)
-                };
                 return GMlssResult {
                     estimate: Estimate {
                         tau,
                         variance,
-                        n_roots,
-                        steps,
-                        hits,
+                        n_roots: shard.n_roots,
+                        steps: shard.steps,
+                        hits: shard.hits,
                     },
-                    pi_hats,
-                    landings: landings[1..].to_vec(),
-                    crossings: crossings[1..].to_vec(),
-                    skips: skips[1..].to_vec(),
-                    skip_events,
-                    root_hit_variance: moments.sample_variance(),
-                    ledger: self.config.keep_ledger.then_some(ledger),
+                    pi_hats: shard.pi_hats(),
+                    landings: shard.landings_per_level(),
+                    crossings: shard.crossings_per_level(),
+                    skips: shard.skips_per_level(),
+                    skip_events: shard.skip_events,
+                    root_hit_variance: shard.root_hit_sample_variance(),
+                    ledger: self.config.keep_ledger.then_some(shard.ledger),
                     sim_elapsed,
                     bootstrap_elapsed,
                 };
             }
 
             // ---- simulate one root path and all its offspring ----------
-            events.clear();
-            stack.clear();
-            let mut root_hits: u32 = 0;
-
-            let init = problem.model.initial_state();
-            // Clamp to m-1: the durability query counts t ≥ 1, so a start
-            // at the target is *not* an instant hit — the root watches for
-            // (re-)crossing β_m from its birth level.
-            let init_level = plan.level_of(problem.value(&init)).min(m - 1);
-            if init_level == 0 {
-                stack.push(Segment {
-                    state: init,
-                    t: 0,
-                    crossed_max: 0,
-                    parent: None,
-                });
-            } else {
-                // The root starts above L_0 (its value already crosses
-                // β_1..β_k at t = 0). Treat t = 0 like any crossing event:
-                // the levels jumped over get skip credit, and the root
-                // lands (and splits) in its starting level. The telescoped
-                // estimator then yields π̂_i = 1 for the pre-crossed levels
-                // — exactly the conditional-probability semantics of
-                // Eq. 8. The per-root-hit variance shortcut is invalid in
-                // this regime (hit multiplicity is no longer r^{m-1}), so
-                // the pre-crossings count as skip events, pushing Auto
-                // mode onto the bootstrap.
-                if init_level > 1 {
-                    skip_events += 1;
-                }
-                for i in 1..init_level.min(m) {
-                    if track_ledger {
-                        ledger.bump_skip(i);
-                    }
-                    skips[i] += 1;
-                }
-                if track_ledger {
-                    ledger.bump_landing(init_level);
-                }
-                landings[init_level] += 1;
-                let ei = events.len();
-                events.push(SplitEvent {
-                    level: init_level,
-                    crossed: 0,
-                });
-                for _ in 0..r {
-                    stack.push(Segment {
-                        state: init.clone(),
-                        t: 0,
-                        crossed_max: init_level,
-                        parent: Some(ei),
-                    });
-                }
-            }
-
-            while let Some(seg) = stack.pop() {
-                let mut state = seg.state;
-                for t in (seg.t + 1)..=problem.horizon {
-                    state = problem.model.step(&state, t, rng);
-                    steps += 1;
-                    let lvl = plan.level_of(problem.value(&state));
-                    if lvl <= seg.crossed_max {
-                        continue;
-                    }
-                    // Crossing event.
-                    if let Some(pi) = seg.parent {
-                        events[pi].crossed += 1;
-                    }
-                    if lvl - seg.crossed_max > 1 {
-                        skip_events += 1;
-                    }
-                    // Levels crossed over without landing: n_skip_i for
-                    // i in (crossed_max, lvl).
-                    for i in (seg.crossed_max + 1)..lvl {
-                        if track_ledger {
-                            ledger.bump_skip(i);
-                        }
-                        skips[i] += 1;
-                    }
-                    if lvl == m {
-                        hits += 1;
-                        root_hits += 1;
-                    } else {
-                        if track_ledger {
-                            ledger.bump_landing(lvl);
-                        }
-                        landings[lvl] += 1;
-                        let ei = events.len();
-                        events.push(SplitEvent {
-                            level: lvl,
-                            crossed: 0,
-                        });
-                        for _ in 0..r {
-                            stack.push(Segment {
-                                state: state.clone(),
-                                t,
-                                crossed_max: lvl,
-                                parent: Some(ei),
-                            });
-                        }
-                    }
-                    break;
-                }
-            }
-
-            for ev in &events {
-                if track_ledger {
-                    ledger.add_crossings(ev.level, ev.crossed);
-                }
-                crossings[ev.level] += ev.crossed as u64;
-            }
-            if track_ledger {
-                ledger.commit_root(root_hits);
-            }
-            moments.push(root_hits as f64);
-            n_roots += 1;
+            simulate_root(&problem, plan, &mut shard, &mut stack, &mut events, rng);
             since_check += 1;
         }
     }
@@ -487,10 +770,8 @@ pub(crate) fn estimator(
     if m == 1 {
         // Degenerate single-level plan: every root is simply labelled by
         // whether it crossed β_1 = 1, i.e. SRS. Landing/skip slots are
-        // empty; hits were accumulated by the caller — but we can recover
-        // them from skips[0]/crossings[0]? They are zero; the caller passes
-        // hits via the `skips` trick is fragile, so instead the caller
-        // special-cases m == 1. Here we return NaN-free zeros.
+        // empty; hits were accumulated by the caller, which special-cases
+        // m == 1 (see `GmlssShard::tau`).
         return (f64::NAN, vec![f64::NAN]);
     }
     let pis = pi_estimates(m, r, n_roots, landings, crossings, skips);
@@ -608,9 +889,7 @@ mod tests {
 
         assert!(g.skip_events > 0, "test requires observed skipping");
         let diff = (srs.estimate.tau - g.estimate.tau).abs();
-        let tol = 4.0 * (srs.estimate.variance.max(0.0)
-            + g.estimate.variance.max(0.0))
-        .sqrt();
+        let tol = 4.0 * (srs.estimate.variance.max(0.0) + g.estimate.variance.max(0.0)).sqrt();
         assert!(
             diff <= tol.max(2e-3),
             "SRS {} vs g-MLSS {} (diff {diff}, tol {tol})",
@@ -635,7 +914,11 @@ mod tests {
 
         // Offspring crossings can't exceed r × landings at that level.
         for (i, (&c, &l)) in res.crossings.iter().zip(res.landings.iter()).enumerate() {
-            assert!(c <= 3 * l, "level {}: crossings {c} > 3·landings {l}", i + 1);
+            assert!(
+                c <= 3 * l,
+                "level {}: crossings {c} > 3·landings {l}",
+                i + 1
+            );
         }
         // π̂ are probabilities.
         for &p in &res.pi_hats {
@@ -664,5 +947,32 @@ mod tests {
         let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(6));
         assert_eq!(res.skip_events, 0);
         assert!(res.skips.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn sampler_and_estimator_trait_agree_exactly() {
+        // The sequential sampler and the chunked trait path must produce
+        // the identical estimate from the identical RNG stream: they share
+        // the same per-root simulation function.
+        let model = JumpyWalk {
+            step: 0.05,
+            jump_p: 0.02,
+            jump: 0.5,
+        };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 40);
+        let plan = PartitionPlan::new(vec![0.3, 0.6]).unwrap();
+        let cfg = GMlssConfig::new(plan, RunControl::budget(100_000));
+
+        let sampler_res = GMlssSampler::new(cfg.clone()).run(problem, &mut rng_from_seed(17));
+
+        let mut rng = rng_from_seed(17);
+        let mut shard = crate::estimator::shard_for(&cfg, &problem);
+        cfg.run_chunk(problem, &mut shard, 100_000, &mut rng);
+        assert_eq!(shard.steps, sampler_res.estimate.steps);
+        assert_eq!(shard.hits, sampler_res.estimate.hits);
+        assert_eq!(shard.n_roots, sampler_res.estimate.n_roots);
+        assert_eq!(shard.tau(), sampler_res.estimate.tau);
+        assert_eq!(shard.skip_events, sampler_res.skip_events);
     }
 }

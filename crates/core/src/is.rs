@@ -12,6 +12,7 @@
 //! while MLSS does.
 
 use crate::estimate::Estimate;
+use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
 use crate::model::{SimulationModel, Time};
 use crate::query::{Problem, ValueFunction};
 use crate::rng::SimRng;
@@ -44,6 +45,166 @@ pub struct IsResult {
     pub effective_sample_size: f64,
 }
 
+/// Accumulated IS statistics — the sampler's [`Ledger`].
+#[derive(Debug, Clone, Default)]
+pub struct IsShard {
+    moments: RunningMoments,
+    /// `g` invocations spent.
+    pub steps: u64,
+    /// Paths that satisfied the query.
+    pub hits: u64,
+    /// Sum of weights over hitting paths.
+    pub weight_sum: f64,
+    /// Sum of squared weights over hitting paths.
+    pub weight_sq_sum: f64,
+}
+
+impl IsShard {
+    /// Effective sample size `(Σw)²/Σw²` over hitting paths — a health
+    /// indicator; tiny ESS means the tilt is mismatched.
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.weight_sq_sum > 0.0 {
+            self.weight_sum * self.weight_sum / self.weight_sq_sum
+        } else {
+            0.0
+        }
+    }
+
+    /// The weighted estimate over the accumulated paths.
+    pub fn estimate(&self) -> Estimate {
+        let n = self.moments.count();
+        let (tau, variance) = if n < 2 {
+            (self.moments.mean(), f64::INFINITY)
+        } else {
+            (
+                self.moments.mean(),
+                self.moments.sample_variance() / n as f64,
+            )
+        };
+        Estimate {
+            tau,
+            variance,
+            n_roots: n,
+            steps: self.steps,
+            hits: self.hits,
+        }
+    }
+}
+
+impl Ledger for IsShard {
+    fn merge(&mut self, other: Self) {
+        self.moments.merge(&other.moments);
+        self.steps += other.steps;
+        self.hits += other.hits;
+        self.weight_sum += other.weight_sum;
+        self.weight_sq_sum += other.weight_sq_sum;
+    }
+
+    fn n_roots(&self) -> u64 {
+        self.moments.count()
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Simulate one tilted path into the shard.
+fn simulate_path<M, V>(
+    problem: &Problem<'_, M, V>,
+    theta: f64,
+    shard: &mut IsShard,
+    rng: &mut SimRng,
+) where
+    M: TiltableModel,
+    V: ValueFunction<M::State>,
+{
+    let mut state = problem.model.initial_state();
+    let mut log_w = 0.0;
+    let mut contribution = 0.0;
+    for t in 1..=problem.horizon {
+        let (next, dlw) = problem.model.step_tilted(&state, t, theta, rng);
+        shard.steps += 1;
+        log_w += dlw;
+        state = next;
+        if problem.satisfied(&state) {
+            let w = log_w.exp();
+            contribution = w;
+            shard.hits += 1;
+            shard.weight_sum += w;
+            shard.weight_sq_sum += w * w;
+            break;
+        }
+    }
+    shard.moments.push(contribution);
+}
+
+/// The IS strategy as a pluggable [`Estimator`]: independent
+/// exponentially tilted paths with likelihood-ratio reweighting. Only
+/// applicable to [`TiltableModel`]s — the paper's point about IS needing
+/// a-priori model knowledge, expressed as a trait bound.
+#[derive(Debug, Clone, Copy)]
+pub struct IsEstimator {
+    /// The tilt parameter `θ` (see [`select_tilt`]).
+    pub theta: f64,
+}
+
+impl IsEstimator {
+    /// Estimator with the given tilt.
+    pub fn new(theta: f64) -> Self {
+        Self { theta }
+    }
+}
+
+impl<M, V> Estimator<M, V> for IsEstimator
+where
+    M: TiltableModel,
+    V: ValueFunction<M::State>,
+{
+    type Shard = IsShard;
+
+    fn name(&self) -> &'static str {
+        "is"
+    }
+
+    fn shard(&self) -> IsShard {
+        IsShard::default()
+    }
+
+    fn run_chunk(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut IsShard,
+        budget: u64,
+        rng: &mut SimRng,
+    ) -> ChunkOutcome {
+        let target = shard.steps.saturating_add(budget);
+        let mut done = ChunkOutcome::default();
+        while shard.steps < target {
+            let before = shard.steps;
+            simulate_path(&problem, self.theta, shard, rng);
+            done.roots += 1;
+            done.steps += shard.steps - before;
+        }
+        done
+    }
+
+    fn estimate(&self, shard: &IsShard, _rng: &mut SimRng) -> Estimate {
+        shard.estimate()
+    }
+
+    fn diagnostics(&self, shard: &IsShard) -> Diagnostics {
+        Diagnostics {
+            estimator: "is",
+            skip_events: 0,
+            details: vec![
+                ("theta".to_string(), self.theta),
+                ("ess".to_string(), shard.effective_sample_size()),
+            ],
+        }
+    }
+}
+
 /// The IS sampler: `n` independent tilted paths; estimator
 /// `τ̂ = (1/n) Σ w_i · l(SP_i)` (§2.2).
 pub fn importance_sample<M, V>(
@@ -57,44 +218,17 @@ where
     V: ValueFunction<M::State>,
 {
     assert!(n_paths >= 2);
-    let mut moments = RunningMoments::new();
-    let mut steps = 0u64;
-    let mut hits = 0u64;
-    let mut wsum = 0.0;
-    let mut w2sum = 0.0;
-
+    let mut shard = IsShard::default();
     for _ in 0..n_paths {
-        let mut state = problem.model.initial_state();
-        let mut log_w = 0.0;
-        let mut contribution = 0.0;
-        for t in 1..=problem.horizon {
-            let (next, dlw) = problem.model.step_tilted(&state, t, theta, rng);
-            steps += 1;
-            log_w += dlw;
-            state = next;
-            if problem.satisfied(&state) {
-                let w = log_w.exp();
-                contribution = w;
-                hits += 1;
-                wsum += w;
-                w2sum += w * w;
-                break;
-            }
-        }
-        moments.push(contribution);
+        simulate_path(&problem, theta, &mut shard, rng);
     }
-
-    let tau = moments.mean();
-    let variance = moments.sample_variance() / n_paths as f64;
-    let ess = if w2sum > 0.0 { wsum * wsum / w2sum } else { 0.0 };
+    let ess = shard.effective_sample_size();
+    let mut estimate = shard.estimate();
+    // Historical contract: variance is reported even for n < 2 callers
+    // (the assert above guarantees n ≥ 2, keep the formula explicit).
+    estimate.variance = shard.moments.sample_variance() / n_paths as f64;
     IsResult {
-        estimate: Estimate {
-            tau,
-            variance,
-            n_roots: n_paths,
-            steps,
-            hits,
-        },
+        estimate,
         theta,
         effective_sample_size: ess,
     }
@@ -182,10 +316,10 @@ mod tests {
         fn step_tilted(&self, s: &f64, _t: Time, theta: f64, rng: &mut SimRng) -> (f64, f64) {
             let n = Normal::new(self.mu + theta, self.sigma).unwrap();
             let eps = n.sample(rng); // the realized increment
-            // log dP/dQ = (θ² − 2θ(ε − μ)) / (2σ²) … derive:
-            // P ∝ exp(−(ε−μ)²/2σ²), Q ∝ exp(−(ε−μ−θ)²/2σ²)
-            // log P/Q = [ (ε−μ−θ)² − (ε−μ)² ] / 2σ²
-            //         = [ θ² − 2θ(ε−μ) ] / 2σ².
+                                     // log dP/dQ = (θ² − 2θ(ε − μ)) / (2σ²) … derive:
+                                     // P ∝ exp(−(ε−μ)²/2σ²), Q ∝ exp(−(ε−μ−θ)²/2σ²)
+                                     // log P/Q = [ (ε−μ−θ)² − (ε−μ)² ] / 2σ²
+                                     //         = [ θ² − 2θ(ε−μ) ] / 2σ².
             let d = eps - self.mu;
             let log_w = (theta * theta - 2.0 * theta * d) / (2.0 * self.sigma * self.sigma);
             (s + eps, log_w)
@@ -195,6 +329,7 @@ mod tests {
         // with other models' tilts.
     }
 
+    #[allow(clippy::type_complexity)]
     fn rare_problem(_model: &GaussWalk) -> (RatioValue<fn(&f64) -> f64>, Time) {
         fn score(s: &f64) -> f64 {
             *s
@@ -204,7 +339,10 @@ mod tests {
 
     #[test]
     fn zero_tilt_is_plain_monte_carlo() {
-        let model = GaussWalk { mu: 0.0, sigma: 1.0 };
+        let model = GaussWalk {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         let (vf, horizon) = rare_problem(&model);
         let problem = Problem::new(&model, &vf, horizon);
         let res = importance_sample(problem, 0.0, 20_000, &mut rng_from_seed(1));
@@ -217,13 +355,16 @@ mod tests {
 
     #[test]
     fn tilted_is_matches_srs_on_rare_event() {
-        let model = GaussWalk { mu: 0.0, sigma: 1.0 };
+        let model = GaussWalk {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         let (vf, horizon) = rare_problem(&model);
         let problem = Problem::new(&model, &vf, horizon);
 
         // SRS reference with a big budget (τ ≈ P(max ≥ 25) ≈ 6e-3).
-        let srs = SrsSampler::new(RunControl::budget(3_000_000))
-            .run(problem, &mut rng_from_seed(2));
+        let srs =
+            SrsSampler::new(RunControl::budget(3_000_000)).run(problem, &mut rng_from_seed(2));
 
         let is = importance_sample(problem, 0.25, 20_000, &mut rng_from_seed(3));
         let diff = (srs.estimate.tau - is.estimate.tau).abs();
@@ -245,7 +386,10 @@ mod tests {
 
     #[test]
     fn select_tilt_prefers_positive_drift_for_upcrossing() {
-        let model = GaussWalk { mu: 0.0, sigma: 1.0 };
+        let model = GaussWalk {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         let (vf, horizon) = rare_problem(&model);
         let problem = Problem::new(&model, &vf, horizon);
         let theta = select_tilt(
@@ -254,12 +398,18 @@ mod tests {
             400,
             &mut rng_from_seed(4),
         );
-        assert!(theta > 0.0, "upcrossing query needs positive tilt, got {theta}");
+        assert!(
+            theta > 0.0,
+            "upcrossing query needs positive tilt, got {theta}"
+        );
     }
 
     #[test]
     fn ess_reported() {
-        let model = GaussWalk { mu: 0.0, sigma: 1.0 };
+        let model = GaussWalk {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         let (vf, horizon) = rare_problem(&model);
         let problem = Problem::new(&model, &vf, horizon);
         let res = importance_sample(problem, 0.3, 5_000, &mut rng_from_seed(5));

@@ -48,6 +48,7 @@
 //! | [`model`] | §2.1 | the simulation procedure `g`, step metering |
 //! | [`query`] | §2.1, §3 | queries `Q(q,s)`, value functions `f` |
 //! | [`levels`] | §3 | level partition plans |
+//! | [`estimator`] | §2–§4 | the unified [`estimator::Estimator`] trait: chunked execution, mergeable [`estimator::Ledger`] shards, the shared sequential driver |
 //! | [`srs`] | §2.2 | the Simple Random Sampling baseline |
 //! | [`smlss`] | §3 | s-MLSS sampler and estimator (Eq. 3-6) |
 //! | [`gmlss`] | §4 | g-MLSS sampler and estimator (Eq. 9-10) |
@@ -55,16 +56,28 @@
 //! | [`is`] | §2.2 | importance-sampling baseline for tiltable models |
 //! | [`variance`] | §3.1, §4.2, §5.1 | closed-form variance results |
 //! | [`partition`] | §5 | `eval(B)`, greedy search, balanced plans |
-//! | [`parallel`] | §3.1 | multi-threaded driver |
+//! | [`parallel`] | §3.1 | multi-threaded driver over any `Estimator`, sharded merge |
 //! | [`quality`] | §6 | CI/RE quality targets and budgets |
 //! | [`ranking`] | §7 related work | durability ranking via racing |
 //! | [`diagnostics`] | Fig. 1 | split-tree tracing |
+//!
+//! ## One execution spine
+//!
+//! All four samplers (SRS, s-MLSS, g-MLSS, IS) implement
+//! [`estimator::Estimator`]: they advance a mergeable shard in budgeted
+//! chunks and can report an [`estimate::Estimate`] at any time. The
+//! sequential driver [`estimator::run_sequential`], the parallel driver
+//! [`parallel::run_parallel`], the `mlss-bench` experiment runners, and
+//! `mlss-db`'s `mlss_estimate` stored procedure are all generic over the
+//! trait, so a new sampling strategy written against it plugs into every
+//! layer — SQL query → planner → parallel driver → sampler — unchanged.
 
 #![warn(missing_docs)]
 
 pub mod bootstrap;
 pub mod diagnostics;
 pub mod estimate;
+pub mod estimator;
 pub mod gmlss;
 pub mod is;
 pub mod levels;
@@ -72,8 +85,8 @@ pub mod model;
 pub mod parallel;
 pub mod partition;
 pub mod quality;
-pub mod ranking;
 pub mod query;
+pub mod ranking;
 pub mod rng;
 pub mod smlss;
 pub mod srs;
@@ -85,16 +98,24 @@ pub mod prelude {
     pub use crate::bootstrap::{bootstrap_percentile_ci, bootstrap_variance, RootLedger};
     pub use crate::diagnostics::{trace_root_tree, SplitTree};
     pub use crate::estimate::Estimate;
-    pub use crate::gmlss::{GMlssConfig, GMlssResult, GMlssSampler, VarianceMode};
-    pub use crate::is::{importance_sample, select_tilt, IsResult, TiltableModel};
+    pub use crate::estimator::{
+        run_sequential, ChunkOutcome, Diagnostics, Estimator, EstimatorRun, Ledger,
+    };
+    pub use crate::gmlss::{GMlssConfig, GMlssResult, GMlssSampler, GmlssShard, VarianceMode};
+    pub use crate::is::{
+        importance_sample, select_tilt, IsEstimator, IsResult, IsShard, TiltableModel,
+    };
     pub use crate::levels::PartitionPlan;
     pub use crate::model::{simulate_path, SamplePath, SimulationModel, StepCounter, Time};
-    pub use crate::parallel::{run_parallel, run_parallel_to_target, ParallelConfig};
+    pub use crate::parallel::{
+        run_parallel, run_parallel_gmlss, run_parallel_to_target, ParallelConfig, ParallelResult,
+        ParallelRun,
+    };
     pub use crate::partition::{balanced_plan, evaluate_plan, GreedyConfig, GreedyPartition};
     pub use crate::quality::{QualityTarget, RunControl};
-    pub use crate::ranking::{rank_by_durability, Candidate, RaceConfig, RaceOutcome};
     pub use crate::query::{Problem, RatioValue, StateScore, ValueFunction};
+    pub use crate::ranking::{rank_by_durability, Candidate, RaceConfig, RaceOutcome};
     pub use crate::rng::{rng_from_seed, split_rng, SimRng, StreamFactory};
-    pub use crate::smlss::{SMlssConfig, SMlssResult, SMlssSampler};
-    pub use crate::srs::{SrsResult, SrsSampler};
+    pub use crate::smlss::{SMlssConfig, SMlssResult, SMlssSampler, SMlssShard};
+    pub use crate::srs::{SrsEstimator, SrsResult, SrsSampler, SrsShard};
 }

@@ -1,38 +1,56 @@
-//! Parallel MLSS driver (§3.1 "Parallel Computations").
+//! Parallel sampling driver (§3.1 "Parallel Computations"), generic over
+//! any [`Estimator`].
 //!
-//! Root paths are independent, so MLSS parallelizes by sharding roots over
-//! worker threads and periodically synchronizing counters to produce a
-//! running estimate; the run stops once the merged estimate reaches the
-//! requested quality (or the merged budget is spent) — exactly the scheme
-//! sketched in the paper.
+//! Root paths are independent, so every sampler in this crate
+//! parallelizes the same way: shard roots over worker threads,
+//! periodically reduce the shards, and stop once the merged estimate
+//! reaches the requested quality (or the merged budget is spent).
 //!
-//! Workers run the *sequential* g-MLSS sampler in fixed-size chunks and
-//! merge their [`RootLedger`]s into a shared accumulator under a
-//! `parking_lot` mutex; whichever worker merges evaluates the global
-//! stopping condition. Each worker owns an independent ChaCha stream, so
-//! the random numbers are reproducible per worker; the *amount* of work
-//! each worker contributes depends on OS scheduling, so totals vary
-//! slightly across runs (the estimates agree statistically).
+//! ### Sharded reduction (vs. the old single-mutex merge)
+//!
+//! Earlier versions funneled every worker through one global mutex after
+//! every chunk, serializing all workers on the merge (and, in target
+//! mode, on bootstrap variance evaluations performed *inside* the lock).
+//! The driver now keeps one deposit slot per worker: after each chunk a
+//! worker folds its freshly sampled shard into its own slot — contended
+//! only with the occasional reducer, never with other workers — and the
+//! stopping check is performed by whichever worker first crosses the next
+//! check boundary *and* wins a `try_lock` on the master accumulator; it
+//! drains all slots, merges, and evaluates the stopping rule. Losers
+//! don't wait: they grow their chunk (adaptive `sync_every`) and keep
+//! simulating, so merge contention translates into coarser sync instead
+//! of idle workers.
+//!
+//! Each worker owns an independent ChaCha stream, so the random numbers
+//! are reproducible per worker; the *amount* of work each worker
+//! contributes depends on OS scheduling, so totals vary slightly across
+//! runs (the estimates agree statistically).
 
-use crate::bootstrap::{bootstrap_variance, RootLedger};
+use crate::bootstrap::RootLedger;
 use crate::estimate::Estimate;
-use crate::gmlss::{estimator, GMlssConfig, GMlssSampler, VarianceMode};
+use crate::estimator::{Estimator, Ledger};
+use crate::gmlss::GMlssConfig;
 use crate::model::SimulationModel;
 use crate::quality::{QualityTarget, RunControl};
 use crate::query::{Problem, ValueFunction};
 use crate::rng::{rng_from_seed, StreamFactory};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Configuration of a parallel g-MLSS run.
+/// Configuration of a parallel run.
 #[derive(Debug, Clone)]
 pub struct ParallelConfig {
     /// Worker thread count (≥ 1).
     pub threads: usize,
-    /// `g` invocations per worker chunk between synchronizations.
+    /// Baseline `g` invocations per worker chunk between merge attempts.
+    /// The first chunk is clamped to `budget / threads` so short runs
+    /// still get mid-run stopping checks, and chunks grow adaptively when
+    /// merges are contended.
     pub sync_every: u64,
     /// Master seed; worker `k` draws stream `k`.
     pub seed: u64,
-    /// Bootstrap resamples for the final variance when skips occurred.
+    /// Bootstrap resamples used by the g-MLSS compatibility wrappers'
+    /// final variance ([`run_parallel_gmlss`]).
     pub bootstrap_resamples: usize,
 }
 
@@ -49,7 +67,25 @@ impl Default for ParallelConfig {
     }
 }
 
-/// Result of a parallel run.
+/// Result of a generic parallel run.
+#[derive(Debug)]
+pub struct ParallelRun<L> {
+    /// Merged estimate.
+    pub estimate: Estimate,
+    /// The fully merged shard (estimator-specific diagnostics live here).
+    pub shard: L,
+    /// Wall-clock time of the whole parallel region.
+    pub elapsed: std::time::Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Successful master merges (stopping checks performed).
+    pub merges: u64,
+    /// Merge attempts that lost the `try_lock` race and grew their chunk.
+    pub contended_merges: u64,
+}
+
+/// Result of a parallel g-MLSS run (compatibility shape: the merged
+/// ledger and skip counter are hoisted out of the shard).
 #[derive(Debug)]
 pub struct ParallelResult {
     /// Merged estimate.
@@ -64,16 +100,191 @@ pub struct ParallelResult {
     pub threads: usize,
 }
 
-struct Shared {
-    ledger: RootLedger,
-    steps: u64,
-    skip_events: u64,
-    done: bool,
+/// First-chunk size: `sync_every`, clamped so all `threads` workers
+/// together stay within the run's step bound. Without the clamp a budget
+/// below `sync_every` would receive zero mid-run stopping checks and
+/// overshoot by up to `threads × sync_every` steps.
+fn first_chunk(control: &RunControl, cfg: &ParallelConfig) -> u64 {
+    let bound = match control {
+        RunControl::Budget(b) => *b,
+        RunControl::Target { max_steps, .. } => *max_steps,
+    };
+    let per_thread = (bound / cfg.threads.max(1) as u64).max(1);
+    cfg.sync_every.max(1).min(per_thread)
+}
+
+/// Run any [`Estimator`] across threads until `control` is satisfied on
+/// the *merged* state.
+pub fn run_parallel<M, V, E>(
+    problem: Problem<'_, M, V>,
+    estimator: &E,
+    control: RunControl,
+    cfg: &ParallelConfig,
+) -> ParallelRun<E::Shard>
+where
+    M: SimulationModel + Sync,
+    M::State: Send,
+    V: ValueFunction<M::State> + Sync,
+    E: Estimator<M, V> + Sync,
+    E::Shard: Send,
+{
+    assert!(cfg.threads >= 1);
+    let start = std::time::Instant::now();
+    let streams = StreamFactory::new(cfg.seed);
+    let base_chunk = first_chunk(&control, cfg);
+    let check_stride = base_chunk.saturating_mul(cfg.threads as u64).max(1);
+
+    let slots: Vec<Mutex<Option<E::Shard>>> = (0..cfg.threads).map(|_| Mutex::new(None)).collect();
+    let master: Mutex<E::Shard> = Mutex::new(estimator.shard());
+    let done = AtomicBool::new(false);
+    let total_steps = AtomicU64::new(0);
+    let next_check = AtomicU64::new(check_stride);
+    let merges = AtomicU64::new(0);
+    let contended = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..cfg.threads {
+            let slots = &slots;
+            let master = &master;
+            let done = &done;
+            let total_steps = &total_steps;
+            let next_check = &next_check;
+            let merges = &merges;
+            let contended = &contended;
+            scope.spawn(move || {
+                let mut rng = streams.stream(worker as u64);
+                let mut chunk = base_chunk;
+                loop {
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // In budget mode, never start a chunk larger than a
+                    // fair share of what is left.
+                    if let RunControl::Budget(b) = control {
+                        let total = total_steps.load(Ordering::Relaxed);
+                        let fair = (b.saturating_sub(total) / cfg.threads as u64).max(1);
+                        chunk = chunk.min(fair);
+                    }
+
+                    let mut pending = estimator.shard();
+                    let outcome = estimator.run_chunk(problem, &mut pending, chunk, &mut rng);
+
+                    // Deposit into this worker's slot — contended only
+                    // with a reducer draining it, never with peers.
+                    {
+                        let mut slot = slots[worker].lock();
+                        match slot.take() {
+                            Some(mut held) => {
+                                held.merge(pending);
+                                *slot = Some(held);
+                            }
+                            None => *slot = Some(pending),
+                        }
+                    }
+                    let total =
+                        total_steps.fetch_add(outcome.steps, Ordering::AcqRel) + outcome.steps;
+
+                    match control {
+                        RunControl::Budget(budget) => {
+                            if total < budget {
+                                continue;
+                            }
+                            // Budget exhausted: stop — become the finisher
+                            // or wait for one (no further chunks).
+                            loop {
+                                if done.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                if let Some(mut m) = master.try_lock() {
+                                    drain_slots(slots, &mut m);
+                                    merges.fetch_add(1, Ordering::Relaxed);
+                                    done.store(true, Ordering::Release);
+                                    return;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                        RunControl::Target {
+                            target, max_steps, ..
+                        } => {
+                            if total >= max_steps {
+                                // Hard valve reached: stop now — become
+                                // the finisher or wait for one. Never
+                                // simulate past the valve (a lost
+                                // try_lock must not grow the chunk and
+                                // keep going).
+                                loop {
+                                    if done.load(Ordering::Acquire) {
+                                        return;
+                                    }
+                                    if let Some(mut m) = master.try_lock() {
+                                        drain_slots(slots, &mut m);
+                                        merges.fetch_add(1, Ordering::Relaxed);
+                                        done.store(true, Ordering::Release);
+                                        return;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                            if total < next_check.load(Ordering::Acquire) {
+                                continue;
+                            }
+                            match master.try_lock() {
+                                Some(mut m) => {
+                                    drain_slots(slots, &mut m);
+                                    merges.fetch_add(1, Ordering::Relaxed);
+                                    let est = estimator.check_estimate(&mut m, &mut rng);
+                                    if target.satisfied(&est) {
+                                        done.store(true, Ordering::Release);
+                                        return;
+                                    }
+                                    next_check.store(
+                                        total.saturating_add(check_stride),
+                                        Ordering::Release,
+                                    );
+                                }
+                                None => {
+                                    // Another worker is reducing; grow our
+                                    // chunk so merge pressure drops.
+                                    contended.fetch_add(1, Ordering::Relaxed);
+                                    chunk = chunk.saturating_mul(2).min(base_chunk * 16).max(1);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut shard = master.into_inner();
+    drain_slots(&slots, &mut shard);
+    let mut final_rng = rng_from_seed(cfg.seed ^ 0xD1B5_4A32_D192_ED03);
+    let estimate = estimator.estimate(&shard, &mut final_rng);
+    ParallelRun {
+        estimate,
+        shard,
+        elapsed: start.elapsed(),
+        threads: cfg.threads,
+        merges: merges.into_inner(),
+        contended_merges: contended.into_inner(),
+    }
+}
+
+/// Merge every deposited slot shard into `into`.
+fn drain_slots<L: Ledger>(slots: &[Mutex<Option<L>>], into: &mut L) {
+    for slot in slots {
+        if let Some(shard) = slot.lock().take() {
+            into.merge(shard);
+        }
+    }
 }
 
 /// Run g-MLSS in parallel until `control` is satisfied on the *merged*
-/// state. `base` supplies the plan/ratio; its own `control` is ignored.
-pub fn run_parallel<M, V>(
+/// state. `base` supplies the plan/ratio/variance policy; its own
+/// `control` is ignored. Compatibility wrapper over the generic
+/// [`run_parallel`].
+pub fn run_parallel_gmlss<M, V>(
     problem: Problem<'_, M, V>,
     base: &GMlssConfig,
     control: RunControl,
@@ -84,94 +295,21 @@ where
     M::State: Send,
     V: ValueFunction<M::State> + Sync,
 {
-    assert!(cfg.threads >= 1);
-    let start = std::time::Instant::now();
-    let m = base.plan.num_levels();
-    let ratio = base.ratio;
-    let shared = Mutex::new(Shared {
-        ledger: RootLedger::new(m),
-        steps: 0,
-        skip_events: 0,
-        done: false,
-    });
-    let streams = StreamFactory::new(cfg.seed);
-
-    crossbeam::thread::scope(|scope| {
-        for worker in 0..cfg.threads {
-            let shared = &shared;
-            let base = base.clone();
-            scope.spawn(move |_| {
-                let mut rng = streams.stream(worker as u64);
-                loop {
-                    {
-                        if shared.lock().done {
-                            return;
-                        }
-                    }
-                    // One chunk with the sequential sampler.
-                    let mut chunk_cfg = base.clone();
-                    chunk_cfg.control = RunControl::budget(cfg.sync_every);
-                    chunk_cfg.keep_ledger = true;
-                    chunk_cfg.variance = VarianceMode::PerRootHits; // cheap in-chunk
-                    let res = GMlssSampler::new(chunk_cfg).run(problem, &mut rng);
-
-                    // Merge and evaluate the global stopping condition.
-                    let mut g = shared.lock();
-                    if let Some(l) = res.ledger.as_ref() {
-                        g.ledger.merge(l);
-                    }
-                    g.steps += res.estimate.steps;
-                    g.skip_events += res.skip_events;
-                    let est = merged_estimate(
-                        &g.ledger,
-                        m,
-                        ratio,
-                        g.steps,
-                        g.skip_events,
-                        cfg.bootstrap_resamples,
-                        // Cheap in-loop policy: only bootstrap when needed
-                        // for the decision (Target mode + skips observed).
-                        matches!(control, RunControl::Target { .. }),
-                        &mut rng,
-                    );
-                    let stop = match control {
-                        RunControl::Budget(b) => g.steps >= b,
-                        RunControl::Target {
-                            target, max_steps, ..
-                        } => g.steps >= max_steps || target.satisfied(&est),
-                    };
-                    if stop {
-                        g.done = true;
-                        return;
-                    }
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    let g = shared.into_inner();
-    let mut rng = rng_from_seed(cfg.seed ^ 0xD1B5_4A32_D192_ED03);
-    let estimate = merged_estimate(
-        &g.ledger,
-        m,
-        ratio,
-        g.steps,
-        g.skip_events,
-        cfg.bootstrap_resamples,
-        true,
-        &mut rng,
-    );
+    let mut estimator = base.clone();
+    estimator.keep_ledger = true; // the merged ledger is part of the result
+    estimator.bootstrap_resamples = cfg.bootstrap_resamples.max(2);
+    let run = run_parallel(problem, &estimator, control, cfg);
     ParallelResult {
-        estimate,
-        skip_events: g.skip_events,
-        ledger: g.ledger,
-        elapsed: start.elapsed(),
-        threads: cfg.threads,
+        estimate: run.estimate,
+        skip_events: run.shard.skip_events,
+        ledger: run.shard.ledger,
+        elapsed: run.elapsed,
+        threads: run.threads,
     }
 }
 
-/// Convenience: parallel run to a quality target with default knobs.
+/// Convenience: parallel g-MLSS run to a quality target with default
+/// knobs.
 pub fn run_parallel_to_target<M, V>(
     problem: Problem<'_, M, V>,
     base: &GMlssConfig,
@@ -189,63 +327,19 @@ where
         seed,
         ..Default::default()
     };
-    run_parallel(problem, base, RunControl::until(target), &cfg)
-}
-
-/// Build the merged estimate from a combined ledger.
-#[allow(clippy::too_many_arguments)]
-fn merged_estimate(
-    ledger: &RootLedger,
-    m: usize,
-    ratio: u32,
-    steps: u64,
-    skip_events: u64,
-    resamples: usize,
-    allow_bootstrap: bool,
-    rng: &mut crate::rng::SimRng,
-) -> Estimate {
-    let n = ledger.n_roots() as u64;
-    let agg = ledger.aggregate();
-    let tau = if n == 0 {
-        0.0
-    } else if m == 1 {
-        agg.hits as f64 / n as f64
-    } else {
-        estimator(m, ratio, n, &agg.landings, &agg.crossings, &agg.skips).0
-    };
-
-    let variance = if n < 2 {
-        f64::INFINITY
-    } else if skip_events == 0 {
-        // s-MLSS regime: per-root hit variance (Eq. 5-6).
-        let mut moments = crate::stats::RunningMoments::new();
-        for i in 0..ledger.n_roots() {
-            moments.push(ledger.root_hits(i) as f64);
-        }
-        let scale = (ratio as f64).powi(m as i32 - 1);
-        moments.sample_variance() / (n as f64 * scale * scale)
-    } else if allow_bootstrap {
-        bootstrap_variance(ledger, resamples, ratio, rng)
-    } else {
-        f64::INFINITY
-    };
-
-    Estimate {
-        tau,
-        variance,
-        n_roots: n,
-        steps,
-        hits: agg.hits,
-    }
+    run_parallel_gmlss(problem, base, RunControl::until(target), &cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gmlss::GMlssSampler;
     use crate::levels::PartitionPlan;
     use crate::model::Time;
     use crate::query::RatioValue;
     use crate::rng::SimRng;
+    use crate::smlss::SMlssConfig;
+    use crate::srs::SrsEstimator;
     use rand::RngExt;
 
     struct Walk;
@@ -258,7 +352,12 @@ mod tests {
         }
 
         fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-            (s + if rng.random::<f64>() < 0.48 { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+            (s + if rng.random::<f64>() < 0.48 {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
         }
     }
 
@@ -284,7 +383,7 @@ mod tests {
             seed: 7,
             bootstrap_resamples: 50,
         };
-        let res = run_parallel(problem, &base, RunControl::budget(400_000), &cfg);
+        let res = run_parallel_gmlss(problem, &base, RunControl::budget(400_000), &cfg);
         assert!(res.estimate.steps >= 400_000);
         assert_eq!(res.ledger.n_roots() as u64, res.estimate.n_roots);
         assert!(res.estimate.tau > 0.0, "walk does hit sometimes");
@@ -308,11 +407,10 @@ mod tests {
             seed: 11,
             bootstrap_resamples: 50,
         };
-        let par = run_parallel(problem, &base, RunControl::budget(600_000), &cfg);
+        let par = run_parallel_gmlss(problem, &base, RunControl::budget(600_000), &cfg);
 
         let diff = (seq.estimate.tau - par.estimate.tau).abs();
-        let tol = 4.0
-            * (seq.estimate.variance.max(0.0) + par.estimate.variance.max(0.0)).sqrt();
+        let tol = 4.0 * (seq.estimate.variance.max(0.0) + par.estimate.variance.max(0.0)).sqrt();
         assert!(
             diff <= tol.max(1e-3),
             "sequential {} vs parallel {}",
@@ -326,7 +424,10 @@ mod tests {
         let model = Walk;
         let v = vf();
         let problem = Problem::new(&model, &v, 60);
-        let base = GMlssConfig::new(PartitionPlan::new(vec![0.5]).unwrap(), RunControl::budget(1));
+        let base = GMlssConfig::new(
+            PartitionPlan::new(vec![0.5]).unwrap(),
+            RunControl::budget(1),
+        );
         let cfg = ParallelConfig {
             threads: 2,
             sync_every: 10_000,
@@ -335,11 +436,10 @@ mod tests {
         };
         // Worker *streams* are seed-deterministic, but chunk scheduling is
         // not, so repeated runs agree statistically rather than exactly.
-        let a = run_parallel(problem, &base, RunControl::budget(100_000), &cfg);
-        let b = run_parallel(problem, &base, RunControl::budget(100_000), &cfg);
+        let a = run_parallel_gmlss(problem, &base, RunControl::budget(100_000), &cfg);
+        let b = run_parallel_gmlss(problem, &base, RunControl::budget(100_000), &cfg);
         let diff = (a.estimate.tau - b.estimate.tau).abs();
-        let tol = 5.0
-            * (a.estimate.variance.max(0.0) + b.estimate.variance.max(0.0)).sqrt();
+        let tol = 5.0 * (a.estimate.variance.max(0.0) + b.estimate.variance.max(0.0)).sqrt();
         assert!(
             diff <= tol.max(5e-3),
             "runs disagree: {} vs {}",
@@ -361,7 +461,89 @@ mod tests {
             seed: 1,
             bootstrap_resamples: 20,
         };
-        let res = run_parallel(problem, &base, RunControl::budget(20_000), &cfg);
+        let res = run_parallel_gmlss(problem, &base, RunControl::budget(20_000), &cfg);
         assert!(res.estimate.steps >= 20_000);
+    }
+
+    #[test]
+    fn short_budget_first_chunk_is_clamped() {
+        // Regression test: budget far below sync_every must not overshoot
+        // by threads × sync_every. With the clamp, the first chunk is
+        // budget/threads and the run stops within one chunk of the budget.
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 50);
+        let budget = 10_000;
+        let cfg = ParallelConfig {
+            threads: 4,
+            sync_every: 65_536, // silent foot-gun before the clamp
+            seed: 5,
+            bootstrap_resamples: 20,
+        };
+        let run = run_parallel(problem, &SrsEstimator, RunControl::budget(budget), &cfg).estimate;
+        assert!(run.steps >= budget, "budget must still be spent");
+        // Worst case: each of 4 workers overshoots its 2.5k chunk by one
+        // root (≤ horizon), plus one straggler chunk racing the stop flag.
+        assert!(
+            run.steps < 2 * budget,
+            "steps {} overshot a {} budget — first chunk not clamped?",
+            run.steps,
+            budget
+        );
+    }
+
+    #[test]
+    fn srs_and_smlss_run_through_the_generic_driver() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 80);
+        let cfg = ParallelConfig {
+            threads: 3,
+            sync_every: 10_000,
+            seed: 9,
+            bootstrap_resamples: 20,
+        };
+
+        let srs = run_parallel(problem, &SrsEstimator, RunControl::budget(150_000), &cfg);
+        assert!(srs.estimate.steps >= 150_000);
+        assert!(srs.estimate.tau > 0.0);
+
+        let smlss_cfg = SMlssConfig::new(
+            PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+            RunControl::budget(1),
+        );
+        let smlss = run_parallel(problem, &smlss_cfg, RunControl::budget(150_000), &cfg);
+        assert!(smlss.estimate.steps >= 150_000);
+
+        let diff = (srs.estimate.tau - smlss.estimate.tau).abs();
+        let tol = 5.0 * (srs.estimate.variance.max(0.0) + smlss.estimate.variance.max(0.0)).sqrt();
+        assert!(
+            diff <= tol.max(5e-3),
+            "srs {} vs smlss {} through run_parallel",
+            srs.estimate.tau,
+            smlss.estimate.tau
+        );
+    }
+
+    #[test]
+    fn parallel_target_mode_stops_on_quality() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 60);
+        let base = GMlssConfig::new(
+            PartitionPlan::new(vec![0.5]).unwrap(),
+            RunControl::budget(1),
+        );
+        let res = run_parallel_to_target(
+            problem,
+            &base,
+            QualityTarget::RelativeError {
+                target: 0.25,
+                reference: None,
+            },
+            2,
+            13,
+        );
+        assert!(res.estimate.self_relative_error() <= 0.25);
     }
 }

@@ -69,7 +69,7 @@ where
     let mut ys = Vec::new();
     for (i, &x) in maxima.iter().enumerate() {
         let survival = (n - i) as f64 / n as f64;
-        if survival < 0.02 || survival > 0.90 || x >= 1.0 {
+        if !(0.02..=0.90).contains(&survival) || x >= 1.0 {
             continue;
         }
         xs.push(x);
@@ -157,7 +157,12 @@ mod tests {
         }
 
         fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-            (s + if rng.random::<f64>() < self.up { 0.04 } else { -0.04 }).clamp(0.0, 1.0)
+            (s + if rng.random::<f64>() < self.up {
+                0.04
+            } else {
+                -0.04
+            })
+            .clamp(0.0, 1.0)
         }
     }
 

@@ -98,7 +98,12 @@ mod tests {
         }
 
         fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-            (s + if rng.random::<f64>() < 0.47 { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+            (s + if rng.random::<f64>() < 0.47 {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
         }
     }
 

@@ -135,12 +135,18 @@ impl GreedyPartition {
                 let Ok(cand) = plan.with_boundary(v) else {
                     continue; // duplicate boundary
                 };
-                let out = evaluate_plan(problem, &cand, self.config.ratio, self.config.trial_budget, rng);
+                let out = evaluate_plan(
+                    problem,
+                    &cand,
+                    self.config.ratio,
+                    self.config.trial_budget,
+                    rng,
+                );
                 search_steps += out.result.estimate.steps;
                 let idx = trials.len();
                 let score = out.eval;
                 trials.push(out);
-                if best.map_or(true, |(e, _, _)| score < e) {
+                if best.is_none_or(|(e, _, _)| score < e) {
                     best = Some((score, v, idx));
                 }
             }
@@ -205,7 +211,12 @@ mod tests {
         }
 
         fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-            (s + if rng.random::<f64>() < self.up { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+            (s + if rng.random::<f64>() < self.up {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
         }
     }
 

@@ -140,11 +140,9 @@ where
     for round in 0..cfg.max_rounds {
         // Sample every active lane.
         for lane in lanes.iter_mut().filter(|l| l.frozen_at.is_none()) {
-            let gcfg = GMlssConfig::new(
-                lane.cand.plan.clone(),
-                RunControl::budget(cfg.round_budget),
-            )
-            .with_ratio(cfg.ratio);
+            let gcfg =
+                GMlssConfig::new(lane.cand.plan.clone(), RunControl::budget(cfg.round_budget))
+                    .with_ratio(cfg.ratio);
             let res = GMlssSampler::new(gcfg).run(lane.cand.problem, &mut lane.rng);
             let e = res.estimate;
             total_steps += e.steps;
@@ -240,7 +238,12 @@ mod tests {
         }
 
         fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-            (s + if rng.random::<f64>() < self.up { 0.05 } else { -0.05 }).clamp(0.0, 1.0)
+            (s + if rng.random::<f64>() < self.up {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
         }
     }
 

@@ -15,6 +15,7 @@
 //! Use [`crate::gmlss`] for the general, always-unbiased sampler.
 
 use crate::estimate::Estimate;
+use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
 use crate::levels::PartitionPlan;
 use crate::model::{SimulationModel, Time};
 use crate::quality::RunControl;
@@ -85,10 +86,219 @@ impl SMlssResult {
 }
 
 /// One pending path segment in the splitting tree.
-struct Segment<S> {
+pub(crate) struct Segment<S> {
     state: S,
     t: Time,
     level: usize,
+}
+
+/// Accumulated s-MLSS counters — the sampler's [`Ledger`].
+#[derive(Debug, Clone)]
+pub struct SMlssShard {
+    m: usize,
+    ratio: u32,
+    /// First-entrance counters `N_1 .. N_m`.
+    pub level_entries: Vec<u64>,
+    moments: RunningMoments,
+    /// Root paths simulated (`N_0`).
+    pub n_roots: u64,
+    /// Target-level hits (`N_m`).
+    pub hits: u64,
+    /// `g` invocations spent.
+    pub steps: u64,
+}
+
+impl SMlssShard {
+    fn new(m: usize, ratio: u32) -> Self {
+        Self {
+            m,
+            ratio,
+            level_entries: vec![0; m],
+            moments: RunningMoments::new(),
+            n_roots: 0,
+            hits: 0,
+            steps: 0,
+        }
+    }
+
+    /// The estimate implied by the accumulated counters: Eq. 3 with the
+    /// per-root-hit variance of Eq. 5-6.
+    pub fn estimate(&self) -> Estimate {
+        let scale = (self.ratio as f64).powi(self.m as i32 - 1);
+        let (tau, variance) = if self.n_roots == 0 {
+            (0.0, f64::INFINITY)
+        } else {
+            let n = self.n_roots as f64;
+            (
+                self.hits as f64 / (n * scale),
+                self.moments.sample_variance() / (n * scale * scale),
+            )
+        };
+        Estimate {
+            tau,
+            variance,
+            n_roots: self.n_roots,
+            steps: self.steps,
+            hits: self.hits,
+        }
+    }
+}
+
+impl Ledger for SMlssShard {
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.m, other.m, "shard level counts must match");
+        assert_eq!(self.ratio, other.ratio, "shard ratios must match");
+        for (a, b) in self.level_entries.iter_mut().zip(&other.level_entries) {
+            *a += b;
+        }
+        self.moments.merge(&other.moments);
+        self.n_roots += other.n_roots;
+        self.hits += other.hits;
+        self.steps += other.steps;
+    }
+
+    fn n_roots(&self) -> u64 {
+        self.n_roots
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Simulate one s-MLSS root path (with its full splitting tree) into the
+/// shard. Returns this root's target-hit count.
+pub(crate) fn simulate_root<M, V>(
+    problem: &Problem<'_, M, V>,
+    plan: &PartitionPlan,
+    r: u32,
+    shard: &mut SMlssShard,
+    stack: &mut Vec<Segment<M::State>>,
+    rng: &mut SimRng,
+) -> u32
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    let m = plan.num_levels();
+    let init = problem.model.initial_state();
+    let init_level = plan.level_of(problem.value(&init)).min(m - 1);
+    let mut this_root_hits: u32 = 0;
+
+    stack.clear();
+    // A root born above L_0 is treated as having entered L_1..L_k at
+    // t = 0, cascading the splits those entrances imply (multiplicity
+    // r^k); the estimator's r^{m-1} hit multiplier stays exact. (The
+    // paper assumes starts in L_0; this is the faithful generalization.)
+    let mut mult: u64 = 1;
+    for i in 1..=init_level {
+        shard.level_entries[i - 1] += mult;
+        mult *= r as u64;
+        assert!(
+            mult <= 1_000_000,
+            "initial value crosses too many levels for s-MLSS cascading"
+        );
+    }
+    for _ in 0..mult {
+        stack.push(Segment {
+            state: init.clone(),
+            t: 0,
+            level: init_level,
+        });
+    }
+
+    while let Some(seg) = stack.pop() {
+        let mut state = seg.state;
+        let watch = seg.level + 1; // the level we wait to land in
+        for t in (seg.t + 1)..=problem.horizon {
+            state = problem.model.step(&state, t, rng);
+            shard.steps += 1;
+            let f = problem.value(&state);
+            if plan.level_of(f) == watch {
+                if watch == m {
+                    // Target level reached.
+                    shard.hits += 1;
+                    this_root_hits += 1;
+                } else {
+                    shard.level_entries[watch - 1] += 1;
+                    for _ in 0..r {
+                        stack.push(Segment {
+                            state: state.clone(),
+                            t,
+                            level: watch,
+                        });
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    shard.n_roots += 1;
+    if this_root_hits > 0 {
+        shard.level_entries[m - 1] += this_root_hits as u64;
+    }
+    shard.moments.push(this_root_hits as f64);
+    this_root_hits
+}
+
+impl<M, V> Estimator<M, V> for SMlssConfig
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    type Shard = SMlssShard;
+
+    fn name(&self) -> &'static str {
+        "smlss"
+    }
+
+    fn shard(&self) -> SMlssShard {
+        SMlssShard::new(self.plan.num_levels(), self.ratio)
+    }
+
+    fn run_chunk(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut SMlssShard,
+        budget: u64,
+        rng: &mut SimRng,
+    ) -> ChunkOutcome {
+        let target = shard.steps.saturating_add(budget);
+        let mut stack = Vec::new();
+        let mut done = ChunkOutcome::default();
+        while shard.steps < target {
+            let before = shard.steps;
+            simulate_root(&problem, &self.plan, self.ratio, shard, &mut stack, rng);
+            done.roots += 1;
+            done.steps += shard.steps - before;
+        }
+        done
+    }
+
+    fn estimate(&self, shard: &SMlssShard, _rng: &mut SimRng) -> Estimate {
+        shard.estimate()
+    }
+
+    fn diagnostics(&self, shard: &SMlssShard) -> Diagnostics {
+        let mut details = Vec::new();
+        let mut prev = shard.n_roots as f64;
+        for (i, &n) in shard.level_entries.iter().enumerate() {
+            let denom = if i == 0 {
+                prev
+            } else {
+                prev * self.ratio as f64
+            };
+            let p = if denom > 0.0 { n as f64 / denom } else { 0.0 };
+            details.push((format!("p_hat_{}", i + 1), p));
+            prev = n as f64;
+        }
+        Diagnostics {
+            estimator: "smlss",
+            skip_events: 0,
+            details,
+        }
+    }
 }
 
 /// The s-MLSS sampler.
@@ -131,124 +341,32 @@ impl SMlssSampler {
         let m = plan.num_levels();
         let r = self.config.ratio;
 
-        let mut steps: u64 = 0;
-        let mut n_roots: u64 = 0;
-        let mut hits: u64 = 0;
-        let mut level_entries = vec![0u64; m];
-        let mut moments = RunningMoments::new();
+        let mut shard = SMlssShard::new(m, r);
         let mut root_hits: Vec<u32> = Vec::new();
         let mut since_check: u64 = 0;
         let mut stack: Vec<Segment<M::State>> = Vec::new();
 
         loop {
-            let est = self.estimate_from(n_roots, hits, steps, &moments);
-            if n_roots > 0 {
+            let est = shard.estimate();
+            if shard.n_roots > 0 {
                 observe(&est);
             }
             if !self.config.control.should_continue(&est, &mut since_check) {
                 break;
             }
 
-            // --- one root path and all its offspring -------------------
-            let init = problem.model.initial_state();
-            let init_level = plan.level_of(problem.value(&init)).min(m - 1);
-            let mut this_root_hits: u32 = 0;
-
-            stack.clear();
-            // A root born above L_0 is treated as having entered
-            // L_1..L_{k} at t = 0, cascading the splits those entrances
-            // imply (multiplicity r^k); the estimator's r^{m-1} hit
-            // multiplier stays exact. (The paper assumes starts in L_0;
-            // this is the faithful generalization.)
-            let mut mult: u64 = 1;
-            for i in 1..=init_level {
-                level_entries[i - 1] += mult;
-                mult *= r as u64;
-                assert!(
-                    mult <= 1_000_000,
-                    "initial value crosses too many levels for s-MLSS cascading"
-                );
-            }
-            for _ in 0..mult {
-                stack.push(Segment {
-                    state: init.clone(),
-                    t: 0,
-                    level: init_level,
-                });
-            }
-
-            while let Some(seg) = stack.pop() {
-                let mut state = seg.state;
-                let watch = seg.level + 1; // the level we wait to land in
-                for t in (seg.t + 1)..=problem.horizon {
-                    state = problem.model.step(&state, t, rng);
-                    steps += 1;
-                    let f = problem.value(&state);
-                    if plan.level_of(f) == watch {
-                        if watch == m {
-                            // Target level reached.
-                            hits += 1;
-                            this_root_hits += 1;
-                        } else {
-                            level_entries[watch - 1] += 1;
-                            for _ in 0..r {
-                                stack.push(Segment {
-                                    state: state.clone(),
-                                    t,
-                                    level: watch,
-                                });
-                            }
-                        }
-                        break;
-                    }
-                }
-            }
-
-            n_roots += 1;
+            let this_root_hits = simulate_root(&problem, plan, r, &mut shard, &mut stack, rng);
             since_check += 1;
-            if this_root_hits > 0 {
-                level_entries[m - 1] += this_root_hits as u64;
-            }
-            moments.push(this_root_hits as f64);
             if self.config.keep_root_hits {
                 root_hits.push(this_root_hits);
             }
         }
 
         SMlssResult {
-            estimate: self.estimate_from(n_roots, hits, steps, &moments),
-            level_entries,
+            estimate: shard.estimate(),
+            level_entries: shard.level_entries,
             root_hits: self.config.keep_root_hits.then_some(root_hits),
             elapsed: start.elapsed(),
-        }
-    }
-
-    /// Assemble the estimate: `τ̂ = N_m/(N_0 r^{m-1})` (Eq. 3) with
-    /// variance `σ̂²/(N_0 r^{2(m-1)})` (Eq. 5-6), where `σ̂²` is the sample
-    /// variance of per-root hit counts.
-    fn estimate_from(
-        &self,
-        n_roots: u64,
-        hits: u64,
-        steps: u64,
-        moments: &RunningMoments,
-    ) -> Estimate {
-        let m = self.config.plan.num_levels();
-        let r = self.config.ratio as f64;
-        let scale = r.powi(m as i32 - 1);
-        let (tau, variance) = if n_roots == 0 {
-            (0.0, f64::INFINITY)
-        } else {
-            let tau = hits as f64 / (n_roots as f64 * scale);
-            let var = moments.sample_variance() / (n_roots as f64 * scale * scale);
-            (tau, var)
-        };
-        Estimate {
-            tau,
-            variance,
-            n_roots,
-            steps,
-            hits,
         }
     }
 }
@@ -285,6 +403,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn walk_problem(_model: &FineWalk, horizon: Time) -> (RatioValue<fn(&f64) -> f64>, Time) {
         fn score(s: &f64) -> f64 {
             *s

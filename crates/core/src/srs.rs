@@ -7,10 +7,99 @@
 //! test suite checks.
 
 use crate::estimate::Estimate;
+use crate::estimator::{ChunkOutcome, Estimator, Ledger};
 use crate::model::SimulationModel;
 use crate::quality::RunControl;
 use crate::query::{Problem, ValueFunction};
 use crate::rng::SimRng;
+
+/// Simulate one SRS root path; returns `(hit, steps_spent)`.
+pub(crate) fn simulate_root<M, V>(problem: &Problem<'_, M, V>, rng: &mut SimRng) -> (bool, u64)
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    let mut state = problem.model.initial_state();
+    let mut steps = 0;
+    for t in 1..=problem.horizon {
+        state = problem.model.step(&state, t, rng);
+        steps += 1;
+        if problem.satisfied(&state) {
+            return (true, steps);
+        }
+    }
+    (false, steps)
+}
+
+/// Accumulated SRS counts — the sampler's [`Ledger`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrsShard {
+    /// Root paths simulated (`N_0`).
+    pub n: u64,
+    /// Query-satisfying paths.
+    pub hits: u64,
+    /// `g` invocations spent.
+    pub steps: u64,
+}
+
+impl Ledger for SrsShard {
+    fn merge(&mut self, other: Self) {
+        self.n += other.n;
+        self.hits += other.hits;
+        self.steps += other.steps;
+    }
+
+    fn n_roots(&self) -> u64 {
+        self.n
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// The SRS strategy as a pluggable [`Estimator`] (it has no knobs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrsEstimator;
+
+impl<M, V> Estimator<M, V> for SrsEstimator
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    type Shard = SrsShard;
+
+    fn name(&self) -> &'static str {
+        "srs"
+    }
+
+    fn shard(&self) -> SrsShard {
+        SrsShard::default()
+    }
+
+    fn run_chunk(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut SrsShard,
+        budget: u64,
+        rng: &mut SimRng,
+    ) -> ChunkOutcome {
+        let mut done = ChunkOutcome::default();
+        while done.steps < budget {
+            let (hit, steps) = simulate_root(&problem, rng);
+            shard.n += 1;
+            shard.steps += steps;
+            shard.hits += hit as u64;
+            done.roots += 1;
+            done.steps += steps;
+        }
+        done
+    }
+
+    fn estimate(&self, shard: &SrsShard, _rng: &mut SimRng) -> Estimate {
+        estimate_from_counts(shard.n, shard.hits, shard.steps)
+    }
+}
 
 /// Result of one SRS run.
 #[derive(Debug, Clone)]
@@ -56,40 +145,27 @@ impl SrsSampler {
         V: ValueFunction<M::State>,
     {
         let start = std::time::Instant::now();
-        let mut steps: u64 = 0;
-        let mut n: u64 = 0;
-        let mut hits: u64 = 0;
+        let mut shard = SrsShard::default();
         let mut since_check: u64 = 0;
 
         loop {
-            let est = estimate_from_counts(n, hits, steps);
-            if n > 0 {
+            let est = estimate_from_counts(shard.n, shard.hits, shard.steps);
+            if shard.n > 0 {
                 observe(&est);
             }
             if !self.control.should_continue(&est, &mut since_check) {
                 break;
             }
 
-            // One root path.
-            let mut state = problem.model.initial_state();
-            let mut hit = false;
-            for t in 1..=problem.horizon {
-                state = problem.model.step(&state, t, rng);
-                steps += 1;
-                if problem.satisfied(&state) {
-                    hit = true;
-                    break;
-                }
-            }
-            n += 1;
+            let (hit, steps) = simulate_root(&problem, rng);
+            shard.n += 1;
+            shard.steps += steps;
+            shard.hits += hit as u64;
             since_check += 1;
-            if hit {
-                hits += 1;
-            }
         }
 
         SrsResult {
-            estimate: estimate_from_counts(n, hits, steps),
+            estimate: estimate_from_counts(shard.n, shard.hits, shard.steps),
             elapsed: start.elapsed(),
         }
     }

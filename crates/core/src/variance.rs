@@ -42,8 +42,7 @@ pub fn two_level_skip_variance(
     assert!(r >= 1);
     let n0 = n0 as f64;
     let r = r as f64;
-    p12 * p12 * p01 * (1.0 - p01) / n0 + p01 * var_n2_root / (n0 * r * r)
-        + p02 * (1.0 - p02) / n0
+    p12 * p12 * p01 * (1.0 - p01) / n0 + p01 * var_n2_root / (n0 * r * r) + p02 * (1.0 - p02) / n0
 }
 
 /// SRS estimator variance `τ(1−τ)/n` for reference.

@@ -121,11 +121,7 @@ impl Database {
     }
 
     /// Run a read-only closure against a table.
-    pub fn with_table<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(&Table) -> R,
-    ) -> Result<R, DbError> {
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R, DbError> {
         let tables = self.tables.read();
         let t = tables
             .get(name)
@@ -166,11 +162,8 @@ mod tests {
 
     fn db_with_table() -> Database {
         let db = Database::new();
-        let schema = Schema::new(vec![
-            ColumnDef::new("k", Int),
-            ColumnDef::new("v", Float),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![ColumnDef::new("k", Int), ColumnDef::new("v", Float)]).unwrap();
         db.create_table("kv", schema).unwrap();
         db
     }
@@ -204,10 +197,7 @@ mod tests {
         assert!(db.has_table("kv"));
         db.drop_table("kv").unwrap();
         assert!(!db.has_table("kv"));
-        assert!(matches!(
-            db.drop_table("kv"),
-            Err(DbError::NoSuchTable(_))
-        ));
+        assert!(matches!(db.drop_table("kv"), Err(DbError::NoSuchTable(_))));
         assert!(matches!(
             db.insert("kv", vec![]),
             Err(DbError::NoSuchTable(_))
@@ -229,8 +219,11 @@ mod tests {
     #[test]
     fn concurrent_readers() {
         let db = std::sync::Arc::new(db_with_table());
-        db.insert_many("kv", (0..100).map(|i| vec![Value::Int(i), Value::Float(0.0)]))
-            .unwrap();
+        db.insert_many(
+            "kv",
+            (0..100).map(|i| vec![Value::Int(i), Value::Float(0.0)]),
+        )
+        .unwrap();
         let mut handles = vec![];
         for _ in 0..4 {
             let db = db.clone();

@@ -135,21 +135,25 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, deliberately by-value
     pub fn add(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, deliberately by-value
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, deliberately by-value
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
     }
 
     /// `self / other`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, deliberately by-value
     pub fn div(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Div, Box::new(other))
     }

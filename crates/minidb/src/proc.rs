@@ -6,10 +6,18 @@
 //! visualization or downstream analysis — the end-to-end pipeline the
 //! paper demonstrates on PostgreSQL, here on the embedded engine.
 //!
+//! Both built-ins dispatch through [`ModelRegistry`] (every substrate in
+//! `mlss_models`) and the `mlss_core::estimator::Estimator` trait (every
+//! sampling strategy), so the SQL layer rides the same execution spine as
+//! the library: SQL call → method resolution → sequential or parallel
+//! driver → sampler.
+//!
 //! Built-ins:
-//! * `mlss_estimate(model, method, beta, horizon, target_re)` — answer a
-//!   durability query with `method ∈ {"srs", "mlss"}` to a relative-error
-//!   target; appends a row to `results` and returns the estimate.
+//! * `mlss_estimate(model, method, beta, horizon, target_re [, threads])`
+//!   — answer a durability query to a relative-error target with
+//!   `method ∈ {"srs", "smlss", "mlss", "gmlss", "auto"}` over any
+//!   registered model; `threads > 1` routes through the parallel driver.
+//!   Appends a row to `results` and returns the estimate.
 //! * `materialize_paths(model, horizon, n_paths, dest)` — simulate and
 //!   store sample paths as `(path_id, t, value)` rows.
 
@@ -17,13 +25,20 @@ use crate::engine::{Database, DbError};
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Aggregate;
 use crate::value::{DataType, Value};
+use mlss_core::estimator::{run_sequential, Estimator};
 use mlss_core::model::SimulationModel;
+use mlss_core::parallel::{run_parallel, ParallelConfig};
 use mlss_core::partition::balanced_plan;
 use mlss_core::prelude::{
-    GMlssConfig, GMlssSampler, Problem, QualityTarget, RatioValue, RunControl, SimRng,
-    SrsSampler, StateScore,
+    GMlssConfig, Problem, QualityTarget, RatioValue, RunControl, SMlssConfig, SimRng, SrsEstimator,
+    StateScore,
 };
-use mlss_models::{CompoundPoisson, JumpDistribution, TandemQueue};
+use mlss_models::{
+    ar_value_score, last_station_score, position_score, price_score, queue2_score, surplus_score,
+    ArModel, CompoundPoisson, GeometricBrownian, JumpDistribution, MarkovChain, RandomWalk,
+    SeriesNetwork, TandemQueue, Volatile,
+};
+use rand::RngExt;
 use std::collections::BTreeMap;
 
 /// A stored procedure.
@@ -31,8 +46,7 @@ pub trait StoredProcedure: Sync + Send {
     /// Procedure name used in `call`.
     fn name(&self) -> &str;
     /// Execute with positional arguments.
-    fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng)
-        -> Result<Value, DbError>;
+    fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError>;
 }
 
 /// Registry of stored procedures.
@@ -57,8 +71,12 @@ impl ProcRegistry {
     /// Registry preloaded with the built-in procedures.
     pub fn with_builtins() -> Self {
         let mut r = Self::new();
-        r.register(Box::new(MlssEstimate));
-        r.register(Box::new(MaterializePaths));
+        r.register(Box::new(MlssEstimate {
+            models: ModelRegistry::with_builtins(),
+        }));
+        r.register(Box::new(MaterializePaths {
+            models: ModelRegistry::with_builtins(),
+        }));
         r
     }
 
@@ -114,7 +132,8 @@ pub fn results_schema() -> Schema {
     .expect("static schema")
 }
 
-/// Seed the `models` table with the paper-default queue and CPP models.
+/// Seed the `models` table with default parameters for every registered
+/// model (the paper's queue and CPP rows keep their historical values).
 pub fn seed_default_models(db: &Database) -> Result<(), DbError> {
     if !db.has_table("models") {
         db.create_table("models", models_schema())?;
@@ -128,6 +147,31 @@ pub fn seed_default_models(db: &Database) -> Result<(), DbError> {
         ("cpp", "intensity", 0.8),
         ("cpp", "jump_lo", 5.0),
         ("cpp", "jump_hi", 10.0),
+        ("walk", "up", 0.3),
+        ("walk", "down", 0.3),
+        ("walk", "start", 0.0),
+        ("walk", "reflect", 1.0),
+        ("gbm", "initial", 525.0),
+        ("gbm", "drift", 0.25),
+        ("gbm", "volatility", 0.28),
+        ("gbm", "dt", 1.0 / 252.0),
+        ("ar", "phi", 0.7),
+        ("ar", "sigma", 1.0),
+        ("ar", "initial", 0.0),
+        ("markov", "states", 32.0),
+        ("markov", "p_up", 0.3),
+        ("markov", "p_down", 0.3),
+        ("markov", "initial", 0.0),
+        ("network", "arrival_rate", 0.4),
+        ("network", "stations", 3.0),
+        ("network", "service_rate", 0.5),
+        ("volatile", "initial", 15.0),
+        ("volatile", "premium", 4.5),
+        ("volatile", "intensity", 0.8),
+        ("volatile", "jump_lo", 5.0),
+        ("volatile", "jump_hi", 10.0),
+        ("volatile", "impulse", 200.0),
+        ("volatile", "impulse_prob", 0.005),
     ];
     db.insert_many(
         "models",
@@ -163,31 +207,8 @@ fn need(params: &BTreeMap<String, f64>, key: &str) -> Result<f64, DbError> {
         .ok_or_else(|| DbError::Proc(format!("missing parameter '{key}'")))
 }
 
-/// The supported in-database simulation models.
-enum DbModel {
-    Queue(TandemQueue),
-    Cpp(CompoundPoisson),
-}
-
-fn build_model(db: &Database, name: &str) -> Result<DbModel, DbError> {
-    let params = load_params(db, name)?;
-    match name {
-        "queue" => Ok(DbModel::Queue(TandemQueue::new(
-            need(&params, "arrival_rate")?,
-            need(&params, "service_rate1")?,
-            need(&params, "service_rate2")?,
-        ))),
-        "cpp" => Ok(DbModel::Cpp(CompoundPoisson::new(
-            need(&params, "initial")?,
-            need(&params, "premium")?,
-            need(&params, "intensity")?,
-            JumpDistribution::Uniform {
-                lo: need(&params, "jump_lo")?,
-                hi: need(&params, "jump_hi")?,
-            },
-        ))),
-        other => Err(DbError::Proc(format!("unknown model '{other}'"))),
-    }
+fn opt(params: &BTreeMap<String, f64>, key: &str, default: f64) -> f64 {
+    params.get(key).copied().unwrap_or(default)
 }
 
 fn arg_text(args: &[Value], i: usize) -> Result<&str, DbError> {
@@ -208,96 +229,397 @@ fn arg_i64(args: &[Value], i: usize) -> Result<i64, DbError> {
         .ok_or_else(|| DbError::Proc(format!("argument {i} must be an integer")))
 }
 
-/// Run one estimate for a concrete model+score.
-fn run_estimate<M, Z>(
-    model: &M,
-    score: Z,
-    beta: f64,
-    horizon: u64,
-    method: &str,
-    target_re: f64,
-    rng: &mut SimRng,
-) -> Result<(f64, f64, u64, u64), DbError>
-where
-    M: SimulationModel,
-    Z: StateScore<M::State>,
-{
-    let vf = RatioValue::new(score, beta);
-    let problem = Problem::new(model, &vf, horizon);
-    let control = RunControl::Target {
-        target: QualityTarget::RelativeError {
-            target: target_re,
-            reference: None,
-        },
-        check_every: 256,
-        max_steps: 2_000_000_000,
-    };
-    match method {
-        "srs" => {
-            let res = SrsSampler::new(control).run(problem, rng);
-            let e = res.estimate;
-            Ok((e.tau, e.variance, e.steps, e.n_roots))
+// ---- method dispatch ----------------------------------------------------
+
+/// A sampling method name accepted by `mlss_estimate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Simple random sampling.
+    Srs,
+    /// s-MLSS over an automatically balanced plan.
+    SMlss,
+    /// g-MLSS over an automatically balanced plan (`"mlss"`/`"gmlss"`).
+    GMlss,
+    /// g-MLSS when a level plan is derivable from a pilot, SRS otherwise.
+    Auto,
+}
+
+impl Method {
+    /// Parse a SQL-facing method name.
+    pub fn parse(name: &str) -> Result<Self, DbError> {
+        match name {
+            "srs" => Ok(Method::Srs),
+            "smlss" => Ok(Method::SMlss),
+            "mlss" | "gmlss" => Ok(Method::GMlss),
+            "auto" => Ok(Method::Auto),
+            other => Err(DbError::Proc(format!(
+                "method must be one of 'srs', 'smlss', 'mlss', 'gmlss', 'auto'; got '{other}'"
+            ))),
         }
-        "mlss" => {
-            let (plan, _) = balanced_plan(problem, 4, 2000, rng);
-            let cfg = GMlssConfig::new(plan, control);
-            let res = GMlssSampler::new(cfg).run(problem, rng);
-            let e = res.estimate;
-            Ok((e.tau, e.variance, e.steps, e.n_roots))
-        }
-        other => Err(DbError::Proc(format!(
-            "method must be 'srs' or 'mlss', got '{other}'"
-        ))),
     }
 }
 
-/// `mlss_estimate(model, method, beta, horizon, target_re)`.
-struct MlssEstimate;
+/// Outcome of one in-database estimate.
+pub struct ProcEstimate {
+    /// Point estimate `τ̂`.
+    pub tau: f64,
+    /// Estimated variance of `τ̂`.
+    pub variance: f64,
+    /// `g` invocations spent.
+    pub steps: u64,
+    /// Independent root paths simulated.
+    pub n_roots: u64,
+}
+
+/// Type-erased handle to a concrete model + score pair: the bridge from
+/// the dynamically named SQL world to the statically typed estimator
+/// spine. Implement this (or register a builder producing the provided
+/// generic runner) to expose a custom model to the SQL layer.
+pub trait ModelRunner: Send + Sync {
+    /// Answer a durability query to a relative-error target.
+    fn estimate(
+        &self,
+        beta: f64,
+        horizon: u64,
+        method: Method,
+        target_re: f64,
+        threads: usize,
+        rng: &mut SimRng,
+    ) -> Result<ProcEstimate, DbError>;
+
+    /// Simulate `n_paths` and insert `(path_id, t, score)` rows into
+    /// `dest`, one path at a time (peak memory stays O(horizon), not
+    /// O(n_paths × horizon)). Returns the number of rows written.
+    fn materialize(
+        &self,
+        db: &Database,
+        dest: &str,
+        horizon: u64,
+        n_paths: u64,
+        rng: &mut SimRng,
+    ) -> Result<i64, DbError>;
+}
+
+struct Runner<M, Z> {
+    model: M,
+    score: Z,
+}
+
+impl<M, Z> Runner<M, Z>
+where
+    M: SimulationModel + Send + Sync,
+    M::State: Send,
+    Z: StateScore<M::State> + Copy + Send + Sync,
+{
+    /// Drive any estimator through the sequential or parallel spine.
+    fn drive<E>(
+        &self,
+        est: &E,
+        problem: Problem<'_, M, RatioValue<Z>>,
+        control: RunControl,
+        threads: usize,
+        rng: &mut SimRng,
+    ) -> ProcEstimate
+    where
+        E: Estimator<M, RatioValue<Z>> + Sync,
+        E::Shard: Send,
+    {
+        let e = if threads > 1 {
+            let cfg = ParallelConfig {
+                threads,
+                seed: rng.random::<u64>(),
+                ..Default::default()
+            };
+            run_parallel(problem, est, control, &cfg).estimate
+        } else {
+            run_sequential(est, problem, control, rng).estimate
+        };
+        ProcEstimate {
+            tau: e.tau,
+            variance: e.variance,
+            steps: e.steps,
+            n_roots: e.n_roots,
+        }
+    }
+}
+
+impl<M, Z> ModelRunner for Runner<M, Z>
+where
+    M: SimulationModel + Send + Sync,
+    M::State: Send,
+    Z: StateScore<M::State> + Copy + Send + Sync,
+{
+    fn estimate(
+        &self,
+        beta: f64,
+        horizon: u64,
+        method: Method,
+        target_re: f64,
+        threads: usize,
+        rng: &mut SimRng,
+    ) -> Result<ProcEstimate, DbError> {
+        let vf = RatioValue::new(self.score, beta);
+        let problem = Problem::new(&self.model, &vf, horizon);
+        let control = RunControl::Target {
+            target: QualityTarget::RelativeError {
+                target: target_re,
+                reference: None,
+            },
+            check_every: 256,
+            max_steps: 2_000_000_000,
+        };
+        let plan_for = |rng: &mut SimRng| balanced_plan(problem, 4, 2000, rng);
+        Ok(match method {
+            Method::Srs => self.drive(&SrsEstimator, problem, control, threads, rng),
+            Method::SMlss => {
+                let (plan, _) = plan_for(rng);
+                let cfg = SMlssConfig::new(plan, control);
+                self.drive(&cfg, problem, control, threads, rng)
+            }
+            Method::GMlss => {
+                let (plan, _) = plan_for(rng);
+                let cfg = GMlssConfig::new(plan, control);
+                self.drive(&cfg, problem, control, threads, rng)
+            }
+            Method::Auto => {
+                // g-MLSS when the pilot derives a usable multi-level plan
+                // (finite τ hint and ≥ 2 levels), SRS otherwise.
+                let (plan, tau_hint) = plan_for(rng);
+                if tau_hint.is_finite() && plan.num_levels() >= 2 {
+                    let cfg = GMlssConfig::new(plan, control);
+                    self.drive(&cfg, problem, control, threads, rng)
+                } else {
+                    self.drive(&SrsEstimator, problem, control, threads, rng)
+                }
+            }
+        })
+    }
+
+    fn materialize(
+        &self,
+        db: &Database,
+        dest: &str,
+        horizon: u64,
+        n_paths: u64,
+        rng: &mut SimRng,
+    ) -> Result<i64, DbError> {
+        let mut total = 0i64;
+        for pid in 0..n_paths {
+            let path = mlss_core::model::simulate_path(&self.model, horizon, rng);
+            let rows = path.states.iter().enumerate().map(|(t, s)| {
+                vec![
+                    Value::Int(pid as i64),
+                    Value::Int(t as i64),
+                    Value::Float(self.score.score(s)),
+                ]
+            });
+            total += db.insert_many(dest, rows)? as i64;
+        }
+        Ok(total)
+    }
+}
+
+type ModelBuilder = fn(&BTreeMap<String, f64>, u64) -> Result<Box<dyn ModelRunner>, DbError>;
+
+/// Registry mapping model names to builders over the `models` parameter
+/// table — the SQL layer's pluggable catalog of stochastic substrates.
+pub struct ModelRegistry {
+    builders: BTreeMap<&'static str, ModelBuilder>,
+}
+
+fn markov_state_score(s: &usize) -> f64 {
+    *s as f64
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self {
+            builders: BTreeMap::new(),
+        }
+    }
+
+    /// Registry preloaded with every `mlss_models` substrate.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register("queue", |p, _| {
+            Ok(Box::new(Runner {
+                model: TandemQueue::new(
+                    need(p, "arrival_rate")?,
+                    need(p, "service_rate1")?,
+                    need(p, "service_rate2")?,
+                ),
+                score: queue2_score,
+            }))
+        });
+        r.register("cpp", |p, _| {
+            Ok(Box::new(Runner {
+                model: CompoundPoisson::new(
+                    need(p, "initial")?,
+                    need(p, "premium")?,
+                    need(p, "intensity")?,
+                    JumpDistribution::Uniform {
+                        lo: need(p, "jump_lo")?,
+                        hi: need(p, "jump_hi")?,
+                    },
+                ),
+                score: surplus_score,
+            }))
+        });
+        r.register("walk", |p, _| {
+            let mut walk = RandomWalk::new(
+                opt(p, "up", 0.3),
+                opt(p, "down", 0.3),
+                opt(p, "start", 0.0) as i64,
+            );
+            if opt(p, "reflect", 1.0) != 0.0 {
+                walk = walk.reflected();
+            }
+            Ok(Box::new(Runner {
+                model: walk,
+                score: position_score,
+            }))
+        });
+        r.register("gbm", |p, _| {
+            Ok(Box::new(Runner {
+                model: GeometricBrownian::new(
+                    opt(p, "initial", 525.0),
+                    opt(p, "drift", 0.25),
+                    opt(p, "volatility", 0.28),
+                    opt(p, "dt", 1.0 / 252.0),
+                ),
+                score: price_score,
+            }))
+        });
+        r.register("ar", |p, _| {
+            Ok(Box::new(Runner {
+                model: ArModel::ar1(
+                    opt(p, "phi", 0.7),
+                    opt(p, "sigma", 1.0),
+                    opt(p, "initial", 0.0),
+                ),
+                score: ar_value_score,
+            }))
+        });
+        r.register("markov", |p, _| {
+            let states = opt(p, "states", 32.0).max(2.0) as usize;
+            Ok(Box::new(Runner {
+                model: MarkovChain::birth_death(
+                    states,
+                    opt(p, "p_up", 0.3),
+                    opt(p, "p_down", 0.3),
+                    (opt(p, "initial", 0.0).max(0.0) as usize).min(states - 1),
+                ),
+                score: markov_state_score,
+            }))
+        });
+        r.register("network", |p, _| {
+            let stations = opt(p, "stations", 3.0).max(1.0) as usize;
+            Ok(Box::new(Runner {
+                model: SeriesNetwork::new(
+                    opt(p, "arrival_rate", 0.4),
+                    vec![opt(p, "service_rate", 0.5); stations],
+                ),
+                score: last_station_score,
+            }))
+        });
+        r.register("volatile", |p, horizon| {
+            let base = CompoundPoisson::new(
+                opt(p, "initial", 15.0),
+                opt(p, "premium", 4.5),
+                opt(p, "intensity", 0.8),
+                JumpDistribution::Uniform {
+                    lo: opt(p, "jump_lo", 5.0),
+                    hi: opt(p, "jump_hi", 10.0),
+                },
+            );
+            let impulse = opt(p, "impulse", 200.0);
+            let prob = opt(p, "impulse_prob", 0.005);
+            // The paper's Volatile CPP: impulses only in the last 20% of
+            // the horizon — exactly the §6.2 level-skipping regime.
+            Ok(Box::new(Runner {
+                model: Volatile::new(base, horizon * 8 / 10, prob, move |u: &mut f64| {
+                    *u += impulse
+                }),
+                score: surplus_score,
+            }))
+        });
+        r
+    }
+
+    /// Register (or replace) a model builder.
+    pub fn register(&mut self, name: &'static str, builder: ModelBuilder) {
+        self.builders.insert(name, builder);
+    }
+
+    /// Registered model names.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.builders.keys().copied().collect()
+    }
+
+    /// Build a runner for `name` from its parameter rows in `db`.
+    fn build(
+        &self,
+        db: &Database,
+        name: &str,
+        horizon: u64,
+    ) -> Result<Box<dyn ModelRunner>, DbError> {
+        let builder = self.builders.get(name).ok_or_else(|| {
+            DbError::Proc(format!(
+                "unknown model '{name}' (registered: {})",
+                self.names().join(", ")
+            ))
+        })?;
+        let params = load_params(db, name)?;
+        builder(&params, horizon)
+    }
+}
+
+/// `mlss_estimate(model, method, beta, horizon, target_re [, threads])`.
+struct MlssEstimate {
+    models: ModelRegistry,
+}
 
 impl StoredProcedure for MlssEstimate {
     fn name(&self) -> &str {
         "mlss_estimate"
     }
 
-    fn execute(
-        &self,
-        db: &Database,
-        args: &[Value],
-        rng: &mut SimRng,
-    ) -> Result<Value, DbError> {
+    fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError> {
         let model_name = arg_text(args, 0)?.to_string();
-        let method = arg_text(args, 1)?.to_string();
+        let method = Method::parse(arg_text(args, 1)?)?;
+        let method_name = arg_text(args, 1)?.to_string();
         let beta = arg_f64(args, 2)?;
         let horizon = arg_i64(args, 3)?;
         if horizon < 1 {
             return Err(DbError::Proc("horizon must be ≥ 1".into()));
         }
         let target_re = arg_f64(args, 4)?;
-        if !(target_re > 0.0) {
+        if !(target_re.is_finite() && target_re > 0.0) {
             return Err(DbError::Proc("target_re must be positive".into()));
         }
+        let threads = match args.get(5) {
+            None => 1,
+            Some(v) => {
+                let t = v.as_i64().ok_or_else(|| {
+                    DbError::Proc("argument 5 (threads) must be an integer".into())
+                })?;
+                if t < 1 {
+                    return Err(DbError::Proc("threads must be ≥ 1".into()));
+                }
+                t as usize
+            }
+        };
 
         let started = std::time::Instant::now();
-        let (tau, variance, steps, n_roots) = match build_model(db, &model_name)? {
-            DbModel::Queue(q) => run_estimate(
-                &q,
-                mlss_models::queue2_score,
-                beta,
-                horizon as u64,
-                &method,
-                target_re,
-                rng,
-            )?,
-            DbModel::Cpp(c) => run_estimate(
-                &c,
-                mlss_models::surplus_score,
-                beta,
-                horizon as u64,
-                &method,
-                target_re,
-                rng,
-            )?,
-        };
+        let runner = self.models.build(db, &model_name, horizon as u64)?;
+        let est = runner.estimate(beta, horizon as u64, method, target_re, threads, rng)?;
         let millis = started.elapsed().as_millis() as i64;
 
         if !db.has_table("results") {
@@ -307,34 +629,31 @@ impl StoredProcedure for MlssEstimate {
             "results",
             vec![
                 model_name.into(),
-                method.into(),
+                method_name.into(),
                 beta.into(),
                 Value::Int(horizon),
-                tau.into(),
-                variance.into(),
-                Value::Int(steps as i64),
-                Value::Int(n_roots as i64),
+                est.tau.into(),
+                est.variance.into(),
+                Value::Int(est.steps as i64),
+                Value::Int(est.n_roots as i64),
                 Value::Int(millis),
             ],
         )?;
-        Ok(Value::Float(tau))
+        Ok(Value::Float(est.tau))
     }
 }
 
 /// `materialize_paths(model, horizon, n_paths, dest_table)`.
-struct MaterializePaths;
+struct MaterializePaths {
+    models: ModelRegistry,
+}
 
 impl StoredProcedure for MaterializePaths {
     fn name(&self) -> &str {
         "materialize_paths"
     }
 
-    fn execute(
-        &self,
-        db: &Database,
-        args: &[Value],
-        rng: &mut SimRng,
-    ) -> Result<Value, DbError> {
+    fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError> {
         let model_name = arg_text(args, 0)?.to_string();
         let horizon = arg_i64(args, 1)?.max(1) as u64;
         let n_paths = arg_i64(args, 2)?.max(1) as u64;
@@ -348,35 +667,8 @@ impl StoredProcedure for MaterializePaths {
         .expect("static schema");
         db.create_or_replace_table(dest.clone(), schema);
 
-        let mut total = 0i64;
-        match build_model(db, &model_name)? {
-            DbModel::Queue(q) => {
-                for pid in 0..n_paths {
-                    let path = mlss_core::model::simulate_path(&q, horizon, rng);
-                    let rows = path.states.iter().enumerate().map(|(t, s)| {
-                        vec![
-                            Value::Int(pid as i64),
-                            Value::Int(t as i64),
-                            Value::Float(mlss_models::queue2_score(s)),
-                        ]
-                    });
-                    total += db.insert_many(&dest, rows)? as i64;
-                }
-            }
-            DbModel::Cpp(c) => {
-                for pid in 0..n_paths {
-                    let path = mlss_core::model::simulate_path(&c, horizon, rng);
-                    let rows = path.states.iter().enumerate().map(|(t, s)| {
-                        vec![
-                            Value::Int(pid as i64),
-                            Value::Int(t as i64),
-                            Value::Float(*s),
-                        ]
-                    });
-                    total += db.insert_many(&dest, rows)? as i64;
-                }
-            }
-        }
+        let runner = self.models.build(db, &model_name, horizon)?;
+        let total = runner.materialize(db, &dest, horizon, n_paths, rng)?;
         Ok(Value::Int(total))
     }
 }
@@ -401,6 +693,16 @@ mod tests {
         db
     }
 
+    fn estimate_args(model: &str, method: &str, beta: f64, horizon: i64, re: f64) -> Vec<Value> {
+        vec![
+            model.into(),
+            method.into(),
+            beta.into(),
+            Value::Int(horizon),
+            re.into(),
+        ]
+    }
+
     #[test]
     fn registry_lists_builtins() {
         let r = ProcRegistry::with_builtins();
@@ -410,32 +712,39 @@ mod tests {
     }
 
     #[test]
+    fn model_registry_has_all_substrates() {
+        let m = ModelRegistry::with_builtins();
+        for name in [
+            "queue", "cpp", "walk", "gbm", "ar", "markov", "network", "volatile",
+        ] {
+            assert!(m.names().contains(&name), "missing model '{name}'");
+        }
+        assert!(m.names().len() >= 8);
+    }
+
+    #[test]
     fn estimate_srs_and_mlss_agree() {
         let db = db();
         let r = ProcRegistry::with_builtins();
         let mut rng = rng_from_seed(5);
         // Loose 25% RE keeps the test fast; queue β=8, s=100.
-        let args_srs: Vec<Value> = vec![
-            "queue".into(),
-            "srs".into(),
-            8.0.into(),
-            Value::Int(100),
-            0.25.into(),
-        ];
         let tau_srs = r
-            .call(&db, "mlss_estimate", &args_srs, &mut rng)
+            .call(
+                &db,
+                "mlss_estimate",
+                &estimate_args("queue", "srs", 8.0, 100, 0.25),
+                &mut rng,
+            )
             .unwrap()
             .as_f64()
             .unwrap();
-        let args_mlss: Vec<Value> = vec![
-            "queue".into(),
-            "mlss".into(),
-            8.0.into(),
-            Value::Int(100),
-            0.25.into(),
-        ];
         let tau_mlss = r
-            .call(&db, "mlss_estimate", &args_mlss, &mut rng)
+            .call(
+                &db,
+                "mlss_estimate",
+                &estimate_args("queue", "mlss", 8.0, 100, 0.25),
+                &mut rng,
+            )
             .unwrap()
             .as_f64()
             .unwrap();
@@ -446,13 +755,73 @@ mod tests {
     }
 
     #[test]
+    fn new_methods_and_models_estimate() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(6);
+        // Every (model, method) pair below must produce a probability.
+        // Note: s-MLSS is paired with a continuous-state model (AR). On
+        // coarse discrete scores a balanced plan can create levels no
+        // state value lands in; s-MLSS then never advances — the paper's
+        // §6.2 "blindly applied s-MLSS" failure, reproduced in
+        // tests/volatile_bias.rs. g-MLSS/auto handle those via skips.
+        let cases: Vec<(&str, &str, f64, i64)> = vec![
+            ("walk", "srs", 5.0, 50),
+            ("walk", "auto", 5.0, 50),
+            ("markov", "srs", 5.0, 50),
+            ("ar", "smlss", 3.0, 40),
+            ("ar", "gmlss", 3.0, 40),
+            ("network", "auto", 5.0, 60),
+            ("volatile", "mlss", 25.0, 80),
+            ("gbm", "srs", 550.0, 30),
+        ];
+        let n_cases = cases.len() as i64;
+        for (model, method, beta, horizon) in cases {
+            let tau = r
+                .call(
+                    &db,
+                    "mlss_estimate",
+                    &estimate_args(model, method, beta, horizon, 0.5),
+                    &mut rng,
+                )
+                .unwrap_or_else(|e| panic!("{model}/{method}: {e}"))
+                .as_f64()
+                .unwrap();
+            assert!(
+                (0.0..=1.0).contains(&tau),
+                "{model}/{method}: τ̂={tau} out of range"
+            );
+        }
+        assert_eq!(results_count(&db).unwrap(), n_cases);
+    }
+
+    #[test]
+    fn threads_argument_routes_through_parallel_driver() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(7);
+        let mut args = estimate_args("walk", "srs", 6.0, 60, 0.3);
+        args.push(Value::Int(2));
+        let tau = r
+            .call(&db, "mlss_estimate", &args, &mut rng)
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((0.0..=1.0).contains(&tau));
+        // Bad thread counts are rejected.
+        let mut bad = estimate_args("walk", "srs", 6.0, 60, 0.3);
+        bad.push(Value::Int(0));
+        assert!(r.call(&db, "mlss_estimate", &bad, &mut rng).is_err());
+    }
+
+    #[test]
     fn estimate_validates_arguments() {
         let db = db();
         let r = ProcRegistry::with_builtins();
         let mut rng = rng_from_seed(1);
-        let bad: Vec<Value> = vec!["queue".into(), "nope".into(), 8.0.into(), Value::Int(10), 0.5.into()];
+        let bad = estimate_args("queue", "nope", 8.0, 10, 0.5);
         assert!(r.call(&db, "mlss_estimate", &bad, &mut rng).is_err());
-        let bad2: Vec<Value> = vec!["mystery".into(), "srs".into(), 8.0.into(), Value::Int(10), 0.5.into()];
+        let bad2 = estimate_args("mystery", "srs", 8.0, 10, 0.5);
         assert!(r.call(&db, "mlss_estimate", &bad2, &mut rng).is_err());
         assert!(r.call(&db, "missing_proc", &[], &mut rng).is_err());
     }
@@ -476,5 +845,26 @@ mod tests {
         assert_eq!(n, 3 * 51);
         let stored = db.with_table("cpp_paths", |t| t.len()).unwrap();
         assert_eq!(stored as i64, n);
+    }
+
+    #[test]
+    fn materialize_paths_supports_registry_models() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(10);
+        for model in ["walk", "gbm", "markov"] {
+            let args: Vec<Value> = vec![
+                model.into(),
+                Value::Int(20),
+                Value::Int(2),
+                format!("{model}_paths").into(),
+            ];
+            let n = r
+                .call(&db, "materialize_paths", &args, &mut rng)
+                .unwrap()
+                .as_i64()
+                .unwrap();
+            assert_eq!(n, 2 * 21, "{model}: wrong row count");
+        }
     }
 }

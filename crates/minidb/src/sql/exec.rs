@@ -106,7 +106,12 @@ fn select(db: &Database, s: SelectStmt) -> Result<ExecResult, DbError> {
         }
         match &s.projection {
             Projection::All => Ok(ExecResult::Rows {
-                columns: t.schema().columns().iter().map(|c| c.name.clone()).collect(),
+                columns: t
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
                 rows,
             }),
             Projection::Columns(cols) => {

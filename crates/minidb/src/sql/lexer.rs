@@ -120,22 +120,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Symbol(Sym::Ne));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'=') => {
-                        out.push(Token::Symbol(Sym::Le));
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        out.push(Token::Symbol(Sym::Ne));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
                 }
-            }
+                Some(&b'>') => {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Symbol(Sym::Ge));

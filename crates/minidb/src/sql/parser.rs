@@ -242,7 +242,10 @@ impl Parser {
         for (kw, make) in AGGREGATES {
             if self.peek_kw(kw) {
                 // Lookahead: aggregate requires '(' right after.
-                if matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(Sym::LParen))) {
+                if matches!(
+                    self.tokens.get(self.pos + 1),
+                    Some(Token::Symbol(Sym::LParen))
+                ) {
                     self.pos += 1;
                     self.eat_symbol(Sym::LParen)?;
                     let agg = if self.eat_symbol_opt(Sym::Star) {
@@ -462,7 +465,10 @@ mod tests {
     fn parses_simple_select() {
         let stmt = parse("SELECT a, b FROM t WHERE a >= 3 ORDER BY b DESC LIMIT 10;").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
-        assert_eq!(s.projection, Projection::Columns(vec!["a".into(), "b".into()]));
+        assert_eq!(
+            s.projection,
+            Projection::Columns(vec!["a".into(), "b".into()])
+        );
         assert_eq!(s.table, "t");
         assert_eq!(s.predicate, Some(col("a").ge(lit(3i64))));
         assert_eq!(s.order_by, Some(("b".into(), true)));
@@ -532,8 +538,7 @@ mod tests {
     #[test]
     fn operator_precedence() {
         // a + b * 2 > 4 AND NOT c = 1 OR d = 2
-        let e = match parse("SELECT * FROM t WHERE a + b * 2 > 4 AND NOT c = 1 OR d = 2").unwrap()
-        {
+        let e = match parse("SELECT * FROM t WHERE a + b * 2 > 4 AND NOT c = 1 OR d = 2").unwrap() {
             Statement::Select(s) => s.predicate.unwrap(),
             _ => panic!(),
         };

@@ -226,13 +226,13 @@ impl Table {
                     }
                     if min
                         .as_ref()
-                        .map_or(true, |m| v.cmp_sql(m) == std::cmp::Ordering::Less)
+                        .is_none_or(|m| v.cmp_sql(m) == std::cmp::Ordering::Less)
                     {
                         min = Some(v.clone());
                     }
                     if max
                         .as_ref()
-                        .map_or(true, |m| v.cmp_sql(m) == std::cmp::Ordering::Greater)
+                        .is_none_or(|m| v.cmp_sql(m) == std::cmp::Ordering::Greater)
                     {
                         max = Some(v.clone());
                     }
@@ -277,18 +277,26 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new(schema);
-        t.insert(vec![1i64.into(), "ann".into(), 34i64.into()]).unwrap();
-        t.insert(vec![2i64.into(), "bob".into(), 28i64.into()]).unwrap();
-        t.insert(vec![3i64.into(), "cat".into(), Value::Null]).unwrap();
-        t.insert(vec![4i64.into(), "dan".into(), 41i64.into()]).unwrap();
+        t.insert(vec![1i64.into(), "ann".into(), 34i64.into()])
+            .unwrap();
+        t.insert(vec![2i64.into(), "bob".into(), 28i64.into()])
+            .unwrap();
+        t.insert(vec![3i64.into(), "cat".into(), Value::Null])
+            .unwrap();
+        t.insert(vec![4i64.into(), "dan".into(), 41i64.into()])
+            .unwrap();
         t
     }
 
     #[test]
     fn insert_validates() {
         let mut t = people();
-        assert!(t.insert(vec![5i64.into(), "eve".into(), 30i64.into()]).is_ok());
-        assert!(t.insert(vec!["oops".into(), "eve".into(), 30i64.into()]).is_err());
+        assert!(t
+            .insert(vec![5i64.into(), "eve".into(), 30i64.into()])
+            .is_ok());
+        assert!(t
+            .insert(vec!["oops".into(), "eve".into(), 30i64.into()])
+            .is_err());
         assert_eq!(t.len(), 5);
     }
 
@@ -318,7 +326,10 @@ mod tests {
     #[test]
     fn aggregates() {
         let t = people();
-        assert_eq!(t.aggregate(&Aggregate::CountAll, None).unwrap(), Value::Int(4));
+        assert_eq!(
+            t.aggregate(&Aggregate::CountAll, None).unwrap(),
+            Value::Int(4)
+        );
         assert_eq!(
             t.aggregate(&Aggregate::Count("age".into()), None).unwrap(),
             Value::Int(3)
@@ -336,7 +347,10 @@ mod tests {
             Value::Int(41)
         );
         let avg = t
-            .aggregate(&Aggregate::Avg("age".into()), Some(&col("id").le(lit(2i64))))
+            .aggregate(
+                &Aggregate::Avg("age".into()),
+                Some(&col("id").le(lit(2i64))),
+            )
             .unwrap();
         assert_eq!(avg, Value::Float(31.0));
     }
@@ -346,7 +360,8 @@ mod tests {
         let t = people();
         let none = col("id").gt(lit(100i64));
         assert_eq!(
-            t.aggregate(&Aggregate::Sum("age".into()), Some(&none)).unwrap(),
+            t.aggregate(&Aggregate::Sum("age".into()), Some(&none))
+                .unwrap(),
             Value::Null
         );
         assert_eq!(

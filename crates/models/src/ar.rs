@@ -127,11 +127,7 @@ mod tests {
         let m = ArModel::ar1(0.5, 0.1, 10.0);
         let p = simulate_path(&m, 200, &mut rng_from_seed(1));
         // Stationary mean is 0; after burn-in the value should be small.
-        let tail_avg: f64 = p.states[100..]
-            .iter()
-            .map(|s| s.value())
-            .sum::<f64>()
-            / 100.0;
+        let tail_avg: f64 = p.states[100..].iter().map(|s| s.value()).sum::<f64>() / 100.0;
         assert!(tail_avg.abs() < 0.5, "tail avg {tail_avg}");
     }
 

@@ -40,9 +40,7 @@ impl JumpDistribution {
     pub fn sample(&self, rng: &mut SimRng) -> f64 {
         match *self {
             JumpDistribution::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
-            JumpDistribution::Exponential { mean } => {
-                -mean * (1.0 - rng.random::<f64>()).ln()
-            }
+            JumpDistribution::Exponential { mean } => -mean * (1.0 - rng.random::<f64>()).ln(),
             JumpDistribution::Constant { value } => value,
         }
     }
@@ -98,7 +96,12 @@ impl CompoundPoisson {
     /// The paper's experimental setting: `u = 15`, `c = 4.5`, `λ = 0.8`,
     /// jumps `Uni(5, 10)`.
     pub fn paper_default() -> Self {
-        Self::new(15.0, 4.5, 0.8, JumpDistribution::Uniform { lo: 5.0, hi: 10.0 })
+        Self::new(
+            15.0,
+            4.5,
+            0.8,
+            JumpDistribution::Uniform { lo: 5.0, hi: 10.0 },
+        )
     }
 
     /// The zero-drift variant used by the volatile experiments (§6.2):
@@ -108,7 +111,12 @@ impl CompoundPoisson {
     /// start by `t = 0.8·s` and no late impulse could ever reach a
     /// threshold — see DESIGN.md, substitution 4.)
     pub fn zero_drift_default() -> Self {
-        Self::new(15.0, 6.0, 0.8, JumpDistribution::Uniform { lo: 5.0, hi: 10.0 })
+        Self::new(
+            15.0,
+            6.0,
+            0.8,
+            JumpDistribution::Uniform { lo: 5.0, hi: 10.0 },
+        )
     }
 
     /// Per-unit-time drift `c − λ·E[J]`.

@@ -101,11 +101,7 @@ mod tests {
     fn log_return_moments_match() {
         let g = GeometricBrownian::new(100.0, 0.1, 0.2, 1.0 / 252.0);
         let p = simulate_path(&g, 50_000, &mut rng_from_seed(2));
-        let rets: Vec<f64> = p
-            .states
-            .windows(2)
-            .map(|w| (w[1] / w[0]).ln())
-            .collect();
+        let rets: Vec<f64> = p.states.windows(2).map(|w| (w[1] / w[0]).ln()).collect();
         let mean = mlss_core::stats::mean(&rets);
         let var = mlss_core::stats::sample_variance(&rets);
         let expect_mean = (0.1 - 0.02) * (1.0 / 252.0);

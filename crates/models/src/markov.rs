@@ -32,11 +32,11 @@ impl MarkovChain {
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), n, "row {i} has wrong length");
             let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}, not 1");
             assert!(
-                (sum - 1.0).abs() < 1e-9,
-                "row {i} sums to {sum}, not 1"
+                row.iter().all(|&p| p >= 0.0),
+                "negative probability in row {i}"
             );
-            assert!(row.iter().all(|&p| p >= 0.0), "negative probability in row {i}");
         }
         Self {
             rows,
@@ -156,11 +156,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_nonstochastic_rows() {
-        MarkovChain::new(
-            vec![vec![0.5, 0.4], vec![0.5, 0.5]],
-            vec![0.0, 1.0],
-            0,
-        );
+        MarkovChain::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]], vec![0.0, 1.0], 0);
     }
 
     #[test]

@@ -146,8 +146,7 @@ mod tests {
         // With fast services the system drains: average occupancy small.
         let q = TandemQueue::new(0.5, 2.0, 2.0);
         let p = simulate_path(&q, 2000, &mut rng_from_seed(2));
-        let avg_q2: f64 =
-            p.states.iter().map(|s| s.q2 as f64).sum::<f64>() / p.states.len() as f64;
+        let avg_q2: f64 = p.states.iter().map(|s| s.q2 as f64).sum::<f64>() / p.states.len() as f64;
         // M/M/1 with ρ = 0.25 has E[N] = ρ/(1−ρ) = 1/3; q2 sees the
         // departure process of q1 (also Poisson by Burke's theorem).
         assert!(avg_q2 < 1.0, "avg q2 = {avg_q2}");

@@ -86,7 +86,9 @@ pub fn volatile_queue(
     base: TandemQueue,
     horizon: Time,
 ) -> Volatile<TandemQueue, impl Fn(&mut QueueState) + Sync + Copy> {
-    Volatile::new(base, horizon * 8 / 10, 0.015, |s: &mut QueueState| s.q2 += 15)
+    Volatile::new(base, horizon * 8 / 10, 0.015, |s: &mut QueueState| {
+        s.q2 += 15
+    })
 }
 
 #[cfg(test)]

@@ -103,11 +103,7 @@ mod tests {
     fn lazy_steps_occur() {
         let w = RandomWalk::new(0.2, 0.2, 0);
         let p = simulate_path(&w, 1000, &mut rng_from_seed(3));
-        let stays = p
-            .states
-            .windows(2)
-            .filter(|ab| ab[0] == ab[1])
-            .count();
+        let stays = p.states.windows(2).filter(|ab| ab[0] == ab[1]).count();
         // 60% of steps are stays.
         assert!(stays > 400 && stays < 800, "stays = {stays}");
     }

@@ -28,5 +28,5 @@ pub mod tensor;
 pub use adam::Adam;
 pub use lstm::{LstmCell, LstmGrads};
 pub use mdn::{MdnHead, MixtureParams};
-pub use stacked::{StackedLstm, StackedState};
 pub use model::{rnn_price_score, LstmMdn, NetConfig, RnnState, RnnStockModel, TrainingReport};
+pub use stacked::{StackedLstm, StackedState};

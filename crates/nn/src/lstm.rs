@@ -147,7 +147,7 @@ impl LstmCell {
     }
 
     /// Forward without building a cache (inference / sampling path).
-    pub fn forward_inference(&self, x: &[f64], h: &mut Vec<f64>, c: &mut Vec<f64>) {
+    pub fn forward_inference(&self, x: &[f64], h: &mut [f64], c: &mut [f64]) {
         let hsz = self.hidden;
         let mut z = self.b.clone();
         self.wx.gemv_acc(x, &mut z);
@@ -257,7 +257,7 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let cell = LstmCell::new(1, 5, &mut rng);
         let x = [0.7];
-        let (h, c, _) = cell.forward(&x, &vec![0.0; 5], &vec![0.0; 5]);
+        let (h, c, _) = cell.forward(&x, &[0.0; 5], &[0.0; 5]);
         let mut hi = vec![0.0; 5];
         let mut ci = vec![0.0; 5];
         cell.forward_inference(&x, &mut hi, &mut ci);

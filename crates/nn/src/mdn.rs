@@ -157,8 +157,7 @@ impl MdnHead {
             }
             u -= p;
         }
-        let normal = Normal::new(params.mu[comp], params.sigma[comp])
-            .expect("σ clamped positive");
+        let normal = Normal::new(params.mu[comp], params.sigma[comp]).expect("σ clamped positive");
         normal.sample(rng)
     }
 

@@ -133,9 +133,9 @@ impl LstmMdn {
         let mut dc_next = vec![0.0; hsz];
         for t in (0..steps).rev() {
             let (params, acts) = &mdn_out[t];
-            let mut dh =
-                self.head
-                    .backward(&hs[t], acts, params, targets[t], head_grads);
+            let mut dh = self
+                .head
+                .backward(&hs[t], acts, params, targets[t], head_grads);
             for (a, b) in dh.iter_mut().zip(&dh_next) {
                 *a += b;
             }
@@ -163,13 +163,12 @@ impl LstmMdn {
             let mut epoch_loss = 0.0;
             let mut windows = 0;
             let mut start = 0;
-            while start + cfg.seq_len + 1 <= returns.len() {
+            while start + cfg.seq_len < returns.len() {
                 let inputs = &returns[start..start + cfg.seq_len];
                 let targets = &returns[start + 1..start + cfg.seq_len + 1];
                 cell_grads.zero();
                 head_grads.zero();
-                let loss =
-                    self.window_grads(inputs, targets, &mut cell_grads, &mut head_grads);
+                let loss = self.window_grads(inputs, targets, &mut cell_grads, &mut head_grads);
                 epoch_loss += loss;
                 windows += 1;
 
@@ -236,7 +235,11 @@ pub struct RnnStockModel {
 
 impl RnnStockModel {
     /// Train a model on a raw daily price series.
-    pub fn train_on_prices(prices: &[f64], cfg: &NetConfig, rng: &mut SimRng) -> (Self, TrainingReport) {
+    pub fn train_on_prices(
+        prices: &[f64],
+        cfg: &NetConfig,
+        rng: &mut SimRng,
+    ) -> (Self, TrainingReport) {
         assert!(prices.len() > cfg.seq_len + 2, "price series too short");
         assert!(prices.iter().all(|&p| p > 0.0), "prices must be positive");
         let returns: Vec<f64> = prices.windows(2).map(|w| (w[1] / w[0]).ln()).collect();

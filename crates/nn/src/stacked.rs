@@ -181,8 +181,7 @@ mod tests {
         let x = [0.3, -0.7];
         let mut st = stack.zero_state();
         let (h_top, _) = stack.forward(&x, &mut st);
-        let (h_cell, c_cell, _) =
-            stack.layers[0].forward(&x, &vec![0.0; 4], &vec![0.0; 4]);
+        let (h_cell, c_cell, _) = stack.layers[0].forward(&x, &[0.0; 4], &[0.0; 4]);
         assert_eq!(h_top, h_cell);
         assert_eq!(st.c[0], c_cell);
     }

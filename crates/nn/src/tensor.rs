@@ -73,13 +73,13 @@ impl Matrix {
     pub fn gemv_acc(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "gemv dimension mismatch");
         assert_eq!(y.len(), self.rows, "gemv output mismatch");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] += acc;
+            *yr += acc;
         }
     }
 
@@ -87,9 +87,8 @@ impl Matrix {
     pub fn gemv_transpose_acc(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "gemv^T dimension mismatch");
         assert_eq!(y.len(), self.cols, "gemv^T output mismatch");
-        for r in 0..self.rows {
+        for (r, &xr) in x.iter().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let xr = x[r];
             if xr == 0.0 {
                 continue;
             }
@@ -103,8 +102,8 @@ impl Matrix {
     pub fn outer_acc(&mut self, u: &[f64], v: &[f64], scale: f64) {
         assert_eq!(u.len(), self.rows);
         assert_eq!(v.len(), self.cols);
-        for r in 0..self.rows {
-            let ur = u[r] * scale;
+        for (r, &u_r) in u.iter().enumerate() {
+            let ur = u_r * scale;
             if ur == 0.0 {
                 continue;
             }

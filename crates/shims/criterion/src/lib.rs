@@ -1,0 +1,160 @@
+//! Offline stand-in for `criterion` with the subset of API the workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`, and `Bencher::iter_batched`. Measurements are simple
+//! best-of-N wall-clock timings printed to stdout — enough for relative
+//! comparisons, without the real crate's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    last: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` by running it repeatedly; records the best average.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up once, then take the best of `samples` batches.
+        std::hint::black_box(routine());
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let reps = 3;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(routine());
+            }
+            let per = t0.elapsed() / reps;
+            if per < best {
+                best = per;
+            }
+        }
+        self.last = best;
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let t = t0.elapsed();
+            if t < best {
+                best = t;
+            }
+        }
+        self.last = best;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Finish the group (printing nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{id:<40} {:>12.3?}", b.last);
+    }
+}
+
+/// Re-export so user code can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from one or more group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the parts of `rand_distr` this workspace uses:
+//! [`Normal`] (Box–Muller) and [`Poisson`] (Knuth for small rates, a
+//! normal approximation for large ones), behind the same
+//! [`Distribution`] trait shape as the real crate.
+
+use rand::RngCore;
+
+/// A distribution from which values of type `T` can be sampled.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform draw in the open interval `(0, 1]` — safe as a `ln` argument.
+fn uniform_open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// New normal distribution. Fails when `std_dev` is negative or not
+    /// finite (matching the real crate's validation).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !(std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite()) {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: one fresh transform per draw (no spare caching —
+        // `sample(&self)` is immutable).
+        let u1 = uniform_open01(rng);
+        let u2 = uniform01(rng);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.std_dev * radius * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Error constructing a [`Poisson`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoissonError;
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Poisson rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// The Poisson distribution with rate `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// New Poisson distribution. Fails for non-positive or non-finite `λ`.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(PoissonError);
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's multiplication method — exact, O(λ) draws.
+            let limit = (-self.lambda).exp();
+            let mut product = uniform_open01(rng);
+            let mut count = 0u64;
+            while product > limit {
+                product *= uniform_open01(rng);
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction; adequate
+            // at λ ≥ 30 for the simulation workloads in this repo.
+            let gauss = Normal {
+                mean: 0.0,
+                std_dev: 1.0,
+            }
+            .sample(rng);
+            (self.lambda + self.lambda.sqrt() * gauss + 0.5)
+                .floor()
+                .max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha_like::TestRng;
+
+    /// SplitMix64 generator for the statistical smoke tests.
+    mod rand_chacha_like {
+        use rand::{RngCore, SeedableRng};
+
+        pub struct TestRng(u64);
+
+        impl SeedableRng for TestRng {
+            type Seed = [u8; 8];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                TestRng(u64::from_le_bytes(seed))
+            }
+        }
+
+        impl RngCore for TestRng {
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = TestRng::seed_from_u64(1);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_moments_small_lambda() {
+        let d = Poisson::new(0.8).unwrap();
+        let mut rng = TestRng::seed_from_u64(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.8).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let d = Poisson::new(100.0).unwrap();
+        let mut rng = TestRng::seed_from_u64(3);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+}

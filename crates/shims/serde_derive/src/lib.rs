@@ -1,0 +1,458 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports the shapes this workspace actually uses: non-generic structs
+//! with named fields, unit structs, tuple structs, and enums whose
+//! variants are unit, tuple, or struct-like. The generated representation
+//! matches real serde's externally-tagged default, so JSON produced
+//! before/after swapping in the real crates stays compatible.
+//!
+//! Implemented without `syn`/`quote` (also unavailable offline): a small
+//! hand parser walks the `TokenStream` and the impls are emitted as
+//! formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip `#[...]` attributes (including expanded doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("serde shim derive: malformed attribute"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+/// Number of comma-separated items at angle-bracket depth 0 in `stream`.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut items = 0;
+    let mut saw_token = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                items += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        items += 1;
+    }
+    items
+}
+
+/// Parse `name: Type, ...` named fields from the body of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after field '{name}', got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut depth: i32 = 0;
+        while let Some(tok) = cur.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    cur.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            cur.pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident();
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                cur.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.pos += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident();
+    let name = cur.expect_ident();
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type '{name}')");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, got '{other}'"),
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::JsonValue {{\n\
+                         ::serde::JsonValue::Obj(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::JsonValue {{\n\
+                     ::serde::JsonValue::Obj(Vec::new())\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_json_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::JsonValue::Arr(vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::JsonValue {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::JsonValue::Str(String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_json_value(__f0)".to_string()
+                            } else {
+                                let items: String = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json_value({b}),"))
+                                    .collect();
+                                format!("::serde::JsonValue::Arr(vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::JsonValue::Obj(vec![(String::from(\"{vname}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), ::serde::Serialize::to_json_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::JsonValue::Obj(vec![(String::from(\"{vname}\"), ::serde::JsonValue::Obj(vec![{pairs}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::JsonValue {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(::serde::__private::field(v, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::JsonValue) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(_v: &::serde::JsonValue) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?,"))
+                    .collect();
+                format!(
+                    "let __items = ::serde::__private::tuple(v, {arity})?;\nOk({name}({items}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::JsonValue) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("\"{vname}\" => Ok({name}::{vname}),")
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let need_payload = format!(
+                                "let __p = __payload.ok_or_else(|| ::serde::DeError::msg(\"variant '{vname}' expects data\"))?;"
+                            );
+                            if *arity == 1 {
+                                format!(
+                                    "\"{vname}\" => {{ {need_payload} Ok({name}::{vname}(::serde::Deserialize::from_json_value(__p)?)) }},"
+                                )
+                            } else {
+                                let items: String = (0..*arity)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::from_json_value(&__items[{i}])?,"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vname}\" => {{ {need_payload} let __items = ::serde::__private::tuple(__p, {arity})?; Ok({name}::{vname}({items})) }},"
+                                )
+                            }
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_json_value(::serde::__private::field(__p, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ let __p = __payload.ok_or_else(|| ::serde::DeError::msg(\"variant '{vname}' expects data\"))?; Ok({name}::{vname} {{ {inits} }}) }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::JsonValue) -> Result<Self, ::serde::DeError> {{\n\
+                         let (__tag, __payload) = ::serde::__private::variant(v)?;\n\
+                         match __tag {{\n\
+                             {arms}\n\
+                             other => Err(::serde::DeError::msg(format!(\"unknown variant '{{other}}' for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}

@@ -6,8 +6,7 @@
 
 use durability_mlss::core::rng::rng_from_seed;
 use mlss_db::{
-    col, execute, lit, load, save, seed_default_models, Aggregate, Database, ProcRegistry,
-    Value,
+    col, execute, lit, load, save, seed_default_models, Aggregate, Database, ProcRegistry, Value,
 };
 
 fn main() {
@@ -39,7 +38,8 @@ fn main() {
     // 2. Inspect the results table with the query API.
     let fast = db
         .with_table("results", |t| {
-            t.filter(&col("method").eq(lit("mlss"))).map(|rows| rows.len())
+            t.filter(&col("method").eq(lit("mlss")))
+                .map(|rows| rows.len())
         })
         .expect("results")
         .expect("filter");
@@ -77,15 +77,71 @@ fn main() {
         "SELECT model, method, millis FROM results WHERE method = 'mlss' ORDER BY millis ASC",
     )
     .expect("sql select");
-    println!("
-SQL: SELECT model, method, millis FROM results WHERE method = 'mlss':");
+    println!(
+        "
+SQL: SELECT model, method, millis FROM results WHERE method = 'mlss':"
+    );
     for row in res.rows() {
         println!("  {} | {} | {} ms", row[0], row[1], row[2]);
     }
     let peak = execute(&db, "SELECT MAX(value) FROM worlds").expect("sql agg");
-    println!("SQL: MAX(value) over all worlds = {}", peak.scalar().unwrap());
+    println!(
+        "SQL: MAX(value) over all worlds = {}",
+        peak.scalar().unwrap()
+    );
 
-    // 5. Persist and recover.
+    // 5. DURABILITY via SQL over the generalized model registry: any
+    //    registered model (walk, GBM, AR, Markov, queue, network, CPP,
+    //    volatile) × any method ("srs", "smlss", "mlss"/"gmlss", "auto").
+    //    "auto" derives a balanced level plan from a pilot and picks
+    //    g-MLSS, falling back to SRS when no plan is derivable; a trailing
+    //    threads argument routes the same query through the parallel
+    //    driver — SQL call → planner → parallel driver → sampler, one
+    //    execution spine.
+    println!("\nDURABILITY queries over the model registry:");
+    for (model, method, beta, horizon) in [
+        ("walk", "auto", 6.0, 60i64),
+        ("ar", "smlss", 3.0, 40),
+        ("gbm", "mlss", 560.0, 40),
+        ("volatile", "auto", 40.0, 100),
+    ] {
+        let args: Vec<Value> = vec![
+            model.into(),
+            method.into(),
+            beta.into(),
+            Value::Int(horizon),
+            0.25.into(),
+        ];
+        let tau = registry
+            .call(&db, "mlss_estimate", &args, &mut rng)
+            .expect("registry estimate");
+        println!("  DURABILITY({model}, {method}, β={beta}, s={horizon}) = {tau}");
+    }
+    // The same query, answered by 4 worker threads.
+    let args: Vec<Value> = vec![
+        "walk".into(),
+        "auto".into(),
+        6.0.into(),
+        Value::Int(60),
+        0.25.into(),
+        Value::Int(4),
+    ];
+    let tau_par = registry
+        .call(&db, "mlss_estimate", &args, &mut rng)
+        .expect("parallel estimate");
+    println!("  DURABILITY(walk, auto, 4 threads) = {tau_par}");
+
+    let ranked = execute(
+        &db,
+        "SELECT model, method, tau FROM results ORDER BY tau DESC",
+    )
+    .expect("sql select");
+    println!("\nSQL: all durability answers so far, most durable first:");
+    for row in ranked.rows() {
+        println!("  {} | {} | τ̂ = {}", row[0], row[1], row[2]);
+    }
+
+    // 6. Persist and recover.
     let dir = std::env::temp_dir().join("mlss-db-pipeline-demo");
     save(&db, &dir).expect("save");
     let report = load(&dir).expect("load");

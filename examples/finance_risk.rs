@@ -76,10 +76,12 @@ fn main() {
     // a parameter sweep that reuses the same machinery.
     println!("\nruin probability vs initial reserve (RE ≤ 15%):");
     for reserve in [10.0, 20.0, 30.0, 40.0] {
-        let swept = CompoundPoisson::new(reserve, 7.5, 0.8, JumpDistribution::Uniform {
-            lo: 5.0,
-            hi: 10.0,
-        });
+        let swept = CompoundPoisson::new(
+            reserve,
+            7.5,
+            0.8,
+            JumpDistribution::Uniform { lo: 5.0, hi: 10.0 },
+        );
         let drawdown = move |u: &f64| reserve - *u;
         let vf = RatioValue::new(drawdown, reserve);
         let problem = Problem::new(&swept, &vf, horizon);

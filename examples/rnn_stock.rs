@@ -60,8 +60,8 @@ fn main() {
 
     let mut rng = rng_from_seed(12);
     let (plan, _) = balanced_plan(problem, 4, 2000, &mut rng);
-    let res = GMlssSampler::new(GMlssConfig::new(plan, RunControl::until(target)))
-        .run(problem, &mut rng);
+    let res =
+        GMlssSampler::new(GMlssConfig::new(plan, RunControl::until(target))).run(problem, &mut rng);
     println!(
         "MLSS: tau = {:.3e}  ({} network invocations, {:.1}s)",
         res.estimate.tau,

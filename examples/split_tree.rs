@@ -35,7 +35,10 @@ fn main() {
     }
 
     println!("--- aggregate over {trees} root trees ---");
-    println!("segments per root: {:.1}", total_segments as f64 / trees as f64);
+    println!(
+        "segments per root: {:.1}",
+        total_segments as f64 / trees as f64
+    );
     println!("target hits      : {total_hits}");
     println!("g-invocations    : {total_steps}");
     println!(

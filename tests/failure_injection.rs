@@ -35,7 +35,7 @@ impl SimulationModel for InfModel {
     }
 
     fn step(&self, _s: &f64, t: Time, _rng: &mut SimRng) -> f64 {
-        if t % 2 == 0 {
+        if t.is_multiple_of(2) {
             f64::INFINITY
         } else {
             f64::NEG_INFINITY

@@ -6,6 +6,7 @@ use mlss_core::partition::{balanced_plan, evaluate_plan, GreedyConfig, GreedyPar
 use mlss_core::prelude::*;
 use mlss_models::{queue2_score, TandemQueue};
 
+#[allow(clippy::type_complexity)]
 fn tiny_queue_problem() -> (TandemQueue, RatioValue<fn(&mlss_models::QueueState) -> f64>) {
     fn score(s: &mlss_models::QueueState) -> f64 {
         queue2_score(s)
@@ -74,8 +75,7 @@ fn greedy_plan_produces_consistent_estimates() {
     let res_b = GMlssSampler::new(cfg_b).run(problem, &mut rng_from_seed(44));
 
     let diff = (res_g.estimate.tau - res_b.estimate.tau).abs();
-    let tol = 5.0
-        * (res_g.estimate.variance.max(0.0) + res_b.estimate.variance.max(0.0)).sqrt();
+    let tol = 5.0 * (res_g.estimate.variance.max(0.0) + res_b.estimate.variance.max(0.0)).sqrt();
     assert!(
         diff <= tol.max(2e-3),
         "greedy-plan estimate {} vs balanced-plan estimate {}",

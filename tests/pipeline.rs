@@ -97,8 +97,7 @@ fn parallel_driver_matches_sequential_on_queue() {
     );
 
     let diff = (seq.estimate.tau - par.estimate.tau).abs();
-    let tol = 5.0
-        * (seq.estimate.variance.max(0.0) + par.estimate.variance.max(0.0)).sqrt();
+    let tol = 5.0 * (seq.estimate.variance.max(0.0) + par.estimate.variance.max(0.0)).sqrt();
     assert!(
         diff <= tol.max(2e-3),
         "sequential {} vs parallel {}",

@@ -47,7 +47,13 @@ fn smlss_matches_exact_markov_answer() {
     let plan = PartitionPlan::new(vec![5.0 / 14.0, 8.0 / 14.0, 11.0 / 14.0]).unwrap();
     let cfg = SMlssConfig::new(plan, RunControl::budget(4_000_000)).with_ratio(3);
     let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(2));
-    assert_within(res.estimate.tau, res.estimate.variance, truth, 4.0, "s-MLSS");
+    assert_within(
+        res.estimate.tau,
+        res.estimate.variance,
+        truth,
+        4.0,
+        "s-MLSS",
+    );
 }
 
 #[test]
@@ -59,7 +65,13 @@ fn gmlss_matches_exact_markov_answer() {
     let plan = PartitionPlan::new(vec![0.3, 0.55, 0.8]).unwrap();
     let cfg = GMlssConfig::new(plan, RunControl::budget(4_000_000)).with_ratio(3);
     let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(3));
-    assert_within(res.estimate.tau, res.estimate.variance, truth, 4.0, "g-MLSS");
+    assert_within(
+        res.estimate.tau,
+        res.estimate.variance,
+        truth,
+        4.0,
+        "g-MLSS",
+    );
 }
 
 #[test]
@@ -82,7 +94,13 @@ fn gmlss_matches_exact_walk_answer() {
     let plan = PartitionPlan::new(vec![0.25, 0.5, 0.75]).unwrap();
     let cfg = GMlssConfig::new(plan, RunControl::budget(6_000_000)).with_ratio(3);
     let res = GMlssSampler::new(cfg).run(problem, &mut rng_from_seed(4));
-    assert_within(res.estimate.tau, res.estimate.variance, truth, 4.0, "g-MLSS walk");
+    assert_within(
+        res.estimate.tau,
+        res.estimate.variance,
+        truth,
+        4.0,
+        "g-MLSS walk",
+    );
 }
 
 #[test]

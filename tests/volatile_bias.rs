@@ -6,6 +6,7 @@ use mlss_core::prelude::*;
 use mlss_core::smlss::{SMlssConfig, SMlssSampler};
 use mlss_models::{surplus_score, volatile_cpp, CompoundPoisson};
 
+#[allow(clippy::type_complexity)]
 fn problem_setup() -> (
     impl SimulationModel<State = f64>,
     RatioValue<fn(&f64) -> f64>,
