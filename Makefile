@@ -1,13 +1,15 @@
 # Local mirror of the CI pipeline (.github/workflows/ci.yml).
 #
-#   make verify   — the tier-1 gate: release build + full test suite
-#   make ci       — everything CI runs: fmt, build, test, clippy
-#   make bench    — criterion micro-benchmarks (shimmed harness)
-#   make speedup  — parallel-driver mutex-vs-sharded merge comparison
+#   make verify     — the tier-1 gate: release build + full test suite
+#   make ci         — everything CI runs: fmt, build, test, clippy, mt-tests
+#   make bench      — criterion micro-benchmarks (shimmed harness)
+#   make speedup    — parallel-driver mutex-vs-sharded merge comparison
+#   make test-mt    — release tests with 4 test threads (scheduler jobs)
+#   make sched-bench — FIFO vs concurrent-serving latency benchmark
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup
+.PHONY: verify ci fmt clippy test build bench speedup test-mt sched-bench
 
 verify: build test
 
@@ -23,7 +25,13 @@ fmt:
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
-ci: fmt build test clippy
+test-mt:
+	$(CARGO) test --release --workspace -- --test-threads=4
+
+sched-bench:
+	$(CARGO) run --release -p mlss-bench --bin scheduler_bench -- --full
+
+ci: fmt build test clippy test-mt
 
 bench:
 	$(CARGO) bench -p mlss-bench

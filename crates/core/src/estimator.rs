@@ -196,8 +196,31 @@ where
     V: ValueFunction<M::State>,
     E: Estimator<M, V>,
 {
+    run_sequential_from(estimator, problem, control, rng, estimator.shard())
+}
+
+/// Resume a sequential run from a previously accumulated shard (a
+/// checkpoint): the run continues until `control` is satisfied over the
+/// *combined* state — a shard checkpointed at 10k steps resumed under a
+/// 50k budget runs 40k more. Because chunk boundaries are invisible
+/// (shards merge exactly and every chunk completes its last root), a
+/// paused-and-resumed run is statistically identical to an uninterrupted
+/// one; with the same `rng` state it is bit-identical. This is the
+/// primitive behind the scheduler's pause/checkpoint/resume support.
+pub fn run_sequential_from<M, V, E>(
+    estimator: &E,
+    problem: Problem<'_, M, V>,
+    control: RunControl,
+    rng: &mut SimRng,
+    shard: E::Shard,
+) -> EstimatorRun<E::Shard>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
     let start = Instant::now();
-    let mut shard = estimator.shard();
+    let mut shard = shard;
     let mut estimate_elapsed = Duration::ZERO;
 
     loop {

@@ -44,7 +44,7 @@ use crate::model::{SimulationModel, Time};
 use crate::quality::RunControl;
 use crate::query::{Problem, ValueFunction};
 use crate::rng::SimRng;
-use crate::stats::RunningMoments;
+use crate::stats::HitMoments;
 
 /// How the sampler estimates the variance of `τ̂` for stopping decisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,7 +167,7 @@ pub struct GmlssShard {
     skips: Vec<u64>,
     /// Total level-skip events observed.
     pub skip_events: u64,
-    moments: RunningMoments,
+    moments: HitMoments,
     /// Root paths simulated (`N_0`).
     pub n_roots: u64,
     /// Target hits (`N_m`).
@@ -193,7 +193,7 @@ impl GmlssShard {
             crossings: vec![0; m],
             skips: vec![0; m],
             skip_events: 0,
-            moments: RunningMoments::new(),
+            moments: HitMoments::new(),
             n_roots: 0,
             hits: 0,
             steps: 0,
@@ -474,7 +474,7 @@ fn simulate_root<M, V>(
     if track_ledger {
         shard.ledger.commit_root(root_hits);
     }
-    shard.moments.push(root_hits as f64);
+    shard.moments.push(root_hits);
     shard.n_roots += 1;
 }
 

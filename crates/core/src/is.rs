@@ -16,7 +16,7 @@ use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
 use crate::model::{SimulationModel, Time};
 use crate::query::{Problem, ValueFunction};
 use crate::rng::SimRng;
-use crate::stats::RunningMoments;
+use crate::stats::ExactSum;
 
 /// A model that can simulate under an exponentially tilted proposal.
 pub trait TiltableModel: SimulationModel {
@@ -46,45 +46,72 @@ pub struct IsResult {
 }
 
 /// Accumulated IS statistics — the sampler's [`Ledger`].
+///
+/// Weight sums are held in [`ExactSum`] accumulators, so shard merges are
+/// order-insensitive: merging shards in any permutation yields the same
+/// exact sums, hence bit-identical estimates (non-hitting paths contribute
+/// weight 0, so Σw over all paths equals Σw over hits).
 #[derive(Debug, Clone, Default)]
 pub struct IsShard {
-    moments: RunningMoments,
+    /// Paths simulated.
+    n: u64,
+    /// Exact Σw over hitting paths (all others contribute 0).
+    w: ExactSum,
+    /// Exact Σw² over hitting paths.
+    w2: ExactSum,
     /// `g` invocations spent.
     pub steps: u64,
     /// Paths that satisfied the query.
     pub hits: u64,
-    /// Sum of weights over hitting paths.
-    pub weight_sum: f64,
-    /// Sum of squared weights over hitting paths.
-    pub weight_sq_sum: f64,
 }
 
 impl IsShard {
+    /// Sum of weights over hitting paths.
+    pub fn weight_sum(&self) -> f64 {
+        self.w.value()
+    }
+
+    /// Sum of squared weights over hitting paths.
+    pub fn weight_sq_sum(&self) -> f64 {
+        self.w2.value()
+    }
+
     /// Effective sample size `(Σw)²/Σw²` over hitting paths — a health
     /// indicator; tiny ESS means the tilt is mismatched.
     pub fn effective_sample_size(&self) -> f64 {
-        if self.weight_sq_sum > 0.0 {
-            self.weight_sum * self.weight_sum / self.weight_sq_sum
+        let (ws, ws2) = (self.weight_sum(), self.weight_sq_sum());
+        if ws2 > 0.0 {
+            ws * ws / ws2
         } else {
             0.0
         }
     }
 
+    /// Unbiased sample variance of the per-path contributions
+    /// `w_i · l(SP_i)` (0 when `n < 2`), from the exact weight sums.
+    pub fn contribution_variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let (ws, ws2) = (self.weight_sum(), self.weight_sq_sum());
+        ((ws2 - ws * ws / n) / (n - 1.0)).max(0.0)
+    }
+
     /// The weighted estimate over the accumulated paths.
     pub fn estimate(&self) -> Estimate {
-        let n = self.moments.count();
-        let (tau, variance) = if n < 2 {
-            (self.moments.mean(), f64::INFINITY)
+        let (tau, variance) = if self.n == 0 {
+            (0.0, f64::INFINITY)
+        } else if self.n < 2 {
+            (self.weight_sum() / self.n as f64, f64::INFINITY)
         } else {
-            (
-                self.moments.mean(),
-                self.moments.sample_variance() / n as f64,
-            )
+            let n = self.n as f64;
+            (self.weight_sum() / n, self.contribution_variance() / n)
         };
         Estimate {
             tau,
             variance,
-            n_roots: n,
+            n_roots: self.n,
             steps: self.steps,
             hits: self.hits,
         }
@@ -93,15 +120,15 @@ impl IsShard {
 
 impl Ledger for IsShard {
     fn merge(&mut self, other: Self) {
-        self.moments.merge(&other.moments);
+        self.n += other.n;
+        self.w.merge(&other.w);
+        self.w2.merge(&other.w2);
         self.steps += other.steps;
         self.hits += other.hits;
-        self.weight_sum += other.weight_sum;
-        self.weight_sq_sum += other.weight_sq_sum;
     }
 
     fn n_roots(&self) -> u64 {
-        self.moments.count()
+        self.n
     }
 
     fn steps(&self) -> u64 {
@@ -121,7 +148,6 @@ fn simulate_path<M, V>(
 {
     let mut state = problem.model.initial_state();
     let mut log_w = 0.0;
-    let mut contribution = 0.0;
     for t in 1..=problem.horizon {
         let (next, dlw) = problem.model.step_tilted(&state, t, theta, rng);
         shard.steps += 1;
@@ -129,14 +155,13 @@ fn simulate_path<M, V>(
         state = next;
         if problem.satisfied(&state) {
             let w = log_w.exp();
-            contribution = w;
             shard.hits += 1;
-            shard.weight_sum += w;
-            shard.weight_sq_sum += w * w;
+            shard.w.add(w);
+            shard.w2.add(w * w);
             break;
         }
     }
-    shard.moments.push(contribution);
+    shard.n += 1;
 }
 
 /// The IS strategy as a pluggable [`Estimator`]: independent
@@ -226,7 +251,7 @@ where
     let mut estimate = shard.estimate();
     // Historical contract: variance is reported even for n < 2 callers
     // (the assert above guarantees n ≥ 2, keep the formula explicit).
-    estimate.variance = shard.moments.sample_variance() / n_paths as f64;
+    estimate.variance = shard.contribution_variance() / n_paths as f64;
     IsResult {
         estimate,
         theta,

@@ -57,6 +57,8 @@
 //! | [`variance`] | §3.1, §4.2, §5.1 | closed-form variance results |
 //! | [`partition`] | §5 | `eval(B)`, greedy search, balanced plans |
 //! | [`parallel`] | §3.1 | multi-threaded driver over any `Estimator`, sharded merge |
+//! | [`scheduler`] | §6.4 serving | concurrent query scheduler: slicing, pause/checkpoint/resume, panic isolation |
+//! | [`plan_cache`] | §5, §6.4 | memoized partition plans keyed by model fingerprint |
 //! | [`quality`] | §6 | CI/RE quality targets and budgets |
 //! | [`ranking`] | §7 related work | durability ranking via racing |
 //! | [`diagnostics`] | Fig. 1 | split-tree tracing |
@@ -84,10 +86,12 @@ pub mod levels;
 pub mod model;
 pub mod parallel;
 pub mod partition;
+pub mod plan_cache;
 pub mod quality;
 pub mod query;
 pub mod ranking;
 pub mod rng;
+pub mod scheduler;
 pub mod smlss;
 pub mod srs;
 pub mod stats;
@@ -99,7 +103,8 @@ pub mod prelude {
     pub use crate::diagnostics::{trace_root_tree, SplitTree};
     pub use crate::estimate::Estimate;
     pub use crate::estimator::{
-        run_sequential, ChunkOutcome, Diagnostics, Estimator, EstimatorRun, Ledger,
+        run_sequential, run_sequential_from, ChunkOutcome, Diagnostics, Estimator, EstimatorRun,
+        Ledger,
     };
     pub use crate::gmlss::{GMlssConfig, GMlssResult, GMlssSampler, GmlssShard, VarianceMode};
     pub use crate::is::{
@@ -108,14 +113,19 @@ pub mod prelude {
     pub use crate::levels::PartitionPlan;
     pub use crate::model::{simulate_path, SamplePath, SimulationModel, StepCounter, Time};
     pub use crate::parallel::{
-        run_parallel, run_parallel_gmlss, run_parallel_to_target, ParallelConfig, ParallelResult,
-        ParallelRun,
+        run_parallel, run_parallel_from, run_parallel_gmlss, run_parallel_to_target,
+        ParallelConfig, ParallelResult, ParallelRun,
     };
     pub use crate::partition::{balanced_plan, evaluate_plan, GreedyConfig, GreedyPartition};
+    pub use crate::plan_cache::{fingerprint, CachedPlan, Fingerprint, PlanCache};
     pub use crate::quality::{QualityTarget, RunControl};
     pub use crate::query::{Problem, RatioValue, StateScore, ValueFunction};
     pub use crate::ranking::{rank_by_durability, Candidate, RaceConfig, RaceOutcome};
     pub use crate::rng::{rng_from_seed, split_rng, SimRng, StreamFactory};
+    pub use crate::scheduler::{
+        EstimatorQuery, QueryId, QueryProgress, QueryStatus, Scheduler, SchedulerConfig,
+        SchedulerStats, SliceableQuery,
+    };
     pub use crate::smlss::{SMlssConfig, SMlssResult, SMlssSampler, SMlssShard};
     pub use crate::srs::{SrsEstimator, SrsResult, SrsSampler, SrsShard};
 }

@@ -128,16 +128,72 @@ where
     E: Estimator<M, V> + Sync,
     E::Shard: Send,
 {
+    run_parallel_from(problem, estimator, control, cfg, estimator.shard())
+}
+
+/// Resume a parallel run from a previously accumulated shard (a
+/// checkpoint produced by an earlier parallel, sequential, or scheduler
+/// run — all three produce the same mergeable shard type). The resumed
+/// shard's steps count toward `control`: a run checkpointed at 10M steps
+/// and resumed under a 30M budget simulates 20M more, and target mode
+/// evaluates quality over the combined pool.
+///
+/// Worker streams are derived from `(cfg.seed, resumed steps)` rather
+/// than `cfg.seed` alone: resuming a checkpoint with the *same* seed
+/// that produced it must not replay the sample paths already committed
+/// in the shard (that would double-count them and bias the estimate).
+/// An empty initial shard leaves the streams identical to
+/// [`run_parallel`].
+pub fn run_parallel_from<M, V, E>(
+    problem: Problem<'_, M, V>,
+    estimator: &E,
+    control: RunControl,
+    cfg: &ParallelConfig,
+    initial: E::Shard,
+) -> ParallelRun<E::Shard>
+where
+    M: SimulationModel + Sync,
+    M::State: Send,
+    V: ValueFunction<M::State> + Sync,
+    E: Estimator<M, V> + Sync,
+    E::Shard: Send,
+{
     assert!(cfg.threads >= 1);
     let start = std::time::Instant::now();
-    let streams = StreamFactory::new(cfg.seed);
     let base_chunk = first_chunk(&control, cfg);
     let check_stride = base_chunk.saturating_mul(cfg.threads as u64).max(1);
 
+    let resumed_steps = initial.steps();
+    // Fresh streams on resume (see doc comment); bit-compatible with the
+    // original seeding when nothing was resumed.
+    let stream_seed = if resumed_steps == 0 {
+        cfg.seed
+    } else {
+        cfg.seed ^ resumed_steps.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    };
+    let streams = StreamFactory::new(stream_seed);
+    let bound = match control {
+        RunControl::Budget(b) => b,
+        RunControl::Target { max_steps, .. } => max_steps,
+    };
+    if resumed_steps >= bound {
+        // The checkpoint already satisfies the step bound: don't spin up
+        // workers that would each overshoot by one minimum-size chunk.
+        let mut final_rng = rng_from_seed(cfg.seed ^ 0xD1B5_4A32_D192_ED03);
+        let estimate = estimator.estimate(&initial, &mut final_rng);
+        return ParallelRun {
+            estimate,
+            shard: initial,
+            elapsed: start.elapsed(),
+            threads: cfg.threads,
+            merges: 0,
+            contended_merges: 0,
+        };
+    }
     let slots: Vec<Mutex<Option<E::Shard>>> = (0..cfg.threads).map(|_| Mutex::new(None)).collect();
-    let master: Mutex<E::Shard> = Mutex::new(estimator.shard());
+    let master: Mutex<E::Shard> = Mutex::new(initial);
     let done = AtomicBool::new(false);
-    let total_steps = AtomicU64::new(0);
+    let total_steps = AtomicU64::new(resumed_steps);
     let next_check = AtomicU64::new(check_stride);
     let merges = AtomicU64::new(0);
     let contended = AtomicU64::new(0);

@@ -1,0 +1,282 @@
+//! Memoized partition plans for repeated durability queries.
+//!
+//! Deriving a level plan is the expensive prefix of every MLSS query: a
+//! pilot run (thousands of `g` invocations) followed by a tail fit
+//! ([`crate::partition::balanced_plan`]) or a greedy search
+//! ([`crate::partition::greedy`]). A serving engine answering many
+//! queries over the same model repeats that work verbatim — the paper's
+//! DBMS integration (§6.4) calls `mlss_estimate` per query, and before
+//! this cache each call re-ran the pilot from scratch.
+//!
+//! [`PlanCache`] memoizes derived plans keyed by **(model fingerprint,
+//! method, level count)**. The fingerprint must capture everything the
+//! plan depends on: the model parameters *and* the query shape (threshold
+//! β and horizon), since the value function is `f = min{z/β, 1}` and the
+//! pilot simulates to the horizon. [`fingerprint`] builds such a key with
+//! FNV-1a over the canonical byte encoding of its inputs.
+//!
+//! Hit/miss counters are exposed raw and as an
+//! [`crate::estimator::Diagnostics`] block so the serving layer can
+//! surface cache effectiveness next to estimator health indicators.
+
+use crate::estimator::Diagnostics;
+use crate::levels::PartitionPlan;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: model fingerprint × method name × requested level count.
+pub type PlanKey = (u64, String, usize);
+
+/// A cached plan plus the pilot's τ̂ extrapolation hint.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The memoized partition plan.
+    pub plan: PartitionPlan,
+    /// The pilot's (biased) τ̂ extrapolation, as returned by
+    /// [`crate::partition::balanced_plan`]. NaN when not applicable.
+    pub tau_hint: f64,
+}
+
+/// A concurrent memo table of derived partition plans.
+///
+/// Thread-safe; `get_or_build` holds no lock while running the builder,
+/// so concurrent misses on the *same* key may race and both run the
+/// pilot — the first result wins and later ones are discarded. That keeps
+/// slow pilots from serializing unrelated queries.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<BTreeMap<PlanKey, CachedPlan>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up the plan for `(fingerprint, method, levels)`, running
+    /// `build` (pilot + partition search) on a miss and memoizing its
+    /// result. Returns the plan and the pilot τ̂ hint.
+    pub fn get_or_build(
+        &self,
+        fingerprint: u64,
+        method: &str,
+        levels: usize,
+        build: impl FnOnce() -> (PartitionPlan, f64),
+    ) -> (PartitionPlan, f64) {
+        let key = (fingerprint, method.to_string(), levels);
+        if let Some(cached) = self.plans.lock().expect("plan cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (cached.plan.clone(), cached.tau_hint);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (plan, tau_hint) = build();
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        let entry = plans.entry(key).or_insert_with(|| CachedPlan {
+            plan: plan.clone(),
+            tau_hint,
+        });
+        (entry.plan.clone(), entry.tau_hint)
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the builder.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all memoized plans (counters are retained).
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache lock").clear();
+    }
+
+    /// Cache effectiveness as a [`Diagnostics`] block (`plan_cache_hits`,
+    /// `plan_cache_misses`, `plan_cache_entries`).
+    pub fn diagnostics(&self) -> Diagnostics {
+        Diagnostics {
+            estimator: "plan_cache",
+            skip_events: 0,
+            details: vec![
+                ("plan_cache_hits".to_string(), self.hits() as f64),
+                ("plan_cache_misses".to_string(), self.misses() as f64),
+                ("plan_cache_entries".to_string(), self.len() as f64),
+            ],
+        }
+    }
+}
+
+/// FNV-1a accumulator for building model fingerprints.
+///
+/// Fold in the model name, every parameter (sorted, name + value bits),
+/// the query threshold β, and the horizon; the result keys the
+/// [`PlanCache`]. Two queries with the same fingerprint may share a plan;
+/// unequal fingerprints never collide on purpose (hash collisions are
+/// 2⁻⁶⁴-level accidents, acceptable for a heuristic plan choice — a wrong
+/// plan affects efficiency, never correctness).
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold in raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    /// Fold in a string (length-prefixed so `("ab","c")` ≠ `("a","bc")`).
+    pub fn text(self, s: &str) -> Self {
+        self.bytes(&(s.len() as u64).to_le_bytes())
+            .bytes(s.as_bytes())
+    }
+
+    /// Fold in a float by bit pattern (`-0.0` normalized to `0.0`).
+    pub fn f64(self, v: f64) -> Self {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.bytes(&v.to_bits().to_le_bytes())
+    }
+
+    /// Fold in an integer.
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// The finished fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint a named model with sorted `(param, value)` pairs plus the
+/// query shape — the standard key for [`PlanCache::get_or_build`].
+pub fn fingerprint<'a>(
+    model: &str,
+    params: impl IntoIterator<Item = (&'a str, f64)>,
+    beta: f64,
+    horizon: u64,
+) -> u64 {
+    let mut fp = Fingerprint::new().text(model);
+    for (name, value) in params {
+        fp = fp.text(name).f64(value);
+    }
+    fp.f64(beta).u64(horizon).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> (PartitionPlan, f64) {
+        (PartitionPlan::new(vec![0.4, 0.7]).unwrap(), 0.01)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = PlanCache::new();
+        let fp = fingerprint("queue", [("rate", 0.5)], 8.0, 100);
+        let mut built = 0;
+        let (p1, _) = cache.get_or_build(fp, "gmlss", 4, || {
+            built += 1;
+            plan()
+        });
+        let (p2, hint) = cache.get_or_build(fp, "gmlss", 4, || {
+            built += 1;
+            plan()
+        });
+        assert_eq!(built, 1, "second lookup must not rebuild");
+        assert_eq!(p1, p2);
+        assert_eq!(hint, 0.01);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn key_components_separate_entries() {
+        let cache = PlanCache::new();
+        let fp = fingerprint("queue", [("rate", 0.5)], 8.0, 100);
+        let other = fingerprint("queue", [("rate", 0.6)], 8.0, 100);
+        cache.get_or_build(fp, "gmlss", 4, plan);
+        cache.get_or_build(fp, "smlss", 4, plan); // new method
+        cache.get_or_build(fp, "gmlss", 5, plan); // new level count
+        cache.get_or_build(other, "gmlss", 4, plan); // new fingerprint
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn fingerprint_sensitivity() {
+        let base = fingerprint("cpp", [("a", 1.0), ("b", 2.0)], 25.0, 80);
+        assert_eq!(base, fingerprint("cpp", [("a", 1.0), ("b", 2.0)], 25.0, 80));
+        assert_ne!(base, fingerprint("cpp", [("a", 1.0), ("b", 2.5)], 25.0, 80));
+        assert_ne!(base, fingerprint("cpp", [("a", 1.0), ("b", 2.0)], 26.0, 80));
+        assert_ne!(base, fingerprint("cpp", [("a", 1.0), ("b", 2.0)], 25.0, 81));
+        assert_ne!(base, fingerprint("ccp", [("a", 1.0), ("b", 2.0)], 25.0, 80));
+        // Length-prefixed strings: shifting a byte between names differs.
+        assert_ne!(
+            fingerprint("m", [("ab", 1.0)], 1.0, 1),
+            fingerprint("m", [("a", 1.0)], 1.0, 1)
+        );
+    }
+
+    #[test]
+    fn diagnostics_surface_counters() {
+        let cache = PlanCache::new();
+        cache.get_or_build(1, "gmlss", 4, plan);
+        cache.get_or_build(1, "gmlss", 4, plan);
+        let d = cache.diagnostics();
+        assert_eq!(d.estimator, "plan_cache");
+        let get = |k: &str| {
+            d.details
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("plan_cache_hits"), 1.0);
+        assert_eq!(get("plan_cache_misses"), 1.0);
+        assert_eq!(get("plan_cache_entries"), 1.0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = PlanCache::new();
+        cache.get_or_build(1, "g", 4, plan);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+        cache.get_or_build(1, "g", 4, plan);
+        assert_eq!(cache.misses(), 2, "cleared entries rebuild");
+    }
+}

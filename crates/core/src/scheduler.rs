@@ -1,0 +1,1322 @@
+//! Concurrent query scheduler: many durability queries, one worker pool.
+//!
+//! The sequential and parallel drivers answer **one** query front to
+//! back. A serving engine (the paper's DBMS integration, §6.4) instead
+//! sees a stream of concurrent queries of wildly different costs: cheap
+//! SRS point lookups next to 0.1%-RE g-MLSS marathons. Running them FIFO
+//! lets one marathon head-of-line-block every cheap query behind it.
+//!
+//! [`Scheduler`] time-slices instead. Every admitted query is a
+//! [`SliceableQuery`]: a self-contained job that advances its own
+//! mergeable shard by one budgeted *slice* at a time (internally a
+//! [`crate::estimator::Estimator::run_chunk`] call into a fresh shard,
+//! merged on success). Because chunk boundaries are invisible — the chunk
+//! contract completes every root path it starts, and shards merge exactly
+//! — a query executed as 50 interleaved slices produces **bit-identical**
+//! results to the same query run uninterrupted with the same RNG stream.
+//! That single invariant buys everything the serving layer needs:
+//!
+//! * **concurrency** — workers pick slices from different queries;
+//! * **preemption** — a cheap query's slice can run between two slices of
+//!   an expensive one (the pool picks the least-attained query first, so
+//!   short queries finish fast);
+//! * **pause / checkpoint / resume** — a paused query is just a job whose
+//!   next slice hasn't been scheduled; a detached job *is* the
+//!   checkpoint (shard + RNG state), resumable in place or through
+//!   [`crate::estimator::run_sequential_from`] /
+//!   [`crate::parallel::run_parallel_from`];
+//! * **failure isolation** — a panic inside a slice is caught by the
+//!   worker; the slice ran on scratch state (fresh shard, cloned RNG), so
+//!   the query's committed state is untouched and the query is retried or
+//!   reported failed while every other query proceeds normally.
+
+use crate::estimate::Estimate;
+use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
+use crate::model::SimulationModel;
+use crate::quality::RunControl;
+use crate::query::{Problem, ValueFunction};
+use crate::rng::{SimRng, StreamFactory};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Identifier of a submitted query (unique per scheduler, monotonically
+/// increasing in submission order).
+pub type QueryId = u64;
+
+/// A query the scheduler can advance one slice at a time.
+///
+/// Contract: `run_slice` must be **transactional** — if it panics, the
+/// job's observable state (shard, RNG, counters) must be as if the call
+/// never happened. [`EstimatorQuery`] achieves this by simulating into a
+/// fresh shard with a cloned RNG and committing both only on success;
+/// custom implementations must do the same, because the scheduler retries
+/// panicked slices on the same job object.
+pub trait SliceableQuery: Send + Any {
+    /// Short name for progress reporting.
+    fn name(&self) -> &'static str;
+
+    /// Advance by (at least) `budget` `g` invocations, or less if the
+    /// query's own control is nearly satisfied. Must be transactional
+    /// under panics (see trait docs).
+    fn run_slice(&mut self, budget: u64) -> ChunkOutcome;
+
+    /// Has the query's stopping rule been satisfied? May consume RNG
+    /// (e.g. a bootstrap variance evaluation in target mode).
+    fn finished(&mut self) -> bool;
+
+    /// The estimate over everything accumulated so far.
+    fn estimate(&mut self) -> Estimate;
+
+    /// `g` invocations accumulated.
+    fn steps(&self) -> u64;
+
+    /// Root paths accumulated.
+    fn n_roots(&self) -> u64;
+
+    /// Estimator-specific health indicators.
+    fn diagnostics(&self) -> Diagnostics;
+
+    /// Type-erasure escape hatch: lets a caller who knows the concrete
+    /// type recover it from a detached checkpoint (see
+    /// [`Scheduler::detach`]).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// The standard [`SliceableQuery`]: any [`Estimator`] over an owned model
+/// and value function, advancing under a [`RunControl`].
+///
+/// The job *is* the checkpoint: it owns the accumulated shard and the RNG
+/// stream position, so serialization-free pause/resume is a matter of
+/// keeping or handing back this object.
+pub struct EstimatorQuery<M, V, E>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    model: M,
+    value_fn: V,
+    horizon: u64,
+    estimator: E,
+    control: RunControl,
+    shard: E::Shard,
+    rng: SimRng,
+}
+
+impl<M, V, E> EstimatorQuery<M, V, E>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    /// Build a query job. `rng` is the job's private stream; use
+    /// [`EstimatorQuery::from_seed`] for the canonical seeding that
+    /// matches the parallel driver's worker 0.
+    pub fn new(
+        model: M,
+        value_fn: V,
+        horizon: u64,
+        estimator: E,
+        control: RunControl,
+        rng: SimRng,
+    ) -> Self {
+        let shard = estimator.shard();
+        Self {
+            model,
+            value_fn,
+            horizon,
+            estimator,
+            control,
+            shard,
+            rng,
+        }
+    }
+
+    /// Build a query job seeded like the parallel driver's worker 0
+    /// (`StreamFactory::new(seed).stream(0)`), so a 1-worker scheduler
+    /// run, a 1-thread parallel run, and a sequential run over that
+    /// stream produce identical samples.
+    pub fn from_seed(
+        model: M,
+        value_fn: V,
+        horizon: u64,
+        estimator: E,
+        control: RunControl,
+        seed: u64,
+    ) -> Self {
+        let rng = StreamFactory::new(seed).stream(0);
+        Self::new(model, value_fn, horizon, estimator, control, rng)
+    }
+
+    /// The accumulated shard (the live checkpoint).
+    pub fn shard(&self) -> &E::Shard {
+        &self.shard
+    }
+
+    /// Consume the job, returning the accumulated shard and the RNG
+    /// stream position — everything needed to resume elsewhere (e.g.
+    /// through [`crate::parallel::run_parallel_from`]).
+    pub fn into_parts(self) -> (E::Shard, SimRng) {
+        (self.shard, self.rng)
+    }
+
+    /// Steps remaining before the control's hard step bound.
+    fn remaining(&self) -> u64 {
+        let bound = match self.control {
+            RunControl::Budget(b) => b,
+            RunControl::Target { max_steps, .. } => max_steps,
+        };
+        bound.saturating_sub(self.shard.steps())
+    }
+}
+
+impl<M, V, E> SliceableQuery for EstimatorQuery<M, V, E>
+where
+    M: SimulationModel + Send + 'static,
+    M::State: Send,
+    V: ValueFunction<M::State> + Send + 'static,
+    E: Estimator<M, V> + Send + 'static,
+    E::Shard: Send + 'static,
+{
+    fn name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    fn run_slice(&mut self, budget: u64) -> ChunkOutcome {
+        let budget = budget.max(1).min(self.remaining());
+        if budget == 0 {
+            return ChunkOutcome::default();
+        }
+        // Transactional: simulate into scratch state, commit on success.
+        // A panic inside the model unwinds before either commit below, so
+        // the job can be retried (or inspected) with its state intact.
+        let problem = Problem::new(&self.model, &self.value_fn, self.horizon);
+        let mut pending = self.estimator.shard();
+        let mut rng = self.rng.clone();
+        let outcome = self
+            .estimator
+            .run_chunk(problem, &mut pending, budget, &mut rng);
+        self.shard.merge(pending);
+        self.rng = rng;
+        outcome
+    }
+
+    fn finished(&mut self) -> bool {
+        match self.control {
+            RunControl::Budget(b) => self.shard.steps() >= b,
+            RunControl::Target {
+                target, max_steps, ..
+            } => {
+                if self.shard.steps() >= max_steps {
+                    return true;
+                }
+                if self.shard.n_roots() == 0 {
+                    return false;
+                }
+                let est = self
+                    .estimator
+                    .check_estimate(&mut self.shard, &mut self.rng);
+                target.satisfied(&est)
+            }
+        }
+    }
+
+    fn estimate(&mut self) -> Estimate {
+        self.estimator.estimate(&self.shard, &mut self.rng)
+    }
+
+    fn steps(&self) -> u64 {
+        self.shard.steps()
+    }
+
+    fn n_roots(&self) -> u64 {
+        self.shard.n_roots()
+    }
+
+    fn diagnostics(&self) -> Diagnostics {
+        self.estimator.diagnostics(&self.shard)
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads in the pool (≥ 1).
+    pub workers: usize,
+    /// `g` invocations per slice. Smaller slices preempt faster but pay
+    /// more scheduling overhead per step.
+    pub slice_budget: u64,
+    /// How many times a panicked slice is retried before the query is
+    /// reported failed. Retries re-run the identical committed state, so
+    /// deterministic panics fail fast; transient ones (e.g. resource
+    /// exhaustion) get another chance.
+    pub max_retries: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            slice_budget: 32_768,
+            max_retries: 1,
+        }
+    }
+}
+
+/// Lifecycle of a submitted query.
+#[derive(Debug, Clone)]
+pub enum QueryStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is running one of its slices right now.
+    Running,
+    /// Paused; no further slices until [`Scheduler::resume`].
+    Paused,
+    /// Finished with this estimate.
+    Done(Estimate),
+    /// Gave up after repeated slice panics.
+    Failed(String),
+    /// Cancelled by the caller.
+    Cancelled,
+}
+
+impl QueryStatus {
+    /// Done, failed, or cancelled?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            QueryStatus::Done(_) | QueryStatus::Failed(_) | QueryStatus::Cancelled
+        )
+    }
+
+    /// The final estimate, when done.
+    pub fn estimate(&self) -> Option<&Estimate> {
+        match self {
+            QueryStatus::Done(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Point-in-time view of a query's progress.
+#[derive(Debug, Clone)]
+pub struct QueryProgress {
+    /// Current lifecycle state.
+    pub status: QueryStatus,
+    /// `g` invocations committed so far.
+    pub steps: u64,
+    /// Root paths committed so far.
+    pub n_roots: u64,
+    /// Slices completed.
+    pub slices: u64,
+    /// Panicked slices retried so far.
+    pub retries: u32,
+    /// Submission priority (lower runs first).
+    pub priority: u8,
+    /// Wall-clock time from submission to the terminal transition, or to
+    /// now for in-flight queries — the query's *serving latency*, stable
+    /// no matter how late the caller polls.
+    pub elapsed: Duration,
+}
+
+/// Aggregate pool counters (monotonic over the scheduler's lifetime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Queries admitted.
+    pub submitted: u64,
+    /// Queries finished with an estimate.
+    pub completed: u64,
+    /// Queries that exhausted their panic retries.
+    pub failed: u64,
+    /// Queries cancelled.
+    pub cancelled: u64,
+    /// Slices executed successfully.
+    pub slices: u64,
+    /// Slices that panicked (caught and contained).
+    pub panics: u64,
+}
+
+enum SlotState {
+    Ready,
+    Running,
+    Paused,
+    Done(Estimate),
+    Failed(String),
+    Cancelled,
+}
+
+struct Slot {
+    state: SlotState,
+    /// The job, present unless a worker has it claimed or the slot is
+    /// terminal.
+    job: Option<Box<dyn SliceableQuery>>,
+    priority: u8,
+    steps: u64,
+    n_roots: u64,
+    slices: u64,
+    retries: u32,
+    pause_requested: bool,
+    cancel_requested: bool,
+    submitted_at: Instant,
+    finished_at: Option<Instant>,
+}
+
+impl Slot {
+    fn status(&self) -> QueryStatus {
+        match &self.state {
+            SlotState::Ready => QueryStatus::Queued,
+            SlotState::Running => QueryStatus::Running,
+            SlotState::Paused => QueryStatus::Paused,
+            SlotState::Done(e) => QueryStatus::Done(*e),
+            SlotState::Failed(m) => QueryStatus::Failed(m.clone()),
+            SlotState::Cancelled => QueryStatus::Cancelled,
+        }
+    }
+}
+
+struct State {
+    jobs: BTreeMap<QueryId, Slot>,
+    next_id: QueryId,
+    shutdown: bool,
+    stats: SchedulerStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for ready work.
+    work_cv: Condvar,
+    /// [`Scheduler::wait`] callers wait here for terminal transitions.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A shared worker pool that admits, time-slices, and completes
+/// concurrent estimation queries. See the module docs for the model.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    cfg: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Start a pool with the given knobs.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.slice_budget >= 1, "slices must have a budget");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                shutdown: false,
+                stats: SchedulerStats::default(),
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let slice_budget = cfg.slice_budget;
+                let max_retries = cfg.max_retries;
+                std::thread::spawn(move || worker_loop(&shared, slice_budget, max_retries))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            cfg,
+        }
+    }
+
+    /// Start a pool with default knobs.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(SchedulerConfig {
+            workers,
+            ..SchedulerConfig::default()
+        })
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Admit any [`Estimator`] over an owned model as a query. The job's
+    /// RNG is worker-0-canonical for `seed` (see
+    /// [`EstimatorQuery::from_seed`]). Lower `priority` runs first.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit<M, V, E>(
+        &self,
+        model: M,
+        value_fn: V,
+        horizon: u64,
+        estimator: E,
+        control: RunControl,
+        seed: u64,
+        priority: u8,
+    ) -> QueryId
+    where
+        M: SimulationModel + Send + 'static,
+        M::State: Send,
+        V: ValueFunction<M::State> + Send + 'static,
+        E: Estimator<M, V> + Send + 'static,
+        E::Shard: Send + 'static,
+    {
+        self.submit_query(
+            Box::new(EstimatorQuery::from_seed(
+                model, value_fn, horizon, estimator, control, seed,
+            )),
+            priority,
+        )
+    }
+
+    /// Admit a pre-built job (including one previously detached as a
+    /// checkpoint — its accumulated state carries over).
+    pub fn submit_query(&self, job: Box<dyn SliceableQuery>, priority: u8) -> QueryId {
+        let mut st = self.shared.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        let (steps, n_roots) = (job.steps(), job.n_roots());
+        st.jobs.insert(
+            id,
+            Slot {
+                state: SlotState::Ready,
+                job: Some(job),
+                priority,
+                steps,
+                n_roots,
+                slices: 0,
+                retries: 0,
+                pause_requested: false,
+                cancel_requested: false,
+                submitted_at: Instant::now(),
+                finished_at: None,
+            },
+        );
+        st.stats.submitted += 1;
+        drop(st);
+        self.shared.work_cv.notify_one();
+        id
+    }
+
+    /// Current status of a query (`None` for unknown ids).
+    pub fn poll(&self, id: QueryId) -> Option<QueryStatus> {
+        self.shared.lock().jobs.get(&id).map(|s| s.status())
+    }
+
+    /// Progress snapshot of a query.
+    pub fn progress(&self, id: QueryId) -> Option<QueryProgress> {
+        self.shared.lock().jobs.get(&id).map(|s| QueryProgress {
+            status: s.status(),
+            steps: s.steps,
+            n_roots: s.n_roots,
+            slices: s.slices,
+            retries: s.retries,
+            priority: s.priority,
+            elapsed: s.finished_at.unwrap_or_else(Instant::now) - s.submitted_at,
+        })
+    }
+
+    /// Drop every terminal (done/failed/cancelled) slot, returning how
+    /// many were evicted. A long-lived serving scheduler should call
+    /// this periodically once results have been consumed: terminal slots
+    /// are retained so `poll`/`wait` keep answering, but they cost
+    /// memory and lengthen the ready-queue scan forever otherwise.
+    /// Evicted ids become unknown to `poll`/`progress`/`wait`.
+    pub fn evict_terminal(&self) -> usize {
+        let mut st = self.shared.lock();
+        let before = st.jobs.len();
+        st.jobs.retain(|_, s| !s.status().is_terminal());
+        before - st.jobs.len()
+    }
+
+    /// Estimator-specific diagnostics of an in-flight query (`None` when
+    /// the job is terminal, detached, or currently claimed by a worker).
+    pub fn diagnostics(&self, id: QueryId) -> Option<Diagnostics> {
+        let st = self.shared.lock();
+        st.jobs
+            .get(&id)
+            .and_then(|s| s.job.as_ref())
+            .map(|j| j.diagnostics())
+    }
+
+    /// Pause a query: no further slices run until [`Scheduler::resume`].
+    /// Takes effect immediately for queued queries and after the current
+    /// slice for running ones. Returns false for unknown/terminal ids.
+    pub fn pause(&self, id: QueryId) -> bool {
+        let mut st = self.shared.lock();
+        match st.jobs.get_mut(&id) {
+            Some(slot) => match slot.state {
+                SlotState::Ready => {
+                    slot.state = SlotState::Paused;
+                    true
+                }
+                SlotState::Running => {
+                    slot.pause_requested = true;
+                    true
+                }
+                SlotState::Paused => true,
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Resume a paused query.
+    pub fn resume(&self, id: QueryId) -> bool {
+        let mut st = self.shared.lock();
+        let resumed = match st.jobs.get_mut(&id) {
+            Some(slot) => {
+                slot.pause_requested = false;
+                if matches!(slot.state, SlotState::Paused) {
+                    slot.state = SlotState::Ready;
+                    true
+                } else {
+                    matches!(slot.state, SlotState::Ready | SlotState::Running)
+                }
+            }
+            None => false,
+        };
+        drop(st);
+        if resumed {
+            self.shared.work_cv.notify_one();
+        }
+        resumed
+    }
+
+    /// Cancel a query. Queued/paused queries cancel immediately; a
+    /// running one cancels after its current slice. Returns false for
+    /// unknown or already-terminal ids.
+    pub fn cancel(&self, id: QueryId) -> bool {
+        let mut st = self.shared.lock();
+        let cancelled = match st.jobs.get_mut(&id) {
+            Some(slot) => match slot.state {
+                SlotState::Ready | SlotState::Paused => {
+                    slot.job = None;
+                    slot.state = SlotState::Cancelled;
+                    slot.finished_at = Some(Instant::now());
+                    true
+                }
+                SlotState::Running => {
+                    // Idempotent: only the first cancel of a running
+                    // query takes effect (and is counted).
+                    !std::mem::replace(&mut slot.cancel_requested, true)
+                }
+                _ => false,
+            },
+            None => false,
+        };
+        if cancelled {
+            st.stats.cancelled += 1;
+            drop(st);
+            self.shared.done_cv.notify_all();
+        }
+        cancelled
+    }
+
+    /// Detach a queued or paused query, removing it from the scheduler
+    /// and returning the job — the live checkpoint (shard + RNG). The
+    /// caller can resume it later via [`Scheduler::submit_query`] (same
+    /// or another scheduler) or downcast with
+    /// [`SliceableQuery::into_any`] and continue through
+    /// [`crate::parallel::run_parallel_from`]. Running or terminal
+    /// queries return `None` (pause first, then detach).
+    pub fn detach(&self, id: QueryId) -> Option<Box<dyn SliceableQuery>> {
+        let job = {
+            let mut st = self.shared.lock();
+            let slot = st.jobs.get_mut(&id)?;
+            if !matches!(slot.state, SlotState::Ready | SlotState::Paused) {
+                return None;
+            }
+            let job = slot.job.take();
+            st.jobs.remove(&id);
+            job
+        };
+        // Wake any wait()-er blocked on this id: the slot is gone and
+        // their next status lookup returns None instead of sleeping on.
+        self.shared.done_cv.notify_all();
+        job
+    }
+
+    /// Block until the query reaches a terminal state, returning it.
+    /// Unknown ids return `None`; a scheduler shutdown unblocks with the
+    /// then-current (possibly non-terminal) status.
+    pub fn wait(&self, id: QueryId) -> Option<QueryStatus> {
+        let mut st = self.shared.lock();
+        loop {
+            let status = st.jobs.get(&id).map(|s| s.status())?;
+            if status.is_terminal() || st.shutdown {
+                return Some(status);
+            }
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Aggregate pool counters.
+    pub fn stats(&self) -> SchedulerStats {
+        self.shared.lock().stats
+    }
+
+    /// Pool counters as a [`Diagnostics`] block for the serving layer.
+    pub fn pool_diagnostics(&self) -> Diagnostics {
+        let s = self.stats();
+        Diagnostics {
+            estimator: "scheduler",
+            skip_events: 0,
+            details: vec![
+                ("submitted".to_string(), s.submitted as f64),
+                ("completed".to_string(), s.completed as f64),
+                ("failed".to_string(), s.failed as f64),
+                ("cancelled".to_string(), s.cancelled as f64),
+                ("slices".to_string(), s.slices as f64),
+                ("panics".to_string(), s.panics as f64),
+            ],
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Pick the ready query the pool should advance next: least attained
+/// service within the best (lowest) priority — cheap queries sprint past
+/// marathons, which is what wins p50 latency under mixed load.
+fn pick_ready(st: &State) -> Option<QueryId> {
+    st.jobs
+        .iter()
+        .filter(|(_, s)| matches!(s.state, SlotState::Ready) && s.job.is_some())
+        .min_by_key(|(id, s)| (s.priority, s.steps, **id))
+        .map(|(id, _)| *id)
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
+    loop {
+        // ---- claim the next slice ------------------------------------
+        let (id, mut job) = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = pick_ready(&st) {
+                    let slot = st.jobs.get_mut(&id).expect("picked id exists");
+                    slot.state = SlotState::Running;
+                    let job = slot.job.take().expect("ready slot has a job");
+                    break (id, job);
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        // ---- run one slice on scratch state, outside the lock --------
+        // Every job call — run_slice, finished, estimate — runs under
+        // catch_unwind: a panic anywhere in user code (model step,
+        // bootstrap variance, a custom SliceableQuery) must never kill
+        // the worker thread, or the pool would silently stop serving.
+        let sliced = catch_unwind(AssertUnwindSafe(|| job.run_slice(slice_budget)));
+        // `finished`/`estimate` can be expensive (bootstrap); also keep
+        // them outside the lock. They only run when the slice succeeded,
+        // so the job state is committed and consistent.
+        let outcome = match sliced {
+            Ok(_) => {
+                let evaluated = catch_unwind(AssertUnwindSafe(|| {
+                    if job.finished() {
+                        Some(job.estimate())
+                    } else {
+                        None
+                    }
+                }));
+                match evaluated {
+                    Ok(Some(est)) => SliceResult::Finished(est),
+                    Ok(None) => SliceResult::Progressed(job),
+                    Err(payload) => SliceResult::Panicked(job, panic_message(payload)),
+                }
+            }
+            Err(payload) => SliceResult::Panicked(job, panic_message(payload)),
+        };
+
+        // ---- commit the transition -----------------------------------
+        let mut st = shared.lock();
+        let mut terminal = false;
+        let mut delta = SchedulerStats::default();
+        let Some(slot) = st.jobs.get_mut(&id) else {
+            continue; // slot vanished (not expected; drop the job)
+        };
+        match outcome {
+            SliceResult::Finished(est) => {
+                slot.slices += 1;
+                if slot.cancel_requested {
+                    slot.state = SlotState::Cancelled;
+                } else {
+                    slot.steps = est.steps;
+                    slot.n_roots = est.n_roots;
+                    slot.state = SlotState::Done(est);
+                    delta.completed += 1;
+                }
+                delta.slices += 1;
+                terminal = true;
+            }
+            SliceResult::Progressed(job) => {
+                slot.slices += 1;
+                slot.steps = job.steps();
+                slot.n_roots = job.n_roots();
+                delta.slices += 1;
+                if slot.cancel_requested {
+                    slot.state = SlotState::Cancelled;
+                    terminal = true;
+                } else if slot.pause_requested {
+                    slot.pause_requested = false;
+                    slot.job = Some(job);
+                    slot.state = SlotState::Paused;
+                } else {
+                    slot.job = Some(job);
+                    slot.state = SlotState::Ready;
+                }
+            }
+            SliceResult::Panicked(job, msg) => {
+                delta.panics += 1;
+                slot.retries += 1;
+                if slot.cancel_requested {
+                    slot.state = SlotState::Cancelled;
+                    terminal = true;
+                } else if slot.retries > max_retries {
+                    slot.state = SlotState::Failed(format!(
+                        "slice panicked {} time(s), giving up: {msg}",
+                        slot.retries
+                    ));
+                    delta.failed += 1;
+                    terminal = true;
+                } else {
+                    // The slice ran on scratch state; the committed shard
+                    // and RNG are intact — requeue for another attempt.
+                    slot.job = Some(job);
+                    slot.state = if slot.pause_requested {
+                        slot.pause_requested = false;
+                        SlotState::Paused
+                    } else {
+                        SlotState::Ready
+                    };
+                }
+            }
+        }
+        if terminal && slot.finished_at.is_none() {
+            slot.finished_at = Some(Instant::now());
+        }
+        st.stats.completed += delta.completed;
+        st.stats.failed += delta.failed;
+        st.stats.slices += delta.slices;
+        st.stats.panics += delta.panics;
+        drop(st);
+        if terminal {
+            shared.done_cv.notify_all();
+        } else {
+            shared.work_cv.notify_one();
+        }
+    }
+}
+
+enum SliceResult {
+    Finished(Estimate),
+    Progressed(Box<dyn SliceableQuery>),
+    Panicked(Box<dyn SliceableQuery>, String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::PartitionPlan;
+    use crate::model::Time;
+    use crate::query::RatioValue;
+    use crate::smlss::SMlssConfig;
+    use crate::srs::SrsEstimator;
+    use rand::RngExt;
+
+    #[derive(Clone)]
+    struct Walk {
+        up: f64,
+    }
+
+    impl SimulationModel for Walk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            (s + if rng.random::<f64>() < self.up {
+                0.05
+            } else {
+                -0.05
+            })
+            .clamp(0.0, 1.0)
+        }
+    }
+
+    type Vf = RatioValue<fn(&f64) -> f64>;
+
+    fn vf() -> Vf {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        RatioValue::new(score as fn(&f64) -> f64, 1.0)
+    }
+
+    fn small_sched(workers: usize) -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            workers,
+            slice_budget: 10_000,
+            max_retries: 1,
+        })
+    }
+
+    #[test]
+    fn single_query_completes_with_budget_semantics() {
+        let sched = small_sched(2);
+        let id = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(50_000),
+            7,
+            0,
+        );
+        let status = sched.wait(id).unwrap();
+        let est = status.estimate().expect("query completes");
+        assert!(est.steps >= 50_000);
+        assert!(est.steps < 50_000 + 100, "one-root overshoot only");
+        assert!((0.0..=1.0).contains(&est.tau));
+        let progress = sched.progress(id).unwrap();
+        assert!(progress.slices >= 5, "50k budget over 10k slices");
+        assert_eq!(progress.steps, est.steps);
+    }
+
+    #[test]
+    fn sliced_run_is_bit_identical_to_sequential() {
+        // The scheduler's slicing must be invisible: same stream, same
+        // counters, same estimate as one uninterrupted sequential run.
+        let model = Walk { up: 0.48 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 80);
+        let control = RunControl::budget(60_000);
+        let seed = 11u64;
+
+        let seq = crate::estimator::run_sequential(
+            &SrsEstimator,
+            problem,
+            control,
+            &mut StreamFactory::new(seed).stream(0),
+        );
+
+        let sched = small_sched(1);
+        let id = sched.submit(model.clone(), v, 80, SrsEstimator, control, seed, 0);
+        let est = *sched.wait(id).unwrap().estimate().unwrap();
+        assert_eq!(est.steps, seq.estimate.steps);
+        assert_eq!(est.n_roots, seq.estimate.n_roots);
+        assert_eq!(est.hits, seq.estimate.hits);
+        assert_eq!(est.tau.to_bits(), seq.estimate.tau.to_bits());
+    }
+
+    #[test]
+    fn concurrent_queries_all_complete() {
+        let sched = small_sched(3);
+        let mut ids = Vec::new();
+        for k in 0..8u64 {
+            ids.push(sched.submit(
+                Walk {
+                    up: 0.45 + 0.005 * k as f64,
+                },
+                vf(),
+                60,
+                SrsEstimator,
+                RunControl::budget(30_000),
+                k,
+                0,
+            ));
+        }
+        for id in ids {
+            let est = *sched.wait(id).unwrap().estimate().unwrap();
+            assert!(est.steps >= 30_000);
+            assert!((0.0..=1.0).contains(&est.tau));
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn smlss_runs_through_the_scheduler() {
+        let sched = small_sched(2);
+        let cfg = SMlssConfig::new(
+            PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+            RunControl::budget(1),
+        );
+        let id = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            80,
+            cfg,
+            RunControl::budget(100_000),
+            3,
+            0,
+        );
+        let est = *sched.wait(id).unwrap().estimate().unwrap();
+        assert!(est.steps >= 100_000);
+        assert!(est.variance.is_finite());
+    }
+
+    #[test]
+    fn pause_checkpoint_resume_preserves_work() {
+        let sched = small_sched(1);
+        // A long query we pause mid-flight.
+        let id = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(2_000_000),
+            5,
+            0,
+        );
+        // Wait until some progress exists, then pause.
+        loop {
+            let p = sched.progress(id).unwrap();
+            if p.steps > 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(sched.pause(id));
+        // Drain to the paused state (the running slice must retire).
+        let paused_steps = loop {
+            let p = sched.progress(id).unwrap();
+            if matches!(p.status, QueryStatus::Paused) {
+                break p.steps;
+            }
+            std::thread::yield_now();
+        };
+        assert!(paused_steps > 0);
+        // While paused, no progress accrues.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(sched.progress(id).unwrap().steps, paused_steps);
+
+        // Checkpoint: detach the job, inspect it, and resubmit.
+        let job = sched.detach(id).expect("paused job detaches");
+        assert_eq!(job.steps(), paused_steps);
+        let id2 = sched.submit_query(job, 0);
+        let est = *sched.wait(id2).unwrap().estimate().unwrap();
+        assert!(est.steps >= 2_000_000, "resumed run finishes the budget");
+    }
+
+    #[test]
+    fn detached_checkpoint_resumes_on_the_parallel_driver() {
+        // A checkpoint taken from the scheduler continues seamlessly on
+        // run_parallel_from: the combined run spends exactly the
+        // remaining budget.
+        let sched = small_sched(1);
+        let id = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(1_000_000),
+            9,
+            0,
+        );
+        loop {
+            let p = sched.progress(id).unwrap();
+            if p.steps > 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        sched.pause(id);
+        loop {
+            if matches!(sched.progress(id).unwrap().status, QueryStatus::Paused) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let job = sched.detach(id).unwrap();
+        let query = job
+            .into_any()
+            .downcast::<EstimatorQuery<Walk, Vf, SrsEstimator>>()
+            .expect("known concrete type");
+        let (shard, _rng) = query.into_parts();
+        let checkpointed = shard.steps();
+        assert!(checkpointed > 0);
+
+        let model = Walk { up: 0.48 };
+        let v = vf();
+        let problem = Problem::new(&model, &v, 100);
+        let run = crate::parallel::run_parallel_from(
+            problem,
+            &SrsEstimator,
+            RunControl::budget(1_000_000),
+            &crate::parallel::ParallelConfig {
+                threads: 2,
+                sync_every: 50_000,
+                seed: 31,
+                bootstrap_resamples: 20,
+            },
+            shard,
+        );
+        assert!(run.estimate.steps >= 1_000_000);
+        assert!(
+            run.estimate.steps < 1_000_000 + 2 * 50_000 + 400,
+            "resume must not restart from zero or overshoot wildly: {}",
+            run.estimate.steps
+        );
+    }
+
+    #[test]
+    fn cancel_stops_a_query() {
+        let sched = small_sched(1);
+        // Saturate the single worker with a long query…
+        let long = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(100_000_000),
+            1,
+            0,
+        );
+        // …and cancel a queued one plus the running one.
+        let queued = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(100_000_000),
+            2,
+            1,
+        );
+        assert!(sched.cancel(queued));
+        assert!(matches!(
+            sched.poll(queued).unwrap(),
+            QueryStatus::Cancelled
+        ));
+        assert!(sched.cancel(long));
+        let status = sched.wait(long).unwrap();
+        assert!(matches!(status, QueryStatus::Cancelled));
+        // Terminal: cancelling again reports false.
+        assert!(!sched.cancel(long));
+    }
+
+    #[test]
+    fn least_attained_scheduling_lets_cheap_queries_finish_first() {
+        // One worker, an expensive query submitted *before* a cheap one:
+        // FIFO would finish the expensive query first; least-attained
+        // slicing must complete the cheap one long before.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            slice_budget: 5_000,
+            max_retries: 0,
+        });
+        let expensive = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(3_000_000),
+            1,
+            0,
+        );
+        let cheap = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(20_000),
+            2,
+            0,
+        );
+        let cheap_est = *sched.wait(cheap).unwrap().estimate().unwrap();
+        // The expensive query must still be in flight when the cheap one
+        // finishes (it needs 150 slices; the cheap one 4).
+        let p = sched.progress(expensive).unwrap();
+        assert!(
+            !p.status.is_terminal(),
+            "expensive query should still be running"
+        );
+        assert!(cheap_est.steps >= 20_000);
+        let exp_est = *sched.wait(expensive).unwrap().estimate().unwrap();
+        assert!(exp_est.steps >= 3_000_000);
+    }
+
+    /// A custom job whose `finished` hook panics — user code outside
+    /// `run_slice` must be contained just the same.
+    struct FinishedPanics {
+        steps: u64,
+    }
+
+    impl SliceableQuery for FinishedPanics {
+        fn name(&self) -> &'static str {
+            "finished-panics"
+        }
+
+        fn run_slice(&mut self, budget: u64) -> ChunkOutcome {
+            self.steps += budget;
+            ChunkOutcome {
+                steps: budget,
+                roots: 1,
+            }
+        }
+
+        fn finished(&mut self) -> bool {
+            panic!("injected finished panic");
+        }
+
+        fn estimate(&mut self) -> Estimate {
+            unreachable!("finished always panics first")
+        }
+
+        fn steps(&self) -> u64 {
+            self.steps
+        }
+
+        fn n_roots(&self) -> u64 {
+            1
+        }
+
+        fn diagnostics(&self) -> Diagnostics {
+            Diagnostics::none(self.name())
+        }
+
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    fn quiet_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !format!("{info}").contains("injected") {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panic_in_finished_fails_the_query_not_the_pool() {
+        quiet_injected_panics();
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            slice_budget: 1_000,
+            max_retries: 0,
+        });
+        let doomed = sched.submit_query(Box::new(FinishedPanics { steps: 0 }), 0);
+        let status = sched.wait(doomed).unwrap();
+        match status {
+            QueryStatus::Failed(msg) => assert!(msg.contains("injected finished panic"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The single worker survived: a healthy query still completes.
+        let ok = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            50,
+            SrsEstimator,
+            RunControl::budget(10_000),
+            1,
+            0,
+        );
+        assert!(sched.wait(ok).unwrap().estimate().is_some());
+        assert_eq!(sched.stats().failed, 1);
+        assert_eq!(sched.stats().completed, 1);
+    }
+
+    #[test]
+    fn evict_terminal_frees_slots_and_reports_latency() {
+        let sched = small_sched(2);
+        let mut ids = Vec::new();
+        for k in 0..3u64 {
+            ids.push(sched.submit(
+                Walk { up: 0.48 },
+                vf(),
+                50,
+                SrsEstimator,
+                RunControl::budget(15_000),
+                k,
+                0,
+            ));
+        }
+        for &id in &ids {
+            sched.wait(id).unwrap();
+            // Completed queries report a frozen serving latency.
+            let p = sched.progress(id).unwrap();
+            assert!(p.status.is_terminal());
+            let first = p.elapsed;
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert_eq!(
+                sched.progress(id).unwrap().elapsed,
+                first,
+                "terminal elapsed must not keep growing"
+            );
+        }
+        assert_eq!(sched.evict_terminal(), 3);
+        for id in ids {
+            assert!(sched.poll(id).is_none(), "evicted ids become unknown");
+        }
+        assert_eq!(sched.evict_terminal(), 0);
+    }
+
+    #[test]
+    fn unknown_ids_are_handled() {
+        let sched = small_sched(1);
+        assert!(sched.poll(999).is_none());
+        assert!(sched.progress(999).is_none());
+        assert!(sched.wait(999).is_none());
+        assert!(!sched.cancel(999));
+        assert!(!sched.pause(999));
+        assert!(!sched.resume(999));
+        assert!(sched.detach(999).is_none());
+    }
+}

@@ -21,7 +21,7 @@ use crate::model::{SimulationModel, Time};
 use crate::quality::RunControl;
 use crate::query::{Problem, ValueFunction};
 use crate::rng::SimRng;
-use crate::stats::RunningMoments;
+use crate::stats::HitMoments;
 
 /// Configuration for the s-MLSS sampler.
 #[derive(Debug, Clone)]
@@ -99,7 +99,7 @@ pub struct SMlssShard {
     ratio: u32,
     /// First-entrance counters `N_1 .. N_m`.
     pub level_entries: Vec<u64>,
-    moments: RunningMoments,
+    moments: HitMoments,
     /// Root paths simulated (`N_0`).
     pub n_roots: u64,
     /// Target-level hits (`N_m`).
@@ -114,7 +114,7 @@ impl SMlssShard {
             m,
             ratio,
             level_entries: vec![0; m],
-            moments: RunningMoments::new(),
+            moments: HitMoments::new(),
             n_roots: 0,
             hits: 0,
             steps: 0,
@@ -238,7 +238,7 @@ where
     if this_root_hits > 0 {
         shard.level_entries[m - 1] += this_root_hits as u64;
     }
-    shard.moments.push(this_root_hits as f64);
+    shard.moments.push(this_root_hits);
     this_root_hits
 }
 

@@ -74,6 +74,163 @@ impl RunningMoments {
     }
 }
 
+/// Exact moment accumulator for *integer* observations (per-root target-hit
+/// counts). Sums are kept in 128-bit integers, so accumulation and
+/// [`HitMoments::merge`] are associative and commutative **bit-for-bit** —
+/// merging shards in any permutation yields the identical variance, which
+/// the Welford accumulator above cannot guarantee (its float merge is
+/// order-sensitive in the last ulp). This is what makes the parallel
+/// driver's sharded reduction and the scheduler's slice merging produce
+/// estimates independent of merge order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HitMoments {
+    n: u64,
+    sum: u128,
+    sum_sq: u128,
+}
+
+impl HitMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one integer observation.
+    pub fn push(&mut self, x: u32) {
+        self.n += 1;
+        self.sum += x as u128;
+        self.sum_sq += (x as u128) * (x as u128);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (Bessel-corrected); 0 when `n < 2`.
+    /// Computed from the exact integer sums, clamped at 0 against float
+    /// cancellation in the final division.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        // n·Σx² − (Σx)² is exact in u128 for any realistic hit counts
+        // (hits per root are u32, roots ≤ 2^63), so the only rounding is
+        // the final conversion + division — identical for identical sums.
+        let num = (self.n as u128 * self.sum_sq).saturating_sub(self.sum * self.sum);
+        (num as f64 / n / (n - 1.0)).max(0.0)
+    }
+
+    /// Merge another accumulator (exact, order-insensitive).
+    pub fn merge(&mut self, other: &HitMoments) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+/// Full-precision float summation (Shewchuk expansions, the algorithm
+/// behind Python's `math.fsum`). The accumulator keeps the running sum as
+/// a list of non-overlapping partials whose exact sum equals the exact
+/// mathematical sum of everything added; [`ExactSum::value`] rounds that
+/// exact sum to the nearest `f64` once. Addition and [`ExactSum::merge`]
+/// are therefore associative and commutative up to the final rounding,
+/// making float-weighted ledgers (importance sampling) merge-order
+/// insensitive — verified bit-for-bit by the merge-permutation property
+/// test.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSum {
+    partials: Vec<f64>,
+}
+
+impl ExactSum {
+    /// Empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term exactly.
+    pub fn add(&mut self, mut x: f64) {
+        let mut i = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(i);
+        self.partials.push(x);
+    }
+
+    /// Absorb another exact sum (exact — no rounding).
+    pub fn merge(&mut self, other: &ExactSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The exact sum correctly rounded to the nearest `f64` (round half
+    /// to even), independent of the internal partials representation.
+    ///
+    /// A naive fold over the partials can round the wrong way on exact
+    /// half-ulp ties (and different insertion orders can produce
+    /// different non-overlapping representations of the same exact sum,
+    /// making the naive fold order-sensitive in exactly those cases).
+    /// This is `math.fsum`'s tail correction: sum from the largest
+    /// partial down until the addition becomes inexact, then resolve the
+    /// tie using the sign of the next partial below the roundoff.
+    pub fn value(&self) -> f64 {
+        let p = &self.partials;
+        let mut n = p.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut hi = p[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = p[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // Half-even correction: if the remaining tail has the same sign
+        // as the roundoff, the exact sum lies strictly beyond the
+        // half-ulp point and the addition above rounded the wrong way.
+        if n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            let yr = x - hi;
+            if y == yr {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
+
 /// Mean of a slice (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -237,6 +394,107 @@ mod tests {
             acc.push(2.5);
         }
         assert!(acc.sample_variance().abs() < 1e-15);
+    }
+
+    #[test]
+    fn hit_moments_match_batch_formulas() {
+        let xs: [u32; 6] = [1, 4, 2, 8, 5, 7];
+        let mut acc = HitMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let fx: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        assert_eq!(acc.count(), 6);
+        assert!((acc.mean() - mean(&fx)).abs() < 1e-12);
+        assert!((acc.sample_variance() - sample_variance(&fx)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_moments_merge_is_permutation_insensitive() {
+        let shards: [&[u32]; 3] = [&[0, 0, 3, 1], &[9, 0], &[2, 2, 2, 2, 2]];
+        let build = |order: &[usize]| {
+            let mut acc = HitMoments::new();
+            for &i in order {
+                let mut part = HitMoments::new();
+                shards[i].iter().for_each(|&x| part.push(x));
+                acc.merge(&part);
+            }
+            acc
+        };
+        let a = build(&[0, 1, 2]);
+        for order in [[1, 0, 2], [2, 1, 0], [2, 0, 1]] {
+            let b = build(&order);
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+            assert_eq!(a.sample_variance().to_bits(), b.sample_variance().to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_sum_fixes_naive_cancellation() {
+        // 1 + 1e100 + 1 - 1e100 = 2 exactly; naive f64 summation gives 0.
+        let mut s = ExactSum::new();
+        for x in [1.0, 1e100, 1.0, -1e100] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn exact_sum_rounds_half_ulp_ties_order_insensitively() {
+        // Regression: these shards land the exact sum on a half-ulp tie;
+        // a naive fold over the partials rounds differently depending on
+        // merge order, the fsum-style correction must not.
+        let shards: [&[f64]; 3] = [
+            &[1.0, 1.0],
+            &[1.0, 3.3306690738754696e-16],
+            &[-1.1102230246251565e-16, 2.465190328815662e-32],
+        ];
+        let build = |order: &[usize]| {
+            let mut acc = ExactSum::new();
+            for &i in order {
+                let mut part = ExactSum::new();
+                shards[i].iter().for_each(|&x| part.add(x));
+                acc.merge(&part);
+            }
+            acc.value()
+        };
+        let reference = build(&[0, 1, 2]);
+        for order in [[1, 0, 2], [2, 1, 0], [0, 2, 1], [2, 0, 1], [1, 2, 0]] {
+            assert_eq!(
+                reference.to_bits(),
+                build(&order).to_bits(),
+                "order {order:?}: {reference:e} vs {:e}",
+                build(&order)
+            );
+        }
+        // And flat insertion in any order agrees too.
+        let flat: Vec<f64> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+        let mut rev = ExactSum::new();
+        flat.iter().rev().for_each(|&x| rev.add(x));
+        assert_eq!(reference.to_bits(), rev.value().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_merge_is_permutation_insensitive() {
+        let shards: [&[f64]; 3] = [
+            &[0.1, 1e16, -0.3],
+            &[2.5e-17, 7.25],
+            &[-1e16, 0.30000000000000004],
+        ];
+        let build = |order: &[usize]| {
+            let mut acc = ExactSum::new();
+            for &i in order {
+                let mut part = ExactSum::new();
+                shards[i].iter().for_each(|&x| part.add(x));
+                acc.merge(&part);
+            }
+            acc.value()
+        };
+        let a = build(&[0, 1, 2]);
+        for order in [[1, 0, 2], [2, 1, 0], [0, 2, 1], [2, 0, 1], [1, 2, 0]] {
+            assert_eq!(a.to_bits(), build(&order).to_bits());
+        }
     }
 
     #[test]

@@ -15,8 +15,28 @@ pub enum DbError {
     TableExists(String),
     /// Table-level failure.
     Table(TableError),
-    /// Stored-procedure failure.
+    /// Stored-procedure failure (runtime error inside a known procedure).
     Proc(String),
+    /// No stored procedure registered under this name.
+    UnknownProc(String),
+    /// A stored procedure was called with the wrong number of arguments.
+    ProcArity {
+        /// Procedure name.
+        proc: String,
+        /// Human-readable expected arity (e.g. `"5..=7"`).
+        expected: String,
+        /// Number of arguments actually supplied.
+        got: usize,
+    },
+    /// A stored-procedure argument had the wrong type.
+    ProcArgType {
+        /// Procedure name.
+        proc: String,
+        /// Zero-based argument index.
+        index: usize,
+        /// Expected SQL-facing type name (e.g. `"text"`).
+        expected: &'static str,
+    },
     /// Persistence failure.
     Io(std::io::Error),
     /// Corrupt persisted data.
@@ -30,6 +50,20 @@ impl std::fmt::Display for DbError {
             DbError::TableExists(t) => write!(f, "table '{t}' already exists"),
             DbError::Table(e) => write!(f, "{e}"),
             DbError::Proc(m) => write!(f, "stored procedure error: {m}"),
+            DbError::UnknownProc(p) => write!(f, "no stored procedure '{p}'"),
+            DbError::ProcArity {
+                proc,
+                expected,
+                got,
+            } => write!(
+                f,
+                "procedure '{proc}' expects {expected} argument(s), got {got}"
+            ),
+            DbError::ProcArgType {
+                proc,
+                index,
+                expected,
+            } => write!(f, "procedure '{proc}': argument {index} must be {expected}"),
             DbError::Io(e) => write!(f, "io error: {e}"),
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
         }

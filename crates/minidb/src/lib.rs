@@ -13,6 +13,8 @@
 //! * [`engine`] — the thread-safe catalog;
 //! * [`storage`] — crash-safe JSON persistence with corruption recovery;
 //! * [`proc`] — stored procedures: `mlss_estimate`, `materialize_paths`;
+//! * [`session`] — concurrent serving sessions: `mlss_submit`,
+//!   `mlss_poll`, `mlss_cancel` over a shared scheduler and plan cache;
 //! * [`sql`] — a SQL front end (SELECT/INSERT/CREATE/DELETE/DROP).
 
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@ pub mod engine;
 pub mod expr;
 pub mod proc;
 pub mod schema;
+pub mod session;
 pub mod sql;
 pub mod storage;
 pub mod table;
@@ -30,6 +33,7 @@ pub use engine::{Database, DbError};
 pub use expr::{col, lit, Expr};
 pub use proc::{seed_default_models, ProcRegistry, StoredProcedure};
 pub use schema::{ColumnDef, Schema};
+pub use session::{Session, SessionConfig};
 pub use sql::{execute, ExecResult};
 pub use storage::{load, save, LoadReport};
 pub use table::{Aggregate, Table, TableError};

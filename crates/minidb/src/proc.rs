@@ -29,10 +29,13 @@ use mlss_core::estimator::{run_sequential, Estimator};
 use mlss_core::model::SimulationModel;
 use mlss_core::parallel::{run_parallel, ParallelConfig};
 use mlss_core::partition::balanced_plan;
+use mlss_core::plan_cache::{fingerprint, PlanCache};
 use mlss_core::prelude::{
     GMlssConfig, Problem, QualityTarget, RatioValue, RunControl, SMlssConfig, SimRng, SrsEstimator,
     StateScore,
 };
+use mlss_core::rng::rng_from_seed;
+use mlss_core::scheduler::{QueryId, Scheduler};
 use mlss_models::{
     ar_value_score, last_station_score, position_score, price_score, queue2_score, surplus_score,
     ArModel, CompoundPoisson, GeometricBrownian, JumpDistribution, MarkovChain, RandomWalk,
@@ -40,11 +43,19 @@ use mlss_models::{
 };
 use rand::RngExt;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A stored procedure.
 pub trait StoredProcedure: Sync + Send {
     /// Procedure name used in `call`.
     fn name(&self) -> &str;
+    /// Accepted argument-count range `(min, max)`, inclusive. The
+    /// registry rejects calls outside the range with
+    /// [`DbError::ProcArity`] before `execute` runs. The permissive
+    /// default keeps hand-rolled procedures compiling unchanged.
+    fn arity(&self) -> (usize, usize) {
+        (0, usize::MAX)
+    }
     /// Execute with positional arguments.
     fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError>;
 }
@@ -68,11 +79,19 @@ impl ProcRegistry {
         }
     }
 
-    /// Registry preloaded with the built-in procedures.
+    /// Registry preloaded with the built-in procedures (private plan
+    /// cache).
     pub fn with_builtins() -> Self {
+        Self::with_builtins_cached(Arc::new(PlanCache::new()))
+    }
+
+    /// Registry preloaded with the built-in procedures, sharing `plans`
+    /// with the caller (the session layer surfaces its counters).
+    pub fn with_builtins_cached(plans: Arc<PlanCache>) -> Self {
         let mut r = Self::new();
         r.register(Box::new(MlssEstimate {
             models: ModelRegistry::with_builtins(),
+            plans,
         }));
         r.register(Box::new(MaterializePaths {
             models: ModelRegistry::with_builtins(),
@@ -91,6 +110,12 @@ impl ProcRegistry {
     }
 
     /// Call a procedure by name.
+    ///
+    /// The three failure modes before the procedure body runs are
+    /// distinct error variants so callers can react precisely: an unknown
+    /// name is [`DbError::UnknownProc`], a wrong argument count is
+    /// [`DbError::ProcArity`], and a wrong argument type (reported by the
+    /// procedure's argument readers) is [`DbError::ProcArgType`].
     pub fn call(
         &self,
         db: &Database,
@@ -101,7 +126,22 @@ impl ProcRegistry {
         let p = self
             .procs
             .get(name)
-            .ok_or_else(|| DbError::Proc(format!("no procedure '{name}'")))?;
+            .ok_or_else(|| DbError::UnknownProc(name.to_string()))?;
+        let (min, max) = p.arity();
+        if args.len() < min || args.len() > max {
+            let expected = if min == max {
+                format!("{min}")
+            } else if max == usize::MAX {
+                format!("at least {min}")
+            } else {
+                format!("{min}..={max}")
+            };
+            return Err(DbError::ProcArity {
+                proc: name.to_string(),
+                expected,
+                got: args.len(),
+            });
+        }
         p.execute(db, args, rng)
     }
 }
@@ -211,22 +251,34 @@ fn opt(params: &BTreeMap<String, f64>, key: &str, default: f64) -> f64 {
     params.get(key).copied().unwrap_or(default)
 }
 
-fn arg_text(args: &[Value], i: usize) -> Result<&str, DbError> {
+pub(crate) fn arg_text<'a>(proc_: &str, args: &'a [Value], i: usize) -> Result<&'a str, DbError> {
     args.get(i)
         .and_then(|v| v.as_str())
-        .ok_or_else(|| DbError::Proc(format!("argument {i} must be text")))
+        .ok_or_else(|| DbError::ProcArgType {
+            proc: proc_.to_string(),
+            index: i,
+            expected: "text",
+        })
 }
 
-fn arg_f64(args: &[Value], i: usize) -> Result<f64, DbError> {
+pub(crate) fn arg_f64(proc_: &str, args: &[Value], i: usize) -> Result<f64, DbError> {
     args.get(i)
         .and_then(|v| v.as_f64())
-        .ok_or_else(|| DbError::Proc(format!("argument {i} must be numeric")))
+        .ok_or_else(|| DbError::ProcArgType {
+            proc: proc_.to_string(),
+            index: i,
+            expected: "numeric",
+        })
 }
 
-fn arg_i64(args: &[Value], i: usize) -> Result<i64, DbError> {
+pub(crate) fn arg_i64(proc_: &str, args: &[Value], i: usize) -> Result<i64, DbError> {
     args.get(i)
         .and_then(|v| v.as_i64())
-        .ok_or_else(|| DbError::Proc(format!("argument {i} must be an integer")))
+        .ok_or_else(|| DbError::ProcArgType {
+            proc: proc_.to_string(),
+            index: i,
+            expected: "an integer",
+        })
 }
 
 // ---- method dispatch ----------------------------------------------------
@@ -271,12 +323,23 @@ pub struct ProcEstimate {
     pub n_roots: u64,
 }
 
+/// Everything a runner needs to find (or derive) its partition plan: the
+/// session plan cache plus the query fingerprint keying it.
+pub struct PlanContext<'a> {
+    /// The session's memoized plans.
+    pub cache: &'a PlanCache,
+    /// Fingerprint of (model name, parameters, β, horizon).
+    pub fingerprint: u64,
+}
+
 /// Type-erased handle to a concrete model + score pair: the bridge from
 /// the dynamically named SQL world to the statically typed estimator
 /// spine. Implement this (or register a builder producing the provided
 /// generic runner) to expose a custom model to the SQL layer.
 pub trait ModelRunner: Send + Sync {
-    /// Answer a durability query to a relative-error target.
+    /// Answer a durability query to a relative-error target, memoizing
+    /// derived partition plans through `plans`.
+    #[allow(clippy::too_many_arguments)]
     fn estimate(
         &self,
         beta: f64,
@@ -284,8 +347,25 @@ pub trait ModelRunner: Send + Sync {
         method: Method,
         target_re: f64,
         threads: usize,
+        plans: PlanContext<'_>,
         rng: &mut SimRng,
     ) -> Result<ProcEstimate, DbError>;
+
+    /// Submit the same query to a [`Scheduler`] instead of running it
+    /// synchronously, consuming the runner (the scheduler job takes
+    /// ownership of the model). Returns the scheduler's query id.
+    #[allow(clippy::too_many_arguments)]
+    fn submit(
+        self: Box<Self>,
+        scheduler: &Scheduler,
+        beta: f64,
+        horizon: u64,
+        method: Method,
+        target_re: f64,
+        seed: u64,
+        priority: u8,
+        plans: PlanContext<'_>,
+    ) -> Result<QueryId, DbError>;
 
     /// Simulate `n_paths` and insert `(path_id, t, score)` rows into
     /// `dest`, one path at a time (peak memory stays O(horizon), not
@@ -343,11 +423,35 @@ where
     }
 }
 
+/// Stopping rule shared by the synchronous and scheduled paths.
+fn target_control(target_re: f64) -> RunControl {
+    RunControl::Target {
+        target: QualityTarget::RelativeError {
+            target: target_re,
+            reference: None,
+        },
+        check_every: 256,
+        max_steps: 2_000_000_000,
+    }
+}
+
+/// Levels requested from the automatic plan derivation (the paper finds
+/// 3-6 optimal; 4 is the serving default and part of the plan-cache key).
+const PLAN_LEVELS: usize = 4;
+
+/// Method component of the plan-cache key. The cache keys on
+/// (fingerprint, method, levels), but every built-in MLSS method —
+/// s-MLSS, g-MLSS, and auto — derives its plan with the *same* balanced
+/// pilot, so they share one key: a `gmlss` query after an `auto` query
+/// over the same model must not re-run an identical pilot. A future
+/// method with its own derivation (e.g. greedy) would use its own key.
+const BALANCED_PLAN_KEY: &str = "balanced";
+
 impl<M, Z> ModelRunner for Runner<M, Z>
 where
-    M: SimulationModel + Send + Sync,
+    M: SimulationModel + Send + Sync + 'static,
     M::State: Send,
-    Z: StateScore<M::State> + Copy + Send + Sync,
+    Z: StateScore<M::State> + Copy + Send + Sync + 'static,
 {
     fn estimate(
         &self,
@@ -356,40 +460,99 @@ where
         method: Method,
         target_re: f64,
         threads: usize,
+        plans: PlanContext<'_>,
         rng: &mut SimRng,
     ) -> Result<ProcEstimate, DbError> {
         let vf = RatioValue::new(self.score, beta);
         let problem = Problem::new(&self.model, &vf, horizon);
-        let control = RunControl::Target {
-            target: QualityTarget::RelativeError {
-                target: target_re,
-                reference: None,
-            },
-            check_every: 256,
-            max_steps: 2_000_000_000,
+        let control = target_control(target_re);
+        // Memoized plan derivation: the pilot + tail fit runs only on a
+        // cache miss; repeated queries over the same (model, β, horizon)
+        // reuse the stored plan (and skip the pilot's rng draws).
+        let plan_for = |key: &str, rng: &mut SimRng| {
+            plans
+                .cache
+                .get_or_build(plans.fingerprint, key, PLAN_LEVELS, || {
+                    balanced_plan(problem, PLAN_LEVELS, 2000, rng)
+                })
         };
-        let plan_for = |rng: &mut SimRng| balanced_plan(problem, 4, 2000, rng);
         Ok(match method {
             Method::Srs => self.drive(&SrsEstimator, problem, control, threads, rng),
             Method::SMlss => {
-                let (plan, _) = plan_for(rng);
+                let (plan, _) = plan_for(BALANCED_PLAN_KEY, rng);
                 let cfg = SMlssConfig::new(plan, control);
                 self.drive(&cfg, problem, control, threads, rng)
             }
             Method::GMlss => {
-                let (plan, _) = plan_for(rng);
+                let (plan, _) = plan_for(BALANCED_PLAN_KEY, rng);
                 let cfg = GMlssConfig::new(plan, control);
                 self.drive(&cfg, problem, control, threads, rng)
             }
             Method::Auto => {
                 // g-MLSS when the pilot derives a usable multi-level plan
                 // (finite τ hint and ≥ 2 levels), SRS otherwise.
-                let (plan, tau_hint) = plan_for(rng);
+                let (plan, tau_hint) = plan_for(BALANCED_PLAN_KEY, rng);
                 if tau_hint.is_finite() && plan.num_levels() >= 2 {
                     let cfg = GMlssConfig::new(plan, control);
                     self.drive(&cfg, problem, control, threads, rng)
                 } else {
                     self.drive(&SrsEstimator, problem, control, threads, rng)
+                }
+            }
+        })
+    }
+
+    fn submit(
+        self: Box<Self>,
+        scheduler: &Scheduler,
+        beta: f64,
+        horizon: u64,
+        method: Method,
+        target_re: f64,
+        seed: u64,
+        priority: u8,
+        plans: PlanContext<'_>,
+    ) -> Result<QueryId, DbError> {
+        let control = target_control(target_re);
+        // Derive (or fetch) the plan while still borrowing the model; the
+        // pilot uses its own seed-derived stream so the job's stream stays
+        // worker-0-canonical regardless of cache hits.
+        let plan = if matches!(method, Method::Srs) {
+            None
+        } else {
+            let vf = RatioValue::new(self.score, beta);
+            let problem = Problem::new(&self.model, &vf, horizon);
+            let mut pilot_rng = rng_from_seed(seed ^ 0x9E37_79B9_7F4A_7C15);
+            Some(plans.cache.get_or_build(
+                plans.fingerprint,
+                BALANCED_PLAN_KEY,
+                PLAN_LEVELS,
+                || balanced_plan(problem, PLAN_LEVELS, 2000, &mut pilot_rng),
+            ))
+        };
+        let Runner { model, score } = *self;
+        let vf = RatioValue::new(score, beta);
+        Ok(match method {
+            Method::Srs => {
+                scheduler.submit(model, vf, horizon, SrsEstimator, control, seed, priority)
+            }
+            Method::SMlss => {
+                let (plan, _) = plan.expect("plan derived above");
+                let cfg = SMlssConfig::new(plan, control);
+                scheduler.submit(model, vf, horizon, cfg, control, seed, priority)
+            }
+            Method::GMlss => {
+                let (plan, _) = plan.expect("plan derived above");
+                let cfg = GMlssConfig::new(plan, control);
+                scheduler.submit(model, vf, horizon, cfg, control, seed, priority)
+            }
+            Method::Auto => {
+                let (plan, tau_hint) = plan.expect("plan derived above");
+                if tau_hint.is_finite() && plan.num_levels() >= 2 {
+                    let cfg = GMlssConfig::new(plan, control);
+                    scheduler.submit(model, vf, horizon, cfg, control, seed, priority)
+                } else {
+                    scheduler.submit(model, vf, horizon, SrsEstimator, control, seed, priority)
                 }
             }
         })
@@ -563,13 +726,16 @@ impl ModelRegistry {
         self.builders.keys().copied().collect()
     }
 
-    /// Build a runner for `name` from its parameter rows in `db`.
-    fn build(
+    /// Build a runner for `name` from its parameter rows in `db`, plus
+    /// the plan-cache fingerprint of (model name, parameters, β,
+    /// horizon).
+    pub(crate) fn build(
         &self,
         db: &Database,
         name: &str,
         horizon: u64,
-    ) -> Result<Box<dyn ModelRunner>, DbError> {
+        beta: f64,
+    ) -> Result<(Box<dyn ModelRunner>, u64), DbError> {
         let builder = self.builders.get(name).ok_or_else(|| {
             DbError::Proc(format!(
                 "unknown model '{name}' (registered: {})",
@@ -577,13 +743,20 @@ impl ModelRegistry {
             ))
         })?;
         let params = load_params(db, name)?;
-        builder(&params, horizon)
+        let fp = fingerprint(
+            name,
+            params.iter().map(|(k, v)| (k.as_str(), *v)),
+            beta,
+            horizon,
+        );
+        Ok((builder(&params, horizon)?, fp))
     }
 }
 
 /// `mlss_estimate(model, method, beta, horizon, target_re [, threads])`.
 struct MlssEstimate {
     models: ModelRegistry,
+    plans: Arc<PlanCache>,
 }
 
 impl StoredProcedure for MlssEstimate {
@@ -591,24 +764,31 @@ impl StoredProcedure for MlssEstimate {
         "mlss_estimate"
     }
 
+    fn arity(&self) -> (usize, usize) {
+        (5, 6)
+    }
+
     fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError> {
-        let model_name = arg_text(args, 0)?.to_string();
-        let method = Method::parse(arg_text(args, 1)?)?;
-        let method_name = arg_text(args, 1)?.to_string();
-        let beta = arg_f64(args, 2)?;
-        let horizon = arg_i64(args, 3)?;
+        let proc_ = self.name();
+        let model_name = arg_text(proc_, args, 0)?.to_string();
+        let method = Method::parse(arg_text(proc_, args, 1)?)?;
+        let method_name = arg_text(proc_, args, 1)?.to_string();
+        let beta = arg_f64(proc_, args, 2)?;
+        let horizon = arg_i64(proc_, args, 3)?;
         if horizon < 1 {
             return Err(DbError::Proc("horizon must be ≥ 1".into()));
         }
-        let target_re = arg_f64(args, 4)?;
+        let target_re = arg_f64(proc_, args, 4)?;
         if !(target_re.is_finite() && target_re > 0.0) {
             return Err(DbError::Proc("target_re must be positive".into()));
         }
         let threads = match args.get(5) {
             None => 1,
             Some(v) => {
-                let t = v.as_i64().ok_or_else(|| {
-                    DbError::Proc("argument 5 (threads) must be an integer".into())
+                let t = v.as_i64().ok_or(DbError::ProcArgType {
+                    proc: proc_.to_string(),
+                    index: 5,
+                    expected: "an integer (threads)",
                 })?;
                 if t < 1 {
                     return Err(DbError::Proc("threads must be ≥ 1".into()));
@@ -618,8 +798,19 @@ impl StoredProcedure for MlssEstimate {
         };
 
         let started = std::time::Instant::now();
-        let runner = self.models.build(db, &model_name, horizon as u64)?;
-        let est = runner.estimate(beta, horizon as u64, method, target_re, threads, rng)?;
+        let (runner, fp) = self.models.build(db, &model_name, horizon as u64, beta)?;
+        let est = runner.estimate(
+            beta,
+            horizon as u64,
+            method,
+            target_re,
+            threads,
+            PlanContext {
+                cache: &self.plans,
+                fingerprint: fp,
+            },
+            rng,
+        )?;
         let millis = started.elapsed().as_millis() as i64;
 
         if !db.has_table("results") {
@@ -653,11 +844,16 @@ impl StoredProcedure for MaterializePaths {
         "materialize_paths"
     }
 
+    fn arity(&self) -> (usize, usize) {
+        (4, 4)
+    }
+
     fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError> {
-        let model_name = arg_text(args, 0)?.to_string();
-        let horizon = arg_i64(args, 1)?.max(1) as u64;
-        let n_paths = arg_i64(args, 2)?.max(1) as u64;
-        let dest = arg_text(args, 3)?.to_string();
+        let proc_ = self.name();
+        let model_name = arg_text(proc_, args, 0)?.to_string();
+        let horizon = arg_i64(proc_, args, 1)?.max(1) as u64;
+        let n_paths = arg_i64(proc_, args, 2)?.max(1) as u64;
+        let dest = arg_text(proc_, args, 3)?.to_string();
 
         let schema = Schema::new(vec![
             ColumnDef::new("path_id", DataType::Int),
@@ -667,7 +863,7 @@ impl StoredProcedure for MaterializePaths {
         .expect("static schema");
         db.create_or_replace_table(dest.clone(), schema);
 
-        let runner = self.models.build(db, &model_name, horizon)?;
+        let (runner, _) = self.models.build(db, &model_name, horizon, 0.0)?;
         let total = runner.materialize(db, &dest, horizon, n_paths, rng)?;
         Ok(Value::Int(total))
     }
@@ -824,6 +1020,139 @@ mod tests {
         let bad2 = estimate_args("mystery", "srs", 8.0, 10, 0.5);
         assert!(r.call(&db, "mlss_estimate", &bad2, &mut rng).is_err());
         assert!(r.call(&db, "missing_proc", &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn unknown_proc_is_a_distinct_error() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(1);
+        match r.call(&db, "no_such_proc", &[], &mut rng) {
+            Err(DbError::UnknownProc(name)) => assert_eq!(name, "no_such_proc"),
+            other => panic!("expected UnknownProc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_arity_is_a_distinct_error() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(1);
+        // Too few arguments for mlss_estimate (needs 5..=6).
+        match r.call(&db, "mlss_estimate", &["queue".into()], &mut rng) {
+            Err(DbError::ProcArity {
+                proc,
+                expected,
+                got,
+            }) => {
+                assert_eq!(proc, "mlss_estimate");
+                assert_eq!(expected, "5..=6");
+                assert_eq!(got, 1);
+            }
+            other => panic!("expected ProcArity, got {other:?}"),
+        }
+        // Too many arguments for materialize_paths (needs exactly 4).
+        let too_many: Vec<Value> = vec![
+            "cpp".into(),
+            Value::Int(10),
+            Value::Int(2),
+            "t".into(),
+            Value::Int(99),
+        ];
+        match r.call(&db, "materialize_paths", &too_many, &mut rng) {
+            Err(DbError::ProcArity {
+                proc,
+                expected,
+                got,
+            }) => {
+                assert_eq!(proc, "materialize_paths");
+                assert_eq!(expected, "4");
+                assert_eq!(got, 5);
+            }
+            other => panic!("expected ProcArity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_arg_type_is_a_distinct_error() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(1);
+        // Argument 0 must be text, not an integer.
+        let mut bad = estimate_args("queue", "srs", 8.0, 10, 0.5);
+        bad[0] = Value::Int(1);
+        match r.call(&db, "mlss_estimate", &bad, &mut rng) {
+            Err(DbError::ProcArgType {
+                proc,
+                index,
+                expected,
+            }) => {
+                assert_eq!(proc, "mlss_estimate");
+                assert_eq!(index, 0);
+                assert_eq!(expected, "text");
+            }
+            other => panic!("expected ProcArgType, got {other:?}"),
+        }
+        // Argument 3 (horizon) must be an integer, not text.
+        let mut bad = estimate_args("queue", "srs", 8.0, 10, 0.5);
+        bad[3] = "soon".into();
+        match r.call(&db, "mlss_estimate", &bad, &mut rng) {
+            Err(DbError::ProcArgType { index: 3, .. }) => {}
+            other => panic!("expected ProcArgType at index 3, got {other:?}"),
+        }
+        // The three variants display distinct, useful messages.
+        let msgs = [
+            DbError::UnknownProc("p".into()).to_string(),
+            DbError::ProcArity {
+                proc: "p".into(),
+                expected: "4".into(),
+                got: 2,
+            }
+            .to_string(),
+            DbError::ProcArgType {
+                proc: "p".into(),
+                index: 1,
+                expected: "text",
+            }
+            .to_string(),
+        ];
+        for (i, a) in msgs.iter().enumerate() {
+            for b in msgs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_estimates_hit_the_plan_cache() {
+        let db = db();
+        let plans = Arc::new(PlanCache::new());
+        let r = ProcRegistry::with_builtins_cached(Arc::clone(&plans));
+        let mut rng = rng_from_seed(12);
+        for _ in 0..3 {
+            let tau = r
+                .call(
+                    &db,
+                    "mlss_estimate",
+                    &estimate_args("ar", "gmlss", 3.0, 40, 0.5),
+                    &mut rng,
+                )
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert!((0.0..=1.0).contains(&tau));
+        }
+        assert_eq!(plans.misses(), 1, "one pilot for three identical queries");
+        assert_eq!(plans.hits(), 2);
+        // A different β is a different fingerprint → new entry.
+        r.call(
+            &db,
+            "mlss_estimate",
+            &estimate_args("ar", "gmlss", 4.0, 40, 0.5),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(plans.misses(), 2);
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Concurrent serving sessions: the asynchronous face of the §6.4 DBMS
+//! integration.
+//!
+//! `mlss_estimate` is synchronous — the SQL call blocks until the
+//! relative-error target is reached, which can take seconds for tight
+//! targets. A [`Session`] instead fronts a shared
+//! [`mlss_core::scheduler::Scheduler`]: queries are **submitted**,
+//! time-sliced alongside each other, and **polled** for results, so many
+//! clients share one engine without head-of-line blocking.
+//!
+//! Three stored procedures wrap the lifecycle (all also available as
+//! native methods):
+//!
+//! * `mlss_submit(model, method, beta, horizon, target_re [, priority [, seed]])`
+//!   → query id (integer). Lower priority runs first; the seed pins the
+//!   query's RNG stream for reproducibility (drawn from the session
+//!   stream when omitted).
+//! * `mlss_poll(id)` → the estimate `τ̂` (float) once done — the first
+//!   such poll also appends the standard `results` row — or a status
+//!   string (`'queued'`, `'running'`, `'paused'`, `'cancelled'`,
+//!   `'failed: …'`) while not.
+//! * `mlss_cancel(id)` → 1 if the cancellation took effect, 0 if the
+//!   query was already terminal.
+//!
+//! Sessions share one [`PlanCache`] across the synchronous and scheduled
+//! paths, so a submit after an estimate (or vice versa) of the same
+//! (model, β, horizon, method) reuses the derived partition plan instead
+//! of re-running the pilot. [`Session::diagnostics`] surfaces the cache
+//! and pool counters.
+//!
+//! Known trade-off: on a plan-cache **miss**, `mlss_submit` runs the
+//! pilot (2 000 SRS paths) synchronously before admitting the query —
+//! a bounded, horizon-proportional cost paid once per query shape;
+//! warm submits return immediately. Scheduling the pilot as the query's
+//! first slice would remove even that cost and is left as future work.
+
+use crate::engine::{Database, DbError};
+use crate::proc::{
+    arg_f64, arg_i64, arg_text, results_schema, seed_default_models, PlanContext, ProcRegistry,
+    StoredProcedure,
+};
+use crate::value::Value;
+use mlss_core::estimator::Diagnostics;
+use mlss_core::plan_cache::PlanCache;
+use mlss_core::prelude::SimRng;
+use mlss_core::rng::{rng_from_seed, split_rng};
+use mlss_core::scheduler::{QueryId, QueryStatus, Scheduler, SchedulerConfig};
+use rand::RngExt;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Session tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// `g` invocations per scheduler slice.
+    pub slice_budget: u64,
+    /// Panic retries per query before it is reported failed.
+    pub max_retries: u32,
+    /// Session master seed (drives per-query seeds when the caller does
+    /// not pin one).
+    pub seed: u64,
+    /// Seed the `models` parameter table with the built-in defaults.
+    pub seed_models: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            slice_budget: 32_768,
+            max_retries: 1,
+            seed: 0,
+            seed_models: true,
+        }
+    }
+}
+
+/// Submission metadata retained for the `results` row a done query
+/// produces on its first successful poll.
+struct SubmitMeta {
+    model: String,
+    method: String,
+    beta: f64,
+    horizon: i64,
+    submitted: Instant,
+    recorded: bool,
+}
+
+type MetaMap = Mutex<BTreeMap<QueryId, SubmitMeta>>;
+
+/// A serving session: an embedded database plus a shared scheduler, plan
+/// cache, and procedure registry (the built-ins plus
+/// `mlss_submit`/`mlss_poll`/`mlss_cancel`).
+pub struct Session {
+    db: Arc<Database>,
+    scheduler: Arc<Scheduler>,
+    plans: Arc<PlanCache>,
+    registry: ProcRegistry,
+    meta: Arc<MetaMap>,
+    rng: Mutex<SimRng>,
+}
+
+impl Session {
+    /// Open a session over a fresh database.
+    pub fn new(cfg: SessionConfig) -> Result<Self, DbError> {
+        Self::over(Arc::new(Database::new()), cfg)
+    }
+
+    /// Open a session over an existing database (tables are shared; the
+    /// scheduler and caches are per-session).
+    pub fn over(db: Arc<Database>, cfg: SessionConfig) -> Result<Self, DbError> {
+        if cfg.seed_models && !db.has_table("models") {
+            seed_default_models(&db)?;
+        }
+        let plans = Arc::new(PlanCache::new());
+        let scheduler = Arc::new(Scheduler::new(SchedulerConfig {
+            workers: cfg.workers,
+            slice_budget: cfg.slice_budget,
+            max_retries: cfg.max_retries,
+        }));
+        let meta: Arc<MetaMap> = Arc::new(Mutex::new(BTreeMap::new()));
+        let mut registry = ProcRegistry::with_builtins_cached(Arc::clone(&plans));
+        registry.register(Box::new(MlssSubmit {
+            scheduler: Arc::clone(&scheduler),
+            plans: Arc::clone(&plans),
+            meta: Arc::clone(&meta),
+            models: crate::proc::ModelRegistry::with_builtins(),
+        }));
+        registry.register(Box::new(MlssPoll {
+            scheduler: Arc::clone(&scheduler),
+            meta: Arc::clone(&meta),
+        }));
+        registry.register(Box::new(MlssCancel {
+            scheduler: Arc::clone(&scheduler),
+        }));
+        Ok(Self {
+            db,
+            scheduler,
+            plans,
+            registry,
+            meta,
+            rng: Mutex::new(rng_from_seed(cfg.seed)),
+        })
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The session's scheduler (for native pause/resume/progress access).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The session's plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Call a stored procedure through the session registry.
+    ///
+    /// Each call draws an independent child stream from the session RNG
+    /// under the lock (the lock is *not* held while the procedure runs),
+    /// so concurrent calls from multiple clients get independent,
+    /// uncorrelated randomness.
+    pub fn call(&self, proc_: &str, args: &[Value]) -> Result<Value, DbError> {
+        let mut rng = {
+            let mut parent = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
+            split_rng(&mut parent)
+        };
+        self.registry.call(&self.db, proc_, args, &mut rng)
+    }
+
+    /// Submit an estimation query; returns its id immediately.
+    pub fn submit(
+        &self,
+        model: &str,
+        method: &str,
+        beta: f64,
+        horizon: i64,
+        target_re: f64,
+        priority: u8,
+    ) -> Result<QueryId, DbError> {
+        let args = [
+            Value::Text(model.to_string()),
+            Value::Text(method.to_string()),
+            Value::Float(beta),
+            Value::Int(horizon),
+            Value::Float(target_re),
+            Value::Int(priority as i64),
+        ];
+        let id = self.call("mlss_submit", &args)?;
+        Ok(id.as_i64().expect("mlss_submit returns an id") as QueryId)
+    }
+
+    /// Current status of a submitted query.
+    pub fn poll(&self, id: QueryId) -> Option<QueryStatus> {
+        self.scheduler.poll(id)
+    }
+
+    /// Block until the query is terminal; records the `results` row for
+    /// completed queries (like a successful `mlss_poll`, and with the
+    /// same error behavior: a failed insert surfaces instead of silently
+    /// dropping the row). `Ok(None)` means the id is unknown.
+    pub fn wait(&self, id: QueryId) -> Result<Option<QueryStatus>, DbError> {
+        let Some(status) = self.scheduler.wait(id) else {
+            return Ok(None);
+        };
+        if let QueryStatus::Done(est) = &status {
+            record_result(&self.db, &self.meta, &self.scheduler, id, est)?;
+        }
+        Ok(Some(status))
+    }
+
+    /// Cancel a query; true if the cancellation took effect.
+    pub fn cancel(&self, id: QueryId) -> bool {
+        self.scheduler.cancel(id)
+    }
+
+    /// Plan-cache and scheduler-pool health counters.
+    pub fn diagnostics(&self) -> Vec<Diagnostics> {
+        vec![self.plans.diagnostics(), self.scheduler.pool_diagnostics()]
+    }
+
+    /// Evict terminal queries from the scheduler and drop their recorded
+    /// submission metadata. Completed-but-never-polled queries are
+    /// **recorded first** — eviction must not lose a result a client
+    /// never got to see; it lands in `results` like any other. Evicted
+    /// ids become unknown to `poll`/`wait`. Returns the number of
+    /// queries evicted.
+    pub fn prune(&self) -> Result<usize, DbError> {
+        // Flush pending Done results before their slots disappear.
+        let unrecorded: Vec<QueryId> = {
+            let metas = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+            metas
+                .iter()
+                .filter(|(_, m)| !m.recorded)
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for id in unrecorded {
+            if let Some(QueryStatus::Done(est)) = self.scheduler.poll(id) {
+                record_result(&self.db, &self.meta, &self.scheduler, id, &est)?;
+            }
+        }
+        let evicted = self.scheduler.evict_terminal();
+        self.meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|id, m| !m.recorded && self.scheduler.poll(*id).is_some());
+        Ok(evicted)
+    }
+}
+
+/// Append the standard `results` row for a completed query exactly once.
+/// `millis` reports the query's serving latency — submission to
+/// completion, as measured by the scheduler — not how late the caller
+/// happened to poll.
+fn record_result(
+    db: &Database,
+    meta: &MetaMap,
+    scheduler: &Scheduler,
+    id: QueryId,
+    est: &mlss_core::estimate::Estimate,
+) -> Result<(), DbError> {
+    let mut metas = meta.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(m) = metas.get_mut(&id) else {
+        return Ok(()); // submitted outside the session procs
+    };
+    if m.recorded {
+        return Ok(());
+    }
+    if !db.has_table("results") {
+        db.create_table("results", results_schema())?;
+    }
+    let millis = scheduler
+        .progress(id)
+        .map(|p| p.elapsed)
+        .unwrap_or_else(|| m.submitted.elapsed());
+    db.insert(
+        "results",
+        vec![
+            m.model.as_str().into(),
+            m.method.as_str().into(),
+            m.beta.into(),
+            Value::Int(m.horizon),
+            est.tau.into(),
+            est.variance.into(),
+            Value::Int(est.steps as i64),
+            Value::Int(est.n_roots as i64),
+            Value::Int(millis.as_millis() as i64),
+        ],
+    )?;
+    m.recorded = true;
+    Ok(())
+}
+
+/// `mlss_submit(model, method, beta, horizon, target_re [, priority [, seed]])`.
+struct MlssSubmit {
+    scheduler: Arc<Scheduler>,
+    plans: Arc<PlanCache>,
+    meta: Arc<MetaMap>,
+    models: crate::proc::ModelRegistry,
+}
+
+impl StoredProcedure for MlssSubmit {
+    fn name(&self) -> &str {
+        "mlss_submit"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (5, 7)
+    }
+
+    fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError> {
+        let proc_ = self.name();
+        let model_name = arg_text(proc_, args, 0)?.to_string();
+        let method_name = arg_text(proc_, args, 1)?.to_string();
+        let method = crate::proc::Method::parse(&method_name)?;
+        let beta = arg_f64(proc_, args, 2)?;
+        let horizon = arg_i64(proc_, args, 3)?;
+        if horizon < 1 {
+            return Err(DbError::Proc("horizon must be ≥ 1".into()));
+        }
+        let target_re = arg_f64(proc_, args, 4)?;
+        if !(target_re.is_finite() && target_re > 0.0) {
+            return Err(DbError::Proc("target_re must be positive".into()));
+        }
+        let priority = match args.get(5) {
+            None => 0u8,
+            Some(_) => {
+                let p = arg_i64(proc_, args, 5)?;
+                if !(0..=255).contains(&p) {
+                    return Err(DbError::Proc("priority must be in 0..=255".into()));
+                }
+                p as u8
+            }
+        };
+        let seed = match args.get(6) {
+            None => rng.random::<u64>(),
+            Some(_) => arg_i64(proc_, args, 6)? as u64,
+        };
+
+        let (runner, fp) = self.models.build(db, &model_name, horizon as u64, beta)?;
+        let id = runner.submit(
+            &self.scheduler,
+            beta,
+            horizon as u64,
+            method,
+            target_re,
+            seed,
+            priority,
+            PlanContext {
+                cache: &self.plans,
+                fingerprint: fp,
+            },
+        )?;
+        self.meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                id,
+                SubmitMeta {
+                    model: model_name,
+                    method: method_name,
+                    beta,
+                    horizon,
+                    submitted: Instant::now(),
+                    recorded: false,
+                },
+            );
+        Ok(Value::Int(id as i64))
+    }
+}
+
+/// `mlss_poll(id)` — `τ̂` (float) once done, else a status string.
+struct MlssPoll {
+    scheduler: Arc<Scheduler>,
+    meta: Arc<MetaMap>,
+}
+
+impl StoredProcedure for MlssPoll {
+    fn name(&self) -> &str {
+        "mlss_poll"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn execute(&self, db: &Database, args: &[Value], _rng: &mut SimRng) -> Result<Value, DbError> {
+        let id = arg_i64(self.name(), args, 0)? as QueryId;
+        let status = self
+            .scheduler
+            .poll(id)
+            .ok_or_else(|| DbError::Proc(format!("unknown query id {id}")))?;
+        Ok(match status {
+            QueryStatus::Done(est) => {
+                record_result(db, &self.meta, &self.scheduler, id, &est)?;
+                Value::Float(est.tau)
+            }
+            QueryStatus::Queued => Value::Text("queued".into()),
+            QueryStatus::Running => Value::Text("running".into()),
+            QueryStatus::Paused => Value::Text("paused".into()),
+            QueryStatus::Cancelled => Value::Text("cancelled".into()),
+            QueryStatus::Failed(msg) => Value::Text(format!("failed: {msg}")),
+        })
+    }
+}
+
+/// `mlss_cancel(id)` — 1 if the cancellation took effect, else 0.
+struct MlssCancel {
+    scheduler: Arc<Scheduler>,
+}
+
+impl StoredProcedure for MlssCancel {
+    fn name(&self) -> &str {
+        "mlss_cancel"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn execute(&self, _db: &Database, args: &[Value], _rng: &mut SimRng) -> Result<Value, DbError> {
+        let id = arg_i64(self.name(), args, 0)? as QueryId;
+        Ok(Value::Int(self.scheduler.cancel(id) as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::results_count;
+
+    fn session() -> Session {
+        Session::new(SessionConfig {
+            workers: 2,
+            slice_budget: 8_192,
+            seed: 42,
+            ..SessionConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn submit_args(model: &str, method: &str, beta: f64, horizon: i64, re: f64) -> Vec<Value> {
+        vec![
+            model.into(),
+            method.into(),
+            beta.into(),
+            Value::Int(horizon),
+            re.into(),
+        ]
+    }
+
+    #[test]
+    fn registry_lists_session_procs() {
+        let s = session();
+        let names: Vec<String> = {
+            let mut rng = rng_from_seed(0);
+            let _ = &mut rng;
+            s.registry.names().iter().map(|n| n.to_string()).collect()
+        };
+        for p in ["mlss_submit", "mlss_poll", "mlss_cancel", "mlss_estimate"] {
+            assert!(names.iter().any(|n| n == p), "missing proc {p}");
+        }
+    }
+
+    #[test]
+    fn submit_poll_roundtrip_records_result() {
+        let s = session();
+        let id = s
+            .call("mlss_submit", &submit_args("walk", "srs", 6.0, 50, 0.3))
+            .unwrap()
+            .as_i64()
+            .unwrap() as QueryId;
+        // Poll until done; the first done-poll returns τ̂ and records it.
+        let tau = loop {
+            match s.call("mlss_poll", &[Value::Int(id as i64)]).unwrap() {
+                Value::Float(tau) => break tau,
+                Value::Text(status) => {
+                    assert!(
+                        matches!(status.as_str(), "queued" | "running"),
+                        "unexpected status {status}"
+                    );
+                    std::thread::yield_now();
+                }
+                other => panic!("unexpected poll result {other:?}"),
+            }
+        };
+        assert!((0.0..=1.0).contains(&tau));
+        assert_eq!(results_count(s.db()).unwrap(), 1);
+        // Polling again must not duplicate the results row.
+        let again = s.call("mlss_poll", &[Value::Int(id as i64)]).unwrap();
+        assert!(matches!(again, Value::Float(_)));
+        assert_eq!(results_count(s.db()).unwrap(), 1);
+        // Prune evicts the consumed query; the results row survives.
+        assert_eq!(s.prune().unwrap(), 1);
+        assert!(s.poll(id).is_none());
+        assert_eq!(results_count(s.db()).unwrap(), 1);
+    }
+
+    #[test]
+    fn prune_records_unpolled_completions_before_evicting() {
+        let s = session();
+        let id = s.submit("walk", "srs", 6.0, 50, 0.3, 0).unwrap();
+        // Let it finish without ever polling…
+        while !s
+            .scheduler()
+            .poll(id)
+            .map(|st| st.is_terminal())
+            .unwrap_or(false)
+        {
+            std::thread::yield_now();
+        }
+        assert_eq!(results_count(s.db()).unwrap_or(0), 0, "not yet recorded");
+        // …then prune: the result must be flushed, not destroyed.
+        assert_eq!(s.prune().unwrap(), 1);
+        assert!(s.poll(id).is_none());
+        assert_eq!(results_count(s.db()).unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_submissions_share_the_plan_cache() {
+        let s = session();
+        // Same (model, β, horizon, method) four times: one pilot, three
+        // cache hits.
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            ids.push(
+                s.submit("ar", "gmlss", 3.0, 40, 0.5, 0)
+                    .expect("submit succeeds"),
+            );
+        }
+        for id in ids {
+            let status = s.wait(id).unwrap().unwrap();
+            let est = status.estimate().expect("queries complete");
+            assert!((0.0..=1.0).contains(&est.tau));
+        }
+        assert_eq!(s.plan_cache().misses(), 1, "one pilot only");
+        assert!(s.plan_cache().hits() >= 3, "repeat queries hit the cache");
+        assert_eq!(results_count(s.db()).unwrap(), 4);
+        // Diagnostics surface the counters.
+        let diags = s.diagnostics();
+        let cache = diags.iter().find(|d| d.estimator == "plan_cache").unwrap();
+        assert!(cache
+            .details
+            .iter()
+            .any(|(k, v)| k == "plan_cache_hits" && *v >= 3.0));
+    }
+
+    #[test]
+    fn synchronous_and_scheduled_paths_share_plans() {
+        let s = session();
+        // Synchronous estimate derives and caches the plan…
+        let tau = s
+            .call("mlss_estimate", &submit_args("ar", "gmlss", 3.0, 40, 0.5))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((0.0..=1.0).contains(&tau));
+        assert_eq!(s.plan_cache().misses(), 1);
+        // …and the scheduled path reuses it.
+        let id = s.submit("ar", "gmlss", 3.0, 40, 0.5, 0).unwrap();
+        assert!(s.wait(id).unwrap().unwrap().estimate().is_some());
+        assert_eq!(s.plan_cache().misses(), 1);
+        assert!(s.plan_cache().hits() >= 1);
+    }
+
+    #[test]
+    fn cancel_via_proc() {
+        let s = Session::new(SessionConfig {
+            workers: 1,
+            slice_budget: 4_096,
+            seed: 9,
+            ..SessionConfig::default()
+        })
+        .unwrap();
+        // Tight target ⇒ long-running query we can cancel.
+        let id = s.submit("walk", "srs", 6.0, 60, 0.01, 0).unwrap();
+        let cancelled = s
+            .call("mlss_cancel", &[Value::Int(id as i64)])
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(cancelled, 1);
+        loop {
+            match s.call("mlss_poll", &[Value::Int(id as i64)]).unwrap() {
+                Value::Text(status) if status == "cancelled" => break,
+                Value::Text(status) => {
+                    assert!(matches!(status.as_str(), "queued" | "running"));
+                    std::thread::yield_now();
+                }
+                other => panic!("cancelled query produced {other:?}"),
+            }
+        }
+        // Cancelling a terminal query reports 0.
+        let again = s
+            .call("mlss_cancel", &[Value::Int(id as i64)])
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(again, 0);
+        assert_eq!(results_count(s.db()).unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn submit_validates_arguments() {
+        let s = session();
+        // Unknown method.
+        assert!(s
+            .call("mlss_submit", &submit_args("walk", "nope", 6.0, 50, 0.3))
+            .is_err());
+        // Wrong arity.
+        assert!(matches!(
+            s.call(
+                "mlss_submit",
+                &submit_args("walk", "srs", 6.0, 50, 0.3)[..2]
+            ),
+            Err(DbError::ProcArity { .. })
+        ));
+        // Wrong arg type.
+        let mut bad = submit_args("walk", "srs", 6.0, 50, 0.3);
+        bad[0] = Value::Int(7);
+        assert!(matches!(
+            s.call("mlss_submit", &bad),
+            Err(DbError::ProcArgType { index: 0, .. })
+        ));
+        // Unknown poll id.
+        assert!(s.call("mlss_poll", &[Value::Int(404)]).is_err());
+    }
+}

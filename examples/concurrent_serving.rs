@@ -1,0 +1,113 @@
+//! Concurrent serving: many durability queries sharing one engine
+//! through the session layer — submit, poll, pause/resume, cancel — with
+//! memoized partition plans.
+//!
+//! Run: `cargo run --release --example concurrent_serving`
+
+use durability_mlss::core::scheduler::QueryStatus;
+use mlss_db::{Session, SessionConfig, Value};
+
+fn main() {
+    let session = Session::new(SessionConfig {
+        workers: 2,
+        slice_budget: 16_384,
+        seed: 7,
+        ..SessionConfig::default()
+    })
+    .expect("open session");
+
+    // 1. Submit a burst of queries: one expensive tight-RE g-MLSS query
+    //    and a handful of cheap SRS lookups. Nothing blocks.
+    let expensive = session
+        .submit("cpp", "gmlss", 25.0, 80, 0.02, 0)
+        .expect("submit expensive");
+    let cheap: Vec<_> = (0..4)
+        .map(|k| {
+            session
+                .submit("walk", "srs", 5.0 + k as f64, 50, 0.3, 0)
+                .expect("submit cheap")
+        })
+        .collect();
+    println!("submitted 1 expensive + {} cheap queries", cheap.len());
+
+    // 2. The cheap queries finish while the expensive one is still being
+    //    time-sliced.
+    for id in &cheap {
+        let status = session.wait(*id).expect("record result").expect("known id");
+        let est = status.estimate().expect("cheap query completes");
+        println!("cheap query {id}: τ̂ = {:.4} ({} steps)", est.tau, est.steps);
+    }
+    if let Some(progress) = session.scheduler().progress(expensive) {
+        println!(
+            "expensive query after the cheap ones: {:?}, {} steps over {} slices",
+            progress.status, progress.steps, progress.slices
+        );
+    }
+
+    // 3. Pause the expensive query, checkpoint-style, then resume it.
+    session.scheduler().pause(expensive);
+    while !matches!(
+        session.scheduler().poll(expensive),
+        Some(QueryStatus::Paused) | Some(QueryStatus::Done(_))
+    ) {
+        std::thread::yield_now();
+    }
+    println!("expensive query paused at a slice boundary; resuming…");
+    session.scheduler().resume(expensive);
+    let est = *session
+        .wait(expensive)
+        .expect("record result")
+        .expect("known id")
+        .estimate()
+        .expect("expensive query completes");
+    println!(
+        "expensive query done: τ̂ = {:.5}, RE = {:.1}%, {} steps",
+        est.tau,
+        100.0 * est.self_relative_error(),
+        est.steps
+    );
+
+    // 4. The same query shape again: the partition plan is served from
+    //    the cache (no second pilot), and SQL-style polling works too.
+    let again = session
+        .call(
+            "mlss_submit",
+            &[
+                "cpp".into(),
+                "gmlss".into(),
+                25.0.into(),
+                Value::Int(80),
+                0.05.into(),
+            ],
+        )
+        .expect("resubmit")
+        .as_i64()
+        .unwrap();
+    loop {
+        match session
+            .call("mlss_poll", &[Value::Int(again)])
+            .expect("poll")
+        {
+            Value::Float(tau) => {
+                println!("repeat query via mlss_poll: τ̂ = {tau:.5}");
+                break;
+            }
+            Value::Text(status) => {
+                println!("repeat query status: {status}");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            other => panic!("unexpected poll value {other:?}"),
+        }
+    }
+
+    // 5. Serving diagnostics: plan cache effectiveness + pool counters.
+    for d in session.diagnostics() {
+        let details: Vec<String> = d.details.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("[{}] {}", d.estimator, details.join(", "));
+    }
+    let results = session
+        .db()
+        .with_table("results", |t| t.len())
+        .expect("results table");
+    println!("rows recorded in the results table: {results}");
+}

@@ -4,6 +4,9 @@
 
 use mlss_core::prelude::*;
 use mlss_core::smlss::{SMlssConfig, SMlssSampler};
+use rand::RngExt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A model that emits NaN scores after a while.
 struct NanModel;
@@ -126,6 +129,209 @@ fn smlss_survives_all_boundaries_identical_region() {
     let cfg = SMlssConfig::new(plan, RunControl::budget(50_000)).with_ratio(3);
     let res = SMlssSampler::new(cfg).run(problem, &mut rng_from_seed(6));
     assert!((0.0..=1.0).contains(&res.estimate.tau));
+}
+
+// ---- scheduler failure injection ---------------------------------------
+
+/// Silence the default "thread panicked" stderr spew from intentionally
+/// injected panics (the scheduler catches them; the noise is misleading).
+fn quiet_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !format!("{info}").contains("injected") {
+                default(info); // real failures still report normally
+            }
+        }));
+    });
+}
+
+/// A well-behaved walk for the victim queries.
+#[derive(Clone)]
+struct GoodWalk;
+
+impl SimulationModel for GoodWalk {
+    type State = f64;
+
+    fn initial_state(&self) -> f64 {
+        0.0
+    }
+
+    fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+        (s + if rng.random::<f64>() < 0.48 {
+            0.05
+        } else {
+            -0.05
+        })
+        .clamp(0.0, 1.0)
+    }
+}
+
+/// A model that always panics a few steps in — a deterministic bug.
+struct AlwaysPanics;
+
+impl SimulationModel for AlwaysPanics {
+    type State = f64;
+
+    fn initial_state(&self) -> f64 {
+        0.0
+    }
+
+    fn step(&self, s: &f64, t: Time, _rng: &mut SimRng) -> f64 {
+        assert!(t < 5, "injected failure");
+        s + 0.01
+    }
+}
+
+/// A model that panics exactly once (first trigger), then behaves — a
+/// transient fault the retry policy should absorb.
+struct PanicsOnce {
+    armed: Arc<AtomicBool>,
+}
+
+impl SimulationModel for PanicsOnce {
+    type State = f64;
+
+    fn initial_state(&self) -> f64 {
+        0.0
+    }
+
+    fn step(&self, s: &f64, t: Time, rng: &mut SimRng) -> f64 {
+        if t == 3 && self.armed.swap(false, Ordering::SeqCst) {
+            panic!("injected transient failure");
+        }
+        (s + if rng.random::<f64>() < 0.48 {
+            0.05
+        } else {
+            -0.05
+        })
+        .clamp(0.0, 1.0)
+    }
+}
+
+type Vf = RatioValue<fn(&f64) -> f64>;
+
+fn walk_vf() -> Vf {
+    fn score(s: &f64) -> f64 {
+        *s
+    }
+    RatioValue::new(score as fn(&f64) -> f64, 1.0)
+}
+
+#[test]
+fn scheduler_survives_a_panicking_query() {
+    quiet_panics();
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 2,
+        slice_budget: 8_192,
+        max_retries: 1,
+    });
+
+    // A doomed query between two healthy ones.
+    let good_a = sched.submit(
+        GoodWalk,
+        walk_vf(),
+        70,
+        SrsEstimator,
+        RunControl::budget(60_000),
+        5,
+        0,
+    );
+    let doomed = sched.submit(
+        AlwaysPanics,
+        walk_vf(),
+        70,
+        SrsEstimator,
+        RunControl::budget(60_000),
+        6,
+        0,
+    );
+    let good_b = sched.submit(
+        GoodWalk,
+        walk_vf(),
+        70,
+        SrsEstimator,
+        RunControl::budget(60_000),
+        7,
+        0,
+    );
+
+    // The doomed query fails (after exhausting its retry) without
+    // poisoning the pool.
+    let status = sched.wait(doomed).unwrap();
+    match status {
+        QueryStatus::Failed(msg) => assert!(msg.contains("injected failure"), "{msg}"),
+        other => panic!("doomed query should fail, got {other:?}"),
+    }
+
+    // Both healthy queries finish with *correct* results: bit-identical
+    // to an undisturbed sequential run over the same stream.
+    for (id, seed) in [(good_a, 5u64), (good_b, 7u64)] {
+        let est = *sched.wait(id).unwrap().estimate().expect("healthy query");
+        let model = GoodWalk;
+        let v = walk_vf();
+        let problem = Problem::new(&model, &v, 70);
+        let seq = run_sequential(
+            &SrsEstimator,
+            problem,
+            RunControl::budget(60_000),
+            &mut StreamFactory::new(seed).stream(0),
+        )
+        .estimate;
+        assert_eq!(est.steps, seq.steps);
+        assert_eq!(est.hits, seq.hits);
+        assert_eq!(est.tau.to_bits(), seq.tau.to_bits());
+    }
+
+    let stats = sched.stats();
+    assert!(stats.panics >= 2, "panic + retry panic are both counted");
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 2);
+
+    // The pool still accepts and completes new work after the failure.
+    let after = sched.submit(
+        GoodWalk,
+        walk_vf(),
+        50,
+        SrsEstimator,
+        RunControl::budget(20_000),
+        8,
+        0,
+    );
+    assert!(sched.wait(after).unwrap().estimate().is_some());
+}
+
+#[test]
+fn transient_panic_is_retried_without_losing_state() {
+    quiet_panics();
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 1,
+        slice_budget: 8_192,
+        max_retries: 1,
+    });
+    let armed = Arc::new(AtomicBool::new(true));
+    let id = sched.submit(
+        PanicsOnce {
+            armed: Arc::clone(&armed),
+        },
+        walk_vf(),
+        70,
+        SrsEstimator,
+        RunControl::budget(40_000),
+        11,
+        0,
+    );
+    let est = *sched
+        .wait(id)
+        .unwrap()
+        .estimate()
+        .expect("query completes after one retry");
+    assert!(est.steps >= 40_000);
+    assert!(!armed.load(Ordering::SeqCst), "the fault did fire");
+    let progress = sched.progress(id).unwrap();
+    assert_eq!(progress.retries, 1, "exactly one retry absorbed the fault");
+    assert_eq!(sched.stats().failed, 0);
 }
 
 #[test]

@@ -58,6 +58,127 @@ fn clamp_vf() -> RatioValue<fn(&f64) -> f64> {
     RatioValue::new(score as fn(&f64) -> f64, 1.0)
 }
 
+/// Shard merging is associative and order-insensitive: merging N shards
+/// in any permutation (and any grouping) yields **bit-identical**
+/// estimates. This is the contract the parallel driver's sharded
+/// reduction and the scheduler's slice merging rely on — without it,
+/// thread scheduling would leak into reported variances. It holds
+/// exactly because shard statistics are integer counters, integer-exact
+/// `HitMoments`, or full-precision `ExactSum` accumulators (see
+/// `mlss_core::stats`).
+fn check_merge_permutation_invariance<E>(name: &str, estimator: &E)
+where
+    E: Estimator<ClampWalk, RatioValue<fn(&f64) -> f64>>,
+    E::Shard: Clone,
+{
+    let model = ClampWalk { up: 0.48 };
+    let vf = clamp_vf();
+    let problem = Problem::new(&model, &vf, 60);
+
+    // Four shards from four independent streams.
+    let shards: Vec<E::Shard> = (0..4u64)
+        .map(|k| {
+            let mut s = estimator.shard();
+            estimator.run_chunk(problem, &mut s, 20_000, &mut rng_from_seed(1_000 + k));
+            s
+        })
+        .collect();
+
+    let estimate_of = |shard: &E::Shard| estimator.estimate(shard, &mut rng_from_seed(0));
+    let fold = |order: &[usize]| {
+        let mut acc = estimator.shard();
+        for &i in order {
+            acc.merge(shards[i].clone());
+        }
+        estimate_of(&acc)
+    };
+
+    let reference = fold(&[0, 1, 2, 3]);
+    assert!(reference.n_roots > 0, "{name}: shards must be non-trivial");
+    let check = |est: Estimate, what: &str| {
+        assert_eq!(est.steps, reference.steps, "{name}: steps ({what})");
+        assert_eq!(est.n_roots, reference.n_roots, "{name}: roots ({what})");
+        assert_eq!(est.hits, reference.hits, "{name}: hits ({what})");
+        assert_eq!(
+            est.tau.to_bits(),
+            reference.tau.to_bits(),
+            "{name}: τ̂ not bit-identical ({what}): {} vs {}",
+            est.tau,
+            reference.tau
+        );
+        assert_eq!(
+            est.variance.to_bits(),
+            reference.variance.to_bits(),
+            "{name}: variance not bit-identical ({what}): {} vs {}",
+            est.variance,
+            reference.variance
+        );
+    };
+
+    // Every permutation of the four shards.
+    for a in 0..4usize {
+        for b in 0..4 {
+            for c in 0..4 {
+                for d in 0..4 {
+                    let order = [a, b, c, d];
+                    let mut seen = [false; 4];
+                    order.iter().for_each(|&i| seen[i] = true);
+                    if seen != [true; 4] {
+                        continue;
+                    }
+                    check(fold(&order), &format!("permutation {order:?}"));
+                }
+            }
+        }
+    }
+
+    // Different groupings: ((0+1)+(2+3)) and (0+(1+(2+3))).
+    let balanced = {
+        let mut left = shards[0].clone();
+        left.merge(shards[1].clone());
+        let mut right = shards[2].clone();
+        right.merge(shards[3].clone());
+        left.merge(right);
+        estimate_of(&left)
+    };
+    check(balanced, "balanced grouping");
+    let right_deep = {
+        let mut inner = shards[2].clone();
+        inner.merge(shards[3].clone());
+        let mut mid = shards[1].clone();
+        mid.merge(inner);
+        let mut out = shards[0].clone();
+        out.merge(mid);
+        estimate_of(&out)
+    };
+    check(right_deep, "right-deep grouping");
+}
+
+/// Merge permutation/associativity bit-identity for all four estimators.
+#[test]
+fn shard_merge_is_associative_and_order_insensitive() {
+    check_merge_permutation_invariance("srs", &SrsEstimator);
+    check_merge_permutation_invariance(
+        "smlss",
+        &SMlssConfig::new(
+            PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+            RunControl::budget(1),
+        ),
+    );
+    // No-skip regime: the deterministic per-root-hit variance applies.
+    // (With skips, g-MLSS τ̂ stays bit-identical but the *bootstrap*
+    // variance resamples roots by index, which is intentionally
+    // order-sensitive — see docs/serving.md.)
+    check_merge_permutation_invariance(
+        "gmlss",
+        &GMlssConfig::new(
+            PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+            RunControl::budget(1),
+        ),
+    );
+    check_merge_permutation_invariance("is", &IsEstimator::new(0.02));
+}
+
 /// The trait-level unbiasedness property the paper's Propositions 1–2
 /// imply: every `Estimator` implementation must agree with the SRS
 /// reference within statistical error. Checked at three seeds, with a
