@@ -6,10 +6,11 @@
 #   make speedup    — parallel-driver mutex-vs-sharded merge comparison
 #   make test-mt    — release tests with 4 test threads (scheduler jobs)
 #   make sched-bench — FIFO vs concurrent-serving latency benchmark
+#   make kernel-bench — scalar-adapter vs native-batch stepping throughput
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt sched-bench
+.PHONY: verify ci fmt clippy test build bench speedup test-mt sched-bench kernel-bench
 
 verify: build test
 
@@ -30,6 +31,9 @@ test-mt:
 
 sched-bench:
 	$(CARGO) run --release -p mlss-bench --bin scheduler_bench -- --full
+
+kernel-bench:
+	$(CARGO) run --release -p mlss-bench --bin kernel_bench -- --full
 
 ci: fmt build test clippy test-mt
 

@@ -199,6 +199,7 @@ fn main() {
         sync_every,
         seed: 7,
         bootstrap_resamples: 200,
+        batch_width: 0,
     };
     let new_run = run_parallel(problem, &base, control, &cfg);
     let new_rate = new_run.estimate.steps as f64 / new_run.elapsed.as_secs_f64();

@@ -86,6 +86,16 @@ impl RootLedger {
         self.n_roots += 1;
     }
 
+    /// Append a complete pre-built root record (the layout of this
+    /// ledger: landings `0..m`, crossings `m..2m`, skips `2m..3m`, hits
+    /// at `3m`). Used by the batched frontier, which buffers each root's
+    /// counters externally and commits finished roots in order.
+    pub fn push_record(&mut self, rec: &[u32]) {
+        assert_eq!(rec.len(), self.stride, "record length must be 3m + 1");
+        self.data.extend_from_slice(rec);
+        self.n_roots += 1;
+    }
+
     /// Raw record of root `i`.
     fn record(&self, i: usize) -> &[u32] {
         &self.data[i * self.stride..(i + 1) * self.stride]

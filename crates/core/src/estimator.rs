@@ -114,6 +114,32 @@ where
         rng: &mut SimRng,
     ) -> ChunkOutcome;
 
+    /// Like [`Estimator::run_chunk`], but advancing a frontier of up to
+    /// `width` root paths per `g` call over the model's batch kernel
+    /// (`step_batch`), with **one RNG stream per root** so the committed
+    /// shard is bit-identical at every width (see `docs/kernel.md`).
+    ///
+    /// Note the randomness scheme differs from `run_chunk` (which owes
+    /// bit-compatibility to pre-frontier checkpoints): per-root streams
+    /// are derived from `rng` by splitting, rather than threading `rng`
+    /// through every step. The two paths are statistically identical but
+    /// not bit-identical to each other; within the batched path, any two
+    /// widths are.
+    ///
+    /// The default ignores `width` and runs the scalar chunk — estimators
+    /// from downstream crates keep working; the four built-ins override.
+    fn run_chunk_batched(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut Self::Shard,
+        budget: u64,
+        rng: &mut SimRng,
+        width: usize,
+    ) -> ChunkOutcome {
+        let _ = width;
+        self.run_chunk(problem, shard, budget, rng)
+    }
+
     /// The estimate implied by `shard`. `rng` powers resampling-based
     /// variance estimation (bootstrap); closed-form estimators ignore it.
     fn estimate(&self, shard: &Self::Shard, rng: &mut SimRng) -> Estimate;
@@ -219,6 +245,65 @@ where
     V: ValueFunction<M::State>,
     E: Estimator<M, V>,
 {
+    run_sequential_impl(estimator, problem, control, rng, shard, 0)
+}
+
+/// Run any estimator sequentially over the batched frontier: chunks go
+/// through [`Estimator::run_chunk_batched`] at the given width (≥ 1), so
+/// the model's native batch kernel carries the hot loop. Results are
+/// bit-identical across widths (the per-root-stream invariant); width
+/// only changes throughput.
+pub fn run_sequential_batched<M, V, E>(
+    estimator: &E,
+    problem: Problem<'_, M, V>,
+    control: RunControl,
+    rng: &mut SimRng,
+    width: usize,
+) -> EstimatorRun<E::Shard>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    run_sequential_batched_from(estimator, problem, control, rng, estimator.shard(), width)
+}
+
+/// Resume a batched sequential run from a checkpointed shard — the
+/// batched counterpart of [`run_sequential_from`]. A checkpoint taken
+/// between chunks (even with frontier lanes in flight when it was cut:
+/// chunks always drain their frontier, so the shard plus the RNG is the
+/// complete state) resumes to the same estimate at any width.
+pub fn run_sequential_batched_from<M, V, E>(
+    estimator: &E,
+    problem: Problem<'_, M, V>,
+    control: RunControl,
+    rng: &mut SimRng,
+    shard: E::Shard,
+    width: usize,
+) -> EstimatorRun<E::Shard>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    run_sequential_impl(estimator, problem, control, rng, shard, width.max(1))
+}
+
+/// Shared driver body; `batch_width == 0` runs the scalar `run_chunk`
+/// path, `>= 1` the frontier path at that width.
+fn run_sequential_impl<M, V, E>(
+    estimator: &E,
+    problem: Problem<'_, M, V>,
+    control: RunControl,
+    rng: &mut SimRng,
+    shard: E::Shard,
+    batch_width: usize,
+) -> EstimatorRun<E::Shard>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
     let start = Instant::now();
     let mut shard = shard;
     let mut estimate_elapsed = Duration::ZERO;
@@ -254,7 +339,11 @@ where
                     .max(1)
             }
         };
-        estimator.run_chunk(problem, &mut shard, budget, rng);
+        if batch_width == 0 {
+            estimator.run_chunk(problem, &mut shard, budget, rng);
+        } else {
+            estimator.run_chunk_batched(problem, &mut shard, budget, rng, batch_width);
+        }
         if let RunControl::Target { target, .. } = control {
             let t0 = Instant::now();
             let est = estimator.check_estimate(&mut shard, rng);

@@ -1,0 +1,410 @@
+//! The batched simulation frontier — one engine behind every estimator's
+//! chunk loop.
+//!
+//! All four samplers used to advance one root path at a time: a scalar
+//! `step`, a state clone, an atomic bump. This module replaces those
+//! inner loops with a **frontier of in-flight root paths** stepped as one
+//! cohort per [`crate::model::SimulationModel::step_batch`] call, which
+//! amortizes dispatch and bookkeeping and lets models run native batch
+//! kernels (contiguous `f64` lanes for the closed-form models, a batched
+//! matrix forward pass for the RNN). The estimator-specific logic — what
+//! a root *is*, when it splits, what it commits — plugs in through the
+//! [`RootKernel`] trait.
+//!
+//! ## Bit-identity across widths
+//!
+//! The engine's defining invariant: **the committed shard is a pure
+//! function of the caller's RNG state and the budget, independent of the
+//! frontier width.** Width changes wall-clock, never results. Three
+//! mechanisms deliver that:
+//!
+//! * **one RNG stream per root** ([`FrontierMode::PerRoot`]) — root `k`
+//!   draws its private ChaCha stream from the master RNG at launch
+//!   (exactly [`crate::rng::split_rng`]); every random draw of the root's
+//!   whole splitting tree comes from that stream, so a root's outcome
+//!   does not depend on which other roots run concurrently.
+//! * **in-order commits** — roots retire out of order at width > 1, but
+//!   outcomes are buffered and folded into the shard strictly in root
+//!   launch order, so shard contents (including per-root ledgers and
+//!   hit-moment sequences) match the width-1 execution bit for bit.
+//! * **the scalar commit rule with speculation discard** — root `k`
+//!   commits iff the steps committed before it are below the chunk
+//!   target, exactly the classic "stop at the first completion at or
+//!   beyond the budget" rule. Lanes launched speculatively past that
+//!   point are discarded, and the master RNG is rewound to "as if only
+//!   the committed launches drew from it".
+//!
+//! [`FrontierMode::Shared`] runs the same engine at width 1 with all
+//! draws taken from the caller's RNG directly — the pre-frontier scalar
+//! semantics, kept so `run_chunk` stays bit-compatible with every shard,
+//! checkpoint, and determinism guarantee shipped before this layer.
+//!
+//! See `docs/kernel.md` for the full contract.
+
+use crate::estimator::{ChunkOutcome, Ledger};
+use crate::model::{SimulationModel, Time};
+use crate::query::{Problem, ValueFunction};
+use crate::rng::{rng_from_seed, split_rng, SimRng};
+use rand::RngExt;
+use std::collections::BTreeMap;
+
+/// Verdict of [`RootKernel::on_step`] for the lane's current segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SegmentStatus {
+    /// The segment keeps stepping.
+    Running,
+    /// The segment ended (crossing, hit, or estimator-specific stop);
+    /// the engine pulls the root's next segment or retires the root.
+    SegmentDone,
+}
+
+/// Estimator-specific root-path program run by the frontier engine.
+///
+/// A *root* is one independent sample (with its whole splitting tree, for
+/// the MLSS samplers); a *segment* is one contiguous simulated stretch of
+/// it (a path between split points). The engine owns lane scheduling,
+/// step accounting, commit ordering, and the budget rule; the kernel owns
+/// everything the estimator defines: segment transitions, split
+/// bookkeeping, and how a finished root folds into the shard.
+///
+/// Equivalence contract: driving a kernel through the engine at
+/// [`FrontierMode::Shared`] must be bit-identical to the estimator's
+/// historical scalar loop — same draws from the same RNG, same shard.
+pub(crate) trait RootKernel<M, V>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    /// Per-root scratch (splitting stack, weight accumulators, …).
+    type Scratch;
+    /// Everything one finished root contributes to the shard.
+    type Outcome;
+    /// The estimator's shard type.
+    type Shard: Ledger;
+
+    /// A fresh scratch (reused across roots via [`RootKernel::begin_root`]).
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Reset `scratch` for a new root and return its first segment
+    /// `(base state, base time)`. The first step will target `t + 1`.
+    fn begin_root(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut Self::Scratch,
+    ) -> (M::State, Time);
+
+    /// Advance every alive lane one step. The default delegates to the
+    /// model's (possibly native) batch kernel; estimators with their own
+    /// stepping rule (importance sampling's tilted proposal) override.
+    fn step_lanes(
+        &self,
+        problem: &Problem<'_, M, V>,
+        lanes: &mut [M::State],
+        ts: &[Time],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+        scratches: &mut [Self::Scratch],
+    ) {
+        let _ = scratches;
+        problem.model.step_batch(lanes, ts, rngs, alive);
+    }
+
+    /// Inspect a lane after one step (`state` is the freshly produced
+    /// state at time `t`); record estimator bookkeeping in `scratch`.
+    fn on_step(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut Self::Scratch,
+        state: &M::State,
+        t: Time,
+    ) -> SegmentStatus;
+
+    /// The root's next pending segment, or `None` when the root is done.
+    fn next_segment(&self, scratch: &mut Self::Scratch) -> Option<(M::State, Time)>;
+
+    /// Package the finished root; `steps` is its total `g` invocations.
+    fn finish_root(&self, scratch: &mut Self::Scratch, steps: u64) -> Self::Outcome;
+
+    /// Fold a committed root into the shard. Called strictly in root
+    /// launch order; must add the root's steps to the shard's step count.
+    fn commit(&self, shard: &mut Self::Shard, outcome: Self::Outcome);
+}
+
+/// How the frontier sources randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrontierMode {
+    /// Width 1, every draw taken from the caller's RNG directly — the
+    /// historical scalar chunk semantics, bit-compatible with all
+    /// pre-frontier shards and checkpoints.
+    Shared,
+    /// Per-root streams at the given width (clamped to ≥ 1). Results are
+    /// bit-identical at every width.
+    PerRoot(usize),
+}
+
+/// Run the kernel until at least `budget` additional `g` invocations have
+/// been *committed* into `shard` (the chunk contract: stop at the first
+/// root completing at or beyond the budget).
+pub(crate) fn run_frontier<M, V, K>(
+    kernel: &K,
+    problem: &Problem<'_, M, V>,
+    shard: &mut K::Shard,
+    budget: u64,
+    rng: &mut SimRng,
+    mode: FrontierMode,
+) -> ChunkOutcome
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    K: RootKernel<M, V>,
+{
+    let target = shard.steps().saturating_add(budget);
+    let mut chunk = ChunkOutcome::default();
+    if shard.steps() >= target {
+        return chunk;
+    }
+    let (per_root, width) = match mode {
+        FrontierMode::Shared => (false, 1),
+        FrontierMode::PerRoot(w) => (true, w.max(1)),
+    };
+    let horizon = problem.horizon;
+
+    // Master-RNG handling. PerRoot: remember the entry state so the exit
+    // state can be set to "exactly one seed draw per committed root",
+    // independent of speculative launches. Shared: the single lane *is*
+    // the master stream; move it in and back out.
+    let rng_entry = per_root.then(|| rng.clone());
+    let mut shared_master = (!per_root).then(|| std::mem::replace(rng, rng_from_seed(0)));
+
+    // Lane-parallel storage (allocated up to `width` slots, recycled).
+    let mut lanes: Vec<M::State> = Vec::with_capacity(width);
+    let mut ts: Vec<Time> = Vec::with_capacity(width);
+    let mut rngs: Vec<SimRng> = Vec::with_capacity(width);
+    let mut scratches: Vec<K::Scratch> = Vec::with_capacity(width);
+    let mut root_of: Vec<u64> = Vec::with_capacity(width);
+    let mut steps_of: Vec<u64> = Vec::with_capacity(width);
+    let mut alive: Vec<usize> = Vec::with_capacity(width);
+    let mut free: Vec<usize> = Vec::new();
+
+    let mut next_root: u64 = 0; // launch counter (== master seed draws in PerRoot)
+    let mut next_commit: u64 = 0; // next root index to fold into the shard
+    let mut pending: BTreeMap<u64, (K::Outcome, u64)> = BTreeMap::new();
+    // Steps taken by alive lanes plus retired-but-uncommitted roots;
+    // bounds speculation in the launch gate below.
+    let mut inflight_steps: u64 = 0;
+
+    'outer: loop {
+        // ---- launch: keep lanes busy while known work is below target --
+        while (!free.is_empty() || lanes.len() < width)
+            && shard.steps().saturating_add(inflight_steps) < target
+        {
+            let slot = match free.pop() {
+                Some(s) => s,
+                None => {
+                    let s = lanes.len();
+                    scratches.push(kernel.new_scratch());
+                    // Placeholder values; overwritten below.
+                    lanes.push(problem.model.initial_state());
+                    ts.push(0);
+                    rngs.push(if per_root {
+                        rng_from_seed(0)
+                    } else {
+                        shared_master.take().expect("shared master present")
+                    });
+                    root_of.push(0);
+                    steps_of.push(0);
+                    s
+                }
+            };
+            if per_root {
+                // The per-root stream: one seed draw from the master.
+                rngs[slot] = split_rng(rng);
+            }
+            let (state, t0) = kernel.begin_root(problem, &mut scratches[slot]);
+            debug_assert!(t0 < horizon, "roots must have at least one step");
+            lanes[slot] = state;
+            ts[slot] = t0;
+            root_of[slot] = next_root;
+            steps_of[slot] = 0;
+            next_root += 1;
+            alive.push(slot);
+        }
+
+        // ---- step the cohort ------------------------------------------
+        if !alive.is_empty() {
+            for &i in &alive {
+                ts[i] += 1; // target time of the state being produced
+            }
+            kernel.step_lanes(problem, &mut lanes, &ts, &mut rngs, &alive, &mut scratches);
+            let mut k = 0;
+            while k < alive.len() {
+                let i = alive[k];
+                steps_of[i] += 1;
+                inflight_steps += 1;
+                let status = kernel.on_step(problem, &mut scratches[i], &lanes[i], ts[i]);
+                if status == SegmentStatus::SegmentDone || ts[i] >= horizon {
+                    // Install the next runnable segment (segments born at
+                    // or past the horizon run zero steps — skip them).
+                    let mut retired = true;
+                    while let Some((s, t)) = kernel.next_segment(&mut scratches[i]) {
+                        if t < horizon {
+                            lanes[i] = s;
+                            ts[i] = t;
+                            retired = false;
+                            break;
+                        }
+                    }
+                    if retired {
+                        let out = kernel.finish_root(&mut scratches[i], steps_of[i]);
+                        pending.insert(root_of[i], (out, steps_of[i]));
+                        free.push(i);
+                        alive.swap_remove(k);
+                        continue;
+                    }
+                }
+                k += 1;
+            }
+        }
+
+        // ---- commit in root order -------------------------------------
+        while let Some((out, steps)) = pending.remove(&next_commit) {
+            if shard.steps() >= target {
+                // The scalar rule would never have launched this root —
+                // discard it (and, transitively, everything after it).
+                break 'outer;
+            }
+            inflight_steps -= steps;
+            let before = shard.steps();
+            kernel.commit(shard, out);
+            chunk.steps += shard.steps() - before;
+            chunk.roots += 1;
+            next_commit += 1;
+        }
+        if shard.steps() >= target {
+            break;
+        }
+    }
+
+    // ---- restore the master RNG -----------------------------------------
+    if per_root {
+        // Exactly one seed draw per *committed* root, as the width-1
+        // execution would have left it.
+        *rng = rng_entry.expect("saved entry state");
+        for _ in 0..next_commit {
+            let _ = rng.random::<u64>();
+        }
+    } else {
+        // The (single) lane held the master stream; hand it back.
+        *rng = if rngs.is_empty() {
+            shared_master.take().expect("never launched")
+        } else {
+            rngs.swap_remove(0)
+        };
+    }
+    chunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::Estimator;
+    use crate::gmlss::GMlssConfig;
+    use crate::levels::PartitionPlan;
+    use crate::quality::RunControl;
+    use crate::query::RatioValue;
+    use crate::rng::rng_from_seed;
+    use crate::srs::SrsEstimator;
+
+    struct JumpyWalk;
+
+    impl SimulationModel for JumpyWalk {
+        type State = f64;
+
+        fn initial_state(&self) -> f64 {
+            0.0
+        }
+
+        fn step(&self, s: &f64, _t: Time, rng: &mut SimRng) -> f64 {
+            let mut v = s + if rng.random::<f64>() < 0.5 {
+                0.05
+            } else {
+                -0.05
+            };
+            if rng.random::<f64>() < 0.02 {
+                v += 0.5;
+            }
+            v.clamp(0.0, 1.0)
+        }
+    }
+
+    type Vf = RatioValue<fn(&f64) -> f64>;
+
+    fn vf() -> Vf {
+        fn score(s: &f64) -> f64 {
+            *s
+        }
+        RatioValue::new(score as fn(&f64) -> f64, 1.0)
+    }
+
+    #[test]
+    fn widths_are_bit_identical_and_rewind_the_rng() {
+        let model = JumpyWalk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 60);
+        let mut reference: Option<(u64, u64, u64, u64)> = None;
+        for width in [1usize, 3, 17, 64] {
+            let mut rng = rng_from_seed(42);
+            let mut shard = <SrsEstimator as Estimator<JumpyWalk, Vf>>::shard(&SrsEstimator);
+            SrsEstimator.run_chunk_batched(problem, &mut shard, 40_000, &mut rng, width);
+            let sig = (shard.n, shard.hits, shard.steps, rng.random::<u64>());
+            match &reference {
+                None => reference = Some(sig),
+                Some(r) => assert_eq!(*r, sig, "width {width} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_chunk_boundaries_are_invisible() {
+        // Two batched chunks must equal one big batched chunk — shard and
+        // master RNG state both — at a width that forces speculation
+        // discard at each boundary.
+        let model = JumpyWalk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 60);
+        let plan = PartitionPlan::new(vec![0.4, 0.7]).unwrap();
+        let cfg = GMlssConfig::new(plan, RunControl::budget(1));
+
+        let mut rng_a = rng_from_seed(7);
+        let mut one = crate::estimator::shard_for(&cfg, &problem);
+        cfg.run_chunk_batched(problem, &mut one, 50_000, &mut rng_a, 32);
+
+        let mut rng_b = rng_from_seed(7);
+        let mut two = crate::estimator::shard_for(&cfg, &problem);
+        cfg.run_chunk_batched(problem, &mut two, 20_000, &mut rng_b, 32);
+        let already = two.steps();
+        cfg.run_chunk_batched(problem, &mut two, 50_000 - already, &mut rng_b, 32);
+
+        assert_eq!(one.steps(), two.steps());
+        assert_eq!(one.n_roots(), two.n_roots());
+        assert_eq!(one.hits, two.hits);
+        assert_eq!(one.tau().to_bits(), two.tau().to_bits());
+        assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
+    }
+
+    #[test]
+    fn overshoot_stays_one_root_at_any_width() {
+        // The commit rule is the scalar stopping rule at every width:
+        // never more than one root past the budget.
+        let model = JumpyWalk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 50);
+        for width in [1usize, 64] {
+            let mut rng = rng_from_seed(3);
+            let mut shard = <SrsEstimator as Estimator<JumpyWalk, Vf>>::shard(&SrsEstimator);
+            SrsEstimator.run_chunk_batched(problem, &mut shard, 10_000, &mut rng, width);
+            assert!(shard.steps >= 10_000);
+            assert!(shard.steps < 10_000 + 50, "width {width}: {}", shard.steps);
+        }
+    }
+}

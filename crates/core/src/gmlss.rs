@@ -39,6 +39,7 @@
 use crate::bootstrap::{bootstrap_variance, RootLedger};
 use crate::estimate::Estimate;
 use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
+use crate::frontier::{run_frontier, FrontierMode, RootKernel, SegmentStatus};
 use crate::levels::PartitionPlan;
 use crate::model::{SimulationModel, Time};
 use crate::quality::RunControl;
@@ -478,6 +479,237 @@ fn simulate_root<M, V>(
     shard.n_roots += 1;
 }
 
+/// Frontier kernel for g-MLSS: one lane carries one root's whole
+/// splitting tree (same LIFO segment order as [`simulate_root`], so
+/// per-root RNG consumption is identical); per-root counter deltas and
+/// the ledger record are buffered in scratch and folded into the shard in
+/// root order at commit time.
+pub(crate) struct GMlssKernel<'a> {
+    plan: &'a PartitionPlan,
+    ratio: u32,
+    track_ledger: bool,
+}
+
+/// Per-root scratch for the g-MLSS kernel.
+pub(crate) struct GMlssScratch<S> {
+    stack: Vec<Segment<S>>,
+    /// `crossed_max` of the lane's current segment.
+    crossed_max: usize,
+    /// Parent split-event index of the current segment.
+    parent: Option<usize>,
+    events: Vec<SplitEvent>,
+    landings: Vec<u64>,
+    skips: Vec<u64>,
+    skip_events: u64,
+    hits: u32,
+    /// Ledger record (layout of [`RootLedger`]): landings `0..m`,
+    /// crossings `m..2m`, skips `2m..3m`, hits at `3m`.
+    rec: Vec<u32>,
+}
+
+/// Everything one finished g-MLSS root commits.
+pub(crate) struct GMlssRoot {
+    landings: Vec<u64>,
+    crossings: Vec<u64>,
+    skips: Vec<u64>,
+    skip_events: u64,
+    hits: u32,
+    steps: u64,
+    rec: Option<Vec<u32>>,
+}
+
+impl<'a, M, V> RootKernel<M, V> for GMlssKernel<'a>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    type Scratch = GMlssScratch<M::State>;
+    type Outcome = GMlssRoot;
+    type Shard = GmlssShard;
+
+    fn new_scratch(&self) -> Self::Scratch {
+        let m = self.plan.num_levels();
+        GMlssScratch {
+            stack: Vec::new(),
+            crossed_max: 0,
+            parent: None,
+            events: Vec::new(),
+            landings: vec![0; m],
+            skips: vec![0; m],
+            skip_events: 0,
+            hits: 0,
+            // The ledger record costs per-root work; only carry it when
+            // the shard actually tracks a ledger.
+            rec: if self.track_ledger {
+                vec![0; 3 * m + 1]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn begin_root(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut Self::Scratch,
+    ) -> (M::State, Time) {
+        let m = self.plan.num_levels();
+        let r = self.ratio;
+        scratch.stack.clear();
+        scratch.events.clear();
+        scratch.skip_events = 0;
+        scratch.hits = 0;
+        scratch.landings.clear();
+        scratch.landings.resize(m, 0);
+        scratch.skips.clear();
+        scratch.skips.resize(m, 0);
+        if self.track_ledger {
+            scratch.rec.clear();
+            scratch.rec.resize(3 * m + 1, 0);
+        }
+
+        let init = problem.model.initial_state();
+        let init_level = self.plan.level_of(problem.value(&init)).min(m - 1);
+        if init_level == 0 {
+            scratch.crossed_max = 0;
+            scratch.parent = None;
+            return (init, 0);
+        }
+        // Root born above L_0: t = 0 is a crossing event (see
+        // `simulate_root` for the estimator-semantics rationale).
+        if init_level > 1 {
+            scratch.skip_events += 1;
+        }
+        for i in 1..init_level.min(m) {
+            if self.track_ledger {
+                scratch.rec[2 * m + i] += 1;
+            }
+            scratch.skips[i] += 1;
+        }
+        if self.track_ledger {
+            scratch.rec[init_level] += 1;
+        }
+        scratch.landings[init_level] += 1;
+        scratch.events.push(SplitEvent {
+            level: init_level,
+            crossed: 0,
+        });
+        for _ in 0..r - 1 {
+            scratch.stack.push(Segment {
+                state: init.clone(),
+                t: 0,
+                crossed_max: init_level,
+                parent: Some(0),
+            });
+        }
+        scratch.crossed_max = init_level;
+        scratch.parent = Some(0);
+        (init, 0)
+    }
+
+    fn on_step(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut Self::Scratch,
+        state: &M::State,
+        t: Time,
+    ) -> SegmentStatus {
+        let m = self.plan.num_levels();
+        let lvl = self.plan.level_of(problem.value(state));
+        if lvl <= scratch.crossed_max {
+            return SegmentStatus::Running;
+        }
+        // Crossing event (at most one per segment).
+        if let Some(pi) = scratch.parent {
+            scratch.events[pi].crossed += 1;
+        }
+        if lvl - scratch.crossed_max > 1 {
+            scratch.skip_events += 1;
+        }
+        for i in (scratch.crossed_max + 1)..lvl {
+            if self.track_ledger {
+                scratch.rec[2 * m + i] += 1;
+            }
+            scratch.skips[i] += 1;
+        }
+        if lvl == m {
+            scratch.hits += 1;
+        } else {
+            if self.track_ledger {
+                scratch.rec[lvl] += 1;
+            }
+            scratch.landings[lvl] += 1;
+            let ei = scratch.events.len();
+            scratch.events.push(SplitEvent {
+                level: lvl,
+                crossed: 0,
+            });
+            for _ in 0..self.ratio {
+                scratch.stack.push(Segment {
+                    state: state.clone(),
+                    t,
+                    crossed_max: lvl,
+                    parent: Some(ei),
+                });
+            }
+        }
+        SegmentStatus::SegmentDone
+    }
+
+    fn next_segment(&self, scratch: &mut Self::Scratch) -> Option<(M::State, Time)> {
+        let seg = scratch.stack.pop()?;
+        scratch.crossed_max = seg.crossed_max;
+        scratch.parent = seg.parent;
+        Some((seg.state, seg.t))
+    }
+
+    fn finish_root(&self, scratch: &mut Self::Scratch, steps: u64) -> GMlssRoot {
+        let m = self.plan.num_levels();
+        let mut crossings = vec![0u64; m];
+        for ev in &scratch.events {
+            if self.track_ledger {
+                scratch.rec[m + ev.level] += ev.crossed;
+            }
+            crossings[ev.level] += ev.crossed as u64;
+        }
+        let rec = self.track_ledger.then(|| {
+            scratch.rec[3 * m] = scratch.hits;
+            std::mem::take(&mut scratch.rec)
+        });
+        GMlssRoot {
+            landings: std::mem::take(&mut scratch.landings),
+            crossings,
+            skips: std::mem::take(&mut scratch.skips),
+            skip_events: scratch.skip_events,
+            hits: scratch.hits,
+            steps,
+            rec,
+        }
+    }
+
+    fn commit(&self, shard: &mut GmlssShard, out: GMlssRoot) {
+        for (a, b) in shard.landings.iter_mut().zip(&out.landings) {
+            *a += b;
+        }
+        for (a, b) in shard.crossings.iter_mut().zip(&out.crossings) {
+            *a += b;
+        }
+        for (a, b) in shard.skips.iter_mut().zip(&out.skips) {
+            *a += b;
+        }
+        shard.skip_events += out.skip_events;
+        shard.hits += out.hits as u64;
+        shard.steps += out.steps;
+        if let Some(rec) = out.rec {
+            if shard.track_ledger {
+                shard.ledger.push_record(&rec);
+            }
+        }
+        shard.moments.push(out.hits);
+        shard.n_roots += 1;
+    }
+}
+
 impl<M, V> Estimator<M, V> for GMlssConfig
 where
     M: SimulationModel,
@@ -500,17 +732,35 @@ where
         budget: u64,
         rng: &mut SimRng,
     ) -> ChunkOutcome {
-        let target = shard.steps.saturating_add(budget);
-        let mut stack = Vec::new();
-        let mut events = Vec::new();
-        let mut done = ChunkOutcome::default();
-        while shard.steps < target {
-            let before = shard.steps;
-            simulate_root(&problem, &self.plan, shard, &mut stack, &mut events, rng);
-            done.roots += 1;
-            done.steps += shard.steps - before;
-        }
-        done
+        let kernel = GMlssKernel {
+            plan: &self.plan,
+            ratio: self.ratio,
+            track_ledger: shard.track_ledger,
+        };
+        run_frontier(&kernel, &problem, shard, budget, rng, FrontierMode::Shared)
+    }
+
+    fn run_chunk_batched(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut GmlssShard,
+        budget: u64,
+        rng: &mut SimRng,
+        width: usize,
+    ) -> ChunkOutcome {
+        let kernel = GMlssKernel {
+            plan: &self.plan,
+            ratio: self.ratio,
+            track_ledger: shard.track_ledger,
+        };
+        run_frontier(
+            &kernel,
+            &problem,
+            shard,
+            budget,
+            rng,
+            FrontierMode::PerRoot(width),
+        )
     }
 
     fn estimate(&self, shard: &GmlssShard, rng: &mut SimRng) -> Estimate {

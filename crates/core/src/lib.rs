@@ -45,7 +45,7 @@
 //!
 //! | module | paper section | contents |
 //! |---|---|---|
-//! | [`model`] | §2.1 | the simulation procedure `g`, step metering |
+//! | [`model`] | §2.1 | the simulation procedure `g`, batched stepping (`step_batch`), step metering |
 //! | [`query`] | §2.1, §3 | queries `Q(q,s)`, value functions `f` |
 //! | [`levels`] | §3 | level partition plans |
 //! | [`estimator`] | §2–§4 | the unified [`estimator::Estimator`] trait: chunked execution, mergeable [`estimator::Ledger`] shards, the shared sequential driver |
@@ -73,6 +73,14 @@
 //! `mlss-db`'s `mlss_estimate` stored procedure are all generic over the
 //! trait, so a new sampling strategy written against it plugs into every
 //! layer — SQL query → planner → parallel driver → sampler — unchanged.
+//!
+//! Underneath the trait, all four built-in estimators execute on one
+//! batched *frontier* engine: chunks advance a cohort of root paths per
+//! [`model::SimulationModel::step_batch`] call, with one RNG stream per
+//! root so results are bit-identical at every frontier width (see
+//! `docs/kernel.md`). [`estimator::run_sequential_batched`],
+//! `ParallelConfig::batch_width`, and `SchedulerConfig::batch_width`
+//! expose the width at each layer.
 
 #![warn(missing_docs)]
 
@@ -80,6 +88,7 @@ pub mod bootstrap;
 pub mod diagnostics;
 pub mod estimate;
 pub mod estimator;
+pub(crate) mod frontier;
 pub mod gmlss;
 pub mod is;
 pub mod levels;
@@ -103,15 +112,17 @@ pub mod prelude {
     pub use crate::diagnostics::{trace_root_tree, SplitTree};
     pub use crate::estimate::Estimate;
     pub use crate::estimator::{
-        run_sequential, run_sequential_from, ChunkOutcome, Diagnostics, Estimator, EstimatorRun,
-        Ledger,
+        run_sequential, run_sequential_batched, run_sequential_batched_from, run_sequential_from,
+        ChunkOutcome, Diagnostics, Estimator, EstimatorRun, Ledger,
     };
     pub use crate::gmlss::{GMlssConfig, GMlssResult, GMlssSampler, GmlssShard, VarianceMode};
     pub use crate::is::{
         importance_sample, select_tilt, IsEstimator, IsResult, IsShard, TiltableModel,
     };
     pub use crate::levels::PartitionPlan;
-    pub use crate::model::{simulate_path, SamplePath, SimulationModel, StepCounter, Time};
+    pub use crate::model::{
+        simulate_path, SamplePath, ScalarAdapter, SimulationModel, StepCounter, Time,
+    };
     pub use crate::parallel::{
         run_parallel, run_parallel_from, run_parallel_gmlss, run_parallel_to_target,
         ParallelConfig, ParallelResult, ParallelRun,

@@ -7,6 +7,27 @@
 //! cell vectors, and so on. This keeps the sampler interface
 //! Markov-in-state while supporting the full generality of the paper
 //! (any `g`, including black boxes).
+//!
+//! ## Batched stepping
+//!
+//! [`SimulationModel::step_batch`] advances a whole *cohort* of
+//! independent paths per call — the hot-path contract behind the batched
+//! estimator frontier (see `docs/kernel.md`). The provided default is the
+//! **scalar→batch adapter**: it loops the scalar `step` over the alive
+//! lanes, so every existing model works unchanged. Models with profitable
+//! batch structure (contiguous `f64` lanes, shared distribution setup, a
+//! batched GEMM in the RNN case) override it with a native kernel.
+//!
+//! The contract native kernels must honor:
+//!
+//! * **lane isolation** — lane `i` reads and writes only `lanes[i]`,
+//!   `ts[i]`, `rngs[i]`; lanes are independent root paths.
+//! * **draw-identity** — lane `i` must consume exactly the random draws
+//!   the scalar `step(lanes[i], ts[i], rngs[i])` would, in the same
+//!   order, so batched and scalar execution are bit-identical per lane
+//!   (lanes may be processed in any order: each has its own RNG).
+//! * **mask semantics** — lanes not listed in `alive` must not be
+//!   touched at all (their state may belong to a retired path).
 
 use crate::rng::SimRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +52,26 @@ pub trait SimulationModel: Sync {
     /// at time `t`. `t` is the *target* time of the produced state, so the
     /// first invocation on a fresh path receives `t = 1`.
     fn step(&self, state: &Self::State, t: Time, rng: &mut SimRng) -> Self::State;
+
+    /// Advance every alive lane one step in place:
+    /// `lanes[i] ← g(lanes[i], ts[i])` drawing from `rngs[i]`, for each
+    /// `i` in `alive`.
+    ///
+    /// The default is the scalar→batch adapter (a loop over `step`);
+    /// override with a native kernel where batch structure pays — the
+    /// override must be per-lane bit-identical to the scalar `step` (see
+    /// the module docs for the full contract).
+    fn step_batch(
+        &self,
+        lanes: &mut [Self::State],
+        ts: &[Time],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        for &i in alive {
+            lanes[i] = self.step(&lanes[i], ts[i], &mut rngs[i]);
+        }
+    }
 }
 
 /// Blanket implementation so `&M` is itself a model (lets samplers borrow).
@@ -44,6 +85,39 @@ impl<M: SimulationModel> SimulationModel for &M {
     fn step(&self, state: &Self::State, t: Time, rng: &mut SimRng) -> Self::State {
         (**self).step(state, t, rng)
     }
+
+    fn step_batch(
+        &self,
+        lanes: &mut [Self::State],
+        ts: &[Time],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        (**self).step_batch(lanes, ts, rngs, alive)
+    }
+}
+
+/// Forces the scalar→batch adapter: wraps a model and *hides* its native
+/// `step_batch` override, so `step_batch` always loops the scalar `step`.
+///
+/// Two uses: benchmarking a native batch kernel against the adapter
+/// (`kernel_bench`), and property-testing that a native kernel is
+/// per-lane bit-identical to scalar stepping.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarAdapter<M>(pub M);
+
+impl<M: SimulationModel> SimulationModel for ScalarAdapter<M> {
+    type State = M::State;
+
+    fn initial_state(&self) -> Self::State {
+        self.0.initial_state()
+    }
+
+    fn step(&self, state: &Self::State, t: Time, rng: &mut SimRng) -> Self::State {
+        self.0.step(state, t, rng)
+    }
+
+    // No step_batch override: the provided scalar loop is the point.
 }
 
 /// Wraps a model and meters invocations of `g` — the paper's cost unit
@@ -52,7 +126,10 @@ impl<M: SimulationModel> SimulationModel for &M {
 ///
 /// The counter is a relaxed atomic so metered models stay `Sync` and can
 /// be shared with the parallel driver; the count is exact because each
-/// increment is independent.
+/// increment is independent. Batched stepping pays **one** atomic
+/// `add(k)` per batch call — a batch of `k` alive lanes counts exactly
+/// `k` invocations of `g`, with none of the per-step cache-line traffic
+/// the scalar path incurs.
 pub struct StepCounter<M> {
     inner: M,
     count: AtomicU64,
@@ -93,6 +170,19 @@ impl<M: SimulationModel> SimulationModel for StepCounter<M> {
     fn step(&self, state: &Self::State, t: Time, rng: &mut SimRng) -> Self::State {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.step(state, t, rng)
+    }
+
+    fn step_batch(
+        &self,
+        lanes: &mut [Self::State],
+        ts: &[Time],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        // One atomic op per batch step, counting exactly the alive lanes;
+        // forwards to the inner model so native kernels stay engaged.
+        self.count.fetch_add(alive.len() as u64, Ordering::Relaxed);
+        self.inner.step_batch(lanes, ts, rngs, alive);
     }
 }
 

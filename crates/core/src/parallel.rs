@@ -52,6 +52,11 @@ pub struct ParallelConfig {
     /// Bootstrap resamples used by the g-MLSS compatibility wrappers'
     /// final variance ([`run_parallel_gmlss`]).
     pub bootstrap_resamples: usize,
+    /// Frontier width for each worker's chunks: `0` runs the classic
+    /// scalar `run_chunk` path (bit-compatible with pre-frontier runs);
+    /// `w ≥ 1` routes chunks through `run_chunk_batched` at width `w`
+    /// (bit-identical across widths, so this knob only changes speed).
+    pub batch_width: usize,
 }
 
 impl Default for ParallelConfig {
@@ -63,6 +68,7 @@ impl Default for ParallelConfig {
             sync_every: 65_536,
             seed: 0,
             bootstrap_resamples: 200,
+            batch_width: 0,
         }
     }
 }
@@ -223,7 +229,17 @@ where
                     }
 
                     let mut pending = estimator.shard();
-                    let outcome = estimator.run_chunk(problem, &mut pending, chunk, &mut rng);
+                    let outcome = if cfg.batch_width == 0 {
+                        estimator.run_chunk(problem, &mut pending, chunk, &mut rng)
+                    } else {
+                        estimator.run_chunk_batched(
+                            problem,
+                            &mut pending,
+                            chunk,
+                            &mut rng,
+                            cfg.batch_width,
+                        )
+                    };
 
                     // Deposit into this worker's slot — contended only
                     // with a reducer draining it, never with peers.
@@ -438,6 +454,7 @@ mod tests {
             sync_every: 20_000,
             seed: 7,
             bootstrap_resamples: 50,
+            batch_width: 0,
         };
         let res = run_parallel_gmlss(problem, &base, RunControl::budget(400_000), &cfg);
         assert!(res.estimate.steps >= 400_000);
@@ -462,6 +479,7 @@ mod tests {
             sync_every: 50_000,
             seed: 11,
             bootstrap_resamples: 50,
+            batch_width: 0,
         };
         let par = run_parallel_gmlss(problem, &base, RunControl::budget(600_000), &cfg);
 
@@ -489,6 +507,7 @@ mod tests {
             sync_every: 10_000,
             seed: 42,
             bootstrap_resamples: 50,
+            batch_width: 0,
         };
         // Worker *streams* are seed-deterministic, but chunk scheduling is
         // not, so repeated runs agree statistically rather than exactly.
@@ -516,6 +535,7 @@ mod tests {
             sync_every: 5_000,
             seed: 1,
             bootstrap_resamples: 20,
+            batch_width: 0,
         };
         let res = run_parallel_gmlss(problem, &base, RunControl::budget(20_000), &cfg);
         assert!(res.estimate.steps >= 20_000);
@@ -535,6 +555,7 @@ mod tests {
             sync_every: 65_536, // silent foot-gun before the clamp
             seed: 5,
             bootstrap_resamples: 20,
+            batch_width: 0,
         };
         let run = run_parallel(problem, &SrsEstimator, RunControl::budget(budget), &cfg).estimate;
         assert!(run.steps >= budget, "budget must still be spent");
@@ -558,6 +579,7 @@ mod tests {
             sync_every: 10_000,
             seed: 9,
             bootstrap_resamples: 20,
+            batch_width: 0,
         };
 
         let srs = run_parallel(problem, &SrsEstimator, RunControl::budget(150_000), &cfg);
@@ -578,6 +600,82 @@ mod tests {
             "srs {} vs smlss {} through run_parallel",
             srs.estimate.tau,
             smlss.estimate.tau
+        );
+    }
+
+    #[test]
+    fn batched_parallel_at_one_thread_matches_batched_sequential() {
+        // Frontier chunks keep the chunk-boundary-invisibility property,
+        // so worker 0 of a batched parallel run retraces a batched
+        // sequential run over the same stream bit for bit.
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 60);
+        let control = RunControl::budget(80_000);
+        let seed = 23u64;
+        let width = 16usize;
+
+        let seq = crate::estimator::run_sequential_batched(
+            &SrsEstimator,
+            problem,
+            control,
+            &mut StreamFactory::new(seed).stream(0),
+            width,
+        )
+        .estimate;
+
+        let par = run_parallel(
+            problem,
+            &SrsEstimator,
+            control,
+            &ParallelConfig {
+                threads: 1,
+                sync_every: 9_000,
+                seed,
+                bootstrap_resamples: 20,
+                batch_width: width,
+            },
+        )
+        .estimate;
+
+        assert_eq!(par.steps, seq.steps);
+        assert_eq!(par.n_roots, seq.n_roots);
+        assert_eq!(par.hits, seq.hits);
+        assert_eq!(par.tau.to_bits(), seq.tau.to_bits());
+    }
+
+    #[test]
+    fn batched_multiworker_parallel_agrees_statistically() {
+        let model = Walk;
+        let v = vf();
+        let problem = Problem::new(&model, &v, 80);
+        let cfg = ParallelConfig {
+            threads: 3,
+            sync_every: 10_000,
+            seed: 14,
+            bootstrap_resamples: 20,
+            batch_width: 32,
+        };
+        let batched = run_parallel(problem, &SrsEstimator, RunControl::budget(150_000), &cfg);
+        assert!(batched.estimate.steps >= 150_000);
+        let scalar_cfg = ParallelConfig {
+            batch_width: 0,
+            ..cfg
+        };
+        let scalar = run_parallel(
+            problem,
+            &SrsEstimator,
+            RunControl::budget(150_000),
+            &scalar_cfg,
+        );
+        let diff = (batched.estimate.tau - scalar.estimate.tau).abs();
+        let tol =
+            5.0 * (batched.estimate.variance.max(0.0) + scalar.estimate.variance.max(0.0)).sqrt();
+        assert!(
+            diff <= tol.max(5e-3),
+            "batched {} vs scalar {}",
+            batched.estimate.tau,
+            scalar.estimate.tau
         );
     }
 

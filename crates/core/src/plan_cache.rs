@@ -38,6 +38,17 @@ pub struct CachedPlan {
     pub tau_hint: f64,
 }
 
+/// Result of a traced cache lookup ([`PlanCache::get_or_build_traced`]).
+#[derive(Debug, Clone)]
+pub struct PlanLookup {
+    /// The (possibly freshly built) partition plan.
+    pub plan: PartitionPlan,
+    /// The pilot's τ̂ extrapolation hint.
+    pub tau_hint: f64,
+    /// Was this lookup answered from the cache (no pilot ran)?
+    pub hit: bool,
+}
+
 /// A concurrent memo table of derived partition plans.
 ///
 /// Thread-safe; `get_or_build` holds no lock while running the builder,
@@ -67,10 +78,29 @@ impl PlanCache {
         levels: usize,
         build: impl FnOnce() -> (PartitionPlan, f64),
     ) -> (PartitionPlan, f64) {
+        let lookup = self.get_or_build_traced(fingerprint, method, levels, build);
+        (lookup.plan, lookup.tau_hint)
+    }
+
+    /// Like [`PlanCache::get_or_build`], but also reporting whether this
+    /// particular lookup was answered from the cache — the per-query
+    /// provenance the serving layer records in its `results` rows (the
+    /// aggregate counters can't attribute a hit to a query).
+    pub fn get_or_build_traced(
+        &self,
+        fingerprint: u64,
+        method: &str,
+        levels: usize,
+        build: impl FnOnce() -> (PartitionPlan, f64),
+    ) -> PlanLookup {
         let key = (fingerprint, method.to_string(), levels);
         if let Some(cached) = self.plans.lock().expect("plan cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (cached.plan.clone(), cached.tau_hint);
+            return PlanLookup {
+                plan: cached.plan.clone(),
+                tau_hint: cached.tau_hint,
+                hit: true,
+            };
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (plan, tau_hint) = build();
@@ -79,7 +109,11 @@ impl PlanCache {
             plan: plan.clone(),
             tau_hint,
         });
-        (entry.plan.clone(), entry.tau_hint)
+        PlanLookup {
+            plan: entry.plan.clone(),
+            tau_hint: entry.tau_hint,
+            hit: false,
+        }
     }
 
     /// Lookups answered from the cache.

@@ -104,6 +104,9 @@ where
     control: RunControl,
     shard: E::Shard,
     rng: SimRng,
+    /// Frontier width for slices: 0 = classic scalar chunks, w ≥ 1 =
+    /// batched chunks at width w (bit-identical across widths).
+    batch_width: usize,
 }
 
 impl<M, V, E> EstimatorQuery<M, V, E>
@@ -132,7 +135,18 @@ where
             control,
             shard,
             rng,
+            batch_width: 0,
         }
+    }
+
+    /// Route this job's slices through the batched frontier at the given
+    /// width (`0` restores the scalar path). Because batched execution is
+    /// bit-identical across widths, this only changes throughput — but
+    /// note the batched path's randomness scheme differs from the scalar
+    /// path's, so switch it before the first slice, not mid-query.
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width;
+        self
     }
 
     /// Build a query job seeded like the parallel driver's worker 0
@@ -196,9 +210,18 @@ where
         let problem = Problem::new(&self.model, &self.value_fn, self.horizon);
         let mut pending = self.estimator.shard();
         let mut rng = self.rng.clone();
-        let outcome = self
-            .estimator
-            .run_chunk(problem, &mut pending, budget, &mut rng);
+        let outcome = if self.batch_width == 0 {
+            self.estimator
+                .run_chunk(problem, &mut pending, budget, &mut rng)
+        } else {
+            self.estimator.run_chunk_batched(
+                problem,
+                &mut pending,
+                budget,
+                &mut rng,
+                self.batch_width,
+            )
+        };
         self.shard.merge(pending);
         self.rng = rng;
         outcome
@@ -258,6 +281,11 @@ pub struct SchedulerConfig {
     /// deterministic panics fail fast; transient ones (e.g. resource
     /// exhaustion) get another chance.
     pub max_retries: u32,
+    /// Frontier width applied to queries admitted via
+    /// [`Scheduler::submit`]: 0 = scalar slices, w ≥ 1 = batched slices
+    /// at width w. Pre-built jobs ([`Scheduler::submit_query`]) keep
+    /// whatever width they were built with.
+    pub batch_width: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -268,6 +296,7 @@ impl Default for SchedulerConfig {
                 .unwrap_or(1),
             slice_budget: 32_768,
             max_retries: 1,
+            batch_width: 0,
         }
     }
 }
@@ -477,9 +506,10 @@ impl Scheduler {
         E::Shard: Send + 'static,
     {
         self.submit_query(
-            Box::new(EstimatorQuery::from_seed(
-                model, value_fn, horizon, estimator, control, seed,
-            )),
+            Box::new(
+                EstimatorQuery::from_seed(model, value_fn, horizon, estimator, control, seed)
+                    .with_batch_width(self.cfg.batch_width),
+            ),
             priority,
         )
     }
@@ -909,6 +939,7 @@ mod tests {
             workers,
             slice_budget: 10_000,
             max_retries: 1,
+            batch_width: 0,
         })
     }
 
@@ -1101,6 +1132,7 @@ mod tests {
                 sync_every: 50_000,
                 seed: 31,
                 bootstrap_resamples: 20,
+                batch_width: 0,
             },
             shard,
         );
@@ -1156,6 +1188,7 @@ mod tests {
             workers: 1,
             slice_budget: 5_000,
             max_retries: 0,
+            batch_width: 0,
         });
         let expensive = sched.submit(
             Walk { up: 0.48 },
@@ -1251,6 +1284,7 @@ mod tests {
             workers: 1,
             slice_budget: 1_000,
             max_retries: 0,
+            batch_width: 0,
         });
         let doomed = sched.submit_query(Box::new(FinishedPanics { steps: 0 }), 0);
         let status = sched.wait(doomed).unwrap();

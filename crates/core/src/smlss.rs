@@ -16,6 +16,7 @@
 
 use crate::estimate::Estimate;
 use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
+use crate::frontier::{run_frontier, FrontierMode, RootKernel, SegmentStatus};
 use crate::levels::PartitionPlan;
 use crate::model::{SimulationModel, Time};
 use crate::quality::RunControl;
@@ -242,6 +243,140 @@ where
     this_root_hits
 }
 
+/// Frontier kernel for s-MLSS: a root is a full splitting tree, processed
+/// segment-by-segment within one lane (the lane's LIFO stack mirrors
+/// [`simulate_root`]'s, so per-root RNG consumption is identical).
+pub(crate) struct SMlssKernel<'a> {
+    plan: &'a PartitionPlan,
+    ratio: u32,
+}
+
+/// Per-root scratch for the s-MLSS kernel.
+pub(crate) struct SMlssScratch<S> {
+    stack: Vec<Segment<S>>,
+    /// Watch level of the lane's current segment.
+    watch: usize,
+    /// First-entrance deltas `N_1 .. N_m` for this root.
+    entries: Vec<u64>,
+    /// Target hits of this root.
+    hits: u32,
+}
+
+/// Everything one finished s-MLSS root commits.
+pub(crate) struct SMlssRoot {
+    entries: Vec<u64>,
+    hits: u32,
+    steps: u64,
+}
+
+impl<'a, M, V> RootKernel<M, V> for SMlssKernel<'a>
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    type Scratch = SMlssScratch<M::State>;
+    type Outcome = SMlssRoot;
+    type Shard = SMlssShard;
+
+    fn new_scratch(&self) -> Self::Scratch {
+        SMlssScratch {
+            stack: Vec::new(),
+            watch: 1,
+            entries: vec![0; self.plan.num_levels()],
+            hits: 0,
+        }
+    }
+
+    fn begin_root(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut Self::Scratch,
+    ) -> (M::State, Time) {
+        let m = self.plan.num_levels();
+        scratch.stack.clear();
+        scratch.hits = 0;
+        scratch.entries.clear();
+        scratch.entries.resize(m, 0);
+
+        let init = problem.model.initial_state();
+        let init_level = self.plan.level_of(problem.value(&init)).min(m - 1);
+        // Cascade for roots born above L_0 (see `simulate_root`).
+        let mut mult: u64 = 1;
+        for i in 1..=init_level {
+            scratch.entries[i - 1] += mult;
+            mult *= self.ratio as u64;
+            assert!(
+                mult <= 1_000_000,
+                "initial value crosses too many levels for s-MLSS cascading"
+            );
+        }
+        for _ in 0..mult - 1 {
+            scratch.stack.push(Segment {
+                state: init.clone(),
+                t: 0,
+                level: init_level,
+            });
+        }
+        scratch.watch = init_level + 1;
+        (init, 0)
+    }
+
+    fn on_step(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut Self::Scratch,
+        state: &M::State,
+        t: Time,
+    ) -> SegmentStatus {
+        let m = self.plan.num_levels();
+        let f = problem.value(state);
+        if self.plan.level_of(f) != scratch.watch {
+            return SegmentStatus::Running;
+        }
+        if scratch.watch == m {
+            scratch.hits += 1;
+        } else {
+            scratch.entries[scratch.watch - 1] += 1;
+            for _ in 0..self.ratio {
+                scratch.stack.push(Segment {
+                    state: state.clone(),
+                    t,
+                    level: scratch.watch,
+                });
+            }
+        }
+        SegmentStatus::SegmentDone
+    }
+
+    fn next_segment(&self, scratch: &mut Self::Scratch) -> Option<(M::State, Time)> {
+        let seg = scratch.stack.pop()?;
+        scratch.watch = seg.level + 1;
+        Some((seg.state, seg.t))
+    }
+
+    fn finish_root(&self, scratch: &mut Self::Scratch, steps: u64) -> SMlssRoot {
+        SMlssRoot {
+            entries: std::mem::take(&mut scratch.entries),
+            hits: scratch.hits,
+            steps,
+        }
+    }
+
+    fn commit(&self, shard: &mut SMlssShard, out: SMlssRoot) {
+        let m = shard.m;
+        for (a, b) in shard.level_entries.iter_mut().zip(&out.entries) {
+            *a += b;
+        }
+        shard.steps += out.steps;
+        shard.hits += out.hits as u64;
+        shard.n_roots += 1;
+        if out.hits > 0 {
+            shard.level_entries[m - 1] += out.hits as u64;
+        }
+        shard.moments.push(out.hits);
+    }
+}
+
 impl<M, V> Estimator<M, V> for SMlssConfig
 where
     M: SimulationModel,
@@ -264,16 +399,33 @@ where
         budget: u64,
         rng: &mut SimRng,
     ) -> ChunkOutcome {
-        let target = shard.steps.saturating_add(budget);
-        let mut stack = Vec::new();
-        let mut done = ChunkOutcome::default();
-        while shard.steps < target {
-            let before = shard.steps;
-            simulate_root(&problem, &self.plan, self.ratio, shard, &mut stack, rng);
-            done.roots += 1;
-            done.steps += shard.steps - before;
-        }
-        done
+        let kernel = SMlssKernel {
+            plan: &self.plan,
+            ratio: self.ratio,
+        };
+        run_frontier(&kernel, &problem, shard, budget, rng, FrontierMode::Shared)
+    }
+
+    fn run_chunk_batched(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut SMlssShard,
+        budget: u64,
+        rng: &mut SimRng,
+        width: usize,
+    ) -> ChunkOutcome {
+        let kernel = SMlssKernel {
+            plan: &self.plan,
+            ratio: self.ratio,
+        };
+        run_frontier(
+            &kernel,
+            &problem,
+            shard,
+            budget,
+            rng,
+            FrontierMode::PerRoot(width),
+        )
     }
 
     fn estimate(&self, shard: &SMlssShard, _rng: &mut SimRng) -> Estimate {
@@ -525,5 +677,30 @@ mod tests {
     fn zero_ratio_rejected() {
         let cfg = SMlssConfig::new(PartitionPlan::trivial(), RunControl::budget(1)).with_ratio(0);
         let _ = SMlssSampler::new(cfg);
+    }
+
+    #[test]
+    fn sampler_and_estimator_trait_agree_exactly() {
+        // The sampler's scalar `simulate_root` (splitting stack included)
+        // and the frontier's `SMlssKernel` are two implementations of the
+        // same root program: pin them bit-exactly so they cannot drift.
+        let model = FineWalk { k: 8, up: 0.52 };
+        let (vf, horizon) = walk_problem(&model, 60);
+        let problem = Problem::new(&model, &vf, horizon);
+        let plan = PartitionPlan::new(vec![0.3, 0.6]).unwrap();
+        let cfg = SMlssConfig::new(plan, RunControl::budget(40_000));
+        let res = SMlssSampler::new(cfg.clone()).run(problem, &mut rng_from_seed(19));
+
+        let mut rng = rng_from_seed(19);
+        let mut shard = crate::estimator::shard_for(&cfg, &problem);
+        cfg.run_chunk(problem, &mut shard, 40_000, &mut rng);
+        assert_eq!(shard.steps, res.estimate.steps);
+        assert_eq!(shard.n_roots, res.estimate.n_roots);
+        assert_eq!(shard.hits, res.estimate.hits);
+        assert_eq!(shard.level_entries, res.level_entries);
+        assert_eq!(
+            shard.estimate().variance.to_bits(),
+            res.estimate.variance.to_bits()
+        );
     }
 }

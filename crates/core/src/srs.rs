@@ -8,7 +8,8 @@
 
 use crate::estimate::Estimate;
 use crate::estimator::{ChunkOutcome, Estimator, Ledger};
-use crate::model::SimulationModel;
+use crate::frontier::{run_frontier, FrontierMode, RootKernel, SegmentStatus};
+use crate::model::{SimulationModel, Time};
 use crate::quality::RunControl;
 use crate::query::{Problem, ValueFunction};
 use crate::rng::SimRng;
@@ -58,6 +59,69 @@ impl Ledger for SrsShard {
     }
 }
 
+/// Frontier kernel for SRS: one segment per root, retired on the first
+/// query-satisfying state or at the horizon — the batched form of
+/// [`simulate_root`].
+pub(crate) struct SrsKernel;
+
+/// Per-root scratch: did this root hit?
+#[derive(Default)]
+pub(crate) struct SrsScratch {
+    hit: bool,
+}
+
+impl<M, V> RootKernel<M, V> for SrsKernel
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+{
+    type Scratch = SrsScratch;
+    type Outcome = (bool, u64);
+    type Shard = SrsShard;
+
+    fn new_scratch(&self) -> SrsScratch {
+        SrsScratch::default()
+    }
+
+    fn begin_root(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut SrsScratch,
+    ) -> (M::State, Time) {
+        scratch.hit = false;
+        (problem.model.initial_state(), 0)
+    }
+
+    fn on_step(
+        &self,
+        problem: &Problem<'_, M, V>,
+        scratch: &mut SrsScratch,
+        state: &M::State,
+        _t: Time,
+    ) -> SegmentStatus {
+        if problem.satisfied(state) {
+            scratch.hit = true;
+            SegmentStatus::SegmentDone
+        } else {
+            SegmentStatus::Running
+        }
+    }
+
+    fn next_segment(&self, _scratch: &mut SrsScratch) -> Option<(M::State, Time)> {
+        None
+    }
+
+    fn finish_root(&self, scratch: &mut SrsScratch, steps: u64) -> (bool, u64) {
+        (scratch.hit, steps)
+    }
+
+    fn commit(&self, shard: &mut SrsShard, (hit, steps): (bool, u64)) {
+        shard.n += 1;
+        shard.steps += steps;
+        shard.hits += hit as u64;
+    }
+}
+
 /// The SRS strategy as a pluggable [`Estimator`] (it has no knobs).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SrsEstimator;
@@ -84,16 +148,32 @@ where
         budget: u64,
         rng: &mut SimRng,
     ) -> ChunkOutcome {
-        let mut done = ChunkOutcome::default();
-        while done.steps < budget {
-            let (hit, steps) = simulate_root(&problem, rng);
-            shard.n += 1;
-            shard.steps += steps;
-            shard.hits += hit as u64;
-            done.roots += 1;
-            done.steps += steps;
-        }
-        done
+        run_frontier(
+            &SrsKernel,
+            &problem,
+            shard,
+            budget,
+            rng,
+            FrontierMode::Shared,
+        )
+    }
+
+    fn run_chunk_batched(
+        &self,
+        problem: Problem<'_, M, V>,
+        shard: &mut SrsShard,
+        budget: u64,
+        rng: &mut SimRng,
+        width: usize,
+    ) -> ChunkOutcome {
+        run_frontier(
+            &SrsKernel,
+            &problem,
+            shard,
+            budget,
+            rng,
+            FrontierMode::PerRoot(width),
+        )
     }
 
     fn estimate(&self, shard: &SrsShard, _rng: &mut SimRng) -> Estimate {
@@ -304,5 +384,24 @@ mod tests {
         let e = estimate_from_counts(0, 0, 0);
         assert_eq!(e.tau, 0.0);
         assert!(e.variance.is_infinite());
+    }
+
+    #[test]
+    fn sampler_and_estimator_trait_agree_exactly() {
+        // The sampler's scalar `simulate_root` loop and the frontier's
+        // `SrsKernel` are two implementations of the same root program:
+        // pin them bit-exactly so they cannot drift apart.
+        let model = Jump { p: 0.2 };
+        let vf = RatioValue::new(|s: &f64| *s, 1.0);
+        let problem = Problem::new(&model, &vf, 6);
+        let sampler = SrsSampler::new(RunControl::budget(20_000));
+        let res = sampler.run(problem, &mut rng_from_seed(13));
+
+        let mut rng = rng_from_seed(13);
+        let mut shard = SrsShard::default();
+        SrsEstimator.run_chunk(problem, &mut shard, 20_000, &mut rng);
+        assert_eq!(shard.steps, res.estimate.steps);
+        assert_eq!(shard.n, res.estimate.n_roots);
+        assert_eq!(shard.hits, res.estimate.hits);
     }
 }

@@ -29,7 +29,7 @@ use mlss_core::estimator::{run_sequential, Estimator};
 use mlss_core::model::SimulationModel;
 use mlss_core::parallel::{run_parallel, ParallelConfig};
 use mlss_core::partition::balanced_plan;
-use mlss_core::plan_cache::{fingerprint, PlanCache};
+use mlss_core::plan_cache::{fingerprint, PlanCache, PlanLookup};
 use mlss_core::prelude::{
     GMlssConfig, Problem, QualityTarget, RatioValue, RunControl, SMlssConfig, SimRng, SrsEstimator,
     StateScore,
@@ -168,6 +168,7 @@ pub fn results_schema() -> Schema {
         ColumnDef::new("steps", DataType::Int),
         ColumnDef::new("n_roots", DataType::Int),
         ColumnDef::new("millis", DataType::Int),
+        ColumnDef::new("plan_cache", DataType::Text),
     ])
     .expect("static schema")
 }
@@ -321,6 +322,12 @@ pub struct ProcEstimate {
     pub steps: u64,
     /// Independent root paths simulated.
     pub n_roots: u64,
+    /// How this query's partition plan was obtained: `"hit"` (served
+    /// from the plan cache), `"miss"` (the pilot ran), or `"none"`
+    /// (the method needs no plan). Recorded in the `results` row so
+    /// cache effectiveness is observable per query, not just in the
+    /// aggregate counters.
+    pub plan_source: &'static str,
 }
 
 /// Everything a runner needs to find (or derive) its partition plan: the
@@ -353,7 +360,9 @@ pub trait ModelRunner: Send + Sync {
 
     /// Submit the same query to a [`Scheduler`] instead of running it
     /// synchronously, consuming the runner (the scheduler job takes
-    /// ownership of the model). Returns the scheduler's query id.
+    /// ownership of the model). Returns the scheduler's query id plus
+    /// the plan provenance tag (`"hit"`/`"miss"`/`"none"`) for the
+    /// eventual `results` row.
     #[allow(clippy::too_many_arguments)]
     fn submit(
         self: Box<Self>,
@@ -365,7 +374,7 @@ pub trait ModelRunner: Send + Sync {
         seed: u64,
         priority: u8,
         plans: PlanContext<'_>,
-    ) -> Result<QueryId, DbError>;
+    ) -> Result<(QueryId, &'static str), DbError>;
 
     /// Simulate `n_paths` and insert `(path_id, t, score)` rows into
     /// `dest`, one path at a time (peak memory stays O(horizon), not
@@ -419,7 +428,17 @@ where
             variance: e.variance,
             steps: e.steps,
             n_roots: e.n_roots,
+            plan_source: "none",
         }
+    }
+}
+
+/// Plan provenance tag for a traced cache lookup.
+fn plan_source_of(lookup: &PlanLookup) -> &'static str {
+    if lookup.hit {
+        "hit"
+    } else {
+        "miss"
     }
 }
 
@@ -468,36 +487,46 @@ where
         let control = target_control(target_re);
         // Memoized plan derivation: the pilot + tail fit runs only on a
         // cache miss; repeated queries over the same (model, β, horizon)
-        // reuse the stored plan (and skip the pilot's rng draws).
+        // reuse the stored plan (and skip the pilot's rng draws). The
+        // traced lookup also records this query's hit/miss provenance.
         let plan_for = |key: &str, rng: &mut SimRng| {
             plans
                 .cache
-                .get_or_build(plans.fingerprint, key, PLAN_LEVELS, || {
+                .get_or_build_traced(plans.fingerprint, key, PLAN_LEVELS, || {
                     balanced_plan(problem, PLAN_LEVELS, 2000, rng)
                 })
         };
         Ok(match method {
             Method::Srs => self.drive(&SrsEstimator, problem, control, threads, rng),
             Method::SMlss => {
-                let (plan, _) = plan_for(BALANCED_PLAN_KEY, rng);
-                let cfg = SMlssConfig::new(plan, control);
-                self.drive(&cfg, problem, control, threads, rng)
+                let lookup = plan_for(BALANCED_PLAN_KEY, rng);
+                let src = plan_source_of(&lookup);
+                let cfg = SMlssConfig::new(lookup.plan, control);
+                let mut est = self.drive(&cfg, problem, control, threads, rng);
+                est.plan_source = src;
+                est
             }
             Method::GMlss => {
-                let (plan, _) = plan_for(BALANCED_PLAN_KEY, rng);
-                let cfg = GMlssConfig::new(plan, control);
-                self.drive(&cfg, problem, control, threads, rng)
+                let lookup = plan_for(BALANCED_PLAN_KEY, rng);
+                let src = plan_source_of(&lookup);
+                let cfg = GMlssConfig::new(lookup.plan, control);
+                let mut est = self.drive(&cfg, problem, control, threads, rng);
+                est.plan_source = src;
+                est
             }
             Method::Auto => {
                 // g-MLSS when the pilot derives a usable multi-level plan
                 // (finite τ hint and ≥ 2 levels), SRS otherwise.
-                let (plan, tau_hint) = plan_for(BALANCED_PLAN_KEY, rng);
-                if tau_hint.is_finite() && plan.num_levels() >= 2 {
-                    let cfg = GMlssConfig::new(plan, control);
+                let lookup = plan_for(BALANCED_PLAN_KEY, rng);
+                let src = plan_source_of(&lookup);
+                let mut est = if lookup.tau_hint.is_finite() && lookup.plan.num_levels() >= 2 {
+                    let cfg = GMlssConfig::new(lookup.plan, control);
                     self.drive(&cfg, problem, control, threads, rng)
                 } else {
                     self.drive(&SrsEstimator, problem, control, threads, rng)
-                }
+                };
+                est.plan_source = src;
+                est
             }
         })
     }
@@ -512,7 +541,7 @@ where
         seed: u64,
         priority: u8,
         plans: PlanContext<'_>,
-    ) -> Result<QueryId, DbError> {
+    ) -> Result<(QueryId, &'static str), DbError> {
         let control = target_control(target_re);
         // Derive (or fetch) the plan while still borrowing the model; the
         // pilot uses its own seed-derived stream so the job's stream stays
@@ -523,7 +552,7 @@ where
             let vf = RatioValue::new(self.score, beta);
             let problem = Problem::new(&self.model, &vf, horizon);
             let mut pilot_rng = rng_from_seed(seed ^ 0x9E37_79B9_7F4A_7C15);
-            Some(plans.cache.get_or_build(
+            Some(plans.cache.get_or_build_traced(
                 plans.fingerprint,
                 BALANCED_PLAN_KEY,
                 PLAN_LEVELS,
@@ -533,27 +562,38 @@ where
         let Runner { model, score } = *self;
         let vf = RatioValue::new(score, beta);
         Ok(match method {
-            Method::Srs => {
-                scheduler.submit(model, vf, horizon, SrsEstimator, control, seed, priority)
-            }
+            Method::Srs => (
+                scheduler.submit(model, vf, horizon, SrsEstimator, control, seed, priority),
+                "none",
+            ),
             Method::SMlss => {
-                let (plan, _) = plan.expect("plan derived above");
-                let cfg = SMlssConfig::new(plan, control);
-                scheduler.submit(model, vf, horizon, cfg, control, seed, priority)
+                let lookup = plan.expect("plan derived above");
+                let src = plan_source_of(&lookup);
+                let cfg = SMlssConfig::new(lookup.plan, control);
+                (
+                    scheduler.submit(model, vf, horizon, cfg, control, seed, priority),
+                    src,
+                )
             }
             Method::GMlss => {
-                let (plan, _) = plan.expect("plan derived above");
-                let cfg = GMlssConfig::new(plan, control);
-                scheduler.submit(model, vf, horizon, cfg, control, seed, priority)
+                let lookup = plan.expect("plan derived above");
+                let src = plan_source_of(&lookup);
+                let cfg = GMlssConfig::new(lookup.plan, control);
+                (
+                    scheduler.submit(model, vf, horizon, cfg, control, seed, priority),
+                    src,
+                )
             }
             Method::Auto => {
-                let (plan, tau_hint) = plan.expect("plan derived above");
-                if tau_hint.is_finite() && plan.num_levels() >= 2 {
-                    let cfg = GMlssConfig::new(plan, control);
+                let lookup = plan.expect("plan derived above");
+                let src = plan_source_of(&lookup);
+                let id = if lookup.tau_hint.is_finite() && lookup.plan.num_levels() >= 2 {
+                    let cfg = GMlssConfig::new(lookup.plan, control);
                     scheduler.submit(model, vf, horizon, cfg, control, seed, priority)
                 } else {
                     scheduler.submit(model, vf, horizon, SrsEstimator, control, seed, priority)
-                }
+                };
+                (id, src)
             }
         })
     }
@@ -828,6 +868,7 @@ impl StoredProcedure for MlssEstimate {
                 Value::Int(est.steps as i64),
                 Value::Int(est.n_roots as i64),
                 Value::Int(millis),
+                est.plan_source.into(),
             ],
         )?;
         Ok(Value::Float(est.tau))
@@ -1153,6 +1194,31 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plans.misses(), 2);
+    }
+
+    #[test]
+    fn results_rows_record_plan_cache_provenance() {
+        let db = db();
+        let r = ProcRegistry::with_builtins();
+        let mut rng = rng_from_seed(31);
+        // SRS needs no plan; first gmlss misses; second gmlss hits.
+        for (model, method) in [("walk", "srs"), ("ar", "gmlss"), ("ar", "gmlss")] {
+            r.call(
+                &db,
+                "mlss_estimate",
+                &estimate_args(model, method, 3.0, 40, 0.5),
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let sources: Vec<String> = db
+            .with_table("results", |t| {
+                t.scan()
+                    .map(|row| row.last().unwrap().as_str().unwrap().to_string())
+                    .collect()
+            })
+            .unwrap();
+        assert_eq!(sources, vec!["none", "miss", "hit"]);
     }
 
     #[test]

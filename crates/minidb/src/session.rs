@@ -59,6 +59,10 @@ pub struct SessionConfig {
     pub slice_budget: u64,
     /// Panic retries per query before it is reported failed.
     pub max_retries: u32,
+    /// Frontier width for scheduled queries (0 = scalar slices; w ≥ 1 =
+    /// batched slices at width w — bit-identical across widths, so this
+    /// is purely a throughput knob).
+    pub batch_width: usize,
     /// Session master seed (drives per-query seeds when the caller does
     /// not pin one).
     pub seed: u64,
@@ -74,6 +78,7 @@ impl Default for SessionConfig {
                 .unwrap_or(1),
             slice_budget: 32_768,
             max_retries: 1,
+            batch_width: 0,
             seed: 0,
             seed_models: true,
         }
@@ -87,6 +92,10 @@ struct SubmitMeta {
     method: String,
     beta: f64,
     horizon: i64,
+    /// Plan provenance (`"hit"`/`"miss"`/`"none"`) captured at submit
+    /// time, surfaced in the query's `results` row on the first
+    /// successful poll.
+    plan_source: &'static str,
     submitted: Instant,
     recorded: bool,
 }
@@ -122,6 +131,7 @@ impl Session {
             workers: cfg.workers,
             slice_budget: cfg.slice_budget,
             max_retries: cfg.max_retries,
+            batch_width: cfg.batch_width,
         }));
         let meta: Arc<MetaMap> = Arc::new(Mutex::new(BTreeMap::new()));
         let mut registry = ProcRegistry::with_builtins_cached(Arc::clone(&plans));
@@ -295,6 +305,7 @@ fn record_result(
             Value::Int(est.steps as i64),
             Value::Int(est.n_roots as i64),
             Value::Int(millis.as_millis() as i64),
+            m.plan_source.into(),
         ],
     )?;
     m.recorded = true;
@@ -348,7 +359,7 @@ impl StoredProcedure for MlssSubmit {
         };
 
         let (runner, fp) = self.models.build(db, &model_name, horizon as u64, beta)?;
-        let id = runner.submit(
+        let (id, plan_source) = runner.submit(
             &self.scheduler,
             beta,
             horizon as u64,
@@ -371,6 +382,7 @@ impl StoredProcedure for MlssSubmit {
                     method: method_name,
                     beta,
                     horizon,
+                    plan_source,
                     submitted: Instant::now(),
                     recorded: false,
                 },
@@ -504,6 +516,28 @@ mod tests {
         assert_eq!(s.prune().unwrap(), 1);
         assert!(s.poll(id).is_none());
         assert_eq!(results_count(s.db()).unwrap(), 1);
+    }
+
+    #[test]
+    fn polled_results_surface_plan_cache_provenance() {
+        let s = session();
+        // First gmlss submit runs the pilot (miss), the second reuses the
+        // plan (hit); SRS needs no plan at all.
+        let a = s.submit("ar", "gmlss", 3.0, 40, 0.5, 0).unwrap();
+        s.wait(a).unwrap().unwrap();
+        let b = s.submit("ar", "gmlss", 3.0, 40, 0.5, 0).unwrap();
+        s.wait(b).unwrap().unwrap();
+        let c = s.submit("walk", "srs", 6.0, 50, 0.5, 0).unwrap();
+        s.wait(c).unwrap().unwrap();
+        let sources: Vec<String> = s
+            .db()
+            .with_table("results", |t| {
+                t.scan()
+                    .map(|row| row.last().unwrap().as_str().unwrap().to_string())
+                    .collect()
+            })
+            .unwrap();
+        assert_eq!(sources, vec!["miss", "hit", "none"]);
     }
 
     #[test]

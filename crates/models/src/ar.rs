@@ -84,6 +84,30 @@ impl SimulationModel for ArModel {
         history.extend_from_slice(&state.history[..state.history.len() - 1]);
         ArState { history }
     }
+
+    /// Native batch kernel: the noise distribution is built once per
+    /// cohort step and each lane's history ring is rotated **in place**
+    /// (`copy_within`) instead of reallocating a fresh `Vec` per path
+    /// per step. Per-lane draws and arithmetic match the scalar `step`.
+    fn step_batch(
+        &self,
+        lanes: &mut [ArState],
+        _ts: &[Time],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        let normal = Normal::new(0.0, self.sigma).expect("validated σ");
+        for &i in alive {
+            let mut v = normal.sample(&mut rngs[i]);
+            let history = &mut lanes[i].history;
+            for (phi, past) in self.coefficients.iter().zip(history.iter()) {
+                v += phi * past;
+            }
+            let len = history.len();
+            history.copy_within(0..len - 1, 1);
+            history[0] = v;
+        }
+    }
 }
 
 impl TiltableModel for ArModel {

@@ -36,3 +36,79 @@ pub use network::{last_station_score, total_customers_score, NetworkState, Serie
 pub use queue::{queue2_score, QueueState, TandemQueue};
 pub use volatile::{volatile_cpp, volatile_queue, Volatile};
 pub use walk::{position_score, RandomWalk};
+
+#[cfg(test)]
+mod batch_kernel_tests {
+    //! Every native `step_batch` kernel must be per-lane bit-identical to
+    //! the scalar→batch adapter: same lane states, same per-lane RNG
+    //! positions, dead lanes untouched.
+
+    use super::*;
+    use mlss_core::model::{ScalarAdapter, SimulationModel, Time};
+    use mlss_core::rng::{rng_from_seed, SimRng};
+    use rand::RngExt;
+    use std::fmt::Debug;
+
+    fn check_native_matches_adapter<M>(model: &M, steps: usize)
+    where
+        M: SimulationModel,
+        M::State: PartialEq + Debug,
+    {
+        const W: usize = 8;
+        let mut native: Vec<M::State> = (0..W).map(|_| model.initial_state()).collect();
+        let mut adapted = native.clone();
+        let mut rngs_n: Vec<SimRng> = (0..W).map(|k| rng_from_seed(900 + k as u64)).collect();
+        let mut rngs_a = rngs_n.clone();
+        let ts: Vec<Time> = (1..=W as Time).collect();
+        let alive = [0usize, 2, 3, 5, 7];
+        let wrapper = ScalarAdapter(model);
+        for _ in 0..steps {
+            model.step_batch(&mut native, &ts, &mut rngs_n, &alive);
+            wrapper.step_batch(&mut adapted, &ts, &mut rngs_a, &alive);
+        }
+        assert_eq!(native, adapted, "lane states diverged");
+        for k in 0..W {
+            assert_eq!(
+                rngs_n[k].random::<u64>(),
+                rngs_a[k].random::<u64>(),
+                "lane {k} RNG position diverged"
+            );
+        }
+        // Dead lanes (1, 4, 6) were never stepped.
+        for dead in [1usize, 4, 6] {
+            assert_eq!(
+                native[dead],
+                model.initial_state(),
+                "dead lane {dead} touched"
+            );
+        }
+    }
+
+    #[test]
+    fn cpp_kernel_is_bit_identical() {
+        check_native_matches_adapter(&CompoundPoisson::paper_default(), 80);
+    }
+
+    #[test]
+    fn walk_kernel_is_bit_identical() {
+        check_native_matches_adapter(&RandomWalk::new(0.3, 0.3, 2).reflected(), 200);
+    }
+
+    #[test]
+    fn gbm_kernel_is_bit_identical() {
+        check_native_matches_adapter(&GeometricBrownian::goog_like(), 200);
+    }
+
+    #[test]
+    fn ar_kernel_is_bit_identical() {
+        check_native_matches_adapter(
+            &ArModel::new(vec![0.5, 0.2, -0.1], 0.4, vec![1.0, 0.5, 0.0]),
+            120,
+        );
+    }
+
+    #[test]
+    fn queue_kernel_is_bit_identical() {
+        check_native_matches_adapter(&TandemQueue::paper_default(), 120);
+    }
+}

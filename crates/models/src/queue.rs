@@ -104,6 +104,23 @@ impl SimulationModel for TandemQueue {
     fn step(&self, state: &QueueState, _t: Time, rng: &mut SimRng) -> QueueState {
         self.advance_unit(state, rng)
     }
+
+    /// Native batch kernel. The embedded CTMC event loop is inherently
+    /// serial per lane (a data-dependent number of exponential clocks),
+    /// so the kernel's only wins are in-place updates over the contiguous
+    /// lane array and the skipped per-step dispatch; draws per lane are
+    /// identical to the scalar `step`.
+    fn step_batch(
+        &self,
+        lanes: &mut [QueueState],
+        _ts: &[Time],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        for &i in alive {
+            lanes[i] = self.advance_unit(&lanes[i], &mut rngs[i]);
+        }
+    }
 }
 
 /// The paper's score for queue durability queries: customers in Queue 2.

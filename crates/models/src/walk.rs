@@ -69,6 +69,28 @@ impl SimulationModel for RandomWalk {
         }
         next
     }
+
+    /// Native batch kernel: contiguous `i64` lanes updated in place with
+    /// the branch thresholds hoisted out of the loop. Per-lane draws are
+    /// identical to the scalar `step`.
+    fn step_batch(&self, lanes: &mut [i64], _ts: &[Time], rngs: &mut [SimRng], alive: &[usize]) {
+        let stay = self.up + self.down;
+        for &i in alive {
+            let u = rngs[i].random::<f64>();
+            let s = lanes[i];
+            let mut next = if u < self.up {
+                s + 1
+            } else if u < stay {
+                s - 1
+            } else {
+                s
+            };
+            if self.reflect_at_zero && next < 0 {
+                next = 0;
+            }
+            lanes[i] = next;
+        }
+    }
 }
 
 /// Score for walk durability queries: the position.

@@ -146,6 +146,151 @@ impl LstmCell {
         (h, c, cache)
     }
 
+    /// Batched inference: one forward step for `n` independent lanes held
+    /// lane-major in flat buffers (`xs` is `n × I`, `hs`/`cs` are
+    /// `n × H`, updated in place).
+    ///
+    /// Internally the cohort is transposed into **struct-of-arrays**
+    /// layout (lane is the fastest-varying index), which turns both
+    /// matrix products into loops whose inner dimension runs across
+    /// lanes: one weight element is broadcast against `n` contiguous
+    /// lane slots. Each lane's accumulator chain keeps the exact
+    /// element order of the scalar [`LstmCell::forward_inference`] dot
+    /// product — so results are bit-identical lane by lane — while the
+    /// chains of different lanes are independent, letting the compiler
+    /// vectorize and pipeline them (a scalar dot product is a single
+    /// serial FP-add dependency chain and bounds the GEMV at FP-add
+    /// latency; `n` interleaved chains fill the FMA pipeline instead).
+    pub fn forward_inference_batch(&self, n: usize, xs: &[f64], hs: &mut [f64], cs: &mut [f64]) {
+        let (hsz, isz) = (self.hidden, self.input);
+        assert_eq!(xs.len(), n * isz, "xs must be n × input, lane-major");
+        assert_eq!(hs.len(), n * hsz, "hs must be n × hidden, lane-major");
+        assert_eq!(cs.len(), n * hsz, "cs must be n × hidden, lane-major");
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            // A one-lane cohort has no batch structure to exploit; the
+            // scalar path *is* the reference, so delegate (bit-identity
+            // is then definitional and the SoA transposes are skipped).
+            let (h, c) = (&mut hs[..hsz], &mut cs[..hsz]);
+            self.forward_inference(xs, h, c);
+            return;
+        }
+        let g4 = 4 * hsz;
+
+        // Gather into SoA (lane-fastest) buffers.
+        let mut x_t = vec![0.0; isz * n];
+        for k in 0..n {
+            for i in 0..isz {
+                x_t[i * n + k] = xs[k * isz + i];
+            }
+        }
+        let mut h_t = vec![0.0; hsz * n];
+        let mut c_t = vec![0.0; hsz * n];
+        for k in 0..n {
+            for j in 0..hsz {
+                h_t[j * n + k] = hs[k * hsz + j];
+                c_t[j * n + k] = cs[k * hsz + j];
+            }
+        }
+
+        // z = b + Wx·x + Wh·h, computed over lane tiles: a tile of
+        // `LANE_TILE` lanes consumes the whole weight matrix once while
+        // its hidden slice stays L1-resident — one matrix pass per tile
+        // instead of one per lane, which is where the large-H win comes
+        // from. Within a lane, the two accumulator chains (input and
+        // recurrent) keep the scalar path's element order and are summed
+        // as (b + accX) + accH, so each lane is bit-identical to
+        // `forward_inference`; across a tile the chains are independent,
+        // which lets the compiler vectorize them.
+        /// `acc[t] += Σ_j w[j] · src[j·stride + k0 + t]` with a
+        /// compile-time tile width: accumulators live in registers and
+        /// the inner loop vectorizes without reassociating any single
+        /// lane's chain.
+        #[inline(always)]
+        fn mac_tile<const L: usize>(
+            weights: &[f64],
+            src: &[f64],
+            stride: usize,
+            k0: usize,
+            acc: &mut [f64; L],
+        ) {
+            for (j, &w) in weights.iter().enumerate() {
+                let row: &[f64; L] = src[j * stride + k0..j * stride + k0 + L]
+                    .try_into()
+                    .expect("tile in bounds");
+                for t in 0..L {
+                    acc[t] += w * row[t];
+                }
+            }
+        }
+
+        const LANE_TILE: usize = 8;
+        let mut z_t = vec![0.0; g4 * n];
+        for k0 in (0..n).step_by(LANE_TILE) {
+            let tl = (n - k0).min(LANE_TILE);
+            for r in 0..g4 {
+                let wx_row = &self.wx.data()[r * isz..(r + 1) * isz];
+                let wh_row = &self.wh.data()[r * hsz..(r + 1) * hsz];
+                let b = self.b[r];
+                if tl == LANE_TILE {
+                    let mut accx = [0.0f64; LANE_TILE];
+                    let mut acch = [0.0f64; LANE_TILE];
+                    mac_tile(wx_row, &x_t, n, k0, &mut accx);
+                    mac_tile(wh_row, &h_t, n, k0, &mut acch);
+                    let zrow: &mut [f64; LANE_TILE] = (&mut z_t[r * n + k0..r * n + k0 + tl])
+                        .try_into()
+                        .expect("tile in bounds");
+                    for t in 0..LANE_TILE {
+                        zrow[t] = (b + accx[t]) + acch[t];
+                    }
+                } else {
+                    // Ragged tail tile.
+                    let mut accx = [0.0f64; LANE_TILE];
+                    let mut acch = [0.0f64; LANE_TILE];
+                    for (i, &w) in wx_row.iter().enumerate() {
+                        let xrow = &x_t[i * n + k0..i * n + k0 + tl];
+                        for t in 0..tl {
+                            accx[t] += w * xrow[t];
+                        }
+                    }
+                    for (j, &w) in wh_row.iter().enumerate() {
+                        let hrow = &h_t[j * n + k0..j * n + k0 + tl];
+                        for t in 0..tl {
+                            acch[t] += w * hrow[t];
+                        }
+                    }
+                    let zrow = &mut z_t[r * n + k0..r * n + k0 + tl];
+                    for t in 0..tl {
+                        zrow[t] = (b + accx[t]) + acch[t];
+                    }
+                }
+            }
+        }
+
+        // Gates, elementwise over the SoA layout.
+        for j in 0..hsz {
+            for k in 0..n {
+                let i_g = sigmoid(z_t[j * n + k]);
+                let f_g = sigmoid(z_t[(hsz + j) * n + k]);
+                let g_g = z_t[(2 * hsz + j) * n + k].tanh();
+                let o_g = sigmoid(z_t[(3 * hsz + j) * n + k]);
+                let c = f_g * c_t[j * n + k] + i_g * g_g;
+                c_t[j * n + k] = c;
+                h_t[j * n + k] = o_g * c.tanh();
+            }
+        }
+
+        // Scatter back to the caller's lane-major layout.
+        for k in 0..n {
+            for j in 0..hsz {
+                hs[k * hsz + j] = h_t[j * n + k];
+                cs[k * hsz + j] = c_t[j * n + k];
+            }
+        }
+    }
+
     /// Forward without building a cache (inference / sampling path).
     pub fn forward_inference(&self, x: &[f64], h: &mut [f64], c: &mut [f64]) {
         let hsz = self.hidden;

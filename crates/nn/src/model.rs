@@ -296,6 +296,48 @@ impl SimulationModel for RnnStockModel {
             price,
         }
     }
+
+    /// Native batch kernel: the whole cohort's LSTM forward runs through
+    /// [`crate::lstm::LstmCell::forward_inference_batch`] — a batched
+    /// matrix product with the recurrent weight rows reused across lanes
+    /// — and the per-step allocations of the scalar path (two hidden
+    /// clones, a pre-activation buffer, and a fresh state per lane per
+    /// step) collapse into three cohort-sized buffers per batch step.
+    /// MDN sampling stays per lane on the lane's own RNG, so draws are
+    /// identical to the scalar `step`.
+    fn step_batch(
+        &self,
+        lanes: &mut [RnnState],
+        _ts: &[Time],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        let hsz = self.net.cell.hidden;
+        let n = alive.len();
+        // Gather alive lanes into lane-major flat buffers.
+        let mut xs = vec![0.0; n];
+        let mut hs = vec![0.0; n * hsz];
+        let mut cs = vec![0.0; n * hsz];
+        for (k, &i) in alive.iter().enumerate() {
+            xs[k] = lanes[i].last_input;
+            hs[k * hsz..(k + 1) * hsz].copy_from_slice(&lanes[i].h);
+            cs[k * hsz..(k + 1) * hsz].copy_from_slice(&lanes[i].c);
+        }
+        self.net
+            .cell
+            .forward_inference_batch(n, &xs, &mut hs, &mut cs);
+        // Scatter back, then sample each lane's mixture on its own RNG.
+        for (k, &i) in alive.iter().enumerate() {
+            let lane = &mut lanes[i];
+            lane.h.copy_from_slice(&hs[k * hsz..(k + 1) * hsz]);
+            lane.c.copy_from_slice(&cs[k * hsz..(k + 1) * hsz]);
+            let (params, _) = self.net.head.forward(&lane.h);
+            let y =
+                MdnHead::sample(&params, &mut rngs[i]).clamp(-self.return_clamp, self.return_clamp);
+            lane.price *= (y * self.scale).exp();
+            lane.last_input = y;
+        }
+    }
 }
 
 /// Score for RNN durability queries: the simulated price.
@@ -382,6 +424,39 @@ mod tests {
             a.states.last().unwrap().price,
             c.states.last().unwrap().price
         );
+    }
+
+    #[test]
+    fn batched_step_is_bit_identical_to_scalar() {
+        use mlss_core::model::ScalarAdapter;
+        use rand::RngExt;
+
+        let prices = toy_prices(300);
+        let cfg = tiny_cfg();
+        let (model, _) = RnnStockModel::train_on_prices(&prices, &cfg, &mut rng_from_seed(21));
+
+        const W: usize = 6;
+        let mut native: Vec<RnnState> = (0..W).map(|_| model.initial_state()).collect();
+        let mut adapted = native.clone();
+        let mut rngs_n: Vec<mlss_core::rng::SimRng> =
+            (0..W).map(|k| rng_from_seed(50 + k as u64)).collect();
+        let mut rngs_a = rngs_n.clone();
+        let ts: Vec<Time> = vec![1; W];
+        let alive = [0usize, 1, 3, 4, 5];
+        let wrapper = ScalarAdapter(&model);
+        for _ in 0..25 {
+            model.step_batch(&mut native, &ts, &mut rngs_n, &alive);
+            wrapper.step_batch(&mut adapted, &ts, &mut rngs_a, &alive);
+        }
+        for k in 0..W {
+            assert_eq!(native[k], adapted[k], "lane {k} state diverged");
+            assert_eq!(
+                rngs_n[k].random::<u64>(),
+                rngs_a[k].random::<u64>(),
+                "lane {k} RNG diverged"
+            );
+        }
+        assert_eq!(native[2], model.initial_state(), "dead lane touched");
     }
 
     #[test]

@@ -93,6 +93,31 @@ impl StackedLstm {
         (input, StackedCache { caches })
     }
 
+    /// Batched inference-only forward: one step for a cohort of lanes.
+    /// `xs` is lane-major `n × input`; each lane's state is updated in
+    /// place. Per lane bit-identical to [`StackedLstm::forward_inference`];
+    /// the recurrent products run through the batched cell kernel.
+    pub fn forward_inference_batch(&self, xs: &[f64], states: &mut [StackedState]) {
+        let n = states.len();
+        assert_eq!(xs.len(), n * self.layers[0].input, "xs must be n × input");
+        let mut input = xs.to_vec();
+        for (l, cell) in self.layers.iter().enumerate() {
+            let hsz = cell.hidden;
+            let mut hs = vec![0.0; n * hsz];
+            let mut cs = vec![0.0; n * hsz];
+            for (k, st) in states.iter().enumerate() {
+                hs[k * hsz..(k + 1) * hsz].copy_from_slice(&st.h[l]);
+                cs[k * hsz..(k + 1) * hsz].copy_from_slice(&st.c[l]);
+            }
+            cell.forward_inference_batch(n, &input, &mut hs, &mut cs);
+            for (k, st) in states.iter_mut().enumerate() {
+                st.h[l].copy_from_slice(&hs[k * hsz..(k + 1) * hsz]);
+                st.c[l].copy_from_slice(&cs[k * hsz..(k + 1) * hsz]);
+            }
+            input = hs;
+        }
+    }
+
     /// Inference-only forward (no caches).
     pub fn forward_inference(&self, x: &[f64], state: &mut StackedState) {
         let mut input = x.to_vec();
@@ -201,6 +226,28 @@ mod tests {
                 assert!((a.h[l][k] - b.h[l][k]).abs() < 1e-12);
                 assert!((a.c[l][k] - b.c[l][k]).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn batched_inference_matches_scalar_per_lane() {
+        let mut rng = rng_from_seed(11);
+        let stack = StackedLstm::new(2, 5, 2, &mut rng);
+        const W: usize = 4;
+        let mut batch: Vec<StackedState> = (0..W).map(|_| stack.zero_state()).collect();
+        let mut scalar = batch.clone();
+        use rand::RngExt;
+        let inputs: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..W * 2).map(|_| rng.random::<f64>() - 0.5).collect())
+            .collect();
+        for xs in &inputs {
+            stack.forward_inference_batch(xs, &mut batch);
+            for (k, st) in scalar.iter_mut().enumerate() {
+                stack.forward_inference(&xs[k * 2..(k + 1) * 2], st);
+            }
+        }
+        for k in 0..W {
+            assert_eq!(batch[k], scalar[k], "lane {k} diverged");
         }
     }
 

@@ -11,6 +11,10 @@ fn main() {
     let session = Session::new(SessionConfig {
         workers: 2,
         slice_budget: 16_384,
+        // Slices advance a 32-wide frontier of root paths per model
+        // batch call (bit-identical to scalar execution — a pure
+        // throughput knob; see docs/kernel.md).
+        batch_width: 32,
         seed: 7,
         ..SessionConfig::default()
     })

@@ -1,0 +1,287 @@
+//! Scalar-vs-batched bit-identity: the frontier's defining property.
+//!
+//! The batched execution path (`run_chunk_batched` and everything built
+//! on it) gives every root path its own RNG stream and commits roots in
+//! launch order, so the committed shard is a pure function of the master
+//! RNG state and the budget — **independent of the frontier width** and
+//! of whether the model runs its native batch kernel or the scalar→batch
+//! adapter. These tests pin that property end to end:
+//!
+//! * every estimator (SRS, s-MLSS, g-MLSS, IS) produces bit-identical
+//!   shards at widths {1, 7, 64};
+//! * a native batch kernel (compound-Poisson) and the
+//!   [`ScalarAdapter`]-forced scalar loop produce bit-identical shards;
+//! * a checkpoint cut mid-run (between frontier chunks — chunks always
+//!   drain their frontier, so shard + RNG is the complete state) resumes
+//!   to the same estimate, both through the sequential driver and
+//!   through a scheduler pause/detach/resubmit cycle;
+//! * `StepCounter` meters a batch of `k` alive lanes as exactly `k`
+//!   invocations of `g`.
+
+use durability_mlss::models::{ar_value_score, surplus_score, ArModel, CompoundPoisson};
+use mlss_core::estimator::{run_sequential_batched, run_sequential_batched_from};
+use mlss_core::is::IsEstimator;
+use mlss_core::prelude::*;
+use mlss_core::smlss::SMlssConfig;
+use rand::RngExt;
+
+const WIDTHS: [usize; 3] = [1, 7, 64];
+
+type CppVf = RatioValue<fn(&f64) -> f64>;
+
+fn cpp_vf(beta: f64) -> CppVf {
+    RatioValue::new(surplus_score as fn(&f64) -> f64, beta)
+}
+
+type ArVf = RatioValue<fn(&durability_mlss::models::ArState) -> f64>;
+
+fn ar_vf(beta: f64) -> ArVf {
+    RatioValue::new(
+        ar_value_score as fn(&durability_mlss::models::ArState) -> f64,
+        beta,
+    )
+}
+
+/// Signature of a finished run: counters, point estimate bits, variance
+/// bits (final estimate evaluated on a fixed fresh RNG), and the master
+/// RNG's post-chunk position.
+fn signature<M, V, E>(
+    estimator: &E,
+    problem: Problem<'_, M, V>,
+    budget: u64,
+    seed: u64,
+    width: usize,
+) -> (u64, u64, u64, u64, u64, u64)
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    let mut rng = rng_from_seed(seed);
+    let mut shard = estimator.shard();
+    estimator.run_chunk_batched(problem, &mut shard, budget, &mut rng, width);
+    let est = estimator.estimate(&shard, &mut rng_from_seed(0));
+    (
+        shard.steps(),
+        shard.n_roots(),
+        est.hits,
+        est.tau.to_bits(),
+        est.variance.to_bits(),
+        rng.random::<u64>(),
+    )
+}
+
+fn check_widths<M, V, E>(name: &str, estimator: &E, problem: Problem<'_, M, V>, budget: u64)
+where
+    M: SimulationModel,
+    V: ValueFunction<M::State>,
+    E: Estimator<M, V>,
+{
+    let reference = signature(estimator, problem, budget, 9, WIDTHS[0]);
+    for &w in &WIDTHS[1..] {
+        let sig = signature(estimator, problem, budget, 9, w);
+        assert_eq!(reference, sig, "{name}: width {w} diverged from width 1");
+    }
+}
+
+#[test]
+fn srs_is_bit_identical_across_widths() {
+    let model = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    check_widths("srs", &SrsEstimator, Problem::new(&model, &v, 80), 60_000);
+}
+
+#[test]
+fn smlss_is_bit_identical_across_widths() {
+    let model = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    let cfg = SMlssConfig::new(
+        PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+        RunControl::budget(1),
+    );
+    check_widths("smlss", &cfg, Problem::new(&model, &v, 80), 60_000);
+}
+
+#[test]
+fn gmlss_is_bit_identical_across_widths() {
+    // CPP jumps skip levels, so this exercises skip events, the ledger,
+    // and the bootstrap-bearing shard under reordering.
+    let model = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    // Boundaries 4 surplus units apart: the +6/step premium can cross
+    // two at once, so level skips genuinely occur.
+    let mut cfg = GMlssConfig::new(
+        PartitionPlan::new(vec![0.4, 0.5]).unwrap(),
+        RunControl::budget(1),
+    );
+    cfg.keep_ledger = true;
+    let problem = Problem::new(&model, &v, 80);
+    check_widths("gmlss", &cfg, problem, 60_000);
+
+    // The per-root ledger must match record-for-record, not just in
+    // aggregate — bootstrap resampling replays it by index.
+    let run_ledger = |width: usize| {
+        let mut rng = rng_from_seed(5);
+        let mut shard = mlss_core::estimator::shard_for(&cfg, &problem);
+        cfg.run_chunk_batched(problem, &mut shard, 40_000, &mut rng, width);
+        assert!(shard.skip_events > 0, "test requires observed skipping");
+        let n = shard.ledger.n_roots();
+        let hits: Vec<u32> = (0..n).map(|i| shard.ledger.root_hits(i)).collect();
+        (n, hits, shard.ledger.aggregate())
+    };
+    let (n1, hits1, agg1) = run_ledger(1);
+    let (n64, hits64, agg64) = run_ledger(64);
+    assert_eq!(n1, n64);
+    assert_eq!(hits1, hits64, "per-root ledger order must match");
+    assert_eq!(agg1, agg64);
+}
+
+#[test]
+fn is_estimator_is_bit_identical_across_widths() {
+    let model = ArModel::ar1(0.6, 1.0, 0.0);
+    let v = ar_vf(6.0);
+    check_widths(
+        "is",
+        &IsEstimator::new(0.4),
+        Problem::new(&model, &v, 60),
+        50_000,
+    );
+}
+
+#[test]
+fn native_kernel_and_scalar_adapter_agree() {
+    // Same estimator, same seed: the model's native batch kernel vs the
+    // adapter-forced scalar loop must produce bit-identical shards.
+    let native_model = CompoundPoisson::zero_drift_default();
+    let adapter_model = ScalarAdapter(CompoundPoisson::zero_drift_default());
+    let v = cpp_vf(40.0);
+    let cfg = GMlssConfig::new(
+        PartitionPlan::new(vec![0.4, 0.7]).unwrap(),
+        RunControl::budget(1),
+    );
+    let native = signature(&cfg, Problem::new(&native_model, &v, 80), 50_000, 3, 64);
+    let adapted = signature(&cfg, Problem::new(&adapter_model, &v, 80), 50_000, 3, 64);
+    assert_eq!(native, adapted, "native kernel diverged from adapter");
+}
+
+#[test]
+fn mid_run_checkpoint_resumes_to_the_same_estimate() {
+    // Cut a checkpoint between batched chunks and resume through the
+    // batched sequential driver: identical to the uninterrupted run.
+    let model = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    let problem = Problem::new(&model, &v, 80);
+    let control = RunControl::budget(90_000);
+
+    let whole = run_sequential_batched(&SrsEstimator, problem, control, &mut rng_from_seed(11), 32);
+
+    let mut rng = rng_from_seed(11);
+    let mut checkpoint = <SrsEstimator as Estimator<CompoundPoisson, CppVf>>::shard(&SrsEstimator);
+    SrsEstimator.run_chunk_batched(problem, &mut checkpoint, 30_000, &mut rng, 32);
+    assert!(checkpoint.steps() > 0 && checkpoint.steps() < 90_000);
+    let resumed =
+        run_sequential_batched_from(&SrsEstimator, problem, control, &mut rng, checkpoint, 32);
+
+    assert_eq!(whole.estimate.steps, resumed.estimate.steps);
+    assert_eq!(whole.estimate.n_roots, resumed.estimate.n_roots);
+    assert_eq!(whole.estimate.hits, resumed.estimate.hits);
+    assert_eq!(whole.estimate.tau.to_bits(), resumed.estimate.tau.to_bits());
+}
+
+#[test]
+fn scheduler_batched_slices_match_sequential_and_survive_detach() {
+    // A batched query sliced by the scheduler — including a pause /
+    // detach (the checkpoint) / resubmit cycle in the middle — must be
+    // bit-identical to one uninterrupted batched sequential run.
+    let model = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    let problem = Problem::new(&model, &v, 80);
+    let control = RunControl::budget(120_000);
+    let seed = 17u64;
+    let width = 16usize;
+
+    let seq = run_sequential_batched(
+        &SrsEstimator,
+        problem,
+        control,
+        &mut StreamFactory::new(seed).stream(0),
+        width,
+    )
+    .estimate;
+
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 1,
+        slice_budget: 10_000,
+        max_retries: 0,
+        batch_width: width,
+    });
+    let id = sched.submit(
+        CompoundPoisson::zero_drift_default(),
+        cpp_vf(40.0),
+        80,
+        SrsEstimator,
+        control,
+        seed,
+        0,
+    );
+    // Let it progress, then checkpoint mid-flight.
+    loop {
+        let p = sched.progress(id).unwrap();
+        if p.steps > 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    sched.pause(id);
+    loop {
+        if matches!(sched.progress(id).unwrap().status, QueryStatus::Paused) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let job = sched.detach(id).expect("paused job detaches");
+    let mid_steps = job.steps();
+    assert!(mid_steps > 0 && mid_steps < 120_000, "checkpoint mid-run");
+    let id2 = sched.submit_query(job, 0);
+    let est = *sched.wait(id2).unwrap().estimate().unwrap();
+
+    assert_eq!(est.steps, seq.steps);
+    assert_eq!(est.n_roots, seq.n_roots);
+    assert_eq!(est.hits, seq.hits);
+    assert_eq!(est.tau.to_bits(), seq.tau.to_bits());
+}
+
+#[test]
+fn step_counter_meters_batches_exactly() {
+    let counted = StepCounter::new(CompoundPoisson::zero_drift_default());
+    let mut lanes: Vec<f64> = (0..8).map(|_| counted.initial_state()).collect();
+    let ts: Vec<Time> = vec![1; 8];
+    let mut rngs: Vec<SimRng> = (0..8).map(rng_from_seed).collect();
+
+    // A batch of 5 alive lanes counts exactly 5 invocations of g.
+    counted.step_batch(&mut lanes, &ts, &mut rngs, &[0, 2, 3, 5, 7]);
+    assert_eq!(counted.steps(), 5);
+    counted.step_batch(&mut lanes, &ts, &mut rngs, &[1, 4]);
+    assert_eq!(counted.steps(), 7);
+    counted.step_batch(&mut lanes, &ts, &mut rngs, &[]);
+    assert_eq!(counted.steps(), 7);
+
+    // Through a whole width-1 batched chunk the meter equals the shard's
+    // committed step count exactly (no speculation at width 1).
+    counted.reset();
+    let v = cpp_vf(40.0);
+    let problem = Problem::new(&counted, &v, 80);
+    let mut shard =
+        <SrsEstimator as Estimator<StepCounter<CompoundPoisson>, CppVf>>::shard(&SrsEstimator);
+    SrsEstimator.run_chunk_batched(problem, &mut shard, 20_000, &mut rng_from_seed(2), 1);
+    assert_eq!(counted.steps(), shard.steps());
+
+    // At width 64 the meter may additionally count discarded speculative
+    // work at the chunk boundary, but never less than what committed.
+    counted.reset();
+    let mut shard64 =
+        <SrsEstimator as Estimator<StepCounter<CompoundPoisson>, CppVf>>::shard(&SrsEstimator);
+    SrsEstimator.run_chunk_batched(problem, &mut shard64, 20_000, &mut rng_from_seed(2), 64);
+    assert!(counted.steps() >= shard64.steps());
+    assert_eq!(shard64.steps(), shard.steps(), "widths agree on the shard");
+}

@@ -93,6 +93,7 @@ where
             sync_every: 7_000,
             seed,
             bootstrap_resamples: 50,
+            batch_width: 0,
         },
     )
     .estimate;
@@ -102,6 +103,7 @@ where
         workers: 1,
         slice_budget: 9_000,
         max_retries: 0,
+        batch_width: 0,
     });
     let id = sched.submit(model.clone(), v, 70, estimator.clone(), control, seed, 0);
     let via_sched = *sched
@@ -187,6 +189,7 @@ fn target_mode_diverges_statistically_only() {
         workers: 1,
         slice_budget: 9_000,
         max_retries: 0,
+        batch_width: 0,
     });
     let id = sched.submit(model.clone(), v, 70, SrsEstimator, control, seed, 0);
     let via_sched = *sched.wait(id).unwrap().estimate().unwrap();

@@ -254,6 +254,7 @@ fn all_four_estimators_run_through_run_parallel() {
         sync_every: 20_000,
         seed: 77,
         bootstrap_resamples: 50,
+        batch_width: 0,
     };
     let control = RunControl::budget(200_000);
 
