@@ -7,10 +7,11 @@
 #   make test-mt    — release tests with 4 test threads (scheduler jobs)
 #   make sched-bench — FIFO vs concurrent-serving latency benchmark
 #   make kernel-bench — scalar-adapter vs native-batch stepping throughput
+#   make sql-demo   — pipe a demo script through the sql_shell example
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt sched-bench kernel-bench
+.PHONY: verify ci fmt clippy test build bench speedup test-mt sched-bench kernel-bench sql-demo
 
 verify: build test
 
@@ -34,6 +35,15 @@ sched-bench:
 
 kernel-bench:
 	$(CARGO) run --release -p mlss-bench --bin kernel_bench -- --full
+
+sql-demo:
+	printf '%s\n' \
+	  "SHOW MODELS;" \
+	  "EXPLAIN ESTIMATE DURABILITY OF cpp(beta=50) WITHIN 500 USING auto TARGET RE 15% WITH (batch_width=32);" \
+	  "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs TARGET RE 30%;" \
+	  "ESTIMATE DURABILITY OF ar(beta=3) WITHIN 40 USING gmlss TARGET RE 50% WITH (seed=7) ASYNC;" \
+	  "SELECT model, method, tau, plan_cache FROM results;" \
+	  | $(CARGO) run --release --example sql_shell
 
 ci: fmt build test clippy test-mt
 

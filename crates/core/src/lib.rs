@@ -58,7 +58,8 @@
 //! | [`partition`] | §5 | `eval(B)`, greedy search, balanced plans |
 //! | [`parallel`] | §3.1 | multi-threaded driver over any `Estimator`, sharded merge |
 //! | [`scheduler`] | §6.4 serving | concurrent query scheduler: slicing, pause/checkpoint/resume, panic isolation |
-//! | [`plan_cache`] | §5, §6.4 | memoized partition plans keyed by model fingerprint |
+//! | [`plan_cache`] | §5, §6.4 | memoized partition plans keyed by model fingerprint (single-flight builds) |
+//! | [`spec`] | §6.4 | the typed [`spec::QuerySpec`] IR every estimation entry point compiles to, the [`spec::SpecError`] taxonomy, model parameter schemas, and deferred plan-derivation scheduler jobs |
 //! | [`quality`] | §6 | CI/RE quality targets and budgets |
 //! | [`ranking`] | §7 related work | durability ranking via racing |
 //! | [`diagnostics`] | Fig. 1 | split-tree tracing |
@@ -102,6 +103,7 @@ pub mod ranking;
 pub mod rng;
 pub mod scheduler;
 pub mod smlss;
+pub mod spec;
 pub mod srs;
 pub mod stats;
 pub mod variance;
@@ -138,5 +140,9 @@ pub mod prelude {
         SchedulerStats, SliceableQuery,
     };
     pub use crate::smlss::{SMlssConfig, SMlssResult, SMlssSampler, SMlssShard};
+    pub use crate::spec::{
+        ExecMode, ExecOptions, Method, ModelSchema, ParamSpec, ParamType, QuerySpec,
+        ResolvedMethod, Span, SpecError, SpecErrorKind,
+    };
     pub use crate::srs::{SrsEstimator, SrsResult, SrsSampler, SrsShard};
 }

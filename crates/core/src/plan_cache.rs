@@ -23,7 +23,7 @@ use crate::estimator::Diagnostics;
 use crate::levels::PartitionPlan;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Cache key: model fingerprint × method name × requested level count.
 pub type PlanKey = (u64, String, usize);
@@ -49,23 +49,61 @@ pub struct PlanLookup {
     pub hit: bool,
 }
 
+/// A memo-table entry: either the finished plan or a marker that some
+/// thread is currently running the pilot for this key.
+#[derive(Debug)]
+enum Entry {
+    /// A builder is running; waiters block on the condvar.
+    Building,
+    /// The memoized plan.
+    Ready(CachedPlan),
+}
+
 /// A concurrent memo table of derived partition plans.
 ///
-/// Thread-safe; `get_or_build` holds no lock while running the builder,
-/// so concurrent misses on the *same* key may race and both run the
-/// pilot — the first result wins and later ones are discarded. That keeps
-/// slow pilots from serializing unrelated queries.
+/// Thread-safe and **single-flight**: concurrent lookups of the same key
+/// run the builder exactly once — the first caller becomes the builder
+/// (holding no lock while the pilot runs) and later callers block until
+/// the plan is ready, then count as hits. This is what lets the
+/// scheduler defer plan derivation to a query's first slice without N
+/// identical cold submissions paying N pilots. If a builder panics, its
+/// in-flight marker is removed and one waiter takes over as the builder.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<BTreeMap<PlanKey, CachedPlan>>,
+    plans: Mutex<BTreeMap<PlanKey, Entry>>,
+    ready_cv: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Removes a `Building` marker if the builder unwinds, so waiters can
+/// take over instead of blocking forever.
+struct BuildGuard<'a> {
+    cache: &'a PlanCache,
+    key: Option<PlanKey>,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut plans = self.cache.lock();
+            if matches!(plans.get(&key), Some(Entry::Building)) {
+                plans.remove(&key);
+            }
+            drop(plans);
+            self.cache.ready_cv.notify_all();
+        }
+    }
 }
 
 impl PlanCache {
     /// Empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<PlanKey, Entry>> {
+        self.plans.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Look up the plan for `(fingerprint, method, levels)`, running
@@ -85,7 +123,9 @@ impl PlanCache {
     /// Like [`PlanCache::get_or_build`], but also reporting whether this
     /// particular lookup was answered from the cache — the per-query
     /// provenance the serving layer records in its `results` rows (the
-    /// aggregate counters can't attribute a hit to a query).
+    /// aggregate counters can't attribute a hit to a query). A lookup
+    /// that blocked on another thread's in-flight build counts as a hit:
+    /// no pilot ran on its behalf.
     pub fn get_or_build_traced(
         &self,
         fingerprint: u64,
@@ -94,25 +134,76 @@ impl PlanCache {
         build: impl FnOnce() -> (PartitionPlan, f64),
     ) -> PlanLookup {
         let key = (fingerprint, method.to_string(), levels);
-        if let Some(cached) = self.plans.lock().expect("plan cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return PlanLookup {
-                plan: cached.plan.clone(),
-                tau_hint: cached.tau_hint,
-                hit: true,
-            };
+        let mut plans = self.lock();
+        loop {
+            match plans.get(&key) {
+                Some(Entry::Ready(cached)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return PlanLookup {
+                        plan: cached.plan.clone(),
+                        tau_hint: cached.tau_hint,
+                        hit: true,
+                    };
+                }
+                Some(Entry::Building) => {
+                    plans = self
+                        .ready_cv
+                        .wait(plans)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => {
+                    plans.insert(key.clone(), Entry::Building);
+                    break;
+                }
+            }
         }
+        drop(plans);
+        // Run the pilot outside the lock; the guard clears the Building
+        // marker (waking waiters to take over) if `build` panics.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = BuildGuard {
+            cache: self,
+            key: Some(key.clone()),
+        };
         let (plan, tau_hint) = build();
-        let mut plans = self.plans.lock().expect("plan cache lock");
-        let entry = plans.entry(key).or_insert_with(|| CachedPlan {
+        guard.key = None;
+        let cached = CachedPlan {
             plan: plan.clone(),
             tau_hint,
-        });
+        };
+        self.lock().insert(key, Entry::Ready(cached));
+        self.ready_cv.notify_all();
         PlanLookup {
-            plan: entry.plan.clone(),
-            tau_hint: entry.tau_hint,
+            plan,
+            tau_hint,
             hit: false,
+        }
+    }
+
+    /// Non-blocking lookup: the memoized plan if (and only if) it is
+    /// ready, counted as a hit. Returns `None` — without waiting, and
+    /// without counting a miss — when the key is absent or another
+    /// thread is still building it. The submit path uses this to decide
+    /// between dispatching immediately (warm plan) and scheduling plan
+    /// derivation as the query's first slice.
+    pub fn lookup_traced(
+        &self,
+        fingerprint: u64,
+        method: &str,
+        levels: usize,
+    ) -> Option<PlanLookup> {
+        let key = (fingerprint, method.to_string(), levels);
+        let plans = self.lock();
+        match plans.get(&key) {
+            Some(Entry::Ready(cached)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(PlanLookup {
+                    plan: cached.plan.clone(),
+                    tau_hint: cached.tau_hint,
+                    hit: true,
+                })
+            }
+            _ => None,
         }
     }
 
@@ -126,9 +217,12 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of memoized plans.
+    /// Number of memoized (ready) plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        self.lock()
+            .values()
+            .filter(|e| matches!(e, Entry::Ready(_)))
+            .count()
     }
 
     /// Is the cache empty?
@@ -136,9 +230,10 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drop all memoized plans (counters are retained).
+    /// Drop all memoized plans (counters are retained; in-flight builds
+    /// complete and re-memoize).
     pub fn clear(&self) {
-        self.plans.lock().expect("plan cache lock").clear();
+        self.lock().retain(|_, e| matches!(e, Entry::Building));
     }
 
     /// Cache effectiveness as a [`Diagnostics`] block (`plan_cache_hits`,
@@ -301,6 +396,81 @@ mod tests {
         assert_eq!(get("plan_cache_hits"), 1.0);
         assert_eq!(get("plan_cache_misses"), 1.0);
         assert_eq!(get("plan_cache_entries"), 1.0);
+    }
+
+    #[test]
+    fn concurrent_lookups_are_single_flight() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let cache = Arc::new(PlanCache::new());
+        let builds = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_build_traced(9, "gmlss", 4, || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    // Hold the build long enough that the other threads
+                    // arrive while it is in flight.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    plan()
+                })
+            }));
+        }
+        let lookups: Vec<PlanLookup> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one pilot runs");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3, "waiters count as hits");
+        assert_eq!(lookups.iter().filter(|l| !l.hit).count(), 1);
+        for l in &lookups {
+            assert_eq!(l.plan, plan().0);
+        }
+    }
+
+    #[test]
+    fn lookup_traced_never_builds() {
+        let cache = PlanCache::new();
+        assert!(cache.lookup_traced(5, "gmlss", 4).is_none());
+        assert_eq!(cache.misses(), 0, "peek must not count a miss");
+        cache.get_or_build(5, "gmlss", 4, plan);
+        let l = cache.lookup_traced(5, "gmlss", 4).unwrap();
+        assert!(l.hit);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn panicking_builder_hands_over_to_waiters() {
+        use std::sync::Arc;
+        // Keep the injected panic out of the test output (the scheduler
+        // tests install the same filter; hooks chain safely).
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !format!("{info}").contains("injected") {
+                    default(info);
+                }
+            }));
+        });
+        let cache = Arc::new(PlanCache::new());
+        let doomed = Arc::clone(&cache);
+        let builder = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                doomed.get_or_build_traced(3, "gmlss", 4, || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("injected pilot panic");
+                })
+            }));
+            assert!(result.is_err());
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // This lookup arrives while the doomed build is in flight; after
+        // the panic it must take over and build successfully.
+        let lookup = cache.get_or_build_traced(3, "gmlss", 4, plan);
+        builder.join().unwrap();
+        assert_eq!(lookup.plan, plan().0);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

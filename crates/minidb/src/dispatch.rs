@@ -1,0 +1,300 @@
+//! The **one compile-and-dispatch path** every estimation entry point
+//! flows through.
+//!
+//! `ESTIMATE DURABILITY …` statements, the positional stored-procedure
+//! shims (`mlss_estimate`, `mlss_submit`), and the native
+//! [`crate::session::Session`] API all compile their inputs into a
+//! [`QuerySpec`] and call [`execute_spec`]: the spec is validated against
+//! the model's schema, the model is built from its effective parameters,
+//! and the query runs on the driver its options select — the sequential
+//! or parallel driver for `Sync`, the shared scheduler for `Async` (with
+//! plan derivation deferred to the query's first slice on a cold cache).
+//! Synchronous executions append the standard `results` row here, so
+//! every front end records identically.
+//!
+//! [`explain_spec`] resolves the same spec without running it — the
+//! engine behind `EXPLAIN ESTIMATE` — and [`show_models`] renders the
+//! registry's parameter schemas as rows for `SHOW MODELS`.
+
+use crate::engine::{Database, DbError};
+use crate::proc::{results_schema, ModelRegistry, PlanContext, ProcEstimate};
+use crate::sql::exec::ExecResult;
+use crate::value::Value;
+use mlss_core::plan_cache::PlanCache;
+use mlss_core::prelude::SimRng;
+use mlss_core::rng::StreamFactory;
+use mlss_core::scheduler::{QueryId, Scheduler};
+use mlss_core::spec::{ExecMode, QuerySpec};
+use rand::RngExt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What executing a spec produced.
+pub enum SpecOutcome {
+    /// A synchronous run: the estimate, already recorded in `results`.
+    Estimated {
+        /// Point estimate `τ̂`.
+        tau: f64,
+        /// The full outcome (variance, steps, roots, plan provenance).
+        est: ProcEstimate,
+        /// Wall-clock milliseconds the run took.
+        millis: i64,
+    },
+    /// An asynchronous submission: the scheduler query id.
+    Submitted {
+        /// Scheduler query id (poll/wait/cancel handle).
+        id: QueryId,
+        /// The RNG seed the query runs under (pinned or drawn).
+        seed: u64,
+        /// Plan provenance at submit time: `"hit"` (warm plan), `"miss"`
+        /// (plan derivation scheduled as the query's first slice), or
+        /// `"none"` (SRS).
+        plan_source: &'static str,
+    },
+}
+
+/// Execute a validated spec through the single dispatch path. `scheduler`
+/// is required for `ASYNC` specs; synchronous specs run on the calling
+/// thread (sequential, batched, or parallel driver per the options) and
+/// record their `results` row before returning.
+pub fn execute_spec(
+    db: &Database,
+    models: &ModelRegistry,
+    plans: &Arc<PlanCache>,
+    scheduler: Option<&Scheduler>,
+    spec: &QuerySpec,
+    rng: &mut SimRng,
+) -> Result<SpecOutcome, DbError> {
+    spec.validate().map_err(DbError::from)?;
+    match spec.options.mode {
+        ExecMode::Sync => {
+            let started = Instant::now();
+            let (runner, fp, _) = models.build_spec(db, spec)?;
+            let ctx = PlanContext {
+                cache: Arc::clone(plans),
+                fingerprint: fp,
+            };
+            // A pinned seed runs on the worker-0-canonical stream, so a
+            // sync `WITH (seed=…)` run in budget mode is bit-identical
+            // to the async submission with the same seed.
+            let mut pinned;
+            let rng = match spec.options.seed {
+                Some(s) => {
+                    pinned = StreamFactory::new(s).stream(0);
+                    &mut pinned
+                }
+                None => rng,
+            };
+            let est = runner.estimate(spec, &ctx, rng)?;
+            let millis = started.elapsed().as_millis() as i64;
+            record_estimate_row(db, spec, &est, millis)?;
+            Ok(SpecOutcome::Estimated {
+                tau: est.tau,
+                est,
+                millis,
+            })
+        }
+        ExecMode::Async => {
+            let scheduler = scheduler.ok_or_else(|| {
+                DbError::Proc("ASYNC estimation requires a session scheduler".into())
+            })?;
+            let seed = spec.options.seed.unwrap_or_else(|| rng.random::<u64>());
+            let (runner, fp, _) = models.build_spec(db, spec)?;
+            let ctx = PlanContext {
+                cache: Arc::clone(plans),
+                fingerprint: fp,
+            };
+            let (id, plan_source) = runner.submit(scheduler, spec, seed, &ctx)?;
+            Ok(SpecOutcome::Submitted {
+                id,
+                seed,
+                plan_source,
+            })
+        }
+    }
+}
+
+/// Append the standard `results` row for a synchronous estimate.
+pub(crate) fn record_estimate_row(
+    db: &Database,
+    spec: &QuerySpec,
+    est: &ProcEstimate,
+    millis: i64,
+) -> Result<(), DbError> {
+    if !db.has_table("results") {
+        db.create_table("results", results_schema())?;
+    }
+    db.insert(
+        "results",
+        vec![
+            spec.model.as_str().into(),
+            spec.method.name().into(),
+            spec.beta.into(),
+            Value::Int(spec.horizon as i64),
+            est.tau.into(),
+            est.variance.into(),
+            Value::Int(est.steps as i64),
+            Value::Int(est.n_roots as i64),
+            Value::Int(millis),
+            est.plan_source.into(),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Resolve a spec without running it: the rows `EXPLAIN ESTIMATE …`
+/// returns. Derives the level plan through the shared cache (the pilot
+/// runs — once — on a cold cache; re-EXPLAINing or executing afterwards
+/// hits), applies the `auto` resolution rule, and reports the driver and
+/// effective batch width the statement would execute with.
+pub fn explain_spec(
+    db: &Database,
+    models: &ModelRegistry,
+    plans: &Arc<PlanCache>,
+    scheduler: Option<&Scheduler>,
+    spec: &QuerySpec,
+    rng: &mut SimRng,
+) -> Result<Vec<(String, String)>, DbError> {
+    spec.validate().map_err(DbError::from)?;
+    let (runner, fp, params) = models.build_spec(db, spec)?;
+    let ctx = PlanContext {
+        cache: Arc::clone(plans),
+        fingerprint: fp,
+    };
+    let mut pinned;
+    let rng = match spec.options.seed {
+        Some(s) => {
+            pinned = StreamFactory::new(s).stream(0);
+            &mut pinned
+        }
+        None => rng,
+    };
+    let res = runner.resolve_plan(spec, &ctx, rng)?;
+
+    let asynchronous = spec.options.mode == ExecMode::Async;
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut push = |k: &str, v: String| rows.push((k.to_string(), v));
+    push(
+        "statement",
+        format!(
+            "ESTIMATE DURABILITY ({})",
+            if asynchronous { "async" } else { "sync" }
+        ),
+    );
+    push("model", spec.model.clone());
+    push(
+        "params",
+        params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    push("beta", format!("{}", spec.beta));
+    push("horizon", format!("{}", spec.horizon));
+    push("target_re", format!("{}", spec.target_re));
+    push("method", spec.method.name().to_string());
+    push("resolved_method", res.resolved.name().to_string());
+    match res.resolved.plan() {
+        Some(plan) => {
+            push("levels", format!("{}", plan.num_levels()));
+            push(
+                "level_plan",
+                format!(
+                    "[{}]",
+                    plan.interior()
+                        .iter()
+                        .map(|b| format!("{b:.4}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+            push("tau_hint", format!("{}", res.tau_hint));
+        }
+        None => {
+            push("levels", "-".into());
+            push("level_plan", "none".into());
+        }
+    }
+    push("plan_cache", res.plan_source.to_string());
+    push(
+        "plan_pilot",
+        match (res.plan_source, asynchronous) {
+            ("none", _) => "not needed".into(),
+            ("hit", _) => "cached".into(),
+            (_, true) => "scheduled as the query's first slice".into(),
+            (_, false) => "inline before the run".into(),
+        },
+    );
+    let width = if asynchronous {
+        spec.options
+            .batch_width
+            .or_else(|| scheduler.map(|s| s.config().batch_width))
+            .unwrap_or(0)
+    } else {
+        spec.options.batch_width.unwrap_or(0)
+    };
+    push(
+        "driver",
+        if asynchronous {
+            match scheduler {
+                Some(s) => format!("scheduler(workers={})", s.config().workers),
+                None => "scheduler (no session pool attached)".into(),
+            }
+        } else if spec.options.threads > 1 {
+            format!("parallel(threads={})", spec.options.threads)
+        } else {
+            "sequential".into()
+        },
+    );
+    push(
+        "batch_width",
+        if width == 0 {
+            "0 (scalar)".into()
+        } else {
+            format!("{width}")
+        },
+    );
+    push(
+        "seed",
+        match spec.options.seed {
+            Some(s) => format!("{s}"),
+            None => "from session stream".into(),
+        },
+    );
+    if asynchronous {
+        push("priority", format!("{}", spec.options.priority));
+    }
+    Ok(rows)
+}
+
+/// The `SHOW MODELS` catalog: one row per declared parameter of every
+/// registered model.
+pub fn show_models(models: &ModelRegistry) -> ExecResult {
+    let mut rows = Vec::new();
+    for schema in models.schemas() {
+        for p in &schema.params {
+            rows.push(vec![
+                Value::Text(schema.name.to_string()),
+                Value::Text(p.name.to_string()),
+                Value::Text(p.ty.name().to_string()),
+                Value::Float(p.default),
+                Value::Float(p.min),
+                Value::Float(p.max),
+                Value::Text(p.doc.to_string()),
+            ]);
+        }
+    }
+    ExecResult::Rows {
+        columns: vec![
+            "model".into(),
+            "param".into(),
+            "type".into(),
+            "default".into(),
+            "min".into(),
+            "max".into(),
+            "doc".into(),
+        ],
+        rows,
+    }
+}

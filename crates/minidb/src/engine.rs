@@ -37,6 +37,10 @@ pub enum DbError {
         /// Expected SQL-facing type name (e.g. `"text"`).
         expected: &'static str,
     },
+    /// A malformed estimation query spec: the typed
+    /// [`mlss_core::spec::SpecError`] taxonomy, carrying a byte span
+    /// when the spec came from an `ESTIMATE` statement.
+    Spec(mlss_core::spec::SpecError),
     /// Persistence failure.
     Io(std::io::Error),
     /// Corrupt persisted data.
@@ -64,6 +68,7 @@ impl std::fmt::Display for DbError {
                 index,
                 expected,
             } => write!(f, "procedure '{proc}': argument {index} must be {expected}"),
+            DbError::Spec(e) => write!(f, "{e}"),
             DbError::Io(e) => write!(f, "io error: {e}"),
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
         }
@@ -81,6 +86,12 @@ impl From<TableError> for DbError {
 impl From<std::io::Error> for DbError {
     fn from(e: std::io::Error) -> Self {
         DbError::Io(e)
+    }
+}
+
+impl From<mlss_core::spec::SpecError> for DbError {
+    fn from(e: mlss_core::spec::SpecError) -> Self {
+        DbError::Spec(e)
     }
 }
 

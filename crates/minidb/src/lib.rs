@@ -12,13 +12,21 @@
 //!   aggregate, delete;
 //! * [`engine`] — the thread-safe catalog;
 //! * [`storage`] — crash-safe JSON persistence with corruption recovery;
-//! * [`proc`] — stored procedures: `mlss_estimate`, `materialize_paths`;
+//! * [`proc`] — stored procedures (`mlss_estimate`, `materialize_paths`)
+//!   as thin shims over the spec dispatch path, plus the model registry
+//!   with per-model parameter schemas;
+//! * [`dispatch`] — the one compile-and-dispatch path every estimation
+//!   entry point flows through ([`dispatch::execute_spec`],
+//!   [`dispatch::explain_spec`], [`dispatch::show_models`]);
 //! * [`session`] — concurrent serving sessions: `mlss_submit`,
-//!   `mlss_poll`, `mlss_cancel` over a shared scheduler and plan cache;
-//! * [`sql`] — a SQL front end (SELECT/INSERT/CREATE/DELETE/DROP).
+//!   `mlss_poll`, `mlss_cancel` over a shared scheduler and plan cache,
+//!   and [`Session::execute`] running the declarative ESTIMATE dialect;
+//! * [`sql`] — a SQL front end (SELECT/INSERT/CREATE/DELETE/DROP) plus
+//!   the ESTIMATE dialect parser ([`sql::estimate`]).
 
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod engine;
 pub mod expr;
 pub mod proc;
@@ -29,12 +37,13 @@ pub mod storage;
 pub mod table;
 pub mod value;
 
+pub use dispatch::{execute_spec, explain_spec, show_models, SpecOutcome};
 pub use engine::{Database, DbError};
 pub use expr::{col, lit, Expr};
-pub use proc::{seed_default_models, ProcRegistry, StoredProcedure};
+pub use proc::{seed_default_models, Method, ModelRegistry, ProcRegistry, StoredProcedure};
 pub use schema::{ColumnDef, Schema};
 pub use session::{Session, SessionConfig};
-pub use sql::{execute, ExecResult};
+pub use sql::{execute, is_dialect, parse_dialect, DialectStatement, ExecResult};
 pub use storage::{load, save, LoadReport};
 pub use table::{Aggregate, Table, TableError};
 pub use value::{DataType, Value};

@@ -6,11 +6,13 @@
 //! visualization or downstream analysis — the end-to-end pipeline the
 //! paper demonstrates on PostgreSQL, here on the embedded engine.
 //!
-//! Both built-ins dispatch through [`ModelRegistry`] (every substrate in
-//! `mlss_models`) and the `mlss_core::estimator::Estimator` trait (every
-//! sampling strategy), so the SQL layer rides the same execution spine as
-//! the library: SQL call → method resolution → sequential or parallel
-//! driver → sampler.
+//! Since the ESTIMATE-dialect redesign the positional procedures are
+//! **thin shims**: each one compiles its arguments into the typed
+//! [`QuerySpec`] IR and dispatches through the same
+//! [`crate::dispatch::execute_spec`] path as the declarative
+//! `ESTIMATE DURABILITY …` statement and the native session API, so every
+//! entry point rides one execution spine: spec → model registry → plan
+//! cache → sequential / parallel driver or scheduler → sampler.
 //!
 //! Built-ins:
 //! * `mlss_estimate(model, method, beta, horizon, target_re [, threads])`
@@ -18,24 +20,29 @@
 //!   `method ∈ {"srs", "smlss", "mlss", "gmlss", "auto"}` over any
 //!   registered model; `threads > 1` routes through the parallel driver.
 //!   Appends a row to `results` and returns the estimate.
-//! * `materialize_paths(model, horizon, n_paths, dest)` — simulate and
-//!   store sample paths as `(path_id, t, value)` rows.
+//! * `materialize_paths(model, horizon, n_paths, dest [, batch_width])`
+//!   — simulate and store sample paths as `(path_id, t, value)` rows on
+//!   the batched frontier kernel (one RNG stream per path, so the rows
+//!   are bit-identical at every width).
 
 use crate::engine::{Database, DbError};
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Aggregate;
 use crate::value::{DataType, Value};
-use mlss_core::estimator::{run_sequential, Estimator};
+use mlss_core::estimator::{run_sequential, run_sequential_batched, Estimator};
 use mlss_core::model::SimulationModel;
 use mlss_core::parallel::{run_parallel, ParallelConfig};
 use mlss_core::partition::balanced_plan;
 use mlss_core::plan_cache::{fingerprint, PlanCache, PlanLookup};
 use mlss_core::prelude::{
-    GMlssConfig, Problem, QualityTarget, RatioValue, RunControl, SMlssConfig, SimRng, SrsEstimator,
-    StateScore,
+    GMlssConfig, Problem, RatioValue, SMlssConfig, SimRng, SrsEstimator, StateScore,
 };
-use mlss_core::rng::rng_from_seed;
+use mlss_core::rng::split_rng;
 use mlss_core::scheduler::{QueryId, Scheduler};
+use mlss_core::spec::{
+    estimator_job, resolve_method, target_control, DeferredPlanQuery, ModelSchema, ParamSpec,
+    QuerySpec, ResolvedMethod, SpecError, SpecErrorKind, BALANCED_PLAN_KEY, PILOT_PATHS,
+};
 use mlss_models::{
     ar_value_score, last_station_score, position_score, price_score, queue2_score, surplus_score,
     ArModel, CompoundPoisson, GeometricBrownian, JumpDistribution, MarkovChain, RandomWalk,
@@ -44,6 +51,11 @@ use mlss_models::{
 use rand::RngExt;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// The SQL-facing method enum — re-exported from the spec IR so the
+/// positional shims, the dialect parser, and the dispatch layer agree on
+/// one type.
+pub use mlss_core::spec::Method;
 
 /// A stored procedure.
 pub trait StoredProcedure: Sync + Send {
@@ -88,14 +100,21 @@ impl ProcRegistry {
     /// Registry preloaded with the built-in procedures, sharing `plans`
     /// with the caller (the session layer surfaces its counters).
     pub fn with_builtins_cached(plans: Arc<PlanCache>) -> Self {
+        Self::with_builtins_shared(plans, Arc::new(ModelRegistry::with_builtins()))
+    }
+
+    /// Registry preloaded with the built-in procedures, sharing both the
+    /// plan cache and the model registry with the caller — the session
+    /// layer passes its own registry so the catalog statements validate
+    /// against and the catalog the procedures dispatch through are one
+    /// object.
+    pub fn with_builtins_shared(plans: Arc<PlanCache>, models: Arc<ModelRegistry>) -> Self {
         let mut r = Self::new();
         r.register(Box::new(MlssEstimate {
-            models: ModelRegistry::with_builtins(),
+            models: Arc::clone(&models),
             plans,
         }));
-        r.register(Box::new(MaterializePaths {
-            models: ModelRegistry::with_builtins(),
-        }));
+        r.register(Box::new(MaterializePaths { models }));
         r
     }
 
@@ -111,11 +130,13 @@ impl ProcRegistry {
 
     /// Call a procedure by name.
     ///
-    /// The three failure modes before the procedure body runs are
-    /// distinct error variants so callers can react precisely: an unknown
-    /// name is [`DbError::UnknownProc`], a wrong argument count is
-    /// [`DbError::ProcArity`], and a wrong argument type (reported by the
-    /// procedure's argument readers) is [`DbError::ProcArgType`].
+    /// The failure modes before the procedure body runs are distinct
+    /// error variants so callers can react precisely: an unknown name is
+    /// [`DbError::UnknownProc`], a wrong argument count is
+    /// [`DbError::ProcArity`], a wrong argument type (reported by the
+    /// procedure's argument readers) is [`DbError::ProcArgType`], and a
+    /// semantically malformed query spec is [`DbError::Spec`] with the
+    /// full [`SpecError`] taxonomy.
     pub fn call(
         &self,
         db: &Database,
@@ -173,58 +194,34 @@ pub fn results_schema() -> Schema {
     .expect("static schema")
 }
 
-/// Seed the `models` table with default parameters for every registered
-/// model (the paper's queue and CPP rows keep their historical values).
+/// Seed the `models` table with every registered model's schema defaults
+/// (the paper's queue and CPP rows keep their historical values — they
+/// *are* the schema defaults).
 pub fn seed_default_models(db: &Database) -> Result<(), DbError> {
     if !db.has_table("models") {
         db.create_table("models", models_schema())?;
     }
-    let rows: Vec<(&str, &str, f64)> = vec![
-        ("queue", "arrival_rate", 0.5),
-        ("queue", "service_rate1", 0.5),
-        ("queue", "service_rate2", 0.5),
-        ("cpp", "initial", 15.0),
-        ("cpp", "premium", 4.5),
-        ("cpp", "intensity", 0.8),
-        ("cpp", "jump_lo", 5.0),
-        ("cpp", "jump_hi", 10.0),
-        ("walk", "up", 0.3),
-        ("walk", "down", 0.3),
-        ("walk", "start", 0.0),
-        ("walk", "reflect", 1.0),
-        ("gbm", "initial", 525.0),
-        ("gbm", "drift", 0.25),
-        ("gbm", "volatility", 0.28),
-        ("gbm", "dt", 1.0 / 252.0),
-        ("ar", "phi", 0.7),
-        ("ar", "sigma", 1.0),
-        ("ar", "initial", 0.0),
-        ("markov", "states", 32.0),
-        ("markov", "p_up", 0.3),
-        ("markov", "p_down", 0.3),
-        ("markov", "initial", 0.0),
-        ("network", "arrival_rate", 0.4),
-        ("network", "stations", 3.0),
-        ("network", "service_rate", 0.5),
-        ("volatile", "initial", 15.0),
-        ("volatile", "premium", 4.5),
-        ("volatile", "intensity", 0.8),
-        ("volatile", "jump_lo", 5.0),
-        ("volatile", "jump_hi", 10.0),
-        ("volatile", "impulse", 200.0),
-        ("volatile", "impulse_prob", 0.005),
-    ];
-    db.insert_many(
-        "models",
-        rows.into_iter()
-            .map(|(m, p, v)| vec![m.into(), p.into(), v.into()]),
-    )?;
+    let registry = ModelRegistry::with_builtins();
+    let rows: Vec<Vec<Value>> = registry
+        .schemas()
+        .iter()
+        .flat_map(|s| {
+            s.params
+                .iter()
+                .map(|p| vec![s.name.into(), p.name.into(), p.default.into()])
+        })
+        .collect();
+    db.insert_many("models", rows)?;
     Ok(())
 }
 
-/// Parameter bag read back from the `models` table.
-fn load_params(db: &Database, model: &str) -> Result<BTreeMap<String, f64>, DbError> {
-    let rows = db.with_table("models", |t| {
+/// Parameter rows for one model read back from the `models` table (empty
+/// when the table — or the model — is absent; schema defaults fill in).
+fn load_params(db: &Database, model: &str) -> BTreeMap<String, f64> {
+    if !db.has_table("models") {
+        return BTreeMap::new();
+    }
+    db.with_table("models", |t| {
         t.scan()
             .filter(|r| r[0].as_str() == Some(model))
             .map(|r| {
@@ -234,11 +231,8 @@ fn load_params(db: &Database, model: &str) -> Result<BTreeMap<String, f64>, DbEr
                 )
             })
             .collect::<BTreeMap<_, _>>()
-    })?;
-    if rows.is_empty() {
-        return Err(DbError::Proc(format!("no parameters for model '{model}'")));
-    }
-    Ok(rows)
+    })
+    .unwrap_or_default()
 }
 
 fn need(params: &BTreeMap<String, f64>, key: &str) -> Result<f64, DbError> {
@@ -282,35 +276,7 @@ pub(crate) fn arg_i64(proc_: &str, args: &[Value], i: usize) -> Result<i64, DbEr
         })
 }
 
-// ---- method dispatch ----------------------------------------------------
-
-/// A sampling method name accepted by `mlss_estimate`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// Simple random sampling.
-    Srs,
-    /// s-MLSS over an automatically balanced plan.
-    SMlss,
-    /// g-MLSS over an automatically balanced plan (`"mlss"`/`"gmlss"`).
-    GMlss,
-    /// g-MLSS when a level plan is derivable from a pilot, SRS otherwise.
-    Auto,
-}
-
-impl Method {
-    /// Parse a SQL-facing method name.
-    pub fn parse(name: &str) -> Result<Self, DbError> {
-        match name {
-            "srs" => Ok(Method::Srs),
-            "smlss" => Ok(Method::SMlss),
-            "mlss" | "gmlss" => Ok(Method::GMlss),
-            "auto" => Ok(Method::Auto),
-            other => Err(DbError::Proc(format!(
-                "method must be one of 'srs', 'smlss', 'mlss', 'gmlss', 'auto'; got '{other}'"
-            ))),
-        }
-    }
-}
+// ---- the one compile-and-dispatch surface -------------------------------
 
 /// Outcome of one in-database estimate.
 pub struct ProcEstimate {
@@ -332,59 +298,76 @@ pub struct ProcEstimate {
 
 /// Everything a runner needs to find (or derive) its partition plan: the
 /// session plan cache plus the query fingerprint keying it.
-pub struct PlanContext<'a> {
-    /// The session's memoized plans.
-    pub cache: &'a PlanCache,
-    /// Fingerprint of (model name, parameters, β, horizon).
+pub struct PlanContext {
+    /// The session's memoized plans (shared with deferred-pilot jobs).
+    pub cache: Arc<PlanCache>,
+    /// Fingerprint of (model name, effective parameters, β, horizon).
     pub fingerprint: u64,
+}
+
+/// The resolved execution plan of a spec — what `EXPLAIN ESTIMATE`
+/// reports: the concrete estimator the requested method resolved to
+/// (the `auto` rule applied), the level plan, the pilot's τ̂ hint, and
+/// the plan-cache provenance of the resolution.
+pub struct PlanResolution {
+    /// The concrete estimator (with its plan, when it has one).
+    pub resolved: ResolvedMethod,
+    /// The pilot's τ̂ extrapolation hint (NaN for SRS).
+    pub tau_hint: f64,
+    /// `"hit"`, `"miss"`, or `"none"`.
+    pub plan_source: &'static str,
 }
 
 /// Type-erased handle to a concrete model + score pair: the bridge from
 /// the dynamically named SQL world to the statically typed estimator
-/// spine. Implement this (or register a builder producing the provided
-/// generic runner) to expose a custom model to the SQL layer.
+/// spine. Every entry point hands it the same [`QuerySpec`] IR.
 pub trait ModelRunner: Send + Sync {
-    /// Answer a durability query to a relative-error target, memoizing
-    /// derived partition plans through `plans`.
-    #[allow(clippy::too_many_arguments)]
+    /// Answer the spec synchronously (sequential, batched, or parallel
+    /// driver per its execution options), memoizing derived partition
+    /// plans through `plans`.
     fn estimate(
         &self,
-        beta: f64,
-        horizon: u64,
-        method: Method,
-        target_re: f64,
-        threads: usize,
-        plans: PlanContext<'_>,
+        spec: &QuerySpec,
+        plans: &PlanContext,
         rng: &mut SimRng,
     ) -> Result<ProcEstimate, DbError>;
 
-    /// Submit the same query to a [`Scheduler`] instead of running it
+    /// Submit the spec to a [`Scheduler`] instead of running it
     /// synchronously, consuming the runner (the scheduler job takes
-    /// ownership of the model). Returns the scheduler's query id plus
-    /// the plan provenance tag (`"hit"`/`"miss"`/`"none"`) for the
-    /// eventual `results` row.
-    #[allow(clippy::too_many_arguments)]
+    /// ownership of the model). On a plan-cache miss the pilot is **not**
+    /// run here — plan derivation is scheduled as the query's first
+    /// slice. Returns the scheduler's query id plus the plan provenance
+    /// tag (`"hit"`/`"miss"`/`"none"`) for the eventual `results` row.
     fn submit(
         self: Box<Self>,
         scheduler: &Scheduler,
-        beta: f64,
-        horizon: u64,
-        method: Method,
-        target_re: f64,
+        spec: &QuerySpec,
         seed: u64,
-        priority: u8,
-        plans: PlanContext<'_>,
+        plans: &PlanContext,
     ) -> Result<(QueryId, &'static str), DbError>;
 
-    /// Simulate `n_paths` and insert `(path_id, t, score)` rows into
-    /// `dest`, one path at a time (peak memory stays O(horizon), not
-    /// O(n_paths × horizon)). Returns the number of rows written.
+    /// Resolve the spec's execution plan without running the estimator:
+    /// the `auto` rule, the level plan (derived through the cache — the
+    /// pilot runs on a cold cache), and the cache provenance. This is
+    /// the engine behind `EXPLAIN ESTIMATE`.
+    fn resolve_plan(
+        &self,
+        spec: &QuerySpec,
+        plans: &PlanContext,
+        rng: &mut SimRng,
+    ) -> Result<PlanResolution, DbError>;
+
+    /// Simulate `n_paths` on the batched frontier kernel (cohorts of
+    /// `batch_width` lanes, one RNG stream per path — rows are
+    /// bit-identical at every width) and insert `(path_id, t, score)`
+    /// rows into `dest`. Returns the number of rows written.
     fn materialize(
         &self,
         db: &Database,
         dest: &str,
         horizon: u64,
         n_paths: u64,
+        batch_width: usize,
         rng: &mut SimRng,
     ) -> Result<i64, DbError>;
 }
@@ -400,28 +383,33 @@ where
     M::State: Send,
     Z: StateScore<M::State> + Copy + Send + Sync,
 {
-    /// Drive any estimator through the sequential or parallel spine.
+    /// Drive any estimator through the sequential, batched-sequential,
+    /// or parallel spine per the spec's execution options.
     fn drive<E>(
         &self,
         est: &E,
+        spec: &QuerySpec,
         problem: Problem<'_, M, RatioValue<Z>>,
-        control: RunControl,
-        threads: usize,
         rng: &mut SimRng,
     ) -> ProcEstimate
     where
         E: Estimator<M, RatioValue<Z>> + Sync,
         E::Shard: Send,
     {
-        let e = if threads > 1 {
+        let control = target_control(spec.target_re);
+        let width = spec.options.batch_width.unwrap_or(0);
+        let e = if spec.options.threads > 1 {
             let cfg = ParallelConfig {
-                threads,
+                threads: spec.options.threads,
                 seed: rng.random::<u64>(),
+                batch_width: width,
                 ..Default::default()
             };
             run_parallel(problem, est, control, &cfg).estimate
-        } else {
+        } else if width == 0 {
             run_sequential(est, problem, control, rng).estimate
+        } else {
+            run_sequential_batched(est, problem, control, rng, width).estimate
         };
         ProcEstimate {
             tau: e.tau,
@@ -431,40 +419,29 @@ where
             plan_source: "none",
         }
     }
-}
 
-/// Plan provenance tag for a traced cache lookup.
-fn plan_source_of(lookup: &PlanLookup) -> &'static str {
-    if lookup.hit {
-        "hit"
-    } else {
-        "miss"
+    /// The traced plan lookup every plan-needing path shares: the
+    /// pilot-plus-tail-fit runs only on a cache miss (drawing from
+    /// `rng`); repeated queries over the same (model, params, β,
+    /// horizon) reuse the stored plan and skip the pilot's draws.
+    fn plan_for(
+        &self,
+        spec: &QuerySpec,
+        plans: &PlanContext,
+        rng: &mut SimRng,
+    ) -> (PlanLookup, &'static str) {
+        let vf = RatioValue::new(self.score, spec.beta);
+        let problem = Problem::new(&self.model, &vf, spec.horizon);
+        let lookup = plans.cache.get_or_build_traced(
+            plans.fingerprint,
+            BALANCED_PLAN_KEY,
+            spec.levels,
+            || balanced_plan(problem, spec.levels, PILOT_PATHS, rng),
+        );
+        let src = if lookup.hit { "hit" } else { "miss" };
+        (lookup, src)
     }
 }
-
-/// Stopping rule shared by the synchronous and scheduled paths.
-fn target_control(target_re: f64) -> RunControl {
-    RunControl::Target {
-        target: QualityTarget::RelativeError {
-            target: target_re,
-            reference: None,
-        },
-        check_every: 256,
-        max_steps: 2_000_000_000,
-    }
-}
-
-/// Levels requested from the automatic plan derivation (the paper finds
-/// 3-6 optimal; 4 is the serving default and part of the plan-cache key).
-const PLAN_LEVELS: usize = 4;
-
-/// Method component of the plan-cache key. The cache keys on
-/// (fingerprint, method, levels), but every built-in MLSS method —
-/// s-MLSS, g-MLSS, and auto — derives its plan with the *same* balanced
-/// pilot, so they share one key: a `gmlss` query after an `auto` query
-/// over the same model must not re-run an identical pilot. A future
-/// method with its own derivation (e.g. greedy) would use its own key.
-const BALANCED_PLAN_KEY: &str = "balanced";
 
 impl<M, Z> ModelRunner for Runner<M, Z>
 where
@@ -474,127 +451,116 @@ where
 {
     fn estimate(
         &self,
-        beta: f64,
-        horizon: u64,
-        method: Method,
-        target_re: f64,
-        threads: usize,
-        plans: PlanContext<'_>,
+        spec: &QuerySpec,
+        plans: &PlanContext,
         rng: &mut SimRng,
     ) -> Result<ProcEstimate, DbError> {
-        let vf = RatioValue::new(self.score, beta);
-        let problem = Problem::new(&self.model, &vf, horizon);
-        let control = target_control(target_re);
-        // Memoized plan derivation: the pilot + tail fit runs only on a
-        // cache miss; repeated queries over the same (model, β, horizon)
-        // reuse the stored plan (and skip the pilot's rng draws). The
-        // traced lookup also records this query's hit/miss provenance.
-        let plan_for = |key: &str, rng: &mut SimRng| {
-            plans
-                .cache
-                .get_or_build_traced(plans.fingerprint, key, PLAN_LEVELS, || {
-                    balanced_plan(problem, PLAN_LEVELS, 2000, rng)
-                })
+        let resolution = self.resolve_plan(spec, plans, rng)?;
+        let vf = RatioValue::new(self.score, spec.beta);
+        let problem = Problem::new(&self.model, &vf, spec.horizon);
+        let control = target_control(spec.target_re);
+        let mut est = match &resolution.resolved {
+            ResolvedMethod::Srs => self.drive(&SrsEstimator, spec, problem, rng),
+            ResolvedMethod::SMlss(plan) => {
+                let cfg = SMlssConfig::new(plan.clone(), control);
+                self.drive(&cfg, spec, problem, rng)
+            }
+            ResolvedMethod::GMlss(plan) => {
+                let cfg = GMlssConfig::new(plan.clone(), control);
+                self.drive(&cfg, spec, problem, rng)
+            }
         };
-        Ok(match method {
-            Method::Srs => self.drive(&SrsEstimator, problem, control, threads, rng),
-            Method::SMlss => {
-                let lookup = plan_for(BALANCED_PLAN_KEY, rng);
-                let src = plan_source_of(&lookup);
-                let cfg = SMlssConfig::new(lookup.plan, control);
-                let mut est = self.drive(&cfg, problem, control, threads, rng);
-                est.plan_source = src;
-                est
-            }
-            Method::GMlss => {
-                let lookup = plan_for(BALANCED_PLAN_KEY, rng);
-                let src = plan_source_of(&lookup);
-                let cfg = GMlssConfig::new(lookup.plan, control);
-                let mut est = self.drive(&cfg, problem, control, threads, rng);
-                est.plan_source = src;
-                est
-            }
-            Method::Auto => {
-                // g-MLSS when the pilot derives a usable multi-level plan
-                // (finite τ hint and ≥ 2 levels), SRS otherwise.
-                let lookup = plan_for(BALANCED_PLAN_KEY, rng);
-                let src = plan_source_of(&lookup);
-                let mut est = if lookup.tau_hint.is_finite() && lookup.plan.num_levels() >= 2 {
-                    let cfg = GMlssConfig::new(lookup.plan, control);
-                    self.drive(&cfg, problem, control, threads, rng)
-                } else {
-                    self.drive(&SrsEstimator, problem, control, threads, rng)
-                };
-                est.plan_source = src;
-                est
-            }
-        })
+        est.plan_source = resolution.plan_source;
+        Ok(est)
     }
 
     fn submit(
         self: Box<Self>,
         scheduler: &Scheduler,
-        beta: f64,
-        horizon: u64,
-        method: Method,
-        target_re: f64,
+        spec: &QuerySpec,
         seed: u64,
-        priority: u8,
-        plans: PlanContext<'_>,
+        plans: &PlanContext,
     ) -> Result<(QueryId, &'static str), DbError> {
-        let control = target_control(target_re);
-        // Derive (or fetch) the plan while still borrowing the model; the
-        // pilot uses its own seed-derived stream so the job's stream stays
-        // worker-0-canonical regardless of cache hits.
-        let plan = if matches!(method, Method::Srs) {
-            None
-        } else {
-            let vf = RatioValue::new(self.score, beta);
-            let problem = Problem::new(&self.model, &vf, horizon);
-            let mut pilot_rng = rng_from_seed(seed ^ 0x9E37_79B9_7F4A_7C15);
-            Some(plans.cache.get_or_build_traced(
-                plans.fingerprint,
-                BALANCED_PLAN_KEY,
-                PLAN_LEVELS,
-                || balanced_plan(problem, PLAN_LEVELS, 2000, &mut pilot_rng),
-            ))
-        };
+        let control = target_control(spec.target_re);
+        // Per-query batch width: the spec's, falling back to the pool's.
+        let width = spec
+            .options
+            .batch_width
+            .unwrap_or(scheduler.config().batch_width);
+        let priority = spec.options.priority;
         let Runner { model, score } = *self;
-        let vf = RatioValue::new(score, beta);
-        Ok(match method {
-            Method::Srs => (
-                scheduler.submit(model, vf, horizon, SrsEstimator, control, seed, priority),
-                "none",
-            ),
-            Method::SMlss => {
-                let lookup = plan.expect("plan derived above");
-                let src = plan_source_of(&lookup);
-                let cfg = SMlssConfig::new(lookup.plan, control);
-                (
-                    scheduler.submit(model, vf, horizon, cfg, control, seed, priority),
-                    src,
-                )
+        if !spec.method.needs_plan() {
+            let job = estimator_job(
+                model,
+                score,
+                spec.beta,
+                spec.horizon,
+                &ResolvedMethod::Srs,
+                control,
+                seed,
+                width,
+            );
+            return Ok((scheduler.submit_query(job, priority), "none"));
+        }
+        // Warm plan: dispatch the concrete estimator immediately. Cold
+        // plan: admit a deferred job whose *first slice* derives the
+        // plan (single-flight through the shared cache), so a cold
+        // submit never blocks the caller on the pilot.
+        match plans
+            .cache
+            .lookup_traced(plans.fingerprint, BALANCED_PLAN_KEY, spec.levels)
+        {
+            Some(lookup) => {
+                let resolved = resolve_method(spec.method, Some(&lookup));
+                let job = estimator_job(
+                    model,
+                    score,
+                    spec.beta,
+                    spec.horizon,
+                    &resolved,
+                    control,
+                    seed,
+                    width,
+                );
+                Ok((scheduler.submit_query(job, priority), "hit"))
             }
-            Method::GMlss => {
-                let lookup = plan.expect("plan derived above");
-                let src = plan_source_of(&lookup);
-                let cfg = GMlssConfig::new(lookup.plan, control);
-                (
-                    scheduler.submit(model, vf, horizon, cfg, control, seed, priority),
-                    src,
-                )
+            None => {
+                let job = Box::new(DeferredPlanQuery::new(
+                    model,
+                    score,
+                    spec.beta,
+                    spec.horizon,
+                    spec.method,
+                    spec.levels,
+                    control,
+                    seed,
+                    width,
+                    Arc::clone(&plans.cache),
+                    plans.fingerprint,
+                ));
+                Ok((scheduler.submit_query(job, priority), "miss"))
             }
-            Method::Auto => {
-                let lookup = plan.expect("plan derived above");
-                let src = plan_source_of(&lookup);
-                let id = if lookup.tau_hint.is_finite() && lookup.plan.num_levels() >= 2 {
-                    let cfg = GMlssConfig::new(lookup.plan, control);
-                    scheduler.submit(model, vf, horizon, cfg, control, seed, priority)
-                } else {
-                    scheduler.submit(model, vf, horizon, SrsEstimator, control, seed, priority)
-                };
-                (id, src)
-            }
+        }
+    }
+
+    fn resolve_plan(
+        &self,
+        spec: &QuerySpec,
+        plans: &PlanContext,
+        rng: &mut SimRng,
+    ) -> Result<PlanResolution, DbError> {
+        if !spec.method.needs_plan() {
+            return Ok(PlanResolution {
+                resolved: ResolvedMethod::Srs,
+                tau_hint: f64::NAN,
+                plan_source: "none",
+            });
+        }
+        let (lookup, src) = self.plan_for(spec, plans, rng);
+        Ok(PlanResolution {
+            resolved: resolve_method(spec.method, Some(&lookup)),
+            tau_hint: lookup.tau_hint,
+            plan_source: src,
         })
     }
 
@@ -604,19 +570,44 @@ where
         dest: &str,
         horizon: u64,
         n_paths: u64,
+        batch_width: usize,
         rng: &mut SimRng,
     ) -> Result<i64, DbError> {
+        let width = batch_width.max(1);
         let mut total = 0i64;
-        for pid in 0..n_paths {
-            let path = mlss_core::model::simulate_path(&self.model, horizon, rng);
-            let rows = path.states.iter().enumerate().map(|(t, s)| {
-                vec![
-                    Value::Int(pid as i64),
-                    Value::Int(t as i64),
-                    Value::Float(self.score.score(s)),
-                ]
-            });
-            total += db.insert_many(dest, rows)? as i64;
+        let mut pid = 0u64;
+        while pid < n_paths {
+            let k = width.min((n_paths - pid) as usize);
+            // One child stream per path, split in path order: the rows
+            // for path i are a function of i alone, never of the cohort
+            // width — `batch_width` is purely a throughput knob.
+            let mut rngs: Vec<SimRng> = (0..k).map(|_| split_rng(rng)).collect();
+            let mut lanes: Vec<M::State> = (0..k).map(|_| self.model.initial_state()).collect();
+            let alive: Vec<usize> = (0..k).collect();
+            let mut traces: Vec<Vec<f64>> = lanes
+                .iter()
+                .map(|s| {
+                    let mut trace = Vec::with_capacity(horizon as usize + 1);
+                    trace.push(self.score.score(s));
+                    trace
+                })
+                .collect();
+            let mut ts = vec![0u64; k];
+            for t in 1..=horizon {
+                ts.iter_mut().for_each(|x| *x = t);
+                self.model.step_batch(&mut lanes, &ts, &mut rngs, &alive);
+                for (trace, s) in traces.iter_mut().zip(&lanes) {
+                    trace.push(self.score.score(s));
+                }
+            }
+            for (i, trace) in traces.iter().enumerate() {
+                let path_id = (pid + i as u64) as i64;
+                let rows = trace.iter().enumerate().map(|(t, v)| {
+                    vec![Value::Int(path_id), Value::Int(t as i64), Value::Float(*v)]
+                });
+                total += db.insert_many(dest, rows)? as i64;
+            }
+            pid += k as u64;
         }
         Ok(total)
     }
@@ -624,10 +615,12 @@ where
 
 type ModelBuilder = fn(&BTreeMap<String, f64>, u64) -> Result<Box<dyn ModelRunner>, DbError>;
 
-/// Registry mapping model names to builders over the `models` parameter
-/// table — the SQL layer's pluggable catalog of stochastic substrates.
+/// Registry mapping model names to their named-parameter [`ModelSchema`]
+/// plus a builder over the effective parameter map — the SQL layer's
+/// pluggable catalog of stochastic substrates. The schema drives
+/// override validation, `SHOW MODELS`, and `seed_default_models`.
 pub struct ModelRegistry {
-    builders: BTreeMap<&'static str, ModelBuilder>,
+    entries: BTreeMap<&'static str, (ModelSchema, ModelBuilder)>,
 }
 
 fn markov_state_score(s: &usize) -> f64 {
@@ -644,158 +637,293 @@ impl ModelRegistry {
     /// Empty registry.
     pub fn new() -> Self {
         Self {
-            builders: BTreeMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 
     /// Registry preloaded with every `mlss_models` substrate.
     pub fn with_builtins() -> Self {
         let mut r = Self::new();
-        r.register("queue", |p, _| {
-            Ok(Box::new(Runner {
-                model: TandemQueue::new(
-                    need(p, "arrival_rate")?,
-                    need(p, "service_rate1")?,
-                    need(p, "service_rate2")?,
-                ),
-                score: queue2_score,
-            }))
-        });
-        r.register("cpp", |p, _| {
-            Ok(Box::new(Runner {
-                model: CompoundPoisson::new(
-                    need(p, "initial")?,
-                    need(p, "premium")?,
-                    need(p, "intensity")?,
+        r.register(
+            ModelSchema::new(
+                "queue",
+                "tandem M/M/1 queues; score = second queue length",
+                vec![
+                    ParamSpec::float("arrival_rate", 0.5, 1e-9, 1e6, "Poisson arrival rate"),
+                    ParamSpec::float("service_rate1", 0.5, 1e-9, 1e6, "station-1 service rate"),
+                    ParamSpec::float("service_rate2", 0.5, 1e-9, 1e6, "station-2 service rate"),
+                ],
+            ),
+            |p, _| {
+                Ok(Box::new(Runner {
+                    model: TandemQueue::new(
+                        need(p, "arrival_rate")?,
+                        need(p, "service_rate1")?,
+                        need(p, "service_rate2")?,
+                    ),
+                    score: queue2_score,
+                }))
+            },
+        );
+        r.register(
+            ModelSchema::new(
+                "cpp",
+                "compound-Poisson insurance surplus; score = deficit below 0",
+                vec![
+                    ParamSpec::float("initial", 15.0, 0.0, 1e12, "initial surplus"),
+                    ParamSpec::float("premium", 4.5, 0.0, 1e6, "premium income per step"),
+                    ParamSpec::float("intensity", 0.8, 1e-9, 1e6, "claim arrival intensity"),
+                    ParamSpec::float("jump_lo", 5.0, 0.0, 1e9, "claim size lower bound"),
+                    ParamSpec::float("jump_hi", 10.0, 0.0, 1e9, "claim size upper bound"),
+                ],
+            ),
+            |p, _| {
+                Ok(Box::new(Runner {
+                    model: CompoundPoisson::new(
+                        need(p, "initial")?,
+                        need(p, "premium")?,
+                        need(p, "intensity")?,
+                        JumpDistribution::Uniform {
+                            lo: need(p, "jump_lo")?,
+                            hi: need(p, "jump_hi")?,
+                        },
+                    ),
+                    score: surplus_score,
+                }))
+            },
+        );
+        r.register(
+            ModelSchema::new(
+                "walk",
+                "±1 lattice random walk; score = position",
+                vec![
+                    ParamSpec::float("up", 0.3, 0.0, 1.0, "up-step probability"),
+                    ParamSpec::float("down", 0.3, 0.0, 1.0, "down-step probability"),
+                    ParamSpec::int("start", 0.0, -1e9, 1e9, "starting position"),
+                    ParamSpec::flag("reflect", 1.0, "reflect at 0 instead of absorbing"),
+                ],
+            ),
+            |p, _| {
+                let mut walk = RandomWalk::new(
+                    opt(p, "up", 0.3),
+                    opt(p, "down", 0.3),
+                    opt(p, "start", 0.0) as i64,
+                );
+                if opt(p, "reflect", 1.0) != 0.0 {
+                    walk = walk.reflected();
+                }
+                Ok(Box::new(Runner {
+                    model: walk,
+                    score: position_score,
+                }))
+            },
+        );
+        r.register(
+            ModelSchema::new(
+                "gbm",
+                "geometric Brownian motion; score = price",
+                vec![
+                    ParamSpec::float("initial", 525.0, 1e-9, 1e12, "initial price"),
+                    ParamSpec::float("drift", 0.25, -100.0, 100.0, "annualized drift"),
+                    ParamSpec::float("volatility", 0.28, 0.0, 100.0, "annualized volatility"),
+                    ParamSpec::float("dt", 1.0 / 252.0, 1e-9, 1e3, "time increment per step"),
+                ],
+            ),
+            |p, _| {
+                Ok(Box::new(Runner {
+                    model: GeometricBrownian::new(
+                        opt(p, "initial", 525.0),
+                        opt(p, "drift", 0.25),
+                        opt(p, "volatility", 0.28),
+                        opt(p, "dt", 1.0 / 252.0),
+                    ),
+                    score: price_score,
+                }))
+            },
+        );
+        r.register(
+            ModelSchema::new(
+                "ar",
+                "AR(1) autoregressive process; score = value",
+                vec![
+                    ParamSpec::float("phi", 0.7, -1.0, 1.0, "autoregression coefficient"),
+                    ParamSpec::float("sigma", 1.0, 0.0, 1e6, "innovation std deviation"),
+                    ParamSpec::float("initial", 0.0, -1e9, 1e9, "starting value"),
+                ],
+            ),
+            |p, _| {
+                Ok(Box::new(Runner {
+                    model: ArModel::ar1(
+                        opt(p, "phi", 0.7),
+                        opt(p, "sigma", 1.0),
+                        opt(p, "initial", 0.0),
+                    ),
+                    score: ar_value_score,
+                }))
+            },
+        );
+        r.register(
+            ModelSchema::new(
+                "markov",
+                "birth-death Markov chain; score = state index",
+                vec![
+                    ParamSpec::int("states", 32.0, 2.0, 1e6, "number of states"),
+                    ParamSpec::float("p_up", 0.3, 0.0, 1.0, "up-transition probability"),
+                    ParamSpec::float("p_down", 0.3, 0.0, 1.0, "down-transition probability"),
+                    ParamSpec::int("initial", 0.0, 0.0, 1e6, "starting state"),
+                ],
+            ),
+            |p, _| {
+                let states = opt(p, "states", 32.0).max(2.0) as usize;
+                Ok(Box::new(Runner {
+                    model: MarkovChain::birth_death(
+                        states,
+                        opt(p, "p_up", 0.3),
+                        opt(p, "p_down", 0.3),
+                        (opt(p, "initial", 0.0).max(0.0) as usize).min(states - 1),
+                    ),
+                    score: markov_state_score,
+                }))
+            },
+        );
+        r.register(
+            ModelSchema::new(
+                "network",
+                "series queueing network; score = last-station queue length",
+                vec![
+                    ParamSpec::float("arrival_rate", 0.4, 1e-9, 1e6, "external arrival rate"),
+                    ParamSpec::int("stations", 3.0, 1.0, 1024.0, "stations in series"),
+                    ParamSpec::float("service_rate", 0.5, 1e-9, 1e6, "per-station service rate"),
+                ],
+            ),
+            |p, _| {
+                let stations = opt(p, "stations", 3.0).max(1.0) as usize;
+                Ok(Box::new(Runner {
+                    model: SeriesNetwork::new(
+                        opt(p, "arrival_rate", 0.4),
+                        vec![opt(p, "service_rate", 0.5); stations],
+                    ),
+                    score: last_station_score,
+                }))
+            },
+        );
+        r.register(
+            ModelSchema::new(
+                "volatile",
+                "CPP with late-horizon impulses (§6.2 level-skipping regime)",
+                vec![
+                    ParamSpec::float("initial", 15.0, 0.0, 1e12, "initial surplus"),
+                    ParamSpec::float("premium", 4.5, 0.0, 1e6, "premium income per step"),
+                    ParamSpec::float("intensity", 0.8, 1e-9, 1e6, "claim arrival intensity"),
+                    ParamSpec::float("jump_lo", 5.0, 0.0, 1e9, "claim size lower bound"),
+                    ParamSpec::float("jump_hi", 10.0, 0.0, 1e9, "claim size upper bound"),
+                    ParamSpec::float("impulse", 200.0, 0.0, 1e9, "impulse claim size"),
+                    ParamSpec::float(
+                        "impulse_prob",
+                        0.005,
+                        0.0,
+                        1.0,
+                        "per-step impulse probability",
+                    ),
+                ],
+            ),
+            |p, horizon| {
+                let base = CompoundPoisson::new(
+                    opt(p, "initial", 15.0),
+                    opt(p, "premium", 4.5),
+                    opt(p, "intensity", 0.8),
                     JumpDistribution::Uniform {
-                        lo: need(p, "jump_lo")?,
-                        hi: need(p, "jump_hi")?,
+                        lo: opt(p, "jump_lo", 5.0),
+                        hi: opt(p, "jump_hi", 10.0),
                     },
-                ),
-                score: surplus_score,
-            }))
-        });
-        r.register("walk", |p, _| {
-            let mut walk = RandomWalk::new(
-                opt(p, "up", 0.3),
-                opt(p, "down", 0.3),
-                opt(p, "start", 0.0) as i64,
-            );
-            if opt(p, "reflect", 1.0) != 0.0 {
-                walk = walk.reflected();
-            }
-            Ok(Box::new(Runner {
-                model: walk,
-                score: position_score,
-            }))
-        });
-        r.register("gbm", |p, _| {
-            Ok(Box::new(Runner {
-                model: GeometricBrownian::new(
-                    opt(p, "initial", 525.0),
-                    opt(p, "drift", 0.25),
-                    opt(p, "volatility", 0.28),
-                    opt(p, "dt", 1.0 / 252.0),
-                ),
-                score: price_score,
-            }))
-        });
-        r.register("ar", |p, _| {
-            Ok(Box::new(Runner {
-                model: ArModel::ar1(
-                    opt(p, "phi", 0.7),
-                    opt(p, "sigma", 1.0),
-                    opt(p, "initial", 0.0),
-                ),
-                score: ar_value_score,
-            }))
-        });
-        r.register("markov", |p, _| {
-            let states = opt(p, "states", 32.0).max(2.0) as usize;
-            Ok(Box::new(Runner {
-                model: MarkovChain::birth_death(
-                    states,
-                    opt(p, "p_up", 0.3),
-                    opt(p, "p_down", 0.3),
-                    (opt(p, "initial", 0.0).max(0.0) as usize).min(states - 1),
-                ),
-                score: markov_state_score,
-            }))
-        });
-        r.register("network", |p, _| {
-            let stations = opt(p, "stations", 3.0).max(1.0) as usize;
-            Ok(Box::new(Runner {
-                model: SeriesNetwork::new(
-                    opt(p, "arrival_rate", 0.4),
-                    vec![opt(p, "service_rate", 0.5); stations],
-                ),
-                score: last_station_score,
-            }))
-        });
-        r.register("volatile", |p, horizon| {
-            let base = CompoundPoisson::new(
-                opt(p, "initial", 15.0),
-                opt(p, "premium", 4.5),
-                opt(p, "intensity", 0.8),
-                JumpDistribution::Uniform {
-                    lo: opt(p, "jump_lo", 5.0),
-                    hi: opt(p, "jump_hi", 10.0),
-                },
-            );
-            let impulse = opt(p, "impulse", 200.0);
-            let prob = opt(p, "impulse_prob", 0.005);
-            // The paper's Volatile CPP: impulses only in the last 20% of
-            // the horizon — exactly the §6.2 level-skipping regime.
-            Ok(Box::new(Runner {
-                model: Volatile::new(base, horizon * 8 / 10, prob, move |u: &mut f64| {
-                    *u += impulse
-                }),
-                score: surplus_score,
-            }))
-        });
+                );
+                let impulse = opt(p, "impulse", 200.0);
+                let prob = opt(p, "impulse_prob", 0.005);
+                // The paper's Volatile CPP: impulses only in the last 20% of
+                // the horizon — exactly the §6.2 level-skipping regime.
+                Ok(Box::new(Runner {
+                    model: Volatile::new(base, horizon * 8 / 10, prob, move |u: &mut f64| {
+                        *u += impulse
+                    }),
+                    score: surplus_score,
+                }))
+            },
+        );
         r
     }
 
-    /// Register (or replace) a model builder.
-    pub fn register(&mut self, name: &'static str, builder: ModelBuilder) {
-        self.builders.insert(name, builder);
+    /// Register (or replace) a model: its parameter schema plus a
+    /// builder over the effective parameter map.
+    pub fn register(&mut self, schema: ModelSchema, builder: ModelBuilder) {
+        self.entries.insert(schema.name, (schema, builder));
     }
 
     /// Registered model names.
     pub fn names(&self) -> Vec<&'static str> {
-        self.builders.keys().copied().collect()
+        self.entries.keys().copied().collect()
     }
 
-    /// Build a runner for `name` from its parameter rows in `db`, plus
-    /// the plan-cache fingerprint of (model name, parameters, β,
-    /// horizon).
-    pub(crate) fn build(
+    /// The parameter schema of a registered model.
+    pub fn schema(&self, name: &str) -> Option<&ModelSchema> {
+        self.entries.get(name).map(|(s, _)| s)
+    }
+
+    /// All registered schemas (the `SHOW MODELS` catalog and the parser's
+    /// validation catalog).
+    pub fn schemas(&self) -> Vec<&ModelSchema> {
+        self.entries.values().map(|(s, _)| s).collect()
+    }
+
+    /// The effective parameters of a model for a spec: schema defaults,
+    /// overlaid with the model's `models`-table rows, overlaid with the
+    /// spec's named overrides (validated against the schema).
+    pub fn effective_params(
         &self,
         db: &Database,
-        name: &str,
-        horizon: u64,
-        beta: f64,
-    ) -> Result<(Box<dyn ModelRunner>, u64), DbError> {
-        let builder = self.builders.get(name).ok_or_else(|| {
-            DbError::Proc(format!(
-                "unknown model '{name}' (registered: {})",
-                self.names().join(", ")
-            ))
+        spec: &QuerySpec,
+    ) -> Result<BTreeMap<String, f64>, DbError> {
+        let (schema, _) = self.entries.get(spec.model.as_str()).ok_or_else(|| {
+            SpecError::new(SpecErrorKind::UnknownModel {
+                name: spec.model.clone(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            })
         })?;
-        let params = load_params(db, name)?;
+        schema.validate_overrides(&spec.params)?;
+        let mut params = schema.defaults();
+        params.extend(load_params(db, &spec.model));
+        params.extend(spec.params.iter().map(|(k, v)| (k.clone(), *v)));
+        Ok(params)
+    }
+
+    /// Build a runner for a spec from its effective parameters, plus the
+    /// plan-cache fingerprint of (model name, parameters, β, horizon)
+    /// and the effective parameter map itself (so callers like
+    /// `EXPLAIN` don't recompute the overlay).
+    #[allow(clippy::type_complexity)]
+    pub fn build_spec(
+        &self,
+        db: &Database,
+        spec: &QuerySpec,
+    ) -> Result<(Box<dyn ModelRunner>, u64, BTreeMap<String, f64>), DbError> {
+        let params = self.effective_params(db, spec)?;
+        let (_, builder) = self
+            .entries
+            .get(spec.model.as_str())
+            .expect("checked by effective_params");
         let fp = fingerprint(
-            name,
+            &spec.model,
             params.iter().map(|(k, v)| (k.as_str(), *v)),
-            beta,
-            horizon,
+            spec.beta,
+            spec.horizon,
         );
-        Ok((builder(&params, horizon)?, fp))
+        Ok((builder(&params, spec.horizon)?, fp, params))
     }
 }
 
-/// `mlss_estimate(model, method, beta, horizon, target_re [, threads])`.
+/// `mlss_estimate(model, method, beta, horizon, target_re [, threads])` —
+/// the positional shim over the spec dispatch path.
 struct MlssEstimate {
-    models: ModelRegistry,
+    models: Arc<ModelRegistry>,
     plans: Arc<PlanCache>,
 }
 
@@ -810,75 +938,47 @@ impl StoredProcedure for MlssEstimate {
 
     fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError> {
         let proc_ = self.name();
-        let model_name = arg_text(proc_, args, 0)?.to_string();
-        let method = Method::parse(arg_text(proc_, args, 1)?)?;
-        let method_name = arg_text(proc_, args, 1)?.to_string();
-        let beta = arg_f64(proc_, args, 2)?;
-        let horizon = arg_i64(proc_, args, 3)?;
-        if horizon < 1 {
+        let mut spec = QuerySpec::new(
+            arg_text(proc_, args, 0)?,
+            arg_f64(proc_, args, 2)?,
+            arg_i64(proc_, args, 3)?.max(0) as u64,
+            arg_f64(proc_, args, 4)?,
+        );
+        spec.method = Method::parse(arg_text(proc_, args, 1)?).map_err(DbError::from)?;
+        if arg_i64(proc_, args, 3)? < 1 {
             return Err(DbError::Proc("horizon must be ≥ 1".into()));
         }
-        let target_re = arg_f64(proc_, args, 4)?;
-        if !(target_re.is_finite() && target_re > 0.0) {
+        if let Some(v) = args.get(5) {
+            let t = v.as_i64().ok_or(DbError::ProcArgType {
+                proc: proc_.to_string(),
+                index: 5,
+                expected: "an integer (threads)",
+            })?;
+            if t < 1 {
+                return Err(DbError::Proc("threads must be ≥ 1".into()));
+            }
+            spec.options.threads = t as usize;
+        }
+        if !(spec.target_re.is_finite() && spec.target_re > 0.0) {
             return Err(DbError::Proc("target_re must be positive".into()));
         }
-        let threads = match args.get(5) {
-            None => 1,
-            Some(v) => {
-                let t = v.as_i64().ok_or(DbError::ProcArgType {
-                    proc: proc_.to_string(),
-                    index: 5,
-                    expected: "an integer (threads)",
-                })?;
-                if t < 1 {
-                    return Err(DbError::Proc("threads must be ≥ 1".into()));
-                }
-                t as usize
+        match crate::dispatch::execute_spec(db, &self.models, &self.plans, None, &spec, rng)? {
+            crate::dispatch::SpecOutcome::Estimated { tau, .. } => Ok(Value::Float(tau)),
+            crate::dispatch::SpecOutcome::Submitted { .. } => {
+                unreachable!("sync spec cannot submit")
             }
-        };
-
-        let started = std::time::Instant::now();
-        let (runner, fp) = self.models.build(db, &model_name, horizon as u64, beta)?;
-        let est = runner.estimate(
-            beta,
-            horizon as u64,
-            method,
-            target_re,
-            threads,
-            PlanContext {
-                cache: &self.plans,
-                fingerprint: fp,
-            },
-            rng,
-        )?;
-        let millis = started.elapsed().as_millis() as i64;
-
-        if !db.has_table("results") {
-            db.create_table("results", results_schema())?;
         }
-        db.insert(
-            "results",
-            vec![
-                model_name.into(),
-                method_name.into(),
-                beta.into(),
-                Value::Int(horizon),
-                est.tau.into(),
-                est.variance.into(),
-                Value::Int(est.steps as i64),
-                Value::Int(est.n_roots as i64),
-                Value::Int(millis),
-                est.plan_source.into(),
-            ],
-        )?;
-        Ok(Value::Float(est.tau))
     }
 }
 
-/// `materialize_paths(model, horizon, n_paths, dest_table)`.
+/// `materialize_paths(model, horizon, n_paths, dest [, batch_width])`.
 struct MaterializePaths {
-    models: ModelRegistry,
+    models: Arc<ModelRegistry>,
 }
+
+/// Default cohort width for `materialize_paths` (rows are bit-identical
+/// at every width; this is a throughput default).
+const MATERIALIZE_BATCH_WIDTH: usize = 64;
 
 impl StoredProcedure for MaterializePaths {
     fn name(&self) -> &str {
@@ -886,7 +986,7 @@ impl StoredProcedure for MaterializePaths {
     }
 
     fn arity(&self) -> (usize, usize) {
-        (4, 4)
+        (4, 5)
     }
 
     fn execute(&self, db: &Database, args: &[Value], rng: &mut SimRng) -> Result<Value, DbError> {
@@ -895,6 +995,16 @@ impl StoredProcedure for MaterializePaths {
         let horizon = arg_i64(proc_, args, 1)?.max(1) as u64;
         let n_paths = arg_i64(proc_, args, 2)?.max(1) as u64;
         let dest = arg_text(proc_, args, 3)?.to_string();
+        let width = match args.get(4) {
+            None => MATERIALIZE_BATCH_WIDTH,
+            Some(_) => {
+                let w = arg_i64(proc_, args, 4)?;
+                if w < 1 {
+                    return Err(DbError::Proc("batch_width must be ≥ 1".into()));
+                }
+                w as usize
+            }
+        };
 
         let schema = Schema::new(vec![
             ColumnDef::new("path_id", DataType::Int),
@@ -904,8 +1014,9 @@ impl StoredProcedure for MaterializePaths {
         .expect("static schema");
         db.create_or_replace_table(dest.clone(), schema);
 
-        let (runner, _) = self.models.build(db, &model_name, horizon, 0.0)?;
-        let total = runner.materialize(db, &dest, horizon, n_paths, rng)?;
+        let spec = QuerySpec::new(model_name, 0.0, horizon, 1.0);
+        let (runner, _, _) = self.models.build_spec(db, &spec)?;
+        let total = runner.materialize(db, &dest, horizon, n_paths, width, rng)?;
         Ok(Value::Int(total))
     }
 }
@@ -955,8 +1066,26 @@ mod tests {
             "queue", "cpp", "walk", "gbm", "ar", "markov", "network", "volatile",
         ] {
             assert!(m.names().contains(&name), "missing model '{name}'");
+            let schema = m.schema(name).unwrap();
+            assert!(!schema.params.is_empty(), "{name}: empty schema");
         }
         assert!(m.names().len() >= 8);
+    }
+
+    #[test]
+    fn seeded_table_matches_schema_defaults() {
+        // seed_default_models writes exactly the schema defaults, so the
+        // effective-parameter overlay is the identity on a fresh table
+        // (and so plan-cache fingerprints are stable).
+        let db = db();
+        let m = ModelRegistry::with_builtins();
+        for schema in m.schemas() {
+            let spec = QuerySpec::new(schema.name, 1.0, 10, 0.5);
+            let params = m.effective_params(&db, &spec).unwrap();
+            for p in &schema.params {
+                assert_eq!(params.get(p.name), Some(&p.default), "{}", p.name);
+            }
+        }
     }
 
     #[test]
@@ -1057,9 +1186,21 @@ mod tests {
         let r = ProcRegistry::with_builtins();
         let mut rng = rng_from_seed(1);
         let bad = estimate_args("queue", "nope", 8.0, 10, 0.5);
-        assert!(r.call(&db, "mlss_estimate", &bad, &mut rng).is_err());
+        assert!(matches!(
+            r.call(&db, "mlss_estimate", &bad, &mut rng),
+            Err(DbError::Spec(SpecError {
+                kind: SpecErrorKind::UnknownMethod { .. },
+                ..
+            }))
+        ));
         let bad2 = estimate_args("mystery", "srs", 8.0, 10, 0.5);
-        assert!(r.call(&db, "mlss_estimate", &bad2, &mut rng).is_err());
+        assert!(matches!(
+            r.call(&db, "mlss_estimate", &bad2, &mut rng),
+            Err(DbError::Spec(SpecError {
+                kind: SpecErrorKind::UnknownModel { .. },
+                ..
+            }))
+        ));
         assert!(r.call(&db, "missing_proc", &[], &mut rng).is_err());
     }
 
@@ -1092,12 +1233,13 @@ mod tests {
             }
             other => panic!("expected ProcArity, got {other:?}"),
         }
-        // Too many arguments for materialize_paths (needs exactly 4).
+        // Too many arguments for materialize_paths (needs 4..=5).
         let too_many: Vec<Value> = vec![
             "cpp".into(),
             Value::Int(10),
             Value::Int(2),
             "t".into(),
+            Value::Int(8),
             Value::Int(99),
         ];
         match r.call(&db, "materialize_paths", &too_many, &mut rng) {
@@ -1107,8 +1249,8 @@ mod tests {
                 got,
             }) => {
                 assert_eq!(proc, "materialize_paths");
-                assert_eq!(expected, "4");
-                assert_eq!(got, 5);
+                assert_eq!(expected, "4..=5");
+                assert_eq!(got, 6);
             }
             other => panic!("expected ProcArity, got {other:?}"),
         }
@@ -1141,7 +1283,7 @@ mod tests {
             Err(DbError::ProcArgType { index: 3, .. }) => {}
             other => panic!("expected ProcArgType at index 3, got {other:?}"),
         }
-        // The three variants display distinct, useful messages.
+        // The variants display distinct, useful messages.
         let msgs = [
             DbError::UnknownProc("p".into()).to_string(),
             DbError::ProcArity {
@@ -1155,6 +1297,10 @@ mod tests {
                 index: 1,
                 expected: "text",
             }
+            .to_string(),
+            DbError::Spec(SpecError::new(SpecErrorKind::MissingClause {
+                clause: "beta",
+            }))
             .to_string(),
         ];
         for (i, a) in msgs.iter().enumerate() {
@@ -1261,5 +1407,93 @@ mod tests {
                 .unwrap();
             assert_eq!(n, 2 * 21, "{model}: wrong row count");
         }
+    }
+
+    #[test]
+    fn materialize_paths_is_bit_identical_across_widths() {
+        // One RNG stream per path, split in path order ⇒ the materialized
+        // rows are a function of the path id alone, never of the cohort
+        // width. Widths 1, 3, and 64 must write identical tables.
+        let r = ProcRegistry::with_builtins();
+        let mut tables: Vec<Vec<Vec<Value>>> = Vec::new();
+        for width in [1i64, 3, 64] {
+            let db = db();
+            let mut rng = rng_from_seed(40);
+            let args: Vec<Value> = vec![
+                "gbm".into(),
+                Value::Int(30),
+                Value::Int(5),
+                "paths".into(),
+                Value::Int(width),
+            ];
+            let n = r
+                .call(&db, "materialize_paths", &args, &mut rng)
+                .unwrap()
+                .as_i64()
+                .unwrap();
+            assert_eq!(n, 5 * 31);
+            tables.push(
+                db.with_table("paths", |t| t.scan().map(|r| r.to_vec()).collect())
+                    .unwrap(),
+            );
+        }
+        assert_eq!(tables[0], tables[1], "width 1 vs 3");
+        assert_eq!(tables[0], tables[2], "width 1 vs 64");
+        // Bad widths are rejected.
+        let db = db();
+        let mut rng = rng_from_seed(41);
+        let bad: Vec<Value> = vec![
+            "gbm".into(),
+            Value::Int(10),
+            Value::Int(2),
+            "p".into(),
+            Value::Int(0),
+        ];
+        assert!(r.call(&db, "materialize_paths", &bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn spec_overrides_reach_the_model() {
+        // A named override must change the simulated process: a walk with
+        // up=0.9 reaches β=5 within 50 steps far more often than the
+        // default up=0.3.
+        let db = db();
+        let models = ModelRegistry::with_builtins();
+        let plans = Arc::new(PlanCache::new());
+        let mut spec = QuerySpec::new("walk", 5.0, 50, 0.3).with_method(Method::Srs);
+        spec.params.insert("up".into(), 0.9);
+        spec.params.insert("down".into(), 0.05);
+        let mut rng = rng_from_seed(50);
+        let out =
+            crate::dispatch::execute_spec(&db, &models, &plans, None, &spec, &mut rng).unwrap();
+        let crate::dispatch::SpecOutcome::Estimated { tau: hot, .. } = out else {
+            panic!("sync spec");
+        };
+        let base = QuerySpec::new("walk", 5.0, 50, 0.3).with_method(Method::Srs);
+        let out =
+            crate::dispatch::execute_spec(&db, &models, &plans, None, &base, &mut rng).unwrap();
+        let crate::dispatch::SpecOutcome::Estimated { tau: cold, .. } = out else {
+            panic!("sync spec");
+        };
+        assert!(hot > cold, "override ignored: hot={hot} cold={cold}");
+        // Unknown override names and out-of-range values are typed errors.
+        let mut bad = base.clone();
+        bad.params.insert("nope".into(), 1.0);
+        assert!(matches!(
+            models.effective_params(&db, &bad),
+            Err(DbError::Spec(SpecError {
+                kind: SpecErrorKind::UnknownParam { .. },
+                ..
+            }))
+        ));
+        let mut bad = base;
+        bad.params.insert("up".into(), 2.0);
+        assert!(matches!(
+            models.effective_params(&db, &bad),
+            Err(DbError::Spec(SpecError {
+                kind: SpecErrorKind::ParamOutOfRange { .. },
+                ..
+            }))
+        ));
     }
 }

@@ -1,0 +1,716 @@
+//! The declarative **ESTIMATE dialect**: a hand-rolled recursive-descent
+//! parser turning durability statements into the typed
+//! [`mlss_core::spec::QuerySpec`] IR, with byte-span error positions.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement   := ESTIMATE estimate | EXPLAIN ESTIMATE estimate | SHOW MODELS
+//! estimate    := DURABILITY OF model_ref WITHIN integer
+//!                [USING method_ref] TARGET RE number ['%']
+//!                [WITH '(' options ')'] [ASYNC | SYNC] [';']
+//! model_ref   := ident ['(' assignments ')']     -- must include beta=…
+//! method_ref  := ident ['(' assignments ')']     -- srs|smlss|mlss|gmlss|auto, levels=…
+//! assignments := ident '=' number {',' ident '=' number}
+//! options     := ident '=' number {',' ident '=' number}
+//!                -- threads, batch_width, seed, priority
+//! number      := ['-'] INT | FLOAT
+//! ```
+//!
+//! The parser optionally validates against a catalog of
+//! [`ModelSchema`]s, so unknown models, unknown parameters, and
+//! out-of-range values are reported with the span of the offending
+//! token; without a catalog those checks happen later in the dispatch
+//! layer (spanless). Every failure is a typed
+//! [`SpecError`] — the taxonomy the acceptance
+//! criteria require instead of stringly-typed procedure errors.
+
+use mlss_core::spec::{
+    ExecMode, Method, ModelSchema, QuerySpec, Span, SpecError, SpecErrorKind, DEFAULT_PLAN_LEVELS,
+};
+use std::collections::BTreeMap;
+
+/// A parsed dialect statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DialectStatement {
+    /// `ESTIMATE DURABILITY …` — run (or submit) the query.
+    Estimate(QuerySpec),
+    /// `EXPLAIN ESTIMATE DURABILITY …` — return the resolved plan as rows.
+    ExplainEstimate(QuerySpec),
+    /// `SHOW MODELS` — the model catalog with per-parameter schemas.
+    ShowModels,
+}
+
+/// Does this statement text start with a dialect keyword (`ESTIMATE`,
+/// `EXPLAIN`, `SHOW`)? Used to route between the dialect parser and the
+/// plain-SQL parser without tokenizing twice.
+pub fn is_dialect(sql: &str) -> bool {
+    // Skip leading whitespace and `--` line comments — both lexers do.
+    let mut rest = sql.trim_start();
+    while let Some(comment) = rest.strip_prefix("--") {
+        rest = match comment.split_once('\n') {
+            Some((_, after)) => after.trim_start(),
+            None => "",
+        };
+    }
+    let first: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    ["ESTIMATE", "EXPLAIN", "SHOW"]
+        .iter()
+        .any(|k| first.eq_ignore_ascii_case(k))
+}
+
+/// Parse one dialect statement. `catalog`, when given, validates model
+/// names, parameter names, and parameter ranges with spans.
+pub fn parse_dialect(
+    sql: &str,
+    catalog: Option<&[&ModelSchema]>,
+) -> Result<DialectStatement, SpecError> {
+    let tokens = lex(sql)?;
+    let mut p = DialectParser {
+        tokens,
+        pos: 0,
+        end: sql.len(),
+        catalog,
+    };
+    let stmt = p.statement()?;
+    p.eat_opt(TokKind::Semi);
+    if let Some(t) = p.peek() {
+        return Err(SpecError::at(
+            SpecErrorKind::Syntax {
+                message: format!("trailing input '{}'", t.text),
+            },
+            t.span,
+        ));
+    }
+    Ok(stmt)
+}
+
+// ---------------------------------------------------------------------
+// Spanned lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokKind {
+    Ident,
+    Number(f64),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Percent,
+    Semi,
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    /// Original text (identifiers keep their case; keywords compare
+    /// case-insensitively).
+    text: String,
+    span: Span,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SpecError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+                continue;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '(' | ')' | ',' | '=' | '%' | ';' => {
+                let kind = match c {
+                    '(' => TokKind::LParen,
+                    ')' => TokKind::RParen,
+                    ',' => TokKind::Comma,
+                    '=' => TokKind::Eq,
+                    '%' => TokKind::Percent,
+                    _ => TokKind::Semi,
+                };
+                i += 1;
+                out.push(Tok {
+                    kind,
+                    text: c.to_string(),
+                    span: Span::new(start, i),
+                });
+            }
+            '0'..='9' | '.' | '-' | '+' => {
+                i += 1;
+                let mut saw_dot = c == '.';
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (b == 'e' || b == 'E') && !saw_exp {
+                        saw_exp = true;
+                        i += 1;
+                        if matches!(bytes.get(i), Some(&b'+') | Some(&b'-')) {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let v: f64 = text.parse().map_err(|_| {
+                    SpecError::at(
+                        SpecErrorKind::Syntax {
+                            message: format!("bad number '{text}'"),
+                        },
+                        Span::new(start, i),
+                    )
+                })?;
+                out.push(Tok {
+                    kind: TokKind::Number(v),
+                    text: text.to_string(),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: input[start..i].to_string(),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Decode the real (possibly multi-byte) character so the
+                // message shows it faithfully and the span stays on a
+                // char boundary (consumers slice the statement by it).
+                let other = input[i..].chars().next().expect("in-bounds byte");
+                return Err(SpecError::at(
+                    SpecErrorKind::Syntax {
+                        message: format!("unexpected character '{other}'"),
+                    },
+                    Span::new(i, i + other.len_utf8()),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Recursive-descent parser
+// ---------------------------------------------------------------------
+
+struct DialectParser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    /// Byte length of the input (span for "expected more" errors).
+    end: usize,
+    catalog: Option<&'a [&'a ModelSchema]>,
+}
+
+impl DialectParser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn here(&self) -> Span {
+        self.peek().map_or(Span::at(self.end), |t| t.span)
+    }
+
+    fn syntax(&self, message: impl Into<String>, span: Span) -> SpecError {
+        SpecError::at(
+            SpecErrorKind::Syntax {
+                message: message.into(),
+            },
+            span,
+        )
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.kind == TokKind::Ident && t.text.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw_opt(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), SpecError> {
+        if self.eat_kw_opt(kw) {
+            Ok(())
+        } else {
+            let found = self
+                .peek()
+                .map_or("end of statement".to_string(), |t| format!("'{}'", t.text));
+            Err(self.syntax(format!("expected {kw}, found {found}"), self.here()))
+        }
+    }
+
+    fn eat_opt(&mut self, kind: TokKind) -> bool {
+        if matches!(self.peek(), Some(t) if t.kind == kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, kind: TokKind, what: &str) -> Result<Tok, SpecError> {
+        match self.peek() {
+            Some(t) if t.kind == kind => {
+                let t = t.clone();
+                self.pos += 1;
+                Ok(t)
+            }
+            Some(t) => Err(self.syntax(format!("expected {what}, found '{}'", t.text), t.span)),
+            None => Err(self.syntax(format!("expected {what}"), Span::at(self.end))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Tok, SpecError> {
+        self.eat(TokKind::Ident, what)
+    }
+
+    /// A (possibly negative) numeric literal; returns (value, span).
+    fn number(&mut self, what: &str) -> Result<(f64, Span), SpecError> {
+        match self.peek() {
+            Some(t) => {
+                if let TokKind::Number(v) = t.kind {
+                    let span = t.span;
+                    self.pos += 1;
+                    Ok((v, span))
+                } else {
+                    Err(self.syntax(format!("expected {what}, found '{}'", t.text), t.span))
+                }
+            }
+            None => Err(self.syntax(format!("expected {what}"), Span::at(self.end))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<DialectStatement, SpecError> {
+        if self.eat_kw_opt("SHOW") {
+            self.eat_kw("MODELS")?;
+            return Ok(DialectStatement::ShowModels);
+        }
+        let explain = self.eat_kw_opt("EXPLAIN");
+        self.eat_kw("ESTIMATE")?;
+        let spec = self.estimate()?;
+        Ok(if explain {
+            DialectStatement::ExplainEstimate(spec)
+        } else {
+            DialectStatement::Estimate(spec)
+        })
+    }
+
+    /// The numeric value token itself (so callers that need lossless
+    /// integer parsing — `seed` is a full u64 — can reparse its text).
+    fn number_tok(&mut self, what: &str) -> Result<(f64, Tok), SpecError> {
+        match self.peek() {
+            Some(t) => {
+                if let TokKind::Number(v) = t.kind {
+                    let t = t.clone();
+                    self.pos += 1;
+                    Ok((v, t))
+                } else {
+                    Err(self.syntax(format!("expected {what}, found '{}'", t.text), t.span))
+                }
+            }
+            None => Err(self.syntax(format!("expected {what}"), Span::at(self.end))),
+        }
+    }
+
+    /// `name ['(' ident '=' number {',' …} ')']` — shared by the model
+    /// ref, the method ref, and the WITH options (which have no name).
+    fn assignments(&mut self, what: &'static str) -> Result<Vec<(Tok, f64, Tok)>, SpecError> {
+        let mut out: Vec<(Tok, f64, Tok)> = Vec::new();
+        if !self.eat_opt(TokKind::LParen) {
+            return Ok(out);
+        }
+        loop {
+            let name = self.ident(&format!("a {what} name"))?;
+            self.eat(TokKind::Eq, "'='")?;
+            let (value, vtok) = self.number_tok(&format!("a value for '{}'", name.text))?;
+            if out.iter().any(|(n, _, _)| n.text == name.text) {
+                return Err(SpecError::at(
+                    SpecErrorKind::Duplicate {
+                        what,
+                        name: name.text.clone(),
+                    },
+                    name.span,
+                ));
+            }
+            out.push((name, value, vtok));
+            if !self.eat_opt(TokKind::Comma) {
+                break;
+            }
+        }
+        self.eat(TokKind::RParen, "')'")?;
+        Ok(out)
+    }
+
+    fn estimate(&mut self) -> Result<QuerySpec, SpecError> {
+        self.eat_kw("DURABILITY")?;
+        self.eat_kw("OF")?;
+
+        // ---- model ref: name(beta=…, overrides…) ---------------------
+        let model = self.ident("a model name")?;
+        let schema = match self.catalog {
+            Some(catalog) => match catalog.iter().find(|s| s.name == model.text) {
+                Some(s) => Some(*s),
+                None => {
+                    return Err(SpecError::at(
+                        SpecErrorKind::UnknownModel {
+                            name: model.text.clone(),
+                            known: catalog.iter().map(|s| s.name.to_string()).collect(),
+                        },
+                        model.span,
+                    ))
+                }
+            },
+            None => None,
+        };
+        let mut beta: Option<f64> = None;
+        let mut params: BTreeMap<String, f64> = BTreeMap::new();
+        for (name, value, vtok) in self.assignments("model parameter")? {
+            if name.text == "beta" {
+                beta = Some(value);
+                continue;
+            }
+            if let Some(schema) = schema {
+                let Some(p) = schema.param(&name.text) else {
+                    return Err(SpecError::at(
+                        SpecErrorKind::UnknownParam {
+                            model: model.text.clone(),
+                            name: name.text.clone(),
+                        },
+                        name.span,
+                    ));
+                };
+                // The schema's own rules (range + int/bool shape), with
+                // the value token's span attached.
+                p.check(schema.name, value)
+                    .map_err(|e| SpecError::at(e.kind, vtok.span))?;
+            }
+            params.insert(name.text.clone(), value);
+        }
+        let Some(beta) = beta else {
+            return Err(SpecError::at(
+                SpecErrorKind::MissingClause { clause: "beta" },
+                model.span,
+            ));
+        };
+
+        // ---- WITHIN horizon ------------------------------------------
+        if !self.eat_kw_opt("WITHIN") {
+            return Err(SpecError::at(
+                SpecErrorKind::MissingClause { clause: "WITHIN" },
+                self.here(),
+            ));
+        }
+        let (horizon, hspan) = self.number("a horizon")?;
+        if !(horizon.is_finite() && horizon >= 1.0 && horizon.fract() == 0.0) {
+            return Err(SpecError::at(
+                SpecErrorKind::InvalidValue {
+                    field: "horizon",
+                    message: format!("must be a positive integer, got {horizon}"),
+                },
+                hspan,
+            ));
+        }
+
+        // ---- USING method(levels=…) ----------------------------------
+        let mut method = Method::Auto;
+        let mut levels = DEFAULT_PLAN_LEVELS;
+        if self.eat_kw_opt("USING") {
+            let name = self.ident("a method name")?;
+            method = Method::parse(&name.text.to_ascii_lowercase())
+                .map_err(|e| SpecError::at(e.kind, name.span))?;
+            for (opt, value, vtok) in self.assignments("method option")? {
+                match opt.text.as_str() {
+                    "levels" => {
+                        if !(value.fract() == 0.0 && (1.0..=64.0).contains(&value)) {
+                            return Err(SpecError::at(
+                                SpecErrorKind::InvalidValue {
+                                    field: "levels",
+                                    message: format!("must be an integer in 1..=64, got {value}"),
+                                },
+                                vtok.span,
+                            ));
+                        }
+                        levels = value as usize;
+                    }
+                    _ => {
+                        return Err(SpecError::at(
+                            SpecErrorKind::UnknownOption {
+                                name: opt.text.clone(),
+                            },
+                            opt.span,
+                        ))
+                    }
+                }
+            }
+        }
+
+        // ---- TARGET RE number [%] ------------------------------------
+        if !self.eat_kw_opt("TARGET") {
+            return Err(SpecError::at(
+                SpecErrorKind::MissingClause {
+                    clause: "TARGET RE",
+                },
+                self.here(),
+            ));
+        }
+        self.eat_kw("RE")?;
+        let (mut target_re, tspan) = self.number("a relative-error target")?;
+        if self.eat_opt(TokKind::Percent) {
+            target_re /= 100.0;
+        }
+        if !(target_re.is_finite() && target_re > 0.0) {
+            return Err(SpecError::at(
+                SpecErrorKind::InvalidValue {
+                    field: "target_re",
+                    message: format!("must be positive, got {target_re}"),
+                },
+                tspan,
+            ));
+        }
+
+        let mut spec = QuerySpec::new(model.text.clone(), beta, horizon as u64, target_re);
+        spec.params = params;
+        spec.method = method;
+        spec.levels = levels;
+
+        // ---- WITH (options) ------------------------------------------
+        if self.eat_kw_opt("WITH") {
+            if !matches!(self.peek(), Some(t) if t.kind == TokKind::LParen) {
+                return Err(self.syntax("expected '(' after WITH", self.here()));
+            }
+            for (opt, value, vtok) in self.assignments("execution option")? {
+                let int_in = |lo: f64, hi: f64| -> Result<f64, SpecError> {
+                    if value.fract() == 0.0 && (lo..=hi).contains(&value) {
+                        Ok(value)
+                    } else {
+                        Err(SpecError::at(
+                            SpecErrorKind::InvalidValue {
+                                field: match opt.text.as_str() {
+                                    "threads" => "threads",
+                                    "batch_width" => "batch_width",
+                                    "seed" => "seed",
+                                    _ => "priority",
+                                },
+                                message: format!("must be an integer in {lo}..={hi}, got {value}"),
+                            },
+                            vtok.span,
+                        ))
+                    }
+                };
+                match opt.text.as_str() {
+                    "threads" => spec.options.threads = int_in(1.0, 4096.0)? as usize,
+                    "batch_width" => {
+                        spec.options.batch_width = Some(int_in(0.0, 1_048_576.0)? as usize)
+                    }
+                    "seed" => {
+                        // Reparse the token text: a seed is a full u64
+                        // and must not round through f64.
+                        let seed: u64 = vtok.text.parse().map_err(|_| {
+                            SpecError::at(
+                                SpecErrorKind::InvalidValue {
+                                    field: "seed",
+                                    message: format!(
+                                        "must be an unsigned integer, got '{}'",
+                                        vtok.text
+                                    ),
+                                },
+                                vtok.span,
+                            )
+                        })?;
+                        spec.options.seed = Some(seed);
+                    }
+                    "priority" => spec.options.priority = int_in(0.0, 255.0)? as u8,
+                    _ => {
+                        return Err(SpecError::at(
+                            SpecErrorKind::UnknownOption {
+                                name: opt.text.clone(),
+                            },
+                            opt.span,
+                        ))
+                    }
+                }
+            }
+        }
+
+        // ---- ASYNC / SYNC --------------------------------------------
+        if self.eat_kw_opt("ASYNC") {
+            spec.options.mode = ExecMode::Async;
+        } else {
+            self.eat_kw_opt("SYNC");
+        }
+
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> Result<DialectStatement, SpecError> {
+        parse_dialect(sql, None)
+    }
+
+    fn spec_of(sql: &str) -> QuerySpec {
+        match parse(sql).unwrap() {
+            DialectStatement::Estimate(s) => s,
+            other => panic!("expected Estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_headline_statement() {
+        let s = spec_of(
+            "ESTIMATE DURABILITY OF cpp(beta=500) WITHIN 1000 USING gmlss(levels=5) \
+             TARGET RE 0.5% WITH (threads=4, batch_width=64) ASYNC",
+        );
+        assert_eq!(s.model, "cpp");
+        assert_eq!(s.beta, 500.0);
+        assert_eq!(s.horizon, 1000);
+        assert_eq!(s.method, Method::GMlss);
+        assert_eq!(s.levels, 5);
+        assert!((s.target_re - 0.005).abs() < 1e-12);
+        assert_eq!(s.options.threads, 4);
+        assert_eq!(s.options.batch_width, Some(64));
+        assert_eq!(s.options.mode, ExecMode::Async);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let s = spec_of("ESTIMATE DURABILITY OF walk(beta=6) WITHIN 60 TARGET RE 0.25");
+        assert_eq!(s.method, Method::Auto);
+        assert_eq!(s.levels, DEFAULT_PLAN_LEVELS);
+        assert_eq!(s.options.threads, 1);
+        assert_eq!(s.options.batch_width, None);
+        assert_eq!(s.options.seed, None);
+        assert_eq!(s.options.mode, ExecMode::Sync);
+        assert!(s.params.is_empty());
+    }
+
+    #[test]
+    fn model_overrides_and_case_insensitive_keywords() {
+        let s = spec_of(
+            "estimate durability of gbm(beta=560, volatility=0.4, drift=0.1) \
+             within 40 using mlss target re 25 % sync;",
+        );
+        assert_eq!(s.params.get("volatility"), Some(&0.4));
+        assert_eq!(s.params.get("drift"), Some(&0.1));
+        assert_eq!(s.method, Method::GMlss, "mlss aliases to gmlss");
+        assert!((s.target_re - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explain_and_show_models() {
+        assert!(matches!(
+            parse("EXPLAIN ESTIMATE DURABILITY OF walk(beta=5) WITHIN 50 TARGET RE 0.3").unwrap(),
+            DialectStatement::ExplainEstimate(_)
+        ));
+        assert_eq!(parse("SHOW MODELS").unwrap(), DialectStatement::ShowModels);
+        assert_eq!(parse("show models;").unwrap(), DialectStatement::ShowModels);
+    }
+
+    #[test]
+    fn is_dialect_routes() {
+        assert!(is_dialect(
+            "ESTIMATE DURABILITY OF x(beta=1) WITHIN 1 TARGET RE 1"
+        ));
+        assert!(is_dialect("  explain estimate …"));
+        assert!(is_dialect("SHOW MODELS"));
+        assert!(!is_dialect("SELECT * FROM t"));
+        assert!(!is_dialect("INSERT INTO t VALUES (1)"));
+    }
+
+    #[test]
+    fn spans_point_at_the_offender() {
+        let sql = "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 60 TARGET RE 0.25 WITH (bogus=1)";
+        let err = parse(sql).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            SpecErrorKind::UnknownOption { ref name } if name == "bogus"
+        ));
+        let span = err.span.unwrap();
+        assert_eq!(&sql[span.start..span.end], "bogus");
+    }
+
+    #[test]
+    fn missing_beta_is_a_missing_clause() {
+        let err = parse("ESTIMATE DURABILITY OF walk WITHIN 60 TARGET RE 0.25").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            SpecErrorKind::MissingClause { clause: "beta" }
+        ));
+    }
+
+    #[test]
+    fn catalog_checks_model_and_params() {
+        use mlss_core::spec::ParamSpec;
+        let schema = ModelSchema::new(
+            "walk",
+            "random walk",
+            vec![ParamSpec::float("up", 0.3, 0.0, 1.0, "up probability")],
+        );
+        let catalog = [&schema];
+        let err = parse_dialect(
+            "ESTIMATE DURABILITY OF nope(beta=1) WITHIN 10 TARGET RE 0.5",
+            Some(&catalog),
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::UnknownModel { .. }));
+        let err = parse_dialect(
+            "ESTIMATE DURABILITY OF walk(beta=1, wat=2) WITHIN 10 TARGET RE 0.5",
+            Some(&catalog),
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::UnknownParam { .. }));
+        let sql = "ESTIMATE DURABILITY OF walk(beta=1, up=1.5) WITHIN 10 TARGET RE 0.5";
+        let err = parse_dialect(sql, Some(&catalog)).unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::ParamOutOfRange { .. }));
+        let span = err.span.unwrap();
+        assert_eq!(&sql[span.start..span.end], "1.5");
+        // Int/bool shape violations get the same spanned treatment.
+        let int_schema = ModelSchema::new(
+            "lattice",
+            "int-param model",
+            vec![ParamSpec::int("start", 0.0, -10.0, 10.0, "start")],
+        );
+        let catalog2 = [&int_schema];
+        let sql = "ESTIMATE DURABILITY OF lattice(beta=1, start=1.5) WITHIN 10 TARGET RE 0.5";
+        let err = parse_dialect(sql, Some(&catalog2)).unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::ParamWrongType { .. }));
+        let span = err.span.unwrap();
+        assert_eq!(&sql[span.start..span.end], "1.5");
+        assert!(parse_dialect(
+            "ESTIMATE DURABILITY OF walk(beta=1, up=0.4) WITHIN 10 TARGET RE 0.5",
+            Some(&catalog),
+        )
+        .is_ok());
+    }
+}

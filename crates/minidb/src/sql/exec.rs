@@ -37,7 +37,16 @@ impl ExecResult {
 }
 
 /// Parse and execute one SQL statement against the database.
+///
+/// `ESTIMATE` dialect statements need an engine context (model registry,
+/// plan cache, scheduler, RNG) and are rejected here — run them through
+/// [`crate::session::Session::execute`].
 pub fn execute(db: &Database, sql: &str) -> Result<ExecResult, DbError> {
+    if crate::sql::estimate::is_dialect(sql) {
+        return Err(DbError::Proc(
+            "ESTIMATE/EXPLAIN/SHOW statements require a session (use Session::execute)".into(),
+        ));
+    }
     let stmt = parse(sql).map_err(|e| DbError::Proc(e.to_string()))?;
     execute_statement(db, stmt)
 }

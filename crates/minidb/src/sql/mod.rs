@@ -1,12 +1,19 @@
 //! A small SQL front end for the embedded engine: tokenizer, recursive-
 //! descent parser, and executor for `SELECT` (with `WHERE`, `ORDER BY`,
 //! `LIMIT`, aggregates), `INSERT`, `CREATE TABLE`, `DELETE`, and
-//! `DROP TABLE`. Enough surface to drive the §6.4 pipeline the way the
-//! paper drove PostgreSQL.
+//! `DROP TABLE`, plus the declarative **ESTIMATE dialect** ([`estimate`]:
+//! `ESTIMATE DURABILITY …`, `EXPLAIN ESTIMATE …`, `SHOW MODELS`). Enough
+//! surface to drive the §6.4 pipeline the way the paper drove PostgreSQL.
+//!
+//! Plain statements execute through [`execute`]; dialect statements need
+//! an engine context (model registry, plan cache, scheduler, RNG) and run
+//! through [`crate::session::Session::execute`].
 
+pub mod estimate;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
 
+pub use estimate::{is_dialect, parse_dialect, DialectStatement};
 pub use exec::{execute, execute_statement, ExecResult};
 pub use parser::{parse, Statement};

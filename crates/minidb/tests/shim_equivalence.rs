@@ -1,0 +1,215 @@
+//! Shim-equivalence: every legacy positional call (`mlss_estimate`,
+//! `mlss_submit`/`mlss_poll`) must produce **bit-identical** estimates
+//! and `results` rows to the equivalent `ESTIMATE` statement at a fixed
+//! seed — the proof that the positional procedures really are thin shims
+//! over the same compile-and-dispatch path, with no hidden divergence in
+//! RNG consumption, plan derivation, or result recording.
+
+use mlss_core::scheduler::QueryId;
+use mlss_db::{Session, SessionConfig, Value};
+
+fn session(seed: u64) -> Session {
+    Session::new(SessionConfig {
+        workers: 2,
+        slice_budget: 8_192,
+        seed,
+        ..SessionConfig::default()
+    })
+    .unwrap()
+}
+
+fn results_rows(s: &Session) -> Vec<Vec<Value>> {
+    s.db()
+        .with_table("results", |t| t.scan().map(|r| r.to_vec()).collect())
+        .unwrap_or_default()
+}
+
+/// Column 8 is `millis` — wall-clock, the one legitimately
+/// non-deterministic cell. Everything else must match bit-for-bit
+/// (floats compared by bit pattern).
+fn assert_rows_bit_identical(legacy: &[Vec<Value>], dialect: &[Vec<Value>], ctx: &str) {
+    assert_eq!(legacy.len(), dialect.len(), "{ctx}: row count");
+    for (i, (a, b)) in legacy.iter().zip(dialect).enumerate() {
+        assert_eq!(a.len(), b.len(), "{ctx}: row {i} arity");
+        for (c, (va, vb)) in a.iter().zip(b).enumerate() {
+            if c == 8 {
+                continue; // millis
+            }
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{ctx}: row {i} col {c}: {x} != {y}"
+                ),
+                _ => assert_eq!(va, vb, "{ctx}: row {i} col {c}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn positional_estimate_is_bit_identical_to_estimate_statement() {
+    // Same session seed on both sides ⇒ identical child RNG streams per
+    // call ⇒ identical pilots, identical sample paths, identical rows.
+    // Covers: SRS (no plan), g-MLSS (plan-cache miss then hit), the
+    // "mlss" alias, auto resolution, and s-MLSS.
+    let legacy = session(2024);
+    let dialect = session(2024);
+
+    let cases: Vec<(&str, &str, f64, i64, f64)> = vec![
+        ("walk", "srs", 6.0, 50, 0.3),
+        ("ar", "gmlss", 3.0, 40, 0.5),
+        ("ar", "gmlss", 3.0, 40, 0.5), // plan-cache hit
+        ("ar", "mlss", 3.0, 40, 0.5),  // alias, same cache key
+        ("network", "auto", 5.0, 60, 0.5),
+        ("ar", "smlss", 3.0, 40, 0.5),
+    ];
+    for (model, method, beta, horizon, re) in &cases {
+        let tau_legacy = legacy
+            .call(
+                "mlss_estimate",
+                &[
+                    (*model).into(),
+                    (*method).into(),
+                    (*beta).into(),
+                    Value::Int(*horizon),
+                    (*re).into(),
+                ],
+            )
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        // The equivalent statement: canonical method name, explicit
+        // default levels (the shim's plan-cache key), raw-fraction RE.
+        let canonical = if *method == "mlss" { "gmlss" } else { *method };
+        let using = if canonical == "srs" {
+            "USING srs".to_string()
+        } else {
+            format!("USING {canonical}(levels=4)")
+        };
+        let stmt = format!(
+            "ESTIMATE DURABILITY OF {model}(beta={beta}) WITHIN {horizon} {using} TARGET RE {re}"
+        );
+        let res = dialect.execute(&stmt).unwrap();
+        let tau_dialect = res.rows()[0][2].as_f64().unwrap();
+        assert_eq!(
+            tau_legacy.to_bits(),
+            tau_dialect.to_bits(),
+            "{model}/{method}: τ̂ diverged"
+        );
+    }
+    assert_rows_bit_identical(
+        &results_rows(&legacy),
+        &results_rows(&dialect),
+        "sync results table",
+    );
+    // The plan caches behaved identically too.
+    assert_eq!(legacy.plan_cache().misses(), dialect.plan_cache().misses());
+    assert_eq!(legacy.plan_cache().hits(), dialect.plan_cache().hits());
+}
+
+fn wait_tau(s: &Session, id: QueryId) -> f64 {
+    let status = s.wait(id).unwrap().unwrap();
+    status.estimate().expect("query completes").tau
+}
+
+#[test]
+fn positional_submit_is_bit_identical_to_async_statement() {
+    // Pinned seeds make scheduled queries reproducible: the legacy
+    // positional submit and the ASYNC statement must run the identical
+    // worker-0-canonical stream — including the deferred plan pilot on
+    // the g-MLSS miss — and record identical rows.
+    let legacy = session(7);
+    let dialect = session(7);
+
+    // (model, method, beta, horizon, re, priority, seed)
+    let cases: Vec<(&str, &str, f64, i64, f64, i64, i64)> = vec![
+        ("walk", "srs", 6.0, 50, 0.3, 0, 9001),
+        ("ar", "gmlss", 3.0, 40, 0.5, 2, 9002), // cold cache: deferred pilot
+        ("ar", "gmlss", 3.0, 40, 0.5, 0, 9003), // warm cache
+    ];
+    for (model, method, beta, horizon, re, priority, seed) in &cases {
+        let id_legacy = legacy
+            .call(
+                "mlss_submit",
+                &[
+                    (*model).into(),
+                    (*method).into(),
+                    (*beta).into(),
+                    Value::Int(*horizon),
+                    (*re).into(),
+                    Value::Int(*priority),
+                    Value::Int(*seed),
+                ],
+            )
+            .unwrap()
+            .as_i64()
+            .unwrap() as QueryId;
+        let tau_legacy = wait_tau(&legacy, id_legacy);
+
+        let using = if *method == "srs" {
+            "USING srs".to_string()
+        } else {
+            format!("USING {method}(levels=4)")
+        };
+        let mut opts = vec![format!("seed={seed}")];
+        if *priority != 0 {
+            opts.push(format!("priority={priority}"));
+        }
+        let stmt = format!(
+            "ESTIMATE DURABILITY OF {model}(beta={beta}) WITHIN {horizon} {using} \
+             TARGET RE {re} WITH ({}) ASYNC",
+            opts.join(", ")
+        );
+        let res = dialect.execute(&stmt).unwrap();
+        let id_dialect = res.scalar().unwrap().as_i64().unwrap() as QueryId;
+        let tau_dialect = wait_tau(&dialect, id_dialect);
+
+        assert_eq!(
+            tau_legacy.to_bits(),
+            tau_dialect.to_bits(),
+            "{model}/{method} seed {seed}: τ̂ diverged"
+        );
+    }
+    assert_rows_bit_identical(
+        &results_rows(&legacy),
+        &results_rows(&dialect),
+        "async results table",
+    );
+}
+
+#[test]
+fn native_submit_draws_the_same_seed_as_the_async_statement() {
+    // Without a pinned seed both paths draw it as the first random of
+    // the call's child stream — same session seed, same call order ⇒
+    // the same drawn seed, so even unpinned submissions line up.
+    let a = session(314);
+    let b = session(314);
+    let id_a = a.submit("walk", "srs", 6.0, 50, 0.3, 0).unwrap();
+    let res = b
+        .execute("ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs TARGET RE 0.3 ASYNC")
+        .unwrap();
+    let id_b = res.scalar().unwrap().as_i64().unwrap() as QueryId;
+    let tau_a = wait_tau(&a, id_a);
+    let tau_b = wait_tau(&b, id_b);
+    assert_eq!(tau_a.to_bits(), tau_b.to_bits());
+    assert_rows_bit_identical(&results_rows(&a), &results_rows(&b), "unpinned async");
+}
+
+#[test]
+fn pinned_seed_statements_are_reproducible() {
+    // A pinned seed makes a statement reproducible across sessions and
+    // across front ends: the same `WITH (seed=…)` statement in two
+    // fresh sessions yields bit-identical rows.
+    let a = session(1);
+    let b = session(2); // different session seeds: the pin must win
+    let stmt = "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs \
+                TARGET RE 0.3 WITH (seed=777)";
+    let ra = a.execute(stmt).unwrap();
+    let rb = b.execute(stmt).unwrap();
+    assert_eq!(
+        ra.rows()[0][2].as_f64().unwrap().to_bits(),
+        rb.rows()[0][2].as_f64().unwrap().to_bits()
+    );
+    assert_rows_bit_identical(&results_rows(&a), &results_rows(&b), "pinned sync");
+}

@@ -1,10 +1,12 @@
 //! Concurrent serving: many durability queries sharing one engine
-//! through the session layer — submit, poll, pause/resume, cancel — with
-//! memoized partition plans.
+//! through the session layer — declarative ASYNC submission, polling,
+//! pause/resume, cancellation — with memoized partition plans and
+//! scheduled plan pilots.
 //!
 //! Run: `cargo run --release --example concurrent_serving`
 
 use durability_mlss::core::scheduler::QueryStatus;
+use mlss_core::scheduler::QueryId;
 use mlss_db::{Session, SessionConfig, Value};
 
 fn main() {
@@ -13,23 +15,32 @@ fn main() {
         slice_budget: 16_384,
         // Slices advance a 32-wide frontier of root paths per model
         // batch call (bit-identical to scalar execution — a pure
-        // throughput knob; see docs/kernel.md).
+        // throughput knob; see docs/kernel.md). A statement's
+        // `WITH (batch_width=…)` overrides it per query.
         batch_width: 32,
         seed: 7,
         ..SessionConfig::default()
     })
     .expect("open session");
 
-    // 1. Submit a burst of queries: one expensive tight-RE g-MLSS query
-    //    and a handful of cheap SRS lookups. Nothing blocks.
-    let expensive = session
-        .submit("cpp", "gmlss", 25.0, 80, 0.02, 0)
-        .expect("submit expensive");
-    let cheap: Vec<_> = (0..4)
+    // 1. Submit a burst declaratively: one expensive tight-RE g-MLSS
+    //    query and a handful of cheap SRS lookups. Nothing blocks — on
+    //    the cold plan cache the g-MLSS pilot is *scheduled as the
+    //    query's first slice*, not run here.
+    let expensive = submit(
+        &session,
+        "ESTIMATE DURABILITY OF cpp(beta=25) WITHIN 80 USING gmlss TARGET RE 2% ASYNC",
+    );
+    let cheap: Vec<QueryId> = (0..4)
         .map(|k| {
-            session
-                .submit("walk", "srs", 5.0 + k as f64, 50, 0.3, 0)
-                .expect("submit cheap")
+            submit(
+                &session,
+                &format!(
+                    "ESTIMATE DURABILITY OF walk(beta={}) WITHIN 50 USING srs \
+                     TARGET RE 30% ASYNC",
+                    5 + k
+                ),
+            )
         })
         .collect();
     println!("submitted 1 expensive + {} cheap queries", cheap.len());
@@ -71,25 +82,30 @@ fn main() {
         est.steps
     );
 
-    // 4. The same query shape again: the partition plan is served from
-    //    the cache (no second pilot), and SQL-style polling works too.
-    let again = session
-        .call(
-            "mlss_submit",
-            &[
-                "cpp".into(),
-                "gmlss".into(),
-                25.0.into(),
-                Value::Int(80),
-                0.05.into(),
-            ],
+    // 4. EXPLAIN the same shape: the plan derived by that first slice is
+    //    in the shared cache now, so the resolved plan comes back as a
+    //    hit — and the statement shows exactly what a re-submission
+    //    would do (driver, effective batch width, level plan).
+    let explain = session
+        .execute(
+            "EXPLAIN ESTIMATE DURABILITY OF cpp(beta=25) WITHIN 80 \
+             USING gmlss TARGET RE 5% ASYNC",
         )
-        .expect("resubmit")
-        .as_i64()
-        .unwrap();
+        .expect("explain");
+    println!("\nEXPLAIN of the warm query shape:");
+    for row in explain.rows() {
+        println!("  {:<16} {}", format!("{}", row[0]), row[1]);
+    }
+
+    // 5. The same query shape again: the partition plan is served from
+    //    the cache (no second pilot), and SQL-style polling works too.
+    let again = submit(
+        &session,
+        "ESTIMATE DURABILITY OF cpp(beta=25) WITHIN 80 USING gmlss TARGET RE 5% ASYNC",
+    );
     loop {
         match session
-            .call("mlss_poll", &[Value::Int(again)])
+            .call("mlss_poll", &[Value::Int(again as i64)])
             .expect("poll")
         {
             Value::Float(tau) => {
@@ -104,7 +120,7 @@ fn main() {
         }
     }
 
-    // 5. Serving diagnostics: plan cache effectiveness + pool counters.
+    // 6. Serving diagnostics: plan cache effectiveness + pool counters.
     for d in session.diagnostics() {
         let details: Vec<String> = d.details.iter().map(|(k, v)| format!("{k}={v}")).collect();
         println!("[{}] {}", d.estimator, details.join(", "));
@@ -114,4 +130,15 @@ fn main() {
         .with_table("results", |t| t.len())
         .expect("results table");
     println!("rows recorded in the results table: {results}");
+}
+
+/// Run an `… ASYNC` statement and return its query id.
+fn submit(session: &Session, stmt: &str) -> QueryId {
+    session
+        .execute(stmt)
+        .expect("submit")
+        .scalar()
+        .expect("query_id row")
+        .as_i64()
+        .expect("query_id int") as QueryId
 }

@@ -1,62 +1,87 @@
 //! The end-to-end in-DBMS pipeline (§6.4): model parameters in tables,
-//! MLSS as a stored procedure, results and sample paths materialized
-//! back into tables, everything persisted to disk and recovered.
+//! durability queries asked in the declarative ESTIMATE dialect, results
+//! and sample paths materialized back into tables, everything persisted
+//! to disk and recovered.
 //!
 //! Run: `cargo run --release --example db_pipeline`
 
-use durability_mlss::core::rng::rng_from_seed;
-use mlss_db::{
-    col, execute, lit, load, save, seed_default_models, Aggregate, Database, ProcRegistry, Value,
-};
+use mlss_db::{col, lit, load, save, Aggregate, Session, SessionConfig, Value};
 
 fn main() {
-    let db = Database::new();
-    seed_default_models(&db).expect("seed models table");
+    let session = Session::new(SessionConfig {
+        seed: 1234,
+        ..SessionConfig::default()
+    })
+    .expect("open session");
+    let db = session.db();
     println!("tables: {:?}", db.table_names());
 
-    let registry = ProcRegistry::with_builtins();
-    println!("stored procedures: {:?}\n", registry.names());
-    let mut rng = rng_from_seed(1234);
+    // 0. The model catalog: every registered substrate declares a named
+    //    parameter schema (name, type, default, range).
+    let catalog = session.execute("SHOW MODELS").expect("show models");
+    println!("SHOW MODELS → {} parameter rows\n", catalog.rows().len());
 
-    // 1. Answer durability queries through the stored procedure.
+    // 1. Answer durability queries declaratively. β and any parameter
+    //    override are *named*, not positional.
     for (model, beta) in [("queue", 37.0), ("cpp", 50.0)] {
-        for method in ["srs", "mlss"] {
-            let args: Vec<Value> = vec![
-                model.into(),
-                method.into(),
-                beta.into(),
-                Value::Int(500),
-                0.15.into(), // 15% relative error
-            ];
-            let tau = registry
-                .call(&db, "mlss_estimate", &args, &mut rng)
-                .expect("mlss_estimate");
-            println!("mlss_estimate({model}, {method}, β={beta}) = {tau}");
+        for method in ["srs", "gmlss"] {
+            let stmt = format!(
+                "ESTIMATE DURABILITY OF {model}(beta={beta}) WITHIN 500 \
+                 USING {method} TARGET RE 15%"
+            );
+            let res = session.execute(&stmt).expect("estimate");
+            let row = &res.rows()[0];
+            println!(
+                "ESTIMATE {model}({method}, β={beta}) → τ̂ = {} [{} plan]",
+                row[2],
+                row.last().unwrap()
+            );
         }
     }
 
-    // 2. Inspect the results table with the query API.
+    // 2. EXPLAIN shows the resolved plan without guessing: the method
+    //    `auto` picks, the level plan, cache provenance, and the driver.
+    let explain = session
+        .execute(
+            "EXPLAIN ESTIMATE DURABILITY OF cpp(beta=50) WITHIN 500 \
+             USING auto TARGET RE 15% WITH (threads=4, batch_width=32)",
+        )
+        .expect("explain");
+    println!("\nEXPLAIN ESTIMATE …:");
+    for row in explain.rows() {
+        println!("  {:<16} {}", format!("{}", row[0]), row[1]);
+    }
+
+    // 3. Inspect the results table with the query API.
     let fast = db
         .with_table("results", |t| {
-            t.filter(&col("method").eq(lit("mlss")))
+            t.filter(&col("method").eq(lit("gmlss")))
                 .map(|rows| rows.len())
         })
         .expect("results")
         .expect("filter");
-    println!("\nmlss rows in results table: {fast}");
+    println!("\ngmlss rows in results table: {fast}");
     let avg_ms = db
         .with_table("results", |t| {
             t.aggregate(&Aggregate::Avg("millis".into()), None)
         })
         .expect("results")
         .expect("aggregate");
-    println!("average procedure time: {avg_ms} ms");
+    println!("average statement time: {avg_ms} ms");
 
-    // 3. Materialize sample paths for inspection — the "possible worlds"
-    //    interpretability by-product of §2.2.
-    let args: Vec<Value> = vec!["cpp".into(), Value::Int(50), Value::Int(4), "worlds".into()];
-    let n = registry
-        .call(&db, "materialize_paths", &args, &mut rng)
+    // 4. Materialize sample paths for inspection — the "possible worlds"
+    //    interpretability by-product of §2.2, now stepping a 4-wide
+    //    cohort on the batched frontier kernel (bit-identical rows at
+    //    any width).
+    let args: Vec<Value> = vec![
+        "cpp".into(),
+        Value::Int(50),
+        Value::Int(4),
+        "worlds".into(),
+        Value::Int(4),
+    ];
+    let n = session
+        .call("materialize_paths", &args)
         .expect("materialize_paths");
     println!("\nmaterialized {n} path rows into table 'worlds'");
     let final_values = db
@@ -71,79 +96,53 @@ fn main() {
         .expect("filter");
     println!("surplus at t=50 across the 4 worlds: {final_values:?}");
 
-    // 4. Query everything through the SQL front end.
-    let res = execute(
-        &db,
-        "SELECT model, method, millis FROM results WHERE method = 'mlss' ORDER BY millis ASC",
-    )
-    .expect("sql select");
-    println!(
-        "
-SQL: SELECT model, method, millis FROM results WHERE method = 'mlss':"
-    );
+    // 5. Plain SQL and the dialect share one front door.
+    let res = session
+        .execute(
+            "SELECT model, method, millis FROM results WHERE method = 'gmlss' ORDER BY millis ASC",
+        )
+        .expect("sql select");
+    println!("\nSQL: SELECT model, method, millis FROM results WHERE method = 'gmlss':");
     for row in res.rows() {
         println!("  {} | {} | {} ms", row[0], row[1], row[2]);
     }
-    let peak = execute(&db, "SELECT MAX(value) FROM worlds").expect("sql agg");
+    let peak = session
+        .execute("SELECT MAX(value) FROM worlds")
+        .expect("sql agg");
     println!(
         "SQL: MAX(value) over all worlds = {}",
         peak.scalar().unwrap()
     );
 
-    // 5. DURABILITY via SQL over the generalized model registry: any
-    //    registered model (walk, GBM, AR, Markov, queue, network, CPP,
-    //    volatile) × any method ("srs", "smlss", "mlss"/"gmlss", "auto").
-    //    "auto" derives a balanced level plan from a pilot and picks
-    //    g-MLSS, falling back to SRS when no plan is derivable; a trailing
-    //    threads argument routes the same query through the parallel
-    //    driver — SQL call → planner → parallel driver → sampler, one
-    //    execution spine.
-    println!("\nDURABILITY queries over the model registry:");
-    for (model, method, beta, horizon) in [
-        ("walk", "auto", 6.0, 60i64),
-        ("ar", "smlss", 3.0, 40),
-        ("gbm", "mlss", 560.0, 40),
-        ("volatile", "auto", 40.0, 100),
+    // 6. DURABILITY over the generalized model registry: any registered
+    //    model × any method, with named parameter overrides validated
+    //    against the model's schema — no `models`-table edit needed to
+    //    ask about a steeper walk or a calmer GBM.
+    println!("\nDeclarative queries over the model registry:");
+    for stmt in [
+        "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 60 USING auto TARGET RE 25%",
+        "ESTIMATE DURABILITY OF ar(beta=3) WITHIN 40 USING smlss TARGET RE 25%",
+        "ESTIMATE DURABILITY OF gbm(beta=560, volatility=0.22) WITHIN 40 USING gmlss TARGET RE 25%",
+        "ESTIMATE DURABILITY OF volatile(beta=40) WITHIN 100 USING auto TARGET RE 25%",
+        // The same walk query, answered by 4 worker threads.
+        "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 60 USING auto TARGET RE 25% WITH (threads=4)",
     ] {
-        let args: Vec<Value> = vec![
-            model.into(),
-            method.into(),
-            beta.into(),
-            Value::Int(horizon),
-            0.25.into(),
-        ];
-        let tau = registry
-            .call(&db, "mlss_estimate", &args, &mut rng)
-            .expect("registry estimate");
-        println!("  DURABILITY({model}, {method}, β={beta}, s={horizon}) = {tau}");
+        let res = session.execute(stmt).expect("registry estimate");
+        let row = &res.rows()[0];
+        println!("  {} / {} → τ̂ = {}", row[0], row[1], row[2]);
     }
-    // The same query, answered by 4 worker threads.
-    let args: Vec<Value> = vec![
-        "walk".into(),
-        "auto".into(),
-        6.0.into(),
-        Value::Int(60),
-        0.25.into(),
-        Value::Int(4),
-    ];
-    let tau_par = registry
-        .call(&db, "mlss_estimate", &args, &mut rng)
-        .expect("parallel estimate");
-    println!("  DURABILITY(walk, auto, 4 threads) = {tau_par}");
 
-    let ranked = execute(
-        &db,
-        "SELECT model, method, tau FROM results ORDER BY tau DESC",
-    )
-    .expect("sql select");
+    let ranked = session
+        .execute("SELECT model, method, tau FROM results ORDER BY tau DESC")
+        .expect("sql select");
     println!("\nSQL: all durability answers so far, most durable first:");
     for row in ranked.rows() {
         println!("  {} | {} | τ̂ = {}", row[0], row[1], row[2]);
     }
 
-    // 6. Persist and recover.
+    // 7. Persist and recover.
     let dir = std::env::temp_dir().join("mlss-db-pipeline-demo");
-    save(&db, &dir).expect("save");
+    save(db, &dir).expect("save");
     let report = load(&dir).expect("load");
     println!(
         "\npersisted to {} and recovered {} tables (skipped: {})",

@@ -1,0 +1,84 @@
+//! A line-oriented SQL shell over a serving [`Session`]: reads
+//! statements from stdin (plain SQL plus the ESTIMATE dialect), prints
+//! result rows to stdout. Exercised in CI as a smoke test of the whole
+//! front door:
+//!
+//! ```text
+//! echo "SHOW MODELS;
+//!       ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs TARGET RE 30%;
+//!       SELECT model, tau FROM results" | cargo run --release --example sql_shell
+//! ```
+//!
+//! Statements are one per line (a trailing `;` is allowed); lines
+//! starting with `--` are comments. Errors are printed (with their byte
+//! spans for dialect statements) and the shell continues — like any SQL
+//! prompt — but the process exits nonzero if any statement failed, so CI
+//! catches regressions.
+
+use mlss_db::{DbError, ExecResult, Session, SessionConfig};
+use std::io::BufRead;
+
+fn print_result(res: &ExecResult) {
+    match res {
+        ExecResult::Rows { columns, rows } => {
+            println!("{}", columns.join(" | "));
+            for row in rows {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                println!("{}", cells.join(" | "));
+            }
+            println!(
+                "({} row{})",
+                rows.len(),
+                if rows.len() == 1 { "" } else { "s" }
+            );
+        }
+        ExecResult::Affected(n) => println!("ok ({n} affected)"),
+        ExecResult::Ok => println!("ok"),
+    }
+}
+
+fn main() {
+    let session = Session::new(SessionConfig {
+        seed: 42,
+        ..SessionConfig::default()
+    })
+    .expect("open session");
+
+    let stdin = std::io::stdin();
+    let mut failures = 0u32;
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        let stmt = line.trim();
+        if stmt.is_empty() || stmt.starts_with("--") {
+            continue;
+        }
+        println!("> {stmt}");
+        match session.execute(stmt) {
+            Ok(res) => print_result(&res),
+            Err(DbError::Spec(e)) => {
+                // Spanned dialect errors: point at the offending bytes.
+                if let Some(span) = e.span {
+                    println!("error: {e}");
+                    println!("  {stmt}");
+                    println!(
+                        "  {}{}",
+                        " ".repeat(span.start),
+                        "^".repeat((span.end - span.start).max(1))
+                    );
+                } else {
+                    println!("error: {e}");
+                }
+                failures += 1;
+            }
+            Err(e) => {
+                println!("error: {e}");
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    if failures > 0 {
+        eprintln!("{failures} statement(s) failed");
+        std::process::exit(1);
+    }
+}
