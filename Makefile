@@ -5,13 +5,14 @@
 #   make bench      — criterion micro-benchmarks (shimmed harness)
 #   make speedup    — parallel-driver mutex-vs-sharded merge comparison
 #   make test-mt    — release tests with 4 test threads (scheduler jobs)
+#   make test-scalar — full release suite with the SIMD backend forced off
 #   make sched-bench — FIFO vs concurrent-serving latency benchmark
 #   make kernel-bench — scalar-adapter vs native-batch stepping throughput
 #   make sql-demo   — pipe a demo script through the sql_shell example
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt sched-bench kernel-bench sql-demo
+.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench sql-demo
 
 verify: build test
 
@@ -29,6 +30,9 @@ clippy:
 
 test-mt:
 	$(CARGO) test --release --workspace -- --test-threads=4
+
+test-scalar:
+	MLSS_SIMD=scalar $(CARGO) test --release --workspace
 
 sched-bench:
 	$(CARGO) run --release -p mlss-bench --bin scheduler_bench -- --full

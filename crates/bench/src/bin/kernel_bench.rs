@@ -12,7 +12,8 @@
 
 use mlss_core::model::{ScalarAdapter, SimulationModel, Time};
 use mlss_core::rng::{rng_from_seed, SimRng};
-use mlss_models::{CompoundPoisson, GeometricBrownian};
+use mlss_core::simd::Backend;
+use mlss_models::{CompoundPoisson, GeometricBrownian, RandomWalk};
 use mlss_nn::model::{NetConfig, RnnStockModel};
 use std::time::Instant;
 
@@ -74,9 +75,11 @@ fn main() {
     println!("# kernel_bench — scalar-adapter vs native-batch steps/s");
     println!();
     println!(
-        "profile: {}; widths {:?}; one RNG stream per lane (the frontier's hot loop)",
+        "profile: {}; widths {:?}; one RNG stream per lane (the frontier's hot loop); \
+         SIMD backend: {} (MLSS_SIMD overrides)",
         if full { "--full" } else { "quick" },
-        WIDTHS
+        WIDTHS,
+        Backend::active(),
     );
     println!();
     println!("| model | width | scalar adapter | native batch | speedup |");
@@ -84,6 +87,9 @@ fn main() {
 
     let cpp = CompoundPoisson::paper_default();
     let cpp_best = bench_model("cpp", &cpp, 1_000_000 * scale);
+
+    let walk = RandomWalk::new(0.3, 0.3, 0).reflected();
+    let walk_best = bench_model("walk", &walk, 4_000_000 * scale);
 
     let gbm = GeometricBrownian::goog_like();
     let gbm_best = bench_model("gbm", &gbm, 2_000_000 * scale);
@@ -118,15 +124,33 @@ fn main() {
     let big_best = bench_model("rnn (H=256, paper scale)", &big, 6_000 * scale);
 
     println!();
-    let best = cpp_best.max(gbm_best).max(rnn_best).max(big_best);
+    let best = cpp_best
+        .max(walk_best)
+        .max(gbm_best)
+        .max(rnn_best)
+        .max(big_best);
+    let closed_form_best = cpp_best.max(walk_best).max(gbm_best);
     println!(
         "best native-batch speedup at width ≥ 64: **{best:.2}x** \
-         (acceptance target: ≥ 2x on at least one model)"
+         (closed-form models: **{closed_form_best:.2}x**; acceptance: \
+         ≥ 2x overall, ≥ 1.5x closed-form on a SIMD backend)"
     );
-    // Regression guard, deliberately loose for noisy CI runners — the
-    // committed table documents the real margins.
+    // Regression guards, deliberately loose for noisy CI runners — the
+    // committed table documents the real margins. The overall guard is
+    // carried by the (backend-independent) RNN kernel; the closed-form
+    // guard pins the vectorized draw pipeline specifically, so a silent
+    // fallback to scalar (e.g. a broken `pipeline_engaged`) fails CI on
+    // the SIMD legs rather than hiding behind the RNN's margin.
     assert!(
         best >= 1.2,
         "native batch kernels regressed: best wide-width speedup {best:.2}x"
     );
+    if Backend::active() > Backend::Scalar {
+        assert!(
+            closed_form_best >= 1.5,
+            "vectorized draw pipeline regressed on backend {}: best \
+             closed-form wide-width speedup {closed_form_best:.2}x (< 1.5x)",
+            Backend::active(),
+        );
+    }
 }

@@ -39,6 +39,14 @@
 //! semantics, kept so `run_chunk` stays bit-compatible with every shard,
 //! checkpoint, and determinism guarantee shipped before this layer.
 //!
+//! The engine itself is width-policy only: the per-step SIMD work —
+//! multi-stream ChaCha refills, vectorized `exp`/`ln`/normal transforms
+//! — lives in the models' native `step_batch`/`step_tilted_batch`
+//! kernels on [`crate::simd`], which see the whole alive cohort through
+//! one call and stay bit-identical to scalar stepping (so everything
+//! this module guarantees about widths holds on every SIMD backend,
+//! including the forced-scalar one).
+//!
 //! See `docs/kernel.md` for the full contract.
 
 use crate::estimator::{ChunkOutcome, Ledger};

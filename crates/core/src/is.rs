@@ -14,7 +14,7 @@
 use crate::estimate::Estimate;
 use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
 use crate::frontier::{run_frontier, FrontierMode, RootKernel, SegmentStatus};
-use crate::model::{SimulationModel, Time};
+use crate::model::{ScalarAdapter, SimulationModel, StepCounter, Time};
 use crate::query::{Problem, ValueFunction};
 use crate::rng::SimRng;
 use crate::stats::ExactSum;
@@ -52,6 +52,79 @@ pub trait TiltableModel: SimulationModel {
             lanes[i] = next;
             log_ws[i] += dlw;
         }
+    }
+}
+
+/// A borrowed tiltable model is itself tiltable (mirrors the
+/// [`SimulationModel`] blanket impl for `&M`).
+impl<M: TiltableModel> TiltableModel for &M {
+    fn step_tilted(
+        &self,
+        state: &Self::State,
+        t: Time,
+        theta: f64,
+        rng: &mut SimRng,
+    ) -> (Self::State, f64) {
+        (**self).step_tilted(state, t, theta, rng)
+    }
+
+    fn step_tilted_batch(
+        &self,
+        lanes: &mut [Self::State],
+        log_ws: &mut [f64],
+        ts: &[Time],
+        theta: f64,
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        (**self).step_tilted_batch(lanes, log_ws, ts, theta, rngs, alive)
+    }
+}
+
+/// [`ScalarAdapter`] hides native tilted kernels too: `step_tilted`
+/// forwards, but `step_tilted_batch` keeps the provided scalar loop —
+/// the reference the draw-identity suite holds native tilted kernels
+/// against.
+impl<M: TiltableModel> TiltableModel for ScalarAdapter<M> {
+    fn step_tilted(
+        &self,
+        state: &Self::State,
+        t: Time,
+        theta: f64,
+        rng: &mut SimRng,
+    ) -> (Self::State, f64) {
+        self.0.step_tilted(state, t, theta, rng)
+    }
+
+    // No step_tilted_batch override: the provided scalar loop is the point.
+}
+
+/// Metered tilted stepping: batched tilted steps cost one atomic
+/// `add(k)` for `k` alive lanes, exactly like plain batched stepping.
+impl<M: TiltableModel> TiltableModel for StepCounter<M> {
+    fn step_tilted(
+        &self,
+        state: &Self::State,
+        t: Time,
+        theta: f64,
+        rng: &mut SimRng,
+    ) -> (Self::State, f64) {
+        self.count_one();
+        self.inner().step_tilted(state, t, theta, rng)
+    }
+
+    fn step_tilted_batch(
+        &self,
+        lanes: &mut [Self::State],
+        log_ws: &mut [f64],
+        ts: &[Time],
+        theta: f64,
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        self.count_many(alive.len() as u64);
+        self.inner()
+            .step_tilted_batch(lanes, log_ws, ts, theta, rngs, alive)
     }
 }
 

@@ -102,6 +102,7 @@ pub mod query;
 pub mod ranking;
 pub mod rng;
 pub mod scheduler;
+pub mod simd;
 pub mod smlss;
 pub mod spec;
 pub mod srs;

@@ -28,6 +28,14 @@
 //!   (lanes may be processed in any order: each has its own RNG).
 //! * **mask semantics** — lanes not listed in `alive` must not be
 //!   touched at all (their state may belong to a retired path).
+//!
+//! Kernels on the vectorized draw pipeline ([`crate::simd`]) satisfy
+//! draw-identity *by construction*: lane RNG blocks are computed
+//! multi-stream but word-for-word equal to scalar refills, and the
+//! transcendental transforms are one shared `vmath` implementation whose
+//! scalar and SIMD instantiations are bit-equal (the scalar `step` of
+//! those models calls the same functions). `tests/draw_identity.rs` pins
+//! all of this at widths {1, 3, 8, 64} under partial masks.
 
 use crate::rng::SimRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -157,6 +165,17 @@ impl<M: SimulationModel> StepCounter<M> {
     /// Access the wrapped model.
     pub fn inner(&self) -> &M {
         &self.inner
+    }
+
+    /// Meter one invocation of `g` (used by trait impls in other modules,
+    /// e.g. the tilted stepping of `crate::is`).
+    pub(crate) fn count_one(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Meter `k` invocations of `g` with one atomic add.
+    pub(crate) fn count_many(&self, k: u64) {
+        self.count.fetch_add(k, Ordering::Relaxed);
     }
 }
 

@@ -6,6 +6,15 @@
 //! in `EXPERIMENTS.md` can be regenerated from the recorded seeds) while
 //! remaining statistically strong enough for rare-event estimation, where
 //! a weak generator could visibly bias tail probabilities.
+//!
+//! Being counter-based is also what makes the vectorized draw pipeline
+//! possible: a stream's next keystream block is a pure function of
+//! `(key, counter)`, so [`crate::simd::chacha`] can compute many lanes'
+//! next blocks in one SIMD pass — ahead of need, in any grouping —
+//! and hand each lane *exactly* the words its scalar `next_u32`/`next_u64`
+//! sequence would have produced. The generator's block-level accessors
+//! (`block_key`, `block_counter`, `words_remaining`, `install_block`)
+//! are the seam; per-stream word order never changes.
 
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha12Rng;

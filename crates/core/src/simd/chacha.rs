@@ -1,0 +1,490 @@
+//! Multi-stream ChaCha12 block generation: K independent lanes' next
+//! blocks in one vectorized pass.
+//!
+//! Each frontier lane owns a private [`SimRng`] (ChaCha12) stream — that
+//! is the draw-identity invariant, and it never changes here. What this
+//! module vectorizes is the *block function*: vector register `w` holds
+//! word `w` of K different streams' states, and the double-round
+//! schedule runs once for all K. Because ChaCha is pure wrapping-`u32`
+//! arithmetic, lane `k`'s output is `chacha12_block(key_k, counter_k)`
+//! bit for bit on every backend; the lanes stay fully independent (their
+//! own keys, their own counters, their own read positions).
+//!
+//! Two front ends feed kernels:
+//!
+//! * [`gather_u64`] — for models with a *fixed* number of draws per step
+//!   (`walk`: 1, `gbm`: 2): pull `per_lane` `u64` words from every
+//!   listed lane into a lane-major buffer, refilling all lanes that
+//!   would run dry in one vectorized [`compute_blocks`] pass.
+//! * [`stage_refills`] + [`draw_u64`] — for models with data-dependent
+//!   draw counts (`cpp`'s Knuth loop): precompute the next block of
+//!   every lane that is running low, then let the per-lane loop install
+//!   the staged block the moment the lane drains. A lane that outruns
+//!   its staged block (a rare long Knuth/jump tail) falls back to the
+//!   scalar refill inside `next_u32` — still bit-identical, just not
+//!   vectorized for that tail.
+//!
+//! Word extraction mirrors `ChaCha12Rng::next_u64` exactly (low word
+//! first, refill checked before every word), so a lane's draw sequence
+//! is indistinguishable from scalar stepping at any interleaving.
+
+use super::{Backend, KernelScratch};
+use crate::rng::SimRng;
+use rand::RngCore;
+use rand_chacha::chacha12_block;
+
+/// Words per ChaCha block (16 × `u32`).
+pub const BLOCK_WORDS: usize = 16;
+
+/// Compute the next block of each stream `(keys[i], counters[i])` into
+/// `out[i]`, using the process-wide active backend.
+pub fn compute_blocks(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLOCK_WORDS]]) {
+    compute_blocks_with(Backend::active(), keys, counters, out)
+}
+
+/// [`compute_blocks`] on an explicit backend — the test harness uses
+/// this to pin cross-backend bit-equality.
+pub fn compute_blocks_with(
+    backend: Backend,
+    keys: &[[u32; 8]],
+    counters: &[u64],
+    out: &mut [[u32; BLOCK_WORDS]],
+) {
+    assert_eq!(keys.len(), counters.len());
+    assert_eq!(keys.len(), out.len());
+    let mut done = 0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        if backend >= Backend::Avx2 {
+            while keys.len() - done >= 8 {
+                // SAFETY: Backend::Avx2 is only reachable when AVX2 was
+                // detected (Backend::active/available cap at detect()).
+                unsafe {
+                    blocks8_avx2(
+                        &keys[done..done + 8],
+                        &counters[done..done + 8],
+                        &mut out[done..done + 8],
+                    )
+                };
+                done += 8;
+            }
+        }
+        if backend >= Backend::Sse2 {
+            while keys.len() - done >= 4 {
+                // SAFETY: SSE2 is part of the x86_64 baseline.
+                unsafe {
+                    blocks4_sse2(
+                        &keys[done..done + 4],
+                        &counters[done..done + 4],
+                        &mut out[done..done + 4],
+                    )
+                };
+                done += 4;
+            }
+        }
+    }
+    let _ = backend;
+    for i in done..keys.len() {
+        out[i] = chacha12_block(&keys[i], counters[i]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn blocks8_avx2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLOCK_WORDS]]) {
+    use std::arch::x86_64::*;
+
+    macro_rules! rotl {
+        ($x:expr, $n:literal) => {
+            _mm256_or_si256(_mm256_slli_epi32($x, $n), _mm256_srli_epi32($x, 32 - $n))
+        };
+    }
+    macro_rules! qr {
+        ($v:ident, $a:literal, $b:literal, $c:literal, $d:literal) => {
+            $v[$a] = _mm256_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm256_xor_si256($v[$d], $v[$a]), 16);
+            $v[$c] = _mm256_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm256_xor_si256($v[$b], $v[$c]), 12);
+            $v[$a] = _mm256_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm256_xor_si256($v[$d], $v[$a]), 8);
+            $v[$c] = _mm256_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm256_xor_si256($v[$b], $v[$c]), 7);
+        };
+    }
+
+    // Transpose the 8 stream states in: vector w = word w of all streams.
+    let mut tmp = [0u32; 8];
+    let mut v = [_mm256_setzero_si256(); BLOCK_WORDS];
+    const CONSTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+    for (w, c) in CONSTS.iter().enumerate() {
+        v[w] = _mm256_set1_epi32(*c as i32);
+    }
+    for w in 0..8 {
+        for s in 0..8 {
+            tmp[s] = keys[s][w];
+        }
+        v[4 + w] = _mm256_loadu_si256(tmp.as_ptr() as *const __m256i);
+    }
+    for s in 0..8 {
+        tmp[s] = counters[s] as u32;
+    }
+    v[12] = _mm256_loadu_si256(tmp.as_ptr() as *const __m256i);
+    for s in 0..8 {
+        tmp[s] = (counters[s] >> 32) as u32;
+    }
+    v[13] = _mm256_loadu_si256(tmp.as_ptr() as *const __m256i);
+    // v[14], v[15] stay zero (nonce words).
+
+    let init = v;
+    for _ in 0..6 {
+        qr!(v, 0, 4, 8, 12);
+        qr!(v, 1, 5, 9, 13);
+        qr!(v, 2, 6, 10, 14);
+        qr!(v, 3, 7, 11, 15);
+        qr!(v, 0, 5, 10, 15);
+        qr!(v, 1, 6, 11, 12);
+        qr!(v, 2, 7, 8, 13);
+        qr!(v, 3, 4, 9, 14);
+    }
+    for (w, vec) in v.iter_mut().enumerate() {
+        *vec = _mm256_add_epi32(*vec, init[w]);
+        _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, *vec);
+        for s in 0..8 {
+            out[s][w] = tmp[s];
+        }
+    }
+}
+
+// Deliberately a 4-lane mirror of `blocks8_avx2` (same round schedule,
+// same transpose, same counter packing) rather than one width-generic
+// macro — keep the two in lockstep when editing either. Every CI leg
+// exercises both: the 4-wide path also runs as the remainder chunk of
+// AVX2 refill sets, and `compute_blocks_matches_scalar_on_every_backend`
+// pins each against the scalar block function.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn blocks4_sse2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLOCK_WORDS]]) {
+    use std::arch::x86_64::*;
+
+    macro_rules! rotl {
+        ($x:expr, $n:literal) => {
+            _mm_or_si128(_mm_slli_epi32($x, $n), _mm_srli_epi32($x, 32 - $n))
+        };
+    }
+    macro_rules! qr {
+        ($v:ident, $a:literal, $b:literal, $c:literal, $d:literal) => {
+            $v[$a] = _mm_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm_xor_si128($v[$d], $v[$a]), 16);
+            $v[$c] = _mm_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm_xor_si128($v[$b], $v[$c]), 12);
+            $v[$a] = _mm_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm_xor_si128($v[$d], $v[$a]), 8);
+            $v[$c] = _mm_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm_xor_si128($v[$b], $v[$c]), 7);
+        };
+    }
+
+    let mut tmp = [0u32; 4];
+    let mut v = [_mm_setzero_si128(); BLOCK_WORDS];
+    const CONSTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+    for (w, c) in CONSTS.iter().enumerate() {
+        v[w] = _mm_set1_epi32(*c as i32);
+    }
+    for w in 0..8 {
+        for s in 0..4 {
+            tmp[s] = keys[s][w];
+        }
+        v[4 + w] = _mm_loadu_si128(tmp.as_ptr() as *const __m128i);
+    }
+    for s in 0..4 {
+        tmp[s] = counters[s] as u32;
+    }
+    v[12] = _mm_loadu_si128(tmp.as_ptr() as *const __m128i);
+    for s in 0..4 {
+        tmp[s] = (counters[s] >> 32) as u32;
+    }
+    v[13] = _mm_loadu_si128(tmp.as_ptr() as *const __m128i);
+
+    let init = v;
+    for _ in 0..6 {
+        qr!(v, 0, 4, 8, 12);
+        qr!(v, 1, 5, 9, 13);
+        qr!(v, 2, 6, 10, 14);
+        qr!(v, 3, 7, 11, 15);
+        qr!(v, 0, 5, 10, 15);
+        qr!(v, 1, 6, 11, 12);
+        qr!(v, 2, 7, 8, 13);
+        qr!(v, 3, 4, 9, 14);
+    }
+    for (w, vec) in v.iter_mut().enumerate() {
+        *vec = _mm_add_epi32(*vec, init[w]);
+        _mm_storeu_si128(tmp.as_mut_ptr() as *mut __m128i, *vec);
+        for s in 0..4 {
+            out[s][w] = tmp[s];
+        }
+    }
+}
+
+/// Read one `u32` word from the lane's stream, installing the staged
+/// block if the lane just drained (otherwise `next_u32` scalar-refills —
+/// bit-identical either way).
+#[inline(always)]
+fn next_word(rng: &mut SimRng, pending: &mut Option<[u32; BLOCK_WORDS]>) -> u32 {
+    if rng.words_remaining() == 0 {
+        if let Some(block) = pending.take() {
+            rng.install_block(block);
+        }
+    }
+    rng.next_u32()
+}
+
+/// Draw one `u64` from the lane's stream — exactly
+/// `ChaCha12Rng::next_u64` (low word, then high word, refill checked
+/// before each) with staged-refill support.
+#[inline(always)]
+pub fn draw_u64(rng: &mut SimRng, pending: &mut Option<[u32; BLOCK_WORDS]>) -> u64 {
+    let lo = next_word(rng, pending) as u64;
+    let hi = next_word(rng, pending) as u64;
+    (hi << 32) | lo
+}
+
+/// Stage vectorized refills: record every listed lane whose current
+/// block holds fewer than `min_words` unread words into `sc.idxs`, and
+/// compute those lanes' next blocks into `sc.blocks` in one
+/// [`compute_blocks`] pass. `sc.idxs` preserves the order of `lanes`.
+pub fn stage_refills(rngs: &[SimRng], lanes: &[usize], min_words: usize, sc: &mut KernelScratch) {
+    sc.idxs.clear();
+    sc.keys.clear();
+    sc.counters.clear();
+    for &i in lanes {
+        if rngs[i].words_remaining() < min_words {
+            sc.idxs.push(i);
+            sc.keys.push(rngs[i].block_key());
+            sc.counters.push(rngs[i].block_counter());
+        }
+    }
+    sc.blocks.clear();
+    sc.blocks.resize(sc.idxs.len(), [0u32; BLOCK_WORDS]);
+    compute_blocks(&sc.keys, &sc.counters, &mut sc.blocks);
+}
+
+/// Stage refills with the per-lane pending-block cache: like
+/// [`stage_refills`], but a lane whose next block was already computed
+/// by an earlier pass (and is still valid — same key, same counter) is
+/// served from `sc.pending` instead of being recomputed, so every SIMD
+/// block compute is eventually consumed exactly once. Used by kernels
+/// with data-dependent draw counts, where a staged block may not be
+/// installed on the step that computed it.
+pub fn stage_refills_cached(
+    rngs: &[SimRng],
+    lanes: &[usize],
+    min_words: usize,
+    sc: &mut KernelScratch,
+) {
+    if let Some(&max) = lanes.iter().max() {
+        if sc.pending.len() <= max {
+            sc.pending.resize(max + 1, None);
+        }
+    }
+    sc.idxs.clear();
+    sc.keys.clear();
+    sc.counters.clear();
+    for &i in lanes {
+        if rngs[i].words_remaining() < min_words {
+            let key = rngs[i].block_key();
+            let counter = rngs[i].block_counter();
+            let cached = matches!(
+                &sc.pending[i],
+                Some(p) if p.key == key && p.counter == counter
+            );
+            if !cached {
+                sc.idxs.push(i);
+                sc.keys.push(key);
+                sc.counters.push(counter);
+            }
+        }
+    }
+    sc.blocks.clear();
+    sc.blocks.resize(sc.idxs.len(), [0u32; BLOCK_WORDS]);
+    compute_blocks(&sc.keys, &sc.counters, &mut sc.blocks);
+    for (j, &i) in sc.idxs.iter().enumerate() {
+        sc.pending[i] = Some(super::PendingBlock {
+            key: sc.keys[j],
+            counter: sc.counters[j],
+            block: sc.blocks[j],
+        });
+    }
+}
+
+/// Take lane `i`'s staged next block out of the cache, if it is still
+/// valid for the lane's current stream position. Pair with
+/// [`restore_pending`] when the lane ends up not consuming it.
+#[inline]
+pub fn take_pending(
+    rng: &SimRng,
+    i: usize,
+    sc_pending: &mut [Option<super::PendingBlock>],
+) -> Option<[u32; BLOCK_WORDS]> {
+    match sc_pending.get_mut(i).and_then(|p| p.take()) {
+        Some(p) if p.key == rng.block_key() && p.counter == rng.block_counter() => Some(p.block),
+        _ => None,
+    }
+}
+
+/// Put an unconsumed staged block back into the cache (it is still the
+/// lane's next block — the lane simply did not drain this step).
+#[inline]
+pub fn restore_pending(
+    rng: &SimRng,
+    i: usize,
+    block: [u32; BLOCK_WORDS],
+    sc_pending: &mut [Option<super::PendingBlock>],
+) {
+    sc_pending[i] = Some(super::PendingBlock {
+        key: rng.block_key(),
+        counter: rng.block_counter(),
+        block,
+    });
+}
+
+/// Gather `per_lane` `u64` draws from each lane in `lanes` into
+/// `sc.words`, lane-major (`sc.words[j * per_lane + d]` is draw `d` of
+/// the `j`-th listed lane). Bit-identical to `per_lane` scalar
+/// `next_u64()` calls on each lane's RNG; every block refill this
+/// requires is computed in one vectorized pass up front, and lanes with
+/// enough buffered words copy straight out of their block.
+///
+/// `per_lane` must be at most 8 (one block refill per lane per call).
+pub fn gather_u64(rngs: &mut [SimRng], lanes: &[usize], per_lane: usize, sc: &mut KernelScratch) {
+    assert!(
+        per_lane * 2 <= BLOCK_WORDS,
+        "gather_u64 supports at most {} draws per lane per call",
+        BLOCK_WORDS / 2
+    );
+    stage_refills(rngs, lanes, per_lane * 2, sc);
+    sc.words.clear();
+    sc.words.resize(lanes.len() * per_lane, 0);
+    let (words, idxs, blocks) = (&mut sc.words, &sc.idxs, &sc.blocks);
+    let mut ri = 0;
+    for (j, &i) in lanes.iter().enumerate() {
+        let out = &mut words[j * per_lane..(j + 1) * per_lane];
+        let rng = &mut rngs[i];
+        if ri < idxs.len() && idxs[ri] == i {
+            // This lane drains mid-gather: word-by-word with the staged
+            // block installed the moment the buffer empties.
+            ri += 1;
+            let mut pending = Some(blocks[ri - 1]);
+            for o in out {
+                *o = draw_u64(rng, &mut pending);
+            }
+            debug_assert!(pending.is_none());
+        } else {
+            // Fast path: the current block covers the whole request
+            // (stage_refills listed every lane it would not).
+            if !rng.try_fill_u64(out) {
+                debug_assert!(false, "stage_refills guarantees buffered words");
+                let mut none = None;
+                for o in out {
+                    *o = draw_u64(rng, &mut none);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(ri, idxs.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{rng_from_seed, split_rng};
+    use rand::RngExt;
+
+    #[test]
+    fn compute_blocks_matches_scalar_on_every_backend() {
+        let mut seeder = rng_from_seed(101);
+        for n in [0usize, 1, 3, 4, 5, 8, 13, 32] {
+            let streams: Vec<SimRng> = (0..n).map(|_| split_rng(&mut seeder)).collect();
+            let keys: Vec<[u32; 8]> = streams.iter().map(|r| r.block_key()).collect();
+            let counters: Vec<u64> = streams.iter().map(|r| r.block_counter()).collect();
+            let expect: Vec<[u32; 16]> = keys
+                .iter()
+                .zip(&counters)
+                .map(|(k, &c)| chacha12_block(k, c))
+                .collect();
+            for backend in Backend::available() {
+                let mut out = vec![[0u32; 16]; n];
+                compute_blocks_with(backend, &keys, &counters, &mut out);
+                assert_eq!(out, expect, "backend {backend}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_matches_scalar_draws_across_block_boundaries() {
+        // Lanes at staggered positions, drawn repeatedly: gathered words
+        // must equal per-lane scalar next_u64 sequences.
+        let mut gathered: Vec<SimRng> = (0..7).map(|k| rng_from_seed(500 + k)).collect();
+        let mut scalar = gathered.clone();
+        // Stagger read positions.
+        for (k, rng) in gathered.iter_mut().enumerate() {
+            for _ in 0..k {
+                let _ = rng.random::<u64>();
+            }
+        }
+        for (k, rng) in scalar.iter_mut().enumerate() {
+            for _ in 0..k {
+                let _ = rng.random::<u64>();
+            }
+        }
+        let lanes: Vec<usize> = (0..7).collect();
+        let mut sc = KernelScratch::default();
+        for per_lane in [1usize, 2, 3, 8] {
+            for _ in 0..10 {
+                gather_u64(&mut gathered, &lanes, per_lane, &mut sc);
+                for (j, &i) in lanes.iter().enumerate() {
+                    for d in 0..per_lane {
+                        assert_eq!(
+                            sc.words[j * per_lane + d],
+                            scalar[i].random::<u64>(),
+                            "lane {i} draw {d} (per_lane {per_lane})"
+                        );
+                    }
+                }
+            }
+        }
+        // Final positions agree too.
+        for (a, b) in gathered.iter_mut().zip(scalar.iter_mut()) {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn staged_draws_match_scalar_with_data_dependent_consumption() {
+        // Variable draws per lane per round (the cpp pattern): staged
+        // refills + draw_u64 equal scalar sequences.
+        let mut staged: Vec<SimRng> = (0..5).map(|k| rng_from_seed(900 + k)).collect();
+        let mut scalar = staged.clone();
+        let lanes: Vec<usize> = (0..5).collect();
+        let mut sc = KernelScratch::default();
+        let mut pattern = rng_from_seed(1);
+        for _ in 0..50 {
+            stage_refills(&staged, &lanes, 8, &mut sc);
+            let mut ri = 0;
+            for &i in &lanes {
+                let mut pending = if ri < sc.idxs.len() && sc.idxs[ri] == i {
+                    ri += 1;
+                    Some(sc.blocks[ri - 1])
+                } else {
+                    None
+                };
+                let n = pattern.random_range(0u64..6);
+                for _ in 0..n {
+                    assert_eq!(
+                        draw_u64(&mut staged[i], &mut pending),
+                        scalar[i].random::<u64>()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Bit-exact vector math: `exp`, `ln`, `cos_tau`, and the standard-normal
+//! transform, one implementation at every width.
+//!
+//! ## The contract
+//!
+//! Each function is written **once** as branch-free elementwise lane code
+//! over [`F64Lanes`] and instantiated per backend: the public scalar
+//! functions are the width-1 instantiation, the slice functions process
+//! 8-lane chunks (re-compiled under `#[target_feature(enable = "avx2")]`
+//! when that backend is active). Every operation involved is an
+//! IEEE-754 correctly-rounded scalar operation applied lane-wise — add,
+//! sub, mul, div, sqrt, integer bit manipulation, compare-and-select —
+//! and **no FMA** is used, so results are bit-identical across widths
+//! and backends by construction. Edge cases (±0, subnormals, ±∞, NaN,
+//! out-of-range) are handled with the same lane-wise selects everywhere,
+//! so they are bit-identical too.
+//!
+//! ## The ULP budget
+//!
+//! Accuracy against the libm reference (`f64::exp` / `f64::ln`), pinned
+//! by `tests/draw_identity.rs`:
+//!
+//! * `exp`: argument reduction `x = n·ln2 + r` with a hi/lo split of
+//!   `ln2` and a degree-13 Taylor polynomial on |r| ≤ ln2/2; observed
+//!   error **≤ 2 ULP** over the seeded test grid (the polynomial's
+//!   truncation error is < 1e-17 relative; the budget is dominated by
+//!   the two final additions).
+//! * `ln`: the fdlibm `e_log` scheme (mantissa centered on
+//!   [√2/2, √2), `atanh`-series in `s = f/(2+f)`); observed error
+//!   **≤ 2 ULP** (fdlibm documents < 1 ULP for the core scheme).
+//! * `cos_tau(u)` = cos(2πu): quadrant reduction in the *turn* domain
+//!   (exact — `u - round(u)` and `t - q/4` are exact float ops), then
+//!   the fdlibm `k_cos`/`k_sin` kernels on [-π/4, π/4]. There is no
+//!   libm reference for the turn domain; against `cos(2πu)` computed in
+//!   extended precision the error is ≲ 2 ULP. This is the transform the
+//!   normal draw uses — *both* the scalar `step` paths and the SIMD
+//!   kernels call it, which is what keeps them bit-identical.
+
+// The polynomial/reduction coefficients below are quoted verbatim from
+// fdlibm (Sun Microsystems' freely distributable libm); truncating them
+// to the shortest round-trip literal would invite transcription bugs.
+#![allow(clippy::excessive_precision)]
+
+use super::wide::{F64Lanes, I64Lanes, U64Lanes};
+use super::Backend;
+use rand::RngCore;
+
+// ---- shared constants (fdlibm) --------------------------------------------
+
+const INV_LN2: f64 = std::f64::consts::LOG2_E; // 1/ln(2) = log2(e)
+const LN2_HI: f64 = 6.931_471_803_691_238_16e-01;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+/// 1.5·2^52 — adding and subtracting rounds to nearest-even integer.
+const ROUND_MAGIC: f64 = 6_755_399_441_055_744.0;
+
+/// 2π with one rounding (the angle scaling in `cos_tau`).
+const TAU: f64 = std::f64::consts::TAU;
+
+// exp: Taylor coefficients 1/n! for n = 2..=13.
+const EXP_C: [f64; 12] = [
+    0.5,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5_040.0,
+    1.0 / 40_320.0,
+    1.0 / 362_880.0,
+    1.0 / 3_628_800.0,
+    1.0 / 39_916_800.0,
+    1.0 / 479_001_600.0,
+    1.0 / 6_227_020_800.0,
+];
+/// Above this, exp overflows (clamp to +∞).
+const EXP_HI: f64 = 709.782712893384;
+/// Below this, exp underflows (clamp to 0; the natural path already
+/// rounds to 0 down to ≈ −1418 — the clamp covers the far range where
+/// the scale bit-twiddling wraps).
+const EXP_LO: f64 = -745.5;
+
+// ln: fdlibm e_log polynomial.
+const LG: [f64; 7] = [
+    6.666_666_666_666_735_1e-01,
+    3.999_999_999_940_941_9e-01,
+    2.857_142_874_366_239_1e-01,
+    2.222_219_843_214_978_4e-01,
+    1.818_357_216_161_805_0e-01,
+    1.531_383_769_920_937_3e-01,
+    1.479_819_860_511_658_6e-01,
+];
+
+// fdlibm k_cos / k_sin kernel coefficients.
+const KC: [f64; 6] = [
+    4.166_666_666_666_660_2e-02,
+    -1.388_888_888_887_411_0e-03,
+    2.480_158_728_947_673_0e-05,
+    -2.755_731_435_139_066_3e-07,
+    2.087_572_321_298_174_8e-09,
+    -1.135_964_755_778_819_5e-11,
+];
+const KS: [f64; 6] = [
+    -1.666_666_666_666_663_2e-01,
+    8.333_333_333_322_489_5e-03,
+    -1.984_126_982_985_794_9e-04,
+    2.755_731_370_707_006_8e-06,
+    -2.505_076_025_340_686_3e-08,
+    1.589_690_995_211_550_1e-10,
+];
+
+#[inline(always)]
+fn mask_and<const N: usize>(a: [bool; N], b: [bool; N]) -> [bool; N] {
+    let mut out = [false; N];
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x && y;
+    }
+    out
+}
+
+#[inline(always)]
+fn mask_or<const N: usize>(a: [bool; N], b: [bool; N]) -> [bool; N] {
+    let mut out = [false; N];
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x || y;
+    }
+    out
+}
+
+/// Round to nearest integer (ties to even) — valid for |x| < 2^51.
+#[inline(always)]
+fn round_even<const N: usize>(x: F64Lanes<N>) -> F64Lanes<N> {
+    let magic = F64Lanes::splat(ROUND_MAGIC);
+    (x + magic) - magic
+}
+
+// ---- lane-generic implementations -----------------------------------------
+
+#[inline(always)]
+fn exp_lanes<const N: usize>(x: F64Lanes<N>) -> F64Lanes<N> {
+    let nf = round_even(x * F64Lanes::splat(INV_LN2));
+    let r = (x - nf * F64Lanes::splat(LN2_HI)) - nf * F64Lanes::splat(LN2_LO);
+    // q(r) ≈ (exp(r) − 1 − r) / r², Horner over 1/n!.
+    let mut q = F64Lanes::splat(EXP_C[11]);
+    for &c in EXP_C[..11].iter().rev() {
+        q = q * r + F64Lanes::splat(c);
+    }
+    let y = F64Lanes::splat(1.0) + r + (r * r) * q;
+    // 2^n in two exact power-of-two scalings (reaches subnormals).
+    let ni = nf.to_i64();
+    let n1 = ni.sar(1);
+    let n2 = ni.wrapping_sub(n1);
+    let bias = I64Lanes::splat(1023);
+    let s1 = F64Lanes::from_bits((n1.wrapping_add(bias) << 52).as_u64());
+    let s2 = F64Lanes::from_bits((n2.wrapping_add(bias) << 52).as_u64());
+    let res = y * s1 * s2;
+    // Edge clamps: the natural path already rounds to ∞/0 near the
+    // thresholds; these selects cover the far ranges where the scale
+    // bit-twiddling wraps. NaN inputs fail both compares and propagate.
+    let res = F64Lanes::select(
+        x.gt(F64Lanes::splat(EXP_HI)),
+        F64Lanes::splat(f64::INFINITY),
+        res,
+    );
+    F64Lanes::select(x.lt(F64Lanes::splat(EXP_LO)), F64Lanes::splat(0.0), res)
+}
+
+#[inline(always)]
+fn ln_lanes<const N: usize>(x: F64Lanes<N>) -> F64Lanes<N> {
+    // Scale subnormal inputs into the normal range (ln(x·2^54) − 54·ln2).
+    let tiny = mask_and(
+        x.gt(F64Lanes::splat(0.0)),
+        x.lt(F64Lanes::splat(f64::MIN_POSITIVE)),
+    );
+    let xs = F64Lanes::select(tiny, x * F64Lanes::splat(18_014_398_509_481_984.0), x); // 2^54
+    let kadj = F64Lanes::select(tiny, F64Lanes::splat(-54.0), F64Lanes::splat(0.0));
+    // Center the mantissa on [√2/2, √2): m = xs · 2^-k.
+    let bits = xs.to_bits();
+    let hx = (bits >> 32).wrapping_add(U64Lanes::splat(0x3ff0_0000 - 0x3fe6_a09e));
+    let k = (hx >> 20).as_i64().wrapping_sub(I64Lanes::splat(1023));
+    let mhi = hx
+        .and(0x000f_ffff)
+        .wrapping_add(U64Lanes::splat(0x3fe6_a09e));
+    let m = F64Lanes::from_bits((mhi << 32).or(bits.and(0xffff_ffff)));
+    // fdlibm e_log on m ∈ [√2/2, √2).
+    let f = m - F64Lanes::splat(1.0);
+    let hfsq = F64Lanes::splat(0.5) * f * f;
+    let s = f / (F64Lanes::splat(2.0) + f);
+    let z = s * s;
+    let w = z * z;
+    let t1 =
+        w * (F64Lanes::splat(LG[1]) + w * (F64Lanes::splat(LG[3]) + w * F64Lanes::splat(LG[5])));
+    let t2 = z
+        * (F64Lanes::splat(LG[0])
+            + w * (F64Lanes::splat(LG[2])
+                + w * (F64Lanes::splat(LG[4]) + w * F64Lanes::splat(LG[6]))));
+    let r = t2 + t1;
+    let dk = k.to_f64() + kadj;
+    let res = dk * F64Lanes::splat(LN2_HI)
+        - ((hfsq - (s * (hfsq + r) + dk * F64Lanes::splat(LN2_LO))) - f);
+    // Edges: ln(±0) = −∞, ln(x<0) = NaN, ln(∞) = ∞, NaN propagates.
+    let res = F64Lanes::select(
+        x.eq_lanes(F64Lanes::splat(0.0)),
+        F64Lanes::splat(f64::NEG_INFINITY),
+        res,
+    );
+    let res = F64Lanes::select(x.lt(F64Lanes::splat(0.0)), F64Lanes::splat(f64::NAN), res);
+    let res = F64Lanes::select(
+        x.eq_lanes(F64Lanes::splat(f64::INFINITY)),
+        F64Lanes::splat(f64::INFINITY),
+        res,
+    );
+    F64Lanes::select(x.is_nan(), x, res)
+}
+
+#[inline(always)]
+fn cos_tau_lanes<const N: usize>(u: F64Lanes<N>) -> F64Lanes<N> {
+    // Reduce in the *turn* domain, where reduction is exact:
+    // t ∈ [-1/2, 1/2], quadrant q ∈ {-2..2}, residue r ∈ [-1/8, 1/8].
+    let t = u - round_even(u);
+    let qf = round_even(t * F64Lanes::splat(4.0));
+    let r = t - qf * F64Lanes::splat(0.25);
+    let th = r * F64Lanes::splat(TAU); // angle ∈ [-π/4, π/4]
+    let z = th * th;
+    // fdlibm k_cos.
+    let rc = z
+        * (F64Lanes::splat(KC[0])
+            + z * (F64Lanes::splat(KC[1])
+                + z * (F64Lanes::splat(KC[2])
+                    + z * (F64Lanes::splat(KC[3])
+                        + z * (F64Lanes::splat(KC[4]) + z * F64Lanes::splat(KC[5]))))));
+    let hz = F64Lanes::splat(0.5) * z;
+    let wc = F64Lanes::splat(1.0) - hz;
+    let cosv = wc + (((F64Lanes::splat(1.0) - wc) - hz) + z * rc);
+    // fdlibm k_sin (zero-tail branch).
+    let rs = F64Lanes::splat(KS[1])
+        + z * (F64Lanes::splat(KS[2])
+            + z * (F64Lanes::splat(KS[3])
+                + z * (F64Lanes::splat(KS[4]) + z * F64Lanes::splat(KS[5]))));
+    let v = z * th;
+    let sinv = th + v * (F64Lanes::splat(KS[0]) + z * rs);
+    // cos(π·q/2 + θ): q≡0 → cos θ, q≡1 → −sin θ, q≡2 → −cos θ, q≡3 → sin θ.
+    let qi = qf.to_i64().and(3);
+    let use_sin = qi.and(1).eq_const(1);
+    let negate = mask_or(qi.eq_const(1), qi.eq_const(2));
+    let val = F64Lanes::select(use_sin, sinv, cosv);
+    F64Lanes::select(negate, -val, val)
+}
+
+/// The Box–Muller-style transform both the scalar and SIMD draw paths
+/// share: `z = √(−2·ln(u1)) · cos_tau(u2)` with `u1` open-(0,1] from
+/// `w1` and `u2` uniform-[0,1) from `w2`.
+#[inline(always)]
+fn normal_lanes<const N: usize>(w1: U64Lanes<N>, w2: U64Lanes<N>) -> F64Lanes<N> {
+    let scale = F64Lanes::splat(1.0 / (1u64 << 53) as f64);
+    let u1 = (w1 >> 11)
+        .wrapping_add(U64Lanes::splat(1))
+        .as_i64()
+        .to_f64()
+        * scale;
+    let u2 = (w2 >> 11).as_i64().to_f64() * scale;
+    let radius = (F64Lanes::splat(-2.0) * ln_lanes(u1)).sqrt();
+    radius * cos_tau_lanes(u2)
+}
+
+// ---- scalar entry points (width-1 instantiations) -------------------------
+
+/// `e^x`, bit-identical to the SIMD instantiations at every width.
+#[inline]
+pub fn exp(x: f64) -> f64 {
+    exp_lanes(F64Lanes([x])).0[0]
+}
+
+/// `ln x`, bit-identical to the SIMD instantiations at every width.
+#[inline]
+pub fn ln(x: f64) -> f64 {
+    ln_lanes(F64Lanes([x])).0[0]
+}
+
+/// `cos(2πu)` ("cosine of u turns"), bit-identical across widths.
+#[inline]
+pub fn cos_tau(u: f64) -> f64 {
+    cos_tau_lanes(F64Lanes([u])).0[0]
+}
+
+/// Uniform [0,1) with 53 bits from one raw `u64` word (the `rand` shim's
+/// standard `f64` mapping).
+#[inline]
+pub fn u01(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform (0,1] from one raw word (safe `ln` argument; the `rand_distr`
+/// shim's `uniform_open01` mapping).
+#[inline]
+pub fn open01(word: u64) -> f64 {
+    ((word >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard-normal draw from two raw words — the scalar form of the
+/// shared transform.
+#[inline]
+pub fn normal01_words(w1: u64, w2: u64) -> f64 {
+    normal_lanes(U64Lanes([w1]), U64Lanes([w2])).0[0]
+}
+
+/// Standard-normal draw consuming two `u64` draws from `rng` — what the
+/// scalar `step` paths of the vectorized models call. Draw order (two
+/// `next_u64`s) matches the batched kernels' gathered words exactly.
+#[inline]
+pub fn normal01_draw<R: RngCore>(rng: &mut R) -> f64 {
+    let w1 = rng.next_u64();
+    let w2 = rng.next_u64();
+    normal01_words(w1, w2)
+}
+
+// ---- slice entry points (backend-dispatched) ------------------------------
+
+const CHUNK: usize = 8;
+
+macro_rules! slice_kernels {
+    ($generic:ident, $avx2:ident, $with:ident, $public:ident, $lanes_fn:ident, $doc:literal) => {
+        #[inline(always)]
+        fn $generic(xs: &mut [f64]) {
+            let mut chunks = xs.chunks_exact_mut(CHUNK);
+            for c in &mut chunks {
+                let mut a = [0.0f64; CHUNK];
+                a.copy_from_slice(c);
+                c.copy_from_slice(&$lanes_fn(F64Lanes(a)).0);
+            }
+            for x in chunks.into_remainder() {
+                *x = $lanes_fn(F64Lanes([*x])).0[0];
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2(xs: &mut [f64]) {
+            $generic(xs)
+        }
+
+        /// The slice kernel on an explicit backend (test harness hook).
+        pub fn $with(backend: Backend, xs: &mut [f64]) {
+            #[cfg(target_arch = "x86_64")]
+            if backend >= Backend::Avx2 {
+                // SAFETY: Avx2 is only offered when detected.
+                unsafe { $avx2(xs) };
+                return;
+            }
+            let _ = backend;
+            $generic(xs)
+        }
+
+        #[doc = $doc]
+        ///
+        /// In place over the slice; bit-identical to the scalar function
+        /// per element on every backend.
+        pub fn $public(xs: &mut [f64]) {
+            $with(Backend::active(), xs)
+        }
+    };
+}
+
+slice_kernels!(
+    exp_slice_generic,
+    exp_slice_avx2,
+    exp_slice_with,
+    exp_slice,
+    exp_lanes,
+    "`xs[i] ← exp(xs[i])` for every element."
+);
+slice_kernels!(
+    ln_slice_generic,
+    ln_slice_avx2,
+    ln_slice_with,
+    ln_slice,
+    ln_lanes,
+    "`xs[i] ← ln(xs[i])` for every element."
+);
+slice_kernels!(
+    cos_tau_slice_generic,
+    cos_tau_slice_avx2,
+    cos_tau_slice_with,
+    cos_tau_slice,
+    cos_tau_lanes,
+    "`xs[i] ← cos(2π·xs[i])` for every element."
+);
+
+#[inline(always)]
+fn u01_slice_generic(words: &[u64], out: &mut [f64]) {
+    debug_assert_eq!(words.len(), out.len());
+    let scale = F64Lanes::<CHUNK>::splat(1.0 / (1u64 << 53) as f64);
+    let mut chunks = out.chunks_exact_mut(CHUNK);
+    let mut base = 0;
+    for c in &mut chunks {
+        let mut w = [0u64; CHUNK];
+        w.copy_from_slice(&words[base..base + CHUNK]);
+        let u = (U64Lanes(w) >> 11).as_i64().to_f64() * scale;
+        c.copy_from_slice(&u.0);
+        base += CHUNK;
+    }
+    for (k, o) in chunks.into_remainder().iter_mut().enumerate() {
+        *o = u01(words[base + k]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn u01_slice_avx2(words: &[u64], out: &mut [f64]) {
+    u01_slice_generic(words, out)
+}
+
+/// [`u01_slice`] on an explicit backend (test harness hook).
+pub fn u01_slice_with(backend: Backend, words: &[u64], out: &mut [f64]) {
+    assert_eq!(words.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if backend >= Backend::Avx2 {
+        // SAFETY: Avx2 is only offered when detected.
+        unsafe { u01_slice_avx2(words, out) };
+        return;
+    }
+    let _ = backend;
+    u01_slice_generic(words, out)
+}
+
+/// `out[i] = u01(words[i])` — the raw-word → uniform-[0,1) mapping over
+/// a whole cohort, vectorized.
+pub fn u01_slice(words: &[u64], out: &mut [f64]) {
+    u01_slice_with(Backend::active(), words, out)
+}
+
+#[inline(always)]
+fn normal_slice_generic(words: &[u64], out: &mut [f64]) {
+    debug_assert_eq!(words.len(), 2 * out.len());
+    let mut chunks = out.chunks_exact_mut(CHUNK);
+    let mut base = 0;
+    for c in &mut chunks {
+        let mut w1 = [0u64; CHUNK];
+        let mut w2 = [0u64; CHUNK];
+        for k in 0..CHUNK {
+            w1[k] = words[2 * (base + k)];
+            w2[k] = words[2 * (base + k) + 1];
+        }
+        c.copy_from_slice(&normal_lanes(U64Lanes(w1), U64Lanes(w2)).0);
+        base += CHUNK;
+    }
+    for (k, o) in chunks.into_remainder().iter_mut().enumerate() {
+        *o = normal01_words(words[2 * (base + k)], words[2 * (base + k) + 1]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn normal_slice_avx2(words: &[u64], out: &mut [f64]) {
+    normal_slice_generic(words, out)
+}
+
+/// [`normal_from_words`] on an explicit backend (test harness hook).
+pub fn normal_from_words_with(backend: Backend, words: &[u64], out: &mut [f64]) {
+    assert_eq!(words.len(), 2 * out.len());
+    #[cfg(target_arch = "x86_64")]
+    if backend >= Backend::Avx2 {
+        // SAFETY: Avx2 is only offered when detected.
+        unsafe { normal_slice_avx2(words, out) };
+        return;
+    }
+    let _ = backend;
+    normal_slice_generic(words, out)
+}
+
+/// One standard-normal draw per interleaved word pair:
+/// `out[i] = normal01_words(words[2i], words[2i+1])`, vectorized.
+pub fn normal_from_words(words: &[u64], out: &mut [f64]) {
+    normal_from_words_with(Backend::active(), words, out)
+}
+
+#[cfg(test)]
+mod tests {
+    //! Fast dev-loop smoke checks only. The *contract* — the ≤ 2 ULP
+    //! budget against libm and the exhaustive scalar-vs-SIMD bit-equality
+    //! grid over every available backend — lives in
+    //! `tests/draw_identity.rs` (the documented harness); keeping a
+    //! second full copy here would invite the two drifting apart.
+
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use rand::RngExt;
+
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        if a == b {
+            return 0;
+        }
+        if a.is_nan() || b.is_nan() {
+            return u64::MAX;
+        }
+        let (ia, ib) = (a.to_bits() as i64, b.to_bits() as i64);
+        // Map to a monotone integer line (two's-complement trick).
+        let ma = if ia < 0 { i64::MIN - ia } else { ia };
+        let mb = if ib < 0 { i64::MIN - ib } else { ib };
+        ma.abs_diff(mb)
+    }
+
+    #[test]
+    fn exp_ln_smoke_against_libm() {
+        for x in [0.0, 1.0, -1.0, 0.5, -0.5, 20.0, -20.0, 700.0, -700.0] {
+            assert!(ulp_diff(exp(x), x.exp()) <= 2, "exp({x})");
+        }
+        for x in [1.0, 2.0, 0.5, 1e-10, 1e10, 1.0 - 1e-16] {
+            assert!(ulp_diff(ln(x), x.ln()) <= 2, "ln({x})");
+        }
+    }
+
+    #[test]
+    fn edge_cases_match_ieee() {
+        assert_eq!(exp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(exp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp(1000.0), f64::INFINITY);
+        assert_eq!(exp(-1000.0), 0.0);
+        assert!(exp(f64::NAN).is_nan());
+        assert_eq!(ln(0.0), f64::NEG_INFINITY);
+        assert_eq!(ln(-0.0), f64::NEG_INFINITY);
+        assert!(ln(-1.0).is_nan());
+        assert_eq!(ln(f64::INFINITY), f64::INFINITY);
+        assert!(ln(f64::NAN).is_nan());
+        // Subnormal arguments take the rescaled path.
+        let sub = 5e-324;
+        assert!(ulp_diff(ln(sub), sub.ln()) <= 2, "ln(5e-324) = {}", ln(sub));
+    }
+
+    #[test]
+    fn cos_tau_hits_the_lattice() {
+        assert_eq!(cos_tau(0.0), 1.0);
+        assert_eq!(cos_tau(0.25), 0.0);
+        assert_eq!(cos_tau(0.5), -1.0);
+        assert_eq!(cos_tau(0.75), 0.0);
+        assert_eq!(cos_tau(1.0), 1.0);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..5_000 {
+            let u = rng.random::<f64>();
+            let d = (cos_tau(u) - (TAU * u).cos()).abs();
+            assert!(d < 1e-14, "u={u} diff={d}");
+        }
+    }
+
+    #[test]
+    fn normal_moments_sane() {
+        let mut rng = rng_from_seed(4);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let z = normal01_draw(&mut rng);
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn slices_match_scalar_smoke() {
+        // One small mixed batch per backend; the exhaustive grid lives
+        // in tests/draw_identity.rs.
+        let mut rng = rng_from_seed(5);
+        let xs: Vec<f64> = (0..19)
+            .map(|_| (rng.random::<f64>() - 0.5) * 100.0)
+            .collect();
+        for backend in Backend::available() {
+            let mut e = xs.clone();
+            exp_slice_with(backend, &mut e);
+            for (k, &x) in xs.iter().enumerate() {
+                assert_eq!(e[k].to_bits(), exp(x).to_bits(), "{backend} exp({x})");
+            }
+        }
+    }
+}

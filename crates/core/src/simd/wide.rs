@@ -1,0 +1,378 @@
+//! Portable wide-lane value types: `N` values advancing in lockstep.
+//!
+//! [`F64Lanes`] / [`U64Lanes`] / [`I64Lanes`] are plain arrays with
+//! elementwise operators. Every operation is an IEEE-754
+//! correctly-rounded scalar op (or exact integer op) applied per lane —
+//! there is deliberately **no** FMA, no reassociation, no
+//! approximate-math instruction — so a computation written over these
+//! types produces identical bits at every width and on every backend.
+//! The `#[target_feature]` instantiations in [`super::vmath`] compile
+//! this exact code for wider registers; the types themselves never
+//! change semantics.
+//!
+//! `F64x4`/`F64x8` are the widths the pipeline uses: 4 `f64` lanes fill
+//! one AVX2 register, 8 fill two (letting the two halves pipeline).
+
+/// `N` `f64` lanes in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64Lanes<const N: usize>(pub [f64; N]);
+
+/// `N` `u64` lanes in lockstep (bit patterns of [`F64Lanes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct U64Lanes<const N: usize>(pub [u64; N]);
+
+/// `N` `i64` lanes in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct I64Lanes<const N: usize>(pub [i64; N]);
+
+/// Four `f64` lanes — one AVX2 register.
+pub type F64x4 = F64Lanes<4>;
+/// Eight `f64` lanes — two AVX2 registers, software-pipelined.
+pub type F64x8 = F64Lanes<8>;
+
+#[inline(always)]
+fn map2<const N: usize>(a: [f64; N], b: [f64; N], f: impl Fn(f64, f64) -> f64) -> [f64; N] {
+    let mut out = [0.0f64; N];
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = f(x, y);
+    }
+    out
+}
+
+impl<const N: usize> F64Lanes<N> {
+    /// All lanes equal to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self([v; N])
+    }
+
+    /// Lane-wise square root (IEEE-exact on every backend).
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o = o.sqrt();
+        }
+        Self(out)
+    }
+
+    /// Lane-wise bit patterns.
+    #[inline(always)]
+    pub fn to_bits(self) -> U64Lanes<N> {
+        let mut out = [0u64; N];
+        for (o, x) in out.iter_mut().zip(self.0) {
+            *o = x.to_bits();
+        }
+        U64Lanes(out)
+    }
+
+    /// Lanes from bit patterns.
+    #[inline(always)]
+    pub fn from_bits(bits: U64Lanes<N>) -> Self {
+        let mut out = [0.0f64; N];
+        for (o, b) in out.iter_mut().zip(bits.0) {
+            *o = f64::from_bits(b);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise saturating cast to `i64` (Rust `as` semantics; NaN → 0).
+    #[inline(always)]
+    pub fn to_i64(self) -> I64Lanes<N> {
+        let mut out = [0i64; N];
+        for (o, x) in out.iter_mut().zip(self.0) {
+            *o = x as i64;
+        }
+        I64Lanes(out)
+    }
+
+    /// Lane-wise `if mask { a } else { b }`.
+    #[inline(always)]
+    pub fn select(mask: [bool; N], a: Self, b: Self) -> Self {
+        let mut out = [0.0f64; N];
+        for ((o, m), (x, y)) in out.iter_mut().zip(mask).zip(a.0.into_iter().zip(b.0)) {
+            *o = if m { x } else { y };
+        }
+        Self(out)
+    }
+
+    /// Lane-wise `self < rhs`.
+    #[inline(always)]
+    pub fn lt(self, rhs: Self) -> [bool; N] {
+        let mut out = [false; N];
+        for ((o, x), y) in out.iter_mut().zip(self.0).zip(rhs.0) {
+            *o = x < y;
+        }
+        out
+    }
+
+    /// Lane-wise `self > rhs`.
+    #[inline(always)]
+    pub fn gt(self, rhs: Self) -> [bool; N] {
+        let mut out = [false; N];
+        for ((o, x), y) in out.iter_mut().zip(self.0).zip(rhs.0) {
+            *o = x > y;
+        }
+        out
+    }
+
+    /// Lane-wise `self == rhs` (false for NaN lanes).
+    #[inline(always)]
+    pub fn eq_lanes(self, rhs: Self) -> [bool; N] {
+        let mut out = [false; N];
+        for ((o, x), y) in out.iter_mut().zip(self.0).zip(rhs.0) {
+            *o = x == y;
+        }
+        out
+    }
+
+    /// Lane-wise NaN test.
+    #[inline(always)]
+    pub fn is_nan(self) -> [bool; N] {
+        let mut out = [false; N];
+        for (o, x) in out.iter_mut().zip(self.0) {
+            *o = x.is_nan();
+        }
+        out
+    }
+}
+
+impl<const N: usize> std::ops::Add for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(map2(self.0, rhs.0, |x, y| x + y))
+    }
+}
+
+impl<const N: usize> std::ops::Sub for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(map2(self.0, rhs.0, |x, y| x - y))
+    }
+}
+
+impl<const N: usize> std::ops::Mul for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self(map2(self.0, rhs.0, |x, y| x * y))
+    }
+}
+
+impl<const N: usize> std::ops::Div for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        Self(map2(self.0, rhs.0, |x, y| x / y))
+    }
+}
+
+impl<const N: usize> std::ops::Neg for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o = -*o;
+        }
+        Self(out)
+    }
+}
+
+impl<const N: usize> U64Lanes<N> {
+    /// All lanes equal to `v`.
+    #[inline(always)]
+    pub fn splat(v: u64) -> Self {
+        Self([v; N])
+    }
+
+    /// Lane-wise wrapping add.
+    #[inline(always)]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, y) in out.iter_mut().zip(rhs.0) {
+            *o = o.wrapping_add(y);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise bitwise and with a constant.
+    #[inline(always)]
+    pub fn and(self, mask: u64) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o &= mask;
+        }
+        Self(out)
+    }
+
+    /// Lane-wise bitwise or.
+    #[inline(always)]
+    pub fn or(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, y) in out.iter_mut().zip(rhs.0) {
+            *o |= y;
+        }
+        Self(out)
+    }
+
+    /// Reinterpret as signed lanes.
+    #[inline(always)]
+    pub fn as_i64(self) -> I64Lanes<N> {
+        let mut out = [0i64; N];
+        for (o, x) in out.iter_mut().zip(self.0) {
+            *o = x as i64;
+        }
+        I64Lanes(out)
+    }
+}
+
+impl<const N: usize> std::ops::Shr<u32> for U64Lanes<N> {
+    type Output = Self;
+    /// Lane-wise logical shift right by a constant.
+    #[inline(always)]
+    fn shr(self, by: u32) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o >>= by;
+        }
+        Self(out)
+    }
+}
+
+impl<const N: usize> std::ops::Shl<u32> for U64Lanes<N> {
+    type Output = Self;
+    /// Lane-wise shift left by a constant.
+    #[inline(always)]
+    fn shl(self, by: u32) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o <<= by;
+        }
+        Self(out)
+    }
+}
+
+impl<const N: usize> I64Lanes<N> {
+    /// All lanes equal to `v`.
+    #[inline(always)]
+    pub fn splat(v: i64) -> Self {
+        Self([v; N])
+    }
+
+    /// Lane-wise wrapping add.
+    #[inline(always)]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, y) in out.iter_mut().zip(rhs.0) {
+            *o = o.wrapping_add(y);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise wrapping subtract.
+    #[inline(always)]
+    pub fn wrapping_sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, y) in out.iter_mut().zip(rhs.0) {
+            *o = o.wrapping_sub(y);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise arithmetic shift right by a constant.
+    #[inline(always)]
+    pub fn sar(self, by: u32) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o >>= by;
+        }
+        Self(out)
+    }
+
+    /// Lane-wise `& 3` and so on.
+    #[inline(always)]
+    pub fn and(self, mask: i64) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o &= mask;
+        }
+        Self(out)
+    }
+
+    /// Lane-wise equality against a constant.
+    #[inline(always)]
+    pub fn eq_const(self, v: i64) -> [bool; N] {
+        let mut out = [false; N];
+        for (o, x) in out.iter_mut().zip(self.0) {
+            *o = x == v;
+        }
+        out
+    }
+
+    /// Reinterpret as unsigned lanes.
+    #[inline(always)]
+    pub fn as_u64(self) -> U64Lanes<N> {
+        let mut out = [0u64; N];
+        for (o, x) in out.iter_mut().zip(self.0) {
+            *o = x as u64;
+        }
+        U64Lanes(out)
+    }
+
+    /// Lane-wise conversion to `f64` (exact for |x| < 2^53).
+    #[inline(always)]
+    pub fn to_f64(self) -> F64Lanes<N> {
+        let mut out = [0.0f64; N];
+        for (o, x) in out.iter_mut().zip(self.0) {
+            *o = x as f64;
+        }
+        F64Lanes(out)
+    }
+}
+
+impl<const N: usize> std::ops::Shl<u32> for I64Lanes<N> {
+    type Output = Self;
+    /// Lane-wise shift left (as bits) by a constant.
+    #[inline(always)]
+    fn shl(self, by: u32) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o = ((*o as u64) << by) as i64;
+        }
+        Self(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops_match_scalars() {
+        let a = F64Lanes([1.5, -2.0, 0.25, 1e300]);
+        let b = F64Lanes([0.5, 4.0, -8.0, 1e-300]);
+        assert_eq!((a + b).0, [2.0, 2.0, -7.75, 1e300]);
+        assert_eq!((a * b).0, [0.75, -8.0, -2.0, 1.0]);
+        assert_eq!((a / b).0[1], -0.5);
+        assert_eq!(F64Lanes::splat(4.0).sqrt().0, [2.0; 4]);
+    }
+
+    #[test]
+    fn select_and_masks() {
+        let a = F64x4::splat(1.0);
+        let b = F64x4::splat(2.0);
+        let m = F64Lanes([0.0, 3.0, f64::NAN, -1.0]).gt(F64x4::splat(0.5));
+        assert_eq!(m, [false, true, false, false]);
+        assert_eq!(F64x4::select(m, a, b).0, [2.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn bit_round_trips() {
+        let a = F64Lanes([0.1, -0.0, f64::INFINITY, 5e-324]);
+        assert_eq!(F64Lanes::from_bits(a.to_bits()).0, a.0);
+        assert_eq!(F64Lanes([2.5, -2.5, 1e20, f64::NAN]).to_i64().0[3], 0);
+    }
+}

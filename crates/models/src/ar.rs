@@ -133,6 +133,37 @@ impl TiltableModel for ArModel {
         let log_w = (theta * theta - 2.0 * theta * eps) / (2.0 * self.sigma * self.sigma);
         (ArState { history }, log_w)
     }
+
+    /// Native tilted batch kernel: like the plain [`SimulationModel::step_batch`]
+    /// override, the shifted innovation distribution is constructed once
+    /// per cohort step and the history ring rotates in place instead of
+    /// allocating a fresh `Vec` per path per step. Per-lane draws,
+    /// arithmetic, and the log-weight expression match the scalar
+    /// [`TiltableModel::step_tilted`] exactly.
+    fn step_tilted_batch(
+        &self,
+        lanes: &mut [ArState],
+        log_ws: &mut [f64],
+        _ts: &[Time],
+        theta: f64,
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        let normal = Normal::new(theta, self.sigma).expect("validated σ");
+        let denom = 2.0 * self.sigma * self.sigma;
+        for &i in alive {
+            let eps = normal.sample(&mut rngs[i]);
+            let mut v = eps;
+            let history = &mut lanes[i].history;
+            for (phi, past) in self.coefficients.iter().zip(history.iter()) {
+                v += phi * past;
+            }
+            let len = history.len();
+            history.copy_within(0..len - 1, 1);
+            history[0] = v;
+            log_ws[i] += (theta * theta - 2.0 * theta * eps) / denom;
+        }
+    }
 }
 
 /// Score for AR durability queries: the current value.

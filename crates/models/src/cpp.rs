@@ -7,9 +7,11 @@
 //! claims. One invocation of `g` advances one unit of time: add `c`,
 //! subtract `Poisson(λ)`-many i.i.d. jumps.
 
+use mlss_core::is::TiltableModel;
 use mlss_core::model::{SimulationModel, Time};
 use mlss_core::rng::SimRng;
-use rand::RngExt;
+use mlss_core::simd::{self, chacha, vmath};
+use rand::RngCore;
 use rand_distr::{Distribution, Poisson};
 use serde::{Deserialize, Serialize};
 
@@ -36,13 +38,24 @@ pub enum JumpDistribution {
 }
 
 impl JumpDistribution {
-    /// Sample one jump.
-    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+    /// Sample one jump from a raw-word source. This single function is
+    /// the jump sampler for *both* the scalar `step` (words drawn
+    /// straight from the RNG) and the batched kernels (words pulled
+    /// through the staged-refill pipeline), which is what keeps the two
+    /// paths bit-identical — including the `vmath::ln` the exponential
+    /// tail uses.
+    #[inline]
+    fn sample_from(&self, mut draw: impl FnMut() -> u64) -> f64 {
         match *self {
-            JumpDistribution::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
-            JumpDistribution::Exponential { mean } => -mean * (1.0 - rng.random::<f64>()).ln(),
+            JumpDistribution::Uniform { lo, hi } => lo + (hi - lo) * vmath::u01(draw()),
+            JumpDistribution::Exponential { mean } => -mean * vmath::ln(1.0 - vmath::u01(draw())),
             JumpDistribution::Constant { value } => value,
         }
+    }
+
+    /// Sample one jump.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_from(|| rng.next_u64())
     }
 
     /// Mean jump size `E[J]`.
@@ -130,6 +143,73 @@ impl CompoundPoisson {
     }
 }
 
+/// The cpp pipeline needs a wider cohort than the generic
+/// [`simd::MIN_SIMD_COHORT`] before the staged multi-stream refills
+/// amortize: draws per lane per step are data-dependent (Knuth loop +
+/// jumps), so refill sets are small and irregular at narrow widths.
+/// Below this, the scalar loop wins; results are identical either way.
+const CPP_MIN_SIMD_COHORT: usize = 32;
+
+impl CompoundPoisson {
+    /// One Knuth Poisson count from a raw-word source — the draw-for-draw
+    /// replica of the `rand_distr` shim's small-λ path (`limit` is the
+    /// same libm `exp` both paths evaluate once per cohort step, and the
+    /// uniform mapping is the shim's `uniform_open01`).
+    #[inline]
+    fn knuth_count(limit: f64, mut draw: impl FnMut() -> u64) -> u64 {
+        let mut product = vmath::open01(draw());
+        let mut count = 0u64;
+        while product > limit {
+            product *= vmath::open01(draw());
+            count += 1;
+        }
+        count
+    }
+
+    /// The batched surplus update shared by the plain and tilted kernels:
+    /// stage vectorized block refills through the per-lane pending cache
+    /// (a block computed ahead of need is kept until consumed, so every
+    /// SIMD compute is used), then run the (data-dependent) Knuth + jump
+    /// loop per lane from the staged words. `intensity` is the
+    /// proposal's jump rate (tilted or not); `on_count` folds the
+    /// per-lane Poisson count into tilt bookkeeping. A lane that outruns
+    /// its staged block falls back to the scalar refill — bit-identical
+    /// either way.
+    #[inline]
+    fn batch_surplus(
+        &self,
+        intensity: f64,
+        lanes: &mut [f64],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+        mut on_count: impl FnMut(usize, u64),
+    ) {
+        let limit = (-intensity).exp();
+        simd::with_scratch(|sc| {
+            // Stage whenever a lane's block is partially consumed: with
+            // the cache, each block is computed exactly once, in the
+            // widest SIMD group the refill set allows.
+            chacha::stage_refills_cached(rngs, alive, 16, sc);
+            for &i in alive {
+                let mut pending = chacha::take_pending(&rngs[i], i, &mut sc.pending);
+                let rng = &mut rngs[i];
+                let n = Self::knuth_count(limit, || chacha::draw_u64(rng, &mut pending));
+                let mut u = lanes[i] + self.premium;
+                for _ in 0..n {
+                    u -= self
+                        .jumps
+                        .sample_from(|| chacha::draw_u64(rng, &mut pending));
+                }
+                lanes[i] = u;
+                on_count(i, n);
+                if let Some(block) = pending {
+                    chacha::restore_pending(&rngs[i], i, block, &mut sc.pending);
+                }
+            }
+        })
+    }
+}
+
 impl SimulationModel for CompoundPoisson {
     type State = f64;
 
@@ -147,21 +227,83 @@ impl SimulationModel for CompoundPoisson {
         u
     }
 
-    /// Native batch kernel: the surplus lanes are a contiguous `f64`
-    /// array, the Poisson sampler is constructed once per cohort step
-    /// instead of once per path, and updates happen in place. Per-lane
-    /// draws are identical to the scalar `step`.
+    /// Native batch kernel on the vectorized draw pipeline: block
+    /// refills for the cohort are staged in multi-stream SIMD passes;
+    /// the Knuth count and jump draws then run per lane from the staged
+    /// words, draw-for-draw identical to the scalar `step`. Rates in the
+    /// shim's normal-approximation regime (λ ≥ 30) fall back to the
+    /// scalar sampler so the dual-regime draw pattern stays exact.
     fn step_batch(&self, lanes: &mut [f64], _ts: &[Time], rngs: &mut [SimRng], alive: &[usize]) {
-        let pois = Poisson::new(self.intensity).expect("validated intensity");
-        for &i in alive {
-            let rng = &mut rngs[i];
-            let n = pois.sample(rng) as u64;
-            let mut u = lanes[i] + self.premium;
-            for _ in 0..n {
-                u -= self.jumps.sample(rng);
+        if self.intensity >= 30.0
+            || !simd::pipeline_engaged(alive.len())
+            || alive.len() < CPP_MIN_SIMD_COHORT
+        {
+            let pois = Poisson::new(self.intensity).expect("validated intensity");
+            for &i in alive {
+                let rng = &mut rngs[i];
+                let n = pois.sample(rng) as u64;
+                let mut u = lanes[i] + self.premium;
+                for _ in 0..n {
+                    u -= self.jumps.sample(rng);
+                }
+                lanes[i] = u;
             }
-            lanes[i] = u;
+            return;
         }
+        self.batch_surplus(self.intensity, lanes, rngs, alive, |_, _| {});
+    }
+}
+
+impl TiltableModel for CompoundPoisson {
+    /// Intensity tilt (the classical claim-frequency change of measure):
+    /// the proposal runs the same surplus process with jump rate
+    /// `λ_θ = λ·e^θ` and untilted jump sizes, so positive `θ` makes
+    /// claims more frequent and ruin reachable. The per-step log
+    /// likelihood-ratio for an observed count `n` is
+    /// `(λ_θ − λ) − θ·n`; `θ = 0` is the plain process with weight 1.
+    fn step_tilted(&self, state: &f64, _t: Time, theta: f64, rng: &mut SimRng) -> (f64, f64) {
+        let tilted = self.intensity * theta.exp();
+        let pois = Poisson::new(tilted).expect("tilted intensity must stay positive and finite");
+        let n = pois.sample(rng) as u64;
+        let mut u = state + self.premium;
+        for _ in 0..n {
+            u -= self.jumps.sample(rng);
+        }
+        (u, (tilted - self.intensity) - theta * n as f64)
+    }
+
+    /// Native tilted batch kernel: the plain staged-refill pipeline at
+    /// the tilted rate, with the count folded into the lane's log-weight
+    /// — bit-identical to the scalar [`TiltableModel::step_tilted`].
+    fn step_tilted_batch(
+        &self,
+        lanes: &mut [f64],
+        log_ws: &mut [f64],
+        ts: &[Time],
+        theta: f64,
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        let tilted = self.intensity * theta.exp();
+        if tilted >= 30.0
+            || !simd::pipeline_engaged(alive.len())
+            || alive.len() < CPP_MIN_SIMD_COHORT
+        {
+            for &i in alive {
+                let (next, dlw) = self.step_tilted(&lanes[i], ts[i], theta, &mut rngs[i]);
+                lanes[i] = next;
+                log_ws[i] += dlw;
+            }
+            return;
+        }
+        // Validation only — keeps panic parity with the scalar
+        // `step_tilted` for non-finite θ (NaN fails the ≥ 30 gate above,
+        // so without this the native path would silently run on a NaN
+        // Knuth limit while the adapter panics).
+        let _ = Poisson::new(tilted).expect("tilted intensity must stay positive and finite");
+        self.batch_surplus(tilted, lanes, rngs, alive, |i, n| {
+            log_ws[i] += (tilted - self.intensity) - theta * n as f64;
+        });
     }
 }
 

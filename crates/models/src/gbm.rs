@@ -6,9 +6,10 @@
 //! generates the seeded stand-in for the paper's Google 2015-2020 daily
 //! closes used to train `mlss-nn` (DESIGN.md substitution 1).
 
+use mlss_core::is::TiltableModel;
 use mlss_core::model::{SimulationModel, Time};
 use mlss_core::rng::SimRng;
-use rand_distr::{Distribution, Normal};
+use mlss_core::simd::{self, chacha, vmath};
 use serde::{Deserialize, Serialize};
 
 /// Geometric Brownian motion with per-step drift/volatility.
@@ -47,6 +48,52 @@ impl GeometricBrownian {
     }
 }
 
+impl GeometricBrownian {
+    /// Per-step log-return drift `(μ − σ²/2)Δ` — the `a` in
+    /// `S ← S·exp(a + b·Z)`.
+    #[inline]
+    fn log_drift(&self) -> f64 {
+        (self.drift - 0.5 * self.volatility * self.volatility) * self.dt
+    }
+
+    /// Per-step diffusion coefficient `σ√Δ` — the `b` in
+    /// `S ← S·exp(a + b·Z)`.
+    #[inline]
+    fn diffusion(&self) -> f64 {
+        self.volatility * self.dt.sqrt()
+    }
+
+    /// The vectorized growth update shared by the plain and tilted batch
+    /// kernels: gather two raw words per alive lane, run the shared
+    /// normal transform and `exp` over the cohort, and fold per-lane
+    /// post-processing (the tilt shift and log-weight) through `adjust`.
+    #[inline]
+    fn batch_growth(
+        &self,
+        lanes: &mut [f64],
+        rngs: &mut [SimRng],
+        alive: &[usize],
+        mut adjust: impl FnMut(usize, f64) -> f64,
+    ) {
+        let a = self.log_drift();
+        let b = self.diffusion();
+        simd::with_scratch(|sc| {
+            chacha::gather_u64(rngs, alive, 2, sc);
+            sc.f1.clear();
+            sc.f1.resize(alive.len(), 0.0);
+            vmath::normal_from_words(&sc.words, &mut sc.f1);
+            for (j, &i) in alive.iter().enumerate() {
+                let z = adjust(i, sc.f1[j]);
+                sc.f1[j] = a + b * z;
+            }
+            vmath::exp_slice(&mut sc.f1);
+            for (j, &i) in alive.iter().enumerate() {
+                lanes[i] *= sc.f1[j];
+            }
+        })
+    }
+}
+
 impl SimulationModel for GeometricBrownian {
     type State = f64;
 
@@ -55,26 +102,66 @@ impl SimulationModel for GeometricBrownian {
     }
 
     fn step(&self, state: &f64, _t: Time, rng: &mut SimRng) -> f64 {
-        let normal = Normal::new(0.0, 1.0).expect("unit normal");
-        let z = normal.sample(rng);
-        state
-            * ((self.drift - 0.5 * self.volatility * self.volatility) * self.dt
-                + self.volatility * self.dt.sqrt() * z)
-                .exp()
+        let z = vmath::normal01_draw(rng);
+        state * vmath::exp(self.log_drift() + self.diffusion() * z)
     }
 
-    /// Native batch kernel: contiguous `f64` price lanes with the drift
-    /// and diffusion coefficients (including the `sqrt`) hoisted out of
-    /// the loop. The floating-point expression tree matches the scalar
-    /// `step` exactly, so per-lane results are bit-identical.
-    fn step_batch(&self, lanes: &mut [f64], _ts: &[Time], rngs: &mut [SimRng], alive: &[usize]) {
-        let normal = Normal::new(0.0, 1.0).expect("unit normal");
-        let a = (self.drift - 0.5 * self.volatility * self.volatility) * self.dt;
-        let b = self.volatility * self.dt.sqrt();
-        for &i in alive {
-            let z = normal.sample(&mut rngs[i]);
-            lanes[i] *= (a + b * z).exp();
+    /// Native batch kernel on the vectorized draw pipeline: two raw
+    /// ChaCha words per lane (block refills computed multi-stream), the
+    /// shared `vmath` normal transform and `exp` over the whole cohort.
+    /// Scalar `step` and this kernel call the *same* `vmath` polynomial
+    /// with the same per-lane operation order, so results are
+    /// bit-identical at every width and on every backend. Small cohorts
+    /// take the scalar loop (same draws, same bits).
+    fn step_batch(&self, lanes: &mut [f64], ts: &[Time], rngs: &mut [SimRng], alive: &[usize]) {
+        if alive.len() < simd::MIN_SIMD_COHORT {
+            for &i in alive {
+                lanes[i] = self.step(&lanes[i], ts[i], &mut rngs[i]);
+            }
+            return;
         }
+        self.batch_growth(lanes, rngs, alive, |_, z| z);
+    }
+}
+
+impl TiltableModel for GeometricBrownian {
+    /// Exponential tilt of the Brownian increment: the proposal draws
+    /// `Z ~ N(θ, 1)`, pushing log-returns by `θ·σ√Δ` per step; the log
+    /// likelihood-ratio increment is `θ²/2 − θZ`.
+    fn step_tilted(&self, state: &f64, _t: Time, theta: f64, rng: &mut SimRng) -> (f64, f64) {
+        let z = theta + vmath::normal01_draw(rng);
+        let log_w = (0.5 * theta - z) * theta;
+        (
+            state * vmath::exp(self.log_drift() + self.diffusion() * z),
+            log_w,
+        )
+    }
+
+    /// Native tilted batch kernel: the plain vectorized pipeline with the
+    /// mean shift and log-weight folded per lane — bit-identical to the
+    /// scalar [`TiltableModel::step_tilted`] loop.
+    fn step_tilted_batch(
+        &self,
+        lanes: &mut [f64],
+        log_ws: &mut [f64],
+        ts: &[Time],
+        theta: f64,
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        if alive.len() < simd::MIN_SIMD_COHORT {
+            for &i in alive {
+                let (next, dlw) = self.step_tilted(&lanes[i], ts[i], theta, &mut rngs[i]);
+                lanes[i] = next;
+                log_ws[i] += dlw;
+            }
+            return;
+        }
+        self.batch_growth(lanes, rngs, alive, |i, z0| {
+            let z = theta + z0;
+            log_ws[i] += (0.5 * theta - z) * theta;
+            z
+        });
     }
 }
 

@@ -5,8 +5,10 @@
 //! (`mlss-analytic::walk`), making them the primary validation substrate
 //! for estimator unbiasedness.
 
+use mlss_core::is::TiltableModel;
 use mlss_core::model::{SimulationModel, Time};
 use mlss_core::rng::SimRng;
+use mlss_core::simd::{self, chacha, vmath};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
@@ -70,26 +72,130 @@ impl SimulationModel for RandomWalk {
         next
     }
 
-    /// Native batch kernel: contiguous `i64` lanes updated in place with
-    /// the branch thresholds hoisted out of the loop. Per-lane draws are
-    /// identical to the scalar `step`.
-    fn step_batch(&self, lanes: &mut [i64], _ts: &[Time], rngs: &mut [SimRng], alive: &[usize]) {
-        let stay = self.up + self.down;
-        for &i in alive {
-            let u = rngs[i].random::<f64>();
-            let s = lanes[i];
-            let mut next = if u < self.up {
-                s + 1
-            } else if u < stay {
-                s - 1
-            } else {
-                s
-            };
-            if self.reflect_at_zero && next < 0 {
-                next = 0;
+    /// Native batch kernel on the vectorized draw pipeline: one raw
+    /// ChaCha word per lane, with all block refills for the cohort
+    /// computed in one multi-stream SIMD pass; the threshold compare and
+    /// integer update stay per lane. Per-lane draws are bit-identical to
+    /// the scalar `step` (the walk is pure RNG cost — the draw gather
+    /// *is* the kernel).
+    fn step_batch(&self, lanes: &mut [i64], ts: &[Time], rngs: &mut [SimRng], alive: &[usize]) {
+        if !simd::pipeline_engaged(alive.len()) {
+            for &i in alive {
+                lanes[i] = self.step(&lanes[i], ts[i], &mut rngs[i]);
             }
-            lanes[i] = next;
+            return;
         }
+        let stay = self.up + self.down;
+        simd::with_scratch(|sc| {
+            chacha::gather_u64(rngs, alive, 1, sc);
+            sc.f1.clear();
+            sc.f1.resize(alive.len(), 0.0);
+            vmath::u01_slice(&sc.words, &mut sc.f1);
+            for (j, &i) in alive.iter().enumerate() {
+                let u = sc.f1[j];
+                let s = lanes[i];
+                let mut next = if u < self.up {
+                    s + 1
+                } else if u < stay {
+                    s - 1
+                } else {
+                    s
+                };
+                if self.reflect_at_zero && next < 0 {
+                    next = 0;
+                }
+                lanes[i] = next;
+            }
+        })
+    }
+}
+
+/// Per-`θ` constants of the walk's exponential tilt: proposal
+/// probabilities `q ∝ (up·e^θ, down·e^−θ, stay)` and the per-branch log
+/// likelihood-ratios. Computed with the same expressions in the scalar
+/// and batched tilted steps, so both paths share every bit.
+struct WalkTilt {
+    /// Threshold for a +1 step under the proposal.
+    q_up: f64,
+    /// Threshold for a ±1 step under the proposal.
+    q_updown: f64,
+    /// `ln Z(θ)` — the common part of each branch's log-weight.
+    ln_z: f64,
+}
+
+impl WalkTilt {
+    fn new(walk: &RandomWalk, theta: f64) -> Self {
+        let et = theta.exp();
+        let zu = walk.up * et;
+        let zd = walk.down / et;
+        let stay = 1.0 - walk.up - walk.down;
+        let z = zu + zd + stay;
+        Self {
+            q_up: zu / z,
+            q_updown: (zu + zd) / z,
+            ln_z: z.ln(),
+        }
+    }
+
+    /// Advance one position by the tilted proposal; returns
+    /// `(next, log-weight increment)`.
+    #[inline]
+    fn step(&self, walk: &RandomWalk, s: i64, theta: f64, u: f64) -> (i64, f64) {
+        let (mut next, log_w) = if u < self.q_up {
+            (s + 1, self.ln_z - theta)
+        } else if u < self.q_updown {
+            (s - 1, self.ln_z + theta)
+        } else {
+            (s, self.ln_z)
+        };
+        if walk.reflect_at_zero && next < 0 {
+            next = 0;
+        }
+        (next, log_w)
+    }
+}
+
+impl TiltableModel for RandomWalk {
+    /// Exponential tilt: step probabilities reweighted to
+    /// `q ∝ (up·e^θ, down·e^−θ, stay)`, the classical change of measure
+    /// for discrete walks. One uniform per step, exactly like the plain
+    /// walk; the log-weight is `ln Z(θ) − θ·(step)`.
+    fn step_tilted(&self, state: &i64, _t: Time, theta: f64, rng: &mut SimRng) -> (i64, f64) {
+        let tilt = WalkTilt::new(self, theta);
+        tilt.step(self, *state, theta, rng.random::<f64>())
+    }
+
+    /// Native tilted batch kernel: vectorized draw gather, per-lane
+    /// threshold compare — bit-identical to the scalar tilted step.
+    fn step_tilted_batch(
+        &self,
+        lanes: &mut [i64],
+        log_ws: &mut [f64],
+        _ts: &[Time],
+        theta: f64,
+        rngs: &mut [SimRng],
+        alive: &[usize],
+    ) {
+        let tilt = WalkTilt::new(self, theta);
+        if !simd::pipeline_engaged(alive.len()) {
+            for &i in alive {
+                let (next, dlw) = tilt.step(self, lanes[i], theta, rngs[i].random::<f64>());
+                lanes[i] = next;
+                log_ws[i] += dlw;
+            }
+            return;
+        }
+        simd::with_scratch(|sc| {
+            chacha::gather_u64(rngs, alive, 1, sc);
+            sc.f1.clear();
+            sc.f1.resize(alive.len(), 0.0);
+            vmath::u01_slice(&sc.words, &mut sc.f1);
+            for (j, &i) in alive.iter().enumerate() {
+                let (next, dlw) = tilt.step(self, lanes[i], theta, sc.f1[j]);
+                lanes[i] = next;
+                log_ws[i] += dlw;
+            }
+        })
     }
 }
 

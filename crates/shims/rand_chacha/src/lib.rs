@@ -11,6 +11,51 @@ use rand::{RngCore, SeedableRng};
 
 const BLOCK_WORDS: usize = 16;
 
+/// One raw ChaCha12 keystream block: the 16 output words for `(key,
+/// counter)`. This is the scalar reference implementation of the block
+/// function; [`ChaCha12Rng::refill`] consumes it, and vectorized
+/// multi-stream generators (`mlss_core::simd::chacha`) must reproduce it
+/// word for word — the block function is pure integer arithmetic
+/// (wrapping adds, xors, rotates), so any correct implementation is
+/// bit-identical on every backend.
+pub fn chacha12_block(key: &[u32; 8], counter: u64) -> [u32; BLOCK_WORDS] {
+    // "expand 32-byte k" constants.
+    let mut state: [u32; BLOCK_WORDS] = [
+        0x6170_7865,
+        0x3320_646E,
+        0x7962_2D32,
+        0x6B20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..6 {
+        // One double round: 4 column + 4 diagonal quarter rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
 /// ChaCha12-based random number generator.
 #[derive(Debug, Clone)]
 pub struct ChaCha12Rng {
@@ -34,42 +79,78 @@ fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d
 }
 
 impl ChaCha12Rng {
+    /// Number of 32-bit words per keystream block.
+    pub const BLOCK_WORDS: usize = BLOCK_WORDS;
+
     fn refill(&mut self) {
-        // "expand 32-byte k" constants.
-        let mut state: [u32; BLOCK_WORDS] = [
-            0x6170_7865,
-            0x3320_646E,
-            0x7962_2D32,
-            0x6B20_6574,
-            self.key[0],
-            self.key[1],
-            self.key[2],
-            self.key[3],
-            self.key[4],
-            self.key[5],
-            self.key[6],
-            self.key[7],
-            self.counter as u32,
-            (self.counter >> 32) as u32,
-            0,
-            0,
-        ];
-        let initial = state;
-        for _ in 0..6 {
-            // One double round: 4 column + 4 diagonal quarter rounds.
-            quarter_round(&mut state, 0, 4, 8, 12);
-            quarter_round(&mut state, 1, 5, 9, 13);
-            quarter_round(&mut state, 2, 6, 10, 14);
-            quarter_round(&mut state, 3, 7, 11, 15);
-            quarter_round(&mut state, 0, 5, 10, 15);
-            quarter_round(&mut state, 1, 6, 11, 12);
-            quarter_round(&mut state, 2, 7, 8, 13);
-            quarter_round(&mut state, 3, 4, 9, 14);
+        self.buf = chacha12_block(&self.key, self.counter);
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    // ---- block-level access ------------------------------------------
+    //
+    // Vectorized multi-stream pipelines (see `mlss_core::simd`) compute
+    // many streams' *next* blocks in one SIMD pass and hand each stream
+    // its own block back. These accessors expose exactly the state that
+    // pipeline needs — the stream's key, the counter of the next block,
+    // and the read position in the current block — without giving up the
+    // invariant that a stream's word sequence is a pure function of its
+    // seed.
+
+    /// The stream's ChaCha key (derived from the seed, never mutated).
+    pub fn block_key(&self) -> [u32; 8] {
+        self.key
+    }
+
+    /// Counter of the *next* block this stream will generate.
+    pub fn block_counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Unread words left in the current block (0 means the next word
+    /// read triggers a refill).
+    pub fn words_remaining(&self) -> usize {
+        BLOCK_WORDS - self.idx
+    }
+
+    /// Copy the next `out.len()` `u64` draws straight out of the current
+    /// block when it holds enough unread words, advancing the stream
+    /// exactly as that many `next_u64` calls would; returns `false`
+    /// (drawing nothing) when the buffer is short. The fast path of the
+    /// vectorized gather — no per-word refill checks.
+    pub fn try_fill_u64(&mut self, out: &mut [u64]) -> bool {
+        if BLOCK_WORDS - self.idx < 2 * out.len() {
+            return false;
         }
-        for (word, init) in state.iter_mut().zip(initial.iter()) {
-            *word = word.wrapping_add(*init);
+        for o in out.iter_mut() {
+            let lo = self.buf[self.idx] as u64;
+            let hi = self.buf[self.idx + 1] as u64;
+            self.idx += 2;
+            *o = (hi << 32) | lo;
         }
-        self.buf = state;
+        true
+    }
+
+    /// Install an externally computed next block, exactly as the internal
+    /// refill would: `block` must equal
+    /// [`chacha12_block`]`(&self.block_key(), self.block_counter())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the current block still has unread words — installing
+    /// early would skip keystream and break draw-identity.
+    pub fn install_block(&mut self, block: [u32; BLOCK_WORDS]) {
+        assert_eq!(
+            self.idx, BLOCK_WORDS,
+            "install_block requires a drained buffer"
+        );
+        debug_assert_eq!(
+            block,
+            chacha12_block(&self.key, self.counter),
+            "installed block does not match this stream's next block"
+        );
+        self.buf = block;
         self.idx = 0;
         self.counter = self.counter.wrapping_add(1);
     }
@@ -133,6 +214,32 @@ mod tests {
         let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
         let mean = sum / n as f64;
         assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn block_access_reproduces_the_stream() {
+        // Drain blocks via the block-level API and via next_u32: the word
+        // sequences must be identical, including across block boundaries.
+        let mut scalar = ChaCha12Rng::seed_from_u64(77);
+        let mut blocky = ChaCha12Rng::seed_from_u64(77);
+        for _ in 0..5 {
+            // Drain the current block word by word.
+            while blocky.words_remaining() > 0 {
+                assert_eq!(scalar.next_u32(), blocky.next_u32());
+            }
+            let block = chacha12_block(&blocky.block_key(), blocky.block_counter());
+            blocky.install_block(block);
+        }
+        assert_eq!(scalar.next_u64(), blocky.next_u64());
+    }
+
+    #[test]
+    #[should_panic]
+    fn install_block_rejects_unread_words() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let _ = rng.next_u32(); // buffer now partially read
+        let block = chacha12_block(&rng.block_key(), rng.block_counter());
+        rng.install_block(block);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * `StepCounter` meters a batch of `k` alive lanes as exactly `k`
 //!   invocations of `g`.
 
-use durability_mlss::models::{ar_value_score, surplus_score, ArModel, CompoundPoisson};
+use durability_mlss::models::{
+    ar_value_score, surplus_score, ArModel, CompoundPoisson, GeometricBrownian, RandomWalk,
+};
 use mlss_core::estimator::{run_sequential_batched, run_sequential_batched_from};
 use mlss_core::is::IsEstimator;
 use mlss_core::prelude::*;
@@ -138,6 +140,7 @@ fn gmlss_is_bit_identical_across_widths() {
 
 #[test]
 fn is_estimator_is_bit_identical_across_widths() {
+    // ar's tilted stepping now runs a native batched kernel too.
     let model = ArModel::ar1(0.6, 1.0, 0.0);
     let v = ar_vf(6.0);
     check_widths(
@@ -146,6 +149,132 @@ fn is_estimator_is_bit_identical_across_widths() {
         Problem::new(&model, &v, 60),
         50_000,
     );
+}
+
+#[test]
+fn is_estimator_is_bit_identical_across_widths_on_native_tilted_kernels() {
+    // The PR-5 native `step_tilted_batch` kernels (cpp, walk, gbm on the
+    // vectorized draw pipeline): the IS estimator must stay a pure
+    // function of (master RNG, budget) at every width.
+    let cpp = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    check_widths(
+        "is/cpp",
+        &IsEstimator::new(0.3),
+        Problem::new(&cpp, &v, 80),
+        50_000,
+    );
+
+    let walk = RandomWalk::new(0.3, 0.3, 0);
+    type WalkVf = RatioValue<fn(&i64) -> f64>;
+    fn walk_score(s: &i64) -> f64 {
+        *s as f64
+    }
+    let wv: WalkVf = RatioValue::new(walk_score as fn(&i64) -> f64, 10.0);
+    check_widths(
+        "is/walk",
+        &IsEstimator::new(0.4),
+        Problem::new(&walk, &wv, 60),
+        50_000,
+    );
+
+    let gbm = GeometricBrownian::goog_like();
+    let gv = cpp_vf(600.0);
+    check_widths(
+        "is/gbm",
+        &IsEstimator::new(0.6),
+        Problem::new(&gbm, &gv, 50),
+        50_000,
+    );
+}
+
+#[test]
+fn is_mid_run_checkpoint_resumes_to_the_same_estimate() {
+    // Satellite: the one estimator the resume tests used to exercise
+    // only through the adapter — cut a checkpoint between batched IS
+    // chunks on a native tilted kernel and resume through the batched
+    // sequential driver.
+    let model = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    let problem = Problem::new(&model, &v, 80);
+    let control = RunControl::budget(90_000);
+    let est = IsEstimator::new(0.3);
+
+    let whole = run_sequential_batched(&est, problem, control, &mut rng_from_seed(21), 32);
+
+    let mut rng = rng_from_seed(21);
+    let mut checkpoint = <IsEstimator as Estimator<CompoundPoisson, CppVf>>::shard(&est);
+    est.run_chunk_batched(problem, &mut checkpoint, 30_000, &mut rng, 32);
+    assert!(checkpoint.steps() > 0 && checkpoint.steps() < 90_000);
+    let resumed = run_sequential_batched_from(&est, problem, control, &mut rng, checkpoint, 32);
+
+    assert_eq!(whole.estimate.steps, resumed.estimate.steps);
+    assert_eq!(whole.estimate.n_roots, resumed.estimate.n_roots);
+    assert_eq!(whole.estimate.hits, resumed.estimate.hits);
+    assert_eq!(whole.estimate.tau.to_bits(), resumed.estimate.tau.to_bits());
+}
+
+#[test]
+fn is_scheduler_batched_slices_match_sequential_and_survive_detach() {
+    // IS through the scheduler on a native tilted kernel, with a
+    // pause/detach/resubmit cycle mid-run — bit-identical to one
+    // uninterrupted batched sequential run.
+    let model = CompoundPoisson::zero_drift_default();
+    let v = cpp_vf(40.0);
+    let problem = Problem::new(&model, &v, 80);
+    let control = RunControl::budget(120_000);
+    let seed = 33u64;
+    let width = 16usize;
+    let est = IsEstimator::new(0.3);
+
+    let seq = run_sequential_batched(
+        &est,
+        problem,
+        control,
+        &mut StreamFactory::new(seed).stream(0),
+        width,
+    )
+    .estimate;
+
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 1,
+        slice_budget: 10_000,
+        max_retries: 0,
+        batch_width: width,
+    });
+    let id = sched.submit(
+        CompoundPoisson::zero_drift_default(),
+        cpp_vf(40.0),
+        80,
+        est,
+        control,
+        seed,
+        0,
+    );
+    loop {
+        let p = sched.progress(id).unwrap();
+        if p.steps > 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    sched.pause(id);
+    loop {
+        if matches!(sched.progress(id).unwrap().status, QueryStatus::Paused) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let job = sched.detach(id).expect("paused job detaches");
+    let mid_steps = job.steps();
+    assert!(mid_steps > 0 && mid_steps < 120_000, "checkpoint mid-run");
+    let id2 = sched.submit_query(job, 0);
+    let est_out = *sched.wait(id2).unwrap().estimate().unwrap();
+
+    assert_eq!(est_out.steps, seq.steps);
+    assert_eq!(est_out.n_roots, seq.n_roots);
+    assert_eq!(est_out.hits, seq.hits);
+    assert_eq!(est_out.tau.to_bits(), seq.tau.to_bits());
 }
 
 #[test]
