@@ -8,11 +8,12 @@
 #   make test-scalar — full release suite with the SIMD backend forced off
 #   make sched-bench — FIFO vs concurrent-serving latency benchmark
 #   make kernel-bench — scalar-adapter vs native-batch stepping throughput
+#   make reuse-bench — cross-query shard reuse vs store-disabled baseline
 #   make sql-demo   — pipe a demo script through the sql_shell example
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench sql-demo
+.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench reuse-bench sql-demo
 
 verify: build test
 
@@ -40,13 +41,17 @@ sched-bench:
 kernel-bench:
 	$(CARGO) run --release -p mlss-bench --bin kernel_bench -- --full
 
+reuse-bench:
+	$(CARGO) run --release -p mlss-bench --bin reuse_bench -- --full
+
 sql-demo:
 	printf '%s\n' \
 	  "SHOW MODELS;" \
 	  "EXPLAIN ESTIMATE DURABILITY OF cpp(beta=50) WITHIN 500 USING auto TARGET RE 15% WITH (batch_width=32);" \
 	  "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs TARGET RE 30%;" \
 	  "ESTIMATE DURABILITY OF ar(beta=3) WITHIN 40 USING gmlss TARGET RE 50% WITH (seed=7) ASYNC;" \
-	  "SELECT model, method, tau, plan_cache FROM results;" \
+	  "SELECT model, method, tau, plan_cache, shard_reuse FROM results;" \
+	  "SHOW DIAGNOSTICS;" \
 	  | $(CARGO) run --release --example sql_shell
 
 ci: fmt build test clippy test-mt

@@ -1,0 +1,188 @@
+//! Cross-query shard reuse benchmark: the planner's two winning
+//! profiles, measured against a store-disabled baseline.
+//!
+//! * **repeated** — the same `ESTIMATE` statement issued N times (a
+//!   dashboard refreshing a durability panel). With the store on, the
+//!   first run deposits its shard and every repeat is served from the
+//!   store (`stored`: zero simulation); off, every repeat re-simulates.
+//! * **tightening** — one query re-issued down a ladder of
+//!   relative-error targets (an analyst zooming in: 2% → 1.4% → 1% →
+//!   0.7% → 0.5%). With the store on, each rung warm-starts the
+//!   previous rung's checkpoint and pays only the marginal roots —
+//!   O(Δ) — so the whole ladder costs about as much as its last rung
+//!   alone; off, each rung re-simulates from scratch and the costs sum.
+//!
+//! Both sessions run identical statements with pinned seeds, so the
+//! harness also asserts the reuse invariant end-to-end: the warm
+//! session's final estimate is bit-identical to a cold run straight to
+//! the final target.
+//!
+//! Usage: `cargo run --release -p mlss-bench --bin reuse_bench [--full]`
+
+use mlss_bench::{Profile, Report};
+use mlss_core::spec::{Method, QuerySpec};
+use mlss_db::{Session, SessionConfig, Value};
+use std::time::Instant;
+
+fn session(store: bool) -> Session {
+    Session::new(SessionConfig {
+        workers: 1,
+        seed: 4242,
+        shard_store_capacity: if store { 64 } else { 0 },
+        ..SessionConfig::default()
+    })
+    .expect("bench session")
+}
+
+/// One benchmark statement. SRS keeps the cost of a run proportional to
+/// its simulated steps (its quality checks are O(1), with an exact
+/// variance), so the ladder measures the planner's O(Δ) claim rather
+/// than estimator-specific check overheads.
+fn statement(target_re: f64, seed: u64) -> String {
+    let mut spec = QuerySpec::new("ar", 3.0, 40, target_re);
+    spec.method = Method::Srs;
+    spec.options.seed = Some(seed);
+    spec.render()
+}
+
+/// Run `statements` synchronously; return (elapsed seconds, per-row
+/// (tau, shard_reuse) provenance in execution order).
+fn run(s: &Session, statements: &[String]) -> (f64, Vec<(f64, String)>) {
+    let start = Instant::now();
+    for sql in statements {
+        s.execute(sql).expect("estimate statement");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let rows: Vec<(f64, String)> = s
+        .db()
+        .with_table("results", |t| {
+            t.scan()
+                .map(|r| {
+                    let tau = match r[4] {
+                        Value::Float(x) => x,
+                        _ => f64::NAN,
+                    };
+                    let reuse = match &r[10] {
+                        Value::Text(t) => t.clone(),
+                        _ => "?".into(),
+                    };
+                    (tau, reuse)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    (elapsed, rows)
+}
+
+fn tags(rows: &[(f64, String)]) -> String {
+    rows.iter()
+        .map(|(_, t)| t.as_str())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+struct ProfileResult {
+    name: &'static str,
+    on: f64,
+    off: f64,
+    on_tags: String,
+    off_tags: String,
+    final_tau_on: f64,
+}
+
+fn run_profile(name: &'static str, statements: Vec<String>) -> ProfileResult {
+    let with_store = session(true);
+    let (on, on_rows) = run(&with_store, &statements);
+    let without = session(false);
+    let (off, off_rows) = run(&without, &statements);
+    assert_eq!(on_rows.len(), statements.len());
+    ProfileResult {
+        name,
+        on,
+        off,
+        on_tags: tags(&on_rows),
+        off_tags: tags(&off_rows),
+        final_tau_on: on_rows.last().expect("rows").0,
+    }
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    // The quick ladder stops at 1% so CI stays fast; --full descends to
+    // the paper-scale 0.5%.
+    let (ladder, repeats): (&[f64], usize) = match profile {
+        Profile::Full => (&[0.02, 0.014, 0.01, 0.007, 0.005], 8),
+        Profile::Quick => (&[0.04, 0.028, 0.02, 0.014, 0.01], 8),
+    };
+    let repeat_re = ladder[2];
+    let seed = 99u64;
+
+    let repeated = run_profile(
+        "repeated",
+        (0..repeats).map(|_| statement(repeat_re, seed)).collect(),
+    );
+    let tightening = run_profile(
+        "tightening",
+        ladder.iter().map(|&re| statement(re, seed)).collect(),
+    );
+
+    // The cold comparator for the invariant: a fresh store-less session
+    // running only the final-target statement (its plan pilot runs just
+    // like the ladder's first rung did, so the streams align).
+    let cold_ref = session(false);
+    let (_, cold_rows) = run(&cold_ref, &[statement(*ladder.last().unwrap(), seed)]);
+    let cold_tau = cold_rows[0].0;
+    assert_eq!(
+        tightening.final_tau_on.to_bits(),
+        cold_tau.to_bits(),
+        "warm ladder must be bit-identical to the cold run at the final target"
+    );
+    println!("bit-identity: warm ladder τ̂ == cold τ̂ == {:.6e}", cold_tau);
+
+    let mut r = Report::new(
+        "reuse_bench",
+        &[
+            "workload",
+            "store_off_s",
+            "store_on_s",
+            "speedup",
+            "reuse_on",
+            "reuse_off",
+        ],
+    );
+    for p in [&repeated, &tightening] {
+        r.row(vec![
+            p.name.into(),
+            format!("{:.3}", p.off),
+            format!("{:.3}", p.on),
+            format!("{:.1}x", p.off / p.on.max(1e-9)),
+            p.on_tags.clone(),
+            p.off_tags.clone(),
+        ]);
+    }
+    r.emit();
+
+    let repeated_speedup = repeated.off / repeated.on.max(1e-9);
+    let tightening_speedup = tightening.off / tightening.on.max(1e-9);
+    println!("repeated-query speedup:   {repeated_speedup:.1}x (store on vs off)");
+    println!("tightening-ladder speedup: {tightening_speedup:.1}x (store on vs off)");
+
+    assert!(
+        repeated.on_tags.ends_with("stored"),
+        "repeats must be served from the store: {}",
+        repeated.on_tags
+    );
+    assert!(
+        tightening.on_tags.contains("warm"),
+        "the ladder must warm-start: {}",
+        tightening.on_tags
+    );
+    assert!(
+        repeated_speedup >= 5.0,
+        "repeated profile must gain ≥5x, got {repeated_speedup:.2}x"
+    );
+    assert!(
+        tightening_speedup >= 1.5,
+        "tightening profile must gain ≥1.5x, got {tightening_speedup:.2}x"
+    );
+}

@@ -198,6 +198,13 @@ pub struct EstimatorRun<L> {
     pub estimate: Estimate,
     /// The accumulated shard (for diagnostics or further merging).
     pub shard: L,
+    /// RNG stream position at the final chunk boundary, captured
+    /// *before* the closing estimate evaluation (which may consume
+    /// draws — e.g. a g-MLSS bootstrap variance). `(shard, resume_rng)`
+    /// is the exact state a longer run of the same control would have
+    /// continued from, which is what makes a stored shard warm-startable
+    /// bit-exactly (see `mlss_core::shard_store`).
+    pub resume_rng: SimRng,
     /// Wall-clock time spent simulating.
     pub sim_elapsed: Duration,
     /// Wall-clock time spent in estimate/variance evaluations.
@@ -309,6 +316,14 @@ where
     let mut estimate_elapsed = Duration::ZERO;
 
     loop {
+        // Observed steps per root (before any root completes, assume the
+        // worst case of one horizon per root). Sizes target-mode chunks
+        // and the final-chunk width clamp below.
+        let per_root = if shard.n_roots() > 0 {
+            (shard.steps() / shard.n_roots()).max(1)
+        } else {
+            problem.horizon.max(1)
+        };
         let budget = match control {
             RunControl::Budget(total) => {
                 let remaining = total.saturating_sub(shard.steps());
@@ -325,13 +340,7 @@ where
                 if shard.steps() >= max_steps {
                     break;
                 }
-                // ≈ check_every roots' worth of steps; before any root has
-                // completed, assume the worst case of one horizon per root.
-                let per_root = if shard.n_roots() > 0 {
-                    (shard.steps() / shard.n_roots()).max(1)
-                } else {
-                    problem.horizon.max(1)
-                };
+                // ≈ check_every roots' worth of steps.
                 check_every
                     .max(1)
                     .saturating_mul(per_root)
@@ -342,7 +351,15 @@ where
         if batch_width == 0 {
             estimator.run_chunk(problem, &mut shard, budget, rng);
         } else {
-            estimator.run_chunk_batched(problem, &mut shard, budget, rng, batch_width);
+            // Budget-boundary shrink: the frontier launches a full
+            // cohort up front, but lanes past the chunk's commit target
+            // are speculation that gets discarded. When the remaining
+            // budget only pays for fewer roots than the configured
+            // width, narrow the final chunks — bit-identity across
+            // widths makes this invisible to results.
+            let roots_in_budget = usize::try_from(budget.div_ceil(per_root)).unwrap_or(usize::MAX);
+            let width = batch_width.min(roots_in_budget).max(1);
+            estimator.run_chunk_batched(problem, &mut shard, budget, rng, width);
         }
         if let RunControl::Target { target, .. } = control {
             let t0 = Instant::now();
@@ -354,6 +371,10 @@ where
         }
     }
 
+    // Snapshot the stream before the closing estimate: g-MLSS bootstrap
+    // variances draw from `rng`, and a warm start must continue from the
+    // chunk boundary, not from after those draws.
+    let resume_rng = rng.clone();
     let t0 = Instant::now();
     let estimate = estimator.estimate(&shard, rng);
     estimate_elapsed += t0.elapsed();
@@ -361,6 +382,7 @@ where
     EstimatorRun {
         estimate,
         shard,
+        resume_rng,
         sim_elapsed,
         estimate_elapsed,
     }

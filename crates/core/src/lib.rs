@@ -59,6 +59,8 @@
 //! | [`parallel`] | §3.1 | multi-threaded driver over any `Estimator`, sharded merge |
 //! | [`scheduler`] | §6.4 serving | concurrent query scheduler: slicing, pause/checkpoint/resume, panic isolation |
 //! | [`plan_cache`] | §5, §6.4 | memoized partition plans keyed by model fingerprint (single-flight builds) |
+//! | [`shard_store`] | §6.4 serving | cross-query shard store: LRU-capped reusable checkpoints (shard + RNG provenance + achieved RE) |
+//! | [`planner`] | §6.4 serving | cost-based reuse planner: cold vs warm-start vs serve-from-store |
 //! | [`spec`] | §6.4 | the typed [`spec::QuerySpec`] IR every estimation entry point compiles to, the [`spec::SpecError`] taxonomy, model parameter schemas, and deferred plan-derivation scheduler jobs |
 //! | [`quality`] | §6 | CI/RE quality targets and budgets |
 //! | [`ranking`] | §7 related work | durability ranking via racing |
@@ -97,11 +99,13 @@ pub mod model;
 pub mod parallel;
 pub mod partition;
 pub mod plan_cache;
+pub mod planner;
 pub mod quality;
 pub mod query;
 pub mod ranking;
 pub mod rng;
 pub mod scheduler;
+pub mod shard_store;
 pub mod simd;
 pub mod smlss;
 pub mod spec;
@@ -131,15 +135,17 @@ pub mod prelude {
         ParallelConfig, ParallelResult, ParallelRun,
     };
     pub use crate::partition::{balanced_plan, evaluate_plan, GreedyConfig, GreedyPartition};
-    pub use crate::plan_cache::{fingerprint, CachedPlan, Fingerprint, PlanCache};
+    pub use crate::plan_cache::{fingerprint, CacheCounters, CachedPlan, Fingerprint, PlanCache};
+    pub use crate::planner::{plan_reuse, required_roots, ReusePlan};
     pub use crate::quality::{QualityTarget, RunControl};
     pub use crate::query::{Problem, RatioValue, StateScore, ValueFunction};
     pub use crate::ranking::{rank_by_durability, Candidate, RaceConfig, RaceOutcome};
     pub use crate::rng::{rng_from_seed, split_rng, SimRng, StreamFactory};
     pub use crate::scheduler::{
-        EstimatorQuery, QueryId, QueryProgress, QueryStatus, Scheduler, SchedulerConfig,
-        SchedulerStats, SliceableQuery,
+        CompletedQuery, EstimatorQuery, QueryId, QueryProgress, QueryStatus, Scheduler,
+        SchedulerConfig, SchedulerStats, SliceableQuery,
     };
+    pub use crate::shard_store::{shard_key, ShardKey, ShardSnapshot, ShardStore, StoredShard};
     pub use crate::smlss::{SMlssConfig, SMlssResult, SMlssSampler, SMlssShard};
     pub use crate::spec::{
         ExecMode, ExecOptions, Method, ModelSchema, ParamSpec, ParamType, QuerySpec,

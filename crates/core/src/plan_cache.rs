@@ -28,6 +28,74 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 /// Cache key: model fingerprint × method name × requested level count.
 pub type PlanKey = (u64, String, usize);
 
+/// The shared hit/miss/evict counter surface of the serving-layer caches.
+///
+/// [`PlanCache`] and [`crate::shard_store::ShardStore`] both report
+/// through this one type, so their [`Diagnostics`] blocks have the same
+/// shape (`<name>_hits`, `<name>_misses`, `<name>_evictions`,
+/// `<name>_entries`) and `SHOW DIAGNOSTICS` can render any cache the
+/// same way. Counters are monotonic over the cache's lifetime; `clear()`
+/// on the owning cache counts dropped entries as evictions.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheCounters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one lookup answered from the cache.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one lookup the cache could not answer.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` entries dropped to make room (or cleared).
+    pub fn evicted(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups the cache could not answer.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped (capacity pressure or an explicit clear).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The counters plus a point-in-time entry count as a [`Diagnostics`]
+    /// block named `name` (details are `<name>_hits`, `<name>_misses`,
+    /// `<name>_evictions`, `<name>_entries`).
+    pub fn diagnostics(&self, name: &'static str, entries: usize) -> Diagnostics {
+        Diagnostics {
+            estimator: name,
+            skip_events: 0,
+            details: vec![
+                (format!("{name}_hits"), self.hits() as f64),
+                (format!("{name}_misses"), self.misses() as f64),
+                (format!("{name}_evictions"), self.evictions() as f64),
+                (format!("{name}_entries"), entries as f64),
+            ],
+        }
+    }
+}
+
 /// A cached plan plus the pilot's τ̂ extrapolation hint.
 #[derive(Debug, Clone)]
 pub struct CachedPlan {
@@ -72,8 +140,7 @@ enum Entry {
 pub struct PlanCache {
     plans: Mutex<BTreeMap<PlanKey, Entry>>,
     ready_cv: Condvar,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    counters: CacheCounters,
 }
 
 /// Removes a `Building` marker if the builder unwinds, so waiters can
@@ -138,7 +205,7 @@ impl PlanCache {
         loop {
             match plans.get(&key) {
                 Some(Entry::Ready(cached)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.hit();
                     return PlanLookup {
                         plan: cached.plan.clone(),
                         tau_hint: cached.tau_hint,
@@ -160,7 +227,7 @@ impl PlanCache {
         drop(plans);
         // Run the pilot outside the lock; the guard clears the Building
         // marker (waking waiters to take over) if `build` panics.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.miss();
         let mut guard = BuildGuard {
             cache: self,
             key: Some(key.clone()),
@@ -196,7 +263,7 @@ impl PlanCache {
         let plans = self.lock();
         match plans.get(&key) {
             Some(Entry::Ready(cached)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hit();
                 Some(PlanLookup {
                     plan: cached.plan.clone(),
                     tau_hint: cached.tau_hint,
@@ -209,12 +276,23 @@ impl PlanCache {
 
     /// Lookups answered from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.counters.hits()
     }
 
     /// Lookups that ran the builder.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.counters.misses()
+    }
+
+    /// Memoized plans dropped by [`PlanCache::clear`].
+    pub fn evictions(&self) -> u64 {
+        self.counters.evictions()
+    }
+
+    /// The shared counter surface (for callers aggregating several
+    /// caches uniformly).
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
     }
 
     /// Number of memoized (ready) plans.
@@ -230,24 +308,22 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drop all memoized plans (counters are retained; in-flight builds
-    /// complete and re-memoize).
+    /// Drop all memoized plans, counting them as evictions (hit/miss
+    /// counters are retained; in-flight builds complete and re-memoize).
     pub fn clear(&self) {
-        self.lock().retain(|_, e| matches!(e, Entry::Building));
+        let mut plans = self.lock();
+        let before = plans.len();
+        plans.retain(|_, e| matches!(e, Entry::Building));
+        let dropped = (before - plans.len()) as u64;
+        drop(plans);
+        self.counters.evicted(dropped);
     }
 
     /// Cache effectiveness as a [`Diagnostics`] block (`plan_cache_hits`,
-    /// `plan_cache_misses`, `plan_cache_entries`).
+    /// `plan_cache_misses`, `plan_cache_evictions`, `plan_cache_entries`
+    /// — the shared [`CacheCounters`] shape).
     pub fn diagnostics(&self) -> Diagnostics {
-        Diagnostics {
-            estimator: "plan_cache",
-            skip_events: 0,
-            details: vec![
-                ("plan_cache_hits".to_string(), self.hits() as f64),
-                ("plan_cache_misses".to_string(), self.misses() as f64),
-                ("plan_cache_entries".to_string(), self.len() as f64),
-            ],
-        }
+        self.counters.diagnostics("plan_cache", self.len())
     }
 }
 
@@ -480,6 +556,7 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.evictions(), 1, "clear counts dropped plans");
         cache.get_or_build(1, "g", 4, plan);
         assert_eq!(cache.misses(), 2, "cleared entries rebuild");
     }

@@ -1,0 +1,243 @@
+//! The cost-based **reuse planner**: given an incoming query's target
+//! relative error and the [`ShardStore`]'s best entry for its key,
+//! choose the cheapest of three candidate plans —
+//!
+//! * **cold** — simulate from scratch (the only option on a store miss);
+//! * **warm** — resume from the stored shard through the existing
+//!   `run_sequential_*_from` / `run_parallel_from` machinery, paying
+//!   only the *marginal* roots between the stored RE and the target;
+//! * **stored** — the stored shard already meets the target: answer
+//!   with its estimate and simulate nothing.
+//!
+//! ## The cost model
+//!
+//! For every estimator here, RE ∝ 1/√n over the roots n (the variance of
+//! a mean scales as 1/n), so reaching target r from a shard that
+//! achieved rₛ over nₛ roots needs roughly
+//!
+//! ```text
+//! n_required = nₛ · (rₛ / r)²        (cold cost, in roots)
+//! n_marginal = n_required − nₛ       (warm cost)
+//! ```
+//!
+//! — the pilot data behind these numbers is the stored shard itself,
+//! which is the best available sample of both the cost per root and the
+//! variance per root for this exact problem. Warm never costs more
+//! roots than cold, so on any usable hit the planner picks warm (or
+//! stored when `rₛ ≤ r`); the cost estimate is surfaced through
+//! `EXPLAIN ESTIMATE` as `est_marginal_roots` so an operator can see
+//! what the planner believed.
+//!
+//! Correctness never depends on the choice: cold and warm draw from the
+//! same distribution (warm with a pinned seed is *bit-identical* to the
+//! longer cold run, see [`crate::shard_store`]), and stored only serves
+//! estimates that already met the target.
+
+use crate::shard_store::{ShardKey, ShardStore, StoredShard};
+
+/// The reuse decision for one query (see the module docs for the cost
+/// model).
+#[derive(Debug, Clone)]
+pub enum ReusePlan {
+    /// No usable stored shard: simulate from scratch.
+    Cold,
+    /// Resume from this stored shard and simulate the marginal roots.
+    Warm {
+        /// The checkpoint to resume from.
+        entry: StoredShard,
+        /// The relative error the stored shard achieved.
+        stored_re: f64,
+        /// Estimated additional roots to reach the target.
+        est_marginal_roots: u64,
+    },
+    /// The stored shard already meets the target: serve its estimate.
+    Stored {
+        /// The checkpoint whose estimate answers the query.
+        entry: StoredShard,
+    },
+}
+
+impl ReusePlan {
+    /// Provenance tag for `results` rows (`"cold"`, `"warm"`,
+    /// `"stored"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReusePlan::Cold => "cold",
+            ReusePlan::Warm { .. } => "warm",
+            ReusePlan::Stored { .. } => "stored",
+        }
+    }
+
+    /// Rendering for `EXPLAIN ESTIMATE`'s `reuse` row:
+    /// `cold | warm(fingerprint=…, stored_re=…, est_marginal_roots=…) |
+    /// stored`.
+    pub fn describe(&self, fingerprint: u64) -> String {
+        match self {
+            ReusePlan::Cold => "cold".to_string(),
+            ReusePlan::Warm {
+                stored_re,
+                est_marginal_roots,
+                ..
+            } => format!(
+                "warm(fingerprint={fingerprint:#018x}, stored_re={stored_re:.6}, \
+                 est_marginal_roots={est_marginal_roots})"
+            ),
+            ReusePlan::Stored { .. } => "stored".to_string(),
+        }
+    }
+}
+
+/// Roots needed to reach `target_re` given `n_stored` roots achieved
+/// `stored_re`, under the 1/√n law (rounded up; saturates at `u64::MAX`
+/// rather than overflowing for absurd ratios).
+pub fn required_roots(n_stored: u64, stored_re: f64, target_re: f64) -> u64 {
+    if n_stored == 0 || !(stored_re.is_finite() && target_re > 0.0) {
+        return u64::MAX;
+    }
+    let ratio = stored_re / target_re;
+    let required = (n_stored as f64) * ratio * ratio;
+    if required >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        required.ceil() as u64
+    }
+}
+
+/// Consult the store and pick the cheapest plan for a query over `key`
+/// targeting `target_re`. `pinned_seed` is the query's explicit seed, if
+/// any — it restricts which entries may answer (see
+/// [`ShardStore::lookup`]). A stored shard with no finite RE (τ̂ = 0, or
+/// too few roots) is not costable and falls back to cold.
+pub fn plan_reuse(
+    store: &ShardStore,
+    key: &ShardKey,
+    target_re: f64,
+    pinned_seed: Option<u64>,
+) -> ReusePlan {
+    let Some(entry) = store.lookup(key, pinned_seed) else {
+        return ReusePlan::Cold;
+    };
+    let stored_re = entry.achieved_re();
+    let n_stored = entry.estimate.n_roots;
+    if !stored_re.is_finite() || n_stored == 0 {
+        return ReusePlan::Cold;
+    }
+    if stored_re <= target_re {
+        return ReusePlan::Stored { entry };
+    }
+    let required = required_roots(n_stored, stored_re, target_re);
+    let est_marginal_roots = required.saturating_sub(n_stored);
+    ReusePlan::Warm {
+        entry,
+        stored_re,
+        est_marginal_roots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Estimate;
+    use crate::rng::rng_from_seed;
+    use crate::shard_store::shard_key;
+    use crate::srs::SrsShard;
+
+    fn deposit(store: &ShardStore, fp: u64, n: u64, tau: f64, re: f64) {
+        let shard = SrsShard {
+            n,
+            hits: (tau * n as f64) as u64,
+            steps: n,
+        };
+        // Variance chosen so self_relative_error() = σ/τ̂ comes out at
+        // exactly `re`.
+        let sigma = re * tau;
+        store.deposit(
+            shard_key(fp, "srs", None),
+            StoredShard::new(
+                &shard,
+                rng_from_seed(1),
+                Estimate {
+                    tau,
+                    variance: sigma * sigma,
+                    n_roots: n,
+                    steps: n,
+                    hits: shard.hits,
+                },
+                None,
+                true,
+            ),
+        );
+    }
+
+    #[test]
+    fn miss_plans_cold() {
+        let store = ShardStore::new(4);
+        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None);
+        assert!(matches!(plan, ReusePlan::Cold));
+        assert_eq!(plan.tag(), "cold");
+        assert_eq!(plan.describe(1), "cold");
+    }
+
+    #[test]
+    fn met_target_plans_stored() {
+        let store = ShardStore::new(4);
+        deposit(&store, 1, 10_000, 0.5, 0.01);
+        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.02, None);
+        assert!(matches!(plan, ReusePlan::Stored { .. }));
+        assert_eq!(plan.tag(), "stored");
+    }
+
+    #[test]
+    fn tighter_target_plans_warm_with_quadratic_marginal() {
+        let store = ShardStore::new(4);
+        deposit(&store, 1, 10_000, 0.5, 0.02);
+        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None);
+        let ReusePlan::Warm {
+            stored_re,
+            est_marginal_roots,
+            ..
+        } = &plan
+        else {
+            panic!("expected warm, got {}", plan.tag());
+        };
+        // Halving the RE quadruples the required roots: marginal ≈ 3·n.
+        assert!((stored_re - 0.02).abs() < 1e-9);
+        let expected = required_roots(10_000, *stored_re, 0.01) - 10_000;
+        assert_eq!(*est_marginal_roots, expected);
+        assert!(
+            (25_000..=35_000).contains(est_marginal_roots),
+            "marginal {est_marginal_roots} should be ≈ 3× the stored 10k"
+        );
+        let rendered = plan.describe(0xabcd);
+        assert!(rendered.starts_with("warm(fingerprint=0x"), "{rendered}");
+        assert!(rendered.contains("est_marginal_roots="), "{rendered}");
+    }
+
+    #[test]
+    fn uncostable_entries_fall_back_to_cold() {
+        let store = ShardStore::new(4);
+        deposit(&store, 1, 10_000, 0.0, 0.02); // τ̂ = 0 ⇒ RE not finite
+        assert!(matches!(
+            plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None),
+            ReusePlan::Cold
+        ));
+    }
+
+    #[test]
+    fn changed_fingerprint_never_hits() {
+        let store = ShardStore::new(4);
+        deposit(&store, 1, 10_000, 0.5, 0.02);
+        assert!(matches!(
+            plan_reuse(&store, &shard_key(2, "srs", None), 0.01, None),
+            ReusePlan::Cold
+        ));
+    }
+
+    #[test]
+    fn required_roots_edge_cases() {
+        assert_eq!(required_roots(0, 0.02, 0.01), u64::MAX);
+        assert_eq!(required_roots(100, f64::INFINITY, 0.01), u64::MAX);
+        assert_eq!(required_roots(100, 0.02, 0.02), 100);
+        assert_eq!(required_roots(100, 0.02, 0.01), 400);
+    }
+}

@@ -36,6 +36,7 @@ use crate::model::SimulationModel;
 use crate::quality::RunControl;
 use crate::query::{Problem, ValueFunction};
 use crate::rng::{SimRng, StreamFactory};
+use crate::shard_store::{ShardKey, ShardStore, StoredShard};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -83,6 +84,15 @@ pub trait SliceableQuery: Send + Any {
     /// type recover it from a detached checkpoint (see
     /// [`Scheduler::detach`]).
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+
+    /// Snapshot the accumulated state as a cross-query warm-start
+    /// candidate for the shard store: the key identifying what problem
+    /// the shard answers, plus the checkpoint itself. Jobs that do not
+    /// participate in reuse (the default) return `None`. Must not
+    /// disturb the job's committed state (snapshot on clones).
+    fn reuse_snapshot(&mut self) -> Option<(ShardKey, StoredShard)> {
+        None
+    }
 }
 
 /// The standard [`SliceableQuery`]: any [`Estimator`] over an owned model
@@ -107,6 +117,11 @@ where
     /// Frontier width for slices: 0 = classic scalar chunks, w ≥ 1 =
     /// batched chunks at width w (bit-identical across widths).
     batch_width: usize,
+    /// The pinned seed this job was built from (`None` when the caller
+    /// handed over a raw RNG) — recorded in shard-store deposits.
+    seed: Option<u64>,
+    /// Shard-store identity; `Some` opts the job into reuse deposits.
+    reuse_key: Option<ShardKey>,
 }
 
 impl<M, V, E> EstimatorQuery<M, V, E>
@@ -136,7 +151,52 @@ where
             shard,
             rng,
             batch_width: 0,
+            seed: None,
+            reuse_key: None,
         }
+    }
+
+    /// Build a query job resuming from a checkpointed `(shard, rng)`
+    /// pair — e.g. a [`StoredShard`] the reuse planner chose to
+    /// warm-start from. The control is evaluated over the *combined*
+    /// state, exactly like [`crate::estimator::run_sequential_from`].
+    pub fn from_parts(
+        model: M,
+        value_fn: V,
+        horizon: u64,
+        estimator: E,
+        control: RunControl,
+        shard: E::Shard,
+        rng: SimRng,
+    ) -> Self {
+        Self {
+            model,
+            value_fn,
+            horizon,
+            estimator,
+            control,
+            shard,
+            rng,
+            batch_width: 0,
+            seed: None,
+            reuse_key: None,
+        }
+    }
+
+    /// Tag this job with its shard-store identity so the scheduler
+    /// deposits its checkpoints (on completion, pause, and detach) as
+    /// warm-start candidates for later queries.
+    pub fn with_reuse_key(mut self, key: ShardKey) -> Self {
+        self.reuse_key = Some(key);
+        self
+    }
+
+    /// Record the pinned seed this job was built from (deposit
+    /// provenance; [`EstimatorQuery::from_seed`] sets it
+    /// automatically).
+    pub fn with_seed_provenance(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
     }
 
     /// Route this job's slices through the batched frontier at the given
@@ -162,7 +222,7 @@ where
         seed: u64,
     ) -> Self {
         let rng = StreamFactory::new(seed).stream(0);
-        Self::new(model, value_fn, horizon, estimator, control, rng)
+        Self::new(model, value_fn, horizon, estimator, control, rng).with_seed_provenance(seed)
     }
 
     /// The accumulated shard (the live checkpoint).
@@ -193,7 +253,7 @@ where
     M::State: Send,
     V: ValueFunction<M::State> + Send + 'static,
     E: Estimator<M, V> + Send + 'static,
-    E::Shard: Send + 'static,
+    E::Shard: Send + Clone + 'static,
 {
     fn name(&self) -> &'static str {
         self.estimator.name()
@@ -261,6 +321,76 @@ where
 
     fn diagnostics(&self) -> Diagnostics {
         self.estimator.diagnostics(&self.shard)
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn reuse_snapshot(&mut self) -> Option<(ShardKey, StoredShard)> {
+        let key = self.reuse_key.clone()?;
+        if self.shard.n_roots() == 0 {
+            return None;
+        }
+        // Evaluate on a cloned RNG: a bootstrap variance must not
+        // consume draws from the job's committed stream (the job may
+        // keep running after a pause/detach snapshot).
+        let mut rng = self.rng.clone();
+        let estimate = self.estimator.estimate(&self.shard, &mut rng);
+        // Scheduler checkpoints are never bit-exact: slice cadence stops
+        // at different root counts than the sequential target-mode
+        // driver, so they only answer unpinned (statistical) reuse.
+        Some((
+            key,
+            StoredShard::new(&self.shard, self.rng.clone(), estimate, self.seed, false),
+        ))
+    }
+}
+
+/// A job that is already answered: what the reuse planner admits when a
+/// stored shard meets the query's RE target, so an `ASYNC` submission
+/// served from the store flows through the standard poll/wait/results
+/// machinery unchanged. Its first (empty) slice finishes immediately
+/// with the stored estimate.
+#[derive(Debug, Clone)]
+pub struct CompletedQuery {
+    estimate: Estimate,
+}
+
+impl CompletedQuery {
+    /// A job that finishes on its first slice with `estimate`.
+    pub fn new(estimate: Estimate) -> Self {
+        Self { estimate }
+    }
+}
+
+impl SliceableQuery for CompletedQuery {
+    fn name(&self) -> &'static str {
+        "stored"
+    }
+
+    fn run_slice(&mut self, _budget: u64) -> ChunkOutcome {
+        ChunkOutcome::default()
+    }
+
+    fn finished(&mut self) -> bool {
+        true
+    }
+
+    fn estimate(&mut self) -> Estimate {
+        self.estimate
+    }
+
+    fn steps(&self) -> u64 {
+        self.estimate.steps
+    }
+
+    fn n_roots(&self) -> u64 {
+        self.estimate.n_roots
+    }
+
+    fn diagnostics(&self) -> Diagnostics {
+        Diagnostics::none("stored")
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -425,11 +555,33 @@ struct Shared {
     work_cv: Condvar,
     /// [`Scheduler::wait`] callers wait here for terminal transitions.
     done_cv: Condvar,
+    /// Cross-query shard store; completed and paused jobs with a reuse
+    /// key deposit their checkpoints here (see
+    /// [`Scheduler::attach_shard_store`]).
+    store: Mutex<Option<Arc<ShardStore>>>,
 }
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn store(&self) -> Option<Arc<ShardStore>> {
+        self.store
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Best-effort deposit of a job's checkpoint into `store`. Snapshot
+/// panics (e.g. a bootstrap variance on pathological data) are contained
+/// exactly like slice panics: reuse is an optimization and must never
+/// take a query down.
+fn deposit_snapshot(store: &ShardStore, job: &mut Box<dyn SliceableQuery>) {
+    let snap = catch_unwind(AssertUnwindSafe(|| job.reuse_snapshot()));
+    if let Ok(Some((key, entry))) = snap {
+        store.deposit(key, entry);
     }
 }
 
@@ -455,6 +607,7 @@ impl Scheduler {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            store: Mutex::new(None),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -484,6 +637,23 @@ impl Scheduler {
         &self.cfg
     }
 
+    /// Attach a cross-query [`ShardStore`]: from now on, jobs carrying a
+    /// reuse key deposit their checkpoints on completion and on pause,
+    /// and [`Scheduler::detach`] deposits the in-flight checkpoint as a
+    /// warm-start candidate before handing the job out.
+    pub fn attach_shard_store(&self, store: Arc<ShardStore>) {
+        *self
+            .shared
+            .store
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(store);
+    }
+
+    /// The attached shard store, if any.
+    pub fn shard_store(&self) -> Option<Arc<ShardStore>> {
+        self.shared.store()
+    }
+
     /// Admit any [`Estimator`] over an owned model as a query. The job's
     /// RNG is worker-0-canonical for `seed` (see
     /// [`EstimatorQuery::from_seed`]). Lower `priority` runs first.
@@ -503,7 +673,7 @@ impl Scheduler {
         M::State: Send,
         V: ValueFunction<M::State> + Send + 'static,
         E: Estimator<M, V> + Send + 'static,
-        E::Shard: Send + 'static,
+        E::Shard: Send + Clone + 'static,
     {
         self.submit_query(
             Box::new(
@@ -676,10 +846,16 @@ impl Scheduler {
             st.jobs.remove(&id);
             job
         };
+        let mut job = job?;
+        // The in-flight checkpoint becomes a warm-start candidate for
+        // other queries even while the caller holds the job.
+        if let Some(store) = self.shared.store() {
+            deposit_snapshot(&store, &mut job);
+        }
         // Wake any wait()-er blocked on this id: the slot is gone and
         // their next status lookup returns None instead of sleeping on.
         self.shared.done_cv.notify_all();
-        job
+        Some(job)
     }
 
     /// Block until the query reaches a terminal state, returning it.
@@ -789,10 +965,16 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
         // `finished`/`estimate` can be expensive (bootstrap); also keep
         // them outside the lock. They only run when the slice succeeded,
         // so the job state is committed and consistent.
+        let store = shared.store();
         let outcome = match sliced {
             Ok(_) => {
                 let evaluated = catch_unwind(AssertUnwindSafe(|| {
                     if job.finished() {
+                        // Deposit the completed shard before the final
+                        // estimate consumes the job (and its RNG).
+                        if let Some(store) = &store {
+                            deposit_snapshot(store, &mut job);
+                        }
                         Some(job.estimate())
                     } else {
                         None
@@ -805,6 +987,29 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
                 }
             }
             Err(payload) => SliceResult::Panicked(job, panic_message(payload)),
+        };
+
+        // Pause-park deposit: when a pause is pending, the parked job's
+        // checkpoint is a warm-start candidate. Peek the flag without
+        // holding the lock across the (possibly expensive) snapshot;
+        // the race with a just-arriving pause only skips a best-effort
+        // deposit, never loses state.
+        let outcome = match outcome {
+            SliceResult::Progressed(mut job) => {
+                let pause_pending = {
+                    let st = shared.lock();
+                    st.jobs
+                        .get(&id)
+                        .is_some_and(|s| s.pause_requested && !s.cancel_requested)
+                };
+                if pause_pending {
+                    if let Some(store) = &store {
+                        deposit_snapshot(store, &mut job);
+                    }
+                }
+                SliceResult::Progressed(job)
+            }
+            other => other,
         };
 
         // ---- commit the transition -----------------------------------

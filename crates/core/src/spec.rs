@@ -39,6 +39,7 @@ use crate::quality::{QualityTarget, RunControl};
 use crate::query::{Problem, RatioValue, StateScore};
 use crate::rng::rng_from_seed;
 use crate::scheduler::{EstimatorQuery, SliceableQuery};
+use crate::shard_store::{shard_key, ShardKey, StoredShard};
 use crate::smlss::SMlssConfig;
 use crate::srs::SrsEstimator;
 use std::collections::BTreeMap;
@@ -705,7 +706,9 @@ pub fn resolve_method(method: Method, lookup: Option<&PlanLookup>) -> ResolvedMe
 
 /// Box a resolved method as a scheduler job: an [`EstimatorQuery`] over
 /// the concrete estimator, seeded worker-0-canonically and running its
-/// slices at `batch_width` (0 = scalar).
+/// slices at `batch_width` (0 = scalar). With `reuse_fingerprint`, the
+/// job is tagged with its shard-store key so a store-attached scheduler
+/// deposits its checkpoints for cross-query reuse.
 #[allow(clippy::too_many_arguments)]
 pub fn estimator_job<M, Z>(
     model: M,
@@ -716,32 +719,130 @@ pub fn estimator_job<M, Z>(
     control: RunControl,
     seed: u64,
     batch_width: usize,
+    reuse_fingerprint: Option<u64>,
 ) -> Box<dyn SliceableQuery>
 where
     M: SimulationModel + Send + 'static,
     M::State: Send,
     Z: StateScore<M::State> + Copy + Send + Sync + 'static,
 {
+    fn tag<M, V, E>(
+        query: EstimatorQuery<M, V, E>,
+        key: Option<ShardKey>,
+    ) -> Box<dyn SliceableQuery>
+    where
+        M: SimulationModel + Send + 'static,
+        M::State: Send,
+        V: crate::query::ValueFunction<M::State> + Send + 'static,
+        E: crate::estimator::Estimator<M, V> + Send + 'static,
+        E::Shard: Send + Clone + 'static,
+    {
+        match key {
+            Some(key) => Box::new(query.with_reuse_key(key)),
+            None => Box::new(query),
+        }
+    }
+
+    let key = reuse_fingerprint.map(|fp| shard_key(fp, resolved.name(), resolved.plan()));
     let vf = RatioValue::new(score, beta);
     match resolved {
-        ResolvedMethod::Srs => Box::new(
+        ResolvedMethod::Srs => tag(
             EstimatorQuery::from_seed(model, vf, horizon, SrsEstimator, control, seed)
                 .with_batch_width(batch_width),
+            key,
         ),
         ResolvedMethod::SMlss(plan) => {
             let cfg = SMlssConfig::new(plan.clone(), control);
-            Box::new(
+            tag(
                 EstimatorQuery::from_seed(model, vf, horizon, cfg, control, seed)
                     .with_batch_width(batch_width),
+                key,
             )
         }
         ResolvedMethod::GMlss(plan) => {
             let cfg = GMlssConfig::new(plan.clone(), control);
-            Box::new(
+            tag(
                 EstimatorQuery::from_seed(model, vf, horizon, cfg, control, seed)
                     .with_batch_width(batch_width),
+                key,
             )
         }
+    }
+}
+
+/// Box a resolved method as a **warm-started** scheduler job resuming
+/// from a stored checkpoint: the job starts with `entry`'s shard and
+/// RNG position and runs only the marginal work its control still
+/// requires. Falls back to the cold job of [`estimator_job`] when the
+/// stored shard's concrete type does not match `resolved` — unreachable
+/// with a correct [`ShardKey`], but never worth failing a query over.
+/// Returns the job plus whether the warm start actually applied.
+#[allow(clippy::too_many_arguments)]
+pub fn warm_estimator_job<M, Z>(
+    model: M,
+    score: Z,
+    beta: f64,
+    horizon: u64,
+    resolved: &ResolvedMethod,
+    control: RunControl,
+    entry: &StoredShard,
+    seed: u64,
+    batch_width: usize,
+    fingerprint: u64,
+) -> (Box<dyn SliceableQuery>, bool)
+where
+    M: SimulationModel + Send + 'static,
+    M::State: Send,
+    Z: StateScore<M::State> + Copy + Send + Sync + 'static,
+{
+    let key = shard_key(fingerprint, resolved.name(), resolved.plan());
+    let vf = RatioValue::new(score, beta);
+    macro_rules! warm_or_cold {
+        ($estimator:expr, $shard_ty:ty) => {
+            match entry.shard_as::<$shard_ty>() {
+                Some(shard) => (
+                    Box::new(
+                        EstimatorQuery::from_parts(
+                            model,
+                            vf,
+                            horizon,
+                            $estimator,
+                            control,
+                            shard.clone(),
+                            entry.rng.clone(),
+                        )
+                        .with_batch_width(batch_width)
+                        .with_reuse_key(key),
+                    ) as Box<dyn SliceableQuery>,
+                    true,
+                ),
+                None => (
+                    estimator_job(
+                        model,
+                        score,
+                        beta,
+                        horizon,
+                        resolved,
+                        control,
+                        seed,
+                        batch_width,
+                        Some(fingerprint),
+                    ),
+                    false,
+                ),
+            }
+        };
+    }
+    match resolved {
+        ResolvedMethod::Srs => warm_or_cold!(SrsEstimator, crate::srs::SrsShard),
+        ResolvedMethod::SMlss(plan) => warm_or_cold!(
+            SMlssConfig::new(plan.clone(), control),
+            crate::smlss::SMlssShard
+        ),
+        ResolvedMethod::GMlss(plan) => warm_or_cold!(
+            GMlssConfig::new(plan.clone(), control),
+            crate::gmlss::GmlssShard
+        ),
     }
 }
 
@@ -867,6 +968,7 @@ where
             p.control,
             p.seed,
             p.batch_width,
+            Some(p.fingerprint),
         ));
     }
 
@@ -922,6 +1024,12 @@ where
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
+    }
+
+    fn reuse_snapshot(&mut self) -> Option<(ShardKey, StoredShard)> {
+        // Before activation there is nothing to deposit; afterwards the
+        // inner job owns the shard and the reuse key.
+        self.inner.as_deref_mut().and_then(|i| i.reuse_snapshot())
     }
 }
 
@@ -1086,7 +1194,7 @@ mod tests {
             })
         };
         let resolved = resolve_method(Method::GMlss, Some(&lookup));
-        let inline = estimator_job(Walk, sf, 1.0, 80, &resolved, control, seed, 0);
+        let inline = estimator_job(Walk, sf, 1.0, 80, &resolved, control, seed, 0, None);
 
         // Deferred: plan derivation is the first slice.
         let plans_b = Arc::new(PlanCache::new());

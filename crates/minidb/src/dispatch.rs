@@ -21,9 +21,11 @@ use crate::proc::{results_schema, ModelRegistry, PlanContext, ProcEstimate};
 use crate::sql::exec::ExecResult;
 use crate::value::Value;
 use mlss_core::plan_cache::PlanCache;
+use mlss_core::planner::plan_reuse;
 use mlss_core::prelude::SimRng;
 use mlss_core::rng::StreamFactory;
 use mlss_core::scheduler::{QueryId, Scheduler};
+use mlss_core::shard_store::{shard_key, ShardStore};
 use mlss_core::spec::{ExecMode, QuerySpec};
 use rand::RngExt;
 use std::sync::Arc;
@@ -50,17 +52,25 @@ pub enum SpecOutcome {
         /// (plan derivation scheduled as the query's first slice), or
         /// `"none"` (SRS).
         plan_source: &'static str,
+        /// Shard-store provenance at submit time: `"stored"` (answered
+        /// from the store, the query completed instantly), `"warm"`
+        /// (the job resumes a stored checkpoint), `"cold"` (store
+        /// consulted, no usable entry), or `"none"` (no store).
+        shard_reuse: &'static str,
     },
 }
 
 /// Execute a validated spec through the single dispatch path. `scheduler`
 /// is required for `ASYNC` specs; synchronous specs run on the calling
 /// thread (sequential, batched, or parallel driver per the options) and
-/// record their `results` row before returning.
+/// record their `results` row before returning. `store` enables the
+/// cross-query reuse planner (serve-from-store / warm-start / cold with
+/// checkpoint deposit).
 pub fn execute_spec(
     db: &Database,
     models: &ModelRegistry,
     plans: &Arc<PlanCache>,
+    store: Option<&Arc<ShardStore>>,
     scheduler: Option<&Scheduler>,
     spec: &QuerySpec,
     rng: &mut SimRng,
@@ -73,6 +83,7 @@ pub fn execute_spec(
             let ctx = PlanContext {
                 cache: Arc::clone(plans),
                 fingerprint: fp,
+                store: store.map(Arc::clone),
             };
             // A pinned seed runs on the worker-0-canonical stream, so a
             // sync `WITH (seed=…)` run in budget mode is bit-identical
@@ -103,12 +114,14 @@ pub fn execute_spec(
             let ctx = PlanContext {
                 cache: Arc::clone(plans),
                 fingerprint: fp,
+                store: store.map(Arc::clone),
             };
-            let (id, plan_source) = runner.submit(scheduler, spec, seed, &ctx)?;
+            let out = runner.submit(scheduler, spec, seed, &ctx)?;
             Ok(SpecOutcome::Submitted {
-                id,
+                id: out.id,
                 seed,
-                plan_source,
+                plan_source: out.plan_source,
+                shard_reuse: out.shard_reuse,
             })
         }
     }
@@ -137,6 +150,7 @@ pub(crate) fn record_estimate_row(
             Value::Int(est.n_roots as i64),
             Value::Int(millis),
             est.plan_source.into(),
+            est.shard_reuse.into(),
         ],
     )?;
     Ok(())
@@ -151,6 +165,7 @@ pub fn explain_spec(
     db: &Database,
     models: &ModelRegistry,
     plans: &Arc<PlanCache>,
+    store: Option<&Arc<ShardStore>>,
     scheduler: Option<&Scheduler>,
     spec: &QuerySpec,
     rng: &mut SimRng,
@@ -160,6 +175,7 @@ pub fn explain_spec(
     let ctx = PlanContext {
         cache: Arc::clone(plans),
         fingerprint: fp,
+        store: store.map(Arc::clone),
     };
     let mut pinned;
     let rng = match spec.options.seed {
@@ -217,6 +233,18 @@ pub fn explain_spec(
         }
     }
     push("plan_cache", res.plan_source.to_string());
+    // The reuse planner's verdict, previewed against the live store:
+    // what the statement would do if executed now.
+    push(
+        "reuse",
+        match store {
+            None => "off".into(),
+            Some(s) => {
+                let key = shard_key(fp, res.resolved.name(), res.resolved.plan());
+                plan_reuse(s, &key, spec.target_re, spec.options.seed).describe(fp)
+            }
+        },
+    );
     push(
         "plan_pilot",
         match (res.plan_source, asynchronous) {

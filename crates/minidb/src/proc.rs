@@ -29,19 +29,23 @@ use crate::engine::{Database, DbError};
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Aggregate;
 use crate::value::{DataType, Value};
-use mlss_core::estimator::{run_sequential, run_sequential_batched, Estimator};
+use mlss_core::estimator::{run_sequential_batched_from, run_sequential_from, Estimator};
 use mlss_core::model::SimulationModel;
-use mlss_core::parallel::{run_parallel, ParallelConfig};
+use mlss_core::parallel::{run_parallel, run_parallel_from, ParallelConfig};
 use mlss_core::partition::balanced_plan;
 use mlss_core::plan_cache::{fingerprint, PlanCache, PlanLookup};
+use mlss_core::planner::{plan_reuse, ReusePlan};
 use mlss_core::prelude::{
     GMlssConfig, Problem, RatioValue, SMlssConfig, SimRng, SrsEstimator, StateScore,
 };
+use mlss_core::quality::RunControl;
 use mlss_core::rng::split_rng;
-use mlss_core::scheduler::{QueryId, Scheduler};
+use mlss_core::scheduler::{CompletedQuery, QueryId, Scheduler, SliceableQuery};
+use mlss_core::shard_store::{shard_key, ShardStore, StoredShard};
 use mlss_core::spec::{
-    estimator_job, resolve_method, target_control, DeferredPlanQuery, ModelSchema, ParamSpec,
-    QuerySpec, ResolvedMethod, SpecError, SpecErrorKind, BALANCED_PLAN_KEY, PILOT_PATHS,
+    estimator_job, resolve_method, target_control, warm_estimator_job, DeferredPlanQuery,
+    ModelSchema, ParamSpec, QuerySpec, ResolvedMethod, SpecError, SpecErrorKind, BALANCED_PLAN_KEY,
+    PILOT_PATHS,
 };
 use mlss_models::{
     ar_value_score, last_station_score, position_score, price_score, queue2_score, surplus_score,
@@ -100,19 +104,24 @@ impl ProcRegistry {
     /// Registry preloaded with the built-in procedures, sharing `plans`
     /// with the caller (the session layer surfaces its counters).
     pub fn with_builtins_cached(plans: Arc<PlanCache>) -> Self {
-        Self::with_builtins_shared(plans, Arc::new(ModelRegistry::with_builtins()))
+        Self::with_builtins_shared(plans, Arc::new(ModelRegistry::with_builtins()), None)
     }
 
-    /// Registry preloaded with the built-in procedures, sharing both the
-    /// plan cache and the model registry with the caller — the session
-    /// layer passes its own registry so the catalog statements validate
-    /// against and the catalog the procedures dispatch through are one
-    /// object.
-    pub fn with_builtins_shared(plans: Arc<PlanCache>, models: Arc<ModelRegistry>) -> Self {
+    /// Registry preloaded with the built-in procedures, sharing the plan
+    /// cache, the model registry, and (optionally) the cross-query shard
+    /// store with the caller — the session layer passes its own objects
+    /// so every front end validates against one catalog and reuses one
+    /// store.
+    pub fn with_builtins_shared(
+        plans: Arc<PlanCache>,
+        models: Arc<ModelRegistry>,
+        store: Option<Arc<ShardStore>>,
+    ) -> Self {
         let mut r = Self::new();
         r.register(Box::new(MlssEstimate {
             models: Arc::clone(&models),
             plans,
+            store,
         }));
         r.register(Box::new(MaterializePaths { models }));
         r
@@ -190,6 +199,7 @@ pub fn results_schema() -> Schema {
         ColumnDef::new("n_roots", DataType::Int),
         ColumnDef::new("millis", DataType::Int),
         ColumnDef::new("plan_cache", DataType::Text),
+        ColumnDef::new("shard_reuse", DataType::Text),
     ])
     .expect("static schema")
 }
@@ -294,15 +304,37 @@ pub struct ProcEstimate {
     /// cache effectiveness is observable per query, not just in the
     /// aggregate counters.
     pub plan_source: &'static str,
+    /// How the query used the cross-query shard store: `"cold"` (store
+    /// consulted, no usable entry), `"warm"` (resumed from a stored
+    /// shard, paying only the marginal roots), `"stored"` (answered from
+    /// the store without simulating), or `"none"` (no store attached).
+    /// Recorded in the `results` row, mirroring `plan_cache`.
+    pub shard_reuse: &'static str,
 }
 
 /// Everything a runner needs to find (or derive) its partition plan: the
-/// session plan cache plus the query fingerprint keying it.
+/// session plan cache plus the query fingerprint keying it — and, when
+/// the session serves one, the cross-query shard store the reuse planner
+/// consults.
 pub struct PlanContext {
     /// The session's memoized plans (shared with deferred-pilot jobs).
     pub cache: Arc<PlanCache>,
     /// Fingerprint of (model name, effective parameters, β, horizon).
     pub fingerprint: u64,
+    /// The session's shard store (`None` disables cross-query reuse —
+    /// every query runs cold and deposits nothing).
+    pub store: Option<Arc<ShardStore>>,
+}
+
+/// Outcome of an asynchronous submission: the scheduler handle plus the
+/// provenance tags the eventual `results` row records.
+pub struct SubmitOutcome {
+    /// Scheduler query id (poll/wait/cancel handle).
+    pub id: QueryId,
+    /// Plan-cache provenance (`"hit"`/`"miss"`/`"none"`).
+    pub plan_source: &'static str,
+    /// Shard-store provenance (`"cold"`/`"warm"`/`"stored"`/`"none"`).
+    pub shard_reuse: &'static str,
 }
 
 /// The resolved execution plan of a spec — what `EXPLAIN ESTIMATE`
@@ -336,15 +368,18 @@ pub trait ModelRunner: Send + Sync {
     /// synchronously, consuming the runner (the scheduler job takes
     /// ownership of the model). On a plan-cache miss the pilot is **not**
     /// run here — plan derivation is scheduled as the query's first
-    /// slice. Returns the scheduler's query id plus the plan provenance
-    /// tag (`"hit"`/`"miss"`/`"none"`) for the eventual `results` row.
+    /// slice. When the plan context carries a shard store, the reuse
+    /// planner routes the submission: a stored entry meeting the target
+    /// completes immediately, a looser one warm-starts the job. Returns
+    /// the scheduler's query id plus the provenance tags for the
+    /// eventual `results` row.
     fn submit(
         self: Box<Self>,
         scheduler: &Scheduler,
         spec: &QuerySpec,
         seed: u64,
         plans: &PlanContext,
-    ) -> Result<(QueryId, &'static str), DbError>;
+    ) -> Result<SubmitOutcome, DbError>;
 
     /// Resolve the spec's execution plan without running the estimator:
     /// the `auto` rule, the level plan (derived through the cache — the
@@ -384,39 +419,123 @@ where
     Z: StateScore<M::State> + Copy + Send + Sync,
 {
     /// Drive any estimator through the sequential, batched-sequential,
-    /// or parallel spine per the spec's execution options.
-    fn drive<E>(
+    /// or parallel spine per the spec's execution options, consulting
+    /// the shard store first: a stored entry that already meets the
+    /// target is served outright, a looser one warm-starts the run, and
+    /// sequential runs deposit their final shard (plus its
+    /// chunk-boundary RNG) back for the next query over the same key.
+    fn drive_reused<E>(
         &self,
         est: &E,
         spec: &QuerySpec,
-        problem: Problem<'_, M, RatioValue<Z>>,
+        plans: &PlanContext,
+        resolved: &ResolvedMethod,
         rng: &mut SimRng,
     ) -> ProcEstimate
     where
         E: Estimator<M, RatioValue<Z>> + Sync,
-        E::Shard: Send,
+        E::Shard: Send + Clone + 'static,
     {
         let control = target_control(spec.target_re);
         let width = spec.options.batch_width.unwrap_or(0);
-        let e = if spec.options.threads > 1 {
+        let vf = RatioValue::new(self.score, spec.beta);
+        let problem = Problem::new(&self.model, &vf, spec.horizon);
+
+        let store = plans.store.as_deref();
+        let key = store.map(|_| shard_key(plans.fingerprint, resolved.name(), resolved.plan()));
+        let plan = match (store, &key) {
+            (Some(s), Some(k)) => plan_reuse(s, k, spec.target_re, spec.options.seed),
+            _ => ReusePlan::Cold,
+        };
+
+        // Serve-from-store: the stored shard already meets the target.
+        if let ReusePlan::Stored { entry } = &plan {
+            let e = entry.estimate;
+            return ProcEstimate {
+                tau: e.tau,
+                variance: e.variance,
+                steps: e.steps,
+                n_roots: e.n_roots,
+                plan_source: "none",
+                shard_reuse: "stored",
+            };
+        }
+
+        // Warm-start: continue from the stored checkpoint. Sequential
+        // drivers replay the exact stream a longer cold run would have
+        // used (bit-identical under a pinned seed); the parallel driver
+        // reuses the merged shard under fresh worker streams.
+        let warm = match &plan {
+            ReusePlan::Warm { entry, .. } => entry
+                .shard_as::<E::Shard>()
+                .map(|s| (s.clone(), entry.rng.clone())),
+            _ => None,
+        };
+        let shard_reuse: &'static str = if warm.is_some() {
+            "warm"
+        } else if store.is_some() {
+            "cold"
+        } else {
+            "none"
+        };
+
+        if spec.options.threads > 1 {
             let cfg = ParallelConfig {
                 threads: spec.options.threads,
                 seed: rng.random::<u64>(),
                 batch_width: width,
                 ..Default::default()
             };
-            run_parallel(problem, est, control, &cfg).estimate
-        } else if width == 0 {
-            run_sequential(est, problem, control, rng).estimate
-        } else {
-            run_sequential_batched(est, problem, control, rng, width).estimate
+            let e = match warm {
+                Some((shard, _)) => run_parallel_from(problem, est, control, &cfg, shard).estimate,
+                None => run_parallel(problem, est, control, &cfg).estimate,
+            };
+            return ProcEstimate {
+                tau: e.tau,
+                variance: e.variance,
+                steps: e.steps,
+                n_roots: e.n_roots,
+                plan_source: "none",
+                shard_reuse,
+            };
+        }
+
+        let (initial, mut warm_rng) = match warm {
+            Some((shard, warm_rng)) => (shard, Some(warm_rng)),
+            None => (est.shard(), None),
         };
+        let rng: &mut SimRng = match warm_rng.as_mut() {
+            Some(r) => r,
+            None => rng,
+        };
+        let run = if width == 0 {
+            run_sequential_from(est, problem, control, rng, initial)
+        } else {
+            run_sequential_batched_from(est, problem, control, rng, initial, width)
+        };
+        if let (Some(s), Some(k)) = (store, key) {
+            // The resume RNG sits at the final chunk boundary, so the
+            // deposit is the exact state a longer run would continue
+            // from — bit-exact for same-seed warm starts.
+            s.deposit(
+                k,
+                StoredShard::new(
+                    &run.shard,
+                    run.resume_rng,
+                    run.estimate,
+                    spec.options.seed,
+                    true,
+                ),
+            );
+        }
+        let e = run.estimate;
         ProcEstimate {
             tau: e.tau,
             variance: e.variance,
             steps: e.steps,
             n_roots: e.n_roots,
             plan_source: "none",
+            shard_reuse,
         }
     }
 
@@ -456,18 +575,17 @@ where
         rng: &mut SimRng,
     ) -> Result<ProcEstimate, DbError> {
         let resolution = self.resolve_plan(spec, plans, rng)?;
-        let vf = RatioValue::new(self.score, spec.beta);
-        let problem = Problem::new(&self.model, &vf, spec.horizon);
         let control = target_control(spec.target_re);
-        let mut est = match &resolution.resolved {
-            ResolvedMethod::Srs => self.drive(&SrsEstimator, spec, problem, rng),
+        let resolved = &resolution.resolved;
+        let mut est = match resolved {
+            ResolvedMethod::Srs => self.drive_reused(&SrsEstimator, spec, plans, resolved, rng),
             ResolvedMethod::SMlss(plan) => {
                 let cfg = SMlssConfig::new(plan.clone(), control);
-                self.drive(&cfg, spec, problem, rng)
+                self.drive_reused(&cfg, spec, plans, resolved, rng)
             }
             ResolvedMethod::GMlss(plan) => {
                 let cfg = GMlssConfig::new(plan.clone(), control);
-                self.drive(&cfg, spec, problem, rng)
+                self.drive_reused(&cfg, spec, plans, resolved, rng)
             }
         };
         est.plan_source = resolution.plan_source;
@@ -480,7 +598,82 @@ where
         spec: &QuerySpec,
         seed: u64,
         plans: &PlanContext,
-    ) -> Result<(QueryId, &'static str), DbError> {
+    ) -> Result<SubmitOutcome, DbError> {
+        /// Route one resolved method through the reuse planner: a
+        /// stored entry meeting the target becomes an
+        /// instantly-finished [`CompletedQuery`], a looser one
+        /// warm-starts the estimator job, and a miss (or storeless
+        /// session) runs cold — tagged for checkpoint deposit whenever
+        /// a store is attached.
+        #[allow(clippy::too_many_arguments)]
+        fn route<M, Z>(
+            model: M,
+            score: Z,
+            spec: &QuerySpec,
+            resolved: &ResolvedMethod,
+            control: RunControl,
+            seed: u64,
+            width: usize,
+            store: Option<&ShardStore>,
+            fp: u64,
+        ) -> (Box<dyn SliceableQuery>, &'static str)
+        where
+            M: SimulationModel + Send + 'static,
+            M::State: Send,
+            Z: StateScore<M::State> + Copy + Send + Sync + 'static,
+        {
+            let Some(store) = store else {
+                let job = estimator_job(
+                    model,
+                    score,
+                    spec.beta,
+                    spec.horizon,
+                    resolved,
+                    control,
+                    seed,
+                    width,
+                    None,
+                );
+                return (job, "none");
+            };
+            let key = shard_key(fp, resolved.name(), resolved.plan());
+            match plan_reuse(store, &key, spec.target_re, spec.options.seed) {
+                ReusePlan::Stored { entry } => (
+                    Box::new(CompletedQuery::new(entry.estimate)) as Box<dyn SliceableQuery>,
+                    "stored",
+                ),
+                ReusePlan::Warm { entry, .. } => {
+                    let (job, warmed) = warm_estimator_job(
+                        model,
+                        score,
+                        spec.beta,
+                        spec.horizon,
+                        resolved,
+                        control,
+                        &entry,
+                        seed,
+                        width,
+                        fp,
+                    );
+                    (job, if warmed { "warm" } else { "cold" })
+                }
+                ReusePlan::Cold => {
+                    let job = estimator_job(
+                        model,
+                        score,
+                        spec.beta,
+                        spec.horizon,
+                        resolved,
+                        control,
+                        seed,
+                        width,
+                        Some(fp),
+                    );
+                    (job, "cold")
+                }
+            }
+        }
+
         let control = target_control(spec.target_re);
         // Per-query batch width: the spec's, falling back to the pool's.
         let width = spec
@@ -488,19 +681,26 @@ where
             .batch_width
             .unwrap_or(scheduler.config().batch_width);
         let priority = spec.options.priority;
+        let store = plans.store.as_deref();
+        let fp = plans.fingerprint;
         let Runner { model, score } = *self;
         if !spec.method.needs_plan() {
-            let job = estimator_job(
+            let (job, shard_reuse) = route(
                 model,
                 score,
-                spec.beta,
-                spec.horizon,
+                spec,
                 &ResolvedMethod::Srs,
                 control,
                 seed,
                 width,
+                store,
+                fp,
             );
-            return Ok((scheduler.submit_query(job, priority), "none"));
+            return Ok(SubmitOutcome {
+                id: scheduler.submit_query(job, priority),
+                plan_source: "none",
+                shard_reuse,
+            });
         }
         // Warm plan: dispatch the concrete estimator immediately. Cold
         // plan: admit a deferred job whose *first slice* derives the
@@ -508,21 +708,18 @@ where
         // submit never blocks the caller on the pilot.
         match plans
             .cache
-            .lookup_traced(plans.fingerprint, BALANCED_PLAN_KEY, spec.levels)
+            .lookup_traced(fp, BALANCED_PLAN_KEY, spec.levels)
         {
             Some(lookup) => {
                 let resolved = resolve_method(spec.method, Some(&lookup));
-                let job = estimator_job(
-                    model,
-                    score,
-                    spec.beta,
-                    spec.horizon,
-                    &resolved,
-                    control,
-                    seed,
-                    width,
+                let (job, shard_reuse) = route(
+                    model, score, spec, &resolved, control, seed, width, store, fp,
                 );
-                Ok((scheduler.submit_query(job, priority), "hit"))
+                Ok(SubmitOutcome {
+                    id: scheduler.submit_query(job, priority),
+                    plan_source: "hit",
+                    shard_reuse,
+                })
             }
             None => {
                 let job = Box::new(DeferredPlanQuery::new(
@@ -536,9 +733,13 @@ where
                     seed,
                     width,
                     Arc::clone(&plans.cache),
-                    plans.fingerprint,
+                    fp,
                 ));
-                Ok((scheduler.submit_query(job, priority), "miss"))
+                Ok(SubmitOutcome {
+                    id: scheduler.submit_query(job, priority),
+                    plan_source: "miss",
+                    shard_reuse: if store.is_some() { "cold" } else { "none" },
+                })
             }
         }
     }
@@ -925,6 +1126,7 @@ impl ModelRegistry {
 struct MlssEstimate {
     models: Arc<ModelRegistry>,
     plans: Arc<PlanCache>,
+    store: Option<Arc<ShardStore>>,
 }
 
 impl StoredProcedure for MlssEstimate {
@@ -962,7 +1164,15 @@ impl StoredProcedure for MlssEstimate {
         if !(spec.target_re.is_finite() && spec.target_re > 0.0) {
             return Err(DbError::Proc("target_re must be positive".into()));
         }
-        match crate::dispatch::execute_spec(db, &self.models, &self.plans, None, &spec, rng)? {
+        match crate::dispatch::execute_spec(
+            db,
+            &self.models,
+            &self.plans,
+            self.store.as_ref(),
+            None,
+            &spec,
+            rng,
+        )? {
             crate::dispatch::SpecOutcome::Estimated { tau, .. } => Ok(Value::Float(tau)),
             crate::dispatch::SpecOutcome::Submitted { .. } => {
                 unreachable!("sync spec cannot submit")
@@ -1357,14 +1567,22 @@ mod tests {
             )
             .unwrap();
         }
-        let sources: Vec<String> = db
+        let rows: Vec<(String, String)> = db
             .with_table("results", |t| {
                 t.scan()
-                    .map(|row| row.last().unwrap().as_str().unwrap().to_string())
+                    .map(|row| {
+                        (
+                            row[9].as_str().unwrap().to_string(),
+                            row[10].as_str().unwrap().to_string(),
+                        )
+                    })
                     .collect()
             })
             .unwrap();
+        let sources: Vec<&str> = rows.iter().map(|(p, _)| p.as_str()).collect();
         assert_eq!(sources, vec!["none", "miss", "hit"]);
+        // No store attached to the bare proc registry: every row says so.
+        assert!(rows.iter().all(|(_, r)| r == "none"), "{rows:?}");
     }
 
     #[test]
@@ -1464,14 +1682,14 @@ mod tests {
         spec.params.insert("up".into(), 0.9);
         spec.params.insert("down".into(), 0.05);
         let mut rng = rng_from_seed(50);
-        let out =
-            crate::dispatch::execute_spec(&db, &models, &plans, None, &spec, &mut rng).unwrap();
+        let out = crate::dispatch::execute_spec(&db, &models, &plans, None, None, &spec, &mut rng)
+            .unwrap();
         let crate::dispatch::SpecOutcome::Estimated { tau: hot, .. } = out else {
             panic!("sync spec");
         };
         let base = QuerySpec::new("walk", 5.0, 50, 0.3).with_method(Method::Srs);
-        let out =
-            crate::dispatch::execute_spec(&db, &models, &plans, None, &base, &mut rng).unwrap();
+        let out = crate::dispatch::execute_spec(&db, &models, &plans, None, None, &base, &mut rng)
+            .unwrap();
         let crate::dispatch::SpecOutcome::Estimated { tau: cold, .. } = out else {
             panic!("sync spec");
         };

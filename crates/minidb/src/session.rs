@@ -61,6 +61,7 @@ use mlss_core::plan_cache::PlanCache;
 use mlss_core::prelude::SimRng;
 use mlss_core::rng::{rng_from_seed, split_rng};
 use mlss_core::scheduler::{QueryId, QueryStatus, Scheduler, SchedulerConfig};
+use mlss_core::shard_store::ShardStore;
 use mlss_core::spec::{ExecMode, QuerySpec};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -85,6 +86,10 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Seed the `models` parameter table with the built-in defaults.
     pub seed_models: bool,
+    /// Capacity of the cross-query shard store (entries; LRU-evicted
+    /// beyond it). `0` disables cross-query reuse entirely: every query
+    /// runs cold and deposits nothing.
+    pub shard_store_capacity: usize,
 }
 
 impl Default for SessionConfig {
@@ -98,6 +103,7 @@ impl Default for SessionConfig {
             batch_width: 0,
             seed: 0,
             seed_models: true,
+            shard_store_capacity: 64,
         }
     }
 }
@@ -114,13 +120,22 @@ struct SubmitMeta {
     /// first slice), surfaced in the query's `results` row on the first
     /// successful poll.
     plan_source: &'static str,
+    /// Shard-store provenance (`"cold"`/`"warm"`/`"stored"`/`"none"`)
+    /// captured at submit time, surfaced alongside `plan_source`.
+    shard_reuse: &'static str,
     submitted: Instant,
     recorded: bool,
 }
 
 type MetaMap = Mutex<BTreeMap<QueryId, SubmitMeta>>;
 
-fn record_submit_meta(meta: &MetaMap, id: QueryId, spec: &QuerySpec, plan_source: &'static str) {
+fn record_submit_meta(
+    meta: &MetaMap,
+    id: QueryId,
+    spec: &QuerySpec,
+    plan_source: &'static str,
+    shard_reuse: &'static str,
+) {
     meta.lock().unwrap_or_else(PoisonError::into_inner).insert(
         id,
         SubmitMeta {
@@ -129,6 +144,7 @@ fn record_submit_meta(meta: &MetaMap, id: QueryId, spec: &QuerySpec, plan_source
             beta: spec.beta,
             horizon: spec.horizon as i64,
             plan_source,
+            shard_reuse,
             submitted: Instant::now(),
             recorded: false,
         },
@@ -142,6 +158,7 @@ pub struct Session {
     db: Arc<Database>,
     scheduler: Arc<Scheduler>,
     plans: Arc<PlanCache>,
+    store: Option<Arc<ShardStore>>,
     models: Arc<ModelRegistry>,
     registry: ProcRegistry,
     meta: Arc<MetaMap>,
@@ -168,12 +185,23 @@ impl Session {
             max_retries: cfg.max_retries,
             batch_width: cfg.batch_width,
         }));
+        let store = (cfg.shard_store_capacity > 0)
+            .then(|| Arc::new(ShardStore::new(cfg.shard_store_capacity)));
+        if let Some(store) = &store {
+            // Completed and paused scheduler jobs deposit their shards
+            // here; future submits over the same key reuse them.
+            scheduler.attach_shard_store(Arc::clone(store));
+        }
         let meta: Arc<MetaMap> = Arc::new(Mutex::new(BTreeMap::new()));
-        let mut registry =
-            ProcRegistry::with_builtins_shared(Arc::clone(&plans), Arc::clone(&models));
+        let mut registry = ProcRegistry::with_builtins_shared(
+            Arc::clone(&plans),
+            Arc::clone(&models),
+            store.clone(),
+        );
         registry.register(Box::new(MlssSubmit {
             scheduler: Arc::clone(&scheduler),
             plans: Arc::clone(&plans),
+            store: store.clone(),
             meta: Arc::clone(&meta),
             models: Arc::clone(&models),
         }));
@@ -188,6 +216,7 @@ impl Session {
             db,
             scheduler,
             plans,
+            store,
             models,
             registry,
             meta,
@@ -208,6 +237,12 @@ impl Session {
     /// The session's plan cache.
     pub fn plan_cache(&self) -> &PlanCache {
         &self.plans
+    }
+
+    /// The session's cross-query shard store (`None` when disabled via
+    /// [`SessionConfig::shard_store_capacity`] = 0).
+    pub fn shard_store(&self) -> Option<&ShardStore> {
+        self.store.as_deref()
     }
 
     /// The session's model registry (parameter schemas, `SHOW MODELS`).
@@ -249,12 +284,33 @@ impl Session {
         let stmt = parse_dialect(sql, Some(&schemas)).map_err(DbError::from)?;
         match stmt {
             DialectStatement::ShowModels => Ok(show_models(&self.models)),
+            DialectStatement::ShowDiagnostics => {
+                let rows = self
+                    .diagnostics()
+                    .into_iter()
+                    .flat_map(|d| {
+                        let component = d.estimator.to_string();
+                        d.details.into_iter().map(move |(counter, value)| {
+                            vec![
+                                Value::Text(component.clone()),
+                                Value::Text(counter),
+                                Value::Float(value),
+                            ]
+                        })
+                    })
+                    .collect();
+                Ok(ExecResult::Rows {
+                    columns: vec!["component".into(), "counter".into(), "value".into()],
+                    rows,
+                })
+            }
             DialectStatement::ExplainEstimate(spec) => {
                 let mut rng = self.child_rng();
                 let rows = explain_spec(
                     &self.db,
                     &self.models,
                     &self.plans,
+                    self.store.as_ref(),
                     Some(&self.scheduler),
                     &spec,
                     &mut rng,
@@ -273,6 +329,7 @@ impl Session {
                     &self.db,
                     &self.models,
                     &self.plans,
+                    self.store.as_ref(),
                     Some(&self.scheduler),
                     &spec,
                     &mut rng,
@@ -287,6 +344,7 @@ impl Session {
                             "n_roots".into(),
                             "millis".into(),
                             "plan_cache".into(),
+                            "shard_reuse".into(),
                         ],
                         rows: vec![vec![
                             Value::Text(spec.model.clone()),
@@ -297,12 +355,16 @@ impl Session {
                             Value::Int(est.n_roots as i64),
                             Value::Int(millis),
                             Value::Text(est.plan_source.to_string()),
+                            Value::Text(est.shard_reuse.to_string()),
                         ]],
                     }),
                     SpecOutcome::Submitted {
-                        id, plan_source, ..
+                        id,
+                        plan_source,
+                        shard_reuse,
+                        ..
                     } => {
-                        record_submit_meta(&self.meta, id, &spec, plan_source);
+                        record_submit_meta(&self.meta, id, &spec, plan_source, shard_reuse);
                         Ok(ExecResult::Rows {
                             columns: vec!["query_id".into()],
                             rows: vec![vec![Value::Int(id as i64)]],
@@ -359,9 +421,16 @@ impl Session {
         self.scheduler.cancel(id)
     }
 
-    /// Plan-cache and scheduler-pool health counters.
+    /// Plan-cache, shard-store, and scheduler-pool health counters —
+    /// one shared hit/miss/evict counter shape for both caches (the
+    /// rows behind `SHOW DIAGNOSTICS`).
     pub fn diagnostics(&self) -> Vec<Diagnostics> {
-        vec![self.plans.diagnostics(), self.scheduler.pool_diagnostics()]
+        let mut diags = vec![self.plans.diagnostics()];
+        if let Some(store) = &self.store {
+            diags.push(store.diagnostics());
+        }
+        diags.push(self.scheduler.pool_diagnostics());
+        diags
     }
 
     /// Evict terminal queries from the scheduler and drop their recorded
@@ -432,6 +501,7 @@ fn record_result(
             Value::Int(est.n_roots as i64),
             Value::Int(millis.as_millis() as i64),
             m.plan_source.into(),
+            m.shard_reuse.into(),
         ],
     )?;
     m.recorded = true;
@@ -443,6 +513,7 @@ fn record_result(
 struct MlssSubmit {
     scheduler: Arc<Scheduler>,
     plans: Arc<PlanCache>,
+    store: Option<Arc<ShardStore>>,
     meta: Arc<MetaMap>,
     models: Arc<ModelRegistry>,
 }
@@ -487,14 +558,18 @@ impl StoredProcedure for MlssSubmit {
             db,
             &self.models,
             &self.plans,
+            self.store.as_ref(),
             Some(&self.scheduler),
             &spec,
             rng,
         )? {
             SpecOutcome::Submitted {
-                id, plan_source, ..
+                id,
+                plan_source,
+                shard_reuse,
+                ..
             } => {
-                record_submit_meta(&self.meta, id, &spec, plan_source);
+                record_submit_meta(&self.meta, id, &spec, plan_source, shard_reuse);
                 Ok(Value::Int(id as i64))
             }
             SpecOutcome::Estimated { .. } => unreachable!("async spec cannot estimate inline"),
@@ -636,15 +711,26 @@ mod tests {
         s.wait(b).unwrap().unwrap();
         let c = s.submit("walk", "srs", 6.0, 50, 0.5, 0).unwrap();
         s.wait(c).unwrap().unwrap();
-        let sources: Vec<String> = s
+        let rows: Vec<(String, String)> = s
             .db()
             .with_table("results", |t| {
                 t.scan()
-                    .map(|row| row.last().unwrap().as_str().unwrap().to_string())
+                    .map(|row| {
+                        (
+                            row[9].as_str().unwrap().to_string(),
+                            row[10].as_str().unwrap().to_string(),
+                        )
+                    })
                     .collect()
             })
             .unwrap();
+        let sources: Vec<&str> = rows.iter().map(|(p, _)| p.as_str()).collect();
         assert_eq!(sources, vec!["miss", "hit", "none"]);
+        // Shard-store provenance rides alongside: the first gmlss run is
+        // cold, the identical repeat is served from the store, and the
+        // walk query's key has no entry yet.
+        let reuse: Vec<&str> = rows.iter().map(|(_, r)| r.as_str()).collect();
+        assert_eq!(reuse, vec!["cold", "stored", "cold"]);
     }
 
     #[test]
@@ -666,7 +752,7 @@ mod tests {
             .db()
             .with_table("results", |t| {
                 t.scan()
-                    .map(|row| row.last().unwrap().as_str().unwrap().to_string())
+                    .map(|row| row[9].as_str().unwrap().to_string())
                     .collect()
             })
             .unwrap();

@@ -5,7 +5,8 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! statement   := ESTIMATE estimate | EXPLAIN ESTIMATE estimate | SHOW MODELS
+//! statement   := ESTIMATE estimate | EXPLAIN ESTIMATE estimate
+//!              | SHOW MODELS | SHOW DIAGNOSTICS
 //! estimate    := DURABILITY OF model_ref WITHIN integer
 //!                [USING method_ref] TARGET RE number ['%']
 //!                [WITH '(' options ')'] [ASYNC | SYNC] [';']
@@ -39,6 +40,9 @@ pub enum DialectStatement {
     ExplainEstimate(QuerySpec),
     /// `SHOW MODELS` — the model catalog with per-parameter schemas.
     ShowModels,
+    /// `SHOW DIAGNOSTICS` — plan-cache, shard-store, and scheduler-pool
+    /// counters as `(component, counter, value)` rows.
+    ShowDiagnostics,
 }
 
 /// Does this statement text start with a dialect keyword (`ESTIMATE`,
@@ -309,6 +313,9 @@ impl DialectParser<'_> {
 
     fn statement(&mut self) -> Result<DialectStatement, SpecError> {
         if self.eat_kw_opt("SHOW") {
+            if self.eat_kw_opt("DIAGNOSTICS") {
+                return Ok(DialectStatement::ShowDiagnostics);
+            }
             self.eat_kw("MODELS")?;
             return Ok(DialectStatement::ShowModels);
         }
@@ -635,6 +642,14 @@ mod tests {
         ));
         assert_eq!(parse("SHOW MODELS").unwrap(), DialectStatement::ShowModels);
         assert_eq!(parse("show models;").unwrap(), DialectStatement::ShowModels);
+        assert_eq!(
+            parse("SHOW DIAGNOSTICS").unwrap(),
+            DialectStatement::ShowDiagnostics
+        );
+        assert_eq!(
+            parse("show diagnostics;").unwrap(),
+            DialectStatement::ShowDiagnostics
+        );
     }
 
     #[test]

@@ -381,6 +381,71 @@ fn scheduler_batched_slices_match_sequential_and_survive_detach() {
 }
 
 #[test]
+fn budget_boundary_clamps_the_final_cohort_width() {
+    // Satellite: when the remaining budget pays for fewer roots than the
+    // configured width, the batched sequential driver narrows the cohort
+    // instead of launching a full frontier of doomed speculation. The
+    // StepCounter meters all launched work (committed + discarded); the
+    // clamp must cut the discarded share without perturbing the
+    // committed shard — results stay bit-identical across widths.
+    let budget = 2_000u64;
+    let width = 64usize;
+    let counted = StepCounter::new(CompoundPoisson::zero_drift_default());
+    let v = cpp_vf(40.0);
+    let problem = Problem::new(&counted, &v, 80);
+
+    // Unclamped baseline: a raw chunk at width 64 launches the full
+    // cohort even though the budget pays for ~25 roots of horizon 80.
+    let mut raw =
+        <SrsEstimator as Estimator<StepCounter<CompoundPoisson>, CppVf>>::shard(&SrsEstimator);
+    SrsEstimator.run_chunk_batched(problem, &mut raw, budget, &mut rng_from_seed(7), width);
+    let raw_speculation = counted.steps() - raw.steps();
+
+    // The driver clamps the launch width to ⌈budget / per_root⌉.
+    counted.reset();
+    let driven = run_sequential_batched(
+        &SrsEstimator,
+        problem,
+        RunControl::budget(budget),
+        &mut rng_from_seed(7),
+        width,
+    );
+    let driven_speculation = counted.steps() - driven.shard.steps();
+
+    assert_eq!(
+        driven.shard.steps(),
+        raw.steps(),
+        "clamp must not change committed work"
+    );
+    assert!(
+        driven_speculation < raw_speculation,
+        "clamped cohort must speculate less: {driven_speculation} vs {raw_speculation}"
+    );
+
+    // And the clamped run stays bit-identical to the width-1 run.
+    let model = CompoundPoisson::zero_drift_default();
+    let plain = Problem::new(&model, &v, 80);
+    let narrow = run_sequential_batched(
+        &SrsEstimator,
+        plain,
+        RunControl::budget(budget),
+        &mut rng_from_seed(7),
+        1,
+    );
+    let wide = run_sequential_batched(
+        &SrsEstimator,
+        plain,
+        RunControl::budget(budget),
+        &mut rng_from_seed(7),
+        width,
+    );
+    assert_eq!(narrow.estimate.steps, wide.estimate.steps);
+    assert_eq!(narrow.estimate.n_roots, wide.estimate.n_roots);
+    assert_eq!(narrow.estimate.hits, wide.estimate.hits);
+    assert_eq!(narrow.estimate.tau.to_bits(), wide.estimate.tau.to_bits());
+}
+
+#[test]
 fn step_counter_meters_batches_exactly() {
     let counted = StepCounter::new(CompoundPoisson::zero_drift_default());
     let mut lanes: Vec<f64> = (0..8).map(|_| counted.initial_state()).collect();

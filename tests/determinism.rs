@@ -67,7 +67,7 @@ fn vf() -> Vf {
 fn check_cross_driver<E>(name: &str, estimator: E, seed: u64, budget: u64)
 where
     E: Estimator<Walk, Vf> + Clone + Send + Sync + 'static,
-    E::Shard: Send + 'static,
+    E::Shard: Send + Clone + 'static,
 {
     let model = Walk { up: 0.48 };
     let v = vf();
