@@ -136,7 +136,9 @@ pub mod prelude {
     };
     pub use crate::partition::{balanced_plan, evaluate_plan, GreedyConfig, GreedyPartition};
     pub use crate::plan_cache::{fingerprint, CacheCounters, CachedPlan, Fingerprint, PlanCache};
-    pub use crate::planner::{plan_reuse, required_roots, ReusePlan};
+    pub use crate::planner::{
+        peek_reuse, plan_reuse, required_roots, ReuseDecision, ReusePlan, MIN_REUSE_ROOTS,
+    };
     pub use crate::quality::{QualityTarget, RunControl};
     pub use crate::query::{Problem, RatioValue, StateScore, ValueFunction};
     pub use crate::ranking::{rank_by_durability, Candidate, RaceConfig, RaceOutcome};
@@ -145,7 +147,9 @@ pub mod prelude {
         CompletedQuery, EstimatorQuery, QueryId, QueryProgress, QueryStatus, Scheduler,
         SchedulerConfig, SchedulerStats, SliceableQuery,
     };
-    pub use crate::shard_store::{shard_key, ShardKey, ShardSnapshot, ShardStore, StoredShard};
+    pub use crate::shard_store::{
+        shard_key, ShardKey, ShardSnapshot, ShardStore, StoredMeta, StoredShard,
+    };
     pub use crate::smlss::{SMlssConfig, SMlssResult, SMlssSampler, SMlssShard};
     pub use crate::spec::{
         ExecMode, ExecOptions, Method, ModelSchema, ParamSpec, ParamType, QuerySpec,

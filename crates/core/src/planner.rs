@@ -28,15 +28,110 @@
 //! `EXPLAIN ESTIMATE` as `est_marginal_roots` so an operator can see
 //! what the planner believed.
 //!
-//! Correctness never depends on the choice: cold and warm draw from the
-//! same distribution (warm with a pinned seed is *bit-identical* to the
-//! longer cold run, see [`crate::shard_store`]), and stored only serves
-//! estimates that already met the target.
+//! ## Admission: what counts as a usable entry
+//!
+//! An entry is only costable — and only *trustworthy* — once it carries
+//! real statistical weight. The planner requires at least
+//! [`MIN_REUSE_ROOTS`] roots and a strictly positive variance before
+//! admitting a stored or warm plan. Without the guard, a degenerate
+//! checkpoint (e.g. an early scheduler pause whose few roots all hit,
+//! so the SRS variance τ̂(1−τ̂)/n is exactly 0 and the self-RE is 0)
+//! would satisfy every target forever — and since served queries never
+//! simulate, nothing would ever improve it. Degenerate entries fall
+//! back to cold, whose deposit then replaces them.
+//!
+//! ## Pinned seeds: the store-on/store-off guarantee
+//!
+//! A pinned-seed statement must be **bit-identical with or without a
+//! store** (see `docs/planner.md`). Two rules enforce that, both on top
+//! of [`ShardStore::lookup`]'s same-seed/bit-exact filter:
+//!
+//! * **Target discipline** — the query's target must be at least as
+//!   tight as the entry's producing target
+//!   ([`StoredShard::target_re`]). Every quality check before the
+//!   stored checkpoint had RE above the producing target, hence above
+//!   any equal-or-tighter query target too, so the checkpoint is a
+//!   bit-exact prefix of the cold run the query would otherwise do. A
+//!   *looser* query, by contrast, may stop at an earlier check than the
+//!   checkpoint — serving or resuming stored state would change its
+//!   bits, so it plans cold.
+//! * **Replayable path only** — reuse is offered only to execution
+//!   paths that replay the sequential target-mode cadence (the
+//!   synchronous single-threaded driver). The parallel driver merges a
+//!   stored shard a storeless session would never hold, and scheduler
+//!   slices check quality at slice (not check-cadence) boundaries; a
+//!   pinned query on either path plans cold without consulting the
+//!   store. Unpinned queries reuse on every path — pooling independent
+//!   samples is statistically sound regardless of cadence.
+//!
+//! Correctness therefore never depends on the choice: cold and warm
+//! draw from the same distribution (warm with a pinned seed is
+//! *bit-identical* to the longer cold run, see [`crate::shard_store`]),
+//! and stored only serves estimates that already met the target.
 
-use crate::shard_store::{ShardKey, ShardStore, StoredShard};
+use crate::shard_store::{ShardKey, ShardStore, StoredMeta, StoredShard};
+
+/// Minimum root count a stored entry needs before the planner will
+/// serve or warm-start from it. Entries below the floor (or with
+/// non-positive variance) are degenerate: too little data to cost, and
+/// possibly a zero self-RE that would satisfy every target. The floor
+/// is deliberately well under the driver's check cadence
+/// ([`crate::spec::TARGET_CHECK_EVERY`]): target-mode chunks are sized
+/// in *steps* (≈ `check_every` roots' worth at the observed cost per
+/// root), so a legitimate target-stopped MLSS run — whose roots cost
+/// many steps each — can finish with far fewer roots than the cadence
+/// and must still be admissible.
+pub const MIN_REUSE_ROOTS: u64 = 64;
 
 /// The reuse decision for one query (see the module docs for the cost
-/// model).
+/// model) — the entry-free form, cheap to produce without touching the
+/// store's counters or LRU order, which is what `EXPLAIN` previews via
+/// [`peek_reuse`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReuseDecision {
+    /// No usable stored shard: simulate from scratch.
+    Cold,
+    /// Resume from the stored shard and simulate the marginal roots.
+    Warm {
+        /// The relative error the stored shard achieved.
+        stored_re: f64,
+        /// Estimated additional roots to reach the target.
+        est_marginal_roots: u64,
+    },
+    /// The stored shard already meets the target: serve its estimate.
+    Stored,
+}
+
+impl ReuseDecision {
+    /// Provenance tag (`"cold"`, `"warm"`, `"stored"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReuseDecision::Cold => "cold",
+            ReuseDecision::Warm { .. } => "warm",
+            ReuseDecision::Stored => "stored",
+        }
+    }
+
+    /// Rendering for `EXPLAIN ESTIMATE`'s `reuse` row:
+    /// `cold | warm(fingerprint=…, stored_re=…, est_marginal_roots=…) |
+    /// stored`.
+    pub fn describe(&self, fingerprint: u64) -> String {
+        match self {
+            ReuseDecision::Cold => "cold".to_string(),
+            ReuseDecision::Warm {
+                stored_re,
+                est_marginal_roots,
+            } => format!(
+                "warm(fingerprint={fingerprint:#018x}, stored_re={stored_re:.6}, \
+                 est_marginal_roots={est_marginal_roots})"
+            ),
+            ReuseDecision::Stored => "stored".to_string(),
+        }
+    }
+}
+
+/// The reuse plan for one query: the decision plus the stored entry the
+/// executing driver needs to act on it.
 #[derive(Debug, Clone)]
 pub enum ReusePlan {
     /// No usable stored shard: simulate from scratch.
@@ -58,32 +153,32 @@ pub enum ReusePlan {
 }
 
 impl ReusePlan {
-    /// Provenance tag for `results` rows (`"cold"`, `"warm"`,
-    /// `"stored"`).
-    pub fn tag(&self) -> &'static str {
+    /// The entry-free decision this plan embodies.
+    pub fn decision(&self) -> ReuseDecision {
         match self {
-            ReusePlan::Cold => "cold",
-            ReusePlan::Warm { .. } => "warm",
-            ReusePlan::Stored { .. } => "stored",
-        }
-    }
-
-    /// Rendering for `EXPLAIN ESTIMATE`'s `reuse` row:
-    /// `cold | warm(fingerprint=…, stored_re=…, est_marginal_roots=…) |
-    /// stored`.
-    pub fn describe(&self, fingerprint: u64) -> String {
-        match self {
-            ReusePlan::Cold => "cold".to_string(),
+            ReusePlan::Cold => ReuseDecision::Cold,
             ReusePlan::Warm {
                 stored_re,
                 est_marginal_roots,
                 ..
-            } => format!(
-                "warm(fingerprint={fingerprint:#018x}, stored_re={stored_re:.6}, \
-                 est_marginal_roots={est_marginal_roots})"
-            ),
-            ReusePlan::Stored { .. } => "stored".to_string(),
+            } => ReuseDecision::Warm {
+                stored_re: *stored_re,
+                est_marginal_roots: *est_marginal_roots,
+            },
+            ReusePlan::Stored { .. } => ReuseDecision::Stored,
         }
+    }
+
+    /// Provenance tag for `results` rows (`"cold"`, `"warm"`,
+    /// `"stored"`).
+    pub fn tag(&self) -> &'static str {
+        self.decision().tag()
+    }
+
+    /// Rendering for `EXPLAIN ESTIMATE`'s `reuse` row (see
+    /// [`ReuseDecision::describe`]).
+    pub fn describe(&self, fingerprint: u64) -> String {
+        self.decision().describe(fingerprint)
     }
 }
 
@@ -103,34 +198,92 @@ pub fn required_roots(n_stored: u64, stored_re: f64, target_re: f64) -> u64 {
     }
 }
 
+/// The shared decision core: classify a seed-compatible entry against
+/// the query's target. `pinned` applies the target-discipline rule (see
+/// the module docs); callers are responsible for seed compatibility
+/// ([`StoredMeta::answers`]) and the replayable-path rule.
+// The negated comparisons are load-bearing: `!(x > 0.0)` and
+// `!(a <= b)` must reject NaN operands (unknown producing target,
+// uncostable variance), which the un-negated flips would silently admit.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn decide(meta: &StoredMeta, target_re: f64, pinned: bool) -> ReuseDecision {
+    // Admission guard: degenerate entries (too few roots, or a zero
+    // variance whose self-RE of 0 would satisfy every target) are not
+    // costable and fall back to cold.
+    if meta.n_roots < MIN_REUSE_ROOTS || !(meta.variance > 0.0) || !meta.stored_re.is_finite() {
+        return ReuseDecision::Cold;
+    }
+    // Target discipline for pinned seeds: only an equal-or-tighter
+    // query sees this checkpoint as a bit-exact prefix of its own cold
+    // run. The negated form also rejects entries with an unknown (NaN)
+    // producing target.
+    if pinned && !(target_re <= meta.target_re) {
+        return ReuseDecision::Cold;
+    }
+    if meta.stored_re <= target_re {
+        return ReuseDecision::Stored;
+    }
+    let required = required_roots(meta.n_roots, meta.stored_re, target_re);
+    ReuseDecision::Warm {
+        stored_re: meta.stored_re,
+        est_marginal_roots: required.saturating_sub(meta.n_roots),
+    }
+}
+
 /// Consult the store and pick the cheapest plan for a query over `key`
 /// targeting `target_re`. `pinned_seed` is the query's explicit seed, if
 /// any — it restricts which entries may answer (see
-/// [`ShardStore::lookup`]). A stored shard with no finite RE (τ̂ = 0, or
-/// too few roots) is not costable and falls back to cold.
+/// [`ShardStore::lookup`] and the module docs). `replayable` says
+/// whether the executing driver replays the sequential target-mode
+/// cadence bit-exactly (the synchronous single-threaded path): a pinned
+/// query on a non-replayable driver (parallel, scheduler) plans cold
+/// without consulting the store at all, preserving store-on/store-off
+/// bit-identity. Counts a store hit or miss when the store is consulted.
 pub fn plan_reuse(
     store: &ShardStore,
     key: &ShardKey,
     target_re: f64,
     pinned_seed: Option<u64>,
+    replayable: bool,
 ) -> ReusePlan {
+    if pinned_seed.is_some() && !replayable {
+        return ReusePlan::Cold;
+    }
     let Some(entry) = store.lookup(key, pinned_seed) else {
         return ReusePlan::Cold;
     };
-    let stored_re = entry.achieved_re();
-    let n_stored = entry.estimate.n_roots;
-    if !stored_re.is_finite() || n_stored == 0 {
-        return ReusePlan::Cold;
+    match decide(&entry.meta(), target_re, pinned_seed.is_some()) {
+        ReuseDecision::Cold => ReusePlan::Cold,
+        ReuseDecision::Stored => ReusePlan::Stored { entry },
+        ReuseDecision::Warm {
+            stored_re,
+            est_marginal_roots,
+        } => ReusePlan::Warm {
+            entry,
+            stored_re,
+            est_marginal_roots,
+        },
     }
-    if stored_re <= target_re {
-        return ReusePlan::Stored { entry };
+}
+
+/// The non-mutating twin of [`plan_reuse`]: the identical decision,
+/// produced from [`ShardStore::peek_meta`] — no hit/miss counters, no
+/// LRU touch, no shard clone. This is what `EXPLAIN ESTIMATE` previews
+/// with, so explaining a statement never perturbs `SHOW DIAGNOSTICS`
+/// or the store's eviction order.
+pub fn peek_reuse(
+    store: &ShardStore,
+    key: &ShardKey,
+    target_re: f64,
+    pinned_seed: Option<u64>,
+    replayable: bool,
+) -> ReuseDecision {
+    if pinned_seed.is_some() && !replayable {
+        return ReuseDecision::Cold;
     }
-    let required = required_roots(n_stored, stored_re, target_re);
-    let est_marginal_roots = required.saturating_sub(n_stored);
-    ReusePlan::Warm {
-        entry,
-        stored_re,
-        est_marginal_roots,
+    match store.peek_meta(key) {
+        Some(meta) if meta.answers(pinned_seed) => decide(&meta, target_re, pinned_seed.is_some()),
+        _ => ReuseDecision::Cold,
     }
 }
 
@@ -142,7 +295,15 @@ mod tests {
     use crate::shard_store::shard_key;
     use crate::srs::SrsShard;
 
-    fn deposit(store: &ShardStore, fp: u64, n: u64, tau: f64, re: f64) {
+    fn deposit_full(
+        store: &ShardStore,
+        fp: u64,
+        n: u64,
+        tau: f64,
+        re: f64,
+        producer_target: f64,
+        seed: Option<u64>,
+    ) {
         let shard = SrsShard {
             n,
             hits: (tau * n as f64) as u64,
@@ -163,16 +324,21 @@ mod tests {
                     steps: n,
                     hits: shard.hits,
                 },
-                None,
+                seed,
+                producer_target,
                 true,
             ),
         );
     }
 
+    fn deposit(store: &ShardStore, fp: u64, n: u64, tau: f64, re: f64) {
+        deposit_full(store, fp, n, tau, re, re, None);
+    }
+
     #[test]
     fn miss_plans_cold() {
         let store = ShardStore::new(4);
-        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None);
+        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None, true);
         assert!(matches!(plan, ReusePlan::Cold));
         assert_eq!(plan.tag(), "cold");
         assert_eq!(plan.describe(1), "cold");
@@ -182,7 +348,7 @@ mod tests {
     fn met_target_plans_stored() {
         let store = ShardStore::new(4);
         deposit(&store, 1, 10_000, 0.5, 0.01);
-        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.02, None);
+        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.02, None, true);
         assert!(matches!(plan, ReusePlan::Stored { .. }));
         assert_eq!(plan.tag(), "stored");
     }
@@ -191,7 +357,7 @@ mod tests {
     fn tighter_target_plans_warm_with_quadratic_marginal() {
         let store = ShardStore::new(4);
         deposit(&store, 1, 10_000, 0.5, 0.02);
-        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None);
+        let plan = plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None, true);
         let ReusePlan::Warm {
             stored_re,
             est_marginal_roots,
@@ -218,7 +384,29 @@ mod tests {
         let store = ShardStore::new(4);
         deposit(&store, 1, 10_000, 0.0, 0.02); // τ̂ = 0 ⇒ RE not finite
         assert!(matches!(
-            plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None),
+            plan_reuse(&store, &shard_key(1, "srs", None), 0.01, None, true),
+            ReusePlan::Cold
+        ));
+    }
+
+    #[test]
+    fn degenerate_entries_fall_back_to_cold() {
+        // Fewer roots than the admission floor: an early scheduler
+        // pause's deposit must not answer anything.
+        let store = ShardStore::new(4);
+        deposit(&store, 1, MIN_REUSE_ROOTS - 1, 0.5, 0.02);
+        assert!(matches!(
+            plan_reuse(&store, &shard_key(1, "srs", None), 0.05, None, true),
+            ReusePlan::Cold
+        ));
+
+        // τ̂ = 1 ⇒ SRS variance τ̂(1−τ̂)/n = 0 ⇒ self-RE = 0, which would
+        // satisfy every target forever; the zero-variance guard rejects
+        // it instead.
+        let store = ShardStore::new(4);
+        deposit(&store, 1, 10_000, 1.0, 0.0);
+        assert!(matches!(
+            plan_reuse(&store, &shard_key(1, "srs", None), 0.05, None, true),
             ReusePlan::Cold
         ));
     }
@@ -228,9 +416,84 @@ mod tests {
         let store = ShardStore::new(4);
         deposit(&store, 1, 10_000, 0.5, 0.02);
         assert!(matches!(
-            plan_reuse(&store, &shard_key(2, "srs", None), 0.01, None),
+            plan_reuse(&store, &shard_key(2, "srs", None), 0.01, None, true),
             ReusePlan::Cold
         ));
+    }
+
+    #[test]
+    fn pinned_repeat_at_same_target_serves_stored() {
+        let store = ShardStore::new(4);
+        deposit_full(&store, 1, 10_000, 0.5, 0.009, 0.01, Some(7));
+        let key = shard_key(1, "srs", None);
+        assert!(matches!(
+            plan_reuse(&store, &key, 0.01, Some(7), true),
+            ReusePlan::Stored { .. }
+        ));
+        // Tighter-but-met ("lucky") pinned repeat is also a bit-exact
+        // prefix: the first check meeting 0.0095 is the first check
+        // meeting 0.01, i.e. exactly the stored checkpoint.
+        assert!(matches!(
+            plan_reuse(&store, &key, 0.0095, Some(7), true),
+            ReusePlan::Stored { .. }
+        ));
+    }
+
+    #[test]
+    fn pinned_looser_target_falls_back_to_cold() {
+        // Stored entry produced at target 1%; a same-seed query at 2%
+        // would — storeless — stop at an *earlier* quality check, so
+        // serving the stored estimate would change its bits: cold.
+        let store = ShardStore::new(4);
+        deposit_full(&store, 1, 10_000, 0.5, 0.009, 0.01, Some(7));
+        let key = shard_key(1, "srs", None);
+        assert!(matches!(
+            plan_reuse(&store, &key, 0.02, Some(7), true),
+            ReusePlan::Cold
+        ));
+        // The same looser query *unpinned* is pure statistical reuse
+        // and still serves from the store.
+        assert!(matches!(
+            plan_reuse(&store, &key, 0.02, None, true),
+            ReusePlan::Stored { .. }
+        ));
+    }
+
+    #[test]
+    fn pinned_reuse_requires_a_replayable_path() {
+        // A pinned query on a parallel/scheduler driver plans cold
+        // without even consulting the store (no counter traffic)…
+        let store = ShardStore::new(4);
+        deposit_full(&store, 1, 10_000, 0.5, 0.02, 0.03, Some(7));
+        let key = shard_key(1, "srs", None);
+        assert!(matches!(
+            plan_reuse(&store, &key, 0.01, Some(7), false),
+            ReusePlan::Cold
+        ));
+        assert_eq!((store.hits(), store.misses()), (0, 0));
+        // …while an unpinned query on the same driver reuses freely.
+        assert!(matches!(
+            plan_reuse(&store, &key, 0.01, None, false),
+            ReusePlan::Warm { .. }
+        ));
+    }
+
+    #[test]
+    fn peek_matches_plan_without_store_traffic() {
+        let store = ShardStore::new(4);
+        deposit(&store, 1, 10_000, 0.5, 0.02);
+        let key = shard_key(1, "srs", None);
+        let peeked = peek_reuse(&store, &key, 0.01, None, true);
+        assert_eq!((store.hits(), store.misses()), (0, 0), "peek is free");
+        let planned = plan_reuse(&store, &key, 0.01, None, true);
+        assert_eq!(peeked, planned.decision());
+        assert_eq!(peeked.describe(9), planned.describe(9));
+        assert_eq!((store.hits(), store.misses()), (1, 0), "plan counts");
+        assert_eq!(
+            peek_reuse(&store, &shard_key(2, "srs", None), 0.01, None, true),
+            ReuseDecision::Cold
+        );
+        assert_eq!((store.hits(), store.misses()), (1, 0));
     }
 
     #[test]

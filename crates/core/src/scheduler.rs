@@ -33,7 +33,7 @@
 use crate::estimate::Estimate;
 use crate::estimator::{ChunkOutcome, Diagnostics, Estimator, Ledger};
 use crate::model::SimulationModel;
-use crate::quality::RunControl;
+use crate::quality::{QualityTarget, RunControl};
 use crate::query::{Problem, ValueFunction};
 use crate::rng::{SimRng, StreamFactory};
 use crate::shard_store::{ShardKey, ShardStore, StoredShard};
@@ -339,10 +339,25 @@ where
         let estimate = self.estimator.estimate(&self.shard, &mut rng);
         // Scheduler checkpoints are never bit-exact: slice cadence stops
         // at different root counts than the sequential target-mode
-        // driver, so they only answer unpinned (statistical) reuse.
+        // driver, so they only answer unpinned (statistical) reuse —
+        // the producing target is recorded anyway where one exists.
+        let target_re = match &self.control {
+            RunControl::Target {
+                target: QualityTarget::RelativeError { target, .. },
+                ..
+            } => *target,
+            _ => f64::NAN,
+        };
         Some((
             key,
-            StoredShard::new(&self.shard, self.rng.clone(), estimate, self.seed, false),
+            StoredShard::new(
+                &self.shard,
+                self.rng.clone(),
+                estimate,
+                self.seed,
+                target_re,
+                false,
+            ),
         ))
     }
 }

@@ -37,6 +37,10 @@
 //! driver, whose check cadence a warm-started continuation replays
 //! exactly. Scheduler deposits are *not* bit-exact (slice boundaries
 //! stop at different root counts) and never answer pinned lookups.
+//! [`crate::planner`] layers a further pinned rule on top of this
+//! filter: the consuming query's target must be at least as tight as
+//! the entry's producing target ([`StoredShard::target_re`]), and only
+//! execution paths that replay the sequential cadence may reuse at all.
 
 use crate::estimate::Estimate;
 use crate::estimator::{Diagnostics, Ledger};
@@ -134,6 +138,13 @@ pub struct StoredShard {
     /// The pinned seed the producing query ran under (`None` when the
     /// seed came from the session stream).
     pub seed: Option<u64>,
+    /// The RE target the producing run stopped against (`NaN` when
+    /// unknown — e.g. a budget-mode scheduler snapshot). Pinned-seed
+    /// reuse requires the consuming query's target to be at least as
+    /// tight as this (see [`crate::planner`]): a storeless cold run at a
+    /// *looser* target stops at an earlier quality check than this
+    /// checkpoint, so serving it would change pinned bits.
+    pub target_re: f64,
     /// Was this deposited by the sequential target-mode driver, whose
     /// quality-check cadence a warm-started continuation replays
     /// bit-exactly? Required for answering pinned-seed lookups.
@@ -147,6 +158,7 @@ impl Clone for StoredShard {
             rng: self.rng.clone(),
             estimate: self.estimate,
             seed: self.seed,
+            target_re: self.target_re,
             bit_exact: self.bit_exact,
         }
     }
@@ -157,18 +169,54 @@ impl std::fmt::Debug for StoredShard {
         f.debug_struct("StoredShard")
             .field("estimate", &self.estimate)
             .field("seed", &self.seed)
+            .field("target_re", &self.target_re)
             .field("bit_exact", &self.bit_exact)
             .finish_non_exhaustive()
     }
 }
 
+/// Cheap, copyable summary of a [`StoredShard`] — everything the reuse
+/// planner's decision depends on, none of the shard payload. Obtainable
+/// without counter traffic or an LRU touch via
+/// [`ShardStore::peek_meta`], which is what makes a non-mutating
+/// `EXPLAIN` preview possible.
+#[derive(Debug, Clone, Copy)]
+pub struct StoredMeta {
+    /// [`Estimate::self_relative_error`] of the stored estimate.
+    pub stored_re: f64,
+    /// Variance of the stored estimate.
+    pub variance: f64,
+    /// Root paths behind the stored estimate.
+    pub n_roots: u64,
+    /// The producing query's pinned seed, if any.
+    pub seed: Option<u64>,
+    /// The producing run's RE target (`NaN` when unknown).
+    pub target_re: f64,
+    /// Sequential target-mode provenance (see [`StoredShard::bit_exact`]).
+    pub bit_exact: bool,
+}
+
+impl StoredMeta {
+    /// May this entry answer a query with the given pinned seed? Pinned
+    /// lookups only match bit-exact entries produced under the same
+    /// seed; unpinned lookups match anything (see the module docs).
+    pub fn answers(&self, pinned_seed: Option<u64>) -> bool {
+        match pinned_seed {
+            None => true,
+            Some(seed) => self.bit_exact && self.seed == Some(seed),
+        }
+    }
+}
+
 impl StoredShard {
-    /// Package a shard checkpoint for deposit.
+    /// Package a shard checkpoint for deposit. `target_re` is the RE
+    /// target the producing run stopped against (`NaN` when unknown).
     pub fn new<S>(
         shard: &S,
         rng: SimRng,
         estimate: Estimate,
         seed: Option<u64>,
+        target_re: f64,
         bit_exact: bool,
     ) -> Self
     where
@@ -179,7 +227,20 @@ impl StoredShard {
             rng,
             estimate,
             seed,
+            target_re,
             bit_exact,
+        }
+    }
+
+    /// The planner-facing summary of this checkpoint.
+    pub fn meta(&self) -> StoredMeta {
+        StoredMeta {
+            stored_re: self.achieved_re(),
+            variance: self.estimate.variance,
+            n_roots: self.estimate.n_roots,
+            seed: self.seed,
+            target_re: self.target_re,
+            bit_exact: self.bit_exact,
         }
     }
 
@@ -255,7 +316,9 @@ impl ShardStore {
     /// Deposit a checkpoint, keeping per key whichever entry has the
     /// most accumulated steps (a longer shard answers strictly more
     /// targets). Evicts the least-recently-used key when over capacity.
-    /// Returns whether the entry was stored.
+    /// Returns whether the incoming entry was stored — `false` when the
+    /// store is disabled (capacity 0) or the entry was discarded for
+    /// holding fewer steps than the resident one.
     pub fn deposit(&self, key: ShardKey, entry: StoredShard) -> bool {
         if self.capacity == 0 {
             return false;
@@ -266,10 +329,11 @@ impl ShardStore {
         if let Some(slot) = inner.map.get_mut(&key) {
             // Replace only with at least as much work; on a tie prefer
             // the newer entry (fresher RNG provenance).
-            if entry.steps() >= slot.entry.steps() {
-                slot.entry = entry;
-                slot.last_used = tick;
+            if entry.steps() < slot.entry.steps() {
+                return false;
             }
+            slot.entry = entry;
+            slot.last_used = tick;
             return true;
         }
         inner.map.insert(
@@ -305,11 +369,7 @@ impl ShardStore {
         let tick = inner.tick;
         let found = match inner.map.get_mut(key) {
             Some(slot) => {
-                let compatible = match pinned_seed {
-                    None => true,
-                    Some(seed) => slot.entry.bit_exact && slot.entry.seed == Some(seed),
-                };
-                if compatible {
+                if slot.entry.meta().answers(pinned_seed) {
                     slot.last_used = tick;
                     Some(slot.entry.clone())
                 } else {
@@ -330,6 +390,15 @@ impl ShardStore {
     /// LRU touch)?
     pub fn contains(&self, key: &ShardKey) -> bool {
         self.lock().map.contains_key(key)
+    }
+
+    /// Non-mutating preview of the entry stored for `key`: no hit/miss
+    /// counters, no LRU touch, no shard clone. This is the read the
+    /// `EXPLAIN` path uses ([`crate::planner::peek_reuse`]), so
+    /// previewing a statement never perturbs `SHOW DIAGNOSTICS` or the
+    /// eviction order.
+    pub fn peek_meta(&self, key: &ShardKey) -> Option<StoredMeta> {
+        self.lock().map.get(key).map(|slot| slot.entry.meta())
     }
 
     /// Lookups answered from the store.
@@ -408,6 +477,7 @@ mod tests {
                 hits: steps / 2,
             },
             seed,
+            0.1,
             bit_exact,
         )
     }
@@ -461,12 +531,35 @@ mod tests {
     #[test]
     fn replace_keeps_the_longer_shard() {
         let store = ShardStore::new(4);
-        store.deposit(key(1), entry(200, None, true));
-        store.deposit(key(1), entry(100, None, true)); // shorter: ignored
+        assert!(store.deposit(key(1), entry(200, None, true)));
+        // Shorter: discarded, and the discard is reported.
+        assert!(!store.deposit(key(1), entry(100, None, true)));
         assert_eq!(store.lookup(&key(1), None).unwrap().steps(), 200);
-        store.deposit(key(1), entry(300, None, true)); // longer: replaces
+        // Longer: replaces.
+        assert!(store.deposit(key(1), entry(300, None, true)));
         assert_eq!(store.lookup(&key(1), None).unwrap().steps(), 300);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn peek_meta_is_non_mutating() {
+        let store = ShardStore::new(2);
+        store.deposit(key(1), entry(100, Some(7), true));
+        store.deposit(key(2), entry(100, None, false));
+        let meta = store.peek_meta(&key(1)).expect("stored");
+        assert_eq!(meta.n_roots, 100);
+        assert_eq!(meta.seed, Some(7));
+        assert!(meta.bit_exact);
+        assert!(meta.answers(Some(7)) && meta.answers(None));
+        assert!(!meta.answers(Some(8)));
+        assert!(store.peek_meta(&key(9)).is_none());
+        // No counter traffic from any of the peeks…
+        assert_eq!((store.hits(), store.misses()), (0, 0));
+        // …and no LRU touch: key 1's peek above must not have saved it
+        // from eviction when key 3 arrives (key 2 was deposited later).
+        store.deposit(key(3), entry(100, None, true));
+        assert!(!store.contains(&key(1)), "peek must not refresh LRU");
+        assert!(store.contains(&key(2)));
     }
 
     #[test]

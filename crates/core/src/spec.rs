@@ -846,6 +846,13 @@ where
     }
 }
 
+/// Quality-check cadence (in root paths) of [`target_control`] — the
+/// stopping rule every estimation entry point shares. Also the floor the
+/// reuse planner requires of a stored checkpoint
+/// ([`crate::planner::MIN_REUSE_ROOTS`]): a target-stopped run always
+/// holds at least one cadence's worth of roots.
+pub const TARGET_CHECK_EVERY: u64 = 256;
+
 /// The stopping rule every estimation entry point uses for a
 /// relative-error target.
 pub fn target_control(target_re: f64) -> RunControl {
@@ -854,7 +861,7 @@ pub fn target_control(target_re: f64) -> RunControl {
             target: target_re,
             reference: None,
         },
-        check_every: 256,
+        check_every: TARGET_CHECK_EVERY,
         max_steps: 2_000_000_000,
     }
 }

@@ -21,7 +21,7 @@ use crate::proc::{results_schema, ModelRegistry, PlanContext, ProcEstimate};
 use crate::sql::exec::ExecResult;
 use crate::value::Value;
 use mlss_core::plan_cache::PlanCache;
-use mlss_core::planner::plan_reuse;
+use mlss_core::planner::peek_reuse;
 use mlss_core::prelude::SimRng;
 use mlss_core::rng::StreamFactory;
 use mlss_core::scheduler::{QueryId, Scheduler};
@@ -233,15 +233,20 @@ pub fn explain_spec(
         }
     }
     push("plan_cache", res.plan_source.to_string());
-    // The reuse planner's verdict, previewed against the live store:
-    // what the statement would do if executed now.
+    // The reuse planner's verdict, previewed against the live store.
+    // `peek_reuse` reads without side effects — no hit/miss counters,
+    // no LRU touch, no shard clone — so EXPLAIN never perturbs SHOW
+    // DIAGNOSTICS or the store's eviction order. The replayability rule
+    // mirrors the execution paths': pinned seeds only reuse on the
+    // synchronous sequential driver.
     push(
         "reuse",
         match store {
             None => "off".into(),
             Some(s) => {
                 let key = shard_key(fp, res.resolved.name(), res.resolved.plan());
-                plan_reuse(s, &key, spec.target_re, spec.options.seed).describe(fp)
+                let replayable = !asynchronous && spec.options.threads <= 1;
+                peek_reuse(s, &key, spec.target_re, spec.options.seed, replayable).describe(fp)
             }
         },
     );

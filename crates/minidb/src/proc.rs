@@ -443,8 +443,15 @@ where
 
         let store = plans.store.as_deref();
         let key = store.map(|_| shard_key(plans.fingerprint, resolved.name(), resolved.plan()));
+        // Only the sequential driver replays the target-mode cadence a
+        // bit-exact checkpoint was cut at, so only it may reuse under a
+        // pinned seed: a pinned parallel run would merge a stored shard
+        // a storeless session never holds, changing its bits. Unpinned
+        // parallel runs still reuse (statistical pooling is cadence-
+        // independent).
+        let replayable = spec.options.threads <= 1;
         let plan = match (store, &key) {
-            (Some(s), Some(k)) => plan_reuse(s, k, spec.target_re, spec.options.seed),
+            (Some(s), Some(k)) => plan_reuse(s, k, spec.target_re, spec.options.seed, replayable),
             _ => ReusePlan::Cold,
         };
 
@@ -524,6 +531,7 @@ where
                     run.resume_rng,
                     run.estimate,
                     spec.options.seed,
+                    spec.target_re,
                     true,
                 ),
             );
@@ -637,7 +645,13 @@ where
                 return (job, "none");
             };
             let key = shard_key(fp, resolved.name(), resolved.plan());
-            match plan_reuse(store, &key, spec.target_re, spec.options.seed) {
+            // Scheduler slices check quality at slice boundaries, not
+            // the sequential driver's check cadence, so an async run is
+            // never a bit-exact replay: a pinned-seed submission plans
+            // cold (replayable = false keeps the planner from even
+            // consulting the store), preserving store-on/store-off
+            // bit-identity. Unpinned submissions reuse freely.
+            match plan_reuse(store, &key, spec.target_re, spec.options.seed, false) {
                 ReusePlan::Stored { entry } => (
                     Box::new(CompletedQuery::new(entry.estimate)) as Box<dyn SliceableQuery>,
                     "stored",

@@ -21,7 +21,12 @@
 //! * LRU eviction under capacity pressure forces later queries cold
 //!   (and shows up in `SHOW DIAGNOSTICS`);
 //! * fingerprint isolation: a parameter change never reuses another
-//!   model's shards.
+//!   model's shards;
+//! * store-on ≡ store-off for every pinned statement: a looser-target
+//!   pinned repeat and a pinned parallel re-run both ignore the store
+//!   and match a storeless session bit-for-bit;
+//! * `EXPLAIN` previews the reuse verdict without counted lookups (no
+//!   hit/miss counter or LRU perturbation).
 
 use durability_mlss::models::{surplus_score, CompoundPoisson};
 use mlss_core::estimator::{run_sequential_batched, run_sequential_batched_from};
@@ -46,7 +51,8 @@ fn target(re: f64) -> RunControl {
             target: re,
             reference: None,
         },
-        check_every: 128,
+        // The serving layer's cadence (spec::TARGET_CHECK_EVERY).
+        check_every: 256,
         max_steps: 50_000_000,
     }
 }
@@ -90,13 +96,14 @@ fn check_warm_equals_cold<M, V, E>(
             first.resume_rng.clone(),
             first.estimate,
             Some(seed),
+            loose,
             true,
         ),
     );
 
     // The planner must choose warm (the stored RE misses the tighter
     // target) with a positive marginal-root estimate.
-    let plan = plan_reuse(&store, &key, tight, Some(seed));
+    let plan = plan_reuse(&store, &key, tight, Some(seed), true);
     let ReusePlan::Warm {
         entry,
         stored_re,
@@ -242,6 +249,15 @@ fn estimate_sql(model: &str, method: Method, re: f64, seed: u64) -> String {
     spec.render()
 }
 
+fn estimate_sql_threads(model: &str, method: Method, re: f64, seed: u64, threads: usize) -> String {
+    let mut spec = QuerySpec::new(model, 3.0, 40, re);
+    spec.method = method;
+    spec.options.seed = Some(seed);
+    spec.options.mode = ExecMode::Sync;
+    spec.options.threads = threads;
+    spec.render()
+}
+
 /// Provenance column of the last `results` row.
 fn last_reuse(s: &Session) -> String {
     let rows = results_rows(s);
@@ -249,6 +265,32 @@ fn last_reuse(s: &Session) -> String {
         Some(Value::Text(t)) => t.clone(),
         other => panic!("shard_reuse column: {other:?}"),
     }
+}
+
+/// Compare the estimate-bearing columns of two `results` rows
+/// bit-for-bit: model, method, beta, horizon, tau, variance, steps,
+/// n_roots (millis, plan_cache, shard_reuse legitimately differ).
+fn assert_rows_bit_identical(x: &[Value], y: &[Value], what: &str) {
+    for c in 0..8 {
+        match (&x[c], &y[c]) {
+            (Value::Float(a), Value::Float(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "{what}: col {c}: {a} != {b}")
+            }
+            (a, b) => assert_eq!(a, b, "{what}: col {c}"),
+        }
+    }
+}
+
+/// One shard-store counter out of `SHOW DIAGNOSTICS`.
+fn shard_store_counter(s: &Session, name: &str) -> f64 {
+    let result = s.execute("SHOW DIAGNOSTICS").unwrap();
+    let mlss_db::ExecResult::Rows { rows, .. } = result else {
+        panic!("SHOW DIAGNOSTICS must return rows");
+    };
+    rows.iter()
+        .find(|r| r[0] == Value::Text("shard_store".into()) && r[1] == Value::Text(name.into()))
+        .and_then(|r| r[2].as_f64())
+        .unwrap_or_else(|| panic!("{name} counter"))
 }
 
 #[test]
@@ -279,17 +321,102 @@ fn tightening_session_rows_match_a_cold_session_bit_for_bit() {
 
         let warm_row = results_rows(&a).pop().unwrap();
         let cold_row = results_rows(&b).pop().unwrap();
-        // Columns: model, method, beta, horizon, tau, variance, steps,
-        // n_roots (millis, plan_source, shard_reuse legitimately differ).
-        for c in 0..8 {
-            match (&warm_row[c], &cold_row[c]) {
-                (Value::Float(x), Value::Float(y)) => {
-                    assert_eq!(x.to_bits(), y.to_bits(), "{method:?}: col {c}: {x} != {y}")
-                }
-                (x, y) => assert_eq!(x, y, "{method:?}: col {c}"),
-            }
-        }
+        assert_rows_bit_identical(&warm_row, &cold_row, &format!("{method:?}"));
     }
+}
+
+#[test]
+fn pinned_looser_repeat_ignores_the_store() {
+    // Session A runs tight then loose under one pinned seed. The loose
+    // statement must NOT be answered from the tight run's checkpoint,
+    // even though the stored RE meets its target: a storeless session's
+    // loose run stops at an earlier quality check (fewer roots), and
+    // pinned bits must not depend on store presence. Session B is that
+    // storeless reference.
+    let seed = 777u64;
+    let a = session(16);
+    a.execute(&estimate_sql("ar", Method::Srs, 0.2, seed))
+        .unwrap();
+    a.execute(&estimate_sql("ar", Method::Srs, 0.5, seed))
+        .unwrap();
+    assert_eq!(last_reuse(&a), "cold", "looser pinned repeat runs cold");
+
+    let b = session(16);
+    b.execute(&estimate_sql("ar", Method::Srs, 0.5, seed))
+        .unwrap();
+
+    assert_rows_bit_identical(
+        &results_rows(&a).pop().unwrap(),
+        &results_rows(&b).pop().unwrap(),
+        "pinned looser repeat",
+    );
+}
+
+#[test]
+fn pinned_parallel_run_ignores_the_store() {
+    // A sequential run deposits a bit-exact checkpoint; re-running the
+    // same pinned statement on the parallel driver must not consume it
+    // (neither served nor warm-started) — the merged result would
+    // include a shard a storeless parallel session never held. The
+    // parallel driver's chunk scheduling is not run-to-run
+    // deterministic, so the observable here is provenance plus store
+    // traffic, not result bits: the pinned parallel statement plans
+    // cold without so much as a counted lookup.
+    let seed = 888u64;
+    let a = session(16);
+    a.execute(&estimate_sql("ar", Method::Srs, 0.3, seed))
+        .unwrap();
+    let hits = shard_store_counter(&a, "shard_store_hits");
+    let misses = shard_store_counter(&a, "shard_store_misses");
+    a.execute(&estimate_sql_threads("ar", Method::Srs, 0.3, seed, 4))
+        .unwrap();
+    assert_eq!(last_reuse(&a), "cold", "pinned parallel never reuses");
+    assert_eq!(
+        shard_store_counter(&a, "shard_store_hits"),
+        hits,
+        "the store was never consulted"
+    );
+    assert_eq!(shard_store_counter(&a, "shard_store_misses"), misses);
+
+    // An *unpinned* parallel run of the same statement pools the stored
+    // sample freely — replayability only gates pinned seeds.
+    let mut spec = QuerySpec::new("ar", 3.0, 40, 0.3);
+    spec.method = Method::Srs;
+    spec.options.mode = ExecMode::Sync;
+    spec.options.threads = 4;
+    a.execute(&spec.render()).unwrap();
+    assert_ne!(last_reuse(&a), "cold", "unpinned parallel reuses");
+}
+
+#[test]
+fn explain_previews_reuse_without_perturbing_the_store() {
+    // EXPLAIN must preview the planner's verdict without counted
+    // lookups: hit/miss counters and the LRU order belong to executed
+    // statements only.
+    let s = session(16);
+    let sql = estimate_sql("ar", Method::Srs, 0.4, 31);
+    s.execute(&sql).unwrap();
+    let hits = shard_store_counter(&s, "shard_store_hits");
+    let misses = shard_store_counter(&s, "shard_store_misses");
+
+    for _ in 0..2 {
+        let result = s.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let mlss_db::ExecResult::Rows { rows, .. } = result else {
+            panic!("EXPLAIN must return rows");
+        };
+        let reuse = rows
+            .iter()
+            .find(|r| r[0] == Value::Text("reuse".into()))
+            .map(|r| r[1].clone())
+            .expect("reuse row");
+        assert_eq!(reuse, Value::Text("stored".into()), "verdict previewed");
+    }
+    assert_eq!(shard_store_counter(&s, "shard_store_hits"), hits);
+    assert_eq!(shard_store_counter(&s, "shard_store_misses"), misses);
+
+    // The preview matches what execution then does.
+    s.execute(&sql).unwrap();
+    assert_eq!(last_reuse(&s), "stored");
 }
 
 #[test]
