@@ -10,10 +10,11 @@
 #   make kernel-bench — scalar-adapter vs native-batch stepping throughput
 #   make reuse-bench — cross-query shard reuse vs store-disabled baseline
 #   make sql-demo   — pipe a demo script through the sql_shell example
+#   make test-durability — crash-recovery suites + the kill -9 shell smoke
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench reuse-bench sql-demo
+.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench reuse-bench sql-demo test-durability
 
 verify: build test
 
@@ -54,7 +55,26 @@ sql-demo:
 	  "SHOW DIAGNOSTICS;" \
 	  | $(CARGO) run --release --example sql_shell
 
-ci: fmt build test clippy test-mt
+# The durability gate (mirrors the CI `durability` job): the WAL
+# corruption suite, the crash-point recovery sweep, write-ahead
+# ordering, and a real kill -9 against the sql_shell — submit an ASYNC
+# query, die mid-run, reopen the log, and demand the recovered row.
+test-durability:
+	$(CARGO) test --release -p mlss-store
+	$(CARGO) test --release --test recovery_identity
+	$(CARGO) test --release --test failure_injection
+	$(CARGO) build --release --example sql_shell
+	rm -rf target/wal-smoke && mkdir -p target/wal-smoke
+	( printf '%s\n' "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING gmlss(levels=3) TARGET RE 15% WITH (seed=4242) ASYNC"; sleep 3 ) \
+	  | MLSS_WAL_DIR=target/wal-smoke ./target/release/examples/sql_shell & \
+	sleep 1; kill -9 $$! 2>/dev/null || true; sleep 1
+	printf '%s\n' "SELECT model, method, tau FROM results" \
+	  | MLSS_WAL_DIR=target/wal-smoke ./target/release/examples/sql_shell \
+	  | tee target/wal-smoke/reopen.txt
+	grep -q "walk | gmlss" target/wal-smoke/reopen.txt
+	rm -rf target/wal-smoke
+
+ci: fmt build test clippy test-mt test-durability
 
 bench:
 	$(CARGO) bench -p mlss-bench

@@ -230,6 +230,41 @@ pub fn bootstrap_percentile_ci(
     (estimates[lo_idx], estimates[hi_idx])
 }
 
+// Durability codec. Checkpoints are taken at slice boundaries, where
+// every simulated root has been committed and `cur` is all zeros, but the
+// scratch record is serialized anyway so a restored ledger is
+// field-for-field identical to the original in all cases.
+impl crate::persist::Persist for RootLedger {
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::persist::put_u64(out, self.m as u64);
+        crate::persist::put_u64(out, self.n_roots as u64);
+        crate::persist::put_u32s(out, &self.data);
+        crate::persist::put_u32s(out, &self.cur);
+    }
+
+    fn restore(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let m = r.u64()? as usize;
+        let n_roots = r.u64()? as usize;
+        let data = r.u32s()?;
+        let cur = r.u32s()?;
+        if m < 1 {
+            return Err(PersistError::Malformed("root ledger levels"));
+        }
+        let stride = 3 * m + 1;
+        if cur.len() != stride || data.len() != n_roots * stride {
+            return Err(PersistError::Malformed("root ledger geometry"));
+        }
+        Ok(Self {
+            m,
+            stride,
+            data,
+            cur,
+            n_roots,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

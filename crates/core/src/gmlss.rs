@@ -298,6 +298,68 @@ impl GmlssShard {
     }
 }
 
+// Durability codec. The check-state fields (`checks`,
+// `cached_variance`) are included: a resumed target-mode run must keep
+// the original bootstrap cadence, or its quality checks — and with them
+// the RNG draw positions — would diverge from an uninterrupted run.
+impl crate::persist::Persist for GmlssShard {
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::persist::put_u64(out, self.m as u64);
+        crate::persist::put_u32(out, self.ratio);
+        crate::persist::put_u8(out, self.track_ledger as u8);
+        self.ledger.persist(out);
+        crate::persist::put_u64s(out, &self.landings);
+        crate::persist::put_u64s(out, &self.crossings);
+        crate::persist::put_u64s(out, &self.skips);
+        crate::persist::put_u64(out, self.skip_events);
+        self.moments.persist(out);
+        crate::persist::put_u64(out, self.n_roots);
+        crate::persist::put_u64(out, self.hits);
+        crate::persist::put_u64(out, self.steps);
+        crate::persist::put_u64(out, self.checks);
+        crate::persist::put_f64(out, self.cached_variance);
+    }
+
+    fn restore(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let m = r.u64()? as usize;
+        let ratio = r.u32()?;
+        let track_ledger = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(PersistError::Malformed("gmlss ledger flag")),
+        };
+        let ledger = RootLedger::restore(r)?;
+        let landings = r.u64s()?;
+        let crossings = r.u64s()?;
+        let skips = r.u64s()?;
+        if m < 1
+            || landings.len() != m
+            || crossings.len() != m
+            || skips.len() != m
+            || ledger.num_levels() != m
+        {
+            return Err(PersistError::Malformed("gmlss shard geometry"));
+        }
+        Ok(Self {
+            m,
+            ratio,
+            track_ledger,
+            ledger,
+            landings,
+            crossings,
+            skips,
+            skip_events: r.u64()?,
+            moments: HitMoments::restore(r)?,
+            n_roots: r.u64()?,
+            hits: r.u64()?,
+            steps: r.u64()?,
+            checks: r.u64()?,
+            cached_variance: r.f64()?,
+        })
+    }
+}
+
 impl Ledger for GmlssShard {
     fn merge(&mut self, other: Self) {
         assert_eq!(self.m, other.m, "shard level counts must match");

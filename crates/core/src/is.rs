@@ -213,6 +213,29 @@ impl IsShard {
     }
 }
 
+// Durability codec. The exact weight sums serialize their Shewchuk
+// partials verbatim, so a restored shard's `value()` — and every later
+// `add`/`merge` — is bit-identical to the original's.
+impl crate::persist::Persist for IsShard {
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::persist::put_u64(out, self.n);
+        self.w.persist(out);
+        self.w2.persist(out);
+        crate::persist::put_u64(out, self.steps);
+        crate::persist::put_u64(out, self.hits);
+    }
+
+    fn restore(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        Ok(Self {
+            n: r.u64()?,
+            w: ExactSum::restore(r)?,
+            w2: ExactSum::restore(r)?,
+            steps: r.u64()?,
+            hits: r.u64()?,
+        })
+    }
+}
+
 impl Ledger for IsShard {
     fn merge(&mut self, other: Self) {
         self.n += other.n;

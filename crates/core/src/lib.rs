@@ -98,6 +98,7 @@ pub mod levels;
 pub mod model;
 pub mod parallel;
 pub mod partition;
+pub mod persist;
 pub mod plan_cache;
 pub mod planner;
 pub mod quality;

@@ -23,7 +23,13 @@ use crate::estimator::Diagnostics;
 use crate::levels::PartitionPlan;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Callback invoked after every freshly built plan is memoized — the
+/// durability layer journals plan entries through this. Seeded entries
+/// ([`PlanCache::seed`], the replay path) are not reported. Runs outside
+/// the cache lock; must not call back into the cache.
+pub type PlanObserver = Arc<dyn Fn(u64, &str, usize, &CachedPlan) + Send + Sync>;
 
 /// Cache key: model fingerprint × method name × requested level count.
 pub type PlanKey = (u64, String, usize);
@@ -136,11 +142,20 @@ enum Entry {
 /// scheduler defer plan derivation to a query's first slice without N
 /// identical cold submissions paying N pilots. If a builder panics, its
 /// in-flight marker is removed and one waiter takes over as the builder.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct PlanCache {
     plans: Mutex<BTreeMap<PlanKey, Entry>>,
     ready_cv: Condvar,
     counters: CacheCounters,
+    observer: Mutex<Option<PlanObserver>>,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("entries", &self.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Removes a `Building` marker if the builder unwinds, so waiters can
@@ -171,6 +186,38 @@ impl PlanCache {
 
     fn lock(&self) -> MutexGuard<'_, BTreeMap<PlanKey, Entry>> {
         self.plans.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Install the [`PlanObserver`] (replacing any previous one).
+    pub fn set_observer(&self, obs: PlanObserver) {
+        *self.observer.lock().unwrap_or_else(PoisonError::into_inner) = Some(obs);
+    }
+
+    fn observer(&self) -> Option<PlanObserver> {
+        self.observer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Insert a ready plan directly — the WAL replay path. Counts
+    /// neither a hit nor a miss and does not notify the observer (the
+    /// entry is already durable). Overwrites any resident entry.
+    pub fn seed(&self, fingerprint: u64, method: &str, levels: usize, cached: CachedPlan) {
+        let key = (fingerprint, method.to_string(), levels);
+        self.lock().insert(key, Entry::Ready(cached));
+        self.ready_cv.notify_all();
+    }
+
+    /// Snapshot every ready entry — the compaction walk.
+    pub fn entries(&self) -> Vec<(PlanKey, CachedPlan)> {
+        self.lock()
+            .iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Ready(cached) => Some((k.clone(), cached.clone())),
+                Entry::Building => None,
+            })
+            .collect()
     }
 
     /// Look up the plan for `(fingerprint, method, levels)`, running
@@ -238,6 +285,9 @@ impl PlanCache {
             plan: plan.clone(),
             tau_hint,
         };
+        if let Some(obs) = self.observer() {
+            obs(key.0, &key.1, key.2, &cached);
+        }
         self.lock().insert(key, Entry::Ready(cached));
         self.ready_cv.notify_all();
         PlanLookup {

@@ -93,6 +93,19 @@ pub trait SliceableQuery: Send + Any {
     fn reuse_snapshot(&mut self) -> Option<(ShardKey, StoredShard)> {
         None
     }
+
+    /// Capture the job's committed `(shard, RNG)` state for a durability
+    /// checkpoint, plus the resolved estimator name a recovering session
+    /// needs to rebuild the job. Unlike [`SliceableQuery::reuse_snapshot`]
+    /// this must be cheap — it runs at the checkpoint cadence on the
+    /// worker's slice path — so implementations return counters-only
+    /// placeholder estimates rather than evaluating one (recovery resumes
+    /// the run; it never serves a checkpoint's estimate). Must not
+    /// disturb committed state (snapshot on clones). Jobs that cannot be
+    /// resumed from serialized state (the default) return `None`.
+    fn checkpoint(&mut self) -> Option<(&'static str, StoredShard)> {
+        None
+    }
 }
 
 /// The standard [`SliceableQuery`]: any [`Estimator`] over an owned model
@@ -360,6 +373,39 @@ where
             ),
         ))
     }
+
+    fn checkpoint(&mut self) -> Option<(&'static str, StoredShard)> {
+        let target_re = match &self.control {
+            RunControl::Target {
+                target: QualityTarget::RelativeError { target, .. },
+                ..
+            } => *target,
+            _ => f64::NAN,
+        };
+        // Counters-only placeholder estimate: evaluating a real one here
+        // could run a bootstrap on every checkpoint, and — decisively —
+        // would consume cloned-RNG draws whose cost shows up nowhere.
+        // Recovery resumes the run from (shard, rng); it never reads
+        // tau/variance out of a checkpoint.
+        let estimate = Estimate {
+            tau: f64::NAN,
+            variance: f64::INFINITY,
+            n_roots: self.shard.n_roots(),
+            steps: self.shard.steps(),
+            hits: 0,
+        };
+        Some((
+            self.estimator.name(),
+            StoredShard::new(
+                &self.shard,
+                self.rng.clone(),
+                estimate,
+                self.seed,
+                target_re,
+                false,
+            ),
+        ))
+    }
 }
 
 /// A job that is already answered: what the reuse planner admits when a
@@ -564,6 +610,45 @@ struct State {
     stats: SchedulerStats,
 }
 
+/// Observer of query lifecycle events for a write-ahead durability
+/// layer. All callbacks run on worker (or caller) threads outside the
+/// scheduler lock and are panic-contained: a hook failure degrades
+/// durability, never liveness or results.
+///
+/// The ordering contract the WAL relies on:
+///
+/// - [`DurabilityHook::slice_committed`] fires after a slice's state is
+///   committed into the job but before the slot transition — the job's
+///   `checkpoint()` at that moment is exactly the state an uninterrupted
+///   run carries into its next slice.
+/// - [`DurabilityHook::finishing`] fires after the final estimate is
+///   computed but **before** the `Done` status becomes observable, so a
+///   result a client can see is always recoverable (write-ahead
+///   ordering). It is deliberately *outside* the retried slice closure:
+///   the final estimate has already consumed committed RNG draws, so a
+///   hook failure must not trigger a re-run.
+/// - [`DurabilityHook::discarded`] fires when a query ends without a
+///   result (cancel, failure, detach) so recovery won't resurrect it.
+pub trait DurabilityHook: Send + Sync {
+    /// A slice of `id` committed without finishing the query; `slices`
+    /// counts committed slices including this one. The hook may call
+    /// [`SliceableQuery::checkpoint`] on `job` (at its own cadence).
+    fn slice_committed(&self, id: QueryId, slices: u64, job: &mut dyn SliceableQuery) {
+        let _ = (id, slices, job);
+    }
+
+    /// `id` computed its final estimate; the `Done` status is published
+    /// only after this returns.
+    fn finishing(&self, id: QueryId, est: &Estimate) {
+        let _ = (id, est);
+    }
+
+    /// `id` ended without a result (cancelled, failed, or detached).
+    fn discarded(&self, id: QueryId) {
+        let _ = id;
+    }
+}
+
 struct Shared {
     state: Mutex<State>,
     /// Workers wait here for ready work.
@@ -574,6 +659,8 @@ struct Shared {
     /// key deposit their checkpoints here (see
     /// [`Scheduler::attach_shard_store`]).
     store: Mutex<Option<Arc<ShardStore>>>,
+    /// Durability observer (see [`Scheduler::attach_durability_hook`]).
+    hook: Mutex<Option<Arc<dyn DurabilityHook>>>,
 }
 
 impl Shared {
@@ -586,6 +673,22 @@ impl Shared {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    fn hook(&self) -> Option<Arc<dyn DurabilityHook>> {
+        self.hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Invoke a hook callback, containing panics (durability is
+    /// best-effort from the scheduler's point of view; the WAL layer has
+    /// its own error accounting).
+    fn with_hook(&self, f: impl FnOnce(&dyn DurabilityHook)) {
+        if let Some(hook) = self.hook() {
+            let _ = catch_unwind(AssertUnwindSafe(|| f(hook.as_ref())));
+        }
     }
 }
 
@@ -623,6 +726,7 @@ impl Scheduler {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             store: Mutex::new(None),
+            hook: Mutex::new(None),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -667,6 +771,18 @@ impl Scheduler {
     /// The attached shard store, if any.
     pub fn shard_store(&self) -> Option<Arc<ShardStore>> {
         self.shared.store()
+    }
+
+    /// Attach a [`DurabilityHook`]: from now on workers report slice
+    /// commits, pre-publication finishes, and discards to it. Attach
+    /// *before* submitting queries that must be journaled — events from
+    /// already-running slices are not replayed retroactively.
+    pub fn attach_durability_hook(&self, hook: Arc<dyn DurabilityHook>) {
+        *self
+            .shared
+            .hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(hook);
     }
 
     /// Admit any [`Estimator`] over an owned model as a query. The job's
@@ -835,9 +951,17 @@ impl Scheduler {
             },
             None => false,
         };
+        let immediate = cancelled
+            && st
+                .jobs
+                .get(&id)
+                .is_some_and(|s| matches!(s.state, SlotState::Cancelled));
         if cancelled {
             st.stats.cancelled += 1;
             drop(st);
+            if immediate {
+                self.shared.with_hook(|h| h.discarded(id));
+            }
             self.shared.done_cv.notify_all();
         }
         cancelled
@@ -867,6 +991,9 @@ impl Scheduler {
         if let Some(store) = self.shared.store() {
             deposit_snapshot(&store, &mut job);
         }
+        // The query left the scheduler without finishing: its durable
+        // in-flight state (submit record, checkpoints) is now stale.
+        self.shared.with_hook(|h| h.discarded(id));
         // Wake any wait()-er blocked on this id: the slot is gone and
         // their next status lookup returns None instead of sleeping on.
         self.shared.done_cv.notify_all();
@@ -1004,6 +1131,16 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
             Err(payload) => SliceResult::Panicked(job, panic_message(payload)),
         };
 
+        // Write-ahead finish: journal the final estimate before the Done
+        // status becomes observable below. Deliberately outside the
+        // retried closure above — the final estimate has consumed
+        // committed RNG draws, so a hook panic here must degrade to "not
+        // journaled" (recovery re-runs the query), never to a re-run of
+        // `estimate()` on the live job.
+        if let SliceResult::Finished(est) = &outcome {
+            shared.with_hook(|h| h.finishing(id, est));
+        }
+
         // Pause-park deposit: when a pause is pending, the parked job's
         // checkpoint is a warm-start candidate. Peek the flag without
         // holding the lock across the (possibly expensive) snapshot;
@@ -1011,17 +1148,22 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
         // deposit, never loses state.
         let outcome = match outcome {
             SliceResult::Progressed(mut job) => {
-                let pause_pending = {
+                let (pause_pending, slices) = {
                     let st = shared.lock();
-                    st.jobs
-                        .get(&id)
-                        .is_some_and(|s| s.pause_requested && !s.cancel_requested)
+                    match st.jobs.get(&id) {
+                        Some(s) => (s.pause_requested && !s.cancel_requested, s.slices + 1),
+                        None => (false, 0),
+                    }
                 };
                 if pause_pending {
                     if let Some(store) = &store {
                         deposit_snapshot(store, &mut job);
                     }
                 }
+                // Durability checkpoint opportunity: the job's committed
+                // state at this instant is exactly what an uninterrupted
+                // run carries into its next slice.
+                shared.with_hook(|h| h.slice_committed(id, slices, job.as_mut()));
                 SliceResult::Progressed(job)
             }
             other => other,
@@ -1030,6 +1172,7 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
         // ---- commit the transition -----------------------------------
         let mut st = shared.lock();
         let mut terminal = false;
+        let mut discarded = false;
         let mut delta = SchedulerStats::default();
         let Some(slot) = st.jobs.get_mut(&id) else {
             continue; // slot vanished (not expected; drop the job)
@@ -1039,6 +1182,7 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
                 slot.slices += 1;
                 if slot.cancel_requested {
                     slot.state = SlotState::Cancelled;
+                    discarded = true;
                 } else {
                     slot.steps = est.steps;
                     slot.n_roots = est.n_roots;
@@ -1056,6 +1200,7 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
                 if slot.cancel_requested {
                     slot.state = SlotState::Cancelled;
                     terminal = true;
+                    discarded = true;
                 } else if slot.pause_requested {
                     slot.pause_requested = false;
                     slot.job = Some(job);
@@ -1071,6 +1216,7 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
                 if slot.cancel_requested {
                     slot.state = SlotState::Cancelled;
                     terminal = true;
+                    discarded = true;
                 } else if slot.retries > max_retries {
                     slot.state = SlotState::Failed(format!(
                         "slice panicked {} time(s), giving up: {msg}",
@@ -1078,6 +1224,7 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
                     ));
                     delta.failed += 1;
                     terminal = true;
+                    discarded = true;
                 } else {
                     // The slice ran on scratch state; the committed shard
                     // and RNG are intact — requeue for another attempt.
@@ -1099,6 +1246,9 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
         st.stats.slices += delta.slices;
         st.stats.panics += delta.panics;
         drop(st);
+        if discarded {
+            shared.with_hook(|h| h.discarded(id));
+        }
         if terminal {
             shared.done_cv.notify_all();
         } else {

@@ -49,7 +49,13 @@ use crate::plan_cache::{CacheCounters, Fingerprint};
 use crate::rng::SimRng;
 use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Callback invoked with every *accepted* deposit — the durability layer
+/// journals deposits through this. Discarded deposits (shorter than the
+/// resident entry, capacity 0) are not reported. The callback runs with
+/// the store lock held and must not call back into the store.
+pub type DepositObserver = Arc<dyn Fn(&ShardKey, &StoredShard) + Send + Sync>;
 
 /// Identity of a reusable shard: model fingerprint × concrete estimator
 /// name × level-plan digest.
@@ -284,6 +290,7 @@ pub struct ShardStore {
     inner: Mutex<Inner>,
     capacity: usize,
     counters: CacheCounters,
+    observer: Mutex<Option<DepositObserver>>,
 }
 
 impl std::fmt::Debug for ShardStore {
@@ -306,11 +313,34 @@ impl ShardStore {
             }),
             capacity,
             counters: CacheCounters::new(),
+            observer: Mutex::new(None),
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Install the [`DepositObserver`] (replacing any previous one).
+    pub fn set_observer(&self, obs: DepositObserver) {
+        *self.observer.lock().unwrap_or_else(PoisonError::into_inner) = Some(obs);
+    }
+
+    fn observer(&self) -> Option<DepositObserver> {
+        self.observer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Snapshot every resident entry (deep-copied under the lock) —
+    /// the compaction walk.
+    pub fn entries(&self) -> Vec<(ShardKey, StoredShard)> {
+        self.lock()
+            .map
+            .iter()
+            .map(|(k, s)| (k.clone(), s.entry.clone()))
+            .collect()
     }
 
     /// Deposit a checkpoint, keeping per key whichever entry has the
@@ -323,6 +353,7 @@ impl ShardStore {
         if self.capacity == 0 {
             return false;
         }
+        let observer = self.observer();
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -332,9 +363,15 @@ impl ShardStore {
             if entry.steps() < slot.entry.steps() {
                 return false;
             }
+            if let Some(obs) = &observer {
+                obs(&key, &entry);
+            }
             slot.entry = entry;
             slot.last_used = tick;
             return true;
+        }
+        if let Some(obs) = &observer {
+            obs(&key, &entry);
         }
         inner.map.insert(
             key,

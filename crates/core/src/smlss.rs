@@ -145,6 +145,39 @@ impl SMlssShard {
     }
 }
 
+// Durability codec: geometry (`m`, `ratio`) plus every counter, so a
+// restored shard merges and estimates exactly like the original.
+impl crate::persist::Persist for SMlssShard {
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::persist::put_u64(out, self.m as u64);
+        crate::persist::put_u32(out, self.ratio);
+        crate::persist::put_u64s(out, &self.level_entries);
+        self.moments.persist(out);
+        crate::persist::put_u64(out, self.n_roots);
+        crate::persist::put_u64(out, self.hits);
+        crate::persist::put_u64(out, self.steps);
+    }
+
+    fn restore(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let m = r.u64()? as usize;
+        let ratio = r.u32()?;
+        let level_entries = r.u64s()?;
+        if level_entries.len() != m {
+            return Err(PersistError::Malformed("smlss level entries"));
+        }
+        Ok(Self {
+            m,
+            ratio,
+            level_entries,
+            moments: HitMoments::restore(r)?,
+            n_roots: r.u64()?,
+            hits: r.u64()?,
+            steps: r.u64()?,
+        })
+    }
+}
+
 impl Ledger for SMlssShard {
     fn merge(&mut self, other: Self) {
         assert_eq!(self.m, other.m, "shard level counts must match");

@@ -1038,6 +1038,12 @@ where
         // inner job owns the shard and the reuse key.
         self.inner.as_deref_mut().and_then(|i| i.reuse_snapshot())
     }
+
+    fn checkpoint(&mut self) -> Option<(&'static str, StoredShard)> {
+        // Pre-activation there is no shard yet; recovery re-derives the
+        // plan from the pinned pilot seed, which is deterministic.
+        self.inner.as_deref_mut().and_then(|i| i.checkpoint())
+    }
 }
 
 #[cfg(test)]

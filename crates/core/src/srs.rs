@@ -59,6 +59,23 @@ impl Ledger for SrsShard {
     }
 }
 
+// Durability codec: three counters.
+impl crate::persist::Persist for SrsShard {
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::persist::put_u64(out, self.n);
+        crate::persist::put_u64(out, self.hits);
+        crate::persist::put_u64(out, self.steps);
+    }
+
+    fn restore(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        Ok(Self {
+            n: r.u64()?,
+            hits: r.u64()?,
+            steps: r.u64()?,
+        })
+    }
+}
+
 /// Frontier kernel for SRS: one segment per root, retired on the first
 /// query-satisfying state or at the horizon — the batched form of
 /// [`simulate_root`].

@@ -339,6 +339,41 @@ pub fn z_critical(confidence: f64) -> f64 {
     normal_quantile(1.0 - (1.0 - confidence) / 2.0)
 }
 
+// ---- durability codecs --------------------------------------------------
+//
+// The moment accumulators are part of every checkpointable shard, so they
+// must round-trip exactly: `HitMoments` is three integers; `ExactSum`
+// serializes its non-overlapping partials verbatim (the partials list *is*
+// the exact value, and `add`/`value` are deterministic functions of it).
+
+impl crate::persist::Persist for HitMoments {
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::persist::put_u64(out, self.n);
+        crate::persist::put_u128(out, self.sum);
+        crate::persist::put_u128(out, self.sum_sq);
+    }
+
+    fn restore(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        Ok(Self {
+            n: r.u64()?,
+            sum: r.u128()?,
+            sum_sq: r.u128()?,
+        })
+    }
+}
+
+impl crate::persist::Persist for ExactSum {
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::persist::put_f64s(out, &self.partials);
+    }
+
+    fn restore(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        Ok(Self {
+            partials: r.f64s()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,7 @@
 //! engine behind `EXPLAIN ESTIMATE` — and [`show_models`] renders the
 //! registry's parameter schemas as rows for `SHOW MODELS`.
 
+use crate::durability::SessionWal;
 use crate::engine::{Database, DbError};
 use crate::proc::{results_schema, ModelRegistry, PlanContext, ProcEstimate};
 use crate::sql::exec::ExecResult;
@@ -65,13 +66,17 @@ pub enum SpecOutcome {
 /// thread (sequential, batched, or parallel driver per the options) and
 /// record their `results` row before returning. `store` enables the
 /// cross-query reuse planner (serve-from-store / warm-start / cold with
-/// checkpoint deposit).
+/// checkpoint deposit). With `wal`, synchronous rows are journaled
+/// before they become visible and ASYNC submissions are journaled with
+/// their full durable identity.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_spec(
     db: &Database,
     models: &ModelRegistry,
     plans: &Arc<PlanCache>,
     store: Option<&Arc<ShardStore>>,
     scheduler: Option<&Scheduler>,
+    wal: Option<&SessionWal>,
     spec: &QuerySpec,
     rng: &mut SimRng,
 ) -> Result<SpecOutcome, DbError> {
@@ -98,7 +103,7 @@ pub fn execute_spec(
             };
             let est = runner.estimate(spec, &ctx, rng)?;
             let millis = started.elapsed().as_millis() as i64;
-            record_estimate_row(db, spec, &est, millis)?;
+            record_estimate_row(db, spec, &est, millis, wal)?;
             Ok(SpecOutcome::Estimated {
                 tau: est.tau,
                 est,
@@ -117,6 +122,9 @@ pub fn execute_spec(
                 store: store.map(Arc::clone),
             };
             let out = runner.submit(scheduler, spec, seed, &ctx)?;
+            if let Some(wal) = wal {
+                wal.record_async_submit(out.id, spec, seed, out.plan_source, out.shard_reuse);
+            }
             Ok(SpecOutcome::Submitted {
                 id: out.id,
                 seed,
@@ -127,13 +135,31 @@ pub fn execute_spec(
     }
 }
 
-/// Append the standard `results` row for a synchronous estimate.
+/// Append the standard `results` row for a synchronous estimate. With a
+/// journal, the row is WAL-appended **before** the insert (write-ahead:
+/// a visible row is always durable).
 pub(crate) fn record_estimate_row(
     db: &Database,
     spec: &QuerySpec,
     est: &ProcEstimate,
     millis: i64,
+    wal: Option<&SessionWal>,
 ) -> Result<(), DbError> {
+    if let Some(wal) = wal {
+        wal.record_result_row(mlss_store::ResultRow {
+            model: spec.model.clone(),
+            method: spec.method.name().to_string(),
+            beta: spec.beta,
+            horizon: spec.horizon as i64,
+            tau: est.tau,
+            variance: est.variance,
+            steps: est.steps as i64,
+            n_roots: est.n_roots as i64,
+            millis,
+            plan_source: est.plan_source.to_string(),
+            shard_reuse: est.shard_reuse.to_string(),
+        })?;
+    }
     if !db.has_table("results") {
         db.create_table("results", results_schema())?;
     }

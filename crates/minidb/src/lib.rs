@@ -12,6 +12,9 @@
 //!   aggregate, delete;
 //! * [`engine`] — the thread-safe catalog;
 //! * [`storage`] — crash-safe JSON persistence with corruption recovery;
+//! * [`durability`] — WAL-backed session durability: journaled results,
+//!   plan-cache entries, shard deposits, and crash-recoverable ASYNC
+//!   queries ([`Session::open`] replays the log);
 //! * [`proc`] — stored procedures (`mlss_estimate`, `materialize_paths`)
 //!   as thin shims over the spec dispatch path, plus the model registry
 //!   with per-model parameter schemas;
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod dispatch;
+pub mod durability;
 pub mod engine;
 pub mod expr;
 pub mod proc;
@@ -38,6 +42,7 @@ pub mod table;
 pub mod value;
 
 pub use dispatch::{execute_spec, explain_spec, show_models, SpecOutcome};
+pub use durability::{Durability, SessionWal, WalSessionConfig};
 pub use engine::{Database, DbError};
 pub use expr::{col, lit, Expr};
 pub use proc::{seed_default_models, Method, ModelRegistry, ProcRegistry, StoredProcedure};

@@ -25,6 +25,7 @@
 //!   the batched frontier kernel (one RNG stream per path, so the rows
 //!   are bit-identical at every width).
 
+use crate::durability::SessionWal;
 use crate::engine::{Database, DbError};
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Aggregate;
@@ -104,24 +105,26 @@ impl ProcRegistry {
     /// Registry preloaded with the built-in procedures, sharing `plans`
     /// with the caller (the session layer surfaces its counters).
     pub fn with_builtins_cached(plans: Arc<PlanCache>) -> Self {
-        Self::with_builtins_shared(plans, Arc::new(ModelRegistry::with_builtins()), None)
+        Self::with_builtins_shared(plans, Arc::new(ModelRegistry::with_builtins()), None, None)
     }
 
     /// Registry preloaded with the built-in procedures, sharing the plan
     /// cache, the model registry, and (optionally) the cross-query shard
-    /// store with the caller — the session layer passes its own objects
-    /// so every front end validates against one catalog and reuses one
-    /// store.
+    /// store and the session journal with the caller — the session layer
+    /// passes its own objects so every front end validates against one
+    /// catalog, reuses one store, and journals through one log.
     pub fn with_builtins_shared(
         plans: Arc<PlanCache>,
         models: Arc<ModelRegistry>,
         store: Option<Arc<ShardStore>>,
+        wal: Option<Arc<SessionWal>>,
     ) -> Self {
         let mut r = Self::new();
         r.register(Box::new(MlssEstimate {
             models: Arc::clone(&models),
             plans,
             store,
+            wal,
         }));
         r.register(Box::new(MaterializePaths { models }));
         r
@@ -380,6 +383,28 @@ pub trait ModelRunner: Send + Sync {
         seed: u64,
         plans: &PlanContext,
     ) -> Result<SubmitOutcome, DbError>;
+
+    /// Resubmit a recovered ASYNC query from a durable checkpoint:
+    /// `method` is the resolved estimator the checkpoint was cut under
+    /// and `entry` its shard + RNG at a slice boundary. Warm-starts
+    /// when the plan and shard type line up; any mismatch (plan not in
+    /// the cache, foreign shard, non-SQL estimator) falls back to
+    /// [`ModelRunner::submit`] — a cold rerun from `seed`, which under
+    /// a pinned seed replays the identical stream and is therefore
+    /// still bit-exact, just slower. The default implementation is
+    /// that fallback.
+    fn resume(
+        self: Box<Self>,
+        scheduler: &Scheduler,
+        spec: &QuerySpec,
+        seed: u64,
+        plans: &PlanContext,
+        method: &str,
+        entry: &StoredShard,
+    ) -> Result<SubmitOutcome, DbError> {
+        let _ = (method, entry);
+        self.submit(scheduler, spec, seed, plans)
+    }
 
     /// Resolve the spec's execution plan without running the estimator:
     /// the `auto` rule, the level plan (derived through the cache — the
@@ -756,6 +781,62 @@ where
                 })
             }
         }
+    }
+
+    fn resume(
+        self: Box<Self>,
+        scheduler: &Scheduler,
+        spec: &QuerySpec,
+        seed: u64,
+        plans: &PlanContext,
+        method: &str,
+        entry: &StoredShard,
+    ) -> Result<SubmitOutcome, DbError> {
+        let control = target_control(spec.target_re);
+        let width = spec
+            .options
+            .batch_width
+            .unwrap_or(scheduler.config().batch_width);
+        // Rebuild the resolved method the checkpoint was cut under. The
+        // plan must come from the (replay-seeded) cache: deriving a
+        // fresh one could shift level boundaries and desync the shard.
+        let resolved = match method {
+            "srs" => Some(ResolvedMethod::Srs),
+            "smlss" | "gmlss" => plans
+                .cache
+                .lookup_traced(plans.fingerprint, BALANCED_PLAN_KEY, spec.levels)
+                .map(|l| {
+                    if method == "smlss" {
+                        ResolvedMethod::SMlss(l.plan)
+                    } else {
+                        ResolvedMethod::GMlss(l.plan)
+                    }
+                }),
+            _ => None,
+        };
+        let Some(resolved) = resolved else {
+            // Plan lost with the log tail (or a non-SQL estimator):
+            // cold rerun from the recorded seed.
+            return self.submit(scheduler, spec, seed, plans);
+        };
+        let Runner { model, score } = *self;
+        let (job, _warmed) = warm_estimator_job(
+            model,
+            score,
+            spec.beta,
+            spec.horizon,
+            &resolved,
+            control,
+            entry,
+            seed,
+            width,
+            plans.fingerprint,
+        );
+        Ok(SubmitOutcome {
+            id: scheduler.submit_query(job, spec.options.priority),
+            plan_source: "hit",
+            shard_reuse: "warm",
+        })
     }
 
     fn resolve_plan(
@@ -1141,6 +1222,7 @@ struct MlssEstimate {
     models: Arc<ModelRegistry>,
     plans: Arc<PlanCache>,
     store: Option<Arc<ShardStore>>,
+    wal: Option<Arc<SessionWal>>,
 }
 
 impl StoredProcedure for MlssEstimate {
@@ -1184,6 +1266,7 @@ impl StoredProcedure for MlssEstimate {
             &self.plans,
             self.store.as_ref(),
             None,
+            self.wal.as_deref(),
             &spec,
             rng,
         )? {
@@ -1696,14 +1779,16 @@ mod tests {
         spec.params.insert("up".into(), 0.9);
         spec.params.insert("down".into(), 0.05);
         let mut rng = rng_from_seed(50);
-        let out = crate::dispatch::execute_spec(&db, &models, &plans, None, None, &spec, &mut rng)
-            .unwrap();
+        let out =
+            crate::dispatch::execute_spec(&db, &models, &plans, None, None, None, &spec, &mut rng)
+                .unwrap();
         let crate::dispatch::SpecOutcome::Estimated { tau: hot, .. } = out else {
             panic!("sync spec");
         };
         let base = QuerySpec::new("walk", 5.0, 50, 0.3).with_method(Method::Srs);
-        let out = crate::dispatch::execute_spec(&db, &models, &plans, None, None, &base, &mut rng)
-            .unwrap();
+        let out =
+            crate::dispatch::execute_spec(&db, &models, &plans, None, None, None, &base, &mut rng)
+                .unwrap();
         let crate::dispatch::SpecOutcome::Estimated { tau: cold, .. } = out else {
             panic!("sync spec");
         };

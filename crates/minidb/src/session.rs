@@ -49,21 +49,26 @@
 //! counters.
 
 use crate::dispatch::{execute_spec, explain_spec, show_models, SpecOutcome};
+use crate::durability::{
+    intern_provenance, rebuild_spec, Durability, SessionWal, WalSessionConfig,
+};
 use crate::engine::{Database, DbError};
 use crate::proc::{
     arg_f64, arg_i64, arg_text, results_schema, seed_default_models, Method, ModelRegistry,
-    ProcRegistry, StoredProcedure,
+    PlanContext, ProcRegistry, StoredProcedure,
 };
 use crate::sql::{is_dialect, parse_dialect, DialectStatement, ExecResult};
 use crate::value::Value;
 use mlss_core::estimator::Diagnostics;
-use mlss_core::plan_cache::PlanCache;
+use mlss_core::plan_cache::{CachedPlan, PlanCache};
 use mlss_core::prelude::SimRng;
 use mlss_core::rng::{rng_from_seed, split_rng};
-use mlss_core::scheduler::{QueryId, QueryStatus, Scheduler, SchedulerConfig};
+use mlss_core::scheduler::{DurabilityHook, QueryId, QueryStatus, Scheduler, SchedulerConfig};
 use mlss_core::shard_store::ShardStore;
 use mlss_core::spec::{ExecMode, QuerySpec};
+use mlss_store::{Record, ResultRow};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -90,6 +95,11 @@ pub struct SessionConfig {
     /// beyond it). `0` disables cross-query reuse entirely: every query
     /// runs cold and deposits nothing.
     pub shard_store_capacity: usize,
+    /// Durability mode. [`Durability::Off`] (the default) keeps the
+    /// pre-WAL behavior byte-for-byte; [`Durability::Wal`] journals
+    /// results, plan builds, shard deposits, and the ASYNC lifecycle
+    /// through a crash-recoverable log replayed by [`Session::over`].
+    pub durability: Durability,
 }
 
 impl Default for SessionConfig {
@@ -104,6 +114,7 @@ impl Default for SessionConfig {
             seed: 0,
             seed_models: true,
             shard_store_capacity: 64,
+            durability: Durability::Off,
         }
     }
 }
@@ -163,6 +174,8 @@ pub struct Session {
     registry: ProcRegistry,
     meta: Arc<MetaMap>,
     rng: Mutex<SimRng>,
+    wal: Option<Arc<SessionWal>>,
+    recovered: Vec<QueryId>,
 }
 
 impl Session {
@@ -171,12 +184,34 @@ impl Session {
         Self::over(Arc::new(Database::new()), cfg)
     }
 
+    /// Open a WAL-backed session journaling to `dir` (shorthand for
+    /// setting [`SessionConfig::durability`] and calling
+    /// [`Session::new`]). Replays any existing log: completed queries'
+    /// rows are already in `results`, and interrupted ASYNC queries are
+    /// resubmitted — see [`Session::recovered_ids`] /
+    /// [`Session::wait_recovered`].
+    pub fn open(dir: impl Into<PathBuf>, mut cfg: SessionConfig) -> Result<Self, DbError> {
+        cfg.durability = Durability::Wal(WalSessionConfig::new(dir));
+        Self::new(cfg)
+    }
+
     /// Open a session over an existing database (tables are shared; the
     /// scheduler and caches are per-session).
     pub fn over(db: Arc<Database>, cfg: SessionConfig) -> Result<Self, DbError> {
         if cfg.seed_models && !db.has_table("models") {
             seed_default_models(&db)?;
         }
+        // Open + replay the journal before anything else: the replayed
+        // state seeds the caches below, and only then do observers and
+        // the scheduler hook attach (replay must not re-journal itself).
+        let (mut session_wal, wal_state) = match &cfg.durability {
+            Durability::Off => (None, None),
+            Durability::Wal(wcfg) => {
+                let (sw, state) = SessionWal::open(wcfg)
+                    .map_err(|e| DbError::Proc(format!("wal open failed: {e}")))?;
+                (Some(sw), Some(state))
+            }
+        };
         let plans = Arc::new(PlanCache::new());
         let models = Arc::new(ModelRegistry::with_builtins());
         let scheduler = Arc::new(Scheduler::new(SchedulerConfig {
@@ -192,11 +227,97 @@ impl Session {
             // here; future submits over the same key reuse them.
             scheduler.attach_shard_store(Arc::clone(store));
         }
+
+        // Seed replayed state: results rows (journaled + synthesized
+        // from durable AsyncDone records), plan-cache entries, shard
+        // deposits. Observers are not attached yet, so nothing here is
+        // re-journaled.
+        if let Some(state) = &wal_state {
+            if !state.rows.is_empty() && !db.has_table("results") {
+                db.create_table("results", results_schema())?;
+            }
+            for row in &state.rows {
+                db.insert("results", result_row_values(row))?;
+            }
+            for (fp, method, levels, tau_hint, plan) in &state.plans {
+                plans.seed(
+                    *fp,
+                    method,
+                    *levels as usize,
+                    CachedPlan {
+                        plan: plan.clone(),
+                        tau_hint: *tau_hint,
+                    },
+                );
+            }
+            if let Some(store) = &store {
+                for (key, entry) in &state.deposits {
+                    store.deposit(key.clone(), entry.clone());
+                }
+            }
+        }
+        if let (Some(sw), Some(state)) = (session_wal.as_mut(), &wal_state) {
+            sw.note_replayed(state.rows.len() as u64, state.resubmit.len() as u64);
+        }
+        let wal = session_wal.map(Arc::new);
+
+        // Startup compaction: rewrite the snapshot from the seeded
+        // state (single-threaded here — nothing races the walk), then
+        // attach the observers and the scheduler hook so everything
+        // from now on journals through the fresh tail.
+        if let (Some(sw), Some(state)) = (&wal, &wal_state) {
+            let mut records: Vec<Record> =
+                state.rows.iter().cloned().map(Record::ResultRow).collect();
+            for ((fp, method, levels), cached) in plans.entries() {
+                records.push(Record::PlanEntry {
+                    fingerprint: fp,
+                    method,
+                    levels: levels as u64,
+                    tau_hint: cached.tau_hint,
+                    plan: cached.plan,
+                });
+            }
+            if let Some(store) = &store {
+                for (key, entry) in store.entries() {
+                    records.push(Record::ShardDeposit { key, entry });
+                }
+            }
+            for q in &state.resubmit {
+                records.push(Record::AsyncSubmit {
+                    qid: q.qid,
+                    spec: q.spec.clone(),
+                    plan_source: q.plan_source.clone(),
+                    shard_reuse: q.shard_reuse.clone(),
+                });
+                if let Some((method, slices, entry)) = &q.checkpoint {
+                    records.push(Record::AsyncCheckpoint {
+                        qid: q.qid,
+                        method: method.clone(),
+                        slices: *slices,
+                        entry: entry.clone(),
+                    });
+                }
+            }
+            sw.compact(&records)?;
+            let plan_wal = Arc::clone(sw);
+            plans.set_observer(Arc::new(move |fp, method, levels, cached: &CachedPlan| {
+                plan_wal.record_plan_entry(fp, method, levels, cached);
+            }));
+            if let Some(store) = &store {
+                let store_wal = Arc::clone(sw);
+                store.set_observer(Arc::new(move |key, entry| {
+                    store_wal.record_deposit(key, entry);
+                }));
+            }
+            scheduler.attach_durability_hook(Arc::clone(sw) as Arc<dyn DurabilityHook>);
+        }
+
         let meta: Arc<MetaMap> = Arc::new(Mutex::new(BTreeMap::new()));
         let mut registry = ProcRegistry::with_builtins_shared(
             Arc::clone(&plans),
             Arc::clone(&models),
             store.clone(),
+            wal.clone(),
         );
         registry.register(Box::new(MlssSubmit {
             scheduler: Arc::clone(&scheduler),
@@ -204,6 +325,7 @@ impl Session {
             store: store.clone(),
             meta: Arc::clone(&meta),
             models: Arc::clone(&models),
+            wal: wal.clone(),
         }));
         registry.register(Box::new(MlssPoll {
             scheduler: Arc::clone(&scheduler),
@@ -212,6 +334,46 @@ impl Session {
         registry.register(Box::new(MlssCancel {
             scheduler: Arc::clone(&scheduler),
         }));
+
+        // Resubmit interrupted ASYNC queries in durable-id order: warm
+        // from their last checkpoint when one survived, cold from their
+        // recorded seed otherwise. Both paths are bit-exact for pinned
+        // seeds (the cold rerun replays the identical stream).
+        let mut recovered = Vec::new();
+        if let (Some(sw), Some(state)) = (&wal, wal_state) {
+            for q in state.resubmit {
+                let spec = rebuild_spec(&q.spec)?;
+                let (runner, fp, _) = models.build_spec(&db, &spec)?;
+                let ctx = PlanContext {
+                    cache: Arc::clone(&plans),
+                    fingerprint: fp,
+                    store: store.clone(),
+                };
+                let out = match &q.checkpoint {
+                    Some((method, _, entry)) => {
+                        runner.resume(&scheduler, &spec, q.spec.seed, &ctx, method, entry)?
+                    }
+                    None => runner.submit(&scheduler, &spec, q.spec.seed, &ctx)?,
+                };
+                sw.register_recovered(out.id, q.qid);
+                meta.lock().unwrap_or_else(PoisonError::into_inner).insert(
+                    out.id,
+                    SubmitMeta {
+                        model: spec.model.clone(),
+                        method: spec.method.name().to_string(),
+                        beta: spec.beta,
+                        horizon: spec.horizon as i64,
+                        // The eventual results row carries the *original*
+                        // submit-time provenance, like an uninterrupted run's.
+                        plan_source: intern_provenance(&q.plan_source),
+                        shard_reuse: intern_provenance(&q.shard_reuse),
+                        submitted: Instant::now(),
+                        recorded: false,
+                    },
+                );
+                recovered.push(out.id);
+            }
+        }
         Ok(Self {
             db,
             scheduler,
@@ -221,6 +383,8 @@ impl Session {
             registry,
             meta,
             rng: Mutex::new(rng_from_seed(cfg.seed)),
+            wal,
+            recovered,
         })
     }
 
@@ -248,6 +412,32 @@ impl Session {
     /// The session's model registry (parameter schemas, `SHOW MODELS`).
     pub fn models(&self) -> &ModelRegistry {
         &self.models
+    }
+
+    /// The session's journal (`None` for [`Durability::Off`]).
+    pub fn wal(&self) -> Option<&SessionWal> {
+        self.wal.as_deref()
+    }
+
+    /// Scheduler ids of the ASYNC queries this session resubmitted from
+    /// the log at open time, in durable-id order. Poll/wait/cancel them
+    /// like any live submission.
+    pub fn recovered_ids(&self) -> &[QueryId] {
+        &self.recovered
+    }
+
+    /// Block until every recovered query is terminal, recording the
+    /// `results` rows of completed ones (like [`Session::wait`]).
+    /// Returns each query's id and terminal status.
+    pub fn wait_recovered(&self) -> Result<Vec<(QueryId, QueryStatus)>, DbError> {
+        let ids: Vec<QueryId> = self.recovered.clone();
+        let mut out = Vec::new();
+        for id in ids {
+            if let Some(status) = self.wait(id)? {
+                out.push((id, status));
+            }
+        }
+        Ok(out)
     }
 
     /// Draw an independent child stream from the session RNG (the lock
@@ -331,6 +521,7 @@ impl Session {
                     &self.plans,
                     self.store.as_ref(),
                     Some(&self.scheduler),
+                    self.wal.as_deref(),
                     &spec,
                     &mut rng,
                 )? {
@@ -421,15 +612,18 @@ impl Session {
         self.scheduler.cancel(id)
     }
 
-    /// Plan-cache, shard-store, and scheduler-pool health counters —
-    /// one shared hit/miss/evict counter shape for both caches (the
-    /// rows behind `SHOW DIAGNOSTICS`).
+    /// Plan-cache, shard-store, scheduler-pool, and (when journaling)
+    /// WAL health counters — one shared counter shape per component
+    /// (the rows behind `SHOW DIAGNOSTICS`).
     pub fn diagnostics(&self) -> Vec<Diagnostics> {
         let mut diags = vec![self.plans.diagnostics()];
         if let Some(store) = &self.store {
             diags.push(store.diagnostics());
         }
         diags.push(self.scheduler.pool_diagnostics());
+        if let Some(wal) = &self.wal {
+            diags.push(wal.diagnostics());
+        }
         diags
     }
 
@@ -461,6 +655,23 @@ impl Session {
             .retain(|id, m| !m.recorded && self.scheduler.poll(*id).is_some());
         Ok(evicted)
     }
+}
+
+/// A replayed [`ResultRow`] as the `results` table's 11-column layout.
+fn result_row_values(row: &ResultRow) -> Vec<Value> {
+    vec![
+        row.model.as_str().into(),
+        row.method.as_str().into(),
+        row.beta.into(),
+        Value::Int(row.horizon),
+        row.tau.into(),
+        row.variance.into(),
+        Value::Int(row.steps),
+        Value::Int(row.n_roots),
+        Value::Int(row.millis),
+        row.plan_source.as_str().into(),
+        row.shard_reuse.as_str().into(),
+    ]
 }
 
 /// Append the standard `results` row for a completed query exactly once.
@@ -516,6 +727,7 @@ struct MlssSubmit {
     store: Option<Arc<ShardStore>>,
     meta: Arc<MetaMap>,
     models: Arc<ModelRegistry>,
+    wal: Option<Arc<SessionWal>>,
 }
 
 impl StoredProcedure for MlssSubmit {
@@ -560,6 +772,7 @@ impl StoredProcedure for MlssSubmit {
             &self.plans,
             self.store.as_ref(),
             Some(&self.scheduler),
+            self.wal.as_deref(),
             &spec,
             rng,
         )? {

@@ -14,6 +14,13 @@
 //! spans for dialect statements) and the shell continues — like any SQL
 //! prompt — but the process exits nonzero if any statement failed, so CI
 //! catches regressions.
+//!
+//! With `MLSS_WAL_DIR=<dir>` the shell opens a **WAL-backed** session
+//! over that directory: results and ASYNC queries journal there, and a
+//! restarted shell replays the log — completed queries are back in
+//! `results`, interrupted ASYNC queries finish before the first prompt
+//! (each reports a `recovered query …` line). CI uses this for the
+//! kill-and-reopen durability smoke (see `make test-durability`).
 
 use mlss_db::{DbError, ExecResult, Session, SessionConfig};
 use std::io::BufRead;
@@ -38,11 +45,23 @@ fn print_result(res: &ExecResult) {
 }
 
 fn main() {
-    let session = Session::new(SessionConfig {
+    let cfg = SessionConfig {
         seed: 42,
         ..SessionConfig::default()
-    })
+    };
+    let session = match std::env::var_os("MLSS_WAL_DIR") {
+        Some(dir) => Session::open(std::path::PathBuf::from(dir), cfg),
+        None => Session::new(cfg),
+    }
     .expect("open session");
+    // Finish what a previous (killed) shell left running before taking
+    // statements, so `SELECT … FROM results` sees the recovered rows.
+    for (id, status) in session
+        .wait_recovered()
+        .expect("recover interrupted queries")
+    {
+        println!("recovered query {id}: {status:?}");
+    }
 
     let stdin = std::io::stdin();
     let mut failures = 0u32;

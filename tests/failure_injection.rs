@@ -362,3 +362,84 @@ fn db_recovers_from_truncated_files() {
     assert_eq!(res.scalar(), Some(&mlss_db::Value::Int(1)));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Write-ahead ordering, observed at the instant of visibility: the
+/// moment a result is *visible* to a client — a sync statement returned
+/// its row, or `wait` published `Done` — the corresponding record must
+/// already be on disk. The session fsyncs every append, so copying the
+/// log files out from under the live session is exactly the disk state
+/// a `SIGKILL` at that instant would leave; a record missing from the
+/// copy would be a result that could vanish after being served.
+#[test]
+fn visible_results_are_already_durable() {
+    use mlss_db::{Durability, ExecResult, Session, SessionConfig, WalSessionConfig};
+    use mlss_store::{Record, Wal, WalOptions};
+
+    let dir = std::env::temp_dir().join(format!("mlss-write-ahead-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let session = Session::new(SessionConfig {
+        workers: 1,
+        slice_budget: 4_096,
+        seed: 5,
+        durability: Durability::Wal(WalSessionConfig::new(&dir)),
+        ..SessionConfig::default()
+    })
+    .unwrap();
+
+    // Freeze the on-disk state while the session is live (no locks: the
+    // log is append-only and fsynced, so a prefix copy is always valid).
+    let snapshot_of = |tag: &str| {
+        let copy = dir.with_file_name(format!("mlss-write-ahead-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&copy);
+        std::fs::create_dir_all(&copy).unwrap();
+        for f in ["snapshot.wal", "tail.wal"] {
+            if dir.join(f).exists() {
+                std::fs::copy(dir.join(f), copy.join(f)).unwrap();
+            }
+        }
+        let (_, replay) = Wal::open(&copy, WalOptions::default()).unwrap();
+        let _ = std::fs::remove_dir_all(&copy);
+        replay.records
+    };
+
+    // Sync: the statement has returned its row — the row record must
+    // already be durable (it is journaled *before* the insert).
+    session
+        .execute(
+            "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs TARGET RE 0.3 WITH (seed=11)",
+        )
+        .unwrap();
+    assert!(
+        snapshot_of("sync")
+            .iter()
+            .any(|r| matches!(r, Record::ResultRow(_))),
+        "a returned sync row must already have its record on disk"
+    );
+
+    // Async: `wait` observed `Done` — the done record (written before
+    // the scheduler publishes the status) must already be durable.
+    let res = session
+        .execute("ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs TARGET RE 0.3 WITH (seed=12) ASYNC")
+        .unwrap();
+    let ExecResult::Rows { rows, .. } = res else {
+        panic!("async statement returns a query_id row")
+    };
+    let id = rows[0][0].as_i64().unwrap() as u64;
+    session.wait(id).unwrap().unwrap();
+    let records = snapshot_of("async");
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r, Record::AsyncSubmit { .. })),
+        "a waited query's submission must be durable"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r, Record::AsyncDone { .. })),
+        "a published Done must already have its record on disk"
+    );
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
