@@ -8,13 +8,15 @@
 #   make test-scalar — full release suite with the SIMD backend forced off
 #   make sched-bench — FIFO vs concurrent-serving latency benchmark
 #   make kernel-bench — scalar-adapter vs native-batch stepping throughput
+#   make width-bench — batch_width=auto vs static-64 on a mixed workload
+#   make wal-bench  — WAL fsync group-commit vs lone-appender throughput
 #   make reuse-bench — cross-query shard reuse vs store-disabled baseline
 #   make sql-demo   — pipe a demo script through the sql_shell example
 #   make test-durability — crash-recovery suites + the kill -9 shell smoke
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench reuse-bench sql-demo test-durability
+.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench width-bench wal-bench reuse-bench sql-demo test-durability
 
 verify: build test
 
@@ -41,6 +43,15 @@ sched-bench:
 
 kernel-bench:
 	$(CARGO) run --release -p mlss-bench --bin kernel_bench -- --full
+
+# Mirror of the width-policy rows inside the CI kernel bench: the mixed
+# workload driven at batch_width=auto vs a static 64, with the
+# speculation-discard ledger.
+width-bench:
+	$(CARGO) run --release -p mlss-bench --bin kernel_bench -- --width
+
+wal-bench:
+	$(CARGO) run --release -p mlss-bench --bin wal_bench -- --full
 
 reuse-bench:
 	$(CARGO) run --release -p mlss-bench --bin reuse_bench -- --full

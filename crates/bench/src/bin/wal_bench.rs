@@ -1,0 +1,83 @@
+//! WAL append throughput under `FsyncPolicy::Always`: one appender
+//! (every record pays its own fsync) vs concurrent appenders (group
+//! commit shares one fsync across the cohort written while the previous
+//! leader's syscall was in flight).
+//!
+//! Numbers are fsync-bound and vary wildly across storage; the quantity
+//! of interest is the *ratio* and the fsyncs-per-record collapse, both
+//! measured in the same run.
+
+use mlss_store::{FsyncPolicy, Record, ResultRow, Wal, WalOptions};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn row(i: i64) -> ResultRow {
+    ResultRow {
+        model: format!("m{i}"),
+        method: "srs".into(),
+        beta: 6.0 + i as f64,
+        horizon: 60,
+        tau: 1e-4,
+        variance: 1e-9,
+        steps: 1_000,
+        n_roots: 100,
+        millis: 1,
+        plan_source: "none".into(),
+        shard_reuse: "none".into(),
+    }
+}
+
+fn bench(threads: i64, per_thread: i64, label: &str) {
+    let dir = std::env::temp_dir().join(format!("mlss_wal_bench_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (wal, _) = Wal::open(
+        dir.clone(),
+        WalOptions {
+            fsync: FsyncPolicy::Always,
+            crash: None,
+        },
+    )
+    .unwrap();
+    let wal = Arc::new(wal);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let wal = wal.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    wal.append(&Record::ResultRow(row(t * per_thread + i)))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = wal.stats();
+    let total = (threads * per_thread) as f64;
+    println!(
+        "| {label:<22} | {threads:>7} | {total:>7.0} | {:>6} | {:>5.2} | {:>10.0} |",
+        stats.fsyncs,
+        stats.fsyncs as f64 / total,
+        total / elapsed,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let records: i64 = if std::env::args().any(|a| a == "--full") {
+        2_000
+    } else {
+        400
+    };
+    println!("| scenario               | threads | records | fsyncs | f/rec | appends/s  |");
+    println!("|------------------------|---------|---------|--------|-------|------------|");
+    bench(1, records, "always, lone appender");
+    for t in [2, 4, 8] {
+        bench(t, records / t, &format!("always, {t} appenders"));
+    }
+}

@@ -314,6 +314,9 @@ where
     let start = Instant::now();
     let mut shard = shard;
     let mut estimate_elapsed = Duration::ZERO;
+    // Defense in depth: an unresolved `batch_width=auto` sentinel runs
+    // at the static fallback width instead of a usize::MAX cohort.
+    let batch_width = crate::width::effective(batch_width);
 
     loop {
         // Observed steps per root (before any root completes, assume the

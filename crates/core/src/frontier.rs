@@ -293,6 +293,13 @@ where
         }
     }
 
+    // ---- speculation ledger ---------------------------------------------
+    // Roots launched past the last committed one are discarded work —
+    // the cost of running a frontier wider than the chunk's remaining
+    // commit target. The width policy's boundary shrink exists to drive
+    // this to zero; the counters let tests and SHOW DIAGNOSTICS see it.
+    crate::width::record_frontier(width, next_root, next_commit);
+
     // ---- restore the master RNG -----------------------------------------
     if per_root {
         // Exactly one seed draw per *committed* root, as the width-1

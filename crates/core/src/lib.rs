@@ -113,6 +113,7 @@ pub mod spec;
 pub mod srs;
 pub mod stats;
 pub mod variance;
+pub mod width;
 
 /// One-stop imports for library users.
 pub mod prelude {
@@ -157,4 +158,5 @@ pub mod prelude {
         ResolvedMethod, Span, SpecError, SpecErrorKind,
     };
     pub use crate::srs::{SrsEstimator, SrsResult, SrsSampler, SrsShard};
+    pub use crate::width::{static_width, KernelClass, AUTO_WIDTH};
 }

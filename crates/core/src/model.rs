@@ -80,6 +80,17 @@ pub trait SimulationModel: Sync {
             lanes[i] = self.step(&lanes[i], ts[i], &mut rngs[i]);
         }
     }
+
+    /// The model's cost shape, used by the `batch_width=auto` policy to
+    /// pick a launch width (and the candidate set its micro-probe
+    /// times). The default matches the default `step_batch`: the scalar
+    /// adapter loop, where mid widths amortize dispatch but nothing
+    /// vectorizes. Models on the vectorized draw pipeline declare
+    /// [`crate::width::KernelClass::SimdHot`]; table-lookup models
+    /// declare `Cheap`. Purely advisory — widths never change results.
+    fn kernel_class(&self) -> crate::width::KernelClass {
+        crate::width::KernelClass::Adapter
+    }
 }
 
 /// Blanket implementation so `&M` is itself a model (lets samplers borrow).
@@ -102,6 +113,10 @@ impl<M: SimulationModel> SimulationModel for &M {
         alive: &[usize],
     ) {
         (**self).step_batch(lanes, ts, rngs, alive)
+    }
+
+    fn kernel_class(&self) -> crate::width::KernelClass {
+        (**self).kernel_class()
     }
 }
 

@@ -56,6 +56,9 @@ pub struct ParallelConfig {
     /// scalar `run_chunk` path (bit-compatible with pre-frontier runs);
     /// `w ≥ 1` routes chunks through `run_chunk_batched` at width `w`
     /// (bit-identical across widths, so this knob only changes speed).
+    /// [`crate::width::AUTO_WIDTH`] is accepted and runs at the static
+    /// fallback width — resolve it upstream (per-model) for the real
+    /// adaptive pick.
     pub batch_width: usize,
 }
 
@@ -229,16 +232,13 @@ where
                     }
 
                     let mut pending = estimator.shard();
-                    let outcome = if cfg.batch_width == 0 {
+                    // Defense in depth: an unresolved `batch_width=auto`
+                    // sentinel runs at the static fallback width.
+                    let width = crate::width::effective(cfg.batch_width);
+                    let outcome = if width == 0 {
                         estimator.run_chunk(problem, &mut pending, chunk, &mut rng)
                     } else {
-                        estimator.run_chunk_batched(
-                            problem,
-                            &mut pending,
-                            chunk,
-                            &mut rng,
-                            cfg.batch_width,
-                        )
+                        estimator.run_chunk_batched(problem, &mut pending, chunk, &mut rng, width)
                     };
 
                     // Deposit into this worker's slot — contended only

@@ -148,6 +148,12 @@ pub struct PlanCache {
     ready_cv: Condvar,
     counters: CacheCounters,
     observer: Mutex<Option<PlanObserver>>,
+    /// Micro-probe results of the `batch_width=auto` policy, keyed by
+    /// query fingerprint: the first auto query of a family pays the
+    /// calibration burst, repeats read the winner here. A pure
+    /// performance hint — never WAL-journaled, never part of plan
+    /// identity (a lost entry only re-probes).
+    widths: Mutex<BTreeMap<u64, usize>>,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -207,6 +213,25 @@ impl PlanCache {
         let key = (fingerprint, method.to_string(), levels);
         self.lock().insert(key, Entry::Ready(cached));
         self.ready_cv.notify_all();
+    }
+
+    /// The memoized `batch_width=auto` probe winner for this query
+    /// fingerprint, if one has been calibrated.
+    pub fn cached_width(&self, fingerprint: u64) -> Option<usize> {
+        self.widths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&fingerprint)
+            .copied()
+    }
+
+    /// Memoize a `batch_width=auto` probe winner for `fingerprint`, so
+    /// repeat queries of the family skip the calibration burst.
+    pub fn memo_width(&self, fingerprint: u64, width: usize) {
+        self.widths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fingerprint, width);
     }
 
     /// Snapshot every ready entry — the compaction walk.

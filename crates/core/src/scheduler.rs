@@ -214,9 +214,12 @@ where
 
     /// Route this job's slices through the batched frontier at the given
     /// width (`0` restores the scalar path). Because batched execution is
-    /// bit-identical across widths, this only changes throughput — but
-    /// note the batched path's randomness scheme differs from the scalar
-    /// path's, so switch it before the first slice, not mid-query.
+    /// bit-identical across widths, changing between two widths `≥ 1` is
+    /// safe at any slice boundary — including mid-query on a detached
+    /// job (pause → detach → rewiden → resubmit), which changes
+    /// throughput and nothing else. The one unsafe switch is between `0`
+    /// and `≥ 1`: the scalar path's randomness scheme differs from the
+    /// batched path's, so cross that line only before the first slice.
     pub fn with_batch_width(mut self, width: usize) -> Self {
         self.batch_width = width;
         self
@@ -283,17 +286,15 @@ where
         let problem = Problem::new(&self.model, &self.value_fn, self.horizon);
         let mut pending = self.estimator.shard();
         let mut rng = self.rng.clone();
-        let outcome = if self.batch_width == 0 {
+        // Defense in depth: an unresolved `batch_width=auto` sentinel
+        // runs at the static fallback width, never a usize::MAX cohort.
+        let width = crate::width::effective(self.batch_width);
+        let outcome = if width == 0 {
             self.estimator
                 .run_chunk(problem, &mut pending, budget, &mut rng)
         } else {
-            self.estimator.run_chunk_batched(
-                problem,
-                &mut pending,
-                budget,
-                &mut rng,
-                self.batch_width,
-            )
+            self.estimator
+                .run_chunk_batched(problem, &mut pending, budget, &mut rng, width)
         };
         self.shard.merge(pending);
         self.rng = rng;
@@ -476,6 +477,9 @@ pub struct SchedulerConfig {
     /// [`Scheduler::submit`]: 0 = scalar slices, w ≥ 1 = batched slices
     /// at width w. Pre-built jobs ([`Scheduler::submit_query`]) keep
     /// whatever width they were built with.
+    /// [`crate::width::AUTO_WIDTH`] is accepted and runs slices at the
+    /// static fallback width — resolve it upstream (per-model) for the
+    /// real adaptive pick.
     pub batch_width: usize,
 }
 

@@ -55,6 +55,38 @@ pub fn compute_blocks_with(
     let mut done = 0;
     #[cfg(target_arch = "x86_64")]
     {
+        if backend >= Backend::Avx512 {
+            while keys.len() - done >= 16 {
+                // SAFETY: Backend::Avx512 is only reachable when AVX-512F
+                // was detected (Backend::active/available cap at detect()).
+                unsafe {
+                    blocks16_avx512(
+                        &keys[done..done + 16],
+                        &counters[done..done + 16],
+                        &mut out[done..done + 16],
+                    )
+                };
+                done += 16;
+            }
+            // Ragged tails: the wide pass is latency-bound (near-flat
+            // cost regardless of how many streams are real), so one
+            // padded 16-wide pass beats the narrower cascade for most
+            // remainder sizes. Sizes the narrower passes serve better
+            // (4 → SSE2, 8 → AVX2, tiny → scalar) fall through.
+            let rem = keys.len() - done;
+            if rem >= 5 && rem != 8 {
+                let mut pk = [[0u32; 8]; 16];
+                let mut pc = [0u64; 16];
+                pk[..rem].copy_from_slice(&keys[done..]);
+                pc[..rem].copy_from_slice(&counters[done..]);
+                let mut pout = [[0u32; BLOCK_WORDS]; 16];
+                // SAFETY: Backend::Avx512 is only reachable when AVX-512F
+                // was detected (Backend::active/available cap at detect()).
+                unsafe { blocks16_avx512(&pk, &pc, &mut pout) };
+                out[done..].copy_from_slice(&pout[..rem]);
+                done = keys.len();
+            }
+        }
         if backend >= Backend::Avx2 {
             while keys.len() - done >= 8 {
                 // SAFETY: Backend::Avx2 is only reachable when AVX2 was
@@ -89,6 +121,139 @@ pub fn compute_blocks_with(
     }
 }
 
+// In-register 16×16 `u32` transpose (the canonical unpack/unpack/
+// shuffle_i32x4 ladder, 64 shuffles): `v[r]` holds row `r` in, column
+// `r` out. Both ends of `blocks16_avx512` are transposes — states in,
+// keystream out — and doing them in registers is what makes the 16-wide
+// pass worth it (element-by-element extraction costs more than the
+// rounds themselves).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn transpose16(v: &mut [std::arch::x86_64::__m512i; 16]) {
+    use std::arch::x86_64::*;
+    // Stage 1: interleave row pairs at u32 granularity.
+    let mut t = [_mm512_setzero_si512(); 16];
+    for k in 0..8 {
+        t[2 * k] = _mm512_unpacklo_epi32(v[2 * k], v[2 * k + 1]);
+        t[2 * k + 1] = _mm512_unpackhi_epi32(v[2 * k], v[2 * k + 1]);
+    }
+    // Stage 2: interleave pair-groups at u64 granularity. s[4g + c] now
+    // holds, for row group g (rows 4g..4g+4), columns {c, c+4, c+8,
+    // c+12} as four 128-bit chunks.
+    let mut s = [_mm512_setzero_si512(); 16];
+    for g in 0..4 {
+        let b = 4 * g;
+        s[b] = _mm512_unpacklo_epi64(t[b], t[b + 2]);
+        s[b + 1] = _mm512_unpackhi_epi64(t[b], t[b + 2]);
+        s[b + 2] = _mm512_unpacklo_epi64(t[b + 1], t[b + 3]);
+        s[b + 3] = _mm512_unpackhi_epi64(t[b + 1], t[b + 3]);
+    }
+    // Stages 3+4: gather matching 128-bit chunks across row groups.
+    for c in 0..4 {
+        let a = _mm512_shuffle_i32x4::<0x88>(s[c], s[4 + c]);
+        let b = _mm512_shuffle_i32x4::<0xdd>(s[c], s[4 + c]);
+        let d = _mm512_shuffle_i32x4::<0x88>(s[8 + c], s[12 + c]);
+        let e = _mm512_shuffle_i32x4::<0xdd>(s[8 + c], s[12 + c]);
+        v[c] = _mm512_shuffle_i32x4::<0x88>(a, d);
+        v[c + 4] = _mm512_shuffle_i32x4::<0x88>(b, e);
+        v[c + 8] = _mm512_shuffle_i32x4::<0xdd>(a, d);
+        v[c + 12] = _mm512_shuffle_i32x4::<0xdd>(b, e);
+    }
+}
+
+// The 16-lane mirror of `blocks8_avx2` below (same round schedule, same
+// counter packing) at `__m512i` width — 16 independent streams' next
+// blocks per pass. AVX-512F has a native rotate (`vprold`), so `rotl!`
+// is one instruction instead of shift/shift/or, and both transposes run
+// in-register (`transpose16`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn blocks16_avx512(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLOCK_WORDS]]) {
+    use std::arch::x86_64::*;
+
+    macro_rules! rotl {
+        ($x:expr, $n:literal) => {
+            _mm512_rol_epi32::<$n>($x)
+        };
+    }
+    macro_rules! qr {
+        ($v:ident, $a:literal, $b:literal, $c:literal, $d:literal) => {
+            $v[$a] = _mm512_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm512_xor_si512($v[$d], $v[$a]), 16);
+            $v[$c] = _mm512_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm512_xor_si512($v[$b], $v[$c]), 12);
+            $v[$a] = _mm512_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm512_xor_si512($v[$d], $v[$a]), 8);
+            $v[$c] = _mm512_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm512_xor_si512($v[$b], $v[$c]), 7);
+        };
+    }
+
+    const CONSTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+    // Build each stream's full 16-word state row contiguously, then
+    // transpose in-register: vector w = word w of all 16 streams.
+    let mut rows = [[0u32; BLOCK_WORDS]; 16];
+    for (s, row) in rows.iter_mut().enumerate() {
+        row[..4].copy_from_slice(&CONSTS);
+        row[4..12].copy_from_slice(&keys[s]);
+        row[12] = counters[s] as u32;
+        row[13] = (counters[s] >> 32) as u32;
+        // Words 14, 15 stay zero (nonce words).
+    }
+    let mut v = [_mm512_setzero_si512(); BLOCK_WORDS];
+    for (s, row) in rows.iter().enumerate() {
+        v[s] = _mm512_loadu_si512(row.as_ptr() as *const __m512i);
+    }
+    transpose16(&mut v);
+
+    let init = v;
+    for _ in 0..6 {
+        qr!(v, 0, 4, 8, 12);
+        qr!(v, 1, 5, 9, 13);
+        qr!(v, 2, 6, 10, 14);
+        qr!(v, 3, 7, 11, 15);
+        qr!(v, 0, 5, 10, 15);
+        qr!(v, 1, 6, 11, 12);
+        qr!(v, 2, 7, 8, 13);
+        qr!(v, 3, 4, 9, 14);
+    }
+    for (w, vec) in v.iter_mut().enumerate() {
+        *vec = _mm512_add_epi32(*vec, init[w]);
+    }
+    // Transpose back: row s = stream s's keystream block, one store each.
+    transpose16(&mut v);
+    for (s, o) in out.iter_mut().enumerate() {
+        _mm512_storeu_si512(o.as_mut_ptr() as *mut __m512i, v[s]);
+    }
+}
+
+// In-register 8×8 `u32` transpose (unpack/unpack/permute2x128 ladder,
+// 24 shuffles): `v[r]` holds row `r` in, column `r` out.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn transpose8(v: &mut [std::arch::x86_64::__m256i; 8]) {
+    use std::arch::x86_64::*;
+    let mut t = [_mm256_setzero_si256(); 8];
+    for k in 0..4 {
+        t[2 * k] = _mm256_unpacklo_epi32(v[2 * k], v[2 * k + 1]);
+        t[2 * k + 1] = _mm256_unpackhi_epi32(v[2 * k], v[2 * k + 1]);
+    }
+    let mut s = [_mm256_setzero_si256(); 8];
+    for g in 0..2 {
+        let b = 4 * g;
+        s[b] = _mm256_unpacklo_epi64(t[b], t[b + 2]);
+        s[b + 1] = _mm256_unpackhi_epi64(t[b], t[b + 2]);
+        s[b + 2] = _mm256_unpacklo_epi64(t[b + 1], t[b + 3]);
+        s[b + 3] = _mm256_unpackhi_epi64(t[b + 1], t[b + 3]);
+    }
+    for c in 0..4 {
+        v[c] = _mm256_permute2x128_si256::<0x20>(s[c], s[4 + c]);
+        v[c + 4] = _mm256_permute2x128_si256::<0x31>(s[c], s[4 + c]);
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn blocks8_avx2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLOCK_WORDS]]) {
@@ -112,28 +277,28 @@ unsafe fn blocks8_avx2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLO
         };
     }
 
-    // Transpose the 8 stream states in: vector w = word w of all streams.
-    let mut tmp = [0u32; 8];
-    let mut v = [_mm256_setzero_si256(); BLOCK_WORDS];
     const CONSTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
-    for (w, c) in CONSTS.iter().enumerate() {
-        v[w] = _mm256_set1_epi32(*c as i32);
+    // Build each stream's full 16-word state row, then transpose the two
+    // 8×8 halves in-register: vector w = word w of all 8 streams.
+    let mut rows = [[0u32; BLOCK_WORDS]; 8];
+    for (s, row) in rows.iter_mut().enumerate() {
+        row[..4].copy_from_slice(&CONSTS);
+        row[4..12].copy_from_slice(&keys[s]);
+        row[12] = counters[s] as u32;
+        row[13] = (counters[s] >> 32) as u32;
+        // Words 14, 15 stay zero (nonce words).
     }
-    for w in 0..8 {
-        for s in 0..8 {
-            tmp[s] = keys[s][w];
-        }
-        v[4 + w] = _mm256_loadu_si256(tmp.as_ptr() as *const __m256i);
-    }
+    let mut lo = [_mm256_setzero_si256(); 8];
+    let mut hi = [_mm256_setzero_si256(); 8];
     for s in 0..8 {
-        tmp[s] = counters[s] as u32;
+        lo[s] = _mm256_loadu_si256(rows[s].as_ptr() as *const __m256i);
+        hi[s] = _mm256_loadu_si256(rows[s].as_ptr().add(8) as *const __m256i);
     }
-    v[12] = _mm256_loadu_si256(tmp.as_ptr() as *const __m256i);
-    for s in 0..8 {
-        tmp[s] = (counters[s] >> 32) as u32;
-    }
-    v[13] = _mm256_loadu_si256(tmp.as_ptr() as *const __m256i);
-    // v[14], v[15] stay zero (nonce words).
+    transpose8(&mut lo);
+    transpose8(&mut hi);
+    let mut v = [_mm256_setzero_si256(); BLOCK_WORDS];
+    v[..8].copy_from_slice(&lo);
+    v[8..].copy_from_slice(&hi);
 
     let init = v;
     for _ in 0..6 {
@@ -148,19 +313,41 @@ unsafe fn blocks8_avx2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLO
     }
     for (w, vec) in v.iter_mut().enumerate() {
         *vec = _mm256_add_epi32(*vec, init[w]);
-        _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, *vec);
-        for s in 0..8 {
-            out[s][w] = tmp[s];
-        }
+    }
+    // Transpose back: row s = stream s's keystream block, two stores.
+    lo.copy_from_slice(&v[..8]);
+    hi.copy_from_slice(&v[8..]);
+    transpose8(&mut lo);
+    transpose8(&mut hi);
+    for (s, o) in out.iter_mut().enumerate() {
+        _mm256_storeu_si256(o.as_mut_ptr() as *mut __m256i, lo[s]);
+        _mm256_storeu_si256(o.as_mut_ptr().add(8) as *mut __m256i, hi[s]);
     }
 }
 
+// In-register 4×4 `u32` transpose (8 shuffles): `v[r]` holds row `r`
+// in, column `r` out.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+#[inline]
+unsafe fn transpose4(v: &mut [std::arch::x86_64::__m128i; 4]) {
+    use std::arch::x86_64::*;
+    let t0 = _mm_unpacklo_epi32(v[0], v[1]);
+    let t1 = _mm_unpackhi_epi32(v[0], v[1]);
+    let t2 = _mm_unpacklo_epi32(v[2], v[3]);
+    let t3 = _mm_unpackhi_epi32(v[2], v[3]);
+    v[0] = _mm_unpacklo_epi64(t0, t2);
+    v[1] = _mm_unpackhi_epi64(t0, t2);
+    v[2] = _mm_unpacklo_epi64(t1, t3);
+    v[3] = _mm_unpackhi_epi64(t1, t3);
+}
+
 // Deliberately a 4-lane mirror of `blocks8_avx2` (same round schedule,
-// same transpose, same counter packing) rather than one width-generic
-// macro — keep the two in lockstep when editing either. Every CI leg
-// exercises both: the 4-wide path also runs as the remainder chunk of
-// AVX2 refill sets, and `compute_blocks_matches_scalar_on_every_backend`
-// pins each against the scalar block function.
+// same counter packing) rather than one width-generic macro — keep the
+// two in lockstep when editing either. Every CI leg exercises both: the
+// 4-wide path also runs as the remainder chunk of AVX2 refill sets, and
+// `compute_blocks_matches_scalar_on_every_backend` pins each against
+// the scalar block function.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 unsafe fn blocks4_sse2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLOCK_WORDS]]) {
@@ -184,26 +371,26 @@ unsafe fn blocks4_sse2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLO
         };
     }
 
-    let mut tmp = [0u32; 4];
-    let mut v = [_mm_setzero_si128(); BLOCK_WORDS];
     const CONSTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
-    for (w, c) in CONSTS.iter().enumerate() {
-        v[w] = _mm_set1_epi32(*c as i32);
+    // Build each stream's full 16-word state row, then transpose the
+    // four 4×4 quarters in-register: vector w = word w of all 4 streams.
+    let mut rows = [[0u32; BLOCK_WORDS]; 4];
+    for (s, row) in rows.iter_mut().enumerate() {
+        row[..4].copy_from_slice(&CONSTS);
+        row[4..12].copy_from_slice(&keys[s]);
+        row[12] = counters[s] as u32;
+        row[13] = (counters[s] >> 32) as u32;
+        // Words 14, 15 stay zero (nonce words).
     }
-    for w in 0..8 {
+    let mut v = [_mm_setzero_si128(); BLOCK_WORDS];
+    for q in 0..4 {
+        let mut quad = [_mm_setzero_si128(); 4];
         for s in 0..4 {
-            tmp[s] = keys[s][w];
+            quad[s] = _mm_loadu_si128(rows[s].as_ptr().add(4 * q) as *const __m128i);
         }
-        v[4 + w] = _mm_loadu_si128(tmp.as_ptr() as *const __m128i);
+        transpose4(&mut quad);
+        v[4 * q..4 * q + 4].copy_from_slice(&quad);
     }
-    for s in 0..4 {
-        tmp[s] = counters[s] as u32;
-    }
-    v[12] = _mm_loadu_si128(tmp.as_ptr() as *const __m128i);
-    for s in 0..4 {
-        tmp[s] = (counters[s] >> 32) as u32;
-    }
-    v[13] = _mm_loadu_si128(tmp.as_ptr() as *const __m128i);
 
     let init = v;
     for _ in 0..6 {
@@ -218,9 +405,14 @@ unsafe fn blocks4_sse2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; BLO
     }
     for (w, vec) in v.iter_mut().enumerate() {
         *vec = _mm_add_epi32(*vec, init[w]);
-        _mm_storeu_si128(tmp.as_mut_ptr() as *mut __m128i, *vec);
-        for s in 0..4 {
-            out[s][w] = tmp[s];
+    }
+    // Transpose back quarter by quarter: row s = stream s's words.
+    for q in 0..4 {
+        let mut quad = [_mm_setzero_si128(); 4];
+        quad.copy_from_slice(&v[4 * q..4 * q + 4]);
+        transpose4(&mut quad);
+        for (s, o) in out.iter_mut().enumerate() {
+            _mm_storeu_si128(o.as_mut_ptr().add(4 * q) as *mut __m128i, quad[s]);
         }
     }
 }
@@ -248,6 +440,146 @@ pub fn draw_u64(rng: &mut SimRng, pending: &mut Option<[u32; BLOCK_WORDS]>) -> u
     (hi << 32) | lo
 }
 
+/// Sentinel cursor value: the lane outran its view, its consumption has
+/// been committed, and further draws go through the mutating
+/// [`draw_u64`] path.
+pub const VIEW_COMMITTED: u32 = u32::MAX;
+
+/// Words per lane view row: the lane's whole current block followed by
+/// its staged next block.
+pub const VIEW_STRIDE: usize = 2 * BLOCK_WORDS;
+
+/// Synchronize the *persistent* per-lane draw views with the streams'
+/// current positions, staging next blocks in the same pass. Row `i` of
+/// `sc.views` is lane `i`'s current block followed by its staged next
+/// block, pinned to an exact stream position by `(sc.view_stream[i],
+/// sc.view_ctr0[i])` — equal stream identities imply equal keys, so
+/// matching tags mean the row bytes *are* the lane's keystream and the
+/// row survives from the previous step untouched. Only three cases do
+/// any work:
+///
+/// * stale tags (first step, a reseeded/replaced lane, or an external
+///   block crossing): the current block is recopied (64 B);
+/// * a missing staged half (after a rebase in [`commit_view`], or a
+///   fresh row): the next block is computed — all such lanes in one
+///   [`compute_blocks`] pass — and scattered into the row;
+/// * everything else: the cursor is recomputed from the stream (two
+///   loads), nothing is copied.
+///
+/// Draws then become pure loads against the row ([`view_row_u64`]) with
+/// a single [`commit_view`] per lane at the end of the step — no
+/// per-draw stream mutation, no per-step row rebuild.
+pub fn sync_views(rngs: &[SimRng], lanes: &[usize], sc: &mut KernelScratch) {
+    let n_lanes = rngs.len();
+    if sc.views.len() < n_lanes {
+        sc.views.resize(n_lanes, [0u32; VIEW_STRIDE]);
+        sc.view_stream.resize(n_lanes, u64::MAX);
+        sc.view_ctr0.resize(n_lanes, 0);
+        sc.view_staged.resize(n_lanes, false);
+        sc.cursors.resize(n_lanes, 0);
+    }
+    // Here `idxs` holds the lanes whose staged half needs computing.
+    sc.idxs.clear();
+    sc.keys.clear();
+    sc.counters.clear();
+    let KernelScratch {
+        views,
+        view_stream,
+        view_ctr0,
+        view_staged,
+        cursors,
+        idxs,
+        keys,
+        counters,
+        blocks,
+        ..
+    } = sc;
+    for &i in lanes {
+        let rng = &rngs[i];
+        let rem = rng.words_remaining();
+        // The counter of the *current* (possibly partially read) block.
+        // A never-filled stream wraps to `counter - 1` of garbage — but
+        // there `rem == 0`, the cursor starts past the first half, and
+        // the tag still pins the staged half correctly.
+        let ctr0 = rng.block_counter().wrapping_sub(1);
+        cursors[i] = (BLOCK_WORDS - rem) as u32;
+        if view_stream[i] != rng.stream_id() || view_ctr0[i] != ctr0 {
+            views[i][..BLOCK_WORDS].copy_from_slice(rng.current_block());
+            view_stream[i] = rng.stream_id();
+            view_ctr0[i] = ctr0;
+            view_staged[i] = false;
+        }
+        if !view_staged[i] {
+            idxs.push(i);
+            keys.push(*rng.block_key());
+            counters.push(rng.block_counter());
+            view_staged[i] = true;
+        }
+    }
+    let n = idxs.len();
+    if n > 0 {
+        if blocks.len() < n {
+            blocks.resize(n, [0u32; BLOCK_WORDS]);
+        }
+        compute_blocks(keys, counters, &mut blocks[..n]);
+        for (k, &i) in idxs.iter().enumerate() {
+            views[i][BLOCK_WORDS..].copy_from_slice(&blocks[k]);
+        }
+    }
+}
+
+/// One `u64` from a lane's view row, advancing only the local `cursor` —
+/// `None` when the row cannot cover another draw (caller commits and
+/// falls back to [`draw_u64`]). Word order is exactly `next_u64`'s (low
+/// word, then high), so a committed view is bit-identical to mutating
+/// draws.
+#[inline(always)]
+pub fn view_row_u64(row: &[u32; VIEW_STRIDE], cursor: &mut u32) -> Option<u64> {
+    let c = *cursor as usize;
+    if c + 2 > VIEW_STRIDE {
+        return None;
+    }
+    let lo = row[c] as u64;
+    let hi = row[c + 1] as u64;
+    *cursor += 2;
+    Some((hi << 32) | lo)
+}
+
+/// Commit a lane's view consumption to its stream: skip within the
+/// current block, or — when the cursor crossed into the staged half —
+/// install the staged block and *rebase* the row (the staged half
+/// becomes the current half, 64 B, and the tag advances) so the row
+/// stays valid for the next step's [`sync_views`] with only its staged
+/// half to refill. After this, mutating draws continue seamlessly from
+/// the cursor position.
+#[inline]
+pub fn commit_view(
+    rng: &mut SimRng,
+    i: usize,
+    views: &mut [[u32; VIEW_STRIDE]],
+    view_ctr0: &mut [u64],
+    view_staged: &mut [bool],
+    cursor: u32,
+) {
+    let c = cursor as usize;
+    let rem = rng.words_remaining();
+    let start = BLOCK_WORDS - rem;
+    debug_assert!(c >= start, "cursor behind the stream position");
+    if c <= BLOCK_WORDS {
+        rng.skip_words(c - start);
+    } else {
+        rng.skip_words(rem);
+        debug_assert!(view_staged[i], "view crossed into an unstaged half");
+        let row = &mut views[i];
+        let staged: [u32; BLOCK_WORDS] = row[BLOCK_WORDS..].try_into().unwrap();
+        rng.install_block(staged);
+        rng.skip_words(c - BLOCK_WORDS);
+        row.copy_within(BLOCK_WORDS.., 0);
+        view_ctr0[i] = view_ctr0[i].wrapping_add(1);
+        view_staged[i] = false;
+    }
+}
+
 /// Stage vectorized refills: record every listed lane whose current
 /// block holds fewer than `min_words` unread words into `sc.idxs`, and
 /// compute those lanes' next blocks into `sc.blocks` in one
@@ -259,13 +591,15 @@ pub fn stage_refills(rngs: &[SimRng], lanes: &[usize], min_words: usize, sc: &mu
     for &i in lanes {
         if rngs[i].words_remaining() < min_words {
             sc.idxs.push(i);
-            sc.keys.push(rngs[i].block_key());
+            sc.keys.push(*rngs[i].block_key());
             sc.counters.push(rngs[i].block_counter());
         }
     }
-    sc.blocks.clear();
-    sc.blocks.resize(sc.idxs.len(), [0u32; BLOCK_WORDS]);
-    compute_blocks(&sc.keys, &sc.counters, &mut sc.blocks);
+    let n = sc.idxs.len();
+    if sc.blocks.len() < n {
+        sc.blocks.resize(n, [0u32; BLOCK_WORDS]);
+    }
+    compute_blocks(&sc.keys, &sc.counters, &mut sc.blocks[..n]);
 }
 
 /// Stage refills with the per-lane pending-block cache: like
@@ -291,25 +625,26 @@ pub fn stage_refills_cached(
     sc.counters.clear();
     for &i in lanes {
         if rngs[i].words_remaining() < min_words {
-            let key = rngs[i].block_key();
             let counter = rngs[i].block_counter();
             let cached = matches!(
                 &sc.pending[i],
-                Some(p) if p.key == key && p.counter == counter
+                Some(p) if p.counter == counter && p.stream == rngs[i].stream_id()
             );
             if !cached {
                 sc.idxs.push(i);
-                sc.keys.push(key);
+                sc.keys.push(*rngs[i].block_key());
                 sc.counters.push(counter);
             }
         }
     }
-    sc.blocks.clear();
-    sc.blocks.resize(sc.idxs.len(), [0u32; BLOCK_WORDS]);
-    compute_blocks(&sc.keys, &sc.counters, &mut sc.blocks);
+    let n = sc.idxs.len();
+    if sc.blocks.len() < n {
+        sc.blocks.resize(n, [0u32; BLOCK_WORDS]);
+    }
+    compute_blocks(&sc.keys, &sc.counters, &mut sc.blocks[..n]);
     for (j, &i) in sc.idxs.iter().enumerate() {
         sc.pending[i] = Some(super::PendingBlock {
-            key: sc.keys[j],
+            stream: rngs[i].stream_id(),
             counter: sc.counters[j],
             block: sc.blocks[j],
         });
@@ -326,7 +661,7 @@ pub fn take_pending(
     sc_pending: &mut [Option<super::PendingBlock>],
 ) -> Option<[u32; BLOCK_WORDS]> {
     match sc_pending.get_mut(i).and_then(|p| p.take()) {
-        Some(p) if p.key == rng.block_key() && p.counter == rng.block_counter() => Some(p.block),
+        Some(p) if p.stream == rng.stream_id() && p.counter == rng.block_counter() => Some(p.block),
         _ => None,
     }
 }
@@ -341,7 +676,7 @@ pub fn restore_pending(
     sc_pending: &mut [Option<super::PendingBlock>],
 ) {
     sc_pending[i] = Some(super::PendingBlock {
-        key: rng.block_key(),
+        stream: rng.stream_id(),
         counter: rng.block_counter(),
         block,
     });
@@ -404,7 +739,7 @@ mod tests {
         let mut seeder = rng_from_seed(101);
         for n in [0usize, 1, 3, 4, 5, 8, 13, 32] {
             let streams: Vec<SimRng> = (0..n).map(|_| split_rng(&mut seeder)).collect();
-            let keys: Vec<[u32; 8]> = streams.iter().map(|r| r.block_key()).collect();
+            let keys: Vec<[u32; 8]> = streams.iter().map(|r| *r.block_key()).collect();
             let counters: Vec<u64> = streams.iter().map(|r| r.block_counter()).collect();
             let expect: Vec<[u32; 16]> = keys
                 .iter()

@@ -37,14 +37,16 @@
 //! ## Backend selection
 //!
 //! [`Backend::active`] picks the widest available backend at first use:
-//! AVX2 (8-wide `u32` / 4-wide `f64`) when the CPU supports it, SSE2
-//! (4-wide `u32`) on any `x86_64`, and the portable scalar path
-//! everywhere else. The `MLSS_SIMD` environment variable overrides the
-//! choice (`scalar`, `sse2`, `avx2`, or `auto`); forcing a backend the
-//! CPU lacks falls back to the widest supported one. CI runs the whole
-//! test suite under `MLSS_SIMD=scalar` *and* the auto backend — because
-//! results are bit-identical, the flag is purely a throughput knob (and
-//! a debugging aid).
+//! AVX-512 (16-wide `u32` / 8-wide `f64`) when the CPU supports it, AVX2
+//! (8-wide `u32` / 4-wide `f64`), SSE2 (4-wide `u32`) on any `x86_64`,
+//! and the portable scalar path everywhere else. The `MLSS_SIMD`
+//! environment variable overrides the choice (`scalar`, `sse2`, `avx2`,
+//! `avx512`, or `auto`); forcing a backend the CPU lacks falls back to
+//! the widest supported one — so an `MLSS_SIMD=avx512` CI leg degrades
+//! gracefully on a runner without the ISA. CI runs the whole test suite
+//! under `MLSS_SIMD=scalar` *and* the auto backend — because results are
+//! bit-identical, the flag is purely a throughput knob (and a debugging
+//! aid).
 
 pub mod chacha;
 pub mod vmath;
@@ -87,6 +89,9 @@ pub enum Backend {
     /// `x86_64` AVX2: 8-wide `u32` ChaCha blocks (`__m256i`) and 256-bit
     /// `f64` vector math.
     Avx2,
+    /// `x86_64` AVX-512F: 16-wide `u32` ChaCha blocks (`__m512i`, 16
+    /// independent streams per pass) and 512-bit `f64` vector math.
+    Avx512,
 }
 
 impl Backend {
@@ -94,6 +99,9 @@ impl Backend {
     pub fn detect() -> Backend {
         #[cfg(target_arch = "x86_64")]
         {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Backend::Avx512;
+            }
             if std::arch::is_x86_feature_detected!("avx2") {
                 return Backend::Avx2;
             }
@@ -107,8 +115,8 @@ impl Backend {
     }
 
     /// The process-wide active backend: `min(detected, MLSS_SIMD)`,
-    /// resolved once. `MLSS_SIMD=scalar|sse2|avx2` caps the backend;
-    /// `auto` (or unset, or unparseable) uses the detected one.
+    /// resolved once. `MLSS_SIMD=scalar|sse2|avx2|avx512` caps the
+    /// backend; `auto` (or unset, or unparseable) uses the detected one.
     pub fn active() -> Backend {
         static ACTIVE: OnceLock<Backend> = OnceLock::new();
         *ACTIVE.get_or_init(|| {
@@ -117,6 +125,7 @@ impl Backend {
                 Some("scalar") => Backend::Scalar,
                 Some("sse2") => detected.min(Backend::Sse2),
                 Some("avx2") => detected.min(Backend::Avx2),
+                Some("avx512") => detected.min(Backend::Avx512),
                 _ => detected,
             }
         })
@@ -126,11 +135,10 @@ impl Backend {
     /// harness iterates this to pin cross-backend bit-equality.
     pub fn available() -> Vec<Backend> {
         let mut v = vec![Backend::Scalar];
-        if Backend::detect() >= Backend::Sse2 {
-            v.push(Backend::Sse2);
-        }
-        if Backend::detect() >= Backend::Avx2 {
-            v.push(Backend::Avx2);
+        for candidate in [Backend::Sse2, Backend::Avx2, Backend::Avx512] {
+            if Backend::detect() >= candidate {
+                v.push(candidate);
+            }
         }
         v
     }
@@ -142,6 +150,7 @@ impl std::fmt::Display for Backend {
             Backend::Scalar => "scalar",
             Backend::Sse2 => "sse2",
             Backend::Avx2 => "avx2",
+            Backend::Avx512 => "avx512",
         })
     }
 }
@@ -170,15 +179,45 @@ pub struct KernelScratch {
     /// stays here, validated by (key, counter), until the lane installs
     /// it — so no SIMD block compute is ever wasted.
     pub pending: Vec<Option<PendingBlock>>,
+    /// Per-cohort-position `u64` counters (kernel-defined meaning — the
+    /// cpp kernel keeps its per-lane Poisson counts here).
+    pub counts: Vec<u64>,
+    /// Per-lane *persistent* draw views (see [`chacha::sync_views`]):
+    /// row `i` is lane `i`'s current block followed by its staged next
+    /// block, read as pure loads. Rows survive across steps — a step
+    /// revalidates each row against its tags instead of rebuilding it,
+    /// and a lane that crossed a block boundary rebases its row (64 B)
+    /// rather than recopying every lane every step. Fixed-size rows let
+    /// the draw loop elide bounds checks.
+    pub views: Vec<[u32; chacha::VIEW_STRIDE]>,
+    /// Per-lane view validity tag: the `stream_id()` of the RNG the row
+    /// was built for (`u64::MAX` = never built).
+    pub view_stream: Vec<u64>,
+    /// Per-lane view validity tag: the counter of the block in the
+    /// row's first half. Together with `view_stream` this pins the row
+    /// to an exact stream position — equal identities imply equal keys,
+    /// so matching tags mean the row bytes are the lane's keystream.
+    pub view_ctr0: Vec<u64>,
+    /// Per-lane flag: the row's second half holds the staged next block
+    /// (`view_ctr0 + 1`). Cleared on rebase, refilled by the next
+    /// [`chacha::sync_views`] pass in one SIMD block compute.
+    pub view_staged: Vec<bool>,
+    /// Per-lane view cursors: words consumed from the lane's view,
+    /// committed to the stream once per step
+    /// ([`chacha::commit_view`]).
+    pub cursors: Vec<u32>,
 }
 
 /// One staged ChaCha block, tagged with the stream position it is the
 /// next block *of* (so a recycled lane slot can never install a stale
-/// block).
+/// block). The tag is the stream's process-unique identity rather than
+/// its 32-byte key — equal identities imply equal keys (the shim never
+/// mutates a key after construction), and the one-word compare keeps
+/// the per-lane cache-validity scan cheap.
 #[derive(Debug, Clone, Copy)]
 pub struct PendingBlock {
-    /// The stream's key at staging time.
-    pub key: [u32; 8],
+    /// The stream's identity (`stream_id()`) at staging time.
+    pub stream: u64,
     /// The counter this block was computed for.
     pub counter: u64,
     /// The computed keystream block.

@@ -317,7 +317,7 @@ pub fn normal01_draw<R: RngCore>(rng: &mut R) -> f64 {
 const CHUNK: usize = 8;
 
 macro_rules! slice_kernels {
-    ($generic:ident, $avx2:ident, $with:ident, $public:ident, $lanes_fn:ident, $doc:literal) => {
+    ($generic:ident, $avx2:ident, $avx512:ident, $with:ident, $public:ident, $lanes_fn:ident, $doc:literal) => {
         #[inline(always)]
         fn $generic(xs: &mut [f64]) {
             let mut chunks = xs.chunks_exact_mut(CHUNK);
@@ -337,13 +337,29 @@ macro_rules! slice_kernels {
             $generic(xs)
         }
 
+        // The 8-lane chunks vectorize to full 512-bit `f64` registers
+        // here; the arithmetic (and therefore every bit of the result)
+        // is identical to the generic instantiation.
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn $avx512(xs: &mut [f64]) {
+            $generic(xs)
+        }
+
         /// The slice kernel on an explicit backend (test harness hook).
         pub fn $with(backend: Backend, xs: &mut [f64]) {
             #[cfg(target_arch = "x86_64")]
-            if backend >= Backend::Avx2 {
-                // SAFETY: Avx2 is only offered when detected.
-                unsafe { $avx2(xs) };
-                return;
+            {
+                if backend >= Backend::Avx512 {
+                    // SAFETY: Avx512 is only offered when detected.
+                    unsafe { $avx512(xs) };
+                    return;
+                }
+                if backend >= Backend::Avx2 {
+                    // SAFETY: Avx2 is only offered when detected.
+                    unsafe { $avx2(xs) };
+                    return;
+                }
             }
             let _ = backend;
             $generic(xs)
@@ -362,6 +378,7 @@ macro_rules! slice_kernels {
 slice_kernels!(
     exp_slice_generic,
     exp_slice_avx2,
+    exp_slice_avx512,
     exp_slice_with,
     exp_slice,
     exp_lanes,
@@ -370,6 +387,7 @@ slice_kernels!(
 slice_kernels!(
     ln_slice_generic,
     ln_slice_avx2,
+    ln_slice_avx512,
     ln_slice_with,
     ln_slice,
     ln_lanes,
@@ -378,6 +396,7 @@ slice_kernels!(
 slice_kernels!(
     cos_tau_slice_generic,
     cos_tau_slice_avx2,
+    cos_tau_slice_avx512,
     cos_tau_slice_with,
     cos_tau_slice,
     cos_tau_lanes,
@@ -408,14 +427,27 @@ unsafe fn u01_slice_avx2(words: &[u64], out: &mut [f64]) {
     u01_slice_generic(words, out)
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn u01_slice_avx512(words: &[u64], out: &mut [f64]) {
+    u01_slice_generic(words, out)
+}
+
 /// [`u01_slice`] on an explicit backend (test harness hook).
 pub fn u01_slice_with(backend: Backend, words: &[u64], out: &mut [f64]) {
     assert_eq!(words.len(), out.len());
     #[cfg(target_arch = "x86_64")]
-    if backend >= Backend::Avx2 {
-        // SAFETY: Avx2 is only offered when detected.
-        unsafe { u01_slice_avx2(words, out) };
-        return;
+    {
+        if backend >= Backend::Avx512 {
+            // SAFETY: Avx512 is only offered when detected.
+            unsafe { u01_slice_avx512(words, out) };
+            return;
+        }
+        if backend >= Backend::Avx2 {
+            // SAFETY: Avx2 is only offered when detected.
+            unsafe { u01_slice_avx2(words, out) };
+            return;
+        }
     }
     let _ = backend;
     u01_slice_generic(words, out)
@@ -425,6 +457,63 @@ pub fn u01_slice_with(backend: Backend, words: &[u64], out: &mut [f64]) {
 /// a whole cohort, vectorized.
 pub fn u01_slice(words: &[u64], out: &mut [f64]) {
     u01_slice_with(Backend::active(), words, out)
+}
+
+#[inline(always)]
+fn open01_slice_generic(words: &[u64], out: &mut [f64]) {
+    debug_assert_eq!(words.len(), out.len());
+    let scale = F64Lanes::<CHUNK>::splat(1.0 / (1u64 << 53) as f64);
+    let one = U64Lanes::<CHUNK>::splat(1);
+    let mut chunks = out.chunks_exact_mut(CHUNK);
+    let mut base = 0;
+    for c in &mut chunks {
+        let mut w = [0u64; CHUNK];
+        w.copy_from_slice(&words[base..base + CHUNK]);
+        let u = (U64Lanes(w) >> 11).wrapping_add(one).as_i64().to_f64() * scale;
+        c.copy_from_slice(&u.0);
+        base += CHUNK;
+    }
+    for (k, o) in chunks.into_remainder().iter_mut().enumerate() {
+        *o = open01(words[base + k]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn open01_slice_avx2(words: &[u64], out: &mut [f64]) {
+    open01_slice_generic(words, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn open01_slice_avx512(words: &[u64], out: &mut [f64]) {
+    open01_slice_generic(words, out)
+}
+
+/// [`open01_slice`] on an explicit backend (test harness hook).
+pub fn open01_slice_with(backend: Backend, words: &[u64], out: &mut [f64]) {
+    assert_eq!(words.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if backend >= Backend::Avx512 {
+            // SAFETY: Avx512 is only offered when detected.
+            unsafe { open01_slice_avx512(words, out) };
+            return;
+        }
+        if backend >= Backend::Avx2 {
+            // SAFETY: Avx2 is only offered when detected.
+            unsafe { open01_slice_avx2(words, out) };
+            return;
+        }
+    }
+    let _ = backend;
+    open01_slice_generic(words, out)
+}
+
+/// `out[i] = open01(words[i])` — the raw-word → uniform-(0,1] mapping
+/// over a whole cohort, vectorized (the cpp Knuth-product factor).
+pub fn open01_slice(words: &[u64], out: &mut [f64]) {
+    open01_slice_with(Backend::active(), words, out)
 }
 
 #[inline(always)]
@@ -453,14 +542,27 @@ unsafe fn normal_slice_avx2(words: &[u64], out: &mut [f64]) {
     normal_slice_generic(words, out)
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn normal_slice_avx512(words: &[u64], out: &mut [f64]) {
+    normal_slice_generic(words, out)
+}
+
 /// [`normal_from_words`] on an explicit backend (test harness hook).
 pub fn normal_from_words_with(backend: Backend, words: &[u64], out: &mut [f64]) {
     assert_eq!(words.len(), 2 * out.len());
     #[cfg(target_arch = "x86_64")]
-    if backend >= Backend::Avx2 {
-        // SAFETY: Avx2 is only offered when detected.
-        unsafe { normal_slice_avx2(words, out) };
-        return;
+    {
+        if backend >= Backend::Avx512 {
+            // SAFETY: Avx512 is only offered when detected.
+            unsafe { normal_slice_avx512(words, out) };
+            return;
+        }
+        if backend >= Backend::Avx2 {
+            // SAFETY: Avx2 is only offered when detected.
+            unsafe { normal_slice_avx2(words, out) };
+            return;
+        }
     }
     let _ = backend;
     normal_slice_generic(words, out)

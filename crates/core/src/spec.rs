@@ -311,7 +311,11 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Frontier batch width. `None` inherits the layer default (scalar
     /// for the sync driver, the scheduler's configured width for async);
-    /// `Some(0)` forces scalar, `Some(w)` batched slices at width `w`.
+    /// `Some(0)` forces scalar, `Some(w)` batched slices at width `w`,
+    /// and `Some(`[`crate::width::AUTO_WIDTH`]`)` (`batch_width=auto`)
+    /// asks the executor to resolve a width from the model's kernel
+    /// class, probing and memoizing per query fingerprint. Widths never
+    /// change results — `auto` is bit-identical to its resolved width.
     pub batch_width: Option<usize>,
     /// Pinned RNG seed (worker-0-canonical stream). `None` draws from
     /// the caller's stream.
@@ -464,7 +468,11 @@ impl QuerySpec {
         s.push_str(&format!(" TARGET RE {}", self.target_re));
         let mut opts: Vec<String> = Vec::new();
         if let Some(w) = self.options.batch_width {
-            opts.push(format!("batch_width={w}"));
+            if w == crate::width::AUTO_WIDTH {
+                opts.push("batch_width=auto".to_string());
+            } else {
+                opts.push(format!("batch_width={w}"));
+            }
         }
         if self.options.priority != 0 {
             opts.push(format!("priority={}", self.options.priority));
@@ -1258,6 +1266,19 @@ mod tests {
         assert_eq!(
             plain.render(),
             "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 60 USING srs TARGET RE 0.25"
+        );
+    }
+
+    #[test]
+    fn render_spells_auto_width() {
+        // The sentinel renders as the keyword the parser accepts, so
+        // render∘parse stays a fixed point for auto-width specs too.
+        let mut spec = QuerySpec::new("gbm", 560.0, 500, 0.25).with_method(Method::Srs);
+        spec.options.batch_width = Some(crate::width::AUTO_WIDTH);
+        assert_eq!(
+            spec.render(),
+            "ESTIMATE DURABILITY OF gbm(beta=560) WITHIN 500 USING srs \
+             TARGET RE 0.25 WITH (batch_width=auto)"
         );
     }
 }

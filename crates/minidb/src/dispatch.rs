@@ -310,8 +310,28 @@ pub fn explain_spec(
         "batch_width",
         if width == 0 {
             "0 (scalar)".into()
+        } else if width == mlss_core::width::AUTO_WIDTH {
+            "auto".into()
         } else {
             format!("{width}")
+        },
+    );
+    // The width policy's resolution: what the statement will actually
+    // launch at, and where that number came from. For `auto` the probe
+    // (or its memoized winner) runs right here, so EXPLAIN warms the
+    // width memo exactly like executing would.
+    let default_width = if asynchronous {
+        scheduler.map(|s| s.config().batch_width).unwrap_or(0)
+    } else {
+        0
+    };
+    let (resolved_width, width_src) = runner.resolve_width(spec, &ctx, default_width);
+    push(
+        "width",
+        if width == mlss_core::width::AUTO_WIDTH {
+            format!("auto -> {resolved_width} ({width_src})")
+        } else {
+            format!("{resolved_width} ({width_src})")
         },
     );
     push(

@@ -40,7 +40,7 @@ use mlss_core::prelude::{
     GMlssConfig, Problem, RatioValue, SMlssConfig, SimRng, SrsEstimator, StateScore,
 };
 use mlss_core::quality::RunControl;
-use mlss_core::rng::split_rng;
+use mlss_core::rng::{rng_from_seed, split_rng};
 use mlss_core::scheduler::{CompletedQuery, QueryId, Scheduler, SliceableQuery};
 use mlss_core::shard_store::{shard_key, ShardStore, StoredShard};
 use mlss_core::spec::{
@@ -417,6 +417,26 @@ pub trait ModelRunner: Send + Sync {
         rng: &mut SimRng,
     ) -> Result<PlanResolution, DbError>;
 
+    /// Resolve the launch width this spec will execute with, plus the
+    /// resolution's provenance. `default_width` is the layer fallback
+    /// that applies when the spec doesn't say (0 for the sync drivers,
+    /// the scheduler's configured width for async). Provenance values:
+    /// `"requested"` (an explicit number in the spec), `"default"` (the
+    /// inherited layer fallback), `"static"` (auto, picked from the
+    /// model's kernel class without measuring), `"probe"` (auto, a
+    /// micro-calibration burst ran and its winner was memoized in the
+    /// plan cache), `"cached-probe"` (auto, a previous probe answered).
+    ///
+    /// Probes time throwaway bursts on an RNG derived from the query
+    /// fingerprint — never the query's stream — so `batch_width=auto`
+    /// stays bit-identical to running the resolved width explicitly.
+    fn resolve_width(
+        &self,
+        spec: &QuerySpec,
+        plans: &PlanContext,
+        default_width: usize,
+    ) -> (usize, &'static str);
+
     /// Simulate `n_paths` on the batched frontier kernel (cohorts of
     /// `batch_width` lanes, one RNG stream per path — rows are
     /// bit-identical at every width) and insert `(path_id, t, score)`
@@ -462,7 +482,9 @@ where
         E::Shard: Send + Clone + 'static,
     {
         let control = target_control(spec.target_re);
-        let width = spec.options.batch_width.unwrap_or(0);
+        // `batch_width=auto` resolves here — per model, memoized per
+        // fingerprint — before any driver launches.
+        let (width, _) = self.width_for(spec, plans, 0);
         let vf = RatioValue::new(self.score, spec.beta);
         let problem = Problem::new(&self.model, &vf, spec.horizon);
 
@@ -593,6 +615,56 @@ where
         let src = if lookup.hit { "hit" } else { "miss" };
         (lookup, src)
     }
+
+    /// Width resolution shared by every execution path (see
+    /// [`ModelRunner::resolve_width`] for the provenance contract).
+    fn width_for(
+        &self,
+        spec: &QuerySpec,
+        plans: &PlanContext,
+        default_width: usize,
+    ) -> (usize, &'static str) {
+        let requested = spec.options.batch_width.unwrap_or(default_width);
+        if requested != mlss_core::width::AUTO_WIDTH {
+            return (
+                requested,
+                if spec.options.batch_width.is_some() {
+                    "requested"
+                } else {
+                    "default"
+                },
+            );
+        }
+        if let Some(w) = plans.cache.cached_width(plans.fingerprint) {
+            return (w, "cached-probe");
+        }
+        let class = self.model.kernel_class();
+        if class == mlss_core::width::KernelClass::Cheap {
+            // Nothing to measure: a cheap kernel's width curve is flat
+            // past the narrow pick, and probing would cost more than a
+            // wrong answer ever could.
+            return (
+                mlss_core::width::static_width(class, spec.horizon),
+                "static",
+            );
+        }
+        // Micro-calibration: time a fixed step burst per candidate width
+        // on a throwaway stream derived from the fingerprint. Every
+        // candidate replays the identical paths (the RNG reseeds per
+        // call), so the comparison isolates width. The winner is
+        // memoized in the plan cache — repeats of this query family
+        // resolve as "cached-probe" without ever probing again.
+        let vf = RatioValue::new(self.score, spec.beta);
+        let problem = Problem::new(&self.model, &vf, spec.horizon);
+        let est = SrsEstimator;
+        let picked = mlss_core::width::calibrate(class.probe_candidates(), |w| {
+            let mut rng = rng_from_seed(plans.fingerprint ^ WIDTH_PROBE_SEED_SALT);
+            let mut shard = <SrsEstimator as Estimator<M, RatioValue<Z>>>::shard(&est);
+            est.run_chunk_batched(problem, &mut shard, WIDTH_PROBE_BUDGET, &mut rng, w);
+        });
+        plans.cache.memo_width(plans.fingerprint, picked);
+        (picked, "probe")
+    }
 }
 
 impl<M, Z> ModelRunner for Runner<M, Z>
@@ -714,11 +786,10 @@ where
         }
 
         let control = target_control(spec.target_re);
-        // Per-query batch width: the spec's, falling back to the pool's.
-        let width = spec
-            .options
-            .batch_width
-            .unwrap_or(scheduler.config().batch_width);
+        // Per-query batch width: the spec's, falling back to the pool's;
+        // `auto` (from either) resolves to a concrete width here so the
+        // job is built with the width it will run at.
+        let (width, _) = self.width_for(spec, plans, scheduler.config().batch_width);
         let priority = spec.options.priority;
         let store = plans.store.as_deref();
         let fp = plans.fingerprint;
@@ -793,10 +864,7 @@ where
         entry: &StoredShard,
     ) -> Result<SubmitOutcome, DbError> {
         let control = target_control(spec.target_re);
-        let width = spec
-            .options
-            .batch_width
-            .unwrap_or(scheduler.config().batch_width);
+        let (width, _) = self.width_for(spec, plans, scheduler.config().batch_width);
         // Rebuild the resolved method the checkpoint was cut under. The
         // plan must come from the (replay-seeded) cache: deriving a
         // fresh one could shift level boundaries and desync the shard.
@@ -858,6 +926,15 @@ where
             tau_hint: lookup.tau_hint,
             plan_source: src,
         })
+    }
+
+    fn resolve_width(
+        &self,
+        spec: &QuerySpec,
+        plans: &PlanContext,
+        default_width: usize,
+    ) -> (usize, &'static str) {
+        self.width_for(spec, plans, default_width)
     }
 
     fn materialize(
@@ -1286,6 +1363,17 @@ struct MaterializePaths {
 /// Default cohort width for `materialize_paths` (rows are bit-identical
 /// at every width; this is a throughput default).
 const MATERIALIZE_BATCH_WIDTH: usize = 64;
+
+/// `g` invocations per candidate in a `batch_width=auto` micro-probe:
+/// enough steps to fill and recycle several cohorts at the widest
+/// candidate, small enough that the one-time calibration stays in the
+/// low milliseconds.
+const WIDTH_PROBE_BUDGET: u64 = 4096;
+
+/// Salt XORed into the query fingerprint to seed probe streams, so the
+/// throwaway calibration draws can never collide with any stream a real
+/// run derives from a user seed.
+const WIDTH_PROBE_SEED_SALT: u64 = 0x5749_4454_4841_5554;
 
 impl StoredProcedure for MaterializePaths {
     fn name(&self) -> &str {

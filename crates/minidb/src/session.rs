@@ -83,8 +83,11 @@ pub struct SessionConfig {
     pub max_retries: u32,
     /// Frontier width for scheduled queries (0 = scalar slices; w ≥ 1 =
     /// batched slices at width w — bit-identical across widths, so this
-    /// is purely a throughput knob). A spec's `batch_width` option
-    /// overrides it per query.
+    /// is purely a throughput knob). Set it to
+    /// [`mlss_core::width::AUTO_WIDTH`] to let every query resolve a
+    /// width from its model's kernel class (the `batch_width=auto`
+    /// policy, probe-memoized per query family). A spec's `batch_width`
+    /// option overrides it per query.
     pub batch_width: usize,
     /// Session master seed (drives per-query seeds when the caller does
     /// not pin one).
@@ -624,6 +627,28 @@ impl Session {
         if let Some(wal) = &self.wal {
             diags.push(wal.diagnostics());
         }
+        // The width policy's speculation ledger (process-wide, like the
+        // SIMD backend itself): how many roots batched frontiers
+        // launched vs committed — the gap is speculative work thrown
+        // away at chunk boundaries — and the average width they actually
+        // ran at.
+        let spec = mlss_core::width::snapshot();
+        let effective_width = if spec.chunks > 0 {
+            spec.width_sum as f64 / spec.chunks as f64
+        } else {
+            0.0
+        };
+        diags.push(Diagnostics {
+            estimator: "width_policy",
+            skip_events: 0,
+            details: vec![
+                ("frontier_chunks".into(), spec.chunks as f64),
+                ("roots_launched".into(), spec.launched as f64),
+                ("roots_committed".into(), spec.committed as f64),
+                ("speculation_discarded".into(), spec.discarded() as f64),
+                ("effective_width".into(), effective_width),
+            ],
+        });
         diags
     }
 

@@ -13,8 +13,9 @@
 //! model_ref   := ident ['(' assignments ')']     -- must include beta=…
 //! method_ref  := ident ['(' assignments ')']     -- srs|smlss|mlss|gmlss|auto, levels=…
 //! assignments := ident '=' number {',' ident '=' number}
-//! options     := ident '=' number {',' ident '=' number}
-//!                -- threads, batch_width, seed, priority
+//! options     := ident '=' (number | AUTO) {',' ident '=' (number | AUTO)}
+//!                -- threads, batch_width, seed, priority;
+//!                -- AUTO is valid only for batch_width
 //! number      := ['-'] INT | FLOAT
 //! ```
 //!
@@ -356,7 +357,22 @@ impl DialectParser<'_> {
         loop {
             let name = self.ident(&format!("a {what} name"))?;
             self.eat(TokKind::Eq, "'='")?;
-            let (value, vtok) = self.number_tok(&format!("a value for '{}'", name.text))?;
+            // Execution options admit the keyword value `auto`
+            // (today: `batch_width=auto`), carried as +∞ so the typed
+            // option match below can tell it apart from every real
+            // number. Model and method parameters stay numeric-only.
+            let auto = what == "execution option"
+                && matches!(
+                    self.peek(),
+                    Some(t) if t.kind == TokKind::Ident && t.text.eq_ignore_ascii_case("auto")
+                );
+            let (value, vtok) = if auto {
+                let t = self.peek().expect("peeked above").clone();
+                self.pos += 1;
+                (f64::INFINITY, t)
+            } else {
+                self.number_tok(&format!("a value for '{}'", name.text))?
+            };
             if out.iter().any(|(n, _, _)| n.text == name.text) {
                 return Err(SpecError::at(
                     SpecErrorKind::Duplicate {
@@ -513,26 +529,35 @@ impl DialectParser<'_> {
                 return Err(self.syntax("expected '(' after WITH", self.here()));
             }
             for (opt, value, vtok) in self.assignments("execution option")? {
+                // `auto` reaches here as +∞ (see `assignments`); only
+                // `batch_width` accepts it, and its arm checks before
+                // the integer validation runs.
                 let int_in = |lo: f64, hi: f64| -> Result<f64, SpecError> {
                     if value.fract() == 0.0 && (lo..=hi).contains(&value) {
                         Ok(value)
                     } else {
+                        let field = match opt.text.as_str() {
+                            "threads" => "threads",
+                            "batch_width" => "batch_width",
+                            "seed" => "seed",
+                            _ => "priority",
+                        };
+                        let message = if value.is_infinite() {
+                            "'auto' is only valid for batch_width".to_string()
+                        } else {
+                            format!("must be an integer in {lo}..={hi}, got {value}")
+                        };
                         Err(SpecError::at(
-                            SpecErrorKind::InvalidValue {
-                                field: match opt.text.as_str() {
-                                    "threads" => "threads",
-                                    "batch_width" => "batch_width",
-                                    "seed" => "seed",
-                                    _ => "priority",
-                                },
-                                message: format!("must be an integer in {lo}..={hi}, got {value}"),
-                            },
+                            SpecErrorKind::InvalidValue { field, message },
                             vtok.span,
                         ))
                     }
                 };
                 match opt.text.as_str() {
                     "threads" => spec.options.threads = int_in(1.0, 4096.0)? as usize,
+                    "batch_width" if value.is_infinite() => {
+                        spec.options.batch_width = Some(mlss_core::width::AUTO_WIDTH)
+                    }
                     "batch_width" => {
                         spec.options.batch_width = Some(int_in(0.0, 1_048_576.0)? as usize)
                     }
@@ -650,6 +675,46 @@ mod tests {
             parse("show diagnostics;").unwrap(),
             DialectStatement::ShowDiagnostics
         );
+    }
+
+    #[test]
+    fn batch_width_auto_parses_to_the_sentinel() {
+        let s = spec_of(
+            "ESTIMATE DURABILITY OF gbm(beta=560) WITHIN 500 TARGET RE 0.25 \
+             WITH (batch_width=auto, threads=2)",
+        );
+        assert_eq!(s.options.batch_width, Some(mlss_core::width::AUTO_WIDTH));
+        assert_eq!(s.options.threads, 2);
+        // Case-insensitive, like the keywords.
+        let s = spec_of(
+            "ESTIMATE DURABILITY OF gbm(beta=560) WITHIN 500 TARGET RE 0.25 \
+             WITH (batch_width=AUTO)",
+        );
+        assert_eq!(s.options.batch_width, Some(mlss_core::width::AUTO_WIDTH));
+    }
+
+    #[test]
+    fn auto_is_rejected_everywhere_else() {
+        // Other execution options don't take `auto`…
+        let sql = "ESTIMATE DURABILITY OF gbm(beta=560) WITHIN 500 TARGET RE 0.25 \
+             WITH (threads=auto)";
+        let err = parse(sql).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            SpecErrorKind::InvalidValue { field: "threads", ref message }
+                if message.contains("auto")
+        ));
+        let err = parse(
+            "ESTIMATE DURABILITY OF gbm(beta=560) WITHIN 500 TARGET RE 0.25 WITH (seed=auto)",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            SpecErrorKind::InvalidValue { field: "seed", .. }
+        ));
+        // …and model parameters are numeric-only (auto is a syntax error
+        // there, not a value error).
+        assert!(parse("ESTIMATE DURABILITY OF gbm(beta=auto) WITHIN 500 TARGET RE 0.25").is_err());
     }
 
     #[test]

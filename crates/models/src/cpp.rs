@@ -150,32 +150,58 @@ impl CompoundPoisson {
 /// Below this, the scalar loop wins; results are identical either way.
 const CPP_MIN_SIMD_COHORT: usize = 32;
 
-impl CompoundPoisson {
-    /// One Knuth Poisson count from a raw-word source — the draw-for-draw
-    /// replica of the `rand_distr` shim's small-λ path (`limit` is the
-    /// same libm `exp` both paths evaluate once per cohort step, and the
-    /// uniform mapping is the shim's `uniform_open01`).
-    #[inline]
-    fn knuth_count(limit: f64, mut draw: impl FnMut() -> u64) -> u64 {
-        let mut product = vmath::open01(draw());
-        let mut count = 0u64;
-        while product > limit {
-            product *= vmath::open01(draw());
-            count += 1;
-        }
-        count
-    }
+/// When the cross-lane live-mask shrinks below this, the remaining long
+/// tails finish on the scalar per-lane loop — a near-empty SIMD slice
+/// costs more in staging than it saves.
+const CPP_SCALAR_PEEL: usize = 4;
 
-    /// The batched surplus update shared by the plain and tilted kernels:
-    /// stage vectorized block refills through the per-lane pending cache
-    /// (a block computed ahead of need is kept until consumed, so every
-    /// SIMD compute is used), then run the (data-dependent) Knuth + jump
-    /// loop per lane from the staged words. `intensity` is the
-    /// proposal's jump rate (tilted or not); `on_count` folds the
-    /// per-lane Poisson count into tilt bookkeeping. A lane that outruns
-    /// its staged block falls back to the scalar refill — bit-identical
-    /// either way.
-    #[inline]
+/// One `u64` for lane `i`: a pure load from the lane's persistent view
+/// while it lasts; on exhaustion the consumption is committed
+/// (`cursors[i]` becomes [`chacha::VIEW_COMMITTED`]) and this and future
+/// draws take the mutating scalar-refill path — bit-identical either way
+/// (a rare long Knuth/jump tail).
+#[inline(always)]
+fn lane_u64(
+    rng: &mut SimRng,
+    i: usize,
+    views: &mut [[u32; chacha::VIEW_STRIDE]],
+    view_ctr0: &mut [u64],
+    view_staged: &mut [bool],
+    cursors: &mut [u32],
+) -> u64 {
+    if cursors[i] != chacha::VIEW_COMMITTED {
+        if let Some(w) = chacha::view_row_u64(&views[i], &mut cursors[i]) {
+            return w;
+        }
+        chacha::commit_view(rng, i, views, view_ctr0, view_staged, cursors[i]);
+        cursors[i] = chacha::VIEW_COMMITTED;
+    }
+    let mut none = None;
+    chacha::draw_u64(rng, &mut none)
+}
+
+impl CompoundPoisson {
+    /// The batched surplus update shared by the plain and tilted kernels,
+    /// as masked cross-lane iteration: stage vectorized block refills
+    /// through the per-lane pending cache (a block computed ahead of need
+    /// is kept until consumed, so every SIMD compute is used), then run
+    /// the Knuth product for *all live lanes together* — each round draws
+    /// one factor per surviving lane, converts the whole cohort's words
+    /// with the sliced `vmath` kernels, multiplies slice-wise, and
+    /// retires lanes whose product fell to `limit`. Jump draws drain the
+    /// same way: pass `p` pulls one jump from every lane with more than
+    /// `p` jumps, so the `u01`/`ln` transforms always run over a dense
+    /// slice. Long tails (a handful of survivors) peel to the scalar
+    /// per-lane loop. Word consumption per lane is draw-for-draw the
+    /// serial order (Knuth factors, then jump words) and the product is
+    /// the replica of the `rand_distr` shim's small-λ path (`limit` is
+    /// the same libm `exp` both paths evaluate, the factor mapping is the
+    /// shim's `uniform_open01`), so results are bit-identical to the
+    /// scalar `step` at every width and backend.
+    /// `intensity` is the proposal's jump rate (tilted or not);
+    /// `on_count` folds the per-lane Poisson count into tilt bookkeeping.
+    /// A lane that outruns its staged block falls back to the scalar
+    /// refill — bit-identical either way.
     fn batch_surplus(
         &self,
         intensity: f64,
@@ -186,27 +212,244 @@ impl CompoundPoisson {
     ) {
         let limit = (-intensity).exp();
         simd::with_scratch(|sc| {
-            // Stage whenever a lane's block is partially consumed: with
-            // the cache, each block is computed exactly once, in the
-            // widest SIMD group the refill set allows.
-            chacha::stage_refills_cached(rngs, alive, 16, sc);
-            for &i in alive {
-                let mut pending = chacha::take_pending(&rngs[i], i, &mut sc.pending);
-                let rng = &mut rngs[i];
-                let n = Self::knuth_count(limit, || chacha::draw_u64(rng, &mut pending));
-                let mut u = lanes[i] + self.premium;
-                for _ in 0..n {
-                    u -= self
-                        .jumps
-                        .sample_from(|| chacha::draw_u64(rng, &mut pending));
+            // Sync the persistent per-lane views: rows carried over from
+            // the previous step revalidate against their stream tags and
+            // are reused as-is; only lanes that crossed a block boundary
+            // (or were reseeded) get new bytes, with every needed next
+            // block computed in one SIMD pass. All draws below are pure
+            // loads against the rows, committed to the streams once at
+            // the end.
+            chacha::sync_views(rngs, alive, sc);
+            let m = alive.len();
+            let simd::KernelScratch {
+                words,
+                f1,
+                f2,
+                idxs,
+                counts,
+                views,
+                view_ctr0,
+                view_staged,
+                cursors,
+                ..
+            } = sc;
+
+            counts.clear();
+            counts.resize(m, 0);
+            // Grow-only: every entry below is written before read.
+            if words.len() < m {
+                words.resize(m, 0);
+            }
+            if f1.len() < m {
+                f1.resize(m, 0.0);
+            }
+            if f2.len() < m {
+                f2.resize(m, 0.0);
+            }
+            if idxs.len() < m {
+                idxs.resize(m, 0);
+            }
+
+            // Phase 1 — cross-lane Knuth under a live-mask. The live set
+            // is kept *dense*: `idxs[..n]` holds the surviving cohort
+            // positions and `f2[..n]` their running products, compacted
+            // branchlessly each round (an unpredictable keep/retire
+            // branch per lane is exactly the mispredict tax the serial
+            // loop pays; a masked write-cursor bump is not). Counts are
+            // written unconditionally — a survivor's entry is simply
+            // overwritten next round, so only its retiring round sticks.
+            //
+            // Round 0: every lane draws its initial factor. At step
+            // start every cursor sits at most at `BLOCK_WORDS` (the
+            // staged half is always present after `sync_views`), so the
+            // draw cannot overrun the row — a tight unchecked load loop,
+            // no fallback branch. The `min` only pins the bound for the
+            // optimizer; it never clamps in practice.
+            for (k, &i) in alive.iter().enumerate() {
+                let c = (cursors[i] as usize).min(chacha::VIEW_STRIDE - 2);
+                let row = &views[i];
+                let lo = row[c] as u64;
+                let hi = row[c + 1] as u64;
+                cursors[i] = (c + 2) as u32;
+                words[k] = (hi << 32) | lo;
+            }
+            vmath::open01_slice(&words[..m], &mut f1[..m]);
+            let mut n = 0usize;
+            for (k, &p) in f1[..m].iter().enumerate() {
+                idxs[n] = k;
+                f2[n] = p;
+                n += (p > limit) as usize;
+            }
+            // Rounds r ≥ 1: one factor per survivor.
+            let mut r = 0u64;
+            while n > 0 {
+                r += 1;
+                if n < CPP_SCALAR_PEEL {
+                    // Long tails: finish the few survivors serially.
+                    for k in 0..n {
+                        let j = idxs[k];
+                        let i = alive[j];
+                        let mut p = f2[k];
+                        let mut c = counts[j];
+                        while p > limit {
+                            let w =
+                                lane_u64(&mut rngs[i], i, views, view_ctr0, view_staged, cursors);
+                            p *= vmath::open01(w);
+                            c += 1;
+                        }
+                        counts[j] = c;
+                    }
+                    break;
                 }
-                lanes[i] = u;
-                on_count(i, n);
-                if let Some(block) = pending {
-                    chacha::restore_pending(&rngs[i], i, block, &mut sc.pending);
+                if r < 8 {
+                    // A survivor of round `r-1` has drawn `r` factors, so
+                    // its cursor is at most `BLOCK_WORDS + 2r` — for
+                    // r < 8 the next draw provably stays inside the row
+                    // and the overrun branch is dead. Same unchecked
+                    // load loop as round 0: no stream access at all.
+                    for k in 0..n {
+                        let i = alive[idxs[k]];
+                        let c = (cursors[i] as usize).min(chacha::VIEW_STRIDE - 2);
+                        let row = &views[i];
+                        let lo = row[c] as u64;
+                        let hi = row[c + 1] as u64;
+                        cursors[i] = (c + 2) as u32;
+                        words[k] = (hi << 32) | lo;
+                    }
+                } else {
+                    for k in 0..n {
+                        let i = alive[idxs[k]];
+                        words[k] =
+                            lane_u64(&mut rngs[i], i, views, view_ctr0, view_staged, cursors);
+                    }
                 }
+                vmath::open01_slice(&words[..n], &mut f1[..n]);
+                let mut w = 0usize;
+                for k in 0..n {
+                    let j = idxs[k];
+                    let p = f2[k] * f1[k];
+                    counts[j] = r;
+                    idxs[w] = j;
+                    f2[w] = p;
+                    w += (p > limit) as usize;
+                }
+                n = w;
+            }
+
+            // Phase 2 — surplus update: premium in, counted jumps out
+            // (`f2` switches from dense products to cohort-indexed
+            // surplus; the products are spent).
+            for (j, &i) in alive.iter().enumerate() {
+                f2[j] = lanes[i] + self.premium;
+            }
+            self.drain_jumps(
+                rngs,
+                alive,
+                words,
+                f1,
+                f2,
+                idxs,
+                counts,
+                views,
+                view_ctr0,
+                view_staged,
+                cursors,
+            );
+
+            for (j, &i) in alive.iter().enumerate() {
+                if cursors[i] != chacha::VIEW_COMMITTED {
+                    chacha::commit_view(&mut rngs[i], i, views, view_ctr0, view_staged, cursors[i]);
+                }
+                lanes[i] = f2[j];
+                on_count(i, counts[j]);
             }
         })
+    }
+
+    /// Phase 2 of [`Self::batch_surplus`]: subtract each lane's
+    /// `counts[j]` jump draws from the surplus in `u[j]`, cross-lane —
+    /// pass `p` draws one jump word from every lane with more than `p`
+    /// jumps and applies the jump transform slice-wise over the dense
+    /// live set (same branchless compaction as phase 1). Per-lane draw
+    /// order equals the serial loop's.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_jumps(
+        &self,
+        rngs: &mut [SimRng],
+        alive: &[usize],
+        words: &mut [u64],
+        vals: &mut [f64],
+        u: &mut [f64],
+        idxs: &mut [usize],
+        counts: &[u64],
+        views: &mut [[u32; chacha::VIEW_STRIDE]],
+        view_ctr0: &mut [u64],
+        view_staged: &mut [bool],
+        cursors: &mut [u32],
+    ) {
+        let m = alive.len();
+        if let JumpDistribution::Constant { value } = self.jumps {
+            // No words drawn; repeated subtraction mirrors the scalar
+            // loop bit-for-bit (u − v − v ≠ u − 2v in general).
+            for j in 0..m {
+                for _ in 0..counts[j] {
+                    u[j] -= value;
+                }
+            }
+            return;
+        }
+        let mut n = 0usize;
+        for (j, &c) in counts[..m].iter().enumerate() {
+            idxs[n] = j;
+            n += (c > 0) as usize;
+        }
+        let mut pass = 0u64;
+        while n > 0 {
+            if n < CPP_SCALAR_PEEL {
+                for &j in &idxs[..n] {
+                    let i = alive[j];
+                    for _ in pass..counts[j] {
+                        let jump = self.jumps.sample_from(|| {
+                            lane_u64(&mut rngs[i], i, views, view_ctr0, view_staged, cursors)
+                        });
+                        u[j] -= jump;
+                    }
+                }
+                return;
+            }
+            for k in 0..n {
+                let j = idxs[k];
+                let i = alive[j];
+                words[k] = lane_u64(&mut rngs[i], i, views, view_ctr0, view_staged, cursors);
+            }
+            vmath::u01_slice(&words[..n], &mut vals[..n]);
+            match self.jumps {
+                JumpDistribution::Uniform { lo, hi } => {
+                    for x in &mut vals[..n] {
+                        *x = lo + (hi - lo) * *x;
+                    }
+                }
+                JumpDistribution::Exponential { mean } => {
+                    for x in &mut vals[..n] {
+                        *x = 1.0 - *x;
+                    }
+                    vmath::ln_slice(&mut vals[..n]);
+                    for x in &mut vals[..n] {
+                        *x *= -mean;
+                    }
+                }
+                JumpDistribution::Constant { .. } => unreachable!("handled above"),
+            }
+            pass += 1;
+            let mut w = 0usize;
+            for k in 0..n {
+                let j = idxs[k];
+                u[j] -= vals[k];
+                idxs[w] = j;
+                w += (counts[j] > pass) as usize;
+            }
+            n = w;
+        }
     }
 }
 
@@ -251,6 +494,18 @@ impl SimulationModel for CompoundPoisson {
             return;
         }
         self.batch_surplus(self.intensity, lanes, rngs, alive, |_, _| {});
+    }
+
+    /// SIMD-hot below the normal-approximation regime: the persistent
+    /// per-lane views and multi-stream block computes want wide, full
+    /// cohorts. At λ ≥ 30 every step takes the scalar sampler anyway, so
+    /// there is nothing for width to feed — class as an adapter kernel.
+    fn kernel_class(&self) -> mlss_core::width::KernelClass {
+        if self.intensity >= 30.0 {
+            mlss_core::width::KernelClass::Adapter
+        } else {
+            mlss_core::width::KernelClass::SimdHot
+        }
     }
 }
 

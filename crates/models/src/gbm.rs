@@ -122,6 +122,12 @@ impl SimulationModel for GeometricBrownian {
         }
         self.batch_growth(lanes, rngs, alive, |_, z| z);
     }
+
+    /// SIMD-hot: wide cohorts keep the multi-stream ChaCha and chunked
+    /// `vmath` passes full, so the `auto` width policy goes wide.
+    fn kernel_class(&self) -> mlss_core::width::KernelClass {
+        mlss_core::width::KernelClass::SimdHot
+    }
 }
 
 impl TiltableModel for GeometricBrownian {

@@ -108,6 +108,12 @@ impl SimulationModel for RandomWalk {
             }
         })
     }
+
+    /// SIMD-hot: the walk is pure RNG cost, and the multi-stream draw
+    /// gather scales with cohort width.
+    fn kernel_class(&self) -> mlss_core::width::KernelClass {
+        mlss_core::width::KernelClass::SimdHot
+    }
 }
 
 /// Per-`θ` constants of the walk's exponential tilt: proposal

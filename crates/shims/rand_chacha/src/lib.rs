@@ -64,6 +64,20 @@ pub struct ChaCha12Rng {
     buf: [u32; BLOCK_WORDS],
     /// Next unread word in `buf`; `BLOCK_WORDS` means "refill".
     idx: usize,
+    /// Process-unique stream identity, allocated at construction. The
+    /// key never mutates after construction, so `stream == stream`
+    /// implies `key == key` — batch pipelines tag cached blocks with
+    /// this one word instead of comparing the full 32-byte key. Clones
+    /// share the identity (same key, same stream); rebuilding via
+    /// [`ChaCha12Rng::from_state`] allocates a fresh one.
+    stream: u64,
+}
+
+/// Allocate a fresh process-unique stream identity.
+fn alloc_stream_id() -> u64 {
+    use core::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 #[inline(always)]
@@ -82,6 +96,7 @@ impl ChaCha12Rng {
     /// Number of 32-bit words per keystream block.
     pub const BLOCK_WORDS: usize = BLOCK_WORDS;
 
+    #[inline]
     fn refill(&mut self) {
         self.buf = chacha12_block(&self.key, self.counter);
         self.idx = 0;
@@ -99,19 +114,65 @@ impl ChaCha12Rng {
     // seed.
 
     /// The stream's ChaCha key (derived from the seed, never mutated).
-    pub fn block_key(&self) -> [u32; 8] {
-        self.key
+    #[inline]
+    pub fn block_key(&self) -> &[u32; 8] {
+        &self.key
+    }
+
+    /// This stream's process-unique identity: equal identities imply
+    /// equal keys, making `(stream_id, counter)` a sufficient cache tag
+    /// for an externally computed block.
+    #[inline]
+    pub fn stream_id(&self) -> u64 {
+        self.stream
     }
 
     /// Counter of the *next* block this stream will generate.
+    #[inline]
     pub fn block_counter(&self) -> u64 {
         self.counter
     }
 
     /// Unread words left in the current block (0 means the next word
     /// read triggers a refill).
+    #[inline]
     pub fn words_remaining(&self) -> usize {
         BLOCK_WORDS - self.idx
+    }
+
+    /// The unread tail of the current block, without advancing. Together
+    /// with [`ChaCha12Rng::skip_words`] this lets a batch kernel read
+    /// draws as pure loads against a local cursor and commit the
+    /// consumption once, instead of paying a buffer-index round-trip per
+    /// word.
+    #[inline]
+    pub fn remaining_slice(&self) -> &[u32] {
+        &self.buf[self.idx..]
+    }
+
+    /// The whole current block buffer, including already-read words
+    /// (callers index from `BLOCK_WORDS - words_remaining()`); garbage
+    /// when the stream has never filled — which is exactly when
+    /// `words_remaining()` is 0 and no valid index exists.
+    #[inline]
+    pub fn current_block(&self) -> &[u32; BLOCK_WORDS] {
+        &self.buf
+    }
+
+    /// Advance the stream past `n` unread words of the current block —
+    /// exactly as if they had been read. Commits a batch kernel's local
+    /// cursor over [`ChaCha12Rng::remaining_slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` exceeds the unread words.
+    #[inline]
+    pub fn skip_words(&mut self, n: usize) {
+        assert!(
+            n <= BLOCK_WORDS - self.idx,
+            "skip_words past the current block"
+        );
+        self.idx += n;
     }
 
     /// Copy the next `out.len()` `u64` draws straight out of the current
@@ -119,6 +180,7 @@ impl ChaCha12Rng {
     /// exactly as that many `next_u64` calls would; returns `false`
     /// (drawing nothing) when the buffer is short. The fast path of the
     /// vectorized gather — no per-word refill checks.
+    #[inline]
     pub fn try_fill_u64(&mut self, out: &mut [u64]) -> bool {
         if BLOCK_WORDS - self.idx < 2 * out.len() {
             return false;
@@ -174,6 +236,7 @@ impl ChaCha12Rng {
             counter,
             buf,
             idx: BLOCK_WORDS - remaining,
+            stream: alloc_stream_id(),
         }
     }
 
@@ -185,6 +248,7 @@ impl ChaCha12Rng {
     ///
     /// Panics when the current block still has unread words — installing
     /// early would skip keystream and break draw-identity.
+    #[inline]
     pub fn install_block(&mut self, block: [u32; BLOCK_WORDS]) {
         assert_eq!(
             self.idx, BLOCK_WORDS,
@@ -214,11 +278,13 @@ impl SeedableRng for ChaCha12Rng {
             counter: 0,
             buf: [0; BLOCK_WORDS],
             idx: BLOCK_WORDS,
+            stream: alloc_stream_id(),
         }
     }
 }
 
 impl RngCore for ChaCha12Rng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         if self.idx >= BLOCK_WORDS {
             self.refill();
@@ -228,6 +294,7 @@ impl RngCore for ChaCha12Rng {
         w
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         let lo = self.next_u32() as u64;
         let hi = self.next_u32() as u64;
@@ -272,7 +339,7 @@ mod tests {
             while blocky.words_remaining() > 0 {
                 assert_eq!(scalar.next_u32(), blocky.next_u32());
             }
-            let block = chacha12_block(&blocky.block_key(), blocky.block_counter());
+            let block = chacha12_block(blocky.block_key(), blocky.block_counter());
             blocky.install_block(block);
         }
         assert_eq!(scalar.next_u64(), blocky.next_u64());
@@ -283,7 +350,7 @@ mod tests {
     fn install_block_rejects_unread_words() {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let _ = rng.next_u32(); // buffer now partially read
-        let block = chacha12_block(&rng.block_key(), rng.block_counter());
+        let block = chacha12_block(rng.block_key(), rng.block_counter());
         rng.install_block(block);
     }
 

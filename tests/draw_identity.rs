@@ -554,7 +554,7 @@ fn multi_stream_blocks_equal_scalar_streams_word_for_word() {
         let mut streams: Vec<SimRng> = (0..n).map(|_| split_rng(&mut parent)).collect();
         let mut scalars = streams.clone();
         for _round in 0..5 {
-            let keys: Vec<[u32; 8]> = streams.iter().map(|r| r.block_key()).collect();
+            let keys: Vec<[u32; 8]> = streams.iter().map(|r| *r.block_key()).collect();
             let counters: Vec<u64> = streams.iter().map(|r| r.block_counter()).collect();
             let mut blocks = vec![[0u32; 16]; n];
             chacha::compute_blocks_with(backend, &keys, &counters, &mut blocks);

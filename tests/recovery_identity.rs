@@ -438,8 +438,14 @@ fn show_diagnostics_layout_is_pinned_with_a_wal_block() {
     };
     assert_eq!(
         components,
-        vec!["plan_cache", "shard_store", "scheduler", "wal"],
-        "journaling sessions serve all four component blocks"
+        vec![
+            "plan_cache",
+            "shard_store",
+            "scheduler",
+            "wal",
+            "width_policy"
+        ],
+        "journaling sessions serve all five component blocks"
     );
 
     // The WAL block's counter set, pinned exactly.
