@@ -13,10 +13,12 @@
 #   make reuse-bench — cross-query shard reuse vs store-disabled baseline
 #   make sql-demo   — pipe a demo script through the sql_shell example
 #   make test-durability — crash-recovery suites + the kill -9 shell smoke
+#   make serve-smoke — mlss_serve + 2-tenant load_bench + shell parity diff
+#   make load-bench — overload (capped) + fairness profiles vs a live server
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench width-bench wal-bench reuse-bench sql-demo test-durability
+.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench width-bench wal-bench reuse-bench sql-demo test-durability serve-smoke load-bench
 
 verify: build test
 
@@ -84,6 +86,54 @@ test-durability:
 	  | tee target/wal-smoke/reopen.txt
 	grep -q "walk | gmlss" target/wal-smoke/reopen.txt
 	rm -rf target/wal-smoke
+
+# The server front-end gate (mirrors the CI `serve` job): start
+# mlss_serve with tight admission caps, drive a 2-tenant open-loop load,
+# and demand per-tenant report rows plus at least one shed response;
+# then diff the sql_shell's embedded vs connected output row-for-row
+# against a fresh, uncapped server (only the inline estimate's
+# wall-clock millis cell is masked).
+serve-smoke: build
+	rm -rf target/serve-smoke && mkdir -p target/serve-smoke
+	set -e; \
+	./target/release/mlss_serve --listen 127.0.0.1:7878 --tenant alpha --tenant beta \
+	  --global-cap 2 --tenant-cap 2 > target/serve-smoke/server.log & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 50); do echo | ./target/release/examples/sql_shell --connect 127.0.0.1:7878 >/dev/null 2>&1 && break; sleep 0.2; done; \
+	./target/release/load_bench --connect 127.0.0.1:7878 --smoke | tee target/serve-smoke/smoke.txt; \
+	grep -E "^tenant=alpha " target/serve-smoke/smoke.txt; \
+	grep -E "^tenant=beta " target/serve-smoke/smoke.txt; \
+	grep -E "^shed_response RETRY AFTER" target/serve-smoke/smoke.txt
+	set -e; \
+	./target/release/mlss_serve --listen 127.0.0.1:7879 > target/serve-smoke/parity-server.log & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 50); do echo | ./target/release/examples/sql_shell --connect 127.0.0.1:7879 >/dev/null 2>&1 && break; sleep 0.2; done; \
+	printf '%s\n' \
+	  "SHOW MODELS" \
+	  "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs TARGET RE 30% WITH (seed=7)" \
+	  "SELECT model, method, tau, steps, n_roots FROM results" \
+	  > target/serve-smoke/parity.sql; \
+	./target/release/examples/sql_shell < target/serve-smoke/parity.sql > target/serve-smoke/embedded.txt; \
+	./target/release/examples/sql_shell --connect 127.0.0.1:7879 < target/serve-smoke/parity.sql > target/serve-smoke/connected.txt; \
+	awk -F' \| ' 'BEGIN{OFS=" | "} NF>=7{$$7="_"} {print}' target/serve-smoke/embedded.txt > target/serve-smoke/embedded.masked; \
+	awk -F' \| ' 'BEGIN{OFS=" | "} NF>=7{$$7="_"} {print}' target/serve-smoke/connected.txt > target/serve-smoke/connected.masked; \
+	diff target/serve-smoke/embedded.masked target/serve-smoke/connected.masked
+
+# The overload table + the fairness split, against live servers (this
+# is how the PR 9 numbers in CHANGES.md were produced).
+load-bench: build
+	set -e; \
+	./target/release/mlss_serve --listen 127.0.0.1:7878 --tenant alpha --tenant beta \
+	  --global-cap 4 --tenant-cap 4 >/dev/null & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 50); do echo | ./target/release/examples/sql_shell --connect 127.0.0.1:7878 >/dev/null 2>&1 && break; sleep 0.2; done; \
+	./target/release/load_bench --connect 127.0.0.1:7878 --clients 24 --rate 50 --duration 8 --re 2%
+	set -e; \
+	./target/release/mlss_serve --listen 127.0.0.1:7879 --workers 1 \
+	  --tenant alpha --tenant beta >/dev/null & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 50); do echo | ./target/release/examples/sql_shell --connect 127.0.0.1:7879 >/dev/null 2>&1 && break; sleep 0.2; done; \
+	./target/release/load_bench --connect 127.0.0.1:7879 --profile fairness --duration 5 --re 1%
 
 ci: fmt build test clippy test-mt test-durability
 

@@ -1,0 +1,342 @@
+//! `load_bench` — open-loop multi-client load generator for `mlss_serve`.
+//!
+//! Drives a running server over many concurrent socket clients with a
+//! paced arrival schedule (each client fires on a fixed interval,
+//! independent of completion times, so a saturated server accumulates
+//! pressure instead of being politely throttled by its own latency) and
+//! reports per-tenant accepted/shed counts, latency percentiles, and
+//! throughput:
+//!
+//! ```text
+//! mlss_serve --listen 127.0.0.1:7878 --global-cap 8 &
+//! load_bench --connect 127.0.0.1:7878 --tenants alpha,beta \
+//!     --clients 16 --rate 50 --duration 10
+//! ```
+//!
+//! Profiles:
+//!
+//! * `overload` (default): sync ESTIMATE statements at the configured
+//!   arrival rate; per-tenant `p50/p99` of **accepted** requests, shed
+//!   rate, and saturation throughput.
+//! * `fairness`: per-tenant ASYNC floods for the duration, then reads
+//!   the `tenants` block of `SHOW DIAGNOSTICS` over the socket and
+//!   reports each tenant's attained service and the pairwise ratio —
+//!   the number the equal-weight (≤1.5x) and 4:1-weighted acceptance
+//!   checks grep.
+//! * `--smoke`: a seconds-long 2-tenant overload run for CI.
+
+use mlss_serve::{Client, Response};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Config {
+    addr: String,
+    tenants: Vec<String>,
+    clients_per_tenant: usize,
+    rate_per_client: f64,
+    duration: Duration,
+    target_re: String,
+    profile: String,
+}
+
+#[derive(Default)]
+struct TenantTally {
+    accepted: u64,
+    shed: u64,
+    errors: u64,
+    first_retry_after: Option<u64>,
+    latencies_ms: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: load_bench --connect ADDR [--tenants a,b] [--clients N] \
+         [--rate R] [--duration SECS] [--re PCT] [--profile overload|fairness] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        addr: String::new(),
+        tenants: vec!["alpha".into(), "beta".into()],
+        clients_per_tenant: 8,
+        rate_per_client: 20.0,
+        duration: Duration::from_secs(10),
+        target_re: "20%".into(),
+        profile: "overload".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--connect" => cfg.addr = val("--connect"),
+            "--tenants" => cfg.tenants = val("--tenants").split(',').map(str::to_string).collect(),
+            "--clients" => {
+                cfg.clients_per_tenant = val("--clients").parse().unwrap_or_else(|_| usage())
+            }
+            "--rate" => cfg.rate_per_client = val("--rate").parse().unwrap_or_else(|_| usage()),
+            "--duration" => {
+                cfg.duration =
+                    Duration::from_secs(val("--duration").parse().unwrap_or_else(|_| usage()))
+            }
+            "--re" => cfg.target_re = val("--re"),
+            "--profile" => cfg.profile = val("--profile"),
+            "--smoke" => {
+                cfg.clients_per_tenant = 4;
+                cfg.rate_per_client = 25.0;
+                cfg.duration = Duration::from_secs(2);
+                // Heavy enough that a capped server actually saturates.
+                cfg.target_re = "2%".into();
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if cfg.addr.is_empty() {
+        eprintln!("--connect is required");
+        usage()
+    }
+    cfg
+}
+
+fn estimate_stmt(re: &str, seed: u64, asynchronous: bool) -> String {
+    let suffix = if asynchronous { " ASYNC" } else { "" };
+    format!(
+        "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 USING srs \
+         TARGET RE {re} WITH (seed={seed}){suffix}"
+    )
+}
+
+/// Open-loop sync workload: every client fires on its own fixed
+/// schedule for the duration; accepted latencies and sheds are tallied
+/// per tenant.
+fn run_overload(cfg: &Config) -> i32 {
+    let tallies: Vec<Arc<Mutex<TenantTally>>> = cfg
+        .tenants
+        .iter()
+        .map(|_| Arc::new(Mutex::new(TenantTally::default())))
+        .collect();
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (ti, tenant) in cfg.tenants.iter().enumerate() {
+        for ci in 0..cfg.clients_per_tenant {
+            let tenant = tenant.clone();
+            let tally = Arc::clone(&tallies[ti]);
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(&cfg.addr, &tenant) else {
+                    tally.lock().unwrap().errors += 1;
+                    return;
+                };
+                let interval = Duration::from_secs_f64(1.0 / cfg.rate_per_client.max(0.001));
+                let deadline = started + cfg.duration;
+                let mut next_fire =
+                    started + interval.mul_f64(ci as f64 / cfg.clients_per_tenant as f64);
+                let mut seq: u64 = 0;
+                while Instant::now() < deadline {
+                    let now = Instant::now();
+                    if now < next_fire {
+                        std::thread::sleep(next_fire - now);
+                    }
+                    next_fire += interval;
+                    // Unique seed per request: every statement is real
+                    // work, not a shard-store replay.
+                    let seed = (ti as u64) << 32 | (ci as u64) << 24 | seq;
+                    seq += 1;
+                    let stmt = estimate_stmt(&cfg.target_re, seed, false);
+                    let t0 = Instant::now();
+                    match client.request(&stmt) {
+                        Ok(Response::Rows { .. }) => {
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            let mut t = tally.lock().unwrap();
+                            t.accepted += 1;
+                            t.latencies_ms.push(ms);
+                        }
+                        Ok(Response::Shed { retry_after }) => {
+                            let mut t = tally.lock().unwrap();
+                            t.shed += 1;
+                            t.first_retry_after.get_or_insert(retry_after);
+                        }
+                        Ok(_) => tally.lock().unwrap().errors += 1,
+                        Err(_) => {
+                            tally.lock().unwrap().errors += 1;
+                            return;
+                        }
+                    }
+                }
+                let _ = client.quit();
+            }));
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    println!(
+        "profile={} duration_s={:.1} tenants={} clients_per_tenant={} rate_per_client={}",
+        cfg.profile,
+        elapsed,
+        cfg.tenants.join(","),
+        cfg.clients_per_tenant,
+        cfg.rate_per_client
+    );
+    let (mut tot_acc, mut tot_shed, mut all_lat) = (0u64, 0u64, Vec::new());
+    let mut first_shed: Option<u64> = None;
+    for (tenant, tally) in cfg.tenants.iter().zip(&tallies) {
+        let mut t = tally.lock().unwrap();
+        t.latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        let offered = t.accepted + t.shed;
+        println!(
+            "tenant={} accepted={} shed={} errors={} shed_rate={:.3} p50_ms={:.1} p99_ms={:.1} qps={:.1}",
+            tenant,
+            t.accepted,
+            t.shed,
+            t.errors,
+            t.shed as f64 / (offered.max(1)) as f64,
+            percentile(&t.latencies_ms, 0.50),
+            percentile(&t.latencies_ms, 0.99),
+            t.accepted as f64 / elapsed
+        );
+        tot_acc += t.accepted;
+        tot_shed += t.shed;
+        all_lat.extend_from_slice(&t.latencies_ms);
+        if first_shed.is_none() {
+            first_shed = t.first_retry_after;
+        }
+    }
+    all_lat.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "total accepted={} shed={} shed_rate={:.3} p50_ms={:.1} p99_ms={:.1} qps={:.1}",
+        tot_acc,
+        tot_shed,
+        tot_shed as f64 / (tot_acc + tot_shed).max(1) as f64,
+        percentile(&all_lat, 0.50),
+        percentile(&all_lat, 0.99),
+        tot_acc as f64 / elapsed
+    );
+    if let Some(r) = first_shed {
+        println!("shed_response RETRY AFTER {r}");
+    }
+    if tot_acc == 0 {
+        eprintln!("no request was accepted");
+        return 1;
+    }
+    0
+}
+
+/// ASYNC floods per tenant, then the attained-service split straight
+/// from the server's `SHOW DIAGNOSTICS` tenants block.
+fn run_fairness(cfg: &Config) -> i32 {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (ti, tenant) in cfg.tenants.iter().enumerate() {
+        let tenant = tenant.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&cfg.addr, &tenant).expect("connect");
+            let deadline = started + cfg.duration;
+            let mut ids: Vec<u64> = Vec::new();
+            let mut seq = 0u64;
+            while Instant::now() < deadline {
+                let seed = (ti as u64) << 32 | seq;
+                seq += 1;
+                match client.request(&estimate_stmt(&cfg.target_re, seed, true)) {
+                    Ok(Response::Rows { rows, .. }) => {
+                        if let Some(id) = rows
+                            .first()
+                            .and_then(|r| r.first())
+                            .and_then(|v| v.parse().ok())
+                        {
+                            ids.push(id);
+                        }
+                    }
+                    Ok(Response::Shed { retry_after }) => {
+                        // Quota full: drain one outstanding query, which
+                        // both frees the slot and keeps pressure on.
+                        if let Some(id) = ids.first().copied() {
+                            let _ = client.request(&format!("WAIT {id}"));
+                            ids.remove(0);
+                        } else {
+                            std::thread::sleep(Duration::from_millis(retry_after.min(1) * 50));
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            for id in ids {
+                let _ = client.request(&format!("WAIT {id}"));
+            }
+            let _ = client.quit();
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    // Read the split from the server itself.
+    let mut client = Client::connect(&cfg.addr, &cfg.tenants[0]).expect("connect");
+    let rows = match client.request("SHOW DIAGNOSTICS") {
+        Ok(Response::Rows { rows, .. }) => rows,
+        other => {
+            eprintln!("SHOW DIAGNOSTICS failed: {other:?}");
+            return 1;
+        }
+    };
+    let lookup = |counter: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r[0] == "tenants" && r[1] == counter)
+            .and_then(|r| r[2].parse().ok())
+    };
+    let mut attained: Vec<(String, f64, f64)> = Vec::new();
+    for t in &cfg.tenants {
+        let a = lookup(&format!("{t}.attained_steps")).unwrap_or(0.0);
+        let w = lookup(&format!("{t}.weight")).unwrap_or(1.0);
+        attained.push((t.clone(), w, a));
+    }
+    let total: f64 = attained.iter().map(|(_, _, a)| a).sum::<f64>().max(1.0);
+    for (t, w, a) in &attained {
+        println!(
+            "fairness tenant={t} weight={w} attained={a:.0} share={:.3} share_per_weight={:.3}",
+            a / total,
+            (a / total) / w
+        );
+    }
+    if attained.len() >= 2 {
+        let n0 = attained[0].2 / attained[0].1;
+        let n1 = attained[1].2 / attained[1].1;
+        let ratio = n0.max(n1) / n0.min(n1).max(1.0);
+        println!("fairness normalized_ratio={ratio:.2}");
+    }
+    0
+}
+
+fn main() {
+    let cfg = parse_args();
+    let code = match cfg.profile.as_str() {
+        "overload" => run_overload(&cfg),
+        "fairness" => run_fairness(&cfg),
+        other => {
+            eprintln!("unknown profile {other}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

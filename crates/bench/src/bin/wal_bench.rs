@@ -24,6 +24,7 @@ fn row(i: i64) -> ResultRow {
         millis: 1,
         plan_source: "none".into(),
         shard_reuse: "none".into(),
+        tenant: "-".into(),
     }
 }
 

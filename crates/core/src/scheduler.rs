@@ -47,6 +47,10 @@ use std::time::{Duration, Instant};
 /// increasing in submission order).
 pub type QueryId = u64;
 
+/// Identifier of a registered fair-share tenant (index into the
+/// scheduler's tenant table; stable for the scheduler's lifetime).
+pub type TenantId = u32;
+
 /// A query the scheduler can advance one slice at a time.
 ///
 /// Contract: `run_slice` must be **transactional** — if it panics, the
@@ -481,6 +485,13 @@ pub struct SchedulerConfig {
     /// static fallback width — resolve it upstream (per-model) for the
     /// real adaptive pick.
     pub batch_width: usize,
+    /// Pre-registered fair-share tenants as `(name, weight)` pairs.
+    /// Weights scale the least-attained-service comparison: a tenant
+    /// with weight 4 is considered "behind" until it has attained 4x
+    /// the service of a weight-1 tenant. Tenants can also be registered
+    /// at runtime via [`Scheduler::ensure_tenant`]; unknown names
+    /// default to weight 1.0.
+    pub tenant_weights: Vec<(String, f64)>,
 }
 
 impl Default for SchedulerConfig {
@@ -492,6 +503,7 @@ impl Default for SchedulerConfig {
             slice_budget: 32_768,
             max_retries: 1,
             batch_width: 0,
+            tenant_weights: Vec::new(),
         }
     }
 }
@@ -592,6 +604,37 @@ struct Slot {
     cancel_requested: bool,
     submitted_at: Instant,
     finished_at: Option<Instant>,
+    /// Fair-share tenant this query's attained service is charged to
+    /// (`None` for tenantless submissions — the pre-tenancy behavior).
+    tenant: Option<TenantId>,
+}
+
+/// Per-tenant fair-share accounting.
+struct TenantState {
+    name: String,
+    weight: f64,
+    /// `g` invocations charged to this tenant (slice deltas of its
+    /// queries; warm-start steps carried into a submission are not
+    /// charged — the tenant pays for work the pool actually ran).
+    attained: u64,
+    submitted: u64,
+    completed: u64,
+}
+
+/// Public snapshot of one tenant's fair-share accounting.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant name (the handshake identity).
+    pub name: String,
+    /// Fair-share weight (service is balanced toward `attained/weight`
+    /// equality across tenants).
+    pub weight: f64,
+    /// `g` invocations charged to the tenant so far.
+    pub attained_steps: u64,
+    /// Queries submitted under this tenant.
+    pub submitted: u64,
+    /// Queries completed under this tenant.
+    pub completed: u64,
 }
 
 impl Slot {
@@ -612,6 +655,30 @@ struct State {
     next_id: QueryId,
     shutdown: bool,
     stats: SchedulerStats,
+    /// Registered tenants, indexed by [`TenantId`].
+    tenants: Vec<TenantState>,
+    tenant_ids: BTreeMap<String, TenantId>,
+}
+
+impl State {
+    fn ensure_tenant(&mut self, name: &str, weight: Option<f64>) -> TenantId {
+        if let Some(&id) = self.tenant_ids.get(name) {
+            if let Some(w) = weight {
+                self.tenants[id as usize].weight = w.max(f64::MIN_POSITIVE);
+            }
+            return id;
+        }
+        let id = self.tenants.len() as TenantId;
+        self.tenants.push(TenantState {
+            name: name.to_string(),
+            weight: weight.unwrap_or(1.0).max(f64::MIN_POSITIVE),
+            attained: 0,
+            submitted: 0,
+            completed: 0,
+        });
+        self.tenant_ids.insert(name.to_string(), id);
+        id
+    }
 }
 
 /// Observer of query lifecycle events for a write-ahead durability
@@ -720,13 +787,19 @@ impl Scheduler {
     pub fn new(cfg: SchedulerConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.slice_budget >= 1, "slices must have a budget");
+        let mut state = State {
+            jobs: BTreeMap::new(),
+            next_id: 1,
+            shutdown: false,
+            stats: SchedulerStats::default(),
+            tenants: Vec::new(),
+            tenant_ids: BTreeMap::new(),
+        };
+        for (name, weight) in &cfg.tenant_weights {
+            state.ensure_tenant(name, Some(*weight));
+        }
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                jobs: BTreeMap::new(),
-                next_id: 1,
-                shutdown: false,
-                stats: SchedulerStats::default(),
-            }),
+            state: Mutex::new(state),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             store: Mutex::new(None),
@@ -822,7 +895,23 @@ impl Scheduler {
     /// Admit a pre-built job (including one previously detached as a
     /// checkpoint — its accumulated state carries over).
     pub fn submit_query(&self, job: Box<dyn SliceableQuery>, priority: u8) -> QueryId {
+        self.submit_query_as(job, priority, None)
+    }
+
+    /// Admit a pre-built job on behalf of a fair-share tenant. The
+    /// tenant's attained-service counter is charged for every slice the
+    /// pool runs on this query (warm-start steps carried in by the job
+    /// are not charged), and [`pick_ready`] balances `attained/weight`
+    /// across tenants within each priority band. `None` preserves the
+    /// tenantless per-query least-attained policy exactly.
+    pub fn submit_query_as(
+        &self,
+        job: Box<dyn SliceableQuery>,
+        priority: u8,
+        tenant: Option<TenantId>,
+    ) -> QueryId {
         let mut st = self.shared.lock();
+        let tenant = tenant.filter(|&t| (t as usize) < st.tenants.len());
         let id = st.next_id;
         st.next_id += 1;
         let (steps, n_roots) = (job.steps(), job.n_roots());
@@ -840,12 +929,72 @@ impl Scheduler {
                 cancel_requested: false,
                 submitted_at: Instant::now(),
                 finished_at: None,
+                tenant,
             },
         );
         st.stats.submitted += 1;
+        if let Some(t) = tenant {
+            st.tenants[t as usize].submitted += 1;
+        }
         drop(st);
         self.shared.work_cv.notify_one();
         id
+    }
+
+    /// Register (or look up) a fair-share tenant by name, returning its
+    /// id for [`Scheduler::submit_query_as`]. New tenants start at
+    /// weight 1.0; use [`Scheduler::set_tenant_weight`] (or
+    /// [`SchedulerConfig::tenant_weights`]) to change it.
+    pub fn ensure_tenant(&self, name: &str) -> TenantId {
+        self.shared.lock().ensure_tenant(name, None)
+    }
+
+    /// Set a tenant's fair-share weight (registering it if unknown).
+    /// Weights are clamped positive; the change applies to the very next
+    /// scheduling decision.
+    pub fn set_tenant_weight(&self, name: &str, weight: f64) {
+        self.shared.lock().ensure_tenant(name, Some(weight));
+    }
+
+    /// Snapshot of every registered tenant's fair-share accounting, in
+    /// registration order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.shared
+            .lock()
+            .tenants
+            .iter()
+            .map(|t| TenantStats {
+                name: t.name.clone(),
+                weight: t.weight,
+                attained_steps: t.attained,
+                submitted: t.submitted,
+                completed: t.completed,
+            })
+            .collect()
+    }
+
+    /// Per-tenant counters as a [`Diagnostics`] block (`None` when no
+    /// tenants are registered, so tenantless sessions stay unchanged).
+    pub fn tenant_diagnostics(&self) -> Option<Diagnostics> {
+        let stats = self.tenant_stats();
+        if stats.is_empty() {
+            return None;
+        }
+        let mut details = Vec::with_capacity(stats.len() * 4);
+        for t in &stats {
+            details.push((format!("{}.weight", t.name), t.weight));
+            details.push((
+                format!("{}.attained_steps", t.name),
+                t.attained_steps as f64,
+            ));
+            details.push((format!("{}.submitted", t.name), t.submitted as f64));
+            details.push((format!("{}.completed", t.name), t.completed as f64));
+        }
+        Some(Diagnostics {
+            estimator: "tenants",
+            skip_events: 0,
+            details,
+        })
     }
 
     /// Current status of a query (`None` for unknown ids).
@@ -1059,14 +1208,38 @@ impl Drop for Scheduler {
     }
 }
 
+/// The fair-share comparison key within a priority band. Tenant-charged
+/// slots compete on the *tenant's* weighted attained service
+/// (`attained/weight`): the pool advances whichever tenant is furthest
+/// behind its share, and the per-query `steps` tiebreak below still
+/// sprints cheap queries past marathons *within* a tenant. Tenantless
+/// slots keep the pre-tenancy per-query key (`steps` as f64), so a
+/// scheduler with no tenants registered behaves exactly as before.
+fn fair_key(st: &State, s: &Slot) -> f64 {
+    match s.tenant.map(|t| &st.tenants[t as usize]) {
+        Some(t) => t.attained as f64 / t.weight,
+        None => s.steps as f64,
+    }
+}
+
 /// Pick the ready query the pool should advance next: least attained
 /// service within the best (lowest) priority — cheap queries sprint past
-/// marathons, which is what wins p50 latency under mixed load.
+/// marathons, which is what wins p50 latency under mixed load. With
+/// tenants registered, "attained" is the submitting tenant's weighted
+/// total (see [`fair_key`]), which is what makes two tenants with equal
+/// weights attain equal service no matter how many queries each floods
+/// the pool with.
 fn pick_ready(st: &State) -> Option<QueryId> {
     st.jobs
         .iter()
         .filter(|(_, s)| matches!(s.state, SlotState::Ready) && s.job.is_some())
-        .min_by_key(|(id, s)| (s.priority, s.steps, **id))
+        .min_by(|(id_a, a), (id_b, b)| {
+            a.priority
+                .cmp(&b.priority)
+                .then_with(|| fair_key(st, a).total_cmp(&fair_key(st, b)))
+                .then_with(|| a.steps.cmp(&b.steps))
+                .then_with(|| id_a.cmp(id_b))
+        })
         .map(|(id, _)| *id)
 }
 
@@ -1181,6 +1354,8 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
         let Some(slot) = st.jobs.get_mut(&id) else {
             continue; // slot vanished (not expected; drop the job)
         };
+        let tenant = slot.tenant;
+        let steps_before = slot.steps;
         match outcome {
             SliceResult::Finished(est) => {
                 slot.slices += 1;
@@ -1244,6 +1419,15 @@ fn worker_loop(shared: &Shared, slice_budget: u64, max_retries: u32) {
         }
         if terminal && slot.finished_at.is_none() {
             slot.finished_at = Some(Instant::now());
+        }
+        // Fair-share accounting: charge this slice's newly committed
+        // steps to the submitting tenant (warm-start steps were already
+        // in `steps_before` at submission, so only pool work is billed).
+        if let Some(t) = tenant {
+            let steps_after = st.jobs.get(&id).map_or(steps_before, |s| s.steps);
+            let ts = &mut st.tenants[t as usize];
+            ts.attained += steps_after.saturating_sub(steps_before);
+            ts.completed += delta.completed;
         }
         st.stats.completed += delta.completed;
         st.stats.failed += delta.failed;
@@ -1314,6 +1498,7 @@ mod tests {
             slice_budget: 10_000,
             max_retries: 1,
             batch_width: 0,
+            tenant_weights: Vec::new(),
         })
     }
 
@@ -1563,6 +1748,7 @@ mod tests {
             slice_budget: 5_000,
             max_retries: 0,
             batch_width: 0,
+            tenant_weights: Vec::new(),
         });
         let expensive = sched.submit(
             Walk { up: 0.48 },
@@ -1659,6 +1845,7 @@ mod tests {
             slice_budget: 1_000,
             max_retries: 0,
             batch_width: 0,
+            tenant_weights: Vec::new(),
         });
         let doomed = sched.submit_query(Box::new(FinishedPanics { steps: 0 }), 0);
         let status = sched.wait(doomed).unwrap();
@@ -1714,6 +1901,96 @@ mod tests {
             assert!(sched.poll(id).is_none(), "evicted ids become unknown");
         }
         assert_eq!(sched.evict_terminal(), 0);
+    }
+
+    /// Submit a long walk query charged to `tenant` and return its id.
+    fn submit_for(sched: &Scheduler, tenant: TenantId, budget: u64) -> QueryId {
+        let job = EstimatorQuery::from_seed(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(budget),
+            tenant as u64 + 1,
+        );
+        sched.submit_query_as(Box::new(job), 0, Some(tenant))
+    }
+
+    #[test]
+    fn equal_weight_tenants_attain_balanced_service_despite_query_flood() {
+        // Tenant A floods four queries, tenant B submits one. Per-query
+        // least-attained would give A ~4x the service; per-tenant
+        // fair-share must keep the split near 1:1 while both are active.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            slice_budget: 5_000,
+            max_retries: 0,
+            batch_width: 0,
+            tenant_weights: vec![("alpha".into(), 1.0), ("beta".into(), 1.0)],
+        });
+        let a = sched.ensure_tenant("alpha");
+        let b = sched.ensure_tenant("beta");
+        let b_id = submit_for(&sched, b, 300_000);
+        for _ in 0..4 {
+            submit_for(&sched, a, 5_000_000);
+        }
+        sched.wait(b_id).unwrap();
+        let stats = sched.tenant_stats();
+        let att_a = stats[a as usize].attained_steps as f64;
+        let att_b = stats[b as usize].attained_steps as f64;
+        assert!(att_b >= 300_000.0);
+        let ratio = att_a.max(att_b) / att_a.min(att_b).max(1.0);
+        assert!(
+            ratio <= 1.5,
+            "equal weights must attain service within 1.5x: A={att_a} B={att_b}"
+        );
+    }
+
+    #[test]
+    fn weighted_tenant_attains_proportionally_more_service() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            slice_budget: 5_000,
+            max_retries: 0,
+            batch_width: 0,
+            tenant_weights: vec![("gold".into(), 4.0), ("basic".into(), 1.0)],
+        });
+        let gold = sched.ensure_tenant("gold");
+        let basic = sched.ensure_tenant("basic");
+        let basic_id = submit_for(&sched, basic, 200_000);
+        let gold_id = submit_for(&sched, gold, 5_000_000);
+        sched.wait(basic_id).unwrap();
+        let stats = sched.tenant_stats();
+        let att_gold = stats[gold as usize].attained_steps as f64;
+        let att_basic = stats[basic as usize].attained_steps as f64;
+        assert!(
+            att_gold >= 2.0 * att_basic,
+            "4:1 weights must show a clearly weighted split: gold={att_gold} basic={att_basic}"
+        );
+        sched.cancel(gold_id);
+        let diag = sched.tenant_diagnostics().expect("tenants registered");
+        assert_eq!(diag.estimator, "tenants");
+        assert!(diag
+            .details
+            .iter()
+            .any(|(k, v)| k == "gold.weight" && *v == 4.0));
+    }
+
+    #[test]
+    fn tenantless_submissions_keep_legacy_ordering_and_charge_nobody() {
+        let sched = small_sched(1);
+        let id = sched.submit(
+            Walk { up: 0.48 },
+            vf(),
+            100,
+            SrsEstimator,
+            RunControl::budget(20_000),
+            1,
+            0,
+        );
+        sched.wait(id).unwrap();
+        assert!(sched.tenant_stats().is_empty());
+        assert!(sched.tenant_diagnostics().is_none());
     }
 
     #[test]

@@ -324,6 +324,11 @@ pub struct ExecOptions {
     pub priority: u8,
     /// Sync or async execution.
     pub mode: ExecMode,
+    /// Fair-share tenant this query is charged to. Not part of the
+    /// statement language — the serving layer stamps it from the
+    /// connection's handshake identity, and `None` (every statement
+    /// parsed from text) keeps the tenantless behavior.
+    pub tenant: Option<String>,
 }
 
 impl Default for ExecOptions {
@@ -334,6 +339,7 @@ impl Default for ExecOptions {
             seed: None,
             priority: 0,
             mode: ExecMode::Sync,
+            tenant: None,
         }
     }
 }
@@ -1238,6 +1244,7 @@ mod tests {
             slice_budget: 8_192,
             max_retries: 0,
             batch_width: 0,
+            tenant_weights: Vec::new(),
         });
         let a = sched.submit_query(inline, 0);
         let b = sched.submit_query(deferred, 0);

@@ -161,6 +161,20 @@ static G_CHUNKS: AtomicU64 = AtomicU64::new(0);
 static G_LAUNCHED: AtomicU64 = AtomicU64::new(0);
 static G_COMMITTED: AtomicU64 = AtomicU64::new(0);
 static G_WIDTH_SUM: AtomicU64 = AtomicU64::new(0);
+// Memoized micro-probes re-run because a plan's observed steps/root
+// drifted >2x from the regime the probe was measured in.
+static G_REPROBED: AtomicU64 = AtomicU64::new(0);
+
+/// Count one regime-drift re-probe (surfaced as `reprobed` in the
+/// `width_policy` diagnostics ledger).
+pub fn record_reprobe() {
+    G_REPROBED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide re-probe count since process start.
+pub fn reprobe_count() -> u64 {
+    G_REPROBED.load(Ordering::Relaxed)
+}
 
 thread_local! {
     static T_STATS: std::cell::Cell<SpecStats> = const { std::cell::Cell::new(SpecStats {

@@ -58,6 +58,10 @@ pub enum SpecOutcome {
         /// (the job resumes a stored checkpoint), `"cold"` (store
         /// consulted, no usable entry), or `"none"` (no store).
         shard_reuse: &'static str,
+        /// Plan-cache fingerprint of the query family, so completion
+        /// paths can feed the observed steps/root regime back into the
+        /// width memo (the drift-triggered re-probe policy).
+        fingerprint: u64,
     },
 }
 
@@ -130,6 +134,7 @@ pub fn execute_spec(
                 seed,
                 plan_source: out.plan_source,
                 shard_reuse: out.shard_reuse,
+                fingerprint: fp,
             })
         }
     }
@@ -158,6 +163,7 @@ pub(crate) fn record_estimate_row(
             millis,
             plan_source: est.plan_source.to_string(),
             shard_reuse: est.shard_reuse.to_string(),
+            tenant: tenant_column(spec).to_string(),
         })?;
     }
     if !db.has_table("results") {
@@ -177,9 +183,16 @@ pub(crate) fn record_estimate_row(
             Value::Int(millis),
             est.plan_source.into(),
             est.shard_reuse.into(),
+            tenant_column(spec).into(),
         ],
     )?;
     Ok(())
+}
+
+/// The `tenant` column value for a spec (`"-"` for tenantless
+/// statements, so the column is always populated).
+pub(crate) fn tenant_column(spec: &QuerySpec) -> &str {
+    spec.options.tenant.as_deref().unwrap_or("-")
 }
 
 /// Resolve a spec without running it: the rows `EXPLAIN ESTIMATE …`

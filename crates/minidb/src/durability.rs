@@ -133,6 +133,10 @@ pub(crate) struct RecoveredState {
     /// `results` rows: journaled rows first, then rows synthesized from
     /// `AsyncDone` records whose table insert the crash beat.
     pub rows: Vec<ResultRow>,
+    /// Plain SQL statements that mutated user tables, in log order —
+    /// re-executed verbatim on open so `CREATE TABLE`/`INSERT` state
+    /// survives restarts.
+    pub sql: Vec<String>,
     /// Plan-cache entries: (fingerprint, method, levels, tau_hint, plan).
     pub plans: Vec<(u64, String, u64, f64, mlss_core::levels::PartitionPlan)>,
     /// Shard-store deposits, in log order.
@@ -157,6 +161,7 @@ struct PendingQuery {
 fn parse_records(records: Vec<Record>) -> RecoveredState {
     let replayed_records = records.len() as u64;
     let mut rows = Vec::new();
+    let mut sql = Vec::new();
     let mut plans = Vec::new();
     let mut deposits = Vec::new();
     let mut pending: BTreeMap<u64, PendingQuery> = BTreeMap::new();
@@ -214,6 +219,7 @@ fn parse_records(records: Vec<Record>) -> RecoveredState {
             Record::AsyncEnd { qid } => {
                 pending.remove(&qid);
             }
+            Record::SqlStatement { sql: stmt } => sql.push(stmt),
         }
     }
     let mut resubmit = Vec::new();
@@ -231,6 +237,7 @@ fn parse_records(records: Vec<Record>) -> RecoveredState {
                 millis,
                 plan_source: p.plan_source.clone(),
                 shard_reuse: p.shard_reuse.clone(),
+                tenant: p.spec.tenant.clone().unwrap_or_else(|| "-".into()),
             }),
             None => resubmit.push(RecoveredQuery {
                 qid,
@@ -243,6 +250,7 @@ fn parse_records(records: Vec<Record>) -> RecoveredState {
     }
     RecoveredState {
         rows,
+        sql,
         plans,
         deposits,
         resubmit,
@@ -263,6 +271,7 @@ pub(crate) fn rebuild_spec(sub: &SubmitSpec) -> Result<QuerySpec, DbError> {
     spec.options.batch_width = sub.batch_width.map(|w| w as usize);
     spec.options.seed = sub.pinned_seed;
     spec.options.mode = ExecMode::Async;
+    spec.options.tenant = sub.tenant.clone();
     Ok(spec)
 }
 
@@ -424,6 +433,7 @@ impl SessionWal {
                 batch_width: spec.options.batch_width.map(|w| w as u64),
                 pinned_seed: spec.options.seed,
                 seed,
+                tenant: spec.options.tenant.clone(),
             },
             plan_source: plan_source.to_string(),
             shard_reuse: shard_reuse.to_string(),
@@ -516,6 +526,21 @@ impl SessionWal {
     pub(crate) fn record_result_row(&self, row: ResultRow) -> Result<(), DbError> {
         self.wal
             .append(&Record::ResultRow(row))
+            .map(|_| ())
+            .map_err(|e| DbError::Proc(format!("wal append failed: {e}")))
+    }
+
+    /// Journal a plain SQL statement that mutated user-table state.
+    /// Callers append **after** a successful execute (a failed statement
+    /// must not be replayed); the window where a crash loses the very
+    /// last user-table statement is the documented at-most-once-behind
+    /// contract for plain SQL — `results` rows keep the stricter
+    /// write-ahead ordering.
+    pub(crate) fn record_sql(&self, sql: &str) -> Result<(), DbError> {
+        self.wal
+            .append(&Record::SqlStatement {
+                sql: sql.to_string(),
+            })
             .map(|_| ())
             .map_err(|e| DbError::Proc(format!("wal append failed: {e}")))
     }
@@ -644,6 +669,7 @@ mod tests {
             batch_width: None,
             pinned_seed: Some(seed),
             seed,
+            tenant: None,
         }
     }
 

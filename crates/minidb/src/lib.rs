@@ -47,7 +47,7 @@ pub use engine::{Database, DbError};
 pub use expr::{col, lit, Expr};
 pub use proc::{seed_default_models, Method, ModelRegistry, ProcRegistry, StoredProcedure};
 pub use schema::{ColumnDef, Schema};
-pub use session::{Session, SessionConfig};
+pub use session::{DiagnosticsSource, Session, SessionConfig};
 pub use sql::{execute, is_dialect, parse_dialect, DialectStatement, ExecResult};
 pub use storage::{load, save, LoadReport};
 pub use table::{Aggregate, Table, TableError};

@@ -41,7 +41,7 @@ use mlss_core::prelude::{
 };
 use mlss_core::quality::RunControl;
 use mlss_core::rng::{rng_from_seed, split_rng};
-use mlss_core::scheduler::{CompletedQuery, QueryId, Scheduler, SliceableQuery};
+use mlss_core::scheduler::{CompletedQuery, QueryId, Scheduler, SliceableQuery, TenantId};
 use mlss_core::shard_store::{shard_key, ShardStore, StoredShard};
 use mlss_core::spec::{
     estimator_job, resolve_method, target_control, warm_estimator_job, DeferredPlanQuery,
@@ -203,6 +203,7 @@ pub fn results_schema() -> Schema {
         ColumnDef::new("millis", DataType::Int),
         ColumnDef::new("plan_cache", DataType::Text),
         ColumnDef::new("shard_reuse", DataType::Text),
+        ColumnDef::new("tenant", DataType::Text),
     ])
     .expect("static schema")
 }
@@ -452,6 +453,26 @@ pub trait ModelRunner: Send + Sync {
     ) -> Result<i64, DbError>;
 }
 
+/// Resolve the spec's fair-share tenant to a scheduler tenant id
+/// (registering the name on first sight; weights are managed by the
+/// serving layer).
+fn tenant_of(scheduler: &Scheduler, spec: &QuerySpec) -> Option<TenantId> {
+    spec.options
+        .tenant
+        .as_deref()
+        .map(|name| scheduler.ensure_tenant(name))
+}
+
+/// Feed a completed run's steps/root back to the width policy's drift
+/// check (a no-op for families with no memoized probe).
+fn observe_regime(plans: &PlanContext, steps: u64, n_roots: u64) {
+    if n_roots > 0 {
+        plans
+            .cache
+            .observe_regime(plans.fingerprint, steps as f64 / n_roots as f64);
+    }
+}
+
 struct Runner<M, Z> {
     model: M,
     score: Z,
@@ -544,6 +565,7 @@ where
                 Some((shard, _)) => run_parallel_from(problem, est, control, &cfg, shard).estimate,
                 None => run_parallel(problem, est, control, &cfg).estimate,
             };
+            observe_regime(plans, e.steps, e.n_roots);
             return ProcEstimate {
                 tau: e.tau,
                 variance: e.variance,
@@ -584,6 +606,7 @@ where
             );
         }
         let e = run.estimate;
+        observe_regime(plans, e.steps, e.n_roots);
         ProcEstimate {
             tau: e.tau,
             variance: e.variance,
@@ -635,8 +658,16 @@ where
                 },
             );
         }
-        if let Some(w) = plans.cache.cached_width(plans.fingerprint) {
-            return (w, "cached-probe");
+        let mut reprobe_baseline = None;
+        if let Some(memo) = plans.cache.width_memo(plans.fingerprint) {
+            if !memo.drifted(WIDTH_REGIME_DRIFT) {
+                return (memo.width, "cached-probe");
+            }
+            // The family's observed steps/root has drifted >2x from the
+            // regime the memoized probe was measured in: the winner may
+            // no longer be the winner. Re-calibrate, anchoring the new
+            // entry's baseline at the drifted (observed) regime.
+            reprobe_baseline = memo.observed_regime;
         }
         let class = self.model.kernel_class();
         if class == mlss_core::width::KernelClass::Cheap {
@@ -662,8 +693,15 @@ where
             let mut shard = <SrsEstimator as Estimator<M, RatioValue<Z>>>::shard(&est);
             est.run_chunk_batched(problem, &mut shard, WIDTH_PROBE_BUDGET, &mut rng, w);
         });
-        plans.cache.memo_width(plans.fingerprint, picked);
-        (picked, "probe")
+        plans
+            .cache
+            .memo_width(plans.fingerprint, picked, reprobe_baseline);
+        if reprobe_baseline.is_some() {
+            mlss_core::width::record_reprobe();
+            (picked, "re-probe")
+        } else {
+            (picked, "probe")
+        }
     }
 }
 
@@ -791,6 +829,7 @@ where
         // job is built with the width it will run at.
         let (width, _) = self.width_for(spec, plans, scheduler.config().batch_width);
         let priority = spec.options.priority;
+        let tenant = tenant_of(scheduler, spec);
         let store = plans.store.as_deref();
         let fp = plans.fingerprint;
         let Runner { model, score } = *self;
@@ -807,7 +846,7 @@ where
                 fp,
             );
             return Ok(SubmitOutcome {
-                id: scheduler.submit_query(job, priority),
+                id: scheduler.submit_query_as(job, priority, tenant),
                 plan_source: "none",
                 shard_reuse,
             });
@@ -826,7 +865,7 @@ where
                     model, score, spec, &resolved, control, seed, width, store, fp,
                 );
                 Ok(SubmitOutcome {
-                    id: scheduler.submit_query(job, priority),
+                    id: scheduler.submit_query_as(job, priority, tenant),
                     plan_source: "hit",
                     shard_reuse,
                 })
@@ -846,7 +885,7 @@ where
                     fp,
                 ));
                 Ok(SubmitOutcome {
-                    id: scheduler.submit_query(job, priority),
+                    id: scheduler.submit_query_as(job, priority, tenant),
                     plan_source: "miss",
                     shard_reuse: if store.is_some() { "cold" } else { "none" },
                 })
@@ -901,7 +940,7 @@ where
             plans.fingerprint,
         );
         Ok(SubmitOutcome {
-            id: scheduler.submit_query(job, spec.options.priority),
+            id: scheduler.submit_query_as(job, spec.options.priority, tenant_of(scheduler, spec)),
             plan_source: "hit",
             shard_reuse: "warm",
         })
@@ -1374,6 +1413,13 @@ const WIDTH_PROBE_BUDGET: u64 = 4096;
 /// throwaway calibration draws can never collide with any stream a real
 /// run derives from a user seed.
 const WIDTH_PROBE_SEED_SALT: u64 = 0x5749_4454_4841_5554;
+
+/// Re-probe threshold: when a family's observed steps/root moves more
+/// than this factor (either direction) from the regime its memoized
+/// width probe was measured in, the probe is re-run — a short query
+/// tuned narrow may want a wide cohort once its runs grow 2x deeper,
+/// and vice versa.
+const WIDTH_REGIME_DRIFT: f64 = 2.0;
 
 impl StoredProcedure for MaterializePaths {
     fn name(&self) -> &str {

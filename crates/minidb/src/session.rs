@@ -137,11 +137,21 @@ struct SubmitMeta {
     /// Shard-store provenance (`"cold"`/`"warm"`/`"stored"`/`"none"`)
     /// captured at submit time, surfaced alongside `plan_source`.
     shard_reuse: &'static str,
+    /// Tenant the submission ran under (`None` = tenantless), surfaced
+    /// as the `results` row's `tenant` column.
+    tenant: Option<String>,
+    /// Plan-cache fingerprint, so the completion path can feed the
+    /// observed steps/root regime back into the width memo.
+    fingerprint: u64,
     submitted: Instant,
     recorded: bool,
 }
 
 type MetaMap = Mutex<BTreeMap<QueryId, SubmitMeta>>;
+
+/// A pluggable diagnostics block (serving layers register admission /
+/// connection counters here so `SHOW DIAGNOSTICS` surfaces them).
+pub type DiagnosticsSource = Arc<dyn Fn() -> Diagnostics + Send + Sync>;
 
 fn record_submit_meta(
     meta: &MetaMap,
@@ -149,6 +159,7 @@ fn record_submit_meta(
     spec: &QuerySpec,
     plan_source: &'static str,
     shard_reuse: &'static str,
+    fingerprint: u64,
 ) {
     meta.lock().unwrap_or_else(PoisonError::into_inner).insert(
         id,
@@ -159,6 +170,8 @@ fn record_submit_meta(
             horizon: spec.horizon as i64,
             plan_source,
             shard_reuse,
+            tenant: spec.options.tenant.clone(),
+            fingerprint,
             submitted: Instant::now(),
             recorded: false,
         },
@@ -179,6 +192,7 @@ pub struct Session {
     rng: Mutex<SimRng>,
     wal: Option<Arc<SessionWal>>,
     recovered: Vec<QueryId>,
+    extra_diags: Mutex<Vec<DiagnosticsSource>>,
 }
 
 impl Session {
@@ -222,6 +236,7 @@ impl Session {
             slice_budget: cfg.slice_budget,
             max_retries: cfg.max_retries,
             batch_width: cfg.batch_width,
+            tenant_weights: Vec::new(),
         }));
         let store = (cfg.shard_store_capacity > 0)
             .then(|| Arc::new(ShardStore::new(cfg.shard_store_capacity)));
@@ -236,6 +251,13 @@ impl Session {
         // deposits. Observers are not attached yet, so nothing here is
         // re-journaled.
         if let Some(state) = &wal_state {
+            // Re-execute journaled plain SQL first (log order): user
+            // tables must exist before anything that reads them, and the
+            // statements are replayed verbatim so a recovered session
+            // sees the same user-table state it crashed with.
+            for stmt in &state.sql {
+                crate::sql::execute(&db, stmt)?;
+            }
             if !state.rows.is_empty() && !db.has_table("results") {
                 db.create_table("results", results_schema())?;
             }
@@ -269,8 +291,14 @@ impl Session {
         // attach the observers and the scheduler hook so everything
         // from now on journals through the fresh tail.
         if let (Some(sw), Some(state)) = (&wal, &wal_state) {
-            let mut records: Vec<Record> =
-                state.rows.iter().cloned().map(Record::ResultRow).collect();
+            // SQL statements lead the snapshot so a replay recreates the
+            // user tables before anything else touches them.
+            let mut records: Vec<Record> = state
+                .sql
+                .iter()
+                .map(|s| Record::SqlStatement { sql: s.clone() })
+                .collect();
+            records.extend(state.rows.iter().cloned().map(Record::ResultRow));
             for ((fp, method, levels), cached) in plans.entries() {
                 records.push(Record::PlanEntry {
                     fingerprint: fp,
@@ -332,6 +360,7 @@ impl Session {
         }));
         registry.register(Box::new(MlssPoll {
             scheduler: Arc::clone(&scheduler),
+            plans: Arc::clone(&plans),
             meta: Arc::clone(&meta),
         }));
         registry.register(Box::new(MlssCancel {
@@ -370,6 +399,8 @@ impl Session {
                         // submit-time provenance, like an uninterrupted run's.
                         plan_source: intern_provenance(&q.plan_source),
                         shard_reuse: intern_provenance(&q.shard_reuse),
+                        tenant: spec.options.tenant.clone(),
+                        fingerprint: fp,
                         submitted: Instant::now(),
                         recorded: false,
                     },
@@ -388,6 +419,7 @@ impl Session {
             rng: Mutex::new(rng_from_seed(cfg.seed)),
             wal,
             recovered,
+            extra_diags: Mutex::new(Vec::new()),
         })
     }
 
@@ -470,8 +502,31 @@ impl Session {
     /// Malformed dialect statements fail with [`DbError::Spec`] carrying
     /// the typed [`mlss_core::spec::SpecError`] and its byte span.
     pub fn execute(&self, sql: &str) -> Result<ExecResult, DbError> {
+        self.execute_as(None, sql)
+    }
+
+    /// [`Session::execute`] on behalf of a tenant. The tenant name is
+    /// **not** part of the statement language — it is stamped into the
+    /// spec's [`mlss_core::spec::ExecOptions`] here, exactly as a
+    /// serving layer does after its handshake, so a socketed statement
+    /// and this call run the identical dispatch path. Estimation work is
+    /// charged to the tenant's fair-share account and the query's
+    /// `results` row carries the tenant in its `tenant` column
+    /// (tenantless calls record `"-"`).
+    pub fn execute_as(&self, tenant: Option<&str>, sql: &str) -> Result<ExecResult, DbError> {
         if !is_dialect(sql) {
-            return crate::sql::execute(&self.db, sql);
+            let res = crate::sql::execute(&self.db, sql)?;
+            // Journal mutations (CREATE/INSERT/DELETE/DROP) so a
+            // recovered session restores user tables. Appended *after*
+            // the successful execute — a failed statement must not be
+            // replayed — which leaves an at-most-once-behind window for
+            // the very last statement (see `SessionWal::record_sql`).
+            if !matches!(res, ExecResult::Rows { .. }) {
+                if let Some(wal) = &self.wal {
+                    wal.record_sql(sql)?;
+                }
+            }
+            return Ok(res);
         }
         let schemas = self.models.schemas();
         let stmt = parse_dialect(sql, Some(&schemas)).map_err(DbError::from)?;
@@ -516,7 +571,8 @@ impl Session {
                         .collect(),
                 })
             }
-            DialectStatement::Estimate(spec) => {
+            DialectStatement::Estimate(mut spec) => {
+                spec.options.tenant = tenant.map(String::from);
                 let mut rng = self.child_rng();
                 match execute_spec(
                     &self.db,
@@ -556,9 +612,17 @@ impl Session {
                         id,
                         plan_source,
                         shard_reuse,
+                        fingerprint,
                         ..
                     } => {
-                        record_submit_meta(&self.meta, id, &spec, plan_source, shard_reuse);
+                        record_submit_meta(
+                            &self.meta,
+                            id,
+                            &spec,
+                            plan_source,
+                            shard_reuse,
+                            fingerprint,
+                        );
                         Ok(ExecResult::Rows {
                             columns: vec!["query_id".into()],
                             rows: vec![vec![Value::Int(id as i64)]],
@@ -605,7 +669,7 @@ impl Session {
             return Ok(None);
         };
         if let QueryStatus::Done(est) = &status {
-            record_result(&self.db, &self.meta, &self.scheduler, id, est)?;
+            record_result(&self.db, &self.meta, &self.scheduler, &self.plans, id, est)?;
         }
         Ok(Some(status))
     }
@@ -647,9 +711,41 @@ impl Session {
                 ("roots_committed".into(), spec.committed as f64),
                 ("speculation_discarded".into(), spec.discarded() as f64),
                 ("effective_width".into(), effective_width),
+                ("reprobed".into(), mlss_core::width::reprobe_count() as f64),
             ],
         });
+        // Per-tenant fair-share accounts, when any tenant is registered.
+        if let Some(tenants) = self.scheduler.tenant_diagnostics() {
+            diags.push(tenants);
+        }
+        // Registered serving-layer blocks (admission control, connection
+        // counters) ride last.
+        let extra = self
+            .extra_diags
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for source in extra.iter() {
+            diags.push(source());
+        }
         diags
+    }
+
+    /// Register an extra diagnostics block (e.g. a server's admission
+    /// counters); it appears in [`Session::diagnostics`] and therefore
+    /// in `SHOW DIAGNOSTICS`.
+    pub fn add_diagnostics_source(&self, source: DiagnosticsSource) {
+        self.extra_diags
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(source);
+    }
+
+    /// Register `tenant` (idempotent) and set its fair-share weight.
+    /// Attained service is charged per tenant and the scheduler favors
+    /// the lowest attained/weight, so a weight-4 tenant attains ~4x a
+    /// weight-1 tenant's service under contention.
+    pub fn set_tenant_weight(&self, tenant: &str, weight: f64) {
+        self.scheduler.set_tenant_weight(tenant, weight);
     }
 
     /// Evict terminal queries from the scheduler and drop their recorded
@@ -670,7 +766,7 @@ impl Session {
         };
         for id in unrecorded {
             if let Some(QueryStatus::Done(est)) = self.scheduler.poll(id) {
-                record_result(&self.db, &self.meta, &self.scheduler, id, &est)?;
+                record_result(&self.db, &self.meta, &self.scheduler, &self.plans, id, &est)?;
             }
         }
         let evicted = self.scheduler.evict_terminal();
@@ -682,7 +778,7 @@ impl Session {
     }
 }
 
-/// A replayed [`ResultRow`] as the `results` table's 11-column layout.
+/// A replayed [`ResultRow`] as the `results` table's 12-column layout.
 fn result_row_values(row: &ResultRow) -> Vec<Value> {
     vec![
         row.model.as_str().into(),
@@ -696,6 +792,7 @@ fn result_row_values(row: &ResultRow) -> Vec<Value> {
         Value::Int(row.millis),
         row.plan_source.as_str().into(),
         row.shard_reuse.as_str().into(),
+        row.tenant.as_str().into(),
     ]
 }
 
@@ -707,6 +804,7 @@ fn record_result(
     db: &Database,
     meta: &MetaMap,
     scheduler: &Scheduler,
+    plans: &PlanCache,
     id: QueryId,
     est: &mlss_core::estimate::Estimate,
 ) -> Result<(), DbError> {
@@ -738,9 +836,16 @@ fn record_result(
             Value::Int(millis.as_millis() as i64),
             m.plan_source.into(),
             m.shard_reuse.into(),
+            m.tenant.as_deref().unwrap_or("-").into(),
         ],
     )?;
     m.recorded = true;
+    // Feed the observed steps/root regime back into the width memo so a
+    // family whose cost shape drifted >2x from its probed regime gets
+    // re-probed on the next width resolution.
+    if est.n_roots > 0 {
+        plans.observe_regime(m.fingerprint, est.steps as f64 / est.n_roots as f64);
+    }
     Ok(())
 }
 
@@ -805,9 +910,10 @@ impl StoredProcedure for MlssSubmit {
                 id,
                 plan_source,
                 shard_reuse,
+                fingerprint,
                 ..
             } => {
-                record_submit_meta(&self.meta, id, &spec, plan_source, shard_reuse);
+                record_submit_meta(&self.meta, id, &spec, plan_source, shard_reuse, fingerprint);
                 Ok(Value::Int(id as i64))
             }
             SpecOutcome::Estimated { .. } => unreachable!("async spec cannot estimate inline"),
@@ -818,6 +924,7 @@ impl StoredProcedure for MlssSubmit {
 /// `mlss_poll(id)` — `τ̂` (float) once done, else a status string.
 struct MlssPoll {
     scheduler: Arc<Scheduler>,
+    plans: Arc<PlanCache>,
     meta: Arc<MetaMap>,
 }
 
@@ -838,7 +945,7 @@ impl StoredProcedure for MlssPoll {
             .ok_or_else(|| DbError::Proc(format!("unknown query id {id}")))?;
         Ok(match status {
             QueryStatus::Done(est) => {
-                record_result(db, &self.meta, &self.scheduler, id, &est)?;
+                record_result(db, &self.meta, &self.scheduler, &self.plans, id, &est)?;
                 Value::Float(est.tau)
             }
             QueryStatus::Queued => Value::Text("queued".into()),

@@ -1,0 +1,116 @@
+//! `mlss_serve` — stand-alone server binary over a fresh (or WAL-backed)
+//! serving session.
+//!
+//! ```text
+//! mlss_serve --listen 127.0.0.1:7878 \
+//!     --tenant alpha:1 --tenant beta:1 --tenant gold:4 \
+//!     --global-cap 32 --tenant-cap 8 --async-quota 4
+//! ```
+//!
+//! Prints `listening on <addr>` once bound (the line CI and scripts wait
+//! for), then serves until killed. `--wal <dir>` opens a WAL-backed
+//! session journaling to that directory; `--strict-tenants` rejects any
+//! tenant not named by a `--tenant` flag at the `HELLO` handshake.
+
+use mlss_db::{Session, SessionConfig};
+use mlss_serve::{ServeConfig, Server};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mlss_serve [--listen ADDR] [--tenant NAME:WEIGHT]... \
+         [--default-weight W | --strict-tenants] [--max-connections N] \
+         [--global-cap N] [--tenant-cap N] [--async-quota N] \
+         [--workers N] [--seed N] [--wal DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut session_cfg = SessionConfig {
+        seed: 42,
+        ..SessionConfig::default()
+    };
+    let mut wal_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => cfg.addr = val("--listen"),
+            "--tenant" => {
+                let spec = val("--tenant");
+                let (name, weight) = match spec.split_once(':') {
+                    Some((n, w)) => (
+                        n.to_string(),
+                        w.parse::<f64>().unwrap_or_else(|_| {
+                            eprintln!("bad weight in --tenant {spec}");
+                            usage()
+                        }),
+                    ),
+                    None => (spec, 1.0),
+                };
+                cfg.tenants.push((name, weight));
+            }
+            "--default-weight" => {
+                cfg.default_weight =
+                    Some(val("--default-weight").parse().unwrap_or_else(|_| usage()))
+            }
+            "--strict-tenants" => cfg.default_weight = None,
+            "--max-connections" => {
+                cfg.max_connections = val("--max-connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--global-cap" => {
+                cfg.admission.global_inflight_cap =
+                    val("--global-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-cap" => {
+                cfg.admission.tenant_inflight_cap =
+                    val("--tenant-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--async-quota" => {
+                cfg.admission.tenant_async_quota =
+                    val("--async-quota").parse().unwrap_or_else(|_| usage())
+            }
+            "--workers" => {
+                session_cfg.workers = val("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => session_cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--wal" => wal_dir = Some(val("--wal")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let session = match wal_dir {
+        Some(dir) => Session::open(std::path::PathBuf::from(dir), session_cfg),
+        None => Session::new(session_cfg),
+    }
+    .expect("open session");
+    for (id, status) in session
+        .wait_recovered()
+        .expect("recover interrupted queries")
+    {
+        eprintln!("recovered query {id}: {status:?}");
+    }
+
+    let server = Server::start(Arc::new(session), cfg).expect("bind listener");
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -15,7 +15,7 @@ use mlss_core::persist::{
 };
 use mlss_core::shard_store::{ShardKey, StoredShard};
 
-/// One `results`-table row, in the engine's fixed 11-column schema.
+/// One `results`-table row, in the engine's fixed 12-column schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultRow {
     /// Model name.
@@ -41,6 +41,8 @@ pub struct ResultRow {
     pub plan_source: String,
     /// Shard-store provenance (`stored`/`warm`/`cold`/`none`).
     pub shard_reuse: String,
+    /// Fair-share tenant the query was charged to (`"-"` when none).
+    pub tenant: String,
 }
 
 /// The identity of an ASYNC submission — everything recovery needs to
@@ -71,10 +73,13 @@ pub struct SubmitSpec {
     /// The effective stream seed the query runs under (pinned or drawn
     /// at original submit time).
     pub seed: u64,
+    /// Fair-share tenant the submission was charged to.
+    pub tenant: Option<String>,
 }
 
 /// A durable event. Kinds 1–3 snapshot serving state; kinds 4–7 are the
-/// ASYNC query lifecycle (submit → checkpoints → done | end).
+/// ASYNC query lifecycle (submit → checkpoints → done | end); kind 8
+/// journals plain SQL DDL/DML so user tables survive restarts.
 #[derive(Debug)]
 pub enum Record {
     /// A `results` row became visible.
@@ -139,6 +144,13 @@ pub enum Record {
         /// Durable query id.
         qid: u64,
     },
+    /// A plain SQL statement that mutated user-table state (`CREATE
+    /// TABLE`/`INSERT`/`DELETE`/`DROP TABLE`), journaled verbatim and
+    /// re-executed in log order on replay.
+    SqlStatement {
+        /// The statement text, exactly as executed.
+        sql: String,
+    },
 }
 
 const KIND_RESULT_ROW: u8 = 1;
@@ -148,6 +160,7 @@ const KIND_ASYNC_SUBMIT: u8 = 4;
 const KIND_ASYNC_CHECKPOINT: u8 = 5;
 const KIND_ASYNC_DONE: u8 = 6;
 const KIND_ASYNC_END: u8 = 7;
+const KIND_SQL_STATEMENT: u8 = 8;
 
 fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     match v {
@@ -163,6 +176,24 @@ fn get_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, PersistError> {
     match r.u8()? {
         0 => Ok(None),
         1 => Ok(Some(r.u64()?)),
+        _ => Err(PersistError::Malformed("option tag")),
+    }
+}
+
+fn put_opt_str(out: &mut Vec<u8>, v: Option<&str>) {
+    match v {
+        Some(v) => {
+            put_u8(out, 1);
+            put_str(out, v);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn get_opt_str(r: &mut Reader<'_>) -> Result<Option<String>, PersistError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str()?)),
         _ => Err(PersistError::Malformed("option tag")),
     }
 }
@@ -186,6 +217,7 @@ impl Record {
                 put_i64(out, row.millis);
                 put_str(out, &row.plan_source);
                 put_str(out, &row.shard_reuse);
+                put_str(out, &row.tenant);
             }
             Record::PlanEntry {
                 fingerprint,
@@ -231,6 +263,7 @@ impl Record {
                 put_opt_u64(out, spec.batch_width);
                 put_opt_u64(out, spec.pinned_seed);
                 put_u64(out, spec.seed);
+                put_opt_str(out, spec.tenant.as_deref());
                 put_str(out, plan_source);
                 put_str(out, shard_reuse);
             }
@@ -259,6 +292,10 @@ impl Record {
             Record::AsyncEnd { qid } => {
                 put_u8(out, KIND_ASYNC_END);
                 put_u64(out, *qid);
+            }
+            Record::SqlStatement { sql } => {
+                put_u8(out, KIND_SQL_STATEMENT);
+                put_str(out, sql);
             }
         }
         Ok(())
@@ -290,6 +327,7 @@ impl Record {
                 millis: r.i64()?,
                 plan_source: r.str()?,
                 shard_reuse: r.str()?,
+                tenant: r.str()?,
             })),
             KIND_PLAN_ENTRY => Ok(Record::PlanEntry {
                 fingerprint: r.u64()?,
@@ -330,6 +368,7 @@ impl Record {
                         batch_width: get_opt_u64(r)?,
                         pinned_seed: get_opt_u64(r)?,
                         seed: r.u64()?,
+                        tenant: get_opt_str(r)?,
                     },
                     plan_source: r.str()?,
                     shard_reuse: r.str()?,
@@ -347,6 +386,7 @@ impl Record {
                 millis: r.i64()?,
             }),
             KIND_ASYNC_END => Ok(Record::AsyncEnd { qid: r.u64()? }),
+            KIND_SQL_STATEMENT => Ok(Record::SqlStatement { sql: r.str()? }),
             _ => Err(PersistError::Malformed("unknown record kind")),
         }
     }
@@ -376,6 +416,7 @@ mod tests {
             millis: 42,
             plan_source: "hit".into(),
             shard_reuse: "cold".into(),
+            tenant: "acme".into(),
         };
         match roundtrip(&Record::ResultRow(row.clone())) {
             Record::ResultRow(got) => assert_eq!(got, row),
@@ -399,6 +440,7 @@ mod tests {
                 batch_width: Some(8),
                 pinned_seed: None,
                 seed: 0xDEAD_BEEF,
+                tenant: Some("acme".into()),
             },
             plan_source: "miss".into(),
             shard_reuse: "cold".into(),
@@ -416,7 +458,19 @@ mod tests {
                 assert_eq!(spec.params.len(), 2);
                 assert_eq!(plan_source, "miss");
                 assert_eq!(shard_reuse, "cold");
+                assert_eq!(spec.tenant.as_deref(), Some("acme"));
             }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_statement_roundtrip() {
+        let rec = Record::SqlStatement {
+            sql: "CREATE TABLE t (a INT)".into(),
+        };
+        match roundtrip(&rec) {
+            Record::SqlStatement { sql } => assert_eq!(sql, "CREATE TABLE t (a INT)"),
             other => panic!("wrong kind: {other:?}"),
         }
     }

@@ -409,6 +409,7 @@ mod tests {
             millis: i,
             plan_source: "none".into(),
             shard_reuse: "cold".into(),
+            tenant: "-".into(),
         }
     }
 

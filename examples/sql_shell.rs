@@ -21,8 +21,14 @@
 //! `results`, interrupted ASYNC queries finish before the first prompt
 //! (each reports a `recovered query …` line). CI uses this for the
 //! kill-and-reopen durability smoke (see `make test-durability`).
+//!
+//! With `--connect host:port [--tenant NAME]` the shell runs the same
+//! statements against a remote `mlss_serve` server instead of an
+//! embedded session, printing rows in the identical format — CI's
+//! serve smoke diffs embedded vs connected output row-for-row.
 
 use mlss_db::{DbError, ExecResult, Session, SessionConfig};
+use mlss_serve::{Client, Response};
 use std::io::BufRead;
 
 fn print_result(res: &ExecResult) {
@@ -44,7 +50,89 @@ fn print_result(res: &ExecResult) {
     }
 }
 
+/// Print a remote response in exactly the embedded format.
+fn print_response(res: &Response) -> bool {
+    match res {
+        Response::Rows { columns, rows } => {
+            println!("{}", columns.join(" | "));
+            for row in rows {
+                println!("{}", row.join(" | "));
+            }
+            println!(
+                "({} row{})",
+                rows.len(),
+                if rows.len() == 1 { "" } else { "s" }
+            );
+            true
+        }
+        Response::Ok(tail) => {
+            match tail.strip_prefix("affected ") {
+                Some(n) => println!("ok ({n} affected)"),
+                None => println!("ok"),
+            }
+            true
+        }
+        Response::Err(e) => {
+            println!("error: {e}");
+            false
+        }
+        Response::Shed { retry_after } => {
+            println!("shed: retry after {retry_after}s");
+            false
+        }
+    }
+}
+
+fn run_connected(addr: &str, tenant: &str) {
+    let mut client = Client::connect(addr, tenant).expect("connect to server");
+    let stdin = std::io::stdin();
+    let mut failures = 0u32;
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        let stmt = line.trim();
+        if stmt.is_empty() || stmt.starts_with("--") {
+            continue;
+        }
+        println!("> {stmt}");
+        match client.request(stmt) {
+            Ok(res) => {
+                if !print_response(&res) {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("error: {e}");
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    let _ = client.quit();
+    if failures > 0 {
+        eprintln!("{failures} statement(s) failed");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    let mut connect: Option<String> = None;
+    let mut tenant = "shell".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(args.next().expect("--connect needs host:port")),
+            "--tenant" => tenant = args.next().expect("--tenant needs a name"),
+            other => {
+                eprintln!(
+                    "unknown flag {other} (usage: sql_shell [--connect host:port [--tenant NAME]])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(addr) = connect {
+        return run_connected(&addr, &tenant);
+    }
     let cfg = SessionConfig {
         seed: 42,
         ..SessionConfig::default()

@@ -241,6 +241,7 @@ fn is_scheduler_batched_slices_match_sequential_and_survive_detach() {
         slice_budget: 10_000,
         max_retries: 0,
         batch_width: width,
+        tenant_weights: Vec::new(),
     });
     let id = sched.submit(
         CompoundPoisson::zero_drift_default(),
@@ -343,6 +344,7 @@ fn scheduler_batched_slices_match_sequential_and_survive_detach() {
         slice_budget: 10_000,
         max_retries: 0,
         batch_width: width,
+        tenant_weights: Vec::new(),
     });
     let id = sched.submit(
         CompoundPoisson::zero_drift_default(),

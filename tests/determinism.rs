@@ -104,6 +104,7 @@ where
         slice_budget: 9_000,
         max_retries: 0,
         batch_width: 0,
+        tenant_weights: Vec::new(),
     });
     let id = sched.submit(model.clone(), v, 70, estimator.clone(), control, seed, 0);
     let via_sched = *sched
@@ -190,6 +191,7 @@ fn target_mode_diverges_statistically_only() {
         slice_budget: 9_000,
         max_retries: 0,
         batch_width: 0,
+        tenant_weights: Vec::new(),
     });
     let id = sched.submit(model.clone(), v, 70, SrsEstimator, control, seed, 0);
     let via_sched = *sched.wait(id).unwrap().estimate().unwrap();

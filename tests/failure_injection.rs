@@ -227,6 +227,7 @@ fn scheduler_survives_a_panicking_query() {
         slice_budget: 8_192,
         max_retries: 1,
         batch_width: 0,
+        tenant_weights: Vec::new(),
     });
 
     // A doomed query between two healthy ones.
@@ -311,6 +312,7 @@ fn transient_panic_is_retried_without_losing_state() {
         slice_budget: 8_192,
         max_retries: 1,
         batch_width: 0,
+        tenant_weights: Vec::new(),
     });
     let armed = Arc::new(AtomicBool::new(true));
     let id = sched.submit(

@@ -126,6 +126,7 @@ fn record_kind(r: &Record) -> &'static str {
         Record::AsyncCheckpoint { .. } => "checkpoint",
         Record::AsyncDone { .. } => "done",
         Record::AsyncEnd { .. } => "end",
+        Record::SqlStatement { .. } => "sql",
     }
 }
 
@@ -399,6 +400,122 @@ fn is_checkpoint_roundtrips_through_the_wal_bit_exactly() {
     assert_eq!(reference.steps, resumed.steps);
     assert_eq!(reference.n_roots, resumed.n_roots);
     assert_eq!(reference.hits, resumed.hits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Plain SQL DDL/DML is journaled **write-behind** (executed first,
+/// appended on success), so a crash loses at most the statement whose
+/// record never reached disk. The sweep wedges the log after every
+/// statement boundary — plus a torn tail — and recovery must restore
+/// the user table to exactly the durable prefix's state.
+#[test]
+fn sql_statement_crash_sweep_restores_user_tables() {
+    let stmts = [
+        "CREATE TABLE fleet (name TEXT, beta FLOAT)",
+        "INSERT INTO fleet VALUES ('ares', 4.0), ('hermes', 6.5)",
+        "INSERT INTO fleet VALUES ('zeus', 9.0)",
+        "DELETE FROM fleet WHERE name = 'ares'",
+    ];
+    // `fleet`'s row count after each durable prefix; `None` while the
+    // CREATE itself is lost (the table must not resurrect).
+    let expected = [None, Some(0), Some(2), Some(3), Some(2)];
+    let count = |session: &Session| -> Option<i64> {
+        match session.execute("SELECT COUNT(*) FROM fleet") {
+            Ok(ExecResult::Rows { rows, .. }) => rows[0][0].as_i64(),
+            _ => None,
+        }
+    };
+
+    let mut plans: Vec<(CrashPlan, u64, String)> = (0..=stmts.len() as u64)
+        .map(|k| (CrashPlan::after(k), k, format!("after{k}")))
+        .collect();
+    // A torn SQL frame is repaired away like any other torn tail: the
+    // durable prefix is the records before it.
+    plans.push((CrashPlan::torn(2, 9), 2, "torn2x9".to_string()));
+
+    for (plan, durable_prefix, label) in plans {
+        let dir = fresh_dir(&format!("sql-{label}"));
+        {
+            let crashed = Session::new(wal_config(&dir, Some(plan))).expect("crashed session");
+            for stmt in &stmts {
+                crashed
+                    .execute(stmt)
+                    .expect("the wedge only stops the log, not execution");
+            }
+            assert_eq!(
+                count(&crashed),
+                Some(2),
+                "sql {label}: live session sees all four statements"
+            );
+        }
+
+        let sql_durable = durable_records(&dir)
+            .iter()
+            .filter(|r| matches!(r, Record::SqlStatement { .. }))
+            .count() as u64;
+        assert_eq!(
+            sql_durable,
+            durable_prefix.min(stmts.len() as u64),
+            "sql {label}: exactly the prefix reached disk"
+        );
+
+        let recovered = Session::new(wal_config(&dir, None)).expect("recovery session");
+        assert_eq!(
+            count(&recovered),
+            expected[durable_prefix as usize].map(|n| n as i64),
+            "sql {label}: recovered table state must match the durable prefix"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// SQL statements and estimate results share one log: a session that
+/// creates a user table *and* runs a pinned ASYNC estimate recovers
+/// both — and a second reopen replays the compacted log identically.
+#[test]
+fn sql_and_results_recover_together_and_survive_compaction() {
+    let dir = fresh_dir("sql-mixed");
+    let reference_row;
+    {
+        let session = Session::new(wal_config(&dir, None)).expect("session");
+        session
+            .execute("CREATE TABLE notes (k INT, v TEXT)")
+            .expect("create");
+        session
+            .execute("INSERT INTO notes VALUES (1, 'pre-estimate')")
+            .expect("insert");
+        submit_and_wait(&session, "srs");
+        session
+            .execute("INSERT INTO notes VALUES (2, 'post-estimate')")
+            .expect("insert");
+        reference_row = result_fingerprints(&session).remove(0);
+    }
+    // Two reopens: the second replays the log the first one compacted
+    // at startup, so SQL records must survive compaction too.
+    for pass in ["reopen", "reopen-after-compaction"] {
+        let recovered = Session::new(wal_config(&dir, None)).expect(pass);
+        assert!(
+            recovered.wait_recovered().expect("recover").is_empty(),
+            "{pass}: the query completed before the close"
+        );
+        let rows = result_fingerprints(&recovered);
+        assert_eq!(rows.len(), 1, "{pass}: one results row");
+        assert_eq!(rows[0], reference_row, "{pass}: bit-identical results");
+        let ExecResult::Rows { rows, .. } = recovered
+            .execute("SELECT v FROM notes ORDER BY k")
+            .expect("select")
+        else {
+            panic!("SELECT returns rows");
+        };
+        let texts: Vec<_> = rows.iter().filter_map(|r| r[0].as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["pre-estimate", "post-estimate"],
+            "{pass}: user rows recovered in order"
+        );
+        drop(recovered);
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

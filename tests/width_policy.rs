@@ -159,6 +159,7 @@ fn mid_run_width_change_preserves_bit_identity() {
         slice_budget: 10_000,
         max_retries: 0,
         batch_width: 16,
+        tenant_weights: Vec::new(),
     });
     let id = sched.submit(
         CompoundPoisson::zero_drift_default(),
@@ -253,6 +254,71 @@ fn boundary_shrink_launches_zero_doomed_speculation() {
     // And clamping changed nothing about the committed result.
     assert_eq!(driven.shard.steps(), raw.steps());
     assert_eq!(driven.shard.n_roots(), raw.n_roots());
+}
+
+#[test]
+fn regime_drift_triggers_a_reprobe_with_surfaced_provenance() {
+    // A memoized probe winner is only as good as the cost regime it was
+    // measured in. When a family's observed steps/root drifts >2x from
+    // the probe's baseline, the next `auto` resolution must re-probe —
+    // and say so, both in EXPLAIN provenance and the `reprobed` counter
+    // of the width_policy diagnostics block.
+    let s = session();
+    let sql = cpp_sql(29, Some(AUTO_WIDTH));
+
+    assert!(
+        explain_width_row(&s, &sql).ends_with("(probe)"),
+        "cold family: micro-probe"
+    );
+    // A completed run anchors the memo's steps/root baseline.
+    s.execute(&sql).unwrap();
+    assert!(
+        explain_width_row(&s, &sql).ends_with("(cached-probe)"),
+        "undrifted memo keeps serving"
+    );
+
+    // The family's fingerprint, exactly as dispatch computes it.
+    let mut spec = QuerySpec::new("cpp", 40.0, 80, 0.3);
+    spec.method = Method::Srs;
+    spec.options.seed = Some(29);
+    spec.options.mode = ExecMode::Sync;
+    spec.options.batch_width = Some(AUTO_WIDTH);
+    let (_, fp, _) = s.models().build_spec(s.db(), &spec).unwrap();
+    let memo = s.plan_cache().width_memo(fp).expect("probe is memoized");
+    let baseline = memo
+        .probed_regime
+        .expect("a completed run anchors the baseline");
+
+    // Inject a >2x drift, as a completed run with a changed workload
+    // shape would report it.
+    let before = width::reprobe_count();
+    s.plan_cache().observe_regime(fp, baseline * 8.0);
+
+    let re = explain_width_row(&s, &sql);
+    assert!(
+        re.ends_with("(re-probe)"),
+        "a drifted memo must re-calibrate: {re:?}"
+    );
+    assert!(width::reprobe_count() > before);
+    // The re-probe re-anchors the baseline at the drifted regime: the
+    // family is served from the memo again.
+    assert!(
+        explain_width_row(&s, &sql).ends_with("(cached-probe)"),
+        "re-probe must re-anchor the memo"
+    );
+
+    let result = s.execute("SHOW DIAGNOSTICS").unwrap();
+    let mlss_db::ExecResult::Rows { rows, .. } = result else {
+        panic!("SHOW DIAGNOSTICS must return rows");
+    };
+    let reprobed = rows
+        .iter()
+        .find(|r| {
+            r[0] == Value::Text("width_policy".into()) && r[1] == Value::Text("reprobed".into())
+        })
+        .and_then(|r| r[2].as_f64())
+        .expect("width_policy surfaces the reprobed counter");
+    assert!(reprobed >= 1.0, "the ledger counts the re-probe");
 }
 
 #[test]
