@@ -15,10 +15,11 @@
 #   make test-durability — crash-recovery suites + the kill -9 shell smoke
 #   make serve-smoke — mlss_serve + 2-tenant load_bench + shell parity diff
 #   make load-bench — overload (capped) + fairness profiles vs a live server
+#   make rank-bench — raced RANK BY vs exhaustive per-arm estimation + socket smoke
 
 CARGO ?= cargo
 
-.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench width-bench wal-bench reuse-bench sql-demo test-durability serve-smoke load-bench
+.PHONY: verify ci fmt clippy test build bench speedup test-mt test-scalar sched-bench kernel-bench width-bench wal-bench reuse-bench sql-demo test-durability serve-smoke load-bench rank-bench
 
 verify: build test
 
@@ -135,7 +136,29 @@ load-bench: build
 	for i in $$(seq 50); do echo | ./target/release/examples/sql_shell --connect 127.0.0.1:7879 >/dev/null 2>&1 && break; sleep 0.2; done; \
 	./target/release/load_bench --connect 127.0.0.1:7879 --profile fairness --duration 5 --re 1%
 
-ci: fmt build test clippy test-mt test-durability
+# The ranking gate (mirrors the CI `rank-bench` step): the raced
+# RANK BY path must pick the same winner as exhaustive per-arm
+# estimation while spending at most half the `g` invocations (the
+# binary exits nonzero if either gate fails), then a socket smoke —
+# the same RANK BY statement through a live mlss_serve must come back
+# with a standings row for the winning arm.
+rank-bench: build
+	rm -rf target/rank-bench && mkdir -p target/rank-bench
+	./target/release/rank_bench > target/rank-bench/summary.txt || { cat target/rank-bench/summary.txt; exit 1; }
+	cat target/rank-bench/summary.txt
+	grep -q "rank_bench PASS" target/rank-bench/summary.txt
+	set -e; \
+	./target/release/mlss_serve --listen 127.0.0.1:7880 > target/rank-bench/server.log & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 50); do echo | ./target/release/examples/sql_shell --connect 127.0.0.1:7880 >/dev/null 2>&1 && break; sleep 0.2; done; \
+	printf '%s\n' \
+	  "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0.30 TO 0.42 STEP 0.04 WITHIN 50 USING srs TARGET RE 0.5 RANK BY TOP 2 (rounds=5, round_budget=4000) WITH (seed=7)" \
+	  "SELECT * FROM rankings" \
+	  | ./target/release/examples/sql_shell --connect 127.0.0.1:7880 \
+	  | tee target/rank-bench/socket-smoke.txt; \
+	grep -E "up=0\.42" target/rank-bench/socket-smoke.txt | grep -qE "\| (in|out|definitive|resolved|budget) \|"
+
+ci: fmt build test clippy test-mt test-durability rank-bench
 
 bench:
 	$(CARGO) bench -p mlss-bench

@@ -49,12 +49,19 @@ struct TenantTally {
     latencies_ms: Vec<f64>,
 }
 
+/// Ceiling nearest-rank percentile: the smallest sample such that at
+/// least `p` of the distribution is at or below it — `idx = ⌈p·n⌉ - 1`.
+/// (The previous `round((n-1)·p)` index could land a rank off in either
+/// direction: the p99 of 160 samples came back as the 158th-smallest
+/// instead of the 159th — understating tail latency exactly where an
+/// overload report matters — and the median of an even-sized sample
+/// rounded *up* a rank instead of taking the nearest rank.)
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let rank = (p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1).min(sorted.len()) - 1]
 }
 
 fn usage() -> ! {
@@ -339,4 +346,33 @@ fn main() {
         }
     };
     std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    /// The regression the ceiling nearest-rank fix pins down: the old
+    /// `round((n-1)·p)` index understated p99 on a 160-sample tail (rank
+    /// 158 instead of 159) and overstated the median of an even-sized
+    /// sample (rank 3 of 4 instead of 2).
+    #[test]
+    fn percentile_is_ceiling_nearest_rank() {
+        // 1..=160: pN must be the ⌈p·160⌉-th smallest value.
+        let v: Vec<f64> = (1..=160).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.99), 159.0); // ceil(158.4) = 159
+        assert_eq!(percentile(&v, 0.50), 80.0);
+        assert_eq!(percentile(&v, 1.00), 160.0);
+
+        // Even-sized median takes the lower-of-middle nearest rank.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.75), 3.0);
+        assert_eq!(percentile(&v, 0.95), 4.0);
+
+        // Boundaries and degenerate inputs.
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+    }
 }

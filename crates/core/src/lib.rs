@@ -143,7 +143,10 @@ pub mod prelude {
     };
     pub use crate::quality::{QualityTarget, RunControl};
     pub use crate::query::{Problem, RatioValue, StateScore, ValueFunction};
-    pub use crate::ranking::{rank_by_durability, Candidate, RaceConfig, RaceOutcome};
+    pub use crate::ranking::{
+        rank_by_durability, Candidate, FreezeReason, RaceArm, RaceConfig, RaceOutcome, RaceQuery,
+        Standing,
+    };
     pub use crate::rng::{rng_from_seed, split_rng, SimRng, StreamFactory};
     pub use crate::scheduler::{
         CompletedQuery, EstimatorQuery, QueryId, QueryProgress, QueryStatus, Scheduler,
@@ -154,7 +157,7 @@ pub mod prelude {
     };
     pub use crate::smlss::{SMlssConfig, SMlssResult, SMlssSampler, SMlssShard};
     pub use crate::spec::{
-        ExecMode, ExecOptions, Method, ModelSchema, ParamSpec, ParamType, QuerySpec,
+        ExecMode, ExecOptions, Method, ModelSchema, ParamSpec, ParamType, QuerySpec, RankSpec,
         ResolvedMethod, Span, SpecError, SpecErrorKind,
     };
     pub use crate::srs::{SrsEstimator, SrsResult, SrsSampler, SrsShard};

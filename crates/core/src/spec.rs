@@ -497,6 +497,204 @@ impl QuerySpec {
         }
         s
     }
+
+    /// Render just the model-ref component (`model(beta=…, k=v, …)`) —
+    /// the canonical arm label in `RANK BY` standings.
+    pub fn model_ref(&self) -> String {
+        let mut s = format!("{}(beta={}", self.model, self.beta);
+        for (k, v) in &self.params {
+            s.push_str(&format!(", {k}={v}"));
+        }
+        s.push(')');
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranking queries (`RANK BY TOP k`)
+// ---------------------------------------------------------------------
+
+/// Default racing rounds for `RANK BY` (overridable per statement).
+pub const DEFAULT_RANK_ROUNDS: usize = 12;
+
+/// Default per-arm `g`-invocation budget per racing round.
+pub const DEFAULT_RANK_ROUND_BUDGET: u64 = 50_000;
+
+/// Default confidence level for the boundary-elimination tests.
+pub const DEFAULT_RANK_CONFIDENCE: f64 = 0.95;
+
+/// Cap on the number of arms a candidate list (after sweep expansion)
+/// may produce — guards against runaway `SWEEP … STEP tiny` statements.
+pub const MAX_RANK_ARMS: usize = 64;
+
+/// The typed IR of one top-`k` ranking query: a field of per-arm
+/// [`QuerySpec`]s raced under confidence-bound boundary elimination
+/// (see `mlss_core::ranking`). Every arm shares the statement's
+/// `WITHIN`/`USING`/`TARGET RE`/`WITH` clauses; arms differ only in
+/// model ref (and swept parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSpec {
+    /// One fully-formed spec per arm, in statement order. Arm execution
+    /// options mirror [`RankSpec::options`]; the dispatcher derives each
+    /// arm's pinned seed from the race seed.
+    pub arms: Vec<QuerySpec>,
+    /// Display labels, parallel to `arms` (canonical model refs).
+    pub labels: Vec<String>,
+    /// The `k` of `TOP k`.
+    pub top_k: usize,
+    /// Confidence level for the boundary tests.
+    pub confidence: f64,
+    /// Round cap.
+    pub max_rounds: usize,
+    /// Per-arm `g` budget per round.
+    pub round_budget: u64,
+    /// Race-level execution options (seed, mode, priority, tenant).
+    pub options: ExecOptions,
+}
+
+impl RankSpec {
+    /// Build a rank spec over arms with default race controls; labels
+    /// are the arms' canonical model refs.
+    pub fn new(arms: Vec<QuerySpec>, top_k: usize) -> Self {
+        let labels = arms.iter().map(QuerySpec::model_ref).collect();
+        let options = arms.first().map(|a| a.options.clone()).unwrap_or_default();
+        Self {
+            arms,
+            labels,
+            top_k,
+            confidence: DEFAULT_RANK_CONFIDENCE,
+            max_rounds: DEFAULT_RANK_ROUNDS,
+            round_budget: DEFAULT_RANK_ROUND_BUDGET,
+            options,
+        }
+    }
+
+    /// Shape-level invariants shared by every execution path.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.arms.is_empty() {
+            return Err(SpecError::new(SpecErrorKind::InvalidValue {
+                field: "rank arms",
+                message: "need at least one candidate".into(),
+            }));
+        }
+        if self.arms.len() > MAX_RANK_ARMS {
+            return Err(SpecError::new(SpecErrorKind::InvalidValue {
+                field: "rank arms",
+                message: format!(
+                    "candidate field expands to {} arms, cap is {MAX_RANK_ARMS}",
+                    self.arms.len()
+                ),
+            }));
+        }
+        if !(1..=self.arms.len()).contains(&self.top_k) {
+            return Err(SpecError::new(SpecErrorKind::InvalidValue {
+                field: "top_k",
+                message: format!("must be in 1..={}, got {}", self.arms.len(), self.top_k),
+            }));
+        }
+        if !(self.confidence > 0.5 && self.confidence < 1.0) {
+            return Err(SpecError::new(SpecErrorKind::InvalidValue {
+                field: "confidence",
+                message: format!("must be in (0.5, 1), got {}", self.confidence),
+            }));
+        }
+        if !(1..=10_000).contains(&self.max_rounds) {
+            return Err(SpecError::new(SpecErrorKind::InvalidValue {
+                field: "rounds",
+                message: format!("must be in 1..=10000, got {}", self.max_rounds),
+            }));
+        }
+        if self.round_budget < 1 {
+            return Err(SpecError::new(SpecErrorKind::InvalidValue {
+                field: "round_budget",
+                message: "must be ≥ 1".into(),
+            }));
+        }
+        if self.labels.len() != self.arms.len() {
+            return Err(SpecError::new(SpecErrorKind::InvalidValue {
+                field: "rank arms",
+                message: "labels and arms must be parallel".into(),
+            }));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for label in &self.labels {
+            if !seen.insert(label.as_str()) {
+                return Err(SpecError::new(SpecErrorKind::Duplicate {
+                    what: "rank candidate",
+                    name: label.clone(),
+                }));
+            }
+        }
+        for arm in &self.arms {
+            arm.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The race configuration the ranking engine runs with.
+    pub fn race_config(&self) -> crate::ranking::RaceConfig {
+        crate::ranking::RaceConfig {
+            round_budget: self.round_budget,
+            max_rounds: self.max_rounds,
+            confidence: self.confidence,
+            top_k: self.top_k,
+            ..Default::default()
+        }
+    }
+
+    /// Render the canonical dialect statement (parser fixed point, like
+    /// [`QuerySpec::render`]). Shared clauses come from the first arm.
+    pub fn render(&self) -> String {
+        let Some(first) = self.arms.first() else {
+            return String::new();
+        };
+        let refs: Vec<String> = self.arms.iter().map(QuerySpec::model_ref).collect();
+        let mut s = format!("ESTIMATE DURABILITY OF {}", refs.join(", "));
+        s.push_str(&format!(" WITHIN {}", first.horizon));
+        s.push_str(&format!(" USING {}", first.method.name()));
+        if first.method.needs_plan() {
+            s.push_str(&format!("(levels={})", first.levels));
+        }
+        s.push_str(&format!(" TARGET RE {}", first.target_re));
+        s.push_str(&format!(" RANK BY TOP {}", self.top_k));
+        let mut ropts: Vec<String> = Vec::new();
+        if self.confidence != DEFAULT_RANK_CONFIDENCE {
+            ropts.push(format!("confidence={}", self.confidence));
+        }
+        if self.max_rounds != DEFAULT_RANK_ROUNDS {
+            ropts.push(format!("rounds={}", self.max_rounds));
+        }
+        if self.round_budget != DEFAULT_RANK_ROUND_BUDGET {
+            ropts.push(format!("round_budget={}", self.round_budget));
+        }
+        if !ropts.is_empty() {
+            s.push_str(&format!(" ({})", ropts.join(", ")));
+        }
+        let mut opts: Vec<String> = Vec::new();
+        if let Some(w) = self.options.batch_width {
+            if w == crate::width::AUTO_WIDTH {
+                opts.push("batch_width=auto".to_string());
+            } else {
+                opts.push(format!("batch_width={w}"));
+            }
+        }
+        if self.options.priority != 0 {
+            opts.push(format!("priority={}", self.options.priority));
+        }
+        if let Some(seed) = self.options.seed {
+            opts.push(format!("seed={seed}"));
+        }
+        if self.options.threads != 1 {
+            opts.push(format!("threads={}", self.options.threads));
+        }
+        if !opts.is_empty() {
+            s.push_str(&format!(" WITH ({})", opts.join(", ")));
+        }
+        if self.options.mode == ExecMode::Async {
+            s.push_str(" ASYNC");
+        }
+        s
+    }
 }
 
 // ---------------------------------------------------------------------

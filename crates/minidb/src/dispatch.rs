@@ -18,18 +18,19 @@
 
 use crate::durability::SessionWal;
 use crate::engine::{Database, DbError};
-use crate::proc::{results_schema, ModelRegistry, PlanContext, ProcEstimate};
+use crate::proc::{rankings_schema, results_schema, ModelRegistry, PlanContext, ProcEstimate};
 use crate::sql::exec::ExecResult;
 use crate::value::Value;
 use mlss_core::plan_cache::PlanCache;
 use mlss_core::planner::peek_reuse;
 use mlss_core::prelude::SimRng;
+use mlss_core::ranking::{RaceArm, RaceOutcome, RaceQuery};
 use mlss_core::rng::StreamFactory;
 use mlss_core::scheduler::{QueryId, Scheduler};
 use mlss_core::shard_store::{shard_key, ShardStore};
-use mlss_core::spec::{ExecMode, QuerySpec};
+use mlss_core::spec::{ExecMode, QuerySpec, RankSpec};
 use rand::RngExt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// What executing a spec produced.
@@ -356,6 +357,304 @@ pub fn explain_spec(
     );
     if asynchronous {
         push("priority", format!("{}", spec.options.priority));
+    }
+    Ok(rows)
+}
+
+/// What executing a rank spec produced.
+pub enum RankOutcome {
+    /// A synchronous race: final standings, already recorded — one
+    /// `rankings` row per arm plus one standard `results` row per arm.
+    Ranked {
+        /// The sorted standings, total steps, and rounds raced.
+        outcome: RaceOutcome,
+        /// Wall-clock milliseconds the race took.
+        millis: i64,
+    },
+    /// An asynchronous submission: the whole race runs as **one**
+    /// sliceable scheduler query (each slice advances one arm by one
+    /// round budget), so it time-slices, pauses, and fair-shares like
+    /// any other scheduled work.
+    Submitted {
+        /// Scheduler query id (poll/wait/cancel handle).
+        id: QueryId,
+        /// The race's base seed (pinned or drawn); arm `i` runs under
+        /// [`arm_seed`]`(seed, i)`.
+        seed: u64,
+        /// Where the caller reads the standings once the race is done
+        /// (the scheduler itself only hands back the leader's
+        /// [`mlss_core::estimate::Estimate`]).
+        handle: Arc<Mutex<Option<RaceOutcome>>>,
+        /// Per-arm plan-cache provenance at submit time, parallel to
+        /// [`RankSpec::labels`] (`"hit"`, `"miss"`, or `"none"`).
+        plan_sources: Vec<&'static str>,
+    },
+}
+
+/// Arm `idx`'s pinned RNG seed, derived from the race's base seed. The
+/// salt (the 64-bit golden-ratio constant, scaled by the 1-based arm
+/// index) decorrelates sibling arms while keeping the whole race a pure
+/// function of one seed — same base seed, same standings, bit for bit.
+pub fn arm_seed(base: u64, idx: usize) -> u64 {
+    base ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Execute a `RANK BY` spec through the single dispatch path. Every arm
+/// is compiled by the same model-registry construction an `ESTIMATE` of
+/// that arm would use — plan cache shared (same-shape arms share one
+/// pilot, single-flight), shard store deliberately **not** consulted:
+/// the race's pooled per-arm shards are its state, and standings must
+/// not depend on what earlier queries deposited. `Sync` drives the race
+/// to completion on the calling thread and records the standings;
+/// `Async` submits the race as one sliceable query under the spec's
+/// priority and tenant.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_rank(
+    db: &Database,
+    models: &ModelRegistry,
+    plans: &Arc<PlanCache>,
+    scheduler: Option<&Scheduler>,
+    wal: Option<&SessionWal>,
+    rank: &RankSpec,
+    rng: &mut SimRng,
+) -> Result<RankOutcome, DbError> {
+    rank.validate().map_err(DbError::from)?;
+    let asynchronous = rank.options.mode == ExecMode::Async;
+    let seed = rank.options.seed.unwrap_or_else(|| rng.random::<u64>());
+    let default_width = if asynchronous {
+        scheduler.map(|s| s.config().batch_width).unwrap_or(0)
+    } else {
+        0
+    };
+    let mut arms = Vec::with_capacity(rank.arms.len());
+    let mut plan_sources = Vec::with_capacity(rank.arms.len());
+    for (i, (spec, label)) in rank.arms.iter().zip(&rank.labels).enumerate() {
+        let (runner, fp, _) = models.build_spec(db, spec)?;
+        let ctx = PlanContext {
+            cache: Arc::clone(plans),
+            fingerprint: fp,
+            store: None,
+        };
+        let (job, plan_source) = runner.rank_arm(spec, arm_seed(seed, i), &ctx, default_width)?;
+        arms.push(RaceArm {
+            label: label.clone(),
+            job,
+        });
+        plan_sources.push(plan_source);
+    }
+    let mut race = RaceQuery::new(arms, rank.race_config());
+    if asynchronous {
+        let scheduler = scheduler
+            .ok_or_else(|| DbError::Proc("ASYNC ranking requires a session scheduler".into()))?;
+        let tenant = rank
+            .options
+            .tenant
+            .as_deref()
+            .map(|name| scheduler.ensure_tenant(name));
+        let handle = race.outcome_handle();
+        let id = scheduler.submit_query_as(Box::new(race), rank.options.priority, tenant);
+        Ok(RankOutcome::Submitted {
+            id,
+            seed,
+            handle,
+            plan_sources,
+        })
+    } else {
+        let started = Instant::now();
+        let outcome = race.run_to_completion();
+        let millis = started.elapsed().as_millis() as i64;
+        record_rank_rows(db, rank, &plan_sources, &outcome, millis, wal)?;
+        Ok(RankOutcome::Ranked { outcome, millis })
+    }
+}
+
+/// Record a finished race: one standard `results` row per arm (journaled
+/// like any estimate — the durable per-arm provenance) plus one
+/// `rankings` standings row per arm, in standings order. The `rankings`
+/// table itself is **not** WAL-journaled: standings are derivable from
+/// the journaled per-arm rows, and re-racing after recovery would
+/// re-spend the budget the journal exists to save.
+pub(crate) fn record_rank_rows(
+    db: &Database,
+    rank: &RankSpec,
+    plan_sources: &[&'static str],
+    outcome: &RaceOutcome,
+    millis: i64,
+    wal: Option<&SessionWal>,
+) -> Result<(), DbError> {
+    for standing in &outcome.standings {
+        let idx = rank
+            .labels
+            .iter()
+            .position(|l| l == &standing.label)
+            .ok_or_else(|| DbError::Proc(format!("unknown race arm `{}`", standing.label)))?;
+        let est = ProcEstimate {
+            tau: standing.estimate.tau,
+            variance: standing.estimate.variance,
+            steps: standing.estimate.steps,
+            n_roots: standing.estimate.n_roots,
+            plan_source: plan_sources.get(idx).copied().unwrap_or("none"),
+            shard_reuse: "none",
+        };
+        record_estimate_row(db, &rank.arms[idx], &est, millis, wal)?;
+    }
+    if !db.has_table("rankings") {
+        db.create_table("rankings", rankings_schema())?;
+    }
+    let tenant = rank.options.tenant.as_deref().unwrap_or("-");
+    for (pos, s) in outcome.standings.iter().enumerate() {
+        db.insert(
+            "rankings",
+            vec![
+                Value::Int(pos as i64 + 1),
+                s.label.as_str().into(),
+                s.estimate.tau.into(),
+                s.ci_lo.into(),
+                s.ci_hi.into(),
+                // 0-based round the arm froze after; -1 = raced to the cap.
+                Value::Int(s.frozen_at.map(|r| r as i64).unwrap_or(-1)),
+                s.reason.as_str().into(),
+                Value::Int(s.estimate.steps as i64),
+                tenant.into(),
+            ],
+        )?;
+    }
+    Ok(())
+}
+
+/// The standings result rows a finished race renders — shared by the
+/// sync `RANK BY` response and the serving layer's poll of an ASYNC
+/// race.
+pub fn standings_rows(outcome: &RaceOutcome) -> ExecResult {
+    ExecResult::Rows {
+        columns: vec![
+            "rank".into(),
+            "arm".into(),
+            "tau".into(),
+            "ci_lo".into(),
+            "ci_hi".into(),
+            "frozen_round".into(),
+            "reason".into(),
+            "steps".into(),
+        ],
+        rows: outcome
+            .standings
+            .iter()
+            .enumerate()
+            .map(|(pos, s)| {
+                vec![
+                    Value::Int(pos as i64 + 1),
+                    s.label.as_str().into(),
+                    s.estimate.tau.into(),
+                    s.ci_lo.into(),
+                    s.ci_hi.into(),
+                    Value::Int(s.frozen_at.map(|r| r as i64).unwrap_or(-1)),
+                    s.reason.as_str().into(),
+                    Value::Int(s.estimate.steps as i64),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Resolve a rank spec without racing it: the rows `EXPLAIN ESTIMATE …
+/// RANK BY …` returns. Each arm's plan is derived through the shared
+/// cache exactly as [`explain_spec`] does (the pilot runs — once per
+/// distinct query family — on a cold cache; same-shape arms hit), plus
+/// the race's boundary-test parameters and its worst-case budget model.
+pub fn explain_rank(
+    db: &Database,
+    models: &ModelRegistry,
+    plans: &Arc<PlanCache>,
+    scheduler: Option<&Scheduler>,
+    rank: &RankSpec,
+    rng: &mut SimRng,
+) -> Result<Vec<(String, String)>, DbError> {
+    rank.validate().map_err(DbError::from)?;
+    let asynchronous = rank.options.mode == ExecMode::Async;
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut push = |k: &str, v: String| rows.push((k.to_string(), v));
+    push(
+        "statement",
+        format!(
+            "ESTIMATE DURABILITY … RANK BY ({})",
+            if asynchronous { "async" } else { "sync" }
+        ),
+    );
+    push("arms", format!("{}", rank.arms.len()));
+    push("top_k", format!("{}", rank.top_k));
+    push("confidence", format!("{}", rank.confidence));
+    push("rounds", format!("{}", rank.max_rounds));
+    push("round_budget", format!("{}", rank.round_budget));
+    // Worst case: every arm races every round. The boundary test exists
+    // to freeze arms far earlier than this.
+    push(
+        "budget_worst_case",
+        format!(
+            "{} g invocations ({} arms x {} rounds x {})",
+            rank.round_budget as u128 * rank.arms.len() as u128 * rank.max_rounds as u128,
+            rank.arms.len(),
+            rank.max_rounds,
+            rank.round_budget,
+        ),
+    );
+    let mut fingerprints: Vec<u64> = Vec::new();
+    for (i, (spec, label)) in rank.arms.iter().zip(&rank.labels).enumerate() {
+        let (runner, fp, _) = models.build_spec(db, spec)?;
+        let ctx = PlanContext {
+            cache: Arc::clone(plans),
+            fingerprint: fp,
+            store: None,
+        };
+        let res = runner.resolve_plan(spec, &ctx, rng)?;
+        if !fingerprints.contains(&fp) {
+            fingerprints.push(fp);
+        }
+        push(
+            &format!("arm.{i}"),
+            format!(
+                "{label} (method={}, plan_cache={})",
+                res.resolved.name(),
+                res.plan_source
+            ),
+        );
+    }
+    push(
+        "shared_pilots",
+        format!(
+            "{} arms over {} distinct plan famil{}",
+            rank.arms.len(),
+            fingerprints.len(),
+            if fingerprints.len() == 1 { "y" } else { "ies" }
+        ),
+    );
+    push(
+        "shard_reuse",
+        "off (race arms pool their own shards)".into(),
+    );
+    push(
+        "driver",
+        if asynchronous {
+            match scheduler {
+                Some(s) => format!(
+                    "scheduler(workers={}), one sliceable race query",
+                    s.config().workers
+                ),
+                None => "scheduler (no session pool attached)".into(),
+            }
+        } else {
+            "sequential race loop (same slice order as the scheduler)".into()
+        },
+    );
+    push(
+        "seed",
+        match rank.options.seed {
+            Some(s) => format!("{s} (arm i runs under seed ^ (i+1)*golden)"),
+            None => "from session stream".into(),
+        },
+    );
+    if asynchronous {
+        push("priority", format!("{}", rank.options.priority));
     }
     Ok(rows)
 }

@@ -41,7 +41,10 @@ pub mod storage;
 pub mod table;
 pub mod value;
 
-pub use dispatch::{execute_spec, explain_spec, show_models, SpecOutcome};
+pub use dispatch::{
+    arm_seed, execute_rank, execute_spec, explain_rank, explain_spec, show_models, standings_rows,
+    RankOutcome, SpecOutcome,
+};
 pub use durability::{Durability, SessionWal, WalSessionConfig};
 pub use engine::{Database, DbError};
 pub use expr::{col, lit, Expr};

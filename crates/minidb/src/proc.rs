@@ -208,6 +208,26 @@ pub fn results_schema() -> Schema {
     .expect("static schema")
 }
 
+/// Schema of the `rankings` output table: one standings row per raced
+/// arm, most durable first. Standings are derived output — the per-arm
+/// evidence also lands as journaled `results` rows — so this table is
+/// not WAL-journaled; a recovering session re-races or re-reads
+/// `results`.
+pub fn rankings_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("rank", DataType::Int),
+        ColumnDef::new("arm", DataType::Text),
+        ColumnDef::new("tau", DataType::Float),
+        ColumnDef::new("ci_lo", DataType::Float),
+        ColumnDef::new("ci_hi", DataType::Float),
+        ColumnDef::new("frozen_round", DataType::Int),
+        ColumnDef::new("reason", DataType::Text),
+        ColumnDef::new("steps", DataType::Int),
+        ColumnDef::new("tenant", DataType::Text),
+    ])
+    .expect("static schema")
+}
+
 /// Seed the `models` table with every registered model's schema defaults
 /// (the paper's queue and CPP rows keep their historical values — they
 /// *are* the schema defaults).
@@ -384,6 +404,22 @@ pub trait ModelRunner: Send + Sync {
         seed: u64,
         plans: &PlanContext,
     ) -> Result<SubmitOutcome, DbError>;
+
+    /// Build one `RANK BY` race arm as a sliceable job — the same
+    /// construction [`ModelRunner::submit`] uses, minus the scheduler
+    /// and the shard store (arms never reuse or deposit: the race's
+    /// pooled per-arm shard *is* its state, and standings must not
+    /// depend on what earlier queries left behind). On a plan-cache miss
+    /// the pilot is deferred to the arm's first slice, single-flight
+    /// through the shared cache — same-shape arms share one pilot.
+    /// Returns the job plus its plan-cache provenance.
+    fn rank_arm(
+        self: Box<Self>,
+        spec: &QuerySpec,
+        seed: u64,
+        plans: &PlanContext,
+        default_width: usize,
+    ) -> Result<(Box<dyn SliceableQuery>, &'static str), DbError>;
 
     /// Resubmit a recovered ASYNC query from a durable checkpoint:
     /// `method` is the resolved estimator the checkpoint was cut under
@@ -889,6 +925,69 @@ where
                     plan_source: "miss",
                     shard_reuse: if store.is_some() { "cold" } else { "none" },
                 })
+            }
+        }
+    }
+
+    fn rank_arm(
+        self: Box<Self>,
+        spec: &QuerySpec,
+        seed: u64,
+        plans: &PlanContext,
+        default_width: usize,
+    ) -> Result<(Box<dyn SliceableQuery>, &'static str), DbError> {
+        let control = target_control(spec.target_re);
+        let (width, _) = self.width_for(spec, plans, default_width);
+        let fp = plans.fingerprint;
+        let Runner { model, score } = *self;
+        if !spec.method.needs_plan() {
+            let job = estimator_job(
+                model,
+                score,
+                spec.beta,
+                spec.horizon,
+                &ResolvedMethod::Srs,
+                control,
+                seed,
+                width,
+                None,
+            );
+            return Ok((job, "none"));
+        }
+        match plans
+            .cache
+            .lookup_traced(fp, BALANCED_PLAN_KEY, spec.levels)
+        {
+            Some(lookup) => {
+                let resolved = resolve_method(spec.method, Some(&lookup));
+                let job = estimator_job(
+                    model,
+                    score,
+                    spec.beta,
+                    spec.horizon,
+                    &resolved,
+                    control,
+                    seed,
+                    width,
+                    None,
+                );
+                Ok((job, "hit"))
+            }
+            None => {
+                let job = Box::new(DeferredPlanQuery::new(
+                    model,
+                    score,
+                    spec.beta,
+                    spec.horizon,
+                    spec.method,
+                    spec.levels,
+                    control,
+                    seed,
+                    width,
+                    Arc::clone(&plans.cache),
+                    fp,
+                ));
+                Ok((job, "miss"))
             }
         }
     }

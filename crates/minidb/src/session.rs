@@ -48,7 +48,10 @@
 //! provenance. [`Session::diagnostics`] surfaces the cache and pool
 //! counters.
 
-use crate::dispatch::{execute_spec, explain_spec, show_models, SpecOutcome};
+use crate::dispatch::{
+    execute_rank, execute_spec, explain_rank, explain_spec, record_rank_rows, show_models,
+    standings_rows, RankOutcome, SpecOutcome,
+};
 use crate::durability::{
     intern_provenance, rebuild_spec, Durability, SessionWal, WalSessionConfig,
 };
@@ -62,10 +65,11 @@ use crate::value::Value;
 use mlss_core::estimator::Diagnostics;
 use mlss_core::plan_cache::{CachedPlan, PlanCache};
 use mlss_core::prelude::SimRng;
+use mlss_core::ranking::RaceOutcome;
 use mlss_core::rng::{rng_from_seed, split_rng};
 use mlss_core::scheduler::{DurabilityHook, QueryId, QueryStatus, Scheduler, SchedulerConfig};
 use mlss_core::shard_store::ShardStore;
-use mlss_core::spec::{ExecMode, QuerySpec};
+use mlss_core::spec::{ExecMode, QuerySpec, RankSpec};
 use mlss_store::{Record, ResultRow};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -149,6 +153,20 @@ struct SubmitMeta {
 
 type MetaMap = Mutex<BTreeMap<QueryId, SubmitMeta>>;
 
+/// Submission metadata retained for an ASYNC `RANK BY` race: the rank
+/// spec (to re-derive the per-arm rows), the standings handle the race
+/// publishes into when it finalizes, and the per-arm plan provenance
+/// captured at submit time.
+struct RankMeta {
+    rank: RankSpec,
+    handle: Arc<Mutex<Option<RaceOutcome>>>,
+    plan_sources: Vec<&'static str>,
+    submitted: Instant,
+    recorded: bool,
+}
+
+type RankMap = Mutex<BTreeMap<QueryId, RankMeta>>;
+
 /// A pluggable diagnostics block (serving layers register admission /
 /// connection counters here so `SHOW DIAGNOSTICS` surfaces them).
 pub type DiagnosticsSource = Arc<dyn Fn() -> Diagnostics + Send + Sync>;
@@ -189,6 +207,7 @@ pub struct Session {
     models: Arc<ModelRegistry>,
     registry: ProcRegistry,
     meta: Arc<MetaMap>,
+    rank_meta: RankMap,
     rng: Mutex<SimRng>,
     wal: Option<Arc<SessionWal>>,
     recovered: Vec<QueryId>,
@@ -416,6 +435,7 @@ impl Session {
             models,
             registry,
             meta,
+            rank_meta: Mutex::new(BTreeMap::new()),
             rng: Mutex::new(rng_from_seed(cfg.seed)),
             wal,
             recovered,
@@ -571,6 +591,69 @@ impl Session {
                         .collect(),
                 })
             }
+            DialectStatement::ExplainRank(rank) => {
+                let mut rng = self.child_rng();
+                let rows = explain_rank(
+                    &self.db,
+                    &self.models,
+                    &self.plans,
+                    Some(&self.scheduler),
+                    &rank,
+                    &mut rng,
+                )?;
+                Ok(ExecResult::Rows {
+                    columns: vec!["property".into(), "value".into()],
+                    rows: rows
+                        .into_iter()
+                        .map(|(k, v)| vec![Value::Text(k), Value::Text(v)])
+                        .collect(),
+                })
+            }
+            DialectStatement::Rank(mut rank) => {
+                // Tenant stamping mirrors the single-estimate path: the
+                // race itself is charged to the tenant's fair-share
+                // account, and every per-arm results row carries it.
+                rank.options.tenant = tenant.map(String::from);
+                for arm in &mut rank.arms {
+                    arm.options.tenant = rank.options.tenant.clone();
+                }
+                let mut rng = self.child_rng();
+                match execute_rank(
+                    &self.db,
+                    &self.models,
+                    &self.plans,
+                    Some(&self.scheduler),
+                    self.wal.as_deref(),
+                    &rank,
+                    &mut rng,
+                )? {
+                    RankOutcome::Ranked { outcome, .. } => Ok(standings_rows(&outcome)),
+                    RankOutcome::Submitted {
+                        id,
+                        handle,
+                        plan_sources,
+                        ..
+                    } => {
+                        self.rank_meta
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .insert(
+                                id,
+                                RankMeta {
+                                    rank,
+                                    handle,
+                                    plan_sources,
+                                    submitted: Instant::now(),
+                                    recorded: false,
+                                },
+                            );
+                        Ok(ExecResult::Rows {
+                            columns: vec!["query_id".into()],
+                            rows: vec![vec![Value::Int(id as i64)]],
+                        })
+                    }
+                }
+            }
             DialectStatement::Estimate(mut spec) => {
                 spec.options.tenant = tenant.map(String::from);
                 let mut rng = self.child_rng();
@@ -670,8 +753,68 @@ impl Session {
         };
         if let QueryStatus::Done(est) = &status {
             record_result(&self.db, &self.meta, &self.scheduler, &self.plans, id, est)?;
+            self.record_rank_result(id)?;
         }
         Ok(Some(status))
+    }
+
+    /// Standings of an ASYNC `RANK BY` race, once it has finalized
+    /// (`Ok(None)` while it races, or for ids that are not races).
+    /// Reading the standings also records them — the `rankings` rows
+    /// plus one `results` row per arm — exactly once, like a successful
+    /// [`Session::wait`].
+    pub fn rank_standings(&self, id: QueryId) -> Result<Option<RaceOutcome>, DbError> {
+        self.record_rank_result(id)?;
+        let metas = self
+            .rank_meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok(metas.get(&id).and_then(|m| {
+            m.handle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+        }))
+    }
+
+    /// Record a finalized ASYNC race exactly once: the scheduled
+    /// counterpart of the synchronous recording inside
+    /// [`crate::dispatch::execute_rank`]. A no-op for non-race ids and
+    /// for races still running.
+    fn record_rank_result(&self, id: QueryId) -> Result<(), DbError> {
+        let mut metas = self
+            .rank_meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Some(m) = metas.get_mut(&id) else {
+            return Ok(());
+        };
+        if m.recorded {
+            return Ok(());
+        }
+        let Some(outcome) = m
+            .handle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+        else {
+            return Ok(()); // still racing
+        };
+        let millis = self
+            .scheduler
+            .progress(id)
+            .map(|p| p.elapsed)
+            .unwrap_or_else(|| m.submitted.elapsed());
+        record_rank_rows(
+            &self.db,
+            &m.rank,
+            &m.plan_sources,
+            &outcome,
+            millis.as_millis() as i64,
+            self.wal.as_deref(),
+        )?;
+        m.recorded = true;
+        Ok(())
     }
 
     /// Cancel a query; true if the cancellation took effect.
@@ -712,6 +855,22 @@ impl Session {
                 ("speculation_discarded".into(), spec.discarded() as f64),
                 ("effective_width".into(), effective_width),
                 ("reprobed".into(), mlss_core::width::reprobe_count() as f64),
+            ],
+        });
+        // The ranking subsystem's race ledger (process-wide, like the
+        // width policy): races decided, arms raced, how many froze
+        // before the round cap (the boundary test doing its job), and
+        // the rounds/steps actually spent.
+        let races = mlss_core::ranking::snapshot();
+        diags.push(Diagnostics {
+            estimator: "ranking",
+            skip_events: 0,
+            details: vec![
+                ("races".into(), races.races as f64),
+                ("arms".into(), races.arms as f64),
+                ("arms_frozen_early".into(), races.frozen_early as f64),
+                ("rounds".into(), races.rounds as f64),
+                ("steps".into(), races.steps as f64),
             ],
         });
         // Per-tenant fair-share accounts, when any tenant is registered.
@@ -769,8 +928,29 @@ impl Session {
                 record_result(&self.db, &self.meta, &self.scheduler, &self.plans, id, &est)?;
             }
         }
+        // Likewise for finalized-but-never-read races: their standings
+        // land in `rankings` (and their per-arm `results` rows) before
+        // the handle's last owner disappears.
+        let unrecorded_ranks: Vec<QueryId> = {
+            let metas = self
+                .rank_meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            metas
+                .iter()
+                .filter(|(_, m)| !m.recorded)
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for id in unrecorded_ranks {
+            self.record_rank_result(id)?;
+        }
         let evicted = self.scheduler.evict_terminal();
         self.meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|id, m| !m.recorded && self.scheduler.poll(*id).is_some());
+        self.rank_meta
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .retain(|id, m| !m.recorded && self.scheduler.poll(*id).is_some());

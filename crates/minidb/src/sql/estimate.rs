@@ -7,9 +7,11 @@
 //! ```text
 //! statement   := ESTIMATE estimate | EXPLAIN ESTIMATE estimate
 //!              | SHOW MODELS | SHOW DIAGNOSTICS
-//! estimate    := DURABILITY OF model_ref WITHIN integer
+//! estimate    := DURABILITY OF candidate {',' candidate} WITHIN integer
 //!                [USING method_ref] TARGET RE number ['%']
+//!                [RANK BY TOP integer ['(' assignments ')']]
 //!                [WITH '(' options ')'] [ASYNC | SYNC] [';']
+//! candidate   := model_ref [SWEEP ident FROM number TO number STEP number]
 //! model_ref   := ident ['(' assignments ')']     -- must include beta=…
 //! method_ref  := ident ['(' assignments ')']     -- srs|smlss|mlss|gmlss|auto, levels=…
 //! assignments := ident '=' number {',' ident '=' number}
@@ -18,6 +20,12 @@
 //!                -- AUTO is valid only for batch_width
 //! number      := ['-'] INT | FLOAT
 //! ```
+//!
+//! A statement with more than one candidate (an explicit list and/or a
+//! `SWEEP` expansion) must carry a `RANK BY TOP k` clause: it parses to a
+//! [`RankSpec`] raced under confidence-bound boundary elimination (see
+//! `docs/ranking.md`). Ranking options: `confidence=` (0.5–1),
+//! `rounds=` (round cap), `round_budget=` (per-arm `g` budget per round).
 //!
 //! The parser optionally validates against a catalog of
 //! [`ModelSchema`]s, so unknown models, unknown parameters, and
@@ -28,7 +36,8 @@
 //! criteria require instead of stringly-typed procedure errors.
 
 use mlss_core::spec::{
-    ExecMode, Method, ModelSchema, QuerySpec, Span, SpecError, SpecErrorKind, DEFAULT_PLAN_LEVELS,
+    ExecMode, ExecOptions, Method, ModelSchema, QuerySpec, RankSpec, Span, SpecError,
+    SpecErrorKind, DEFAULT_PLAN_LEVELS, MAX_RANK_ARMS,
 };
 use std::collections::BTreeMap;
 
@@ -39,6 +48,10 @@ pub enum DialectStatement {
     Estimate(QuerySpec),
     /// `EXPLAIN ESTIMATE DURABILITY …` — return the resolved plan as rows.
     ExplainEstimate(QuerySpec),
+    /// `ESTIMATE DURABILITY … RANK BY TOP k` — race the candidate field.
+    Rank(RankSpec),
+    /// `EXPLAIN` over a ranking statement — the racing plan as rows.
+    ExplainRank(RankSpec),
     /// `SHOW MODELS` — the model catalog with per-parameter schemas.
     ShowModels,
     /// `SHOW DIAGNOSTICS` — plan-cache, shard-store, and scheduler-pool
@@ -322,11 +335,11 @@ impl DialectParser<'_> {
         }
         let explain = self.eat_kw_opt("EXPLAIN");
         self.eat_kw("ESTIMATE")?;
-        let spec = self.estimate()?;
-        Ok(if explain {
-            DialectStatement::ExplainEstimate(spec)
-        } else {
-            DialectStatement::Estimate(spec)
+        Ok(match (self.estimate()?, explain) {
+            (ParsedEstimate::Single(spec), false) => DialectStatement::Estimate(spec),
+            (ParsedEstimate::Single(spec), true) => DialectStatement::ExplainEstimate(spec),
+            (ParsedEstimate::Rank(rank), false) => DialectStatement::Rank(rank),
+            (ParsedEstimate::Rank(rank), true) => DialectStatement::ExplainRank(rank),
         })
     }
 
@@ -391,10 +404,10 @@ impl DialectParser<'_> {
         Ok(out)
     }
 
-    fn estimate(&mut self) -> Result<QuerySpec, SpecError> {
-        self.eat_kw("DURABILITY")?;
-        self.eat_kw("OF")?;
-
+    /// One candidate of the `OF` list: a model ref plus an optional
+    /// `SWEEP param FROM a TO b STEP s` expansion. Returns the expanded
+    /// per-arm `(beta, params)` pairs (one entry when there is no sweep).
+    fn candidate(&mut self) -> Result<Cand, SpecError> {
         // ---- model ref: name(beta=…, overrides…) ---------------------
         let model = self.ident("a model name")?;
         let schema = match self.catalog {
@@ -442,6 +455,118 @@ impl DialectParser<'_> {
                 model.span,
             ));
         };
+
+        // ---- SWEEP param FROM a TO b STEP s --------------------------
+        if !self.peek_kw("SWEEP") {
+            return Ok(Cand {
+                model,
+                arms: vec![(beta, params)],
+                sweep_span: None,
+            });
+        }
+        let kw_span = self.here();
+        self.eat_kw("SWEEP")?;
+        let pname = self.ident("a parameter to sweep")?;
+        self.eat_kw("FROM")?;
+        let (from, fspan) = self.number("a sweep start")?;
+        self.eat_kw("TO")?;
+        let (to, tspan) = self.number("a sweep end")?;
+        self.eat_kw("STEP")?;
+        let (step, sspan) = self.number("a sweep step")?;
+        if !(from.is_finite() && to.is_finite()) {
+            return Err(SpecError::at(
+                SpecErrorKind::InvalidValue {
+                    field: "sweep range",
+                    message: "endpoints must be finite".into(),
+                },
+                fspan,
+            ));
+        }
+        if to < from {
+            return Err(SpecError::at(
+                SpecErrorKind::InvalidValue {
+                    field: "sweep range",
+                    message: format!("end {to} is below start {from}"),
+                },
+                tspan,
+            ));
+        }
+        if !(step.is_finite() && step > 0.0) {
+            return Err(SpecError::at(
+                SpecErrorKind::InvalidValue {
+                    field: "sweep step",
+                    message: format!("must be positive, got {step}"),
+                },
+                sspan,
+            ));
+        }
+        // Count before materializing: a tiny step must fail cleanly, not
+        // allocate.
+        let count = ((to - from) / step + 1e-9).floor() as usize + 1;
+        if count > MAX_RANK_ARMS {
+            return Err(SpecError::at(
+                SpecErrorKind::InvalidValue {
+                    field: "sweep step",
+                    message: format!("sweep expands to {count} arms, cap is {MAX_RANK_ARMS}"),
+                },
+                sspan,
+            ));
+        }
+        let schema_param = if pname.text == "beta" {
+            None
+        } else if let Some(schema) = schema {
+            let Some(p) = schema.param(&pname.text) else {
+                return Err(SpecError::at(
+                    SpecErrorKind::UnknownParam {
+                        model: model.text.clone(),
+                        name: pname.text.clone(),
+                    },
+                    pname.span,
+                ));
+            };
+            Some((schema.name, p))
+        } else {
+            None
+        };
+        let mut arms = Vec::with_capacity(count);
+        for i in 0..count {
+            let value = from + step * i as f64;
+            if let Some((model_name, p)) = schema_param {
+                // Attach the sweep-start span: the offending value is
+                // generated, not written.
+                p.check(model_name, value)
+                    .map_err(|e| SpecError::at(e.kind, fspan))?;
+            }
+            if pname.text == "beta" {
+                arms.push((value, params.clone()));
+            } else {
+                let mut params = params.clone();
+                params.insert(pname.text.clone(), value);
+                arms.push((beta, params));
+            }
+        }
+        Ok(Cand {
+            model,
+            arms,
+            sweep_span: Some(kw_span),
+        })
+    }
+
+    fn estimate(&mut self) -> Result<ParsedEstimate, SpecError> {
+        self.eat_kw("DURABILITY")?;
+        self.eat_kw("OF")?;
+
+        // ---- candidate list ------------------------------------------
+        let mut cands = vec![self.candidate()?];
+        // The span that proves this is a multi-candidate statement (and
+        // therefore needs RANK BY): the first comma or SWEEP keyword.
+        let mut multi_span: Option<Span> = cands[0].sweep_span;
+        while matches!(self.peek(), Some(t) if t.kind == TokKind::Comma) {
+            let comma = self.here();
+            self.pos += 1;
+            multi_span = multi_span.or(Some(comma));
+            cands.push(self.candidate()?);
+        }
 
         // ---- WITHIN horizon ------------------------------------------
         if !self.eat_kw_opt("WITHIN") {
@@ -518,12 +643,139 @@ impl DialectParser<'_> {
             ));
         }
 
-        let mut spec = QuerySpec::new(model.text.clone(), beta, horizon as u64, target_re);
-        spec.params = params;
-        spec.method = method;
-        spec.levels = levels;
+        // ---- RANK BY TOP k [(confidence=…, rounds=…, round_budget=…)] -
+        let rank = if self.peek_kw("RANK") {
+            self.eat_kw("RANK")?;
+            self.eat_kw("BY")?;
+            self.eat_kw("TOP")?;
+            let (k, kspan) = self.number("a top-k count")?;
+            if !(k.fract() == 0.0 && k >= 1.0) {
+                return Err(SpecError::at(
+                    SpecErrorKind::InvalidValue {
+                        field: "top_k",
+                        message: format!("must be a positive integer, got {k}"),
+                    },
+                    kspan,
+                ));
+            }
+            let mut confidence = mlss_core::spec::DEFAULT_RANK_CONFIDENCE;
+            let mut rounds = mlss_core::spec::DEFAULT_RANK_ROUNDS;
+            let mut round_budget = mlss_core::spec::DEFAULT_RANK_ROUND_BUDGET;
+            for (opt, value, vtok) in self.assignments("ranking option")? {
+                match opt.text.as_str() {
+                    "confidence" => {
+                        if !(value > 0.5 && value < 1.0) {
+                            return Err(SpecError::at(
+                                SpecErrorKind::InvalidValue {
+                                    field: "confidence",
+                                    message: format!("must be in (0.5, 1), got {value}"),
+                                },
+                                vtok.span,
+                            ));
+                        }
+                        confidence = value;
+                    }
+                    "rounds" => {
+                        if !(value.fract() == 0.0 && (1.0..=10_000.0).contains(&value)) {
+                            return Err(SpecError::at(
+                                SpecErrorKind::InvalidValue {
+                                    field: "rounds",
+                                    message: format!(
+                                        "must be an integer in 1..=10000, got {value}"
+                                    ),
+                                },
+                                vtok.span,
+                            ));
+                        }
+                        rounds = value as usize;
+                    }
+                    "round_budget" => {
+                        if !(value.fract() == 0.0 && (1.0..=1e12).contains(&value)) {
+                            return Err(SpecError::at(
+                                SpecErrorKind::InvalidValue {
+                                    field: "round_budget",
+                                    message: format!("must be an integer in 1..=1e12, got {value}"),
+                                },
+                                vtok.span,
+                            ));
+                        }
+                        round_budget = value as u64;
+                    }
+                    _ => {
+                        return Err(SpecError::at(
+                            SpecErrorKind::UnknownOption {
+                                name: opt.text.clone(),
+                            },
+                            opt.span,
+                        ))
+                    }
+                }
+            }
+            Some((k as usize, kspan, confidence, rounds, round_budget))
+        } else {
+            None
+        };
+        if rank.is_none() {
+            if let Some(span) = multi_span {
+                // A candidate field without a ranking question is
+                // ambiguous — which single estimate would it mean?
+                return Err(SpecError::at(
+                    SpecErrorKind::MissingClause { clause: "RANK BY" },
+                    span,
+                ));
+            }
+        }
 
-        // ---- WITH (options) ------------------------------------------
+        // ---- WITH (options) + ASYNC/SYNC -----------------------------
+        let mut options = ExecOptions::default();
+        self.exec_options(&mut options)?;
+
+        // ---- assemble ------------------------------------------------
+        let build_arm = |cand: &Tok, beta: f64, params: BTreeMap<String, f64>| {
+            let mut spec = QuerySpec::new(cand.text.clone(), beta, horizon as u64, target_re);
+            spec.params = params;
+            spec.method = method;
+            spec.levels = levels;
+            spec.options = options.clone();
+            spec
+        };
+        let Some((top_k, kspan, confidence, max_rounds, round_budget)) = rank else {
+            let cand = cands.into_iter().next().expect("one candidate");
+            let model = cand.model;
+            let (beta, params) = cand.arms.into_iter().next().expect("one arm");
+            let spec = build_arm(&model, beta, params);
+            spec.validate()?;
+            return Ok(ParsedEstimate::Single(spec));
+        };
+        let mut arms: Vec<QuerySpec> = Vec::new();
+        for cand in cands {
+            for (beta, params) in cand.arms {
+                arms.push(build_arm(&cand.model, beta, params));
+            }
+        }
+        if top_k > arms.len() {
+            return Err(SpecError::at(
+                SpecErrorKind::InvalidValue {
+                    field: "top_k",
+                    message: format!(
+                        "must be in 1..={} (the candidate field), got {top_k}",
+                        arms.len()
+                    ),
+                },
+                kspan,
+            ));
+        }
+        let mut rank = RankSpec::new(arms, top_k);
+        rank.confidence = confidence;
+        rank.max_rounds = max_rounds;
+        rank.round_budget = round_budget;
+        rank.options = options;
+        rank.validate()?;
+        Ok(ParsedEstimate::Rank(rank))
+    }
+
+    /// `[WITH '(' options ')'] [ASYNC | SYNC]` into `options`.
+    fn exec_options(&mut self, options: &mut ExecOptions) -> Result<(), SpecError> {
         if self.eat_kw_opt("WITH") {
             if !matches!(self.peek(), Some(t) if t.kind == TokKind::LParen) {
                 return Err(self.syntax("expected '(' after WITH", self.here()));
@@ -554,13 +806,11 @@ impl DialectParser<'_> {
                     }
                 };
                 match opt.text.as_str() {
-                    "threads" => spec.options.threads = int_in(1.0, 4096.0)? as usize,
+                    "threads" => options.threads = int_in(1.0, 4096.0)? as usize,
                     "batch_width" if value.is_infinite() => {
-                        spec.options.batch_width = Some(mlss_core::width::AUTO_WIDTH)
+                        options.batch_width = Some(mlss_core::width::AUTO_WIDTH)
                     }
-                    "batch_width" => {
-                        spec.options.batch_width = Some(int_in(0.0, 1_048_576.0)? as usize)
-                    }
+                    "batch_width" => options.batch_width = Some(int_in(0.0, 1_048_576.0)? as usize),
                     "seed" => {
                         // Reparse the token text: a seed is a full u64
                         // and must not round through f64.
@@ -576,9 +826,9 @@ impl DialectParser<'_> {
                                 vtok.span,
                             )
                         })?;
-                        spec.options.seed = Some(seed);
+                        options.seed = Some(seed);
                     }
-                    "priority" => spec.options.priority = int_in(0.0, 255.0)? as u8,
+                    "priority" => options.priority = int_in(0.0, 255.0)? as u8,
                     _ => {
                         return Err(SpecError::at(
                             SpecErrorKind::UnknownOption {
@@ -593,14 +843,27 @@ impl DialectParser<'_> {
 
         // ---- ASYNC / SYNC --------------------------------------------
         if self.eat_kw_opt("ASYNC") {
-            spec.options.mode = ExecMode::Async;
+            options.mode = ExecMode::Async;
         } else {
             self.eat_kw_opt("SYNC");
         }
-
-        spec.validate()?;
-        Ok(spec)
+        Ok(())
     }
+}
+
+/// What `estimate()` produced: one spec, or a raced candidate field.
+enum ParsedEstimate {
+    Single(QuerySpec),
+    Rank(RankSpec),
+}
+
+/// One parsed `OF`-list candidate, already sweep-expanded.
+struct Cand {
+    model: Tok,
+    /// Per-arm `(beta, params)` pairs (one entry when there is no sweep).
+    arms: Vec<(f64, BTreeMap<String, f64>)>,
+    /// Span of the `SWEEP` keyword, if the candidate swept.
+    sweep_span: Option<Span>,
 }
 
 #[cfg(test)]
@@ -792,5 +1055,225 @@ mod tests {
             Some(&catalog),
         )
         .is_ok());
+    }
+
+    fn rank_of(sql: &str) -> RankSpec {
+        match parse(sql).unwrap() {
+            DialectStatement::Rank(r) => r,
+            other => panic!("expected Rank, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_by_over_an_explicit_candidate_list() {
+        let r = rank_of(
+            "ESTIMATE DURABILITY OF walk(beta=6, up=0.3), walk(beta=6, up=0.4), \
+             walk(beta=8) WITHIN 50 USING srs TARGET RE 0.5 \
+             RANK BY TOP 2 (confidence=0.9, rounds=6, round_budget=20000) \
+             WITH (seed=7) ASYNC",
+        );
+        assert_eq!(r.arms.len(), 3);
+        assert_eq!(r.top_k, 2);
+        assert!((r.confidence - 0.9).abs() < 1e-12);
+        assert_eq!(r.max_rounds, 6);
+        assert_eq!(r.round_budget, 20_000);
+        assert_eq!(r.options.seed, Some(7));
+        assert_eq!(r.options.mode, ExecMode::Async);
+        // Labels are the canonical model refs, parallel to the arms.
+        assert_eq!(r.labels.len(), 3);
+        assert_eq!(r.labels[0], r.arms[0].model_ref());
+        assert!(r.labels[0].contains("up=0.3"));
+        // Shared clauses land on every arm.
+        for arm in &r.arms {
+            assert_eq!(arm.horizon, 50);
+            assert_eq!(arm.method, Method::Srs);
+            assert_eq!(arm.options.seed, Some(7));
+        }
+    }
+
+    #[test]
+    fn rank_by_expands_a_sweep() {
+        let r = rank_of(
+            "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0.30 TO 0.42 STEP 0.04 \
+             WITHIN 50 TARGET RE 0.5 RANK BY TOP 1",
+        );
+        assert_eq!(r.arms.len(), 4);
+        for (arm, expected) in r.arms.iter().zip([0.30, 0.34, 0.38, 0.42]) {
+            assert!((arm.params["up"] - expected).abs() < 1e-9);
+        }
+        // Defaults fill in.
+        assert_eq!(r.top_k, 1);
+        assert!((r.confidence - mlss_core::spec::DEFAULT_RANK_CONFIDENCE).abs() < 1e-12);
+        assert_eq!(r.max_rounds, mlss_core::spec::DEFAULT_RANK_ROUNDS);
+        assert_eq!(r.round_budget, mlss_core::spec::DEFAULT_RANK_ROUND_BUDGET);
+        // `beta` itself is sweepable: it varies the query, not a param.
+        let r = rank_of(
+            "ESTIMATE DURABILITY OF walk(up=0.4, beta=4) SWEEP beta FROM 4 TO 8 STEP 2 \
+             WITHIN 50 TARGET RE 0.5 RANK BY TOP 1",
+        );
+        assert_eq!(r.arms.len(), 3);
+        assert_eq!(
+            r.arms.iter().map(|a| a.beta).collect::<Vec<_>>(),
+            vec![4.0, 6.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn rank_by_renders_back_to_a_parseable_statement() {
+        let r = rank_of(
+            "ESTIMATE DURABILITY OF walk(beta=6, up=0.3), walk(beta=6, up=0.4) WITHIN 50 \
+             TARGET RE 0.5 RANK BY TOP 2 (rounds=6) WITH (seed=9)",
+        );
+        let rendered = r.render();
+        let reparsed = rank_of(&rendered);
+        assert_eq!(reparsed.labels, r.labels);
+        assert_eq!(reparsed.top_k, r.top_k);
+        assert_eq!(reparsed.max_rounds, r.max_rounds);
+        assert_eq!(reparsed.options.seed, r.options.seed);
+    }
+
+    /// The malformed-`RANK BY` span table: every rejection points its
+    /// byte span at the offending token, not the statement head.
+    #[test]
+    fn malformed_rank_by_spans_point_at_the_offender() {
+        // (statement, expected span text, expected field-ish marker)
+        let cases: &[(&str, &str)] = &[
+            // A candidate field without a ranking question: the span is
+            // the first comma — the token that made it a field.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6, up=0.3), walk(beta=6, up=0.4) \
+                 WITHIN 50 TARGET RE 0.5",
+                ",",
+            ),
+            // …or the SWEEP keyword when the sweep made it a field.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0.1 TO 0.3 STEP 0.1 \
+                 WITHIN 50 TARGET RE 0.5",
+                "SWEEP",
+            ),
+            // TOP k out of range.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 TARGET RE 0.5 RANK BY TOP 0",
+                "0",
+            ),
+            // TOP k beyond the candidate field.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6, up=0.3), walk(beta=6, up=0.4) \
+                 WITHIN 50 TARGET RE 0.5 RANK BY TOP 5",
+                "5",
+            ),
+            // Ranking options out of range.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 TARGET RE 0.5 \
+                 RANK BY TOP 1 (confidence=1.5)",
+                "1.5",
+            ),
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 TARGET RE 0.5 \
+                 RANK BY TOP 1 (rounds=0)",
+                "0",
+            ),
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 TARGET RE 0.5 \
+                 RANK BY TOP 1 (round_budget=0.5)",
+                "0.5",
+            ),
+            // Unknown ranking option.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 TARGET RE 0.5 \
+                 RANK BY TOP 1 (cadence=3)",
+                "cadence",
+            ),
+            // Sweep range/step violations.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0.5 TO 0.3 STEP 0.1 \
+                 WITHIN 50 TARGET RE 0.5 RANK BY TOP 1",
+                "0.3",
+            ),
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0.1 TO 0.5 STEP 0 \
+                 WITHIN 50 TARGET RE 0.5 RANK BY TOP 1",
+                "0",
+            ),
+            // A sweep that would expand past the arm cap fails at the
+            // step token, before materializing anything.
+            (
+                "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0 TO 1 STEP 0.001 \
+                 WITHIN 50 TARGET RE 0.5 RANK BY TOP 1",
+                "0.001",
+            ),
+        ];
+        for (sql, at) in cases {
+            let err = parse(sql).unwrap_err();
+            let span = err
+                .span
+                .unwrap_or_else(|| panic!("no span for: {sql} ({:?})", err.kind));
+            assert_eq!(&sql[span.start..span.end], *at, "wrong span for: {sql}");
+        }
+
+        // Kind checks for the two clause-level rejections above.
+        let err = parse(
+            "ESTIMATE DURABILITY OF walk(beta=6, up=0.3), walk(beta=6, up=0.4) \
+             WITHIN 50 TARGET RE 0.5",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            SpecErrorKind::MissingClause { clause: "RANK BY" }
+        ));
+        let err = parse(
+            "ESTIMATE DURABILITY OF walk(beta=6) WITHIN 50 TARGET RE 0.5 \
+             RANK BY TOP 1 (cadence=3)",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            SpecErrorKind::UnknownOption { ref name } if name == "cadence"
+        ));
+    }
+
+    #[test]
+    fn sweep_respects_the_schema_catalog() {
+        use mlss_core::spec::ParamSpec;
+        let schema = ModelSchema::new(
+            "walk",
+            "random walk",
+            vec![ParamSpec::float("up", 0.3, 0.0, 1.0, "up probability")],
+        );
+        let catalog = [&schema];
+        // Unknown sweep parameter, spanned at its name.
+        let sql = "ESTIMATE DURABILITY OF walk(beta=6) SWEEP wat FROM 0.1 TO 0.3 STEP 0.1 \
+                   WITHIN 50 TARGET RE 0.5 RANK BY TOP 1";
+        let err = parse_dialect(sql, Some(&catalog)).unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::UnknownParam { .. }));
+        let span = err.span.unwrap();
+        assert_eq!(&sql[span.start..span.end], "wat");
+        // A generated value outside the schema range is attached to the
+        // sweep start (the offending value is generated, not written).
+        let sql = "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0.8 TO 1.2 STEP 0.2 \
+                   WITHIN 50 TARGET RE 0.5 RANK BY TOP 1";
+        let err = parse_dialect(sql, Some(&catalog)).unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::ParamOutOfRange { .. }));
+        let span = err.span.unwrap();
+        assert_eq!(&sql[span.start..span.end], "0.8");
+        // In range, the sweep expands cleanly.
+        assert!(parse_dialect(
+            "ESTIMATE DURABILITY OF walk(beta=6) SWEEP up FROM 0.2 TO 0.4 STEP 0.1 \
+             WITHIN 50 TARGET RE 0.5 RANK BY TOP 1",
+            Some(&catalog),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn explain_rank_parses() {
+        assert!(matches!(
+            parse(
+                "EXPLAIN ESTIMATE DURABILITY OF walk(beta=6, up=0.3), walk(beta=6, up=0.4) \
+                 WITHIN 50 TARGET RE 0.5 RANK BY TOP 1"
+            )
+            .unwrap(),
+            DialectStatement::ExplainRank(_)
+        ));
     }
 }

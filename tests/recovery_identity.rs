@@ -560,9 +560,10 @@ fn show_diagnostics_layout_is_pinned_with_a_wal_block() {
             "shard_store",
             "scheduler",
             "wal",
-            "width_policy"
+            "width_policy",
+            "ranking"
         ],
-        "journaling sessions serve all five component blocks"
+        "journaling sessions serve all six component blocks"
     );
 
     // The WAL block's counter set, pinned exactly.
